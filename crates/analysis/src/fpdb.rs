@@ -1,0 +1,151 @@
+//! The labeled fingerprint database (the Kotzias et al. stand-in).
+//!
+//! The paper compares device fingerprints against a public database
+//! of 1,684 labeled fingerprints covering browsers, TLS libraries,
+//! SDKs, and malware. We synthesize a database of the same size: the
+//! entries for stock libraries carry the *actual* fingerprints those
+//! library templates produce (that is what a real database contains),
+//! and the remainder is deterministic noise.
+
+use iotls_crypto::drbg::Drbg;
+use iotls_devices::instance;
+use iotls_devices::client_config;
+use iotls_tls::client::ClientConnection;
+use iotls_tls::fingerprint::FingerprintId;
+use iotls_x509::{RootStore, Timestamp};
+use std::collections::BTreeMap;
+
+/// Database size, as in Kotzias et al.
+pub const DB_SIZE: usize = 1_684;
+
+/// A labeled fingerprint database: fingerprint → application labels.
+#[derive(Debug, Default)]
+pub struct FingerprintDb {
+    by_fingerprint: BTreeMap<FingerprintId, Vec<String>>,
+    len: usize,
+}
+
+/// Computes the wire fingerprint an instance template produces.
+pub fn template_fingerprint(spec: &iotls_devices::TlsInstanceSpec) -> FingerprintId {
+    let cfg = client_config(spec, RootStore::new());
+    let conn = ClientConnection::new(
+        cfg,
+        "db.example.com",
+        Timestamp::from_ymd(2021, 3, 1),
+        Drbg::from_seed(0),
+    );
+    conn.fingerprint().id()
+}
+
+impl FingerprintDb {
+    /// Builds the database: labeled stock-library entries plus noise
+    /// up to [`DB_SIZE`].
+    pub fn build(seed: u64) -> FingerprintDb {
+        let mut db = FingerprintDb::default();
+        // Stock libraries: their real wire fingerprints, labeled as
+        // the database labels them.
+        let labeled: Vec<(&str, iotls_devices::TlsInstanceSpec)> = vec![
+            ("openssl", instance::openssl_102()),
+            ("openssl", instance::roku_main()),
+            ("android-sdk", instance::android_sdk()),
+            ("boringssl", instance::google_home(true)),
+            ("boringssl", instance::google_home(false)),
+            ("oracle-java", instance::samsung_jsse()),
+            ("wolfssl", instance::wolfssl_embedded()),
+        ];
+        for (label, spec) in &labeled {
+            db.insert(template_fingerprint(spec), label);
+        }
+        // GnuTLS CLI matches the Philips Hub's stock build (the
+        // database would contain the distribution's default build).
+        db.insert(
+            template_fingerprint(&iotls_devices::roster::legacy_gnutls("philips-gnutls")),
+            "gnutls-cli",
+        );
+
+        // Noise entries: browsers, apps, malware samples.
+        let mut rng = Drbg::from_seed(seed).fork("fpdb-noise");
+        let families = ["chrome", "firefox", "curl", "python-requests", "malware"];
+        while db.len() < DB_SIZE {
+            let mut id = [0u8; 16];
+            rng.fill_bytes(&mut id);
+            let family = families[rng.below(families.len() as u64) as usize];
+            let label = format!("{family}-{:x}", rng.next_u32());
+            db.insert(FingerprintId(id), &label);
+        }
+        db
+    }
+
+    fn insert(&mut self, fp: FingerprintId, label: &str) {
+        self.by_fingerprint
+            .entry(fp)
+            .or_default()
+            .push(label.to_string());
+        self.len += 1;
+    }
+
+    /// Number of entries (fingerprint/label pairs).
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Application labels matching a fingerprint.
+    pub fn labels_for(&self, fp: &FingerprintId) -> &[String] {
+        self.by_fingerprint
+            .get(fp)
+            .map(|v| v.as_slice())
+            .unwrap_or(&[])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn db() -> FingerprintDb {
+        FingerprintDb::build(0xDB)
+    }
+
+    #[test]
+    fn database_has_1684_entries() {
+        assert_eq!(db().len(), DB_SIZE);
+    }
+
+    #[test]
+    fn stock_library_fingerprints_are_labeled() {
+        let db = db();
+        let openssl = template_fingerprint(&instance::openssl_102());
+        assert_eq!(db.labels_for(&openssl), &["openssl".to_string()]);
+        let android = template_fingerprint(&instance::android_sdk());
+        assert_eq!(db.labels_for(&android), &["android-sdk".to_string()]);
+        let roku = template_fingerprint(&instance::roku_main());
+        assert_eq!(db.labels_for(&roku), &["openssl".to_string()]);
+    }
+
+    #[test]
+    fn unknown_fingerprint_has_no_labels() {
+        assert!(db().labels_for(&FingerprintId([0xEE; 16])).is_empty());
+    }
+
+    #[test]
+    fn build_is_deterministic() {
+        let a = FingerprintDb::build(1);
+        let b = FingerprintDb::build(1);
+        assert_eq!(a.len(), b.len());
+        let fp = template_fingerprint(&instance::samsung_jsse());
+        assert_eq!(a.labels_for(&fp), b.labels_for(&fp));
+    }
+
+    #[test]
+    fn fingerprint_variants_differ() {
+        // The two boringssl entries (pre/post TLS 1.3) are distinct.
+        let a = template_fingerprint(&instance::google_home(true));
+        let b = template_fingerprint(&instance::google_home(false));
+        assert_ne!(a, b);
+    }
+}

@@ -1,0 +1,215 @@
+//! The Figure 5 sharing graph: devices, applications, and the
+//! fingerprints connecting them.
+
+use crate::fpdb::FingerprintDb;
+use iotls::FingerprintSurvey;
+use iotls_tls::fingerprint::FingerprintId;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// A node in the sharing graph.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Node {
+    /// A testbed device.
+    Device(String),
+    /// A labeled application from the database.
+    Application(String),
+}
+
+/// An edge: a node uses a fingerprint.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Edge {
+    /// The device or application.
+    pub node: Node,
+    /// The shared fingerprint.
+    pub fingerprint: FingerprintId,
+    /// True for a device's most-used fingerprint (the figure's thick
+    /// edges).
+    pub dominant: bool,
+    /// True for database edges (the figure's dashed edges).
+    pub from_database: bool,
+}
+
+/// The Figure 5 graph: only fingerprints shared by ≥ 2 nodes appear.
+#[derive(Debug, Default)]
+pub struct SharingGraph {
+    /// Edges of the graph.
+    pub edges: Vec<Edge>,
+    /// The shared fingerprints (graph's middle layer).
+    pub fingerprints: BTreeSet<FingerprintId>,
+}
+
+impl SharingGraph {
+    /// Builds the graph from a survey and the database.
+    pub fn build(survey: &FingerprintSurvey, db: &FingerprintDb) -> SharingGraph {
+        // Collect all nodes per fingerprint.
+        let mut users: BTreeMap<FingerprintId, Vec<(Node, bool)>> = BTreeMap::new();
+        for (fp, devices) in &survey.by_fingerprint {
+            for device in devices {
+                let dominant = survey.dominant.get(device) == Some(fp);
+                users
+                    .entry(*fp)
+                    .or_default()
+                    .push((Node::Device(device.clone()), dominant));
+            }
+            for label in db.labels_for(fp) {
+                users
+                    .entry(*fp)
+                    .or_default()
+                    .push((Node::Application(label.clone()), false));
+            }
+        }
+        let mut graph = SharingGraph::default();
+        for (fp, nodes) in users {
+            if nodes.len() < 2 {
+                continue; // non-shared fingerprints are dropped
+            }
+            graph.fingerprints.insert(fp);
+            for (node, dominant) in nodes {
+                let from_database = matches!(node, Node::Application(_));
+                graph.edges.push(Edge {
+                    node,
+                    fingerprint: fp,
+                    dominant,
+                    from_database,
+                });
+            }
+        }
+        graph
+    }
+
+    /// Devices present in the graph (the paper's "19 devices share at
+    /// least one fingerprint with other devices and/or applications").
+    pub fn devices(&self) -> BTreeSet<String> {
+        self.edges
+            .iter()
+            .filter_map(|e| match &e.node {
+                Node::Device(d) => Some(d.clone()),
+                Node::Application(_) => None,
+            })
+            .collect()
+    }
+
+    /// Application labels present in the graph.
+    pub fn applications(&self) -> BTreeSet<String> {
+        self.edges
+            .iter()
+            .filter_map(|e| match &e.node {
+                Node::Application(a) => Some(a.clone()),
+                Node::Device(_) => None,
+            })
+            .collect()
+    }
+
+    /// Devices that share a fingerprint with a labeled application.
+    pub fn devices_matching_applications(&self) -> BTreeMap<String, BTreeSet<String>> {
+        let mut out: BTreeMap<String, BTreeSet<String>> = BTreeMap::new();
+        for fp in &self.fingerprints {
+            let apps: BTreeSet<String> = self
+                .edges
+                .iter()
+                .filter(|e| e.fingerprint == *fp && e.from_database)
+                .filter_map(|e| match &e.node {
+                    Node::Application(a) => Some(a.clone()),
+                    _ => None,
+                })
+                .collect();
+            if apps.is_empty() {
+                continue;
+            }
+            for e in self.edges.iter().filter(|e| e.fingerprint == *fp) {
+                if let Node::Device(d) = &e.node {
+                    out.entry(d.clone()).or_default().extend(apps.clone());
+                }
+            }
+        }
+        out
+    }
+
+    /// Renders the graph as text: one block per shared fingerprint.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for fp in &self.fingerprints {
+            out.push_str(&format!("fingerprint {fp}\n"));
+            for e in self.edges.iter().filter(|e| e.fingerprint == *fp) {
+                let (kind, name) = match &e.node {
+                    Node::Device(d) => ("device", d.clone()),
+                    Node::Application(a) => ("app", a.clone()),
+                };
+                let style = if e.from_database {
+                    "(dashed)"
+                } else if e.dominant {
+                    "(thick)"
+                } else {
+                    ""
+                };
+                out.push_str(&format!("  {kind:<7} {name} {style}\n"));
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use iotls::run_fingerprint_survey;
+    use iotls_devices::Testbed;
+    use std::sync::OnceLock;
+
+    fn graph() -> &'static SharingGraph {
+        static G: OnceLock<SharingGraph> = OnceLock::new();
+        G.get_or_init(|| {
+            let survey = run_fingerprint_survey(Testbed::global(), 0x5075);
+            let db = FingerprintDb::build(0xDB);
+            SharingGraph::build(&survey, &db)
+        })
+    }
+
+    #[test]
+    fn nineteen_devices_share_with_devices_or_applications() {
+        let devices = graph().devices();
+        assert_eq!(devices.len(), 19, "{devices:?}");
+    }
+
+    #[test]
+    fn database_matches_include_the_expected_apps() {
+        let matches = graph().devices_matching_applications();
+        // Fire TV's dominant fingerprint is android-sdk, as the paper
+        // verifies against Fire OS.
+        assert!(matches["Fire TV"].contains("android-sdk"));
+        // The OpenSSL trio matches the openssl label — explaining
+        // their amenability to the root-store probe.
+        for d in ["Wink Hub 2", "LG TV", "Harman Invoke"] {
+            assert!(matches[d].contains("openssl"), "{d}");
+        }
+        assert!(matches["Roku TV"].contains("openssl"));
+        assert!(matches["Google Home Mini"].contains("boringssl"));
+        assert!(matches["Philips Hub"].contains("gnutls-cli"));
+        assert!(matches["Samsung Fridge"].contains("oracle-java"));
+    }
+
+    #[test]
+    fn dominant_edges_marked() {
+        let g = graph();
+        let thick = g.edges.iter().filter(|e| e.dominant).count();
+        assert!(thick >= 10, "only {thick} dominant edges");
+    }
+
+    #[test]
+    fn render_mentions_clusters() {
+        let text = graph().render();
+        assert!(text.contains("Amazon Echo Dot"));
+        assert!(text.contains("android-sdk"));
+        assert!(text.contains("(dashed)"));
+        assert!(text.contains("(thick)"));
+    }
+
+    #[test]
+    fn all_graph_fingerprints_shared() {
+        let g = graph();
+        for fp in &g.fingerprints {
+            let n = g.edges.iter().filter(|e| e.fingerprint == *fp).count();
+            assert!(n >= 2);
+        }
+    }
+}

@@ -1,0 +1,30 @@
+//! # iotls-analysis
+//!
+//! Reporting layer for the IoTLS reproduction: turns live experiment
+//! results into the paper's tables and figures.
+//!
+//! * [`render`] — text-table and ASCII-heatmap primitives;
+//! * [`tables`] — Tables 1–9 regenerated from experiment reports;
+//! * [`figures`] — Figures 1–4 (heatmaps, staleness histogram);
+//! * [`fpdb`] — the 1,684-entry labeled fingerprint database
+//!   (Kotzias et al. stand-in);
+//! * [`fpgraph`] — the Figure 5 device–fingerprint–application
+//!   sharing graph;
+//! * [`export`] — CSV exports of the figure series for external
+//!   plotting;
+//! * [`minimization`] — §5.2's root-store utilization question,
+//!   answered with measurements.
+
+pub mod export;
+pub mod figures;
+pub mod fpdb;
+pub mod fpgraph;
+pub mod minimization;
+pub mod render;
+pub mod tables;
+
+pub use export::{cipher_series_csv, staleness_csv, version_series_csv};
+pub use fpdb::{template_fingerprint, FingerprintDb, DB_SIZE};
+pub use fpgraph::{Edge, Node, SharingGraph};
+pub use minimization::{render_utilization, root_store_utilization, UtilizationRow};
+pub use render::{heat_glyph, heat_row, TextTable};

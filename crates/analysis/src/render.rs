@@ -1,0 +1,150 @@
+//! Plain-text rendering primitives: aligned tables and ASCII
+//! heatmaps.
+
+/// A simple column-aligned text table.
+#[derive(Debug, Default)]
+pub struct TextTable {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl TextTable {
+    /// A table with the given column headers.
+    pub fn new(header: &[&str]) -> TextTable {
+        TextTable {
+            header: header.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row (must match the header width).
+    pub fn row(&mut self, cells: &[String]) -> &mut Self {
+        assert_eq!(cells.len(), self.header.len(), "row width mismatch");
+        self.rows.push(cells.to_vec());
+        self
+    }
+
+    /// Convenience for `&str` cells.
+    pub fn row_str(&mut self, cells: &[&str]) -> &mut Self {
+        let owned: Vec<String> = cells.iter().map(|s| s.to_string()).collect();
+        self.row(&owned)
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True when no data rows were added.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Renders the table.
+    pub fn render(&self) -> String {
+        let cols = self.header.len();
+        let mut widths: Vec<usize> = self.header.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+            let mut line = String::new();
+            for i in 0..cols {
+                if i > 0 {
+                    line.push_str("  ");
+                }
+                line.push_str(&format!("{:<width$}", cells[i], width = widths[i]));
+            }
+            line.trim_end().to_string()
+        };
+        out.push_str(&fmt_row(&self.header, &widths));
+        out.push('\n');
+        out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (cols - 1)));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row, &widths));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Maps a fraction in [0, 1] to a heatmap glyph; `None` renders the
+/// "no traffic" gray cell.
+pub fn heat_glyph(value: Option<f64>) -> char {
+    match value {
+        None => '·',
+        Some(v) if v <= 0.0001 => ' ',
+        Some(v) if v < 0.25 => '░',
+        Some(v) if v < 0.5 => '▒',
+        Some(v) if v < 0.75 => '▓',
+        Some(_) => '█',
+    }
+}
+
+/// Renders one heatmap row: a fixed-width label plus one glyph per
+/// column value.
+pub fn heat_row(label: &str, values: &[Option<f64>], label_width: usize) -> String {
+    let mut out = format!("{:<width$} |", label, width = label_width);
+    for v in values {
+        out.push(heat_glyph(*v));
+    }
+    out.push('|');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_alignment() {
+        let mut t = TextTable::new(&["Device", "Count"]);
+        t.row_str(&["Short", "1"]);
+        t.row_str(&["A Much Longer Device Name", "12345"]);
+        let rendered = t.render();
+        let lines: Vec<&str> = rendered.lines().collect();
+        assert!(lines[0].starts_with("Device"));
+        assert!(lines[1].starts_with("---"));
+        assert_eq!(lines.len(), 4);
+        // Columns align: "Count" column starts at the same offset.
+        let offset = lines[0].find("Count").unwrap();
+        assert_eq!(lines[2].find('1').unwrap(), offset);
+    }
+
+    #[test]
+    #[should_panic(expected = "row width mismatch")]
+    fn mismatched_row_panics() {
+        let mut t = TextTable::new(&["A", "B"]);
+        t.row_str(&["only one"]);
+    }
+
+    #[test]
+    fn glyph_scale_monotone() {
+        assert_eq!(heat_glyph(None), '·');
+        assert_eq!(heat_glyph(Some(0.0)), ' ');
+        assert_eq!(heat_glyph(Some(0.1)), '░');
+        assert_eq!(heat_glyph(Some(0.3)), '▒');
+        assert_eq!(heat_glyph(Some(0.6)), '▓');
+        assert_eq!(heat_glyph(Some(1.0)), '█');
+    }
+
+    #[test]
+    fn heat_row_shape() {
+        let row = heat_row("Device", &[Some(1.0), None, Some(0.0)], 10);
+        assert!(row.starts_with("Device     |"));
+        assert!(row.ends_with("█· |".trim_end()) || row.contains("█· "));
+        assert_eq!(row.chars().filter(|c| *c == '|').count(), 2);
+    }
+
+    #[test]
+    fn empty_table() {
+        let t = TextTable::new(&["X"]);
+        assert!(t.is_empty());
+        assert_eq!(t.len(), 0);
+        assert!(t.render().contains('X'));
+    }
+}

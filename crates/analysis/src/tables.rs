@@ -1,0 +1,311 @@
+//! Renderers for the paper's tables.
+//!
+//! Each function regenerates one table from live experiment results
+//! (never from ground truth) and renders it in the paper's shape.
+
+use crate::render::TextTable;
+use iotls::{
+    DowngradeKind, DowngradeRow, InterceptionReport, LibraryAlertRow, OldVersionRow,
+    RevocationSummary, RootProbeReport,
+};
+use iotls_devices::{Category, Testbed};
+use iotls_rootstore::Platform;
+
+fn check(b: bool) -> &'static str {
+    if b {
+        "yes"
+    } else {
+        "no"
+    }
+}
+
+/// Table 1: the device roster by category, passive-only devices
+/// starred.
+pub fn table1_roster(testbed: &Testbed) -> String {
+    let mut out = String::from("Table 1: TLS-supporting devices in the study (* = passive only)\n\n");
+    for cat in Category::ALL {
+        let devices: Vec<String> = testbed
+            .devices
+            .iter()
+            .filter(|d| d.spec.category == cat)
+            .map(|d| {
+                format!(
+                    "{}{}",
+                    d.spec.name,
+                    if d.spec.in_active { "" } else { "*" }
+                )
+            })
+            .collect();
+        out.push_str(&format!(
+            "{} (n = {})\n  {}\n",
+            cat.name(),
+            devices.len(),
+            devices.join("\n  ")
+        ));
+    }
+    out
+}
+
+/// Table 2: the interception attack overview.
+pub fn table2_attacks() -> String {
+    let mut t = TextTable::new(&["Attack", "Description"]);
+    t.row_str(&[
+        "NoValidation",
+        "Self-signed certificate; checks for any certificate validation",
+    ]);
+    t.row_str(&[
+        "WrongHostname",
+        "Unexpired legitimate certificate for an attacker-controlled domain; checks hostname validation",
+    ]);
+    t.row_str(&[
+        "InvalidBasicConstraints",
+        "Previous certificate used as a CA; checks BasicConstraints validation",
+    ]);
+    format!("Table 2: TLS interception attacks\n\n{}", t.render())
+}
+
+/// Table 3: root-store data sources.
+pub fn table3_platforms() -> String {
+    let mut t = TextTable::new(&["Platform", "Total versions", "Earliest year", "Source"]);
+    for p in Platform::ALL {
+        t.row(&[
+            p.name().to_string(),
+            p.version_count().to_string(),
+            p.earliest_year().to_string(),
+            p.source_comment().to_string(),
+        ]);
+    }
+    format!(
+        "Table 3: sources for historical root-store data\n\n{}",
+        t.render()
+    )
+}
+
+/// Table 4: library alert behavior and probe amenability.
+pub fn table4_library_alerts(matrix: &[LibraryAlertRow]) -> String {
+    let mut t = TextTable::new(&[
+        "Library",
+        "Known CA, invalid signature",
+        "Unknown CA",
+        "Amenable",
+    ]);
+    for row in matrix {
+        let fmt = |a: Option<iotls_tls::AlertDescription>| {
+            a.map(|d| d.to_string()).unwrap_or_else(|| "no alert".into())
+        };
+        t.row(&[
+            row.library.display_name().to_string(),
+            fmt(row.known_ca_bad_signature),
+            fmt(row.unknown_ca),
+            check(row.amenable()).to_string(),
+        ]);
+    }
+    format!(
+        "Table 4: alert responses of TLS libraries to the two probe failures\n\n{}",
+        t.render()
+    )
+}
+
+/// Table 5: devices that downgrade on connection failures.
+pub fn table5_downgrades(rows: &[DowngradeRow]) -> String {
+    let mut t = TextTable::new(&[
+        "Device",
+        "Failed handshake",
+        "Incomplete handshake",
+        "Behavior",
+        "Downgraded/Total",
+    ]);
+    for row in rows {
+        let behavior = match &row.kind {
+            DowngradeKind::VersionFallback { to, .. } => {
+                format!("Falls back to using {to}")
+            }
+            DowngradeKind::WeakerCiphers {
+                added_insecure,
+                added_sha1,
+            } => {
+                let suites: Vec<String> = added_insecure
+                    .iter()
+                    .filter_map(|s| iotls_tls::by_id(*s).map(|i| i.name.to_string()))
+                    .collect();
+                format!(
+                    "Falls back to weaker ciphersuite{} ({}{})",
+                    if *added_sha1 {
+                        " and signature algorithm"
+                    } else {
+                        ""
+                    },
+                    suites.join(", "),
+                    if *added_sha1 { " and RSA_PKCS1_SHA1" } else { "" }
+                )
+            }
+            DowngradeKind::SuiteCollapse { from, to, remaining } => {
+                let names: Vec<String> = remaining
+                    .iter()
+                    .filter_map(|s| iotls_tls::by_id(*s).map(|i| i.name.to_string()))
+                    .collect();
+                format!(
+                    "Falls back from offering {from} ciphersuites to just {to} ({})",
+                    names.join(", ")
+                )
+            }
+        };
+        t.row(&[
+            row.device.clone(),
+            check(row.on_failed_handshake).to_string(),
+            check(row.on_incomplete_handshake).to_string(),
+            behavior,
+            format!(
+                "{} / {}",
+                row.downgraded_destinations.len(),
+                row.total_destinations
+            ),
+        ]);
+    }
+    format!(
+        "Table 5: devices that downgrade security upon connection failures\n\n{}",
+        t.render()
+    )
+}
+
+/// Table 6: devices supporting old TLS versions.
+pub fn table6_old_versions(rows: &[OldVersionRow]) -> String {
+    let mut t = TextTable::new(&["Device", "TLS 1.0 available?", "TLS 1.1 available?"]);
+    for row in rows {
+        t.row(&[
+            row.device.clone(),
+            check(row.tls10).to_string(),
+            check(row.tls11).to_string(),
+        ]);
+    }
+    format!(
+        "Table 6: devices that support TLS versions older than 1.2 ({} devices)\n\n{}",
+        rows.len(),
+        t.render()
+    )
+}
+
+/// Table 7: devices vulnerable to interception.
+pub fn table7_interception(report: &InterceptionReport) -> String {
+    let mut t = TextTable::new(&[
+        "Device",
+        "No-Validation",
+        "InvalidBasicConstraints",
+        "Wrong-Hostname",
+        "Vulnerable/Total destinations",
+    ]);
+    for row in report.vulnerable_rows() {
+        t.row(&[
+            row.device.clone(),
+            check(row.no_validation).to_string(),
+            check(row.invalid_basic_constraints).to_string(),
+            check(row.wrong_hostname).to_string(),
+            format!(
+                "{} / {}",
+                row.vulnerable_destinations.len(),
+                row.total_destinations.len()
+            ),
+        ]);
+    }
+    format!(
+        "Table 7: devices vulnerable to TLS interception ({} of {} audited; \
+         {} leak sensitive data; TrafficPassthrough surfaced {:.1}% extra hostnames)\n\n{}",
+        report.vulnerable_rows().len(),
+        report.rows.len(),
+        report.leaky_devices().len(),
+        report.passthrough_extra_hostnames_pct,
+        t.render()
+    )
+}
+
+/// Table 8: revocation-method support.
+pub fn table8_revocation(summary: &RevocationSummary, all_devices: &[String]) -> String {
+    let mut t = TextTable::new(&["Method", "Devices (count)"]);
+    let fmt = |devices: &[String]| format!("{} ({})", devices.join(", "), devices.len());
+    t.row(&[
+        "Certificate Revocation Lists (CRLs)".to_string(),
+        fmt(&summary.crl),
+    ]);
+    t.row(&[
+        "Online Certificate Status Protocol (OCSP)".to_string(),
+        fmt(&summary.ocsp),
+    ]);
+    t.row(&["OCSP Stapling".to_string(), fmt(&summary.ocsp_stapling)]);
+    let none = summary.devices_without_any(all_devices);
+    format!(
+        "Table 8: certificate revocation support ({} devices never check)\n\n{}",
+        none.len(),
+        t.render()
+    )
+}
+
+/// Table 9: root-store exploration results.
+pub fn table9_rootstores(report: &RootProbeReport) -> String {
+    let mut rows: Vec<&iotls::RootProbeRow> = report.amenable_rows();
+    // Paper orders by deprecated fraction ascending.
+    rows.sort_by(|a, b| {
+        let fa = a.deprecated_ratio();
+        let fb = b.deprecated_ratio();
+        (fa.0 * fb.1).cmp(&(fb.0 * fa.1))
+    });
+    let mut t = TextTable::new(&[
+        "Device",
+        "Common certs (total = 122)",
+        "Deprecated certs (total = 87)",
+    ]);
+    for row in rows {
+        let (cp, cc) = row.common_ratio();
+        let (dp, dc) = row.deprecated_ratio();
+        t.row(&[
+            row.device.clone(),
+            format!("{:.0}% ({}/{})", 100.0 * cp as f64 / cc.max(1) as f64, cp, cc),
+            format!("{:.0}% ({}/{})", 100.0 * dp as f64 / dc.max(1) as f64, dp, dc),
+        ]);
+    }
+    format!(
+        "Table 9: exploring the root stores of {} amenable devices (of {} probed; \
+         {} excluded as reboot-unsafe, {} for never validating)\n\n{}",
+        report.amenable_rows().len(),
+        report.rows.len(),
+        report.excluded_reboot_unsafe.len(),
+        report.excluded_no_validation.len(),
+        t.render()
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use iotls::library_alert_matrix;
+
+    #[test]
+    fn table1_lists_all_categories_and_stars() {
+        let text = table1_roster(Testbed::global());
+        for cat in Category::ALL {
+            assert!(text.contains(cat.name()));
+        }
+        assert!(text.contains("Ring Doorbell*"));
+        assert!(text.contains("Zmodo Doorbell"));
+        assert!(!text.contains("Zmodo Doorbell*"));
+    }
+
+    #[test]
+    fn table2_and_3_render() {
+        let t2 = table2_attacks();
+        assert!(t2.contains("NoValidation"));
+        assert!(t2.contains("WrongHostname"));
+        let t3 = table3_platforms();
+        assert!(t3.contains("Mozilla"));
+        assert!(t3.contains("47"));
+        assert!(t3.contains("2013"));
+    }
+
+    #[test]
+    fn table4_marks_amenable_libraries() {
+        let text = table4_library_alerts(&library_alert_matrix());
+        assert!(text.contains("decrypt_error"));
+        assert!(text.contains("unknown_ca"));
+        assert!(text.contains("no alert"));
+        assert!(text.contains("Mbedtls (v2.21.0)"));
+    }
+}

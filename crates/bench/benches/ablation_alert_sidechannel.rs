@@ -1,0 +1,68 @@
+//! Ablation: how much signal does the alert side channel carry per
+//! library family? Compares probe outcomes and costs against a
+//! hypothetical coarser channel (connection success/failure only).
+//!
+//! Finding: with only success/failure visible, *every* probe looks
+//! identical (both spoofed and unknown CAs fail), so store contents
+//! are unrecoverable — the alert distinction carries all of the
+//! technique's information.
+
+use iotls::{InterceptPolicy, ActiveLab};
+use iotls_bench::{criterion, print_artifact, BENCH_SEED};
+use iotls_devices::Testbed;
+
+fn main() {
+    let testbed = Testbed::global();
+
+    // Alert-channel verdicts vs success/failure-channel verdicts for
+    // one amenable device over 20 probes spanning both probe sets
+    // (the common head is present in its store, the deprecated tail
+    // mostly absent).
+    let order = iotls_devices::canonical_probe_order(testbed.pki);
+    let mut sample: Vec<_> = order.iter().take(10).collect();
+    sample.extend(order.iter().rev().take(10));
+    let mut alert_distinct = std::collections::BTreeSet::new();
+    let mut outcome_distinct = std::collections::BTreeSet::new();
+    let mut lab = ActiveLab::new(testbed, BENCH_SEED);
+    let dev = testbed.device("Google Home Mini");
+    for ca in sample {
+        let target = testbed.pki.universe.get(*ca).cert.clone();
+        let dest = dev.spec.destinations[0].clone();
+        let out = lab.connect(dev, &dest, Some(&InterceptPolicy::SpoofedCa(Box::new(target))));
+        let alert = out
+            .result
+            .observation
+            .as_ref()
+            .and_then(|o| o.alerts_from_client.first().copied());
+        alert_distinct.insert(format!("{alert:?}"));
+        outcome_distinct.insert(out.result.established);
+    }
+    print_artifact(
+        "Ablation: alert side channel",
+        &format!(
+            "Over 20 spoofed-CA probes of an amenable device:\n\
+             distinct alert observations:        {} (store contents recoverable)\n\
+             distinct success/failure outcomes:  {} (nothing recoverable)\n",
+            alert_distinct.len(),
+            outcome_distinct.len()
+        ),
+    );
+    assert!(alert_distinct.len() >= 2);
+    assert_eq!(outcome_distinct.len(), 1);
+
+    let mut c = criterion();
+    let target = testbed.pki.universe.get(testbed.pki.common[1]).cert.clone();
+    c.bench_function("ablation/probe_with_alert_extraction", |b| {
+        b.iter(|| {
+            let mut lab = ActiveLab::new(testbed, BENCH_SEED);
+            let dev = testbed.device("Google Home Mini");
+            let dest = dev.spec.destinations[0].clone();
+            std::hint::black_box(lab.connect(
+                dev,
+                &dest,
+                Some(&InterceptPolicy::SpoofedCa(Box::new(target.clone()))),
+            ))
+        })
+    });
+    c.final_summary();
+}

@@ -1,0 +1,52 @@
+//! Ablation: fingerprint feature sets. The full JA3 permutation
+//! (version, ciphers, extensions, groups, point formats) versus a
+//! reduced version+ciphers-only definition — measured by how many
+//! distinct testbed instances each can separate.
+
+use iotls::run_fingerprint_survey;
+use iotls_bench::{criterion, print_artifact, BENCH_SEED};
+use iotls_devices::Testbed;
+use iotls_crypto::sha256::sha256;
+use std::collections::BTreeSet;
+
+fn main() {
+    let testbed = Testbed::global();
+    let survey = run_fingerprint_survey(testbed, BENCH_SEED);
+
+    // Recompute reduced fingerprints from every device instance spec
+    // in force at probe time.
+    let mut full: BTreeSet<iotls_tls::FingerprintId> = BTreeSet::new();
+    let mut reduced: BTreeSet<[u8; 16]> = BTreeSet::new();
+    for dev in testbed.devices.iter().filter(|d| d.spec.in_active) {
+        for fp in survey.by_device.get(&dev.spec.name).into_iter().flatten() {
+            full.insert(*fp);
+        }
+        for inst in dev.spec.instances_now() {
+            let mut key = Vec::new();
+            key.extend(inst.versions.iter().flat_map(|v| v.wire().to_be_bytes()));
+            key.push(0xff);
+            key.extend(inst.cipher_suites.iter().flat_map(|s| s.to_be_bytes()));
+            let digest = sha256(&key);
+            reduced.insert(digest[..16].try_into().unwrap());
+        }
+    }
+    print_artifact(
+        "Ablation: fingerprint features",
+        &format!(
+            "Distinct fingerprints across active devices:\n\
+             full JA3 feature permutation: {}\n\
+             version+ciphers only:         {}\n\
+             The extension/group features separate instances that share suite lists\n\
+             (e.g. stapling vs non-stapling builds of the same library).\n",
+            full.len(),
+            reduced.len()
+        ),
+    );
+    assert!(full.len() >= reduced.len());
+
+    let mut c = criterion();
+    c.bench_function("ablation/fingerprint_survey_full", |b| {
+        b.iter(|| std::hint::black_box(run_fingerprint_survey(testbed, BENCH_SEED)))
+    });
+    c.final_summary();
+}

@@ -1,0 +1,62 @@
+//! Ablation: probe scheduling. One reboot per certificate (the
+//! paper's design, which keeps the targeted TLS instance stable)
+//! versus probing multiple certificates inside one boot burst
+//! (cheaper, but different boot connections may come from different
+//! instances, corrupting per-store attribution).
+
+use iotls::{ActiveLab, InterceptPolicy};
+use iotls_bench::{criterion, print_artifact, BENCH_SEED};
+use iotls_devices::Testbed;
+
+fn main() {
+    let testbed = Testbed::global();
+
+    // Demonstrate the attribution hazard: within one Fire TV boot,
+    // connections come from *different* instances (fingerprints), so
+    // batch-probing one boot would mix root stores.
+    let mut lab = ActiveLab::new(testbed, BENCH_SEED);
+    let dev = testbed.device("Fire TV");
+    let outcomes = lab.boot_and_connect(dev, None);
+    let fps: std::collections::BTreeSet<_> =
+        outcomes.iter().map(|o| o.first_fingerprint).collect();
+    print_artifact(
+        "Ablation: probe scheduling",
+        &format!(
+            "One Fire TV boot burst carries {} connections from {} distinct TLS \
+             instances.\nBatch-probing inside one boot would attribute probes to the \
+             wrong store;\none-reboot-per-certificate (the paper's design) always hits \
+             the same first connection.\n",
+            outcomes.len(),
+            fps.len()
+        ),
+    );
+    assert!(fps.len() > 1);
+
+    let mut c = criterion();
+    let target = testbed.pki.universe.get(testbed.pki.common[2]).cert.clone();
+    c.bench_function("ablation/one_reboot_per_cert", |b| {
+        b.iter(|| {
+            let mut lab = ActiveLab::new(testbed, BENCH_SEED);
+            let dev = testbed.device("Amazon Echo Dot");
+            // Reboot + first-connection probe (the paper's unit).
+            if lab.power_cycle(dev) {
+                let dest = dev.spec.boot_destinations()[0].clone();
+                std::hint::black_box(lab.connect(
+                    dev,
+                    &dest,
+                    Some(&InterceptPolicy::SpoofedCa(Box::new(target.clone()))),
+                ));
+            }
+        })
+    });
+    c.bench_function("ablation/batched_full_boot", |b| {
+        b.iter(|| {
+            let mut lab = ActiveLab::new(testbed, BENCH_SEED);
+            let dev = testbed.device("Amazon Echo Dot");
+            std::hint::black_box(
+                lab.boot_and_connect(dev, Some(&InterceptPolicy::SpoofedCa(Box::new(target.clone())))),
+            )
+        })
+    });
+    c.final_summary();
+}

@@ -1,0 +1,27 @@
+//! Figure 4: staleness of deprecated roots still present per device.
+
+use criterion::Criterion;
+use iotls::run_root_probe;
+use iotls_bench::{criterion, print_artifact, BENCH_SEED};
+use iotls_devices::Testbed;
+use iotls_rootstore::staleness_histogram;
+
+fn bench(c: &mut Criterion) {
+    let testbed = Testbed::global();
+    let ids = testbed.pki.deprecated.clone();
+    c.bench_function("fig4/staleness_histogram", |b| {
+        b.iter(|| std::hint::black_box(staleness_histogram(&testbed.pki.histories, &ids)))
+    });
+}
+
+fn main() {
+    let testbed = Testbed::global();
+    let report = run_root_probe(testbed, BENCH_SEED);
+    print_artifact(
+        "Figure 4 (regenerated)",
+        &iotls_analysis::figures::fig4_staleness(testbed.pki, &report),
+    );
+    let mut c = criterion();
+    bench(&mut c);
+    c.final_summary();
+}

@@ -1,0 +1,37 @@
+//! Figure 5: the device-fingerprint-application sharing graph.
+
+use criterion::Criterion;
+use iotls::run_fingerprint_survey;
+use iotls_analysis::{FingerprintDb, SharingGraph};
+use iotls_bench::{criterion, print_artifact, BENCH_SEED};
+use iotls_devices::Testbed;
+
+fn bench(c: &mut Criterion) {
+    let testbed = Testbed::global();
+    let survey = run_fingerprint_survey(testbed, BENCH_SEED);
+    let db = FingerprintDb::build(0xDB);
+    c.bench_function("fig5/graph_build", |b| {
+        b.iter(|| std::hint::black_box(SharingGraph::build(&survey, &db)))
+    });
+    c.bench_function("fig5/db_build", |b| {
+        b.iter(|| std::hint::black_box(FingerprintDb::build(0xDB)))
+    });
+}
+
+fn main() {
+    let testbed = Testbed::global();
+    let survey = run_fingerprint_survey(testbed, BENCH_SEED);
+    let db = FingerprintDb::build(0xDB);
+    let graph = SharingGraph::build(&survey, &db);
+    let mut body = format!(
+        "{} devices share fingerprints with devices and/or applications (paper: 19)\n\
+         {} of 32 devices show multiple fingerprints (paper: 14)\n\n",
+        graph.devices().len(),
+        survey.devices_with_multiple_instances().len()
+    );
+    body.push_str(&graph.render());
+    print_artifact("Figure 5 (regenerated)", &body);
+    let mut c = criterion();
+    bench(&mut c);
+    c.final_summary();
+}

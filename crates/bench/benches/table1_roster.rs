@@ -1,0 +1,23 @@
+//! Table 1: device roster. Measures testbed construction.
+
+use criterion::Criterion;
+use iotls_bench::{criterion, print_artifact};
+use iotls_devices::Testbed;
+
+fn bench(c: &mut Criterion) {
+    // Full testbed construction (PKI shared; devices + cloud built).
+    c.bench_function("table1/testbed_build", |b| {
+        b.iter(|| std::hint::black_box(Testbed::build()))
+    });
+}
+
+fn main() {
+    let testbed = Testbed::global();
+    print_artifact(
+        "Table 1 (regenerated)",
+        &iotls_analysis::tables::table1_roster(testbed),
+    );
+    let mut c = criterion();
+    bench(&mut c);
+    c.final_summary();
+}

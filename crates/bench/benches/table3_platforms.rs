@@ -1,0 +1,36 @@
+//! Table 3: platform root-store histories. Measures the §4.2
+//! common/deprecated probe-set construction.
+
+use criterion::Criterion;
+use iotls_bench::{criterion, print_artifact};
+use iotls_rootstore::{common_certs, deprecated_certs, probe_time, SimPki};
+
+fn bench(c: &mut Criterion) {
+    let pki = SimPki::global();
+    c.bench_function("table3/common_set_construction", |b| {
+        b.iter(|| {
+            std::hint::black_box(common_certs(&pki.universe, &pki.histories, probe_time()))
+        })
+    });
+    c.bench_function("table3/deprecated_set_construction", |b| {
+        b.iter(|| {
+            std::hint::black_box(deprecated_certs(&pki.universe, &pki.histories, probe_time()))
+        })
+    });
+}
+
+fn main() {
+    let pki = SimPki::global();
+    print_artifact(
+        "Table 3 (regenerated)",
+        &format!(
+            "{}\nProbe sets: {} common, {} deprecated certificates\n",
+            iotls_analysis::tables::table3_platforms(),
+            pki.common.len(),
+            pki.deprecated.len()
+        ),
+    );
+    let mut c = criterion();
+    bench(&mut c);
+    c.final_summary();
+}

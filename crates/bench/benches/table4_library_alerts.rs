@@ -1,0 +1,21 @@
+//! Table 4: per-library alert behavior and probe amenability.
+
+use criterion::Criterion;
+use iotls_bench::{criterion, print_artifact};
+use iotls::library_alert_matrix;
+
+fn bench(c: &mut Criterion) {
+    c.bench_function("table4/library_alert_matrix", |b| {
+        b.iter(|| std::hint::black_box(library_alert_matrix()))
+    });
+}
+
+fn main() {
+    print_artifact(
+        "Table 4 (regenerated)",
+        &iotls_analysis::tables::table4_library_alerts(&library_alert_matrix()),
+    );
+    let mut c = criterion();
+    bench(&mut c);
+    c.final_summary();
+}

@@ -1,0 +1,33 @@
+//! Table 5: downgrade-on-failure behavior.
+
+use criterion::Criterion;
+use iotls::run_downgrade_probe;
+use iotls_bench::{criterion, print_artifact, BENCH_SEED};
+use iotls_devices::Testbed;
+
+fn bench(c: &mut Criterion) {
+    let testbed = Testbed::global();
+    // Per-device unit: the Roku probe (both failure modes, 15 boot
+    // destinations, fallback retries).
+    c.bench_function("table5/probe_one_device", |b| {
+        b.iter(|| {
+            let mut lab = iotls::ActiveLab::new(testbed, BENCH_SEED);
+            let dev = testbed.device("Roku TV");
+            std::hint::black_box(
+                lab.boot_and_connect(dev, Some(&iotls::InterceptPolicy::Mute)),
+            )
+        })
+    });
+}
+
+fn main() {
+    let testbed = Testbed::global();
+    let rows = run_downgrade_probe(testbed, BENCH_SEED);
+    print_artifact(
+        "Table 5 (regenerated)",
+        &iotls_analysis::tables::table5_downgrades(&rows),
+    );
+    let mut c = criterion();
+    bench(&mut c);
+    c.final_summary();
+}

@@ -1,0 +1,34 @@
+//! Table 6: old-version negotiation support.
+
+use criterion::Criterion;
+use iotls::run_old_version_scan;
+use iotls_bench::{criterion, print_artifact, BENCH_SEED};
+use iotls_devices::Testbed;
+
+fn bench(c: &mut Criterion) {
+    let testbed = Testbed::global();
+    c.bench_function("table6/forced_version_one_device", |b| {
+        b.iter(|| {
+            let mut lab = iotls::ActiveLab::new(testbed, BENCH_SEED);
+            let dev = testbed.device("Wemo Plug");
+            std::hint::black_box(lab.boot_and_connect(
+                dev,
+                Some(&iotls::InterceptPolicy::ForcedVersion(
+                    iotls_tls::ProtocolVersion::Tls10,
+                )),
+            ))
+        })
+    });
+}
+
+fn main() {
+    let testbed = Testbed::global();
+    let rows = run_old_version_scan(testbed, BENCH_SEED);
+    print_artifact(
+        "Table 6 (regenerated)",
+        &iotls_analysis::tables::table6_old_versions(&rows),
+    );
+    let mut c = criterion();
+    bench(&mut c);
+    c.final_summary();
+}

@@ -1,0 +1,38 @@
+//! Table 7: the interception audit (with TrafficPassthrough).
+
+use criterion::Criterion;
+use iotls::{run_interception_audit, InterceptPolicy};
+use iotls_bench::{criterion, print_artifact, BENCH_SEED};
+use iotls_devices::Testbed;
+
+fn bench(c: &mut Criterion) {
+    let testbed = Testbed::global();
+    c.bench_function("table7/attack_one_device_self_signed", |b| {
+        b.iter(|| {
+            let mut lab = iotls::ActiveLab::new(testbed, BENCH_SEED);
+            let dev = testbed.device("Zmodo Doorbell");
+            std::hint::black_box(lab.boot_and_connect(dev, Some(&InterceptPolicy::SelfSigned)))
+        })
+    });
+    c.bench_function("table7/attack_one_device_wrong_hostname", |b| {
+        b.iter(|| {
+            let mut lab = iotls::ActiveLab::new(testbed, BENCH_SEED);
+            let dev = testbed.device("Amazon Echo Dot");
+            std::hint::black_box(
+                lab.boot_and_connect(dev, Some(&InterceptPolicy::WrongHostname)),
+            )
+        })
+    });
+}
+
+fn main() {
+    let testbed = Testbed::global();
+    let report = run_interception_audit(testbed, BENCH_SEED);
+    print_artifact(
+        "Table 7 (regenerated)",
+        &iotls_analysis::tables::table7_interception(&report),
+    );
+    let mut c = criterion();
+    bench(&mut c);
+    c.final_summary();
+}

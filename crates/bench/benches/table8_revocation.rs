@@ -1,0 +1,25 @@
+//! Table 8: revocation-method support from passive data.
+
+use criterion::Criterion;
+use iotls::revocation_summary;
+use iotls_bench::{criterion, print_artifact};
+use iotls_capture::global_dataset;
+
+fn bench(c: &mut Criterion) {
+    let ds = global_dataset();
+    c.bench_function("table8/revocation_summary", |b| {
+        b.iter(|| std::hint::black_box(revocation_summary(ds)))
+    });
+}
+
+fn main() {
+    let ds = global_dataset();
+    let summary = revocation_summary(ds);
+    print_artifact(
+        "Table 8 (regenerated)",
+        &iotls_analysis::tables::table8_revocation(&summary, &ds.device_names()),
+    );
+    let mut c = criterion();
+    bench(&mut c);
+    c.final_summary();
+}

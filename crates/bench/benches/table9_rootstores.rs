@@ -1,0 +1,37 @@
+//! Table 9: root-store exploration via the alert side channel.
+
+use criterion::Criterion;
+use iotls::{run_root_probe, InterceptPolicy};
+use iotls_bench::{criterion, print_artifact, BENCH_SEED};
+use iotls_devices::Testbed;
+
+fn bench(c: &mut Criterion) {
+    let testbed = Testbed::global();
+    // The unit cost of one spoofed-CA probe (one reboot + one
+    // intercepted handshake).
+    let target = testbed.pki.universe.get(testbed.pki.common[3]).cert.clone();
+    c.bench_function("table9/single_spoofed_ca_probe", |b| {
+        b.iter(|| {
+            let mut lab = iotls::ActiveLab::new(testbed, BENCH_SEED);
+            let dev = testbed.device("Google Home Mini");
+            let dest = dev.spec.destinations[0].clone();
+            std::hint::black_box(lab.connect(
+                dev,
+                &dest,
+                Some(&InterceptPolicy::SpoofedCa(Box::new(target.clone()))),
+            ))
+        })
+    });
+}
+
+fn main() {
+    let testbed = Testbed::global();
+    let report = run_root_probe(testbed, BENCH_SEED);
+    print_artifact(
+        "Table 9 (regenerated)",
+        &iotls_analysis::tables::table9_rootstores(&report),
+    );
+    let mut c = criterion();
+    bench(&mut c);
+    c.final_summary();
+}

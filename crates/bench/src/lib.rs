@@ -1,0 +1,28 @@
+//! # iotls-bench
+//!
+//! Shared scaffolding for the Criterion benchmark suite. Every bench
+//! target regenerates one of the paper's tables or figures — printing
+//! the artifact once (the EXPERIMENTS.md source of truth) and then
+//! measuring the cost of the underlying computation.
+
+use criterion::Criterion;
+use std::time::Duration;
+
+/// The seed every bench uses, so printed artifacts match the
+/// documentation byte-for-byte.
+pub const BENCH_SEED: u64 = 0xBE7C;
+
+/// A Criterion instance tuned for experiment-scale workloads: few
+/// samples, bounded measurement time.
+pub fn criterion() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(8))
+        .warm_up_time(Duration::from_secs(1))
+        .configure_from_args()
+}
+
+/// Prints a regenerated artifact with a banner.
+pub fn print_artifact(title: &str, body: &str) {
+    println!("\n===== {title} =====\n{body}");
+}

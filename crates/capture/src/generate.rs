@@ -1,0 +1,289 @@
+//! The workload generator: replays the 27-month study schedule.
+//!
+//! The schedule itself comes from the event-driven study timeline
+//! ([`crate::timeline`]): the generator pops `CaptureRoll` events in
+//! causal order, and for each device-month drives one *real*
+//! byte-level handshake per destination between the device's TLS
+//! instance (as configured in that month's phase) and the
+//! destination's legitimate server, tapped by the passive gateway —
+//! then weights the resulting observation by the destination's
+//! (jittered) monthly connection rate. Identical (device,
+//! destination, phase) combinations reuse the driven handshake, which
+//! is metadata-identical, keeping the full two-year dataset fast to
+//! generate.
+
+use crate::dataset::{PassiveDataset, RevocationFlow, RevocationKind, WeightedObservation};
+use crate::timeline::{build_timeline, StudyEvent};
+use iotls_crypto::drbg::Drbg;
+use iotls_devices::{DeviceSetup, Testbed};
+use iotls_simnet::{drive_session, SessionParams};
+use iotls_tls::client::ClientConnection;
+use iotls_tls::server::ServerConnection;
+use iotls_simnet::TlsObservation;
+use iotls_x509::Month;
+use std::collections::HashMap;
+
+/// Generates the passive dataset for the whole testbed, driven by
+/// the event timeline.
+pub fn generate(testbed: &Testbed, seed: u64) -> PassiveDataset {
+    let mut dataset = PassiveDataset::default();
+    let root_rng = Drbg::from_seed(seed);
+    // Cache of driven handshakes keyed by (device, dest index, phase
+    // start) — the observation metadata is identical within a phase.
+    let mut cache: HashMap<(String, usize, Month), Option<TlsObservation>> = HashMap::new();
+
+    for (_at, event) in build_timeline(testbed) {
+        let StudyEvent::CaptureRoll { device: device_name, month } = event else {
+            continue; // joins/retirements/updates need no capture action
+        };
+        let device = testbed.device(&device_name);
+        let mut rng = root_rng.fork(&format!("capture/{}/{}", device.spec.name, month));
+        {
+            let phase_start = device
+                .spec
+                .phases
+                .iter()
+                .filter(|p| p.start <= month)
+                .map(|p| p.start)
+                .next_back()
+                .unwrap_or(device.spec.phases[0].start);
+            for (dest_idx, dest) in device.spec.destinations.iter().enumerate() {
+                let key = (device.spec.name.clone(), dest_idx, phase_start);
+                let observation = cache
+                    .entry(key)
+                    .or_insert_with(|| {
+                        drive_one(testbed, device, dest_idx, month, &mut rng)
+                    })
+                    .clone();
+                let Some(mut obs) = observation else {
+                    continue;
+                };
+                // Stamp the month (mid-month noon keeps it inside the
+                // bucket regardless of month length).
+                obs.time = month.start().plus_days(14).plus_secs(12 * 3600);
+                let base_rate = match dest.boost {
+                    Some((from, to, boosted)) if from <= month && month <= to => boosted,
+                    _ => dest.monthly_connections,
+                };
+                // ±20% deterministic jitter so months differ.
+                let jitter = 80 + rng.below(41); // 80..=120 percent
+                let count = (base_rate as u64 * jitter) / 100;
+                if count == 0 {
+                    continue;
+                }
+                dataset.observations.push(WeightedObservation {
+                    observation: obs,
+                    count,
+                });
+            }
+
+            // Revocation endpoint flows (Table 8's CRL/OCSP columns).
+            if device.spec.revocation.crl {
+                dataset.revocation_flows.push(RevocationFlow {
+                    time: month.start().plus_days(3),
+                    device: device.spec.name.clone(),
+                    kind: RevocationKind::CrlFetch,
+                    url: "http://crl.simtrust.example/latest.crl".into(),
+                    count: 2 + rng.below(5),
+                });
+            }
+            if device.spec.revocation.ocsp {
+                dataset.revocation_flows.push(RevocationFlow {
+                    time: month.start().plus_days(5),
+                    device: device.spec.name.clone(),
+                    kind: RevocationKind::OcspQuery,
+                    url: "http://ocsp.simtrust.example".into(),
+                    count: 10 + rng.below(30),
+                });
+            }
+        }
+    }
+    dataset
+}
+
+/// Drives one real handshake for (device, destination) in `month`.
+fn drive_one(
+    testbed: &Testbed,
+    device: &DeviceSetup,
+    dest_idx: usize,
+    month: Month,
+    rng: &mut Drbg,
+) -> Option<TlsObservation> {
+    let dest = &device.spec.destinations[dest_idx];
+    let client_cfg = testbed.client_config_for(device, dest, month);
+    let server_cfg = testbed.server_config(dest);
+    let now = month.start().plus_days(14);
+    let client = ClientConnection::new(
+        client_cfg,
+        &dest.hostname,
+        now,
+        rng.fork(&format!("client/{}/{}", dest.hostname, month)),
+    );
+    let server = ServerConnection::new(
+        server_cfg,
+        rng.fork(&format!("server/{}/{}", dest.hostname, month)),
+    );
+    let payload = dest.payload.clone().unwrap_or_else(|| "ping".into());
+    let result = drive_session(
+        client,
+        server,
+        SessionParams {
+            client_payload: Some(payload.as_bytes()),
+            server_payload: Some(b"ok"),
+            tap: true,
+            time: now,
+            device: &device.spec.name,
+            destination: &dest.hostname,
+        },
+    );
+    result.observation
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use iotls_tls::version::ProtocolVersion;
+    use std::sync::OnceLock;
+
+    fn dataset() -> &'static PassiveDataset {
+        static DS: OnceLock<PassiveDataset> = OnceLock::new();
+        DS.get_or_init(|| generate(Testbed::global(), 0xCAFE))
+    }
+
+    #[test]
+    fn dataset_covers_all_40_devices() {
+        assert_eq!(dataset().device_names().len(), 40);
+    }
+
+    #[test]
+    fn total_connections_in_paper_range() {
+        // §4.1: ≈17M connections.
+        let total = dataset().total_connections();
+        assert!(
+            (14_000_000..=20_000_000).contains(&total),
+            "total {total} outside the ≈17M target band"
+        );
+    }
+
+    #[test]
+    fn per_device_minimum_activity() {
+        // Every device generated traffic for at least 6 months.
+        for name in dataset().device_names() {
+            let months: std::collections::BTreeSet<_> = dataset()
+                .device_observations(&name)
+                .iter()
+                .map(|o| o.observation.time.month())
+                .collect();
+            assert!(months.len() >= 6, "{name}: {} months", months.len());
+        }
+    }
+
+    #[test]
+    fn most_connections_establish() {
+        let total = dataset().total_connections();
+        let established: u64 = dataset()
+            .observations
+            .iter()
+            .filter(|o| o.observation.established)
+            .map(|o| o.count)
+            .sum();
+        assert!(
+            established * 10 >= total * 9,
+            "only {established}/{total} established"
+        );
+    }
+
+    #[test]
+    fn wemo_always_advertises_deprecated_version() {
+        // Fig. 1's one all-deprecated device.
+        for o in dataset().device_observations("Wemo Plug") {
+            assert_eq!(o.observation.max_advertised, ProtocolVersion::Tls10);
+        }
+    }
+
+    #[test]
+    fn google_home_mini_transitions_to_tls13_in_may_2019() {
+        let before: Vec<_> = dataset()
+            .device_observations("Google Home Mini")
+            .into_iter()
+            .filter(|o| o.observation.time.month() < Month::new(2019, 5))
+            .collect();
+        let after: Vec<_> = dataset()
+            .device_observations("Google Home Mini")
+            .into_iter()
+            .filter(|o| o.observation.time.month() >= Month::new(2019, 5))
+            .collect();
+        assert!(!before.is_empty() && !after.is_empty());
+        assert!(before
+            .iter()
+            .all(|o| o.observation.max_advertised == ProtocolVersion::Tls12));
+        assert!(after
+            .iter()
+            .all(|o| o.observation.max_advertised == ProtocolVersion::Tls13));
+    }
+
+    #[test]
+    fn samsung_washer_advertises_tls12_but_establishes_tls11() {
+        for o in dataset().device_observations("Samsung Washer") {
+            assert_eq!(o.observation.max_advertised, ProtocolVersion::Tls12);
+            assert_eq!(
+                o.observation.negotiated_version,
+                Some(ProtocolVersion::Tls11)
+            );
+        }
+    }
+
+    #[test]
+    fn revocation_flows_only_from_crl_ocsp_devices() {
+        let crl_devices: std::collections::BTreeSet<_> = dataset()
+            .revocation_flows
+            .iter()
+            .filter(|f| f.kind == RevocationKind::CrlFetch)
+            .map(|f| f.device.clone())
+            .collect();
+        assert_eq!(
+            crl_devices.into_iter().collect::<Vec<_>>(),
+            vec!["Samsung TV".to_string()]
+        );
+        let ocsp_devices: std::collections::BTreeSet<_> = dataset()
+            .revocation_flows
+            .iter()
+            .filter(|f| f.kind == RevocationKind::OcspQuery)
+            .map(|f| f.device.clone())
+            .collect();
+        assert_eq!(ocsp_devices.len(), 3);
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = generate(Testbed::global(), 7);
+        let b = generate(Testbed::global(), 7);
+        assert_eq!(a.total_connections(), b.total_connections());
+        assert_eq!(a.observations.len(), b.observations.len());
+        let c = generate(Testbed::global(), 8);
+        assert_ne!(a.total_connections(), c.total_connections());
+    }
+
+    #[test]
+    fn insteon_boost_window_shifts_traffic_share() {
+        // The Fig. 1 anomaly: the legacy destination dominates during
+        // the boost window.
+        let ds = dataset();
+        let share = |month: Month| -> f64 {
+            let obs = ds
+                .device_observations("Insteon Hub")
+                .into_iter()
+                .filter(|o| o.observation.time.month() == month)
+                .collect::<Vec<_>>();
+            let total: u64 = obs.iter().map(|o| o.count).sum();
+            let legacy: u64 = obs
+                .iter()
+                .filter(|o| o.observation.destination.starts_with("alert."))
+                .map(|o| o.count)
+                .sum();
+            legacy as f64 / total.max(1) as f64
+        };
+        assert!(share(Month::new(2019, 1)) > 0.3, "boosted month");
+        assert!(share(Month::new(2019, 10)) < 0.3, "after upgrade");
+    }
+}

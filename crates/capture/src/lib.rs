@@ -1,0 +1,35 @@
+//! # iotls-capture
+//!
+//! Longitudinal passive capture for the IoTLS reproduction.
+//!
+//! Replays the paper's 27-month study window (January 2018 – March
+//! 2020) against the simulated testbed: every device × month ×
+//! destination combination is exercised with one real byte-level
+//! handshake through the passive gateway tap, weighted by the
+//! destination's monthly connection rate. The result is the ≈17M
+//! connection dataset that drives Figures 1–3 and Table 8, with JSON
+//! (de)serialization for the public-dataset deliverable.
+
+pub mod dataset;
+pub mod generate;
+pub mod serialize;
+pub mod timeline;
+
+pub use dataset::{
+    DatasetStats, PassiveDataset, RevocationFlow, RevocationKind, WeightedObservation,
+};
+pub use generate::generate;
+pub use timeline::{build_timeline, StudyEvent};
+pub use serialize::{from_json, to_json, DatasetFile, ObservationRecord, RevocationRecord};
+
+use iotls_devices::Testbed;
+use std::sync::OnceLock;
+
+/// The canonical dataset seed used by every bench and example.
+pub const DEFAULT_SEED: u64 = 0x10AD;
+
+/// The process-wide shared dataset (default seed, global testbed).
+pub fn global_dataset() -> &'static PassiveDataset {
+    static DS: OnceLock<PassiveDataset> = OnceLock::new();
+    DS.get_or_init(|| generate(Testbed::global(), DEFAULT_SEED))
+}

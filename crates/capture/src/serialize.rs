@@ -1,0 +1,292 @@
+//! Dataset (de)serialization — the "publicly available longitudinal
+//! TLS handshake data" deliverable, in JSON.
+
+use crate::dataset::{
+    PassiveDataset, RevocationFlow, RevocationKind, WeightedObservation,
+};
+use iotls_simnet::TlsObservation;
+use iotls_tls::alert::AlertDescription;
+use iotls_tls::fingerprint::FingerprintId;
+use iotls_tls::version::ProtocolVersion;
+use iotls_x509::Timestamp;
+use serde::{Deserialize, Serialize};
+
+/// Serializable mirror of one weighted observation.
+#[derive(Debug, Serialize, Deserialize, PartialEq)]
+pub struct ObservationRecord {
+    /// Unix seconds.
+    pub time: i64,
+    /// Device name.
+    pub device: String,
+    /// Destination hostname.
+    pub destination: String,
+    /// SNI, if sent.
+    pub sni: Option<String>,
+    /// Advertised versions (wire values).
+    pub advertised_versions: Vec<u16>,
+    /// Offered suites.
+    pub offered_suites: Vec<u16>,
+    /// Requested an OCSP staple.
+    pub requested_ocsp: bool,
+    /// Fingerprint id (hex).
+    pub fingerprint: String,
+    /// Negotiated version (wire value).
+    pub negotiated_version: Option<u16>,
+    /// Negotiated suite.
+    pub negotiated_suite: Option<u16>,
+    /// Server stapled OCSP.
+    pub ocsp_stapled: bool,
+    /// Issuer CN of the served leaf certificate.
+    pub leaf_issuer: Option<String>,
+    /// Reached application data.
+    pub established: bool,
+    /// Alert codes seen from the client.
+    pub alerts_from_client: Vec<u8>,
+    /// Alert codes seen from the server.
+    pub alerts_from_server: Vec<u8>,
+    /// Connections represented.
+    pub count: u64,
+}
+
+/// Serializable revocation flow.
+#[derive(Debug, Serialize, Deserialize, PartialEq)]
+pub struct RevocationRecord {
+    /// Unix seconds.
+    pub time: i64,
+    /// Device name.
+    pub device: String,
+    /// "crl" or "ocsp".
+    pub kind: String,
+    /// Endpoint URL.
+    pub url: String,
+    /// Connections.
+    pub count: u64,
+}
+
+/// Serializable dataset.
+#[derive(Debug, Serialize, Deserialize, Default)]
+pub struct DatasetFile {
+    /// Observations.
+    pub observations: Vec<ObservationRecord>,
+    /// Revocation flows.
+    pub revocation_flows: Vec<RevocationRecord>,
+}
+
+fn fp_from_hex(s: &str) -> Option<FingerprintId> {
+    if s.len() != 32 {
+        return None;
+    }
+    let mut out = [0u8; 16];
+    for i in 0..16 {
+        out[i] = u8::from_str_radix(&s[i * 2..i * 2 + 2], 16).ok()?;
+    }
+    Some(FingerprintId(out))
+}
+
+impl From<&WeightedObservation> for ObservationRecord {
+    fn from(w: &WeightedObservation) -> Self {
+        let o = &w.observation;
+        ObservationRecord {
+            time: o.time.0,
+            device: o.device.clone(),
+            destination: o.destination.clone(),
+            sni: o.sni.clone(),
+            advertised_versions: o.advertised_versions.iter().map(|v| v.wire()).collect(),
+            offered_suites: o.offered_suites.clone(),
+            requested_ocsp: o.requested_ocsp,
+            fingerprint: o.fingerprint.to_string(),
+            negotiated_version: o.negotiated_version.map(|v| v.wire()),
+            negotiated_suite: o.negotiated_suite,
+            ocsp_stapled: o.ocsp_stapled,
+            leaf_issuer: o.leaf_issuer.clone(),
+            established: o.established,
+            alerts_from_client: o.alerts_from_client.iter().map(|a| a.wire()).collect(),
+            alerts_from_server: o.alerts_from_server.iter().map(|a| a.wire()).collect(),
+            count: w.count,
+        }
+    }
+}
+
+impl ObservationRecord {
+    /// Converts back to the in-memory form. Returns `None` for
+    /// malformed records (unknown versions, bad fingerprints).
+    pub fn to_weighted(&self) -> Option<WeightedObservation> {
+        let advertised: Option<Vec<ProtocolVersion>> = self
+            .advertised_versions
+            .iter()
+            .map(|v| ProtocolVersion::from_wire(*v))
+            .collect();
+        let advertised = advertised?;
+        let max = advertised.iter().copied().max()?;
+        Some(WeightedObservation {
+            observation: TlsObservation {
+                time: Timestamp(self.time),
+                device: self.device.clone(),
+                destination: self.destination.clone(),
+                sni: self.sni.clone(),
+                advertised_versions: advertised,
+                max_advertised: max,
+                offered_suites: self.offered_suites.clone(),
+                requested_ocsp: self.requested_ocsp,
+                fingerprint: fp_from_hex(&self.fingerprint)?,
+                negotiated_version: match self.negotiated_version {
+                    Some(v) => Some(ProtocolVersion::from_wire(v)?),
+                    None => None,
+                },
+                negotiated_suite: self.negotiated_suite,
+                ocsp_stapled: self.ocsp_stapled,
+                leaf_issuer: self.leaf_issuer.clone(),
+                established: self.established,
+                alerts_from_client: self
+                    .alerts_from_client
+                    .iter()
+                    .map(|a| AlertDescription::from_wire(*a))
+                    .collect(),
+                alerts_from_server: self
+                    .alerts_from_server
+                    .iter()
+                    .map(|a| AlertDescription::from_wire(*a))
+                    .collect(),
+            },
+            count: self.count,
+        })
+    }
+}
+
+/// Serializes a dataset to JSON.
+pub fn to_json(dataset: &PassiveDataset) -> String {
+    let file = DatasetFile {
+        observations: dataset.observations.iter().map(Into::into).collect(),
+        revocation_flows: dataset
+            .revocation_flows
+            .iter()
+            .map(|f| RevocationRecord {
+                time: f.time.0,
+                device: f.device.clone(),
+                kind: match f.kind {
+                    RevocationKind::CrlFetch => "crl".into(),
+                    RevocationKind::OcspQuery => "ocsp".into(),
+                },
+                url: f.url.clone(),
+                count: f.count,
+            })
+            .collect(),
+    };
+    serde_json::to_string(&file).expect("dataset serializes")
+}
+
+/// Parses a dataset from JSON. Returns `None` on malformed input.
+pub fn from_json(json: &str) -> Option<PassiveDataset> {
+    let file: DatasetFile = serde_json::from_str(json).ok()?;
+    let observations: Option<Vec<WeightedObservation>> =
+        file.observations.iter().map(|r| r.to_weighted()).collect();
+    let revocation_flows: Option<Vec<RevocationFlow>> = file
+        .revocation_flows
+        .iter()
+        .map(|r| {
+            Some(RevocationFlow {
+                time: Timestamp(r.time),
+                device: r.device.clone(),
+                kind: match r.kind.as_str() {
+                    "crl" => RevocationKind::CrlFetch,
+                    "ocsp" => RevocationKind::OcspQuery,
+                    _ => return None,
+                },
+                url: r.url.clone(),
+                count: r.count,
+            })
+        })
+        .collect();
+    Some(PassiveDataset {
+        observations: observations?,
+        revocation_flows: revocation_flows?,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use iotls_tls::fingerprint::Fingerprint;
+
+    fn sample() -> PassiveDataset {
+        let fp = Fingerprint {
+            version: 0x0303,
+            ciphers: vec![0xc02f, 0x0005],
+            extensions: vec![0, 10],
+            groups: vec![29],
+            point_formats: vec![0],
+        };
+        PassiveDataset {
+            observations: vec![WeightedObservation {
+                observation: TlsObservation {
+                    time: Timestamp(1_546_300_800),
+                    device: "Test Device".into(),
+                    destination: "x.example".into(),
+                    sni: Some("x.example".into()),
+                    advertised_versions: vec![
+                        ProtocolVersion::Tls11,
+                        ProtocolVersion::Tls12,
+                    ],
+                    max_advertised: ProtocolVersion::Tls12,
+                    offered_suites: vec![0xc02f, 0x0005],
+                    requested_ocsp: true,
+                    fingerprint: fp.id(),
+                    negotiated_version: Some(ProtocolVersion::Tls12),
+                    negotiated_suite: Some(0xc02f),
+                    ocsp_stapled: true,
+                    leaf_issuer: Some("SimTrust Global Root CA 001".into()),
+                    established: true,
+                    alerts_from_client: vec![AlertDescription::UnknownCa],
+                    alerts_from_server: vec![],
+                },
+                count: 1234,
+            }],
+            revocation_flows: vec![RevocationFlow {
+                time: Timestamp(1_546_387_200),
+                device: "Test Device".into(),
+                kind: RevocationKind::OcspQuery,
+                url: "http://ocsp.example".into(),
+                count: 7,
+            }],
+        }
+    }
+
+    #[test]
+    fn json_roundtrip_preserves_everything() {
+        let ds = sample();
+        let json = to_json(&ds);
+        let back = from_json(&json).unwrap();
+        assert_eq!(back.observations.len(), 1);
+        let a = &ds.observations[0];
+        let b = &back.observations[0];
+        assert_eq!(a.count, b.count);
+        assert_eq!(a.observation.fingerprint, b.observation.fingerprint);
+        assert_eq!(a.observation.advertised_versions, b.observation.advertised_versions);
+        assert_eq!(a.observation.alerts_from_client, b.observation.alerts_from_client);
+        assert_eq!(a.observation.negotiated_version, b.observation.negotiated_version);
+        assert_eq!(back.revocation_flows.len(), 1);
+        assert_eq!(back.revocation_flows[0].kind, RevocationKind::OcspQuery);
+    }
+
+    #[test]
+    fn malformed_json_rejected() {
+        assert!(from_json("not json").is_none());
+        assert!(from_json("{\"observations\": [{\"bad\": true}]}").is_none());
+    }
+
+    #[test]
+    fn bad_fingerprint_hex_rejected() {
+        let ds = sample();
+        let json = to_json(&ds).replace(
+            &ds.observations[0].observation.fingerprint.to_string(),
+            "zz",
+        );
+        assert!(from_json(&json).is_none());
+    }
+
+    #[test]
+    fn unknown_revocation_kind_rejected() {
+        let json = to_json(&sample()).replace("\"ocsp\"", "\"carrier-pigeon\"");
+        assert!(from_json(&json).is_none());
+    }
+}

@@ -1,0 +1,180 @@
+//! The study timeline as discrete events.
+//!
+//! The paper's study is a sequence of real-world events — devices
+//! joining the testbed, monthly capture rolls, firmware updates,
+//! devices breaking. This module materializes that schedule through
+//! the simulator's [`EventQueue`], and the workload generator drives
+//! capture from it (rather than from ad-hoc nested loops), keeping
+//! the simulation genuinely event-driven.
+
+use iotls_devices::Testbed;
+use iotls_simnet::{EventQueue, SimClock};
+use iotls_x509::{Month, Timestamp};
+
+/// One event in the study.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StudyEvent {
+    /// A device starts generating traffic.
+    DeviceJoined {
+        /// Device name.
+        device: String,
+    },
+    /// One device-month of passive capture closes (the analyzer's
+    /// monthly aggregation boundary).
+    CaptureRoll {
+        /// Device name.
+        device: String,
+        /// The month that just completed.
+        month: Month,
+    },
+    /// A firmware update changes the device's TLS instances (a phase
+    /// boundary in the spec).
+    FirmwareUpdate {
+        /// Device name.
+        device: String,
+        /// First month of the new configuration.
+        month: Month,
+    },
+    /// The device breaks / leaves the study.
+    DeviceRetired {
+        /// Device name.
+        device: String,
+    },
+}
+
+/// Builds the full chronological study timeline for a testbed.
+pub fn build_timeline(testbed: &Testbed) -> Vec<(Timestamp, StudyEvent)> {
+    let mut queue: EventQueue<StudyEvent> = EventQueue::new();
+    for device in &testbed.devices {
+        let spec = &device.spec;
+        queue.schedule(
+            spec.passive_from.start(),
+            StudyEvent::DeviceJoined {
+                device: spec.name.clone(),
+            },
+        );
+        for month in spec.passive_from.through(spec.passive_to) {
+            // The roll fires at month end.
+            queue.schedule(
+                month.end().plus_secs(-1),
+                StudyEvent::CaptureRoll {
+                    device: spec.name.clone(),
+                    month,
+                },
+            );
+        }
+        for phase in spec.phases.iter().skip(1) {
+            if phase.start >= spec.passive_from && phase.start <= spec.passive_to {
+                queue.schedule(
+                    phase.start.start(),
+                    StudyEvent::FirmwareUpdate {
+                        device: spec.name.clone(),
+                        month: phase.start,
+                    },
+                );
+            }
+        }
+        queue.schedule(
+            spec.passive_to.end(),
+            StudyEvent::DeviceRetired {
+                device: spec.name.clone(),
+            },
+        );
+    }
+
+    // Drain in causal order, advancing a virtual clock as we go (the
+    // clock enforces monotonicity; a backwards event would panic).
+    let mut clock = SimClock::new(Timestamp(i64::MIN / 2));
+    let mut out = Vec::with_capacity(queue.len());
+    while let Some((at, event)) = queue.pop_next() {
+        clock.advance_to(at);
+        out.push((at, event));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn timeline() -> Vec<(Timestamp, StudyEvent)> {
+        build_timeline(Testbed::global())
+    }
+
+    #[test]
+    fn timeline_is_chronological() {
+        let t = timeline();
+        for w in t.windows(2) {
+            assert!(w[0].0 <= w[1].0);
+        }
+        assert!(!t.is_empty());
+    }
+
+    #[test]
+    fn every_device_joins_and_retires_once() {
+        let t = timeline();
+        for name in ["Wemo Plug", "Samsung TV", "Google Home Mini"] {
+            let joins = t
+                .iter()
+                .filter(|(_, e)| matches!(e, StudyEvent::DeviceJoined { device } if device == name))
+                .count();
+            let retires = t
+                .iter()
+                .filter(
+                    |(_, e)| matches!(e, StudyEvent::DeviceRetired { device } if device == name),
+                )
+                .count();
+            assert_eq!((joins, retires), (1, 1), "{name}");
+        }
+    }
+
+    #[test]
+    fn capture_rolls_cover_every_active_month() {
+        let t = timeline();
+        let tb = Testbed::global();
+        for device in &tb.devices {
+            let expected =
+                device.spec.passive_from.months_until(device.spec.passive_to) + 1;
+            let rolls = t
+                .iter()
+                .filter(|(_, e)| {
+                    matches!(e, StudyEvent::CaptureRoll { device: d, .. } if *d == device.spec.name)
+                })
+                .count();
+            assert_eq!(rolls as i32, expected, "{}", device.spec.name);
+        }
+    }
+
+    #[test]
+    fn firmware_updates_match_phase_boundaries() {
+        let t = timeline();
+        // Google Home Mini updates once (TLS 1.3 in 5/2019).
+        let ghm: Vec<&Month> = t
+            .iter()
+            .filter_map(|(_, e)| match e {
+                StudyEvent::FirmwareUpdate { device, month } if device == "Google Home Mini" => {
+                    Some(month)
+                }
+                _ => None,
+            })
+            .collect();
+        assert_eq!(ghm, vec![&Month::new(2019, 5)]);
+        // Apple TV updates three times (10/2018, 3/2019, 5/2019).
+        let atv = t
+            .iter()
+            .filter(|(_, e)| {
+                matches!(e, StudyEvent::FirmwareUpdate { device, .. } if device == "Apple TV")
+            })
+            .count();
+        assert_eq!(atv, 3);
+    }
+
+    #[test]
+    fn rolls_fall_inside_their_month() {
+        for (at, e) in timeline() {
+            if let StudyEvent::CaptureRoll { month, .. } = e {
+                assert!(month.start() <= at && at < month.end());
+            }
+        }
+    }
+}

@@ -1,0 +1,377 @@
+//! Downgrade probing: connection-failure fallbacks (Table 5) and
+//! old-version negotiation support (Table 6).
+//!
+//! Both experiments are purely observational: the prober compares the
+//! ClientHello of a device's *retry* against its first attempt
+//! (Table 5), or watches whether the device proceeds past a
+//! ServerHello that selects an old protocol version (Table 6). It
+//! never reads device configuration.
+
+use crate::attacker::InterceptPolicy;
+use crate::lab::ActiveLab;
+use iotls_devices::Testbed;
+use iotls_tls::ciphersuite;
+use iotls_tls::client::HandshakeFailure;
+use iotls_tls::extension::sig_scheme;
+use iotls_tls::handshake::ClientHello;
+use iotls_tls::version::ProtocolVersion;
+use std::collections::BTreeSet;
+
+/// How a retry weakened the connection, as observed on the wire.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DowngradeKind {
+    /// Maximum advertised version dropped.
+    VersionFallback {
+        /// Original maximum.
+        from: ProtocolVersion,
+        /// Retry maximum.
+        to: ProtocolVersion,
+    },
+    /// The retry offer added insecure suites or weak signature
+    /// algorithms.
+    WeakerCiphers {
+        /// Insecure suites newly offered.
+        added_insecure: Vec<u16>,
+        /// rsa_pkcs1_sha1 newly advertised.
+        added_sha1: bool,
+    },
+    /// The suite list collapsed (Roku's 73 → 1).
+    SuiteCollapse {
+        /// Original offer size.
+        from: usize,
+        /// Retry offer size.
+        to: usize,
+        /// What remained.
+        remaining: Vec<u16>,
+    },
+}
+
+/// One device's Table 5 row.
+#[derive(Debug, Clone)]
+pub struct DowngradeRow {
+    /// Device name.
+    pub device: String,
+    /// Downgrades after a *failed* handshake.
+    pub on_failed_handshake: bool,
+    /// Downgrades after an *incomplete* handshake.
+    pub on_incomplete_handshake: bool,
+    /// What the downgrade looks like.
+    pub kind: DowngradeKind,
+    /// Destinations that downgraded.
+    pub downgraded_destinations: BTreeSet<String>,
+    /// Destinations tested.
+    pub total_destinations: usize,
+}
+
+/// Classifies the difference between two hellos from the same device.
+pub fn classify_downgrade(first: &ClientHello, retry: &ClientHello) -> Option<DowngradeKind> {
+    let from = first.max_version();
+    let to = retry.max_version();
+    if to < from {
+        return Some(DowngradeKind::VersionFallback { from, to });
+    }
+    if retry.cipher_suites.len() < first.cipher_suites.len() / 2 {
+        return Some(DowngradeKind::SuiteCollapse {
+            from: first.cipher_suites.len(),
+            to: retry.cipher_suites.len(),
+            remaining: retry.cipher_suites.clone(),
+        });
+    }
+    let added_insecure: Vec<u16> = retry
+        .cipher_suites
+        .iter()
+        .filter(|s| !first.cipher_suites.contains(s))
+        .filter(|s| ciphersuite::id_is_insecure(**s))
+        .copied()
+        .collect();
+    let sha1 = |h: &ClientHello| {
+        h.extensions.iter().any(|e| match e {
+            iotls_tls::Extension::SignatureAlgorithms(algs) => {
+                algs.contains(&sig_scheme::RSA_PKCS1_SHA1)
+            }
+            _ => false,
+        })
+    };
+    let added_sha1 = !sha1(first) && sha1(retry);
+    if !added_insecure.is_empty() || added_sha1 {
+        return Some(DowngradeKind::WeakerCiphers {
+            added_insecure,
+            added_sha1,
+        });
+    }
+    None
+}
+
+/// Runs the Table 5 experiment: every active device, every boot
+/// destination, under both failure modes.
+pub fn run_downgrade_probe(testbed: &Testbed, seed: u64) -> Vec<DowngradeRow> {
+    let mut rows = Vec::new();
+    for device in testbed.devices.iter().filter(|d| d.spec.in_active) {
+        let mut on_failed = false;
+        let mut on_incomplete = false;
+        let mut kind: Option<DowngradeKind> = None;
+        let mut downgraded = BTreeSet::new();
+        let mut total = 0;
+
+        for (mode_idx, policy) in [InterceptPolicy::Mute, InterceptPolicy::SelfSigned]
+            .iter()
+            .enumerate()
+        {
+            let mut lab = ActiveLab::new(testbed, seed ^ (mode_idx as u64) << 16);
+            let dev = lab.testbed.device(&device.spec.name);
+            if mode_idx == 0 {
+                total = dev.spec.boot_destinations().len();
+            }
+            // Boot until the device talks (flaky boots).
+            let mut outcomes = Vec::new();
+            for _ in 0..6 {
+                outcomes = lab.boot_and_connect(dev, Some(policy));
+                if !outcomes.is_empty() {
+                    break;
+                }
+            }
+            for o in &outcomes {
+                let Some(retry) = &o.retry_hello else {
+                    continue;
+                };
+                if let Some(k) = classify_downgrade(&o.first_hello, retry) {
+                    downgraded.insert(o.destination.clone());
+                    if mode_idx == 0 {
+                        on_incomplete = true;
+                    } else {
+                        on_failed = true;
+                    }
+                    kind.get_or_insert(k);
+                }
+            }
+        }
+
+        if let Some(kind) = kind {
+            rows.push(DowngradeRow {
+                device: device.spec.name.clone(),
+                on_failed_handshake: on_failed,
+                on_incomplete_handshake: on_incomplete,
+                kind,
+                downgraded_destinations: downgraded,
+                total_destinations: total,
+            });
+        }
+    }
+    rows
+}
+
+/// One device's Table 6 row: which old versions it will negotiate.
+#[derive(Debug, Clone)]
+pub struct OldVersionRow {
+    /// Device name.
+    pub device: String,
+    /// Accepts a TLS 1.0 ServerHello.
+    pub tls10: bool,
+    /// Accepts a TLS 1.1 ServerHello.
+    pub tls11: bool,
+}
+
+/// Observes whether a device accepts a forced old version: if it
+/// aborts with `protocol_version` before the certificate stage, the
+/// version is unsupported; anything later (including a certificate
+/// rejection) means the version was accepted.
+fn accepts_version(lab: &mut ActiveLab<'_>, device_name: &str, v: ProtocolVersion) -> bool {
+    let device = lab.testbed.device(device_name);
+    let policy = InterceptPolicy::ForcedVersion(v);
+    for _ in 0..6 {
+        let outcomes = lab.boot_and_connect(device, Some(&policy));
+        if outcomes.is_empty() {
+            continue;
+        }
+        return outcomes.iter().any(|o| {
+            if o.result.established {
+                return true;
+            }
+            match &o.result.client_summary.failure {
+                Some(HandshakeFailure::UnsupportedVersion(_)) => false,
+                // Anything past version negotiation (certificate
+                // alerts, key-exchange failures) means v was accepted.
+                Some(_) => o.result.client_summary.version == Some(v),
+                None => false,
+            }
+        });
+    }
+    false
+}
+
+/// Runs the Table 6 scan over every active device.
+pub fn run_old_version_scan(testbed: &Testbed, seed: u64) -> Vec<OldVersionRow> {
+    let mut rows = Vec::new();
+    for device in testbed.devices.iter().filter(|d| d.spec.in_active) {
+        let mut lab10 = ActiveLab::new(testbed, seed ^ 0x10);
+        let tls10 = accepts_version(&mut lab10, &device.spec.name, ProtocolVersion::Tls10);
+        let mut lab11 = ActiveLab::new(testbed, seed ^ 0x11);
+        let tls11 = accepts_version(&mut lab11, &device.spec.name, ProtocolVersion::Tls11);
+        if tls10 || tls11 {
+            rows.push(OldVersionRow {
+                device: device.spec.name.clone(),
+                tls10,
+                tls11,
+            });
+        }
+    }
+    rows
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::OnceLock;
+
+    fn downgrades() -> &'static Vec<DowngradeRow> {
+        static R: OnceLock<Vec<DowngradeRow>> = OnceLock::new();
+        R.get_or_init(|| run_downgrade_probe(Testbed::global(), 0xD0E6))
+    }
+
+    fn old_versions() -> &'static Vec<OldVersionRow> {
+        static R: OnceLock<Vec<OldVersionRow>> = OnceLock::new();
+        R.get_or_init(|| run_old_version_scan(Testbed::global(), 0x01DE))
+    }
+
+    #[test]
+    fn seven_devices_downgrade() {
+        let names: Vec<&str> = downgrades().iter().map(|r| r.device.as_str()).collect();
+        assert_eq!(names.len(), 7, "{names:?}");
+    }
+
+    #[test]
+    fn amazon_family_falls_back_to_ssl30_on_incomplete_only() {
+        for name in [
+            "Amazon Echo Dot",
+            "Amazon Echo Plus",
+            "Amazon Echo Spot",
+            "Fire TV",
+        ] {
+            let row = downgrades()
+                .iter()
+                .find(|r| r.device == name)
+                .unwrap_or_else(|| panic!("{name} missing"));
+            assert!(!row.on_failed_handshake, "{name}");
+            assert!(row.on_incomplete_handshake, "{name}");
+            assert!(
+                matches!(
+                    row.kind,
+                    DowngradeKind::VersionFallback {
+                        to: ProtocolVersion::Ssl30,
+                        ..
+                    }
+                ),
+                "{name}: {:?}",
+                row.kind
+            );
+        }
+    }
+
+    #[test]
+    fn homepod_falls_back_to_tls10() {
+        let row = downgrades()
+            .iter()
+            .find(|r| r.device == "Apple HomePod")
+            .unwrap();
+        assert!(matches!(
+            row.kind,
+            DowngradeKind::VersionFallback {
+                to: ProtocolVersion::Tls10,
+                ..
+            }
+        ));
+        assert!(!row.on_failed_handshake);
+        assert!(row.on_incomplete_handshake);
+    }
+
+    #[test]
+    fn google_home_mini_weakens_ciphers_and_sigalgs_everywhere() {
+        let row = downgrades()
+            .iter()
+            .find(|r| r.device == "Google Home Mini")
+            .unwrap();
+        match &row.kind {
+            DowngradeKind::WeakerCiphers {
+                added_insecure,
+                added_sha1,
+            } => {
+                assert!(added_insecure.contains(&0x000a), "3DES added");
+                assert!(added_sha1, "SHA-1 sig alg added");
+            }
+            other => panic!("unexpected kind {other:?}"),
+        }
+        // 5/5: every destination downgrades.
+        assert_eq!(row.downgraded_destinations.len(), row.total_destinations);
+        assert_eq!(row.total_destinations, 5);
+    }
+
+    #[test]
+    fn roku_collapses_to_single_rc4_suite_on_both_triggers() {
+        let row = downgrades().iter().find(|r| r.device == "Roku TV").unwrap();
+        assert!(row.on_failed_handshake);
+        assert!(row.on_incomplete_handshake);
+        match &row.kind {
+            DowngradeKind::SuiteCollapse { from, to, remaining } => {
+                assert!(*from >= 40, "Roku offered {from} suites");
+                assert_eq!(*to, 1);
+                assert_eq!(remaining, &vec![0x0005]);
+            }
+            other => panic!("unexpected kind {other:?}"),
+        }
+        assert_eq!(row.downgraded_destinations.len(), 8);
+        assert_eq!(row.total_destinations, 15);
+    }
+
+    #[test]
+    fn downgraded_destination_ratios_match_table5() {
+        let expect = [
+            ("Amazon Echo Dot", 7, 9),
+            ("Amazon Echo Plus", 6, 7),
+            ("Amazon Echo Spot", 11, 15),
+            ("Fire TV", 13, 21),
+            ("Apple HomePod", 7, 9),
+            ("Google Home Mini", 5, 5),
+            ("Roku TV", 8, 15),
+        ];
+        for (name, down, total) in expect {
+            let row = downgrades().iter().find(|r| r.device == name).unwrap();
+            assert_eq!(
+                (row.downgraded_destinations.len(), row.total_destinations),
+                (down, total),
+                "{name}"
+            );
+        }
+    }
+
+    #[test]
+    fn eighteen_devices_accept_old_versions() {
+        let names: Vec<&str> = old_versions().iter().map(|r| r.device.as_str()).collect();
+        assert_eq!(names.len(), 18, "{names:?}");
+    }
+
+    #[test]
+    fn asymmetric_version_support_rows() {
+        let find = |n: &str| old_versions().iter().find(|r| r.device == n);
+        let fridge = find("Samsung Fridge").expect("fridge row");
+        assert!(!fridge.tls10 && fridge.tls11);
+        let dryer = find("Samsung Dryer").expect("dryer row");
+        assert!(!dryer.tls10 && dryer.tls11);
+        let wemo = find("Wemo Plug").expect("wemo row");
+        assert!(wemo.tls10 && !wemo.tls11);
+        assert!(find("Amazon Echo Dot 3").is_none(), "Dot 3 is TLS 1.2+");
+        assert!(find("Apple TV").is_none(), "Apple refuses old versions");
+    }
+
+    #[test]
+    fn classify_detects_nothing_when_hellos_match() {
+        let hello = ClientHello {
+            legacy_version: ProtocolVersion::Tls12,
+            random: [0; 32],
+            session_id: vec![],
+            cipher_suites: vec![0xc02f],
+            compression_methods: vec![0],
+            extensions: vec![],
+        };
+        assert_eq!(classify_downgrade(&hello, &hello.clone()), None);
+    }
+}

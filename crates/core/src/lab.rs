@@ -1,0 +1,391 @@
+//! The active laboratory: smart-plug power cycles, boot bursts, and
+//! per-connection drive logic including device retry/fallback
+//! behavior and the Yi Camera's give-up quirk.
+//!
+//! This is where device *behavior* (fallback retries, validation
+//! collapse after repeated failures, flaky boots) is emulated; the
+//! experiments in [`crate::audit`], [`crate::downgrade`], and
+//! [`crate::rootprobe`] only look at what crosses the wire.
+
+use crate::attacker::{Attacker, InterceptPolicy};
+use iotls_crypto::drbg::Drbg;
+use iotls_devices::spec::Destination;
+use iotls_devices::{apply_fallback, client_config, DeviceSetup, Testbed};
+use iotls_simnet::{drive_session, SessionParams, SessionResult};
+use iotls_tls::client::{ClientConnection, HandshakeFailure};
+use iotls_tls::fingerprint::Fingerprint;
+use iotls_x509::{Timestamp, ValidationPolicy};
+use std::collections::{BTreeSet, HashMap};
+
+/// Mutable per-device state that persists across boots.
+#[derive(Debug, Default)]
+pub struct DeviceState {
+    /// Total power cycles so far (indexes the flaky-boot schedule).
+    pub boot_count: u32,
+    /// Consecutive failed connections (drives the Yi quirk).
+    pub consecutive_failures: u32,
+    /// Whether the device has given up on validation entirely.
+    pub validation_disabled: bool,
+    /// Destinations the gateway passes through un-intercepted.
+    pub passthrough: BTreeSet<String>,
+    /// Destinations unlocked by earlier successful connections
+    /// (surfaces only in TrafficPassthrough runs, as in §4.2).
+    pub unlocked: BTreeSet<String>,
+}
+
+/// Outcome of one driven connection attempt (possibly with a retry).
+pub struct ConnectionOutcome {
+    /// The destination contacted.
+    pub destination: String,
+    /// Result of the final attempt.
+    pub result: SessionResult,
+    /// Whether this connection was intercepted (vs. passed through).
+    pub intercepted: bool,
+    /// The retry ClientHello fingerprint, when the device fell back
+    /// and reconnected after the first attempt failed.
+    pub retry_hello: Option<iotls_tls::ClientHello>,
+    /// Fingerprint of the *first* attempt's ClientHello.
+    pub first_fingerprint: iotls_tls::FingerprintId,
+    /// First attempt's ClientHello.
+    pub first_hello: iotls_tls::ClientHello,
+}
+
+/// The laboratory: the testbed plus an attacker and device states.
+pub struct ActiveLab<'a> {
+    /// The testbed under test.
+    pub testbed: &'a Testbed,
+    /// The on-path attacker.
+    pub attacker: Attacker,
+    states: HashMap<String, DeviceState>,
+    rng: Drbg,
+    now: Timestamp,
+}
+
+impl<'a> ActiveLab<'a> {
+    /// Sets up the lab at probe time (March 2021).
+    pub fn new(testbed: &'a Testbed, seed: u64) -> ActiveLab<'a> {
+        ActiveLab {
+            testbed,
+            attacker: Attacker::new(testbed.pki, seed),
+            states: HashMap::new(),
+            rng: Drbg::from_seed(seed).fork("active-lab"),
+            now: iotls_rootstore::probe_time(),
+        }
+    }
+
+    /// The probe-time clock.
+    pub fn now(&self) -> Timestamp {
+        self.now
+    }
+
+    /// Mutable state for a device.
+    pub fn state(&mut self, device: &str) -> &mut DeviceState {
+        self.states.entry(device.to_string()).or_default()
+    }
+
+    /// Power-cycles a device and returns whether it produces TLS
+    /// traffic this boot (its flaky-boot schedule may say no).
+    pub fn power_cycle(&mut self, device: &DeviceSetup) -> bool {
+        let state = self.state(&device.spec.name);
+        let boot = state.boot_count;
+        state.boot_count += 1;
+        !device.truth.flaky_boots.contains(&boot)
+    }
+
+    /// Drives the device's connection to `dest`, intercepted under
+    /// `policy` (or passed through to the real server when `policy` is
+    /// `None` or the destination is in the passthrough set).
+    pub fn connect(
+        &mut self,
+        device: &DeviceSetup,
+        dest: &Destination,
+        policy: Option<&InterceptPolicy>,
+    ) -> ConnectionOutcome {
+        let probe_month = self.now.month();
+        let instances = device.spec.instances_at(probe_month);
+        let instance = &instances[dest.instance.min(instances.len() - 1)];
+
+        let passthrough = self
+            .state(&device.spec.name)
+            .passthrough
+            .contains(&dest.hostname);
+        let effective_policy = if passthrough { None } else { policy };
+
+        // First attempt.
+        let (first, first_hello) =
+            self.attempt(device, dest, instance, effective_policy, false);
+        let first_fp = Fingerprint::from_client_hello(&first_hello).id();
+
+        // Device-side failure bookkeeping.
+        let failed = !first.established;
+        self.note_outcome(device, failed);
+
+        // Fallback retry: the device reconnects with a weaker
+        // configuration when its trigger matches the failure mode.
+        let mut retry_hello = None;
+        let mut result = first;
+        if failed {
+            if let Some(fb) = &instance.fallback {
+                let incomplete = result.client_summary.version.is_none()
+                    && result.client_summary.failure.is_none();
+                let failed_handshake = result.client_summary.failure.is_some()
+                    || matches!(
+                        result.client_summary.failure,
+                        Some(HandshakeFailure::Validation(_))
+                    );
+                let triggered = (incomplete && fb.trigger.on_incomplete)
+                    || (!incomplete && failed_handshake && fb.trigger.on_failed);
+                if triggered {
+                    let (second, hello) =
+                        self.attempt(device, dest, instance, effective_policy, true);
+                    self.note_outcome(device, !second.established);
+                    retry_hello = Some(hello);
+                    result = second;
+                }
+            }
+        }
+
+        ConnectionOutcome {
+            destination: dest.hostname.clone(),
+            intercepted: effective_policy.is_some(),
+            result,
+            retry_hello,
+            first_fingerprint: first_fp,
+            first_hello,
+        }
+    }
+
+    /// One raw attempt; `fallback` selects the downgraded config.
+    fn attempt(
+        &mut self,
+        device: &DeviceSetup,
+        dest: &Destination,
+        instance: &iotls_devices::TlsInstanceSpec,
+        policy: Option<&InterceptPolicy>,
+        fallback: bool,
+    ) -> (SessionResult, iotls_tls::ClientHello) {
+        let spec = if fallback {
+            apply_fallback(instance)
+        } else {
+            instance.clone()
+        };
+        let mut cfg = client_config(&spec, device.truth.store.clone());
+        if self.state(&device.spec.name).validation_disabled {
+            cfg.validation_policy = ValidationPolicy::no_validation();
+        }
+        let server_cfg = match policy {
+            Some(p) => self.attacker.server_config(p, &dest.hostname),
+            None => self.testbed.server_config(dest),
+        };
+        let boot_count = self.state(&device.spec.name).boot_count;
+        let client_rng = self.rng.fork(&format!(
+            "conn/{}/{}/{}/{}",
+            device.spec.name, dest.hostname, boot_count, fallback
+        ));
+        let server_rng = client_rng.fork("server");
+        let client = ClientConnection::new(cfg, &dest.hostname, self.now, client_rng);
+        let hello = client.build_client_hello();
+        let server = iotls_tls::ServerConnection::new(server_cfg, server_rng);
+        let payload = dest.payload.clone().unwrap_or_else(|| "ping".into());
+        let result = drive_session(
+            client,
+            server,
+            SessionParams {
+                client_payload: Some(payload.as_bytes()),
+                server_payload: Some(b"ok"),
+                tap: true,
+                time: self.now,
+                device: &device.spec.name,
+                destination: &dest.hostname,
+            },
+        );
+        (result, hello)
+    }
+
+    /// Updates the consecutive-failure counter and the Yi quirk.
+    fn note_outcome(&mut self, device: &DeviceSetup, failed: bool) {
+        let quirk = device.spec.disable_validation_after_failures;
+        let state = self.state(&device.spec.name);
+        if failed {
+            state.consecutive_failures += 1;
+            if let Some(limit) = quirk {
+                if state.consecutive_failures >= limit {
+                    state.validation_disabled = true;
+                }
+            }
+        } else {
+            state.consecutive_failures = 0;
+        }
+    }
+
+    /// Boots a device and drives every boot destination (passthrough
+    /// destinations reach their real servers). Returns no outcomes on
+    /// a flaky boot. Successful connections unlock the device's
+    /// off-boot destinations (observable under TrafficPassthrough).
+    pub fn boot_and_connect(
+        &mut self,
+        device: &DeviceSetup,
+        policy: Option<&InterceptPolicy>,
+    ) -> Vec<ConnectionOutcome> {
+        if !self.power_cycle(device) {
+            return Vec::new();
+        }
+        let mut outcomes = Vec::new();
+        let mut any_success = false;
+        for dest in device.spec.boot_destinations() {
+            let outcome = self.connect(device, dest, policy);
+            any_success |= outcome.result.established;
+            outcomes.push(outcome);
+        }
+        if any_success {
+            let unlocked: Vec<String> = device
+                .spec
+                .destinations
+                .iter()
+                .filter(|d| !d.on_boot)
+                .map(|d| d.hostname.clone())
+                .collect();
+            let state = self.state(&device.spec.name);
+            for h in unlocked {
+                state.unlocked.insert(h);
+            }
+            // Unlocked destinations are contacted on this boot too.
+            let followups: Vec<Destination> = device
+                .spec
+                .destinations
+                .iter()
+                .filter(|d| !d.on_boot)
+                .cloned()
+                .collect();
+            for dest in &followups {
+                let outcome = self.connect(device, dest, policy);
+                outcomes.push(outcome);
+            }
+        }
+        outcomes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lab() -> ActiveLab<'static> {
+        ActiveLab::new(Testbed::global(), 0xAB5)
+    }
+
+    #[test]
+    fn legit_connection_establishes() {
+        let mut lab = lab();
+        let dev = lab.testbed.device("D-Link Camera");
+        let dest = dev.spec.destinations[0].clone();
+        let out = lab.connect(dev, &dest, None);
+        assert!(out.result.established, "{:?}", out.result.client_summary.failure);
+        assert!(!out.intercepted);
+    }
+
+    #[test]
+    fn self_signed_interception_fails_against_strict_device() {
+        let mut lab = lab();
+        let dev = lab.testbed.device("D-Link Camera");
+        let dest = dev.spec.destinations[0].clone();
+        let out = lab.connect(dev, &dest, Some(&InterceptPolicy::SelfSigned));
+        assert!(!out.result.established);
+        assert!(out.intercepted);
+    }
+
+    #[test]
+    fn self_signed_interception_succeeds_against_zmodo() {
+        let mut lab = lab();
+        let dev = lab.testbed.device("Zmodo Doorbell");
+        let dest = dev.spec.destinations[0].clone();
+        let out = lab.connect(dev, &dest, Some(&InterceptPolicy::SelfSigned));
+        assert!(out.result.established);
+        let leaked = String::from_utf8_lossy(&out.result.server_received).to_string();
+        assert!(leaked.contains("encrypt_key"), "leaked: {leaked}");
+    }
+
+    #[test]
+    fn yi_camera_gives_up_after_three_failures() {
+        let mut lab = lab();
+        let dev = lab.testbed.device("Yi Camera");
+        let dest = dev.spec.destinations[0].clone();
+        for attempt in 0..3 {
+            let out = lab.connect(dev, &dest, Some(&InterceptPolicy::SelfSigned));
+            assert!(!out.result.established, "attempt {attempt} unexpectedly succeeded");
+        }
+        // Fourth attempt: validation disabled, interception succeeds.
+        let out = lab.connect(dev, &dest, Some(&InterceptPolicy::SelfSigned));
+        assert!(out.result.established, "Yi should have given up by now");
+    }
+
+    #[test]
+    fn amazon_fallback_retries_with_ssl30_on_mute() {
+        let mut lab = lab();
+        let dev = lab.testbed.device("Amazon Echo Dot");
+        // svc0 runs the android-sdk instance with the SSL3 fallback.
+        let dest = dev
+            .spec
+            .destinations
+            .iter()
+            .find(|d| d.hostname.starts_with("svc0"))
+            .unwrap()
+            .clone();
+        let out = lab.connect(dev, &dest, Some(&InterceptPolicy::Mute));
+        let retry = out.retry_hello.expect("device retried");
+        assert_eq!(
+            retry.max_version(),
+            iotls_tls::ProtocolVersion::Ssl30,
+            "retry capped at SSL 3.0"
+        );
+        assert_eq!(out.first_hello.max_version(), iotls_tls::ProtocolVersion::Tls12);
+    }
+
+    #[test]
+    fn no_fallback_device_does_not_retry() {
+        let mut lab = lab();
+        let dev = lab.testbed.device("D-Link Camera");
+        let dest = dev.spec.destinations[0].clone();
+        let out = lab.connect(dev, &dest, Some(&InterceptPolicy::Mute));
+        assert!(out.retry_hello.is_none());
+        assert!(!out.result.established);
+    }
+
+    #[test]
+    fn passthrough_reaches_real_server() {
+        let mut lab = lab();
+        let dev = lab.testbed.device("D-Link Camera");
+        let dest = dev.spec.destinations[0].clone();
+        lab.state("D-Link Camera")
+            .passthrough
+            .insert(dest.hostname.clone());
+        let out = lab.connect(dev, &dest, Some(&InterceptPolicy::SelfSigned));
+        assert!(out.result.established, "passthrough should succeed");
+        assert!(!out.intercepted);
+    }
+
+    #[test]
+    fn flaky_boots_produce_no_traffic() {
+        let mut lab = lab();
+        let dev = lab.testbed.device("Google Home Mini");
+        // GHM has 19 flaky boots scheduled; find the first one.
+        let first_flaky = *dev.truth.flaky_boots.iter().next().unwrap();
+        let mut saw_empty = false;
+        for boot in 0..=first_flaky {
+            let outcomes = lab.boot_and_connect(dev, None);
+            if boot == first_flaky {
+                saw_empty = outcomes.is_empty();
+            }
+        }
+        assert!(saw_empty, "flaky boot produced traffic");
+    }
+
+    #[test]
+    fn boot_connects_all_boot_destinations() {
+        let mut lab = lab();
+        let dev = lab.testbed.device("Zmodo Doorbell");
+        let outcomes = lab.boot_and_connect(dev, None);
+        assert_eq!(outcomes.len(), dev.spec.boot_destinations().len());
+        assert!(outcomes.iter().all(|o| o.result.established));
+    }
+}

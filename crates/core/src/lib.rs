@@ -1,0 +1,66 @@
+//! # iotls
+//!
+//! The IoTLS measurement methodology (Paracha, Dubois,
+//! Vallina-Rodriguez, Choffnes — *IoTLS: Understanding TLS Usage in
+//! Consumer IoT Devices*, ACM IMC 2021), reproduced as a library.
+//!
+//! Every analysis here is **blackbox**: the experiments interact with
+//! the simulated testbed only through the network — boot bursts
+//! observed at a gateway tap, interception with forged certificate
+//! chains, and the TLS *Alert Message* side channel. Ground-truth
+//! device configuration is never consulted (the test suites compare
+//! measured results against it, as an oracle, after the fact).
+//!
+//! Components, mapped to the paper:
+//!
+//! * [`attacker`] — the on-path adversary and its Table 2 / §4.2
+//!   interception policies (self-signed, wrong-hostname, invalid
+//!   BasicConstraints, spoofed-CA, mute, forced-version);
+//! * [`lab`] — the active laboratory: smart-plug power cycles, boot
+//!   bursts, fallback retries, the Yi give-up quirk, passthrough;
+//! * [`audit`] — the interception audit with TrafficPassthrough
+//!   (Table 7, §4.2's +20.4% hostnames, the 7/11 sensitive leaks);
+//! * [`downgrade`] — failure-triggered downgrade probing (Table 5)
+//!   and the old-version negotiation scan (Table 6);
+//! * [`rootprobe`] — the novel root-store exploration via TLS alerts
+//!   (Table 4 amenability, Table 9, Figure 4 input);
+//! * [`passive`] — two-year longitudinal analysis (Figures 1–3,
+//!   Table 8, §5.1 statistics, prior-work comparison);
+//! * [`fingerprints`] — the active fingerprint survey (§5.3,
+//!   Figure 5 input);
+//! * [`auditor`] — the §6 recommendations implemented: the vendor
+//!   auditing service and the SPIN-style guardian gateway.
+
+pub mod attacker;
+pub mod audit;
+pub mod auditor;
+pub mod downgrade;
+pub mod fingerprints;
+pub mod lab;
+pub mod party;
+pub mod passive;
+pub mod rootprobe;
+
+pub use attacker::{Attacker, InterceptPolicy, ATTACKER_DOMAIN};
+pub use audit::{
+    run_interception_audit, InterceptionReport, InterceptionRow, SENSITIVE_MARKERS,
+};
+pub use auditor::{
+    grade, grade_client_hello, guardian_verdict, run_audit_service, AuditIssue, DeviceAudit,
+    Grade, GuardianAction, InstanceAudit,
+};
+pub use downgrade::{
+    classify_downgrade, run_downgrade_probe, run_old_version_scan, DowngradeKind, DowngradeRow,
+    OldVersionRow,
+};
+pub use fingerprints::{run_fingerprint_survey, FingerprintSurvey};
+pub use lab::{ActiveLab, ConnectionOutcome, DeviceState};
+pub use party::{label_party, party_version_bias, PartyBiasRow, THIRD_PARTY_DOMAINS};
+pub use passive::{
+    cipher_series, passive_summary, revocation_summary, version_series, version_transitions,
+    CipherMix, PassiveSummary, RevocationSummary, Series, VersionMix, VersionTransition,
+};
+pub use rootprobe::{
+    library_alert_matrix, run_root_probe, LibraryAlertRow, ProbeVerdict, RootProbeReport,
+    RootProbeRow,
+};

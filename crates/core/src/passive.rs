@@ -1,0 +1,482 @@
+//! Passive longitudinal analysis (§5.1, Figures 1–3, Table 8, and
+//! the prior-work comparison).
+//!
+//! Consumes the weighted observation dataset and produces per-device
+//! monthly series plus the summary statistics quoted in the text.
+
+use iotls_capture::{PassiveDataset, RevocationKind};
+use iotls_tls::version::ProtocolVersion;
+use iotls_x509::Month;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Fractions of connections per version class in one month — one cell
+/// column of Figure 1.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct VersionMix {
+    /// Advertised max = TLS 1.3.
+    pub adv_tls13: f64,
+    /// Advertised max = TLS 1.2.
+    pub adv_tls12: f64,
+    /// Advertised max < TLS 1.2.
+    pub adv_older: f64,
+    /// Established TLS 1.3.
+    pub est_tls13: f64,
+    /// Established TLS 1.2.
+    pub est_tls12: f64,
+    /// Established < TLS 1.2.
+    pub est_older: f64,
+}
+
+/// Fractions for Figures 2 and 3 in one month.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct CipherMix {
+    /// Connections advertising at least one insecure suite.
+    pub adv_insecure: f64,
+    /// Connections that established an insecure suite.
+    pub est_insecure: f64,
+    /// Connections advertising forward secrecy.
+    pub adv_strong: f64,
+    /// Connections that established forward secrecy.
+    pub est_strong: f64,
+}
+
+/// Per-device, per-month series.
+pub type Series<T> = BTreeMap<String, BTreeMap<Month, T>>;
+
+/// Builds the Figure 1 series.
+pub fn version_series(ds: &PassiveDataset) -> Series<VersionMix> {
+    let mut acc: Series<(u64, VersionMix)> = BTreeMap::new();
+    for w in &ds.observations {
+        let o = &w.observation;
+        let cell = acc
+            .entry(o.device.clone())
+            .or_default()
+            .entry(o.time.month())
+            .or_insert((0, VersionMix::default()));
+        cell.0 += w.count;
+        let c = w.count as f64;
+        match o.max_advertised {
+            ProtocolVersion::Tls13 => cell.1.adv_tls13 += c,
+            ProtocolVersion::Tls12 => cell.1.adv_tls12 += c,
+            _ => cell.1.adv_older += c,
+        }
+        match o.negotiated_version {
+            Some(ProtocolVersion::Tls13) => cell.1.est_tls13 += c,
+            Some(ProtocolVersion::Tls12) => cell.1.est_tls12 += c,
+            Some(_) => cell.1.est_older += c,
+            None => {}
+        }
+    }
+    normalize(acc, |mix, total| {
+        mix.adv_tls13 /= total;
+        mix.adv_tls12 /= total;
+        mix.adv_older /= total;
+        mix.est_tls13 /= total;
+        mix.est_tls12 /= total;
+        mix.est_older /= total;
+    })
+}
+
+/// Builds the Figures 2–3 series.
+pub fn cipher_series(ds: &PassiveDataset) -> Series<CipherMix> {
+    let mut acc: Series<(u64, CipherMix)> = BTreeMap::new();
+    for w in &ds.observations {
+        let o = &w.observation;
+        let cell = acc
+            .entry(o.device.clone())
+            .or_default()
+            .entry(o.time.month())
+            .or_insert((0, CipherMix::default()));
+        cell.0 += w.count;
+        let c = w.count as f64;
+        if o.advertises_insecure_suite() {
+            cell.1.adv_insecure += c;
+        }
+        if o.negotiated_insecure_suite() {
+            cell.1.est_insecure += c;
+        }
+        if o.advertises_forward_secrecy() {
+            cell.1.adv_strong += c;
+        }
+        if o.negotiated_forward_secrecy() {
+            cell.1.est_strong += c;
+        }
+    }
+    normalize(acc, |mix, total| {
+        mix.adv_insecure /= total;
+        mix.est_insecure /= total;
+        mix.adv_strong /= total;
+        mix.est_strong /= total;
+    })
+}
+
+fn normalize<T: Copy>(
+    acc: Series<(u64, T)>,
+    scale: impl Fn(&mut T, f64),
+) -> Series<T> {
+    acc.into_iter()
+        .map(|(dev, months)| {
+            let months = months
+                .into_iter()
+                .map(|(m, (total, mut mix))| {
+                    if total > 0 {
+                        scale(&mut mix, total as f64);
+                    }
+                    (m, mix)
+                })
+                .collect();
+            (dev, months)
+        })
+        .collect()
+}
+
+/// A detected permanent change in a device's advertised maximum
+/// version (the Fig. 1 upgrade annotations).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct VersionTransition {
+    /// Device name.
+    pub device: String,
+    /// First month of the new behavior.
+    pub month: Month,
+    /// Dominant max version before.
+    pub from: ProtocolVersion,
+    /// Dominant max version after (used exclusively afterwards).
+    pub to: ProtocolVersion,
+}
+
+/// Detects permanent upgrades of the dominant advertised version.
+pub fn version_transitions(ds: &PassiveDataset) -> Vec<VersionTransition> {
+    let mut out = Vec::new();
+    for device in ds.device_names() {
+        // Dominant advertised max per month.
+        let mut months: BTreeMap<Month, BTreeMap<ProtocolVersion, u64>> = BTreeMap::new();
+        for w in ds.device_observations(&device) {
+            *months
+                .entry(w.observation.time.month())
+                .or_default()
+                .entry(w.observation.max_advertised)
+                .or_insert(0) += w.count;
+        }
+        let dominant: Vec<(Month, ProtocolVersion)> = months
+            .iter()
+            .map(|(m, versions)| {
+                let v = versions
+                    .iter()
+                    .max_by_key(|(_, c)| **c)
+                    .map(|(v, _)| *v)
+                    .expect("non-empty month");
+                (*m, v)
+            })
+            .collect();
+        // A transition: dominant version changes upward and never
+        // reverts.
+        for i in 1..dominant.len() {
+            let (month, to) = dominant[i];
+            let (_, from) = dominant[i - 1];
+            if to > from && dominant[i..].iter().all(|(_, v)| *v == to) {
+                out.push(VersionTransition {
+                    device: device.clone(),
+                    month,
+                    from,
+                    to,
+                });
+                break;
+            }
+        }
+    }
+    out
+}
+
+/// The §5.1 headline statistics.
+#[derive(Debug, Clone)]
+pub struct PassiveSummary {
+    /// Devices whose every connection advertised and established
+    /// exactly TLS 1.2.
+    pub tls12_exclusive_devices: Vec<String>,
+    /// Devices that ever advertised or established a non-1.2 version
+    /// (the Fig. 1 rows).
+    pub fig1_devices: Vec<String>,
+    /// NULL/ANON suites ever seen (must be false).
+    pub null_anon_seen: bool,
+    /// Devices that ever advertised an insecure suite.
+    pub devices_advertising_insecure: Vec<String>,
+    /// Devices that ever *established* an insecure suite.
+    pub devices_establishing_insecure: Vec<String>,
+    /// Devices advertising forward secrecy.
+    pub devices_advertising_fs: Vec<String>,
+    /// Devices establishing most connections *without* forward
+    /// secrecy despite the servers' choices.
+    pub devices_mostly_without_fs: Vec<String>,
+    /// Fraction of all connections advertising TLS 1.3 (prior-work
+    /// comparison: ≈17% here vs ≈60% on the web).
+    pub pct_connections_tls13: f64,
+    /// Fraction of all connections advertising RC4 (≈60% here vs
+    /// ≈10% in Kotzias et al.).
+    pub pct_connections_rc4: f64,
+}
+
+/// Computes the §5.1 summary.
+pub fn passive_summary(ds: &PassiveDataset) -> PassiveSummary {
+    let mut tls12_exclusive = Vec::new();
+    let mut fig1 = Vec::new();
+    let mut adv_insecure = Vec::new();
+    let mut est_insecure = Vec::new();
+    let mut adv_fs = Vec::new();
+    let mut mostly_without_fs = Vec::new();
+    let mut null_anon = false;
+    let mut total: u64 = 0;
+    let mut tls13: u64 = 0;
+    let mut rc4: u64 = 0;
+
+    for device in ds.device_names() {
+        let obs = ds.device_observations(&device);
+        let mut only_tls12 = true;
+        let mut dev_adv_insecure = false;
+        let mut dev_est_insecure = false;
+        let mut dev_adv_fs = false;
+        let mut fs_conns: u64 = 0;
+        let mut est_conns: u64 = 0;
+        for w in &obs {
+            let o = &w.observation;
+            total += w.count;
+            if o.advertised_versions.contains(&ProtocolVersion::Tls13) {
+                tls13 += w.count;
+            }
+            if o.offered_suites.iter().any(|s| {
+                iotls_tls::ciphersuite::by_id(*s).is_some_and(|i| {
+                    matches!(
+                        i.cipher,
+                        iotls_tls::BulkCipher::Rc4_40 | iotls_tls::BulkCipher::Rc4_128
+                    )
+                })
+            }) {
+                rc4 += w.count;
+            }
+            if o.max_advertised != ProtocolVersion::Tls12
+                || o.negotiated_version
+                    .is_some_and(|v| v != ProtocolVersion::Tls12)
+            {
+                only_tls12 = false;
+            }
+            if o.offered_suites
+                .iter()
+                .any(|s| iotls_tls::ciphersuite::id_is_null_or_anon(*s))
+            {
+                null_anon = true;
+            }
+            dev_adv_insecure |= o.advertises_insecure_suite();
+            dev_est_insecure |= o.negotiated_insecure_suite();
+            dev_adv_fs |= o.advertises_forward_secrecy();
+            if o.negotiated_suite.is_some() {
+                est_conns += w.count;
+                if o.negotiated_forward_secrecy() {
+                    fs_conns += w.count;
+                }
+            }
+        }
+        if only_tls12 {
+            tls12_exclusive.push(device.clone());
+        } else {
+            fig1.push(device.clone());
+        }
+        if dev_adv_insecure {
+            adv_insecure.push(device.clone());
+        }
+        if dev_est_insecure {
+            est_insecure.push(device.clone());
+        }
+        if dev_adv_fs {
+            adv_fs.push(device.clone());
+        }
+        if est_conns > 0 && fs_conns * 2 < est_conns {
+            mostly_without_fs.push(device.clone());
+        }
+    }
+
+    PassiveSummary {
+        tls12_exclusive_devices: tls12_exclusive,
+        fig1_devices: fig1,
+        null_anon_seen: null_anon,
+        devices_advertising_insecure: adv_insecure,
+        devices_establishing_insecure: est_insecure,
+        devices_advertising_fs: adv_fs,
+        devices_mostly_without_fs: mostly_without_fs,
+        pct_connections_tls13: 100.0 * tls13 as f64 / total.max(1) as f64,
+        pct_connections_rc4: 100.0 * rc4 as f64 / total.max(1) as f64,
+    }
+}
+
+/// Table 8: revocation-method support by device.
+#[derive(Debug, Clone)]
+pub struct RevocationSummary {
+    /// Devices fetching CRLs.
+    pub crl: Vec<String>,
+    /// Devices querying OCSP responders.
+    pub ocsp: Vec<String>,
+    /// Devices requesting OCSP staples in ClientHellos.
+    pub ocsp_stapling: Vec<String>,
+}
+
+impl RevocationSummary {
+    /// Devices exercising no revocation machinery at all.
+    pub fn devices_without_any(&self, all_devices: &[String]) -> Vec<String> {
+        let covered: BTreeSet<&String> = self
+            .crl
+            .iter()
+            .chain(&self.ocsp)
+            .chain(&self.ocsp_stapling)
+            .collect();
+        all_devices
+            .iter()
+            .filter(|d| !covered.contains(d))
+            .cloned()
+            .collect()
+    }
+}
+
+/// Computes Table 8 from passive data: CRL/OCSP from revocation
+/// endpoint flows, stapling from `status_request` in ClientHellos.
+pub fn revocation_summary(ds: &PassiveDataset) -> RevocationSummary {
+    let mut crl = BTreeSet::new();
+    let mut ocsp = BTreeSet::new();
+    for f in &ds.revocation_flows {
+        match f.kind {
+            RevocationKind::CrlFetch => crl.insert(f.device.clone()),
+            RevocationKind::OcspQuery => ocsp.insert(f.device.clone()),
+        };
+    }
+    let mut stapling = BTreeSet::new();
+    for w in &ds.observations {
+        if w.observation.requested_ocsp {
+            stapling.insert(w.observation.device.clone());
+        }
+    }
+    RevocationSummary {
+        crl: crl.into_iter().collect(),
+        ocsp: ocsp.into_iter().collect(),
+        ocsp_stapling: stapling.into_iter().collect(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use iotls_capture::global_dataset;
+    use std::sync::OnceLock;
+
+    fn summary() -> &'static PassiveSummary {
+        static S: OnceLock<PassiveSummary> = OnceLock::new();
+        S.get_or_init(|| passive_summary(global_dataset()))
+    }
+
+    #[test]
+    fn twenty_eight_tls12_exclusive_devices() {
+        let s = summary();
+        assert_eq!(
+            s.tls12_exclusive_devices.len(),
+            28,
+            "{:?}",
+            s.fig1_devices
+        );
+        assert_eq!(s.fig1_devices.len(), 12);
+    }
+
+    #[test]
+    fn null_anon_never_seen() {
+        assert!(!summary().null_anon_seen);
+    }
+
+    #[test]
+    fn thirty_four_devices_advertise_insecure_suites() {
+        let s = summary();
+        assert_eq!(s.devices_advertising_insecure.len(), 34);
+    }
+
+    #[test]
+    fn only_wink_and_lg_establish_insecure_suites() {
+        let s = summary();
+        assert_eq!(
+            s.devices_establishing_insecure,
+            vec!["LG TV".to_string(), "Wink Hub 2".to_string()]
+        );
+    }
+
+    #[test]
+    fn thirty_three_devices_advertise_forward_secrecy() {
+        assert_eq!(summary().devices_advertising_fs.len(), 33);
+    }
+
+    #[test]
+    fn many_devices_mostly_lack_forward_secrecy() {
+        // §5.1: 22 devices establish most connections without PFS.
+        let n = summary().devices_mostly_without_fs.len();
+        assert!((18..=26).contains(&n), "{n}");
+    }
+
+    #[test]
+    fn prior_work_comparison_shape() {
+        let s = summary();
+        assert!(
+            (8.0..=30.0).contains(&s.pct_connections_tls13),
+            "TLS 1.3 share {:.1}% should sit near the paper's ≈17%",
+            s.pct_connections_tls13
+        );
+        assert!(
+            (40.0..=75.0).contains(&s.pct_connections_rc4),
+            "RC4 share {:.1}% should sit near the paper's ≈60%",
+            s.pct_connections_rc4
+        );
+    }
+
+    #[test]
+    fn transitions_include_the_three_upgrades() {
+        let transitions = version_transitions(global_dataset());
+        let find = |d: &str| transitions.iter().find(|t| t.device == d);
+        let ghm = find("Google Home Mini").expect("GHM transition");
+        assert_eq!(ghm.month, Month::new(2019, 5));
+        assert_eq!(ghm.to, ProtocolVersion::Tls13);
+        let atv = find("Apple TV").expect("Apple TV transition");
+        assert_eq!(atv.month, Month::new(2019, 5));
+        assert_eq!(atv.to, ProtocolVersion::Tls13);
+        let blink = find("Blink Hub").expect("Blink Hub transition");
+        assert_eq!(blink.month, Month::new(2018, 7));
+        assert_eq!(blink.to, ProtocolVersion::Tls12);
+    }
+
+    #[test]
+    fn wemo_always_older_in_version_series() {
+        let series = version_series(global_dataset());
+        let wemo = &series["Wemo Plug"];
+        for (month, mix) in wemo {
+            assert!(
+                (mix.adv_older - 1.0).abs() < 1e-9,
+                "{month}: {mix:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn blink_hub_cipher_cleanup_visible_in_series() {
+        let series = cipher_series(global_dataset());
+        let blink = &series["Blink Hub"];
+        assert!(blink[&Month::new(2019, 4)].adv_insecure > 0.9);
+        assert!(blink[&Month::new(2019, 6)].adv_insecure < 0.1);
+        // PFS adoption 10/2019.
+        assert!(blink[&Month::new(2019, 9)].est_strong < 0.1);
+        assert!(blink[&Month::new(2019, 11)].est_strong > 0.9);
+    }
+
+    #[test]
+    fn revocation_summary_matches_table8() {
+        let r = revocation_summary(global_dataset());
+        assert_eq!(r.crl, vec!["Samsung TV".to_string()]);
+        assert_eq!(r.ocsp.len(), 3);
+        assert!(r.ocsp.contains(&"Apple TV".to_string()));
+        assert!(r.ocsp.contains(&"Apple HomePod".to_string()));
+        assert!(r.ocsp.contains(&"Samsung TV".to_string()));
+        assert_eq!(r.ocsp_stapling.len(), 12, "{:?}", r.ocsp_stapling);
+        // 28 devices never exercise any mechanism.
+        let all = global_dataset().device_names();
+        assert_eq!(r.devices_without_any(&all).len(), 28);
+    }
+}

@@ -1,0 +1,405 @@
+//! Root-store exploration via the TLS *Alert Message* side channel —
+//! the paper's novel technique (§4.2, Tables 4 & 9, Figure 4).
+//!
+//! The probe intercepts one boot connection per reboot and presents a
+//! *spoofed CA* chain: subject, issuer, and serial match a real root
+//! certificate, but the signature comes from the attacker's key. A
+//! client that trusts the spoofed name fails with a *signature* error
+//! (`decrypt_error` / `bad_certificate`), while one that does not
+//! fails with `unknown_ca` — if the device's TLS library sends
+//! distinguishable alerts at all (Table 4). Everything here observes
+//! the wire only; ground-truth store contents are never read.
+
+use crate::attacker::InterceptPolicy;
+use crate::lab::ActiveLab;
+use iotls_devices::{canonical_probe_order, DeviceSetup, Testbed};
+use iotls_rootstore::CaId;
+use iotls_tls::alert::AlertDescription;
+use iotls_tls::profile::LibraryProfile;
+use iotls_x509::ValidationError;
+use std::collections::BTreeMap;
+
+/// Verdict of one spoofed-CA probe.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ProbeVerdict {
+    /// The CA is in the device's root store.
+    Present,
+    /// The CA is not in the store.
+    Absent,
+    /// The device produced no usable traffic for this probe.
+    Inconclusive,
+}
+
+/// One device's Table 9 row plus the per-certificate verdicts.
+#[derive(Debug, Clone)]
+pub struct RootProbeRow {
+    /// Device name.
+    pub device: String,
+    /// Whether the device's alerts distinguish the two failures.
+    pub amenable: bool,
+    /// Verdicts for the common probe set.
+    pub common: BTreeMap<CaId, ProbeVerdict>,
+    /// Verdicts for the deprecated probe set.
+    pub deprecated: BTreeMap<CaId, ProbeVerdict>,
+}
+
+impl RootProbeRow {
+    fn count(set: &BTreeMap<CaId, ProbeVerdict>, v: ProbeVerdict) -> usize {
+        set.values().filter(|x| **x == v).count()
+    }
+
+    /// (present, conclusive) for the common set — Table 9 column 2.
+    pub fn common_ratio(&self) -> (usize, usize) {
+        let present = Self::count(&self.common, ProbeVerdict::Present);
+        let inconclusive = Self::count(&self.common, ProbeVerdict::Inconclusive);
+        (present, self.common.len() - inconclusive)
+    }
+
+    /// (present, conclusive) for the deprecated set — column 3.
+    pub fn deprecated_ratio(&self) -> (usize, usize) {
+        let present = Self::count(&self.deprecated, ProbeVerdict::Present);
+        let inconclusive = Self::count(&self.deprecated, ProbeVerdict::Inconclusive);
+        (present, self.deprecated.len() - inconclusive)
+    }
+
+    /// Deprecated CAs found present (Figure 4's input).
+    pub fn deprecated_present_ids(&self) -> Vec<CaId> {
+        self.deprecated
+            .iter()
+            .filter(|(_, v)| **v == ProbeVerdict::Present)
+            .map(|(id, _)| *id)
+            .collect()
+    }
+}
+
+/// Full probe report.
+#[derive(Debug)]
+pub struct RootProbeReport {
+    /// Devices excluded as unsafe to reboot.
+    pub excluded_reboot_unsafe: Vec<String>,
+    /// Devices excluded for never validating certificates.
+    pub excluded_no_validation: Vec<String>,
+    /// Probed devices (amenable and not).
+    pub rows: Vec<RootProbeRow>,
+}
+
+impl RootProbeReport {
+    /// The amenable rows — what Table 9 prints.
+    pub fn amenable_rows(&self) -> Vec<&RootProbeRow> {
+        self.rows.iter().filter(|r| r.amenable).collect()
+    }
+
+    /// Row by device name.
+    pub fn row(&self, device: &str) -> Option<&RootProbeRow> {
+        self.rows.iter().find(|r| r.device == device)
+    }
+}
+
+/// Intercepts only the device's *first* boot connection under
+/// `policy`, returning the alert the client sent (or `None` for no
+/// traffic / no alert — the caller distinguishes via `Option<Option>`:
+/// outer None = no traffic this boot).
+fn probe_once(
+    lab: &mut ActiveLab<'_>,
+    device: &DeviceSetup,
+    policy: &InterceptPolicy,
+) -> Option<Option<AlertDescription>> {
+    if !lab.power_cycle(device) {
+        return None; // flaky boot: no traffic at all
+    }
+    let first = device.spec.boot_destinations().first().cloned()?.clone();
+    let outcome = lab.connect(device, &first, Some(policy));
+    let alert = outcome
+        .result
+        .observation
+        .as_ref()
+        .and_then(|o| o.alerts_from_client.first().copied());
+    Some(alert)
+}
+
+/// Repeats `probe_once` across flaky boots up to `tries` times.
+fn probe_retrying(
+    lab: &mut ActiveLab<'_>,
+    device: &DeviceSetup,
+    policy: &InterceptPolicy,
+    tries: u32,
+) -> Option<Option<AlertDescription>> {
+    for _ in 0..tries {
+        if let Some(alert) = probe_once(lab, device, policy) {
+            return Some(alert);
+        }
+    }
+    None
+}
+
+/// Runs the full root-store exploration over the testbed.
+pub fn run_root_probe(testbed: &Testbed, seed: u64) -> RootProbeReport {
+    let order = canonical_probe_order(testbed.pki);
+    let common_len = testbed.pki.common.len();
+    let mut excluded_reboot_unsafe = Vec::new();
+    let mut excluded_no_validation = Vec::new();
+    let mut rows = Vec::new();
+
+    for device in testbed.devices.iter().filter(|d| d.spec.in_active) {
+        if !device.spec.reboot_safe {
+            excluded_reboot_unsafe.push(device.spec.name.clone());
+            continue;
+        }
+
+        // Screening: a device whose connections can be terminated with
+        // a bare self-signed certificate never validates — excluded,
+        // as in §5.2. (Repeated attempts also catch the Yi quirk.)
+        {
+            let mut lab = ActiveLab::new(testbed, seed ^ 0x5C4EE4);
+            let mut never_validates = false;
+            for _ in 0..5 {
+                let dev = lab.testbed.device(&device.spec.name);
+                if let Some(first) = dev.spec.boot_destinations().first() {
+                    let dest = (*first).clone();
+                    let out = lab.connect(dev, &dest, Some(&InterceptPolicy::SelfSigned));
+                    if out.result.established {
+                        never_validates = true;
+                        break;
+                    }
+                }
+            }
+            if never_validates {
+                excluded_no_validation.push(device.spec.name.clone());
+                continue;
+            }
+        }
+
+        // Amenability: does a known-trusted spoof alert differently
+        // from an unknown CA? The "popular web CA" (first common cert)
+        // is the natural known-trusted candidate.
+        let baseline;
+        let known;
+        {
+            let mut lab = ActiveLab::new(testbed, seed ^ 0xA3E4AB);
+            baseline = probe_retrying(&mut lab, device, &InterceptPolicy::SelfSigned, 8)
+                .flatten();
+            let popular = testbed.pki.universe.get(testbed.pki.common[0]).cert.clone();
+            known = probe_retrying(
+                &mut lab,
+                device,
+                &InterceptPolicy::SpoofedCa(Box::new(popular)),
+                8,
+            )
+            .flatten();
+        }
+        let amenable = match (baseline, known) {
+            (Some(b), Some(k)) => b != k,
+            _ => false,
+        };
+
+        let mut row = RootProbeRow {
+            device: device.spec.name.clone(),
+            amenable,
+            common: BTreeMap::new(),
+            deprecated: BTreeMap::new(),
+        };
+
+        if amenable {
+            let unknown_alert = baseline.expect("amenable implies baseline alert");
+            // Fresh lab so probe boot k aligns with the device's boot
+            // schedule for cert k.
+            let mut lab = ActiveLab::new(testbed, seed ^ 0x9420BE);
+            for (idx, ca_id) in order.iter().enumerate() {
+                let target = testbed.pki.universe.get(*ca_id).cert.clone();
+                let observed =
+                    probe_once(&mut lab, device, &InterceptPolicy::SpoofedCa(Box::new(target)));
+                let verdict = match observed {
+                    None => ProbeVerdict::Inconclusive,
+                    Some(None) => ProbeVerdict::Inconclusive,
+                    Some(Some(alert)) => {
+                        if alert == unknown_alert {
+                            ProbeVerdict::Absent
+                        } else {
+                            ProbeVerdict::Present
+                        }
+                    }
+                };
+                if idx < common_len {
+                    row.common.insert(*ca_id, verdict);
+                } else {
+                    row.deprecated.insert(*ca_id, verdict);
+                }
+            }
+        }
+
+        rows.push(row);
+    }
+
+    RootProbeReport {
+        excluded_reboot_unsafe,
+        excluded_no_validation,
+        rows,
+    }
+}
+
+/// One Table 4 row: a library's alerts for the two failure classes.
+#[derive(Debug, Clone)]
+pub struct LibraryAlertRow {
+    /// The library.
+    pub library: LibraryProfile,
+    /// Alert for a known CA with an invalid signature.
+    pub known_ca_bad_signature: Option<AlertDescription>,
+    /// Alert for an unknown CA.
+    pub unknown_ca: Option<AlertDescription>,
+}
+
+impl LibraryAlertRow {
+    /// The Table 4 amenability criterion.
+    pub fn amenable(&self) -> bool {
+        match (self.known_ca_bad_signature, self.unknown_ca) {
+            (Some(a), Some(b)) => a != b,
+            _ => false,
+        }
+    }
+}
+
+/// Regenerates Table 4 by exercising each library profile's observable
+/// alert behavior for the two validation failures.
+pub fn library_alert_matrix() -> Vec<LibraryAlertRow> {
+    LibraryProfile::ALL
+        .iter()
+        .map(|&library| LibraryAlertRow {
+            library,
+            known_ca_bad_signature: library.alert_for(ValidationError::BadSignature),
+            unknown_ca: library.alert_for(ValidationError::UnknownIssuer),
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::OnceLock;
+
+    fn report() -> &'static RootProbeReport {
+        static R: OnceLock<RootProbeReport> = OnceLock::new();
+        R.get_or_init(|| run_root_probe(Testbed::global(), 0x6007))
+    }
+
+    #[test]
+    fn probed_population_and_exclusions() {
+        let r = report();
+        assert_eq!(r.excluded_reboot_unsafe.len(), 4, "{:?}", r.excluded_reboot_unsafe);
+        assert_eq!(r.excluded_no_validation.len(), 4, "{:?}", r.excluded_no_validation);
+        assert_eq!(r.rows.len(), 24);
+    }
+
+    #[test]
+    fn eight_devices_amenable() {
+        let names: Vec<&str> = report()
+            .amenable_rows()
+            .iter()
+            .map(|r| r.device.as_str())
+            .collect();
+        assert_eq!(names.len(), 8, "{names:?}");
+        for expected in [
+            "Google Home Mini",
+            "Amazon Echo Plus",
+            "Amazon Echo Dot",
+            "Amazon Echo Dot 3",
+            "Wink Hub 2",
+            "Roku TV",
+            "LG TV",
+            "Harman Invoke",
+        ] {
+            assert!(names.contains(&expected), "{expected} missing");
+        }
+    }
+
+    #[test]
+    fn table9_ratios_match_paper() {
+        let expect = [
+            ("Google Home Mini", (119, 119), (4, 71)),
+            ("Amazon Echo Plus", (103, 105), (13, 72)),
+            ("Amazon Echo Dot", (117, 119), (14, 72)),
+            ("Amazon Echo Dot 3", (86, 96), (17, 72)),
+            ("Wink Hub 2", (109, 119), (27, 72)),
+            ("Roku TV", (96, 106), (33, 81)),
+            ("LG TV", (96, 103), (48, 82)),
+            ("Harman Invoke", (67, 82), (41, 70)),
+        ];
+        for (name, common, deprecated) in expect {
+            let row = report().row(name).unwrap();
+            assert_eq!(row.common_ratio(), common, "{name} common");
+            assert_eq!(row.deprecated_ratio(), deprecated, "{name} deprecated");
+        }
+    }
+
+    #[test]
+    fn measured_verdicts_match_ground_truth() {
+        // The blackbox probe must agree with the hidden store on every
+        // conclusive verdict.
+        let tb = Testbed::global();
+        for row in report().amenable_rows() {
+            let truth = &tb.device(&row.device).truth;
+            for (id, verdict) in row.common.iter().chain(row.deprecated.iter()) {
+                match verdict {
+                    ProbeVerdict::Present => {
+                        let in_store = truth.common_present.contains(id)
+                            || truth.deprecated_present.contains(id);
+                        assert!(in_store, "{}: {:?} false positive", row.device, id);
+                    }
+                    ProbeVerdict::Absent => {
+                        let in_store = truth.common_present.contains(id)
+                            || truth.deprecated_present.contains(id);
+                        assert!(!in_store, "{}: {:?} false negative", row.device, id);
+                    }
+                    ProbeVerdict::Inconclusive => {}
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn all_amenable_devices_trust_a_distrusted_ca() {
+        let tb = Testbed::global();
+        let distrusted: std::collections::BTreeSet<CaId> =
+            tb.pki.universe.distrusted_ids().into_iter().collect();
+        for row in report().amenable_rows() {
+            let present = row.deprecated_present_ids();
+            assert!(
+                present.iter().any(|id| distrusted.contains(id)),
+                "{} trusts no distrusted CA",
+                row.device
+            );
+        }
+    }
+
+    #[test]
+    fn non_amenable_devices_have_no_verdicts() {
+        for row in &report().rows {
+            if !row.amenable {
+                assert!(row.common.is_empty() && row.deprecated.is_empty());
+            }
+        }
+    }
+
+    #[test]
+    fn table4_matrix_matches_paper() {
+        let matrix = library_alert_matrix();
+        assert_eq!(matrix.len(), 6);
+        let amenable: Vec<LibraryProfile> = matrix
+            .iter()
+            .filter(|r| r.amenable())
+            .map(|r| r.library)
+            .collect();
+        assert_eq!(
+            amenable,
+            vec![LibraryProfile::MbedTls, LibraryProfile::OpenSsl]
+        );
+        let openssl = matrix
+            .iter()
+            .find(|r| r.library == LibraryProfile::OpenSsl)
+            .unwrap();
+        assert_eq!(
+            openssl.known_ca_bad_signature,
+            Some(AlertDescription::DecryptError)
+        );
+        assert_eq!(openssl.unknown_ca, Some(AlertDescription::UnknownCa));
+    }
+}

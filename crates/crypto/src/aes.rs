@@ -1,0 +1,252 @@
+//! AES-128 (FIPS 197) and CTR mode (NIST SP 800-38A), from scratch.
+//!
+//! Backs record protection for the AES-class ciphersuites in the
+//! simulated TLS stack (GCM's authentication tag is out of scope for
+//! the measurement study — see DESIGN.md §2 — but the keystream is
+//! real AES).
+
+const SBOX: [u8; 256] = [
+    0x63, 0x7c, 0x77, 0x7b, 0xf2, 0x6b, 0x6f, 0xc5, 0x30, 0x01, 0x67, 0x2b, 0xfe, 0xd7, 0xab,
+    0x76, 0xca, 0x82, 0xc9, 0x7d, 0xfa, 0x59, 0x47, 0xf0, 0xad, 0xd4, 0xa2, 0xaf, 0x9c, 0xa4,
+    0x72, 0xc0, 0xb7, 0xfd, 0x93, 0x26, 0x36, 0x3f, 0xf7, 0xcc, 0x34, 0xa5, 0xe5, 0xf1, 0x71,
+    0xd8, 0x31, 0x15, 0x04, 0xc7, 0x23, 0xc3, 0x18, 0x96, 0x05, 0x9a, 0x07, 0x12, 0x80, 0xe2,
+    0xeb, 0x27, 0xb2, 0x75, 0x09, 0x83, 0x2c, 0x1a, 0x1b, 0x6e, 0x5a, 0xa0, 0x52, 0x3b, 0xd6,
+    0xb3, 0x29, 0xe3, 0x2f, 0x84, 0x53, 0xd1, 0x00, 0xed, 0x20, 0xfc, 0xb1, 0x5b, 0x6a, 0xcb,
+    0xbe, 0x39, 0x4a, 0x4c, 0x58, 0xcf, 0xd0, 0xef, 0xaa, 0xfb, 0x43, 0x4d, 0x33, 0x85, 0x45,
+    0xf9, 0x02, 0x7f, 0x50, 0x3c, 0x9f, 0xa8, 0x51, 0xa3, 0x40, 0x8f, 0x92, 0x9d, 0x38, 0xf5,
+    0xbc, 0xb6, 0xda, 0x21, 0x10, 0xff, 0xf3, 0xd2, 0xcd, 0x0c, 0x13, 0xec, 0x5f, 0x97, 0x44,
+    0x17, 0xc4, 0xa7, 0x7e, 0x3d, 0x64, 0x5d, 0x19, 0x73, 0x60, 0x81, 0x4f, 0xdc, 0x22, 0x2a,
+    0x90, 0x88, 0x46, 0xee, 0xb8, 0x14, 0xde, 0x5e, 0x0b, 0xdb, 0xe0, 0x32, 0x3a, 0x0a, 0x49,
+    0x06, 0x24, 0x5c, 0xc2, 0xd3, 0xac, 0x62, 0x91, 0x95, 0xe4, 0x79, 0xe7, 0xc8, 0x37, 0x6d,
+    0x8d, 0xd5, 0x4e, 0xa9, 0x6c, 0x56, 0xf4, 0xea, 0x65, 0x7a, 0xae, 0x08, 0xba, 0x78, 0x25,
+    0x2e, 0x1c, 0xa6, 0xb4, 0xc6, 0xe8, 0xdd, 0x74, 0x1f, 0x4b, 0xbd, 0x8b, 0x8a, 0x70, 0x3e,
+    0xb5, 0x66, 0x48, 0x03, 0xf6, 0x0e, 0x61, 0x35, 0x57, 0xb9, 0x86, 0xc1, 0x1d, 0x9e, 0xe1,
+    0xf8, 0x98, 0x11, 0x69, 0xd9, 0x8e, 0x94, 0x9b, 0x1e, 0x87, 0xe9, 0xce, 0x55, 0x28, 0xdf,
+    0x8c, 0xa1, 0x89, 0x0d, 0xbf, 0xe6, 0x42, 0x68, 0x41, 0x99, 0x2d, 0x0f, 0xb0, 0x54, 0xbb,
+    0x16,
+];
+
+const RCON: [u8; 10] = [0x01, 0x02, 0x04, 0x08, 0x10, 0x20, 0x40, 0x80, 0x1b, 0x36];
+
+fn xtime(b: u8) -> u8 {
+    (b << 1) ^ (((b >> 7) & 1) * 0x1b)
+}
+
+/// AES-128 block cipher with a precomputed key schedule.
+pub struct Aes128 {
+    round_keys: [[u8; 16]; 11],
+}
+
+impl Aes128 {
+    /// Expands a 128-bit key.
+    pub fn new(key: &[u8; 16]) -> Aes128 {
+        let mut w = [[0u8; 4]; 44];
+        for i in 0..4 {
+            w[i].copy_from_slice(&key[i * 4..i * 4 + 4]);
+        }
+        for i in 4..44 {
+            let mut temp = w[i - 1];
+            if i % 4 == 0 {
+                temp.rotate_left(1);
+                for b in &mut temp {
+                    *b = SBOX[*b as usize];
+                }
+                temp[0] ^= RCON[i / 4 - 1];
+            }
+            for j in 0..4 {
+                w[i][j] = w[i - 4][j] ^ temp[j];
+            }
+        }
+        let mut round_keys = [[0u8; 16]; 11];
+        for r in 0..11 {
+            for c in 0..4 {
+                round_keys[r][c * 4..c * 4 + 4].copy_from_slice(&w[r * 4 + c]);
+            }
+        }
+        Aes128 { round_keys }
+    }
+
+    fn add_round_key(state: &mut [u8; 16], rk: &[u8; 16]) {
+        for i in 0..16 {
+            state[i] ^= rk[i];
+        }
+    }
+
+    fn sub_bytes(state: &mut [u8; 16]) {
+        for b in state.iter_mut() {
+            *b = SBOX[*b as usize];
+        }
+    }
+
+    fn shift_rows(state: &mut [u8; 16]) {
+        // Column-major state: byte (row r, col c) at index c*4 + r.
+        let s = *state;
+        for r in 1..4 {
+            for c in 0..4 {
+                state[c * 4 + r] = s[((c + r) % 4) * 4 + r];
+            }
+        }
+    }
+
+    fn mix_columns(state: &mut [u8; 16]) {
+        for c in 0..4 {
+            let col = [
+                state[c * 4],
+                state[c * 4 + 1],
+                state[c * 4 + 2],
+                state[c * 4 + 3],
+            ];
+            state[c * 4] = xtime(col[0]) ^ (xtime(col[1]) ^ col[1]) ^ col[2] ^ col[3];
+            state[c * 4 + 1] = col[0] ^ xtime(col[1]) ^ (xtime(col[2]) ^ col[2]) ^ col[3];
+            state[c * 4 + 2] = col[0] ^ col[1] ^ xtime(col[2]) ^ (xtime(col[3]) ^ col[3]);
+            state[c * 4 + 3] = (xtime(col[0]) ^ col[0]) ^ col[1] ^ col[2] ^ xtime(col[3]);
+        }
+    }
+
+    /// Encrypts one 16-byte block.
+    pub fn encrypt_block(&self, block: &[u8; 16]) -> [u8; 16] {
+        let mut state = *block;
+        Self::add_round_key(&mut state, &self.round_keys[0]);
+        for round in 1..10 {
+            Self::sub_bytes(&mut state);
+            Self::shift_rows(&mut state);
+            Self::mix_columns(&mut state);
+            Self::add_round_key(&mut state, &self.round_keys[round]);
+        }
+        Self::sub_bytes(&mut state);
+        Self::shift_rows(&mut state);
+        Self::add_round_key(&mut state, &self.round_keys[10]);
+        state
+    }
+}
+
+/// AES-128 in CTR mode: a stream cipher (encrypt == decrypt).
+pub struct Aes128Ctr {
+    cipher: Aes128,
+    counter: [u8; 16],
+    keystream: [u8; 16],
+    used: usize,
+}
+
+impl Aes128Ctr {
+    /// Initializes with a key and a 16-byte initial counter block.
+    pub fn new(key: &[u8; 16], iv: &[u8; 16]) -> Aes128Ctr {
+        Aes128Ctr {
+            cipher: Aes128::new(key),
+            counter: *iv,
+            keystream: [0; 16],
+            used: 16,
+        }
+    }
+
+    fn refill(&mut self) {
+        self.keystream = self.cipher.encrypt_block(&self.counter);
+        // Big-endian counter increment over the whole block.
+        for i in (0..16).rev() {
+            self.counter[i] = self.counter[i].wrapping_add(1);
+            if self.counter[i] != 0 {
+                break;
+            }
+        }
+        self.used = 0;
+    }
+
+    /// XORs the keystream into `buf` in place.
+    pub fn apply(&mut self, buf: &mut [u8]) {
+        for byte in buf {
+            if self.used == 16 {
+                self.refill();
+            }
+            *byte ^= self.keystream[self.used];
+            self.used += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sha256::hex;
+
+    /// FIPS 197 Appendix C.1.
+    #[test]
+    fn fips197_block_vector() {
+        let key: [u8; 16] = core::array::from_fn(|i| i as u8);
+        let pt: [u8; 16] = core::array::from_fn(|i| (i as u8) << 4 | i as u8);
+        let aes = Aes128::new(&key);
+        assert_eq!(
+            hex(&aes.encrypt_block(&pt)),
+            "69c4e0d86a7b0430d8cdb78070b4c55a"
+        );
+    }
+
+    /// FIPS 197 Appendix B.
+    #[test]
+    fn fips197_appendix_b() {
+        let key = [
+            0x2b, 0x7e, 0x15, 0x16, 0x28, 0xae, 0xd2, 0xa6, 0xab, 0xf7, 0x15, 0x88, 0x09, 0xcf,
+            0x4f, 0x3c,
+        ];
+        let pt = [
+            0x32, 0x43, 0xf6, 0xa8, 0x88, 0x5a, 0x30, 0x8d, 0x31, 0x31, 0x98, 0xa2, 0xe0, 0x37,
+            0x07, 0x34,
+        ];
+        assert_eq!(
+            hex(&Aes128::new(&key).encrypt_block(&pt)),
+            "3925841d02dc09fbdc118597196a0b32"
+        );
+    }
+
+    /// NIST SP 800-38A F.5.1 (AES-128 CTR).
+    #[test]
+    fn sp800_38a_ctr_vector() {
+        let key = [
+            0x2b, 0x7e, 0x15, 0x16, 0x28, 0xae, 0xd2, 0xa6, 0xab, 0xf7, 0x15, 0x88, 0x09, 0xcf,
+            0x4f, 0x3c,
+        ];
+        let iv = [
+            0xf0, 0xf1, 0xf2, 0xf3, 0xf4, 0xf5, 0xf6, 0xf7, 0xf8, 0xf9, 0xfa, 0xfb, 0xfc, 0xfd,
+            0xfe, 0xff,
+        ];
+        let mut data = [
+            0x6b, 0xc1, 0xbe, 0xe2, 0x2e, 0x40, 0x9f, 0x96, 0xe9, 0x3d, 0x7e, 0x11, 0x73, 0x93,
+            0x17, 0x2a, 0xae, 0x2d, 0x8a, 0x57, 0x1e, 0x03, 0xac, 0x9c, 0x9e, 0xb7, 0x6f, 0xac,
+            0x45, 0xaf, 0x8e, 0x51,
+        ];
+        let mut ctr = Aes128Ctr::new(&key, &iv);
+        ctr.apply(&mut data);
+        assert_eq!(
+            hex(&data),
+            "874d6191b620e3261bef6864990db6ce9806f66b7970fdff8617187bb9fffdff"
+        );
+    }
+
+    #[test]
+    fn ctr_roundtrip_and_streaming() {
+        let key = [7u8; 16];
+        let iv = [9u8; 16];
+        let msg: Vec<u8> = (0..100).collect();
+        let mut oneshot = msg.clone();
+        Aes128Ctr::new(&key, &iv).apply(&mut oneshot);
+        let mut streamed = msg.clone();
+        let mut c = Aes128Ctr::new(&key, &iv);
+        for chunk in streamed.chunks_mut(7) {
+            c.apply(chunk);
+        }
+        assert_eq!(oneshot, streamed);
+        let mut back = oneshot;
+        Aes128Ctr::new(&key, &iv).apply(&mut back);
+        assert_eq!(back, msg);
+    }
+
+    #[test]
+    fn counter_overflow_wraps() {
+        let key = [1u8; 16];
+        let iv = [0xffu8; 16];
+        let mut c = Aes128Ctr::new(&key, &iv);
+        let mut data = [0u8; 48]; // forces two counter increments past wrap
+        c.apply(&mut data);
+        // Deterministic, and distinct blocks.
+        assert_ne!(data[0..16], data[16..32]);
+    }
+}

@@ -1,0 +1,306 @@
+//! DES and Triple-DES (FIPS 46-3), from scratch.
+//!
+//! DES is a 1977 design that the paper's *insecure* ciphersuite class
+//! (DES, 3DES, RC4, EXPORT) demands be retired; it is implemented
+//! here because two devices in the study (Wink Hub 2, LG TV) really
+//! *establish* 3DES connections, and the reproduction runs them with
+//! the real cipher. Record protection uses OFB mode (a FIPS 81 mode
+//! whose keystream makes encryption and decryption identical).
+
+const IP: [u8; 64] = [
+    58, 50, 42, 34, 26, 18, 10, 2, 60, 52, 44, 36, 28, 20, 12, 4, 62, 54, 46, 38, 30, 22, 14, 6,
+    64, 56, 48, 40, 32, 24, 16, 8, 57, 49, 41, 33, 25, 17, 9, 1, 59, 51, 43, 35, 27, 19, 11, 3,
+    61, 53, 45, 37, 29, 21, 13, 5, 63, 55, 47, 39, 31, 23, 15, 7,
+];
+
+const FP: [u8; 64] = [
+    40, 8, 48, 16, 56, 24, 64, 32, 39, 7, 47, 15, 55, 23, 63, 31, 38, 6, 46, 14, 54, 22, 62, 30,
+    37, 5, 45, 13, 53, 21, 61, 29, 36, 4, 44, 12, 52, 20, 60, 28, 35, 3, 43, 11, 51, 19, 59, 27,
+    34, 2, 42, 10, 50, 18, 58, 26, 33, 1, 41, 9, 49, 17, 57, 25,
+];
+
+const E: [u8; 48] = [
+    32, 1, 2, 3, 4, 5, 4, 5, 6, 7, 8, 9, 8, 9, 10, 11, 12, 13, 12, 13, 14, 15, 16, 17, 16, 17,
+    18, 19, 20, 21, 20, 21, 22, 23, 24, 25, 24, 25, 26, 27, 28, 29, 28, 29, 30, 31, 32, 1,
+];
+
+const P: [u8; 32] = [
+    16, 7, 20, 21, 29, 12, 28, 17, 1, 15, 23, 26, 5, 18, 31, 10, 2, 8, 24, 14, 32, 27, 3, 9, 19,
+    13, 30, 6, 22, 11, 4, 25,
+];
+
+const PC1: [u8; 56] = [
+    57, 49, 41, 33, 25, 17, 9, 1, 58, 50, 42, 34, 26, 18, 10, 2, 59, 51, 43, 35, 27, 19, 11, 3,
+    60, 52, 44, 36, 63, 55, 47, 39, 31, 23, 15, 7, 62, 54, 46, 38, 30, 22, 14, 6, 61, 53, 45, 37,
+    29, 21, 13, 5, 28, 20, 12, 4,
+];
+
+const PC2: [u8; 48] = [
+    14, 17, 11, 24, 1, 5, 3, 28, 15, 6, 21, 10, 23, 19, 12, 4, 26, 8, 16, 7, 27, 20, 13, 2, 41,
+    52, 31, 37, 47, 55, 30, 40, 51, 45, 33, 48, 44, 49, 39, 56, 34, 53, 46, 42, 50, 36, 29, 32,
+];
+
+const SHIFTS: [u8; 16] = [1, 1, 2, 2, 2, 2, 2, 2, 1, 2, 2, 2, 2, 2, 2, 1];
+
+const SBOX: [[u8; 64]; 8] = [
+    [
+        14, 4, 13, 1, 2, 15, 11, 8, 3, 10, 6, 12, 5, 9, 0, 7, 0, 15, 7, 4, 14, 2, 13, 1, 10, 6,
+        12, 11, 9, 5, 3, 8, 4, 1, 14, 8, 13, 6, 2, 11, 15, 12, 9, 7, 3, 10, 5, 0, 15, 12, 8, 2,
+        4, 9, 1, 7, 5, 11, 3, 14, 10, 0, 6, 13,
+    ],
+    [
+        15, 1, 8, 14, 6, 11, 3, 4, 9, 7, 2, 13, 12, 0, 5, 10, 3, 13, 4, 7, 15, 2, 8, 14, 12, 0,
+        1, 10, 6, 9, 11, 5, 0, 14, 7, 11, 10, 4, 13, 1, 5, 8, 12, 6, 9, 3, 2, 15, 13, 8, 10, 1,
+        3, 15, 4, 2, 11, 6, 7, 12, 0, 5, 14, 9,
+    ],
+    [
+        10, 0, 9, 14, 6, 3, 15, 5, 1, 13, 12, 7, 11, 4, 2, 8, 13, 7, 0, 9, 3, 4, 6, 10, 2, 8, 5,
+        14, 12, 11, 15, 1, 13, 6, 4, 9, 8, 15, 3, 0, 11, 1, 2, 12, 5, 10, 14, 7, 1, 10, 13, 0,
+        6, 9, 8, 7, 4, 15, 14, 3, 11, 5, 2, 12,
+    ],
+    [
+        7, 13, 14, 3, 0, 6, 9, 10, 1, 2, 8, 5, 11, 12, 4, 15, 13, 8, 11, 5, 6, 15, 0, 3, 4, 7,
+        2, 12, 1, 10, 14, 9, 10, 6, 9, 0, 12, 11, 7, 13, 15, 1, 3, 14, 5, 2, 8, 4, 3, 15, 0, 6,
+        10, 1, 13, 8, 9, 4, 5, 11, 12, 7, 2, 14,
+    ],
+    [
+        2, 12, 4, 1, 7, 10, 11, 6, 8, 5, 3, 15, 13, 0, 14, 9, 14, 11, 2, 12, 4, 7, 13, 1, 5, 0,
+        15, 10, 3, 9, 8, 6, 4, 2, 1, 11, 10, 13, 7, 8, 15, 9, 12, 5, 6, 3, 0, 14, 11, 8, 12, 7,
+        1, 14, 2, 13, 6, 15, 0, 9, 10, 4, 5, 3,
+    ],
+    [
+        12, 1, 10, 15, 9, 2, 6, 8, 0, 13, 3, 4, 14, 7, 5, 11, 10, 15, 4, 2, 7, 12, 9, 5, 6, 1,
+        13, 14, 0, 11, 3, 8, 9, 14, 15, 5, 2, 8, 12, 3, 7, 0, 4, 10, 1, 13, 11, 6, 4, 3, 2, 12,
+        9, 5, 15, 10, 11, 14, 1, 7, 6, 0, 8, 13,
+    ],
+    [
+        4, 11, 2, 14, 15, 0, 8, 13, 3, 12, 9, 7, 5, 10, 6, 1, 13, 0, 11, 7, 4, 9, 1, 10, 14, 3,
+        5, 12, 2, 15, 8, 6, 1, 4, 11, 13, 12, 3, 7, 14, 10, 15, 6, 8, 0, 5, 9, 2, 6, 11, 13, 8,
+        1, 4, 10, 7, 9, 5, 0, 15, 14, 2, 3, 12,
+    ],
+    [
+        13, 2, 8, 4, 6, 15, 11, 1, 10, 9, 3, 14, 5, 0, 12, 7, 1, 15, 13, 8, 10, 3, 7, 4, 12, 5,
+        6, 11, 0, 14, 9, 2, 7, 11, 4, 1, 9, 12, 14, 2, 0, 6, 10, 13, 15, 3, 5, 8, 2, 1, 14, 7,
+        4, 10, 8, 13, 15, 12, 9, 0, 3, 5, 6, 11,
+    ],
+];
+
+/// Applies a 1-indexed bit permutation table to a value of
+/// `in_bits` width, producing `table.len()` bits.
+fn permute(value: u64, in_bits: u32, table: &[u8]) -> u64 {
+    let mut out = 0u64;
+    for &pos in table {
+        out <<= 1;
+        out |= (value >> (in_bits - pos as u32)) & 1;
+    }
+    out
+}
+
+/// The DES f-function.
+fn feistel(half: u32, subkey: u64) -> u32 {
+    let expanded = permute(half as u64, 32, &E) ^ subkey;
+    let mut out = 0u32;
+    for (i, sbox) in SBOX.iter().enumerate() {
+        let chunk = ((expanded >> (42 - 6 * i)) & 0x3f) as usize;
+        let row = ((chunk & 0x20) >> 4) | (chunk & 1);
+        let col = (chunk >> 1) & 0xf;
+        out = (out << 4) | sbox[row * 16 + col] as u32;
+    }
+    permute(out as u64, 32, &P) as u32
+}
+
+/// Single DES with a precomputed key schedule.
+pub struct Des {
+    subkeys: [u64; 16],
+}
+
+impl Des {
+    /// Key-schedules an 8-byte key (parity bits ignored, per FIPS 46).
+    pub fn new(key: &[u8; 8]) -> Des {
+        let key64 = u64::from_be_bytes(*key);
+        let permuted = permute(key64, 64, &PC1);
+        let mut c = (permuted >> 28) as u32 & 0x0fff_ffff;
+        let mut d = permuted as u32 & 0x0fff_ffff;
+        let mut subkeys = [0u64; 16];
+        for round in 0..16 {
+            let shift = SHIFTS[round] as u32;
+            c = ((c << shift) | (c >> (28 - shift))) & 0x0fff_ffff;
+            d = ((d << shift) | (d >> (28 - shift))) & 0x0fff_ffff;
+            let cd = ((c as u64) << 28) | d as u64;
+            subkeys[round] = permute(cd, 56, &PC2);
+        }
+        Des { subkeys }
+    }
+
+    fn crypt(&self, block: u64, decrypt: bool) -> u64 {
+        let permuted = permute(block, 64, &IP);
+        let mut left = (permuted >> 32) as u32;
+        let mut right = permuted as u32;
+        for round in 0..16 {
+            let subkey = if decrypt {
+                self.subkeys[15 - round]
+            } else {
+                self.subkeys[round]
+            };
+            let next = left ^ feistel(right, subkey);
+            left = right;
+            right = next;
+        }
+        // Final swap then FP.
+        let preoutput = ((right as u64) << 32) | left as u64;
+        permute(preoutput, 64, &FP)
+    }
+
+    /// Encrypts one 8-byte block.
+    pub fn encrypt_block(&self, block: &[u8; 8]) -> [u8; 8] {
+        self.crypt(u64::from_be_bytes(*block), false).to_be_bytes()
+    }
+
+    /// Decrypts one 8-byte block.
+    pub fn decrypt_block(&self, block: &[u8; 8]) -> [u8; 8] {
+        self.crypt(u64::from_be_bytes(*block), true).to_be_bytes()
+    }
+}
+
+/// Triple DES (EDE, keying option 1: three independent keys).
+pub struct TripleDes {
+    k1: Des,
+    k2: Des,
+    k3: Des,
+}
+
+impl TripleDes {
+    /// Key-schedules a 24-byte key bundle.
+    pub fn new(key: &[u8; 24]) -> TripleDes {
+        TripleDes {
+            k1: Des::new(key[0..8].try_into().expect("8 bytes")),
+            k2: Des::new(key[8..16].try_into().expect("8 bytes")),
+            k3: Des::new(key[16..24].try_into().expect("8 bytes")),
+        }
+    }
+
+    /// EDE encryption of one block.
+    pub fn encrypt_block(&self, block: &[u8; 8]) -> [u8; 8] {
+        self.k3
+            .encrypt_block(&self.k2.decrypt_block(&self.k1.encrypt_block(block)))
+    }
+
+    /// EDE decryption of one block.
+    pub fn decrypt_block(&self, block: &[u8; 8]) -> [u8; 8] {
+        self.k1
+            .decrypt_block(&self.k2.encrypt_block(&self.k3.decrypt_block(block)))
+    }
+}
+
+/// Triple-DES in OFB mode: a self-synchronizing keystream where
+/// encryption and decryption are the same operation.
+pub struct TripleDesOfb {
+    cipher: TripleDes,
+    feedback: [u8; 8],
+    used: usize,
+}
+
+impl TripleDesOfb {
+    /// Initializes with a 24-byte key bundle and an 8-byte IV.
+    pub fn new(key: &[u8; 24], iv: &[u8; 8]) -> TripleDesOfb {
+        TripleDesOfb {
+            cipher: TripleDes::new(key),
+            feedback: *iv,
+            used: 8,
+        }
+    }
+
+    /// XORs the keystream into `buf` in place.
+    pub fn apply(&mut self, buf: &mut [u8]) {
+        for byte in buf {
+            if self.used == 8 {
+                self.feedback = self.cipher.encrypt_block(&self.feedback);
+                self.used = 0;
+            }
+            *byte ^= self.feedback[self.used];
+            self.used += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sha256::hex;
+
+    /// The classic worked example (widely published).
+    #[test]
+    fn classic_vector() {
+        let key = 0x133457799BBCDFF1u64.to_be_bytes();
+        let pt = 0x0123456789ABCDEFu64.to_be_bytes();
+        let des = Des::new(&key);
+        let ct = des.encrypt_block(&pt);
+        assert_eq!(hex(&ct), "85e813540f0ab405");
+        assert_eq!(des.decrypt_block(&ct), pt);
+    }
+
+    /// FIPS 81 sample: key 0123456789ABCDEF, "Now is t".
+    #[test]
+    fn fips81_vector() {
+        let key = 0x0123456789ABCDEFu64.to_be_bytes();
+        let pt = *b"Now is t";
+        let des = Des::new(&key);
+        assert_eq!(hex(&des.encrypt_block(&pt)), "3fa40e8a984d4815");
+    }
+
+    #[test]
+    fn weak_key_all_zero_is_involutive_under_double_encryption() {
+        // A known DES property: with the all-zeros weak key, all
+        // subkeys are equal, so encrypt∘encrypt = identity.
+        let des = Des::new(&[0u8; 8]);
+        let pt = *b"testcase";
+        assert_eq!(des.encrypt_block(&des.encrypt_block(&pt)), pt);
+    }
+
+    #[test]
+    fn triple_des_with_equal_keys_degenerates_to_des() {
+        let k = 0x133457799BBCDFF1u64.to_be_bytes();
+        let mut bundle = [0u8; 24];
+        bundle[0..8].copy_from_slice(&k);
+        bundle[8..16].copy_from_slice(&k);
+        bundle[16..24].copy_from_slice(&k);
+        let tdes = TripleDes::new(&bundle);
+        let des = Des::new(&k);
+        let pt = 0x0123456789ABCDEFu64.to_be_bytes();
+        assert_eq!(tdes.encrypt_block(&pt), des.encrypt_block(&pt));
+    }
+
+    #[test]
+    fn triple_des_roundtrip_with_independent_keys() {
+        let mut bundle = [0u8; 24];
+        for (i, b) in bundle.iter_mut().enumerate() {
+            *b = i as u8 * 7 + 1;
+        }
+        let tdes = TripleDes::new(&bundle);
+        let pt = *b"8bytes!!";
+        let ct = tdes.encrypt_block(&pt);
+        assert_ne!(ct, pt);
+        assert_eq!(tdes.decrypt_block(&ct), pt);
+    }
+
+    #[test]
+    fn ofb_mode_roundtrip_and_streaming() {
+        let key = [0x42u8; 24];
+        let iv = [0x24u8; 8];
+        let msg: Vec<u8> = (0..77).collect();
+        let mut oneshot = msg.clone();
+        TripleDesOfb::new(&key, &iv).apply(&mut oneshot);
+        assert_ne!(oneshot, msg);
+        // Streaming in odd chunks matches.
+        let mut streamed = msg.clone();
+        let mut c = TripleDesOfb::new(&key, &iv);
+        for chunk in streamed.chunks_mut(5) {
+            c.apply(chunk);
+        }
+        assert_eq!(oneshot, streamed);
+        // Decrypt = same operation.
+        let mut back = oneshot;
+        TripleDesOfb::new(&key, &iv).apply(&mut back);
+        assert_eq!(back, msg);
+    }
+}

@@ -1,0 +1,152 @@
+//! Classic finite-field Diffie–Hellman, used by the simulated
+//! (EC)DHE-class ciphersuites to provide real forward secrecy in the
+//! testbed: ephemeral keys are generated per handshake and discarded.
+//!
+//! The group is the 768-bit Oakley Group 1 prime (RFC 2409 §6.1) with
+//! generator 2 — small by modern standards, but the simulator only
+//! needs the protocol shape, not 128-bit security.
+
+use crate::bigint::Uint;
+use crate::drbg::Drbg;
+use crate::prime::random_below;
+use crate::sha256::sha256;
+
+/// RFC 2409 Oakley Group 1: 2^768 - 2^704 - 1 + 2^64 * (floor(2^638 π) + 149686).
+const GROUP1_PRIME_HEX: &str = "FFFFFFFFFFFFFFFFC90FDAA22168C234C4C6628B80DC1CD129024E088A67CC74\
+                                020BBEA63B139B22514A08798E3404DDEF9519B3CD3A431B302B0A6DF25F1437\
+                                4FE1356D6D51C245E485B576625E7EC6F44C42E9A63A3620FFFFFFFFFFFFFFFF";
+
+/// A Diffie–Hellman group (prime modulus and generator).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DhGroup {
+    p: Uint,
+    g: Uint,
+}
+
+impl DhGroup {
+    /// The built-in Oakley Group 1.
+    pub fn oakley_group1() -> Self {
+        DhGroup {
+            p: Uint::from_hex(GROUP1_PRIME_HEX).expect("valid embedded prime"),
+            g: Uint::from_u64(2),
+        }
+    }
+
+    /// Constructs a custom group (for tests).
+    pub fn new(p: Uint, g: Uint) -> Self {
+        DhGroup { p, g }
+    }
+
+    /// The prime modulus.
+    pub fn prime(&self) -> &Uint {
+        &self.p
+    }
+}
+
+/// An ephemeral DH keypair bound to a group.
+pub struct DhKeyPair {
+    group: DhGroup,
+    secret: Uint,
+    public: Uint,
+}
+
+impl DhKeyPair {
+    /// Generates an ephemeral keypair: secret in `[2, p-2]`,
+    /// public = g^secret mod p.
+    pub fn generate(group: &DhGroup, rng: &mut Drbg) -> Self {
+        let upper = group.p.sub(&Uint::from_u64(3));
+        let secret = random_below(&upper, rng).add(&Uint::from_u64(2));
+        let public = group.g.modpow(&secret, &group.p);
+        DhKeyPair {
+            group: group.clone(),
+            secret,
+            public,
+        }
+    }
+
+    /// The public value to transmit.
+    pub fn public_bytes(&self) -> Vec<u8> {
+        self.public.to_be_bytes()
+    }
+
+    /// Computes the shared secret against a peer public value and
+    /// hashes it to a 32-byte key. Returns `None` for degenerate peer
+    /// values (0, 1, p-1, or ≥ p), which a robust implementation must
+    /// reject.
+    pub fn agree(&self, peer_public: &[u8]) -> Option<[u8; 32]> {
+        let peer = Uint::from_be_bytes(peer_public);
+        let p_minus_1 = self.group.p.sub(&Uint::one());
+        if peer.cmp_val(&Uint::from_u64(2)) == std::cmp::Ordering::Less
+            || peer.cmp_val(&p_minus_1) != std::cmp::Ordering::Less
+        {
+            return None;
+        }
+        let shared = peer.modpow(&self.secret, &self.group.p);
+        Some(sha256(&shared.to_be_bytes()))
+    }
+}
+
+impl std::fmt::Debug for DhKeyPair {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "DhKeyPair(public={}...)", &self.public.to_hex()[..16])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_group() -> DhGroup {
+        // p = 2^61 - 1 is not prime; use a known 64-bit prime instead.
+        DhGroup::new(Uint::from_u64(0xFFFFFFFFFFFFFFC5), Uint::from_u64(5))
+    }
+
+    #[test]
+    fn agreement_matches_small_group() {
+        let g = small_group();
+        let mut rng = Drbg::from_seed(11);
+        let alice = DhKeyPair::generate(&g, &mut rng);
+        let bob = DhKeyPair::generate(&g, &mut rng);
+        let s1 = alice.agree(&bob.public_bytes()).unwrap();
+        let s2 = bob.agree(&alice.public_bytes()).unwrap();
+        assert_eq!(s1, s2);
+    }
+
+    #[test]
+    fn agreement_matches_oakley_group() {
+        let g = DhGroup::oakley_group1();
+        assert_eq!(g.prime().bit_len(), 768);
+        let mut rng = Drbg::from_seed(12);
+        let alice = DhKeyPair::generate(&g, &mut rng);
+        let bob = DhKeyPair::generate(&g, &mut rng);
+        assert_eq!(
+            alice.agree(&bob.public_bytes()).unwrap(),
+            bob.agree(&alice.public_bytes()).unwrap()
+        );
+    }
+
+    #[test]
+    fn distinct_peers_distinct_secrets() {
+        let g = small_group();
+        let mut rng = Drbg::from_seed(13);
+        let alice = DhKeyPair::generate(&g, &mut rng);
+        let bob = DhKeyPair::generate(&g, &mut rng);
+        let carol = DhKeyPair::generate(&g, &mut rng);
+        assert_ne!(
+            alice.agree(&bob.public_bytes()).unwrap(),
+            alice.agree(&carol.public_bytes()).unwrap()
+        );
+    }
+
+    #[test]
+    fn degenerate_peer_values_rejected() {
+        let g = small_group();
+        let mut rng = Drbg::from_seed(14);
+        let alice = DhKeyPair::generate(&g, &mut rng);
+        assert!(alice.agree(&[]).is_none()); // zero
+        assert!(alice.agree(&[1]).is_none()); // one
+        let p_minus_1 = g.prime().sub(&Uint::one());
+        assert!(alice.agree(&p_minus_1.to_be_bytes()).is_none());
+        assert!(alice.agree(&g.prime().to_be_bytes()).is_none());
+    }
+}

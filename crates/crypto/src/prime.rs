@@ -1,0 +1,176 @@
+//! Probabilistic primality testing and random prime generation.
+
+use crate::bigint::Uint;
+use crate::drbg::Drbg;
+
+/// Small primes used for fast trial-division filtering of candidates.
+const SMALL_PRIMES: [u64; 54] = [
+    2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37, 41, 43, 47, 53, 59, 61, 67, 71, 73, 79, 83, 89,
+    97, 101, 103, 107, 109, 113, 127, 131, 137, 139, 149, 151, 157, 163, 167, 173, 179, 181, 191,
+    193, 197, 199, 211, 223, 227, 229, 233, 239, 241, 251,
+];
+
+/// Miller–Rabin primality test with `rounds` random bases.
+///
+/// Returns `true` when `n` is (probably) prime. Deterministically
+/// correct for all `n < 2^64` regardless of `rounds` is *not*
+/// guaranteed here — this is the standard probabilistic variant; with
+/// 24 rounds the error probability is below 2^-48.
+pub fn is_probably_prime(n: &Uint, rounds: u32, rng: &mut Drbg) -> bool {
+    if n.cmp_val(&Uint::from_u64(2)) == std::cmp::Ordering::Less {
+        return false;
+    }
+    for &p in &SMALL_PRIMES {
+        let pu = Uint::from_u64(p);
+        match n.cmp_val(&pu) {
+            std::cmp::Ordering::Equal => return true,
+            std::cmp::Ordering::Less => return false,
+            std::cmp::Ordering::Greater => {
+                if n.rem(&pu).is_zero() {
+                    return false;
+                }
+            }
+        }
+    }
+    // Write n-1 = d * 2^r with d odd.
+    let one = Uint::one();
+    let n_minus_1 = n.sub(&one);
+    let mut d = n_minus_1.clone();
+    let mut r = 0usize;
+    while d.is_even() {
+        d = d.shr(1);
+        r += 1;
+    }
+    let n_minus_3 = n.sub(&Uint::from_u64(3));
+    'witness: for _ in 0..rounds {
+        // Random base a in [2, n-2].
+        let a = random_below(&n_minus_3, rng).add(&Uint::from_u64(2));
+        let mut x = a.modpow(&d, n);
+        if x.is_one() || x == n_minus_1 {
+            continue;
+        }
+        for _ in 0..r.saturating_sub(1) {
+            x = x.modmul(&x, n);
+            if x == n_minus_1 {
+                continue 'witness;
+            }
+        }
+        return false;
+    }
+    true
+}
+
+/// Uniform random `Uint` in `[0, bound)` via rejection sampling.
+pub fn random_below(bound: &Uint, rng: &mut Drbg) -> Uint {
+    assert!(!bound.is_zero());
+    let bits = bound.bit_len();
+    let bytes = bits.div_ceil(8);
+    loop {
+        let mut buf = vec![0u8; bytes];
+        rng.fill_bytes(&mut buf);
+        // Mask excess high bits so rejection is efficient.
+        let excess = bytes * 8 - bits;
+        if excess > 0 {
+            buf[0] &= 0xff >> excess;
+        }
+        let v = Uint::from_be_bytes(&buf);
+        if v.cmp_val(bound) == std::cmp::Ordering::Less {
+            return v;
+        }
+    }
+}
+
+/// Generates a random prime with exactly `bits` significant bits.
+///
+/// The top two bits are forced to 1 (so RSA moduli built from two
+/// such primes have exactly `2*bits` bits) and the low bit is forced
+/// to 1 (odd).
+pub fn generate_prime(bits: usize, rng: &mut Drbg) -> Uint {
+    assert!(bits >= 16, "prime size too small for RSA simulation");
+    let bytes = bits.div_ceil(8);
+    loop {
+        let mut buf = vec![0u8; bytes];
+        rng.fill_bytes(&mut buf);
+        let excess = bytes * 8 - bits;
+        buf[0] &= 0xff >> excess;
+        // Force the top two bits of the requested width.
+        buf[0] |= 0xc0u8.checked_shr(excess as u32).unwrap_or(0);
+        if excess >= 7 {
+            // Width boundary falls inside the second byte.
+            buf[1] |= 0x80;
+        }
+        *buf.last_mut().unwrap() |= 1;
+        let candidate = Uint::from_be_bytes(&buf);
+        debug_assert_eq!(candidate.bit_len(), bits);
+        if is_probably_prime(&candidate, 24, rng) {
+            return candidate;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rng() -> Drbg {
+        Drbg::from_seed(0xD1CE)
+    }
+
+    #[test]
+    fn small_primes_recognized() {
+        let mut r = rng();
+        for p in [2u64, 3, 5, 7, 97, 251, 257, 65537, 1_000_000_007] {
+            assert!(
+                is_probably_prime(&Uint::from_u64(p), 16, &mut r),
+                "{p} should be prime"
+            );
+        }
+    }
+
+    #[test]
+    fn composites_rejected() {
+        let mut r = rng();
+        for c in [1u64, 4, 9, 15, 91, 561, 41041, 825265, 1_000_000_008] {
+            assert!(
+                !is_probably_prime(&Uint::from_u64(c), 16, &mut r),
+                "{c} should be composite"
+            );
+        }
+    }
+
+    #[test]
+    fn carmichael_numbers_rejected() {
+        // Carmichael numbers fool Fermat but not Miller–Rabin.
+        let mut r = rng();
+        for c in [561u64, 1105, 1729, 2465, 2821, 6601, 8911] {
+            assert!(!is_probably_prime(&Uint::from_u64(c), 16, &mut r));
+        }
+    }
+
+    #[test]
+    fn generated_prime_has_exact_bit_length() {
+        let mut r = rng();
+        for bits in [64usize, 128, 256] {
+            let p = generate_prime(bits, &mut r);
+            assert_eq!(p.bit_len(), bits);
+            assert!(!p.is_even());
+            assert!(is_probably_prime(&p, 16, &mut r));
+        }
+    }
+
+    #[test]
+    fn random_below_respects_bound() {
+        let mut r = rng();
+        let bound = Uint::from_u64(1000);
+        for _ in 0..200 {
+            assert!(random_below(&bound, &mut r) < bound);
+        }
+    }
+
+    #[test]
+    fn prime_generation_is_deterministic() {
+        let mut a = rng();
+        let mut b = rng();
+        assert_eq!(generate_prime(96, &mut a), generate_prime(96, &mut b));
+    }
+}

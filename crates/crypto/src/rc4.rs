@@ -1,0 +1,94 @@
+//! RC4 stream cipher, from scratch.
+//!
+//! RC4 is *insecure* (biased keystream; see AlFardan et al. 2013) and
+//! is included precisely because the paper studies devices that still
+//! negotiate RC4 ciphersuites — e.g., the Roku TV falling back to
+//! `TLS_RSA_WITH_RC4_128_SHA`. The simulator needs a working RC4 to
+//! exercise those code paths.
+
+/// RC4 keystream generator.
+pub struct Rc4 {
+    s: [u8; 256],
+    i: u8,
+    j: u8,
+}
+
+impl Rc4 {
+    /// Key-schedules RC4 with `key` (1..=256 bytes).
+    ///
+    /// # Panics
+    /// Panics when `key` is empty or longer than 256 bytes.
+    pub fn new(key: &[u8]) -> Self {
+        assert!(
+            !key.is_empty() && key.len() <= 256,
+            "RC4 key must be 1..=256 bytes"
+        );
+        let mut s: [u8; 256] = core::array::from_fn(|i| i as u8);
+        let mut j = 0u8;
+        for i in 0..256 {
+            j = j
+                .wrapping_add(s[i])
+                .wrapping_add(key[i % key.len()]);
+            s.swap(i, j as usize);
+        }
+        Rc4 { s, i: 0, j: 0 }
+    }
+
+    /// XORs the keystream into `buf` in place (encrypt == decrypt).
+    pub fn apply(&mut self, buf: &mut [u8]) {
+        for byte in buf {
+            self.i = self.i.wrapping_add(1);
+            self.j = self.j.wrapping_add(self.s[self.i as usize]);
+            self.s.swap(self.i as usize, self.j as usize);
+            let k = self.s[(self.s[self.i as usize].wrapping_add(self.s[self.j as usize])) as usize];
+            *byte ^= k;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sha256::hex;
+
+    // Classic published RC4 vectors.
+    #[test]
+    fn vector_key_key() {
+        let mut c = Rc4::new(b"Key");
+        let mut buf = *b"Plaintext";
+        c.apply(&mut buf);
+        assert_eq!(hex(&buf), "bbf316e8d940af0ad3");
+    }
+
+    #[test]
+    fn vector_wiki() {
+        let mut c = Rc4::new(b"Wiki");
+        let mut buf = *b"pedia";
+        c.apply(&mut buf);
+        assert_eq!(hex(&buf), "1021bf0420");
+    }
+
+    #[test]
+    fn vector_secret() {
+        let mut c = Rc4::new(b"Secret");
+        let mut buf = *b"Attack at dawn";
+        c.apply(&mut buf);
+        assert_eq!(hex(&buf), "45a01f645fc35b383552544b9bf5");
+    }
+
+    #[test]
+    fn roundtrip() {
+        let msg = b"the quick brown fox".to_vec();
+        let mut buf = msg.clone();
+        Rc4::new(b"k123").apply(&mut buf);
+        assert_ne!(buf, msg);
+        Rc4::new(b"k123").apply(&mut buf);
+        assert_eq!(buf, msg);
+    }
+
+    #[test]
+    #[should_panic(expected = "1..=256")]
+    fn empty_key_panics() {
+        Rc4::new(b"");
+    }
+}

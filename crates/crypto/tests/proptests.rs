@@ -1,0 +1,153 @@
+//! Property-based tests for the crypto substrate.
+
+use iotls_crypto::bigint::Uint;
+use iotls_crypto::drbg::Drbg;
+use iotls_crypto::rsa::RsaPrivateKey;
+use iotls_crypto::sha256::sha256;
+use iotls_crypto::{ChaCha20, Rc4};
+use proptest::prelude::*;
+
+fn uint_strategy() -> impl Strategy<Value = Uint> {
+    proptest::collection::vec(any::<u8>(), 0..40).prop_map(|b| Uint::from_be_bytes(&b))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn add_commutes(a in uint_strategy(), b in uint_strategy()) {
+        prop_assert_eq!(a.add(&b), b.add(&a));
+    }
+
+    #[test]
+    fn add_sub_roundtrip(a in uint_strategy(), b in uint_strategy()) {
+        prop_assert_eq!(a.add(&b).sub(&b), a);
+    }
+
+    #[test]
+    fn mul_commutes_and_distributes(
+        a in uint_strategy(), b in uint_strategy(), c in uint_strategy()
+    ) {
+        prop_assert_eq!(a.mul(&b), b.mul(&a));
+        prop_assert_eq!(a.mul(&b.add(&c)), a.mul(&b).add(&a.mul(&c)));
+    }
+
+    #[test]
+    fn divrem_identity(a in uint_strategy(), b in uint_strategy()) {
+        prop_assume!(!b.is_zero());
+        let (q, r) = a.divrem(&b);
+        prop_assert!(r < b.clone());
+        prop_assert_eq!(q.mul(&b).add(&r), a);
+    }
+
+    #[test]
+    fn shift_roundtrip(a in uint_strategy(), s in 0usize..200) {
+        prop_assert_eq!(a.shl(s).shr(s), a);
+    }
+
+    #[test]
+    fn bytes_roundtrip(a in uint_strategy()) {
+        prop_assert_eq!(Uint::from_be_bytes(&a.to_be_bytes()), a);
+    }
+
+    #[test]
+    fn hex_roundtrip(a in uint_strategy()) {
+        prop_assert_eq!(Uint::from_hex(&a.to_hex()).unwrap(), a);
+    }
+
+    #[test]
+    fn modpow_multiplicative(
+        a in uint_strategy(), b in uint_strategy(), e in 0u64..50, m in uint_strategy()
+    ) {
+        prop_assume!(!m.is_zero());
+        // (a*b)^e mod m == a^e * b^e mod m
+        let e = Uint::from_u64(e);
+        let lhs = a.mul(&b).modpow(&e, &m);
+        let rhs = a.modpow(&e, &m).modmul(&b.modpow(&e, &m), &m);
+        prop_assert_eq!(lhs, rhs);
+    }
+
+    #[test]
+    fn modinv_inverts(a in uint_strategy(), m in uint_strategy()) {
+        prop_assume!(m.cmp_val(&Uint::from_u64(2)) == std::cmp::Ordering::Greater);
+        if let Some(inv) = a.modinv(&m) {
+            prop_assert!(a.modmul(&inv, &m).is_one());
+        } else {
+            prop_assert!(!a.gcd(&m).is_one() || a.rem(&m).is_zero());
+        }
+    }
+
+    #[test]
+    fn sha256_deterministic_and_sensitive(data in proptest::collection::vec(any::<u8>(), 0..300)) {
+        let d1 = sha256(&data);
+        prop_assert_eq!(d1, sha256(&data));
+        if !data.is_empty() {
+            let mut flipped = data.clone();
+            flipped[0] ^= 1;
+            prop_assert_ne!(d1, sha256(&flipped));
+        }
+    }
+
+    #[test]
+    fn rc4_roundtrip(key in proptest::collection::vec(any::<u8>(), 1..64),
+                     msg in proptest::collection::vec(any::<u8>(), 0..200)) {
+        let mut buf = msg.clone();
+        Rc4::new(&key).apply(&mut buf);
+        Rc4::new(&key).apply(&mut buf);
+        prop_assert_eq!(buf, msg);
+    }
+
+    #[test]
+    fn chacha20_roundtrip(seed in any::<u64>(), msg in proptest::collection::vec(any::<u8>(), 0..200)) {
+        let mut key = [0u8; 32];
+        let mut nonce = [0u8; 12];
+        let mut rng = Drbg::from_seed(seed);
+        rng.fill_bytes(&mut key);
+        rng.fill_bytes(&mut nonce);
+        let mut buf = msg.clone();
+        ChaCha20::new(&key, &nonce, 0).apply(&mut buf);
+        ChaCha20::new(&key, &nonce, 0).apply(&mut buf);
+        prop_assert_eq!(buf, msg);
+    }
+
+    #[test]
+    fn drbg_below_in_bounds(seed in any::<u64>(), bound in 1u64..10_000) {
+        let mut d = Drbg::from_seed(seed);
+        for _ in 0..20 {
+            prop_assert!(d.below(bound) < bound);
+        }
+    }
+}
+
+// RSA keygen is too slow to regenerate per proptest case; use one key
+// and vary the message instead.
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn rsa_sign_verify_any_message(msg in proptest::collection::vec(any::<u8>(), 0..200)) {
+        let key = shared_key();
+        let sig = key.sign(&msg);
+        prop_assert!(key.public_key().verify(&msg, &sig).is_ok());
+        let mut other = msg.clone();
+        other.push(0);
+        prop_assert!(key.public_key().verify(&other, &sig).is_err());
+    }
+
+    #[test]
+    fn rsa_encrypt_decrypt_any_message(
+        seed in any::<u64>(),
+        msg in proptest::collection::vec(any::<u8>(), 0..48)
+    ) {
+        let key = shared_key();
+        let mut rng = Drbg::from_seed(seed);
+        let ct = key.public_key().encrypt(&msg, &mut rng).unwrap();
+        prop_assert_eq!(key.decrypt(&ct).unwrap(), msg);
+    }
+}
+
+fn shared_key() -> &'static RsaPrivateKey {
+    use std::sync::OnceLock;
+    static KEY: OnceLock<RsaPrivateKey> = OnceLock::new();
+    KEY.get_or_init(|| RsaPrivateKey::generate(512, &mut Drbg::from_seed(0xA11CE)))
+}

@@ -1,0 +1,133 @@
+//! Simulated cloud infrastructure: one TLS server per destination.
+//!
+//! Each destination's leaf certificate is issued by a *common* CA the
+//! contacting device trusts (vendors pick CAs that work with their
+//! fleet), with validity covering the whole study window plus probe
+//! time. Servers for revocation-checking devices carry CRL/OCSP URLs
+//! and a long-lived staple.
+
+use crate::rootsel::DeviceRootTruth;
+use crate::spec::Destination;
+use iotls_crypto::drbg::Drbg;
+use iotls_crypto::rsa::RsaPrivateKey;
+use iotls_crypto::sha256::sha256;
+use iotls_rootstore::{CaId, SimPki};
+use iotls_tls::server::ServerConfig;
+use iotls_x509::{Certificate, IssueParams, OcspResponse, RevocationStatus, Timestamp};
+use std::collections::BTreeMap;
+
+/// A provisioned cloud endpoint.
+pub struct CloudEndpoint {
+    /// Hostname served.
+    pub hostname: String,
+    /// Leaf certificate chain (leaf only; roots are in stores).
+    pub chain: Vec<Certificate>,
+    /// Leaf private key.
+    pub key: RsaPrivateKey,
+    /// Issuing CA.
+    pub issuer: CaId,
+    /// Encoded OCSP staple, when provisioned.
+    pub staple: Option<Vec<u8>>,
+}
+
+/// Registry of provisioned endpoints, keyed by hostname.
+#[derive(Default)]
+pub struct CloudRegistry {
+    endpoints: BTreeMap<String, CloudEndpoint>,
+}
+
+impl CloudRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Provisions an endpoint for `dest`, choosing an issuer from the
+    /// device's trusted common CAs so legitimate connections validate.
+    pub fn provision(&mut self, pki: &SimPki, dest: &Destination, truth: &DeviceRootTruth) {
+        if self.endpoints.contains_key(&dest.hostname) {
+            return;
+        }
+        // Deterministic issuer choice among CAs the device trusts.
+        let trusted: Vec<CaId> = truth.common_present.iter().copied().collect();
+        assert!(
+            !trusted.is_empty(),
+            "device trusts no common CAs; cannot provision {}",
+            dest.hostname
+        );
+        let digest = sha256(dest.hostname.as_bytes());
+        let pick = u64::from_be_bytes(digest[..8].try_into().unwrap()) as usize % trusted.len();
+        let issuer_id = trusted[pick];
+        let issuer = pki.universe.issuing_key(issuer_id);
+
+        let key_seed = u64::from_be_bytes(digest[8..16].try_into().unwrap());
+        let key = RsaPrivateKey::generate(512, &mut Drbg::from_seed(key_seed));
+        let serial = u64::from_be_bytes(digest[16..24].try_into().unwrap());
+        let mut params = IssueParams::leaf(
+            &dest.hostname,
+            serial,
+            Timestamp::from_ymd(2017, 6, 1),
+            6 * 365, // valid through the study and the 2021 probes
+        );
+        params.extensions.crl_url = Some("http://crl.simtrust.example/latest.crl".into());
+        params.extensions.ocsp_url = Some("http://ocsp.simtrust.example".into());
+        let cert = issuer.issue(params, &key);
+
+        let staple = dest.server.staples_ocsp.then(|| {
+            OcspResponse::produce(
+                &issuer,
+                serial,
+                RevocationStatus::Good,
+                Timestamp::from_ymd(2017, 6, 1),
+                6 * 365 * 86_400,
+            )
+            .to_bytes()
+        });
+
+        self.endpoints.insert(
+            dest.hostname.clone(),
+            CloudEndpoint {
+                hostname: dest.hostname.clone(),
+                chain: vec![cert],
+                key,
+                issuer: issuer_id,
+                staple,
+            },
+        );
+    }
+
+    /// The endpoint for a hostname.
+    pub fn endpoint(&self, hostname: &str) -> Option<&CloudEndpoint> {
+        self.endpoints.get(hostname)
+    }
+
+    /// Builds the legitimate server configuration for `dest`.
+    pub fn server_config(&self, dest: &Destination) -> ServerConfig {
+        let ep = self
+            .endpoint(&dest.hostname)
+            .unwrap_or_else(|| panic!("endpoint {} not provisioned", dest.hostname));
+        ServerConfig {
+            chain: ep.chain.clone(),
+            key: ep.key.clone(),
+            versions: dest.server.versions.clone(),
+            cipher_suites: dest.server.suites.clone(),
+            ocsp_staple: ep.staple.clone(),
+            forced_version: None,
+            mute: false,
+            // Cloud endpoints do not resume sessions in the testbed:
+            // the paper's per-connection analyses assume full
+            // handshakes (abbreviated ones carry no Certificate).
+            session_cache: None,
+        }
+    }
+
+    /// Number of provisioned endpoints.
+    pub fn len(&self) -> usize {
+        self.endpoints.len()
+    }
+
+    /// True when nothing is provisioned.
+    pub fn is_empty(&self) -> bool {
+        self.endpoints.is_empty()
+    }
+}

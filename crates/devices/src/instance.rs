@@ -1,0 +1,455 @@
+//! TLS instance templates and the spec → [`ClientConfig`] conversion.
+//!
+//! Templates are shared across devices exactly as real libraries are:
+//! every device embedding `android_sdk()` produces the same
+//! fingerprint, which is what makes the Figure 5 sharing graph (and
+//! the "attack scaling" observation) reproducible.
+
+use crate::spec::{FallbackMode, FallbackSpec, FallbackTrigger, TlsInstanceSpec};
+use iotls_tls::client::ClientConfig;
+use iotls_tls::extension::sig_scheme;
+use iotls_tls::profile::LibraryProfile;
+use iotls_tls::version::ProtocolVersion;
+use iotls_x509::{RootStore, ValidationPolicy};
+
+/// Converts an instance spec plus a device root store into a client
+/// configuration the TLS layer can run.
+pub fn client_config(spec: &TlsInstanceSpec, root_store: RootStore) -> ClientConfig {
+    ClientConfig {
+        versions: spec.versions.clone(),
+        cipher_suites: spec.cipher_suites.clone(),
+        validation_policy: spec.validation,
+        root_store,
+        library: spec.library,
+        send_sni: spec.send_sni,
+        request_ocsp: spec.request_ocsp,
+        session_ticket: spec.session_ticket,
+        groups: spec.groups.clone(),
+        point_formats: spec.point_formats.clone(),
+        signature_algorithms: spec.signature_algorithms.clone(),
+        alpn: spec.alpn.clone(),
+        // The paper found no evidence of pinning or staple
+        // verification in any tested device; the testbed reflects
+        // that (downstream users can enable both — see
+        // `iotls_tls::client::PinPolicy`).
+        pin: iotls_tls::client::PinPolicy::None,
+        verify_staple: false,
+    }
+}
+
+/// Applies an instance's fallback to produce the downgraded retry
+/// configuration (what the device sends on its *second* attempt).
+pub fn apply_fallback(spec: &TlsInstanceSpec) -> TlsInstanceSpec {
+    let Some(fb) = &spec.fallback else {
+        return spec.clone();
+    };
+    let mut out = spec.clone();
+    match &fb.mode {
+        FallbackMode::CapVersion(max) => {
+            out.versions = ProtocolVersion::ALL
+                .into_iter()
+                .filter(|v| *v <= *max)
+                .filter(|v| spec.versions.contains(v) || *v == *max)
+                .collect();
+            if out.versions.is_empty() {
+                out.versions = vec![*max];
+            }
+            // TLS 1.3 suites make no sense below 1.3.
+            out.cipher_suites
+                .retain(|s| iotls_tls::ciphersuite::by_id(*s).is_none_or(|i| !i.is_tls13()));
+        }
+        FallbackMode::ReplaceSuites(suites) => {
+            out.cipher_suites = suites.clone();
+        }
+        FallbackMode::WeakenCipherAndSigAlg {
+            extra_suites,
+            extra_sig_algs,
+        } => {
+            for s in extra_suites {
+                if !out.cipher_suites.contains(s) {
+                    out.cipher_suites.push(*s);
+                }
+            }
+            for a in extra_sig_algs {
+                if !out.signature_algorithms.contains(a) {
+                    out.signature_algorithms.push(*a);
+                }
+            }
+        }
+    }
+    out
+}
+
+/// A neutral starting point for one-off device instances: TLS
+/// 1.0–1.2, a mainstream suite list, strict validation. Roster code
+/// customizes fields from here.
+pub fn custom(label: &str, library: LibraryProfile) -> TlsInstanceSpec {
+    base(label, library)
+}
+
+fn base(label: &str, library: LibraryProfile) -> TlsInstanceSpec {
+    TlsInstanceSpec {
+        label: label.into(),
+        library,
+        versions: vec![
+            ProtocolVersion::Tls10,
+            ProtocolVersion::Tls11,
+            ProtocolVersion::Tls12,
+        ],
+        cipher_suites: vec![0xc02f, 0xc030, 0x009c, 0x009d, 0x002f, 0x0035],
+        validation: ValidationPolicy::strict(),
+        send_sni: true,
+        request_ocsp: false,
+        session_ticket: false,
+        groups: vec![29, 23, 24],
+        point_formats: vec![0],
+        signature_algorithms: vec![sig_scheme::RSA_PKCS1_SHA256],
+        alpn: vec![],
+        fallback: None,
+    }
+}
+
+/// The Amazon family's main instance: an android-sdk-shaped OpenSSL
+/// stack that advertises down to TLS 1.0, offers legacy suites, and
+/// falls back to SSL 3.0 when a server goes silent (Table 5).
+pub fn android_sdk() -> TlsInstanceSpec {
+    let mut s = base("android-sdk", LibraryProfile::OpenSsl);
+    s.versions = vec![
+        ProtocolVersion::Ssl30,
+        ProtocolVersion::Tls10,
+        ProtocolVersion::Tls11,
+        ProtocolVersion::Tls12,
+    ];
+    s.cipher_suites = vec![
+        0xc02f, 0xc030, 0xc013, 0xc014, 0x009c, 0x009d, 0x002f, 0x0035, 0x000a, 0x0005, 0x0004,
+    ];
+    s.session_ticket = true;
+    s.fallback = Some(FallbackSpec {
+        trigger: FallbackTrigger {
+            on_failed: false,
+            on_incomplete: true,
+        },
+        mode: FallbackMode::CapVersion(ProtocolVersion::Ssl30),
+    });
+    s
+}
+
+/// The Amazon auxiliary instance that skips hostname validation — the
+/// WrongHostname vulnerability of Table 7, serving exactly one
+/// destination per device.
+pub fn amazon_aux_no_hostname() -> TlsInstanceSpec {
+    let mut s = base("amazon-iot-aux", LibraryProfile::JavaJsse);
+    s.versions = vec![ProtocolVersion::Tls11, ProtocolVersion::Tls12];
+    s.cipher_suites = vec![0xc02f, 0x009c, 0x003c, 0x002f];
+    s.validation = ValidationPolicy::no_hostname_check();
+    s
+}
+
+/// A strict modern Amazon instance (used by the Echo Dot 3, whose
+/// fingerprints overlap less with the rest of the family).
+pub fn amazon_modern() -> TlsInstanceSpec {
+    let mut s = base("amazon-fireos-7", LibraryProfile::OpenSsl);
+    s.versions = vec![ProtocolVersion::Tls12];
+    s.cipher_suites = vec![0xc02f, 0xc030, 0xcca8, 0x009e, 0x009c];
+    s.session_ticket = true;
+    s.groups = vec![29, 23];
+    s
+}
+
+/// Stock OpenSSL 1.0.2 — shared by Wink Hub 2, LG TV, and Harman
+/// Invoke (and labeled "openssl" in the fingerprint database), which
+/// is why all three are amenable to the root-store probe.
+pub fn openssl_102() -> TlsInstanceSpec {
+    let mut s = base("openssl-1.0.2", LibraryProfile::OpenSsl);
+    s.cipher_suites = vec![
+        0xc02f, 0xc030, 0xc013, 0xc014, 0x009e, 0x009c, 0x002f, 0x0035, 0x000a, 0x0005,
+    ];
+    s.signature_algorithms = vec![sig_scheme::RSA_PKCS1_SHA256, sig_scheme::RSA_PKCS1_SHA1];
+    s.request_ocsp = true;
+    s
+}
+
+/// An embedded stack with certificate validation compiled out — the
+/// seven fully vulnerable devices of Table 7. GnuTLS-profiled, so it
+/// sends no alerts (and is therefore *not* amenable to the probe,
+/// matching the paper's exclusion of non-validating devices).
+pub fn embedded_no_validation() -> TlsInstanceSpec {
+    let mut s = base("embedded-nossl-check", LibraryProfile::GnuTls);
+    s.cipher_suites = vec![0x009c, 0x002f, 0x0035, 0x000a, 0x0005];
+    s.validation = ValidationPolicy::no_validation();
+    s.groups = vec![23];
+    s
+}
+
+/// MbedTLS as shipped in small IoT SoCs: TLS 1.2 only, modest suite
+/// list, strict validation, amenable alerts.
+pub fn mbedtls_iot() -> TlsInstanceSpec {
+    let mut s = base("mbedtls-2.16", LibraryProfile::MbedTls);
+    s.versions = vec![ProtocolVersion::Tls12];
+    s.cipher_suites = vec![0xc02f, 0xc030, 0x009c, 0x009d, 0x000a];
+    s.groups = vec![23, 24];
+    s
+}
+
+/// The Google Home Mini's stack: modern versions (TLS 1.3 arrives by
+/// firmware update in 5/2019 — see the roster timeline), MbedTLS-style
+/// alerts (amenable), and the Table 5 weak-cipher fallback.
+pub fn google_home(tls13: bool) -> TlsInstanceSpec {
+    let mut s = base(
+        if tls13 {
+            "google-cast-boringssl-tls13"
+        } else {
+            "google-cast-boringssl"
+        },
+        LibraryProfile::MbedTls,
+    );
+    s.versions = vec![
+        ProtocolVersion::Tls10,
+        ProtocolVersion::Tls11,
+        ProtocolVersion::Tls12,
+    ];
+    if tls13 {
+        s.versions.push(ProtocolVersion::Tls13);
+        s.cipher_suites = vec![0x1301, 0x1303, 0xc02f, 0xc030, 0xcca8, 0x009c];
+    } else {
+        s.cipher_suites = vec![0xc02f, 0xc030, 0xcca8, 0x009c];
+    }
+    s.request_ocsp = true;
+    s.fallback = Some(FallbackSpec {
+        trigger: FallbackTrigger {
+            on_failed: false,
+            on_incomplete: true,
+        },
+        mode: FallbackMode::WeakenCipherAndSigAlg {
+            extra_suites: vec![0x000a], // TLS_RSA_WITH_3DES_EDE_CBC_SHA
+            extra_sig_algs: vec![sig_scheme::RSA_PKCS1_SHA1],
+        },
+    });
+    s
+}
+
+/// Apple Secure Transport: TLS 1.3 when `tls13`, strong suites only,
+/// strict validation, OCSP machinery on — and *no* failure alerts, so
+/// Apple devices are not amenable to the probe (Table 4).
+pub fn apple_secure_transport(tls13: bool) -> TlsInstanceSpec {
+    let mut s = base(
+        if tls13 {
+            "secure-transport-tls13"
+        } else {
+            "secure-transport"
+        },
+        LibraryProfile::SecureTransport,
+    );
+    s.versions = vec![ProtocolVersion::Tls12];
+    s.cipher_suites = vec![0xc02f, 0xc030, 0xc02b, 0xc02c, 0xcca9, 0xcca8, 0x009c];
+    if tls13 {
+        s.versions.push(ProtocolVersion::Tls13);
+        s.cipher_suites.insert(0, 0x1301);
+        s.cipher_suites.insert(1, 0x1302);
+    }
+    s.request_ocsp = true;
+    s.session_ticket = true;
+    s.alpn = vec!["h2".into(), "http/1.1".into()];
+    s
+}
+
+/// The HomePod variant: Apple stack plus the Table 5 TLS 1.0 fallback
+/// on silent servers.
+pub fn apple_homepod(tls13: bool) -> TlsInstanceSpec {
+    let mut s = apple_secure_transport(tls13);
+    s.label = if tls13 {
+        "secure-transport-homepod-tls13".into()
+    } else {
+        "secure-transport-homepod".into()
+    };
+    s.fallback = Some(FallbackSpec {
+        trigger: FallbackTrigger {
+            on_failed: false,
+            on_incomplete: true,
+        },
+        mode: FallbackMode::CapVersion(ProtocolVersion::Tls10),
+    });
+    s
+}
+
+/// Samsung's JSSE-shaped platform stack: revocation machinery on,
+/// certificate_unknown for every failure (not amenable).
+pub fn samsung_jsse() -> TlsInstanceSpec {
+    let mut s = base("samsung-jsse", LibraryProfile::JavaJsse);
+    s.versions = vec![ProtocolVersion::Tls11, ProtocolVersion::Tls12];
+    s.cipher_suites = vec![0xc02f, 0xc030, 0x009c, 0x009d, 0x003c, 0x002f, 0x000a, 0x0005];
+    s.request_ocsp = true;
+    s
+}
+
+/// The Roku TV's main instance: a huge (73-suite) offer that collapses
+/// to a single RC4 suite on *any* failure (Table 5), OpenSSL-profiled
+/// alerts (amenable).
+pub fn roku_main() -> TlsInstanceSpec {
+    let mut s = base("roku-openssl", LibraryProfile::OpenSsl);
+    // Offer every registry suite below TLS 1.3 except NULL/ANON —
+    // 73-ish in the paper, the full non-1.3 authenticated set here.
+    s.cipher_suites = iotls_tls::ciphersuite::REGISTRY
+        .iter()
+        .filter(|cs| !cs.is_tls13() && !cs.is_null_or_anon())
+        .map(|cs| cs.id)
+        .collect();
+    s.fallback = Some(FallbackSpec {
+        trigger: FallbackTrigger {
+            on_failed: true,
+            on_incomplete: true,
+        },
+        mode: FallbackMode::ReplaceSuites(vec![0x0005]), // TLS_RSA_WITH_RC4_128_SHA
+    });
+    s
+}
+
+/// A WolfSSL-shaped embedded stack (strict, not probe-amenable since
+/// both failures alert identically).
+pub fn wolfssl_embedded() -> TlsInstanceSpec {
+    let mut s = base("wolfssl-4.1", LibraryProfile::WolfSsl);
+    s.versions = vec![ProtocolVersion::Tls12];
+    s.cipher_suites = vec![0xc02f, 0x009c, 0x002f, 0x000a];
+    s.groups = vec![23];
+    s
+}
+
+/// An ancient stack that only speaks TLS 1.0 with legacy suites — the
+/// Wemo Plug (the one device advertising insecure versions for every
+/// connection across the whole study).
+pub fn legacy_tls10_only() -> TlsInstanceSpec {
+    let mut s = base("legacy-openssl-0.9.8", LibraryProfile::GnuTls);
+    s.versions = vec![ProtocolVersion::Tls10];
+    s.cipher_suites = vec![0x002f, 0x0035, 0x000a, 0x0005, 0x0004];
+    s.send_sni = false;
+    s.groups = vec![];
+    s.point_formats = vec![];
+    s.signature_algorithms = vec![];
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fp_of(spec: &TlsInstanceSpec) -> iotls_tls::FingerprintId {
+        // Build a hello the way the client would.
+        let cfg = client_config(spec, RootStore::new());
+        let conn = iotls_tls::ClientConnection::new(
+            cfg,
+            "fp.example.com",
+            iotls_x509::Timestamp::from_ymd(2021, 3, 1),
+            iotls_crypto::Drbg::from_seed(0),
+        );
+        conn.fingerprint().id()
+    }
+
+    #[test]
+    fn templates_have_distinct_fingerprints() {
+        let specs = [
+            android_sdk(),
+            amazon_aux_no_hostname(),
+            amazon_modern(),
+            openssl_102(),
+            embedded_no_validation(),
+            mbedtls_iot(),
+            google_home(false),
+            apple_secure_transport(false),
+            samsung_jsse(),
+            roku_main(),
+            wolfssl_embedded(),
+            legacy_tls10_only(),
+        ];
+        let mut ids: Vec<_> = specs.iter().map(fp_of).collect();
+        ids.sort();
+        ids.dedup();
+        assert_eq!(ids.len(), specs.len(), "fingerprint collision in templates");
+    }
+
+    #[test]
+    fn same_template_same_fingerprint() {
+        assert_eq!(fp_of(&android_sdk()), fp_of(&android_sdk()));
+        assert_eq!(fp_of(&openssl_102()), fp_of(&openssl_102()));
+    }
+
+    #[test]
+    fn amazon_fallback_caps_at_ssl30() {
+        let spec = android_sdk();
+        let fb = apply_fallback(&spec);
+        assert_eq!(
+            fb.versions.iter().max(),
+            Some(&ProtocolVersion::Ssl30)
+        );
+    }
+
+    #[test]
+    fn homepod_fallback_caps_at_tls10() {
+        let fb = apply_fallback(&apple_homepod(true));
+        assert_eq!(fb.versions.iter().max(), Some(&ProtocolVersion::Tls10));
+        // 1.3 suites removed once capped below 1.3.
+        assert!(fb
+            .cipher_suites
+            .iter()
+            .all(|s| !iotls_tls::ciphersuite::by_id(*s).is_some_and(|i| i.is_tls13())));
+    }
+
+    #[test]
+    fn roku_fallback_collapses_to_single_rc4() {
+        let spec = roku_main();
+        assert!(spec.cipher_suites.len() >= 40, "Roku offers a huge list");
+        let fb = apply_fallback(&spec);
+        assert_eq!(fb.cipher_suites, vec![0x0005]);
+    }
+
+    #[test]
+    fn google_home_fallback_adds_3des_and_sha1() {
+        let fb = apply_fallback(&google_home(false));
+        assert!(fb.cipher_suites.contains(&0x000a));
+        assert!(fb
+            .signature_algorithms
+            .contains(&sig_scheme::RSA_PKCS1_SHA1));
+    }
+
+    #[test]
+    fn no_fallback_is_identity() {
+        let spec = mbedtls_iot();
+        assert_eq!(apply_fallback(&spec), spec);
+    }
+
+    #[test]
+    fn templates_never_offer_null_or_anon() {
+        // §5.1: "Devices never support (ANON, NULL) ciphersuites."
+        for spec in [
+            android_sdk(),
+            amazon_aux_no_hostname(),
+            amazon_modern(),
+            openssl_102(),
+            embedded_no_validation(),
+            mbedtls_iot(),
+            google_home(true),
+            apple_secure_transport(true),
+            apple_homepod(true),
+            samsung_jsse(),
+            roku_main(),
+            wolfssl_embedded(),
+            legacy_tls10_only(),
+        ] {
+            assert!(
+                spec.cipher_suites
+                    .iter()
+                    .all(|s| !iotls_tls::ciphersuite::id_is_null_or_anon(*s)),
+                "{} offers NULL/ANON",
+                spec.label
+            );
+        }
+    }
+
+    #[test]
+    fn tls13_variants_differ_from_tls12_variants() {
+        assert_ne!(fp_of(&google_home(false)), fp_of(&google_home(true)));
+        assert_ne!(
+            fp_of(&apple_secure_transport(false)),
+            fp_of(&apple_secure_transport(true))
+        );
+    }
+}

@@ -1,0 +1,38 @@
+//! # iotls-devices
+//!
+//! The simulated smart-home testbed for the IoTLS reproduction: the
+//! 40-device roster of Table 1 with every behavior the paper reports
+//! encoded as ground truth — TLS instances and their library
+//! profiles, destinations and their cloud servers, downgrade
+//! fallbacks (Table 5), validation bugs (Table 7), root-store
+//! contents (Table 9, Figure 4), revocation machinery (Table 8), and
+//! firmware-update timelines (Figures 1–3).
+//!
+//! The measurement core (`iotls`) never reads these specs: it drives
+//! devices through the simulated network and rediscovers the
+//! behaviors blackbox, exactly as the paper's methodology does.
+//!
+//! * [`spec`] — specification types;
+//! * [`instance`] — shared TLS instance templates (the Fig. 5
+//!   fingerprint-sharing substrate) and spec → `ClientConfig`;
+//! * [`roster`] — the 40 devices;
+//! * [`rootsel`] — root-store ground truth construction;
+//! * [`cloud`] — cloud endpoint provisioning;
+//! * [`testbed`] — the assembled, cached [`testbed::Testbed`].
+
+pub mod cloud;
+pub mod instance;
+pub mod roster;
+pub mod rootsel;
+pub mod spec;
+pub mod testbed;
+
+pub use cloud::{CloudEndpoint, CloudRegistry};
+pub use instance::{apply_fallback, client_config};
+pub use roster::{roster, study_end, study_start};
+pub use rootsel::{build_root_truth, canonical_probe_order, DeviceRootTruth};
+pub use spec::{
+    Category, DevicePhase, DeviceSpec, Destination, FallbackMode, FallbackSpec, FallbackTrigger,
+    Party, RevocationSupport, RootSelection, RootStoreSpec, ServerProfile, TlsInstanceSpec,
+};
+pub use testbed::{DeviceSetup, Testbed};

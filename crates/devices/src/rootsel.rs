@@ -1,0 +1,329 @@
+//! Device root-store construction.
+//!
+//! Turns a [`RootStoreSpec`] into the actual [`RootStore`] a device
+//! trusts, plus the bookkeeping the emulation needs: which boot
+//! indices are "flaky" (the device produces no TLS traffic that boot,
+//! making the corresponding probe inconclusive — Table 9's
+//! denominators below 122/87).
+//!
+//! Everything is derived deterministically from the device name, so a
+//! given roster always yields the same stores and the same Table 9.
+
+use crate::spec::{RootSelection, RootStoreSpec};
+use iotls_crypto::drbg::Drbg;
+use iotls_crypto::sha256::sha256;
+use iotls_rootstore::{latest_removal_year, CaId, SimPki};
+use iotls_x509::RootStore;
+use std::collections::BTreeSet;
+
+/// Ground truth + emulation schedule for one device's root store.
+#[derive(Debug, Clone)]
+pub struct DeviceRootTruth {
+    /// The store the device actually trusts.
+    pub store: RootStore,
+    /// Common-set certs present.
+    pub common_present: BTreeSet<CaId>,
+    /// Deprecated-set certs present.
+    pub deprecated_present: BTreeSet<CaId>,
+    /// Boot indices on which the device produces no TLS traffic.
+    /// Probe boots are numbered 0.. in canonical probe order (common
+    /// set first, then deprecated), so these create the inconclusive
+    /// cells of Table 9.
+    pub flaky_boots: BTreeSet<u32>,
+}
+
+fn device_rng(device_name: &str, label: &str) -> Drbg {
+    let digest = sha256(format!("{device_name}/{label}").as_bytes());
+    let seed = u64::from_be_bytes(digest[..8].try_into().unwrap());
+    Drbg::from_seed(seed)
+}
+
+/// Evenly spread `count` picks over `n` positions (deterministic).
+fn spread_indices(n: usize, count: usize) -> Vec<usize> {
+    if count == 0 || n == 0 {
+        return Vec::new();
+    }
+    let count = count.min(n);
+    (0..count).map(|i| i * n / count).collect()
+}
+
+/// Builds the root-store ground truth for one device.
+pub fn build_root_truth(pki: &SimPki, device_name: &str, spec: &RootStoreSpec) -> DeviceRootTruth {
+    let common_order: Vec<CaId> = pki.common.clone();
+    let deprecated_order: Vec<CaId> = {
+        // Canonical probe order for the deprecated set: oldest removal
+        // year first, then id.
+        let mut v = pki.deprecated.clone();
+        v.sort_by_key(|id| {
+            (
+                latest_removal_year(&pki.histories, *id).unwrap_or(0),
+                id.0,
+            )
+        });
+        v
+    };
+    let distrusted: BTreeSet<CaId> = pki.universe.distrusted_ids().into_iter().collect();
+
+    // --- Flaky boots: inconclusive probes, never landing on a
+    // distrusted CA (the paper observes their presence in all eight
+    // devices, so they must be conclusive here).
+    let mut flaky = BTreeSet::new();
+    {
+        // Index 0 is the "popular web CA" every device keeps trusted
+        // and conclusive — the issuer of the attacker's legitimate
+        // own-domain certificate in the WrongHostname attack (the
+        // paper's ZeroSSL stand-in).
+        let candidates: Vec<u32> = (1..common_order.len() as u32).collect();
+        for idx in spread_indices(candidates.len(), spec.common_inconclusive as usize) {
+            flaky.insert(candidates[idx]);
+        }
+        let dep_candidates: Vec<u32> = deprecated_order
+            .iter()
+            .enumerate()
+            .filter(|(_, id)| !distrusted.contains(id))
+            .map(|(i, _)| common_order.len() as u32 + i as u32)
+            .collect();
+        for idx in spread_indices(dep_candidates.len(), spec.deprecated_inconclusive as usize) {
+            flaky.insert(dep_candidates[idx]);
+        }
+    }
+
+    // --- Common certs present: all conclusive ones except a deficit
+    // chosen deterministically (devices like Harman Invoke miss some).
+    let conclusive_common: Vec<CaId> = common_order
+        .iter()
+        .enumerate()
+        .filter(|(i, _)| !flaky.contains(&(*i as u32)))
+        .map(|(_, id)| *id)
+        .collect();
+    let present_count = (spec.common_present as usize).min(conclusive_common.len());
+    let absent_count = conclusive_common.len() - present_count;
+    let mut rng = device_rng(device_name, "common-absent");
+    // Skip position 0 (the always-trusted popular web CA).
+    let mut indices: Vec<usize> = (1..conclusive_common.len()).collect();
+    rng.shuffle(&mut indices);
+    let absent: BTreeSet<usize> = indices.into_iter().take(absent_count).collect();
+    let mut common_present: BTreeSet<CaId> = conclusive_common
+        .iter()
+        .enumerate()
+        .filter(|(i, _)| !absent.contains(i))
+        .map(|(_, id)| *id)
+        .collect();
+    // Inconclusive commons are also trusted (their presence is simply
+    // never observed) — keeps legitimate connections working.
+    for (i, id) in common_order.iter().enumerate() {
+        if flaky.contains(&(i as u32)) {
+            common_present.insert(*id);
+        }
+    }
+
+    // --- Deprecated certs present, by strategy, always including at
+    // least one distrusted CA when any are kept.
+    let conclusive_dep: Vec<CaId> = deprecated_order
+        .iter()
+        .enumerate()
+        .filter(|(i, _)| !flaky.contains(&((common_order.len() + i) as u32)))
+        .map(|(_, id)| *id)
+        .collect();
+    let keep = (spec.deprecated_present as usize).min(conclusive_dep.len());
+    let mut deprecated_present: BTreeSet<CaId> = match spec.selection {
+        RootSelection::NewestFirst => {
+            conclusive_dep.iter().rev().take(keep).copied().collect()
+        }
+        RootSelection::Spread => spread_indices(conclusive_dep.len(), keep)
+            .into_iter()
+            .map(|i| conclusive_dep[i])
+            .collect(),
+    };
+    if keep > 0 && deprecated_present.is_disjoint(&distrusted) {
+        // Swap the newest distrusted CA in for an arbitrary member.
+        let newest_distrusted = conclusive_dep
+            .iter()
+            .rev()
+            .find(|id| distrusted.contains(id))
+            .copied();
+        if let Some(d) = newest_distrusted {
+            let victim = *deprecated_present.iter().next().expect("keep > 0");
+            deprecated_present.remove(&victim);
+            deprecated_present.insert(d);
+        }
+    }
+
+    // --- Materialize the store.
+    let mut store = RootStore::new();
+    for id in common_present.iter().chain(deprecated_present.iter()) {
+        store.add(pki.universe.get(*id).cert.clone());
+    }
+
+    // Drop the inconclusive commons from the reported ground truth so
+    // `common_present` matches Table 9's numerator exactly.
+    let mut reported_common = common_present.clone();
+    for (i, id) in common_order.iter().enumerate() {
+        if flaky.contains(&(i as u32)) {
+            reported_common.remove(id);
+        }
+    }
+
+    DeviceRootTruth {
+        store,
+        common_present: reported_common,
+        deprecated_present,
+        flaky_boots: flaky,
+    }
+}
+
+/// The canonical probe order: common set, then deprecated sorted by
+/// removal year — must match [`build_root_truth`]'s numbering.
+pub fn canonical_probe_order(pki: &SimPki) -> Vec<CaId> {
+    let mut order = pki.common.clone();
+    let mut dep = pki.deprecated.clone();
+    dep.sort_by_key(|id| {
+        (
+            latest_removal_year(&pki.histories, *id).unwrap_or(0),
+            id.0,
+        )
+    });
+    order.extend(dep);
+    order
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::RootStoreSpec;
+
+    fn pki() -> &'static SimPki {
+        SimPki::global()
+    }
+
+    #[test]
+    fn clean_store_has_all_common_no_deprecated() {
+        let truth = build_root_truth(pki(), "Clean Device", &RootStoreSpec::clean());
+        assert_eq!(truth.common_present.len(), 122);
+        assert!(truth.deprecated_present.is_empty());
+        assert!(truth.flaky_boots.is_empty());
+        assert_eq!(truth.store.len(), 122);
+    }
+
+    #[test]
+    fn table9_shaped_store_google_home_mini() {
+        // GHM row: common 119/119, deprecated 4/71.
+        let spec = RootStoreSpec {
+            common_present: 119,
+            common_inconclusive: 3,
+            deprecated_present: 4,
+            deprecated_inconclusive: 16,
+            selection: RootSelection::NewestFirst,
+        };
+        let truth = build_root_truth(pki(), "Google Home Mini", &spec);
+        assert_eq!(truth.common_present.len(), 119);
+        assert_eq!(truth.deprecated_present.len(), 4);
+        assert_eq!(truth.flaky_boots.len(), 3 + 16);
+        // At least one distrusted CA is kept (the paper's headline).
+        let distrusted: BTreeSet<CaId> =
+            pki().universe.distrusted_ids().into_iter().collect();
+        assert!(!truth.deprecated_present.is_disjoint(&distrusted));
+    }
+
+    #[test]
+    fn spread_selection_reaches_old_removal_years() {
+        // LG TV row: 48/82 deprecated, spread back to 2013.
+        let spec = RootStoreSpec {
+            common_present: 96,
+            common_inconclusive: 19,
+            deprecated_present: 48,
+            deprecated_inconclusive: 5,
+            selection: RootSelection::Spread,
+        };
+        let truth = build_root_truth(pki(), "LG TV", &spec);
+        let years: Vec<i32> = truth
+            .deprecated_present
+            .iter()
+            .filter_map(|id| latest_removal_year(&pki().histories, *id))
+            .collect();
+        assert!(years.iter().min().unwrap() <= &2014, "{years:?}");
+        assert!(years.iter().max().unwrap() >= &2019);
+    }
+
+    #[test]
+    fn newest_first_selection_stays_recent() {
+        let spec = RootStoreSpec {
+            common_present: 119,
+            common_inconclusive: 3,
+            deprecated_present: 4,
+            deprecated_inconclusive: 16,
+            selection: RootSelection::NewestFirst,
+        };
+        let truth = build_root_truth(pki(), "Google Home Mini", &spec);
+        let years: Vec<i32> = truth
+            .deprecated_present
+            .iter()
+            .filter_map(|id| latest_removal_year(&pki().histories, *id))
+            .collect();
+        assert!(years.iter().all(|y| *y >= 2018), "{years:?}");
+    }
+
+    #[test]
+    fn flaky_boots_never_hit_distrusted_cas() {
+        let spec = RootStoreSpec {
+            common_present: 67,
+            common_inconclusive: 40,
+            deprecated_present: 41,
+            deprecated_inconclusive: 17,
+            selection: RootSelection::Spread,
+        };
+        let truth = build_root_truth(pki(), "Harman Invoke", &spec);
+        let order = canonical_probe_order(pki());
+        let distrusted: BTreeSet<CaId> =
+            pki().universe.distrusted_ids().into_iter().collect();
+        for boot in &truth.flaky_boots {
+            assert!(!distrusted.contains(&order[*boot as usize]));
+        }
+    }
+
+    #[test]
+    fn deterministic_per_device_name() {
+        let spec = RootStoreSpec {
+            common_present: 100,
+            common_inconclusive: 10,
+            deprecated_present: 20,
+            deprecated_inconclusive: 10,
+            selection: RootSelection::Spread,
+        };
+        let a = build_root_truth(pki(), "Device A", &spec);
+        let b = build_root_truth(pki(), "Device A", &spec);
+        assert_eq!(a.common_present, b.common_present);
+        assert_eq!(a.deprecated_present, b.deprecated_present);
+        assert_eq!(a.flaky_boots, b.flaky_boots);
+        let c = build_root_truth(pki(), "Device B", &spec);
+        assert_ne!(a.common_present, c.common_present);
+    }
+
+    #[test]
+    fn store_contains_exactly_present_plus_inconclusive_commons() {
+        let spec = RootStoreSpec {
+            common_present: 119,
+            common_inconclusive: 3,
+            deprecated_present: 4,
+            deprecated_inconclusive: 16,
+            selection: RootSelection::NewestFirst,
+        };
+        let truth = build_root_truth(pki(), "Google Home Mini", &spec);
+        // 119 conclusive present + 3 inconclusive (still trusted) + 4.
+        assert_eq!(truth.store.len(), 119 + 3 + 4);
+    }
+
+    #[test]
+    fn canonical_order_covers_both_sets() {
+        let order = canonical_probe_order(pki());
+        assert_eq!(order.len(), 122 + 87);
+        // Deprecated tail is sorted by removal year ascending.
+        let years: Vec<i32> = order[122..]
+            .iter()
+            .map(|id| latest_removal_year(&pki().histories, *id).unwrap())
+            .collect();
+        for w in years.windows(2) {
+            assert!(w[0] <= w[1]);
+        }
+    }
+}

@@ -1,0 +1,489 @@
+//! Device specification types.
+//!
+//! A [`DeviceSpec`] is the *ground truth* for one emulated device:
+//! which TLS instances it embeds, which destinations each instance
+//! contacts, how it falls back on connection failures, what its root
+//! store contains, and how its configuration changes over the study
+//! timeline. The measurement core never reads these specs directly —
+//! it interacts with the device through the simulated network and
+//! must rediscover the behaviors blackbox, exactly as the paper does.
+
+use iotls_tls::profile::LibraryProfile;
+use iotls_tls::version::ProtocolVersion;
+use iotls_x509::{Month, ValidationPolicy};
+
+/// Table 1 device category.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Category {
+    /// Cameras and doorbells.
+    Camera,
+    /// Smart hubs.
+    SmartHub,
+    /// Home automation (plugs, bulbs, thermostats…).
+    HomeAutomation,
+    /// TVs and streaming devices.
+    Tv,
+    /// Voice assistants and speakers.
+    Audio,
+    /// Other appliances.
+    Appliance,
+}
+
+impl Category {
+    /// All categories in Table 1 column order.
+    pub const ALL: [Category; 6] = [
+        Category::Camera,
+        Category::SmartHub,
+        Category::HomeAutomation,
+        Category::Tv,
+        Category::Audio,
+        Category::Appliance,
+    ];
+
+    /// Table 1 column heading.
+    pub fn name(self) -> &'static str {
+        match self {
+            Category::Camera => "Cameras",
+            Category::SmartHub => "Smart Hubs",
+            Category::HomeAutomation => "Home Automation",
+            Category::Tv => "TV",
+            Category::Audio => "Audio",
+            Category::Appliance => "Appliances",
+        }
+    }
+}
+
+/// First- vs third-party destination, per Ren et al.'s labeling.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Party {
+    /// Operated by the device manufacturer.
+    First,
+    /// Anyone else (analytics, CDNs, app stores).
+    Third,
+}
+
+/// What a device downgrades *to* when its fallback triggers.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FallbackMode {
+    /// Retry capping the advertised version (e.g. SSL 3.0 for the
+    /// Amazon family, TLS 1.0 for the HomePod).
+    CapVersion(ProtocolVersion),
+    /// Retry offering exactly this suite list (Roku's collapse from
+    /// 73 suites to `TLS_RSA_WITH_RC4_128_SHA` alone).
+    ReplaceSuites(Vec<u16>),
+    /// Retry with weaker suites appended and a weaker signature
+    /// algorithm advertised (Google Home Mini: 3DES + SHA-1).
+    WeakenCipherAndSigAlg {
+        /// Suites appended to the offer.
+        extra_suites: Vec<u16>,
+        /// Signature schemes appended (e.g. rsa_pkcs1_sha1).
+        extra_sig_algs: Vec<u16>,
+    },
+}
+
+/// Which failure kinds trigger the fallback (Table 5 columns 2–3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FallbackTrigger {
+    /// A handshake that failed with an error (e.g. bad certificate).
+    pub on_failed: bool,
+    /// A handshake that got no server response at all.
+    pub on_incomplete: bool,
+}
+
+/// A device's downgrade-on-failure behavior.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FallbackSpec {
+    /// What triggers it.
+    pub trigger: FallbackTrigger,
+    /// What it does.
+    pub mode: FallbackMode,
+}
+
+/// How a device instance selects which deprecated roots it kept —
+/// shapes each device's Figure 4 staleness bar.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RootSelection {
+    /// Keep the most recently deprecated certificates (devices with
+    /// small, recently-synced stores, e.g. Google Home Mini).
+    NewestFirst,
+    /// Keep certificates spread across all removal years (devices
+    /// with long-stale stores, e.g. LG TV back to 2013).
+    Spread,
+}
+
+/// Ground truth for one device's root store, phrased against the
+/// §4.2 probe sets.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RootStoreSpec {
+    /// How many of the 122 common certificates are present.
+    pub common_present: u32,
+    /// How many of the common certificates yield *inconclusive*
+    /// probes (the device generates no usable traffic for them) —
+    /// Table 9's denominators.
+    pub common_inconclusive: u32,
+    /// How many of the 87 deprecated certificates are present.
+    pub deprecated_present: u32,
+    /// Inconclusive deprecated probes.
+    pub deprecated_inconclusive: u32,
+    /// Selection strategy for which deprecated certs are kept.
+    pub selection: RootSelection,
+}
+
+impl RootStoreSpec {
+    /// A well-maintained store: all common roots, no deprecated ones.
+    pub fn clean() -> RootStoreSpec {
+        RootStoreSpec {
+            common_present: iotls_rootstore::COMMON_COUNT,
+            common_inconclusive: 0,
+            deprecated_present: 0,
+            deprecated_inconclusive: 0,
+            selection: RootSelection::NewestFirst,
+        }
+    }
+}
+
+/// Server-side behavior of one cloud destination.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ServerProfile {
+    /// Versions the server accepts.
+    pub versions: Vec<ProtocolVersion>,
+    /// Suites in server preference order.
+    pub suites: Vec<u16>,
+    /// Whether the server staples OCSP when asked.
+    pub staples_ocsp: bool,
+}
+
+impl ServerProfile {
+    /// A modern server: TLS 1.0–1.3, forward secrecy preferred.
+    pub fn modern() -> ServerProfile {
+        ServerProfile {
+            versions: vec![
+                ProtocolVersion::Tls10,
+                ProtocolVersion::Tls11,
+                ProtocolVersion::Tls12,
+                ProtocolVersion::Tls13,
+            ],
+            suites: vec![
+                0x1301, 0x1303, 0xc02f, 0xc030, 0xcca8, 0x009e, 0x009c, 0x002f, 0x0035, 0x000a,
+                0x0005,
+            ],
+            staples_ocsp: false,
+        }
+    }
+
+    /// A server capped at `max` with no forward-secrecy preference —
+    /// the "servers limit security" cases of §5.1.
+    pub fn legacy(max: ProtocolVersion) -> ServerProfile {
+        ServerProfile {
+            versions: ProtocolVersion::ALL
+                .into_iter()
+                .filter(|v| *v <= max)
+                .collect(),
+            suites: vec![0x009c, 0x002f, 0x0035, 0x000a, 0x0005],
+            staples_ocsp: false,
+        }
+    }
+
+    /// A server preferring non-forward-secret RSA key transport while
+    /// still accepting modern versions (the common case behind Fig 3's
+    /// "devices advertise PFS but servers don't pick it").
+    pub fn no_pfs() -> ServerProfile {
+        ServerProfile {
+            versions: vec![
+                ProtocolVersion::Tls10,
+                ProtocolVersion::Tls11,
+                ProtocolVersion::Tls12,
+            ],
+            suites: vec![0x009c, 0x009d, 0x002f, 0x0035, 0x000a],
+            staples_ocsp: false,
+        }
+    }
+}
+
+/// One destination a device contacts.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Destination {
+    /// Hostname (unique within the testbed).
+    pub hostname: String,
+    /// First or third party.
+    pub party: Party,
+    /// Index into the device's instance list: which TLS instance
+    /// opens connections to this destination.
+    pub instance: usize,
+    /// Contacted during the boot burst (active experiments reach only
+    /// these; Table 5 and Table 7 denominators may differ because of
+    /// passthrough-only destinations).
+    pub on_boot: bool,
+    /// Server behavior at this destination.
+    pub server: ServerProfile,
+    /// App-layer payload the device sends after the handshake; the
+    /// markers the paper quotes ("encrypt_key", "bearer", …) make a
+    /// successful interception demonstrably sensitive.
+    pub payload: Option<String>,
+    /// Average TLS connections per month in passive capture.
+    pub monthly_connections: u32,
+    /// Months during which this destination is contacted unusually
+    /// often (the Insteon Hub anomaly), with the boosted rate.
+    pub boost: Option<(Month, Month, u32)>,
+}
+
+impl Destination {
+    /// A first-party boot destination with a modern server.
+    pub fn first(hostname: &str, instance: usize) -> Destination {
+        Destination {
+            hostname: hostname.into(),
+            party: Party::First,
+            instance,
+            on_boot: true,
+            server: ServerProfile::modern(),
+            payload: None,
+            monthly_connections: 600,
+            boost: None,
+        }
+    }
+
+    /// A third-party destination.
+    pub fn third(hostname: &str, instance: usize) -> Destination {
+        Destination {
+            party: Party::Third,
+            ..Destination::first(hostname, instance)
+        }
+    }
+
+    /// Builder: set the server profile.
+    pub fn server(mut self, server: ServerProfile) -> Destination {
+        self.server = server;
+        self
+    }
+
+    /// Builder: set the sensitive payload.
+    pub fn payload(mut self, p: &str) -> Destination {
+        self.payload = Some(p.into());
+        self
+    }
+
+    /// Builder: mark as not contacted at boot.
+    pub fn not_on_boot(mut self) -> Destination {
+        self.on_boot = false;
+        self
+    }
+
+    /// Builder: set the monthly connection rate.
+    pub fn rate(mut self, monthly: u32) -> Destination {
+        self.monthly_connections = monthly;
+        self
+    }
+
+    /// Builder: add a traffic boost window.
+    pub fn boosted(mut self, from: Month, to: Month, rate: u32) -> Destination {
+        self.boost = Some((from, to, rate));
+        self
+    }
+}
+
+/// One TLS instance: implementation + configuration, the unit that
+/// produces a fingerprint (§5.3).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TlsInstanceSpec {
+    /// Label for reports ("android-sdk", "openssl-1.0.2", …).
+    pub label: String,
+    /// Library emulation (controls validation-failure alerts).
+    pub library: LibraryProfile,
+    /// Versions advertised.
+    pub versions: Vec<ProtocolVersion>,
+    /// Suites offered, in order.
+    pub cipher_suites: Vec<u16>,
+    /// Validation behavior.
+    pub validation: ValidationPolicy,
+    /// Send SNI.
+    pub send_sni: bool,
+    /// Request OCSP staples.
+    pub request_ocsp: bool,
+    /// Send session_ticket.
+    pub session_ticket: bool,
+    /// supported_groups.
+    pub groups: Vec<u16>,
+    /// ec_point_formats.
+    pub point_formats: Vec<u8>,
+    /// signature_algorithms.
+    pub signature_algorithms: Vec<u16>,
+    /// ALPN protocols.
+    pub alpn: Vec<String>,
+    /// Downgrade-on-failure behavior, if any.
+    pub fallback: Option<FallbackSpec>,
+}
+
+/// One phase of a device's life: the instance set in effect from
+/// `start` until the next phase. Firmware updates = phase boundaries.
+#[derive(Debug, Clone)]
+pub struct DevicePhase {
+    /// First month this phase applies.
+    pub start: Month,
+    /// The instance set (indices referenced by destinations must stay
+    /// valid across phases).
+    pub instances: Vec<TlsInstanceSpec>,
+}
+
+/// Which revocation-checking machinery a device exercises (Table 8).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct RevocationSupport {
+    /// Fetches CRLs.
+    pub crl: bool,
+    /// Queries OCSP responders.
+    pub ocsp: bool,
+    /// Requests OCSP staples in ClientHellos.
+    pub ocsp_stapling: bool,
+}
+
+/// A complete device specification.
+#[derive(Debug, Clone)]
+pub struct DeviceSpec {
+    /// Device name as in Table 1.
+    pub name: String,
+    /// Category.
+    pub category: Category,
+    /// Included in active experiments (unstarred in Table 1).
+    pub in_active: bool,
+    /// Safe to power-cycle repeatedly (appliances are not).
+    pub reboot_safe: bool,
+    /// First month with passive traffic.
+    pub passive_from: Month,
+    /// Last month with passive traffic (inclusive).
+    pub passive_to: Month,
+    /// Configuration phases, chronological.
+    pub phases: Vec<DevicePhase>,
+    /// Destinations (instance indices refer into the phases).
+    pub destinations: Vec<Destination>,
+    /// Root store ground truth.
+    pub root_store: RootStoreSpec,
+    /// Revocation machinery.
+    pub revocation: RevocationSupport,
+    /// The Yi Camera quirk: disables certificate validation entirely
+    /// after this many consecutive failed connections (None = never).
+    pub disable_validation_after_failures: Option<u32>,
+}
+
+impl DeviceSpec {
+    /// The instance set in effect during `month`.
+    pub fn instances_at(&self, month: Month) -> &[TlsInstanceSpec] {
+        let mut current = &self.phases[0];
+        for phase in &self.phases {
+            if phase.start <= month {
+                current = phase;
+            } else {
+                break;
+            }
+        }
+        &current.instances
+    }
+
+    /// The instance set in effect at active-probe time (March 2021).
+    pub fn instances_now(&self) -> &[TlsInstanceSpec] {
+        self.instances_at(Month::new(2021, 3))
+    }
+
+    /// Destinations contacted during a boot burst.
+    pub fn boot_destinations(&self) -> Vec<&Destination> {
+        self.destinations.iter().filter(|d| d.on_boot).collect()
+    }
+
+    /// True when the device was active in `month`'s passive capture.
+    pub fn active_in(&self, month: Month) -> bool {
+        self.passive_from <= month && month <= self.passive_to
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn minimal_instance(label: &str) -> TlsInstanceSpec {
+        TlsInstanceSpec {
+            label: label.into(),
+            library: LibraryProfile::OpenSsl,
+            versions: vec![ProtocolVersion::Tls12],
+            cipher_suites: vec![0xc02f],
+            validation: ValidationPolicy::strict(),
+            send_sni: true,
+            request_ocsp: false,
+            session_ticket: false,
+            groups: vec![29],
+            point_formats: vec![0],
+            signature_algorithms: vec![0x0401],
+            alpn: vec![],
+            fallback: None,
+        }
+    }
+
+    fn two_phase_device() -> DeviceSpec {
+        DeviceSpec {
+            name: "Test Device".into(),
+            category: Category::Camera,
+            in_active: true,
+            reboot_safe: true,
+            passive_from: Month::new(2018, 1),
+            passive_to: Month::new(2020, 3),
+            phases: vec![
+                DevicePhase {
+                    start: Month::new(2018, 1),
+                    instances: vec![minimal_instance("old")],
+                },
+                DevicePhase {
+                    start: Month::new(2019, 5),
+                    instances: vec![minimal_instance("new")],
+                },
+            ],
+            destinations: vec![Destination::first("cloud.test.example", 0)],
+            root_store: RootStoreSpec::clean(),
+            revocation: RevocationSupport::default(),
+            disable_validation_after_failures: None,
+        }
+    }
+
+    #[test]
+    fn phase_selection_by_month() {
+        let d = two_phase_device();
+        assert_eq!(d.instances_at(Month::new(2018, 6))[0].label, "old");
+        assert_eq!(d.instances_at(Month::new(2019, 4))[0].label, "old");
+        assert_eq!(d.instances_at(Month::new(2019, 5))[0].label, "new");
+        assert_eq!(d.instances_now()[0].label, "new");
+    }
+
+    #[test]
+    fn activity_window() {
+        let d = two_phase_device();
+        assert!(d.active_in(Month::new(2018, 1)));
+        assert!(d.active_in(Month::new(2020, 3)));
+        assert!(!d.active_in(Month::new(2020, 4)));
+        assert!(!d.active_in(Month::new(2017, 12)));
+    }
+
+    #[test]
+    fn boot_destination_filter() {
+        let mut d = two_phase_device();
+        d.destinations
+            .push(Destination::third("lazy.test.example", 0).not_on_boot());
+        assert_eq!(d.boot_destinations().len(), 1);
+        assert_eq!(d.destinations.len(), 2);
+    }
+
+    #[test]
+    fn destination_builders() {
+        let dest = Destination::first("a.example", 0)
+            .payload("bearer tok")
+            .rate(10)
+            .server(ServerProfile::legacy(ProtocolVersion::Tls11));
+        assert_eq!(dest.payload.as_deref(), Some("bearer tok"));
+        assert_eq!(dest.monthly_connections, 10);
+        assert!(!dest
+            .server
+            .versions
+            .contains(&ProtocolVersion::Tls12));
+    }
+
+    #[test]
+    fn category_names() {
+        assert_eq!(Category::Camera.name(), "Cameras");
+        assert_eq!(Category::ALL.len(), 6);
+    }
+}

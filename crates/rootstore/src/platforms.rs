@@ -1,0 +1,291 @@
+//! Platform root-store histories (Table 3).
+//!
+//! Four platforms, each with a chronological series of store
+//! versions: Ubuntu (9 versions from 2012), Android (10 from 2010),
+//! Mozilla NSS (47 from 2013), Microsoft (15 from 2017). A CA's
+//! membership in each version follows its [`CaFate`]: common CAs are
+//! always present; deprecated CAs are present until the first version
+//! at or after their removal year; re-added CAs disappear and return.
+
+use crate::ca::{CaFate, CaId, CaUniverse};
+use std::collections::BTreeSet;
+
+/// A reference platform whose root store history we track.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Platform {
+    /// Ubuntu `ca-certificates`.
+    Ubuntu,
+    /// Android `system/ca-certificates`.
+    Android,
+    /// Mozilla NSS `certdata.txt`.
+    Mozilla,
+    /// Microsoft Trusted Root Program.
+    Microsoft,
+}
+
+impl Platform {
+    /// All platforms, in Table 3 order.
+    pub const ALL: [Platform; 4] = [
+        Platform::Ubuntu,
+        Platform::Android,
+        Platform::Mozilla,
+        Platform::Microsoft,
+    ];
+
+    /// Number of historical versions (Table 3, column 2).
+    pub fn version_count(self) -> usize {
+        match self {
+            Platform::Ubuntu => 9,
+            Platform::Android => 10,
+            Platform::Mozilla => 47,
+            Platform::Microsoft => 15,
+        }
+    }
+
+    /// Year of the earliest version (Table 3, column 3).
+    pub fn earliest_year(self) -> i32 {
+        match self {
+            Platform::Ubuntu => 2012,
+            Platform::Android => 2010,
+            Platform::Mozilla => 2013,
+            Platform::Microsoft => 2017,
+        }
+    }
+
+    /// Display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Platform::Ubuntu => "Ubuntu",
+            Platform::Android => "Android",
+            Platform::Mozilla => "Mozilla",
+            Platform::Microsoft => "Microsoft",
+        }
+    }
+
+    /// How the paper says the data was obtained (Table 3, comments).
+    pub fn source_comment(self) -> &'static str {
+        match self {
+            Platform::Ubuntu => {
+                "ca-certificates package, /etc/ssl/certs/ca-certificates.crt from official Docker images"
+            }
+            Platform::Android => {
+                "version-tagged commits of platform/system/ca-certificates or luni/src/main/files/cacerts"
+            }
+            Platform::Mozilla => {
+                "commit history of NSS security/nss/lib/ckfw/builtins/certdata.txt"
+            }
+            Platform::Microsoft => {
+                "historical information published by Microsoft about its trusted root store"
+            }
+        }
+    }
+}
+
+/// One version of one platform's root store.
+#[derive(Debug, Clone)]
+pub struct StoreVersion {
+    /// Version label, e.g. "Mozilla v13".
+    pub label: String,
+    /// Release year (fractional years collapse to the year).
+    pub year: i32,
+    /// Member CAs.
+    pub certs: BTreeSet<CaId>,
+}
+
+/// A platform's full chronological history.
+#[derive(Debug, Clone)]
+pub struct PlatformHistory {
+    /// Which platform.
+    pub platform: Platform,
+    /// Versions, oldest first.
+    pub versions: Vec<StoreVersion>,
+}
+
+impl PlatformHistory {
+    /// The earliest version.
+    pub fn earliest(&self) -> &StoreVersion {
+        self.versions.first().expect("history non-empty")
+    }
+
+    /// The latest version.
+    pub fn latest(&self) -> &StoreVersion {
+        self.versions.last().expect("history non-empty")
+    }
+}
+
+/// The release years of each version, spread evenly from the earliest
+/// year through 2021.
+fn version_years(platform: Platform) -> Vec<i32> {
+    let count = platform.version_count();
+    let first = platform.earliest_year();
+    let last = 2021;
+    let span = (last - first) as f64;
+    (0..count)
+        .map(|i| {
+            if count == 1 {
+                first
+            } else {
+                // Floor (not round) so sparse histories still hit the
+                // early years — Android's 2013 release is what lets
+                // Figure 4's tail reach 2013.
+                first + (span * i as f64 / (count - 1) as f64).floor() as i32
+            }
+        })
+        .collect()
+}
+
+/// Whether a CA is a member of a platform store version released in
+/// `version_year`.
+fn is_member(fate: &CaFate, platform: Platform, version_year: i32, is_latest: bool) -> bool {
+    match fate {
+        CaFate::Common => true,
+        CaFate::Deprecated { removal_year } | CaFate::DeprecatedExpired { removal_year } => {
+            version_year < *removal_year
+        }
+        CaFate::Readded { removal_year } => {
+            // Gone during [removal_year, removal_year+2), then back —
+            // but only Mozilla re-adds it (keeps it out of the common
+            // set while exercising §4.2's exclusion rule).
+            if version_year < *removal_year {
+                true
+            } else if platform == Platform::Mozilla {
+                is_latest || version_year >= removal_year + 2
+            } else {
+                false
+            }
+        }
+    }
+}
+
+/// Builds all four platform histories over the universe.
+pub fn build_histories(universe: &CaUniverse) -> Vec<PlatformHistory> {
+    Platform::ALL
+        .iter()
+        .map(|&platform| {
+            let years = version_years(platform);
+            let last_idx = years.len() - 1;
+            let versions = years
+                .iter()
+                .enumerate()
+                .map(|(i, &year)| {
+                    let certs: BTreeSet<CaId> = universe
+                        .records()
+                        .iter()
+                        .filter(|r| is_member(&r.fate, platform, year, i == last_idx))
+                        .map(|r| r.id)
+                        .collect();
+                    StoreVersion {
+                        label: format!("{} v{}", platform.name(), i + 1),
+                        year,
+                        certs,
+                    }
+                })
+                .collect();
+            PlatformHistory { platform, versions }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ca::{CaUniverse, COMMON_COUNT};
+
+    fn histories() -> (&'static CaUniverse, &'static Vec<PlatformHistory>) {
+        let pki = crate::SimPki::global();
+        (&pki.universe, &pki.histories)
+    }
+
+    #[test]
+    fn version_counts_match_table3() {
+        let (_, hs) = histories();
+        let counts: Vec<usize> = hs.iter().map(|h| h.versions.len()).collect();
+        assert_eq!(counts, vec![9, 10, 47, 15]);
+    }
+
+    #[test]
+    fn earliest_years_match_table3() {
+        let (_, hs) = histories();
+        for h in hs {
+            assert_eq!(h.earliest().year, h.platform.earliest_year());
+            assert_eq!(h.latest().year, 2021);
+        }
+    }
+
+    #[test]
+    fn versions_are_chronological() {
+        let (_, hs) = histories();
+        for h in hs {
+            for w in h.versions.windows(2) {
+                assert!(w[0].year <= w[1].year);
+            }
+        }
+    }
+
+    #[test]
+    fn common_cas_in_every_latest_version() {
+        let (u, hs) = histories();
+        let common = u.ids_where(|f| matches!(f, CaFate::Common));
+        assert_eq!(common.len() as u32, COMMON_COUNT);
+        for h in hs {
+            for id in &common {
+                assert!(h.latest().certs.contains(id), "{}", h.platform.name());
+            }
+        }
+    }
+
+    #[test]
+    fn deprecated_cas_absent_from_every_latest_version() {
+        let (u, hs) = histories();
+        for id in u.ids_where(|f| matches!(f, CaFate::Deprecated { .. })) {
+            for h in hs {
+                assert!(!h.latest().certs.contains(&id));
+            }
+        }
+    }
+
+    #[test]
+    fn deprecated_cas_present_before_removal() {
+        let (u, hs) = histories();
+        // A CA removed in 2018 is in Android's earliest (2010) store.
+        let android = hs.iter().find(|h| h.platform == Platform::Android).unwrap();
+        for rec in u.records() {
+            if let CaFate::Deprecated { removal_year } = rec.fate {
+                if removal_year > android.earliest().year {
+                    assert!(
+                        android.earliest().certs.contains(&rec.id),
+                        "{} (removed {removal_year})",
+                        rec.name.common_name
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn readded_cas_return_only_in_mozilla() {
+        let (u, hs) = histories();
+        for id in u.ids_where(|f| matches!(f, CaFate::Readded { .. })) {
+            for h in hs {
+                let in_latest = h.latest().certs.contains(&id);
+                assert_eq!(in_latest, h.platform == Platform::Mozilla);
+            }
+        }
+    }
+
+    #[test]
+    fn store_sizes_are_plausible() {
+        let (_, hs) = histories();
+        for h in hs {
+            // Earliest stores carry common + not-yet-removed CAs.
+            assert!(h.earliest().certs.len() > 122);
+            // Latest stores: exactly common (+ Mozilla's re-adds).
+            let expected = if h.platform == Platform::Mozilla {
+                122 + 5
+            } else {
+                122
+            };
+            assert_eq!(h.latest().certs.len(), expected, "{}", h.platform.name());
+        }
+    }
+}

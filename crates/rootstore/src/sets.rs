@@ -1,0 +1,234 @@
+//! Probe-set construction (§4.2 of the paper) and staleness analysis
+//! (Figure 4).
+//!
+//! Two certificate sets drive the root-store exploration:
+//!
+//! * **Common CA certificates** — the latest version of every
+//!   platform store, intersected, filtered to currently unexpired.
+//! * **Deprecated CA certificates** — starting from each platform's
+//!   earliest version, every certificate removed by a successor
+//!   version, currently unexpired, excluding any certificate that is
+//!   still present in the latest version of a store (the paper's
+//!   re-add rule; we apply it across platforms so a certificate still
+//!   trusted by any major platform is never called deprecated).
+
+use crate::ca::{CaId, CaUniverse};
+use crate::platforms::PlatformHistory;
+use iotls_x509::Timestamp;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Certificates common to the latest version of all platforms,
+/// unexpired at `now`.
+pub fn common_certs(
+    universe: &CaUniverse,
+    histories: &[PlatformHistory],
+    now: Timestamp,
+) -> Vec<CaId> {
+    assert!(!histories.is_empty());
+    let mut common: BTreeSet<CaId> = histories[0].latest().certs.clone();
+    for h in &histories[1..] {
+        common = common
+            .intersection(&h.latest().certs)
+            .copied()
+            .collect();
+    }
+    common
+        .into_iter()
+        .filter(|id| universe.get(*id).cert.is_time_valid(now))
+        .collect()
+}
+
+/// Certificates removed from any platform's store over its history,
+/// unexpired at `now`, and not present in any platform's latest
+/// version.
+pub fn deprecated_certs(
+    universe: &CaUniverse,
+    histories: &[PlatformHistory],
+    now: Timestamp,
+) -> Vec<CaId> {
+    let mut still_trusted: BTreeSet<CaId> = BTreeSet::new();
+    for h in histories {
+        still_trusted.extend(h.latest().certs.iter().copied());
+    }
+    let mut removed: BTreeSet<CaId> = BTreeSet::new();
+    for h in histories {
+        let mut seen: BTreeSet<CaId> = BTreeSet::new();
+        for version in &h.versions {
+            for id in &seen {
+                if !version.certs.contains(id) {
+                    removed.insert(*id);
+                }
+            }
+            seen.extend(version.certs.iter().copied());
+        }
+    }
+    removed
+        .into_iter()
+        .filter(|id| !still_trusted.contains(id))
+        .filter(|id| universe.get(*id).cert.is_time_valid(now))
+        .collect()
+}
+
+/// The observed removal year of a certificate on one platform: the
+/// year of the first version where it is absent after having been
+/// present. `None` when never present or never removed.
+pub fn removal_year_on(history: &PlatformHistory, id: CaId) -> Option<i32> {
+    let mut was_present = false;
+    for version in &history.versions {
+        let present = version.certs.contains(&id);
+        if was_present && !present {
+            return Some(version.year);
+        }
+        was_present |= present;
+    }
+    None
+}
+
+/// The staleness metric of Figure 4: the *latest* year of removal
+/// across all platforms that removed the certificate.
+pub fn latest_removal_year(histories: &[PlatformHistory], id: CaId) -> Option<i32> {
+    histories
+        .iter()
+        .filter_map(|h| removal_year_on(h, id))
+        .max()
+}
+
+/// Histogram of removal years for a set of certificates — the series
+/// behind each device's bar in Figure 4.
+pub fn staleness_histogram(
+    histories: &[PlatformHistory],
+    ids: &[CaId],
+) -> BTreeMap<i32, usize> {
+    let mut hist = BTreeMap::new();
+    for id in ids {
+        if let Some(y) = latest_removal_year(histories, *id) {
+            *hist.entry(y).or_insert(0) += 1;
+        }
+    }
+    hist
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ca::{CaFate, CaUniverse, COMMON_COUNT, DEPRECATED_COUNT};
+
+    fn setup() -> (&'static CaUniverse, &'static Vec<PlatformHistory>) {
+        let pki = crate::SimPki::global();
+        (&pki.universe, &pki.histories)
+    }
+
+    fn now() -> Timestamp {
+        Timestamp::from_ymd(2021, 3, 1)
+    }
+
+    #[test]
+    fn common_set_has_122_certs() {
+        let (u, hs) = setup();
+        let common = common_certs(u, hs, now());
+        assert_eq!(common.len() as u32, COMMON_COUNT);
+        for id in &common {
+            assert!(matches!(u.get(*id).fate, CaFate::Common));
+        }
+    }
+
+    #[test]
+    fn deprecated_set_has_87_certs() {
+        let (u, hs) = setup();
+        let deprecated = deprecated_certs(u, hs, now());
+        assert_eq!(deprecated.len() as u32, DEPRECATED_COUNT);
+        for id in &deprecated {
+            assert!(matches!(u.get(*id).fate, CaFate::Deprecated { .. }));
+        }
+    }
+
+    #[test]
+    fn sets_are_disjoint() {
+        let (u, hs) = setup();
+        let common: BTreeSet<CaId> = common_certs(u, hs, now()).into_iter().collect();
+        let deprecated = deprecated_certs(u, hs, now());
+        assert!(deprecated.iter().all(|id| !common.contains(id)));
+    }
+
+    #[test]
+    fn expired_certs_filtered_from_deprecated_set() {
+        let (u, hs) = setup();
+        let deprecated: BTreeSet<CaId> =
+            deprecated_certs(u, hs, now()).into_iter().collect();
+        for id in u.ids_where(|f| matches!(f, CaFate::DeprecatedExpired { .. })) {
+            assert!(!deprecated.contains(&id));
+        }
+    }
+
+    #[test]
+    fn readded_certs_excluded_from_both_sets() {
+        let (u, hs) = setup();
+        let common: BTreeSet<CaId> = common_certs(u, hs, now()).into_iter().collect();
+        let deprecated: BTreeSet<CaId> =
+            deprecated_certs(u, hs, now()).into_iter().collect();
+        for id in u.ids_where(|f| matches!(f, CaFate::Readded { .. })) {
+            assert!(!common.contains(&id), "re-added CA in common set");
+            assert!(!deprecated.contains(&id), "re-added CA in deprecated set");
+        }
+    }
+
+    #[test]
+    fn all_four_distrusted_cas_in_deprecated_set() {
+        let (u, hs) = setup();
+        let deprecated: BTreeSet<CaId> =
+            deprecated_certs(u, hs, now()).into_iter().collect();
+        for id in u.distrusted_ids() {
+            assert!(
+                deprecated.contains(&id),
+                "{} missing",
+                u.get(id).name.common_name
+            );
+        }
+    }
+
+    #[test]
+    fn removal_years_match_fate_metadata_within_version_granularity() {
+        let (u, hs) = setup();
+        for rec in u.records() {
+            if let CaFate::Deprecated { removal_year } = rec.fate {
+                let observed = latest_removal_year(hs, rec.id)
+                    .unwrap_or_else(|| panic!("{} never removed", rec.name.common_name));
+                // Observed removal is at or after the true year (store
+                // versions are discrete) and within the version gap.
+                assert!(
+                    observed >= removal_year && observed <= removal_year + 2,
+                    "{}: true {removal_year}, observed {observed}",
+                    rec.name.common_name
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn staleness_histogram_covers_all_deprecated() {
+        let (u, hs) = setup();
+        let deprecated = deprecated_certs(u, hs, now());
+        let hist = staleness_histogram(hs, &deprecated);
+        let total: usize = hist.values().sum();
+        assert_eq!(total as u32, DEPRECATED_COUNT);
+        // The 2018-2019 bulk the paper reports.
+        let recent: usize = hist
+            .iter()
+            .filter(|(y, _)| **y >= 2018)
+            .map(|(_, c)| *c)
+            .sum();
+        assert!(
+            recent * 2 > total,
+            "majority removed 2018+: {recent}/{total} ({hist:?})"
+        );
+        // And a tail reaching back to 2013.
+        assert!(*hist.keys().min().unwrap() <= 2014);
+    }
+
+    #[test]
+    fn never_removed_cert_has_no_removal_year() {
+        let (u, hs) = setup();
+        let common = u.ids_where(|f| matches!(f, CaFate::Common));
+        assert_eq!(latest_removal_year(hs, common[0]), None);
+    }
+}

@@ -1,0 +1,107 @@
+//! Simulated DNS with a query log.
+//!
+//! The paper identifies destinations "via SNI or DNS" and detects
+//! revocation checking partly by watching devices contact CRL/OCSP
+//! endpoints. The simulator's DNS keeps a log of every query so the
+//! passive analyzer can make the same inferences.
+
+use iotls_x509::Timestamp;
+use std::collections::BTreeMap;
+
+/// One logged DNS query.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DnsQuery {
+    /// When the query happened.
+    pub time: Timestamp,
+    /// The querying device.
+    pub device: String,
+    /// Hostname asked for.
+    pub hostname: String,
+}
+
+/// Hostname registry plus query log.
+#[derive(Debug, Default)]
+pub struct DnsTable {
+    registered: BTreeMap<String, bool>,
+    log: Vec<DnsQuery>,
+}
+
+impl DnsTable {
+    /// An empty table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers a resolvable hostname.
+    pub fn register(&mut self, hostname: &str) {
+        self.registered.insert(hostname.to_ascii_lowercase(), true);
+    }
+
+    /// Resolves `hostname` for `device`, logging the query. Returns
+    /// whether the name resolves.
+    pub fn resolve(&mut self, time: Timestamp, device: &str, hostname: &str) -> bool {
+        self.log.push(DnsQuery {
+            time,
+            device: device.to_string(),
+            hostname: hostname.to_string(),
+        });
+        self.registered
+            .get(&hostname.to_ascii_lowercase())
+            .copied()
+            .unwrap_or(false)
+    }
+
+    /// The full query log.
+    pub fn log(&self) -> &[DnsQuery] {
+        &self.log
+    }
+
+    /// Queries made by one device.
+    pub fn queries_by(&self, device: &str) -> Vec<&DnsQuery> {
+        self.log.iter().filter(|q| q.device == device).collect()
+    }
+
+    /// Distinct hostnames a device asked for.
+    pub fn hostnames_for(&self, device: &str) -> Vec<String> {
+        let mut names: Vec<String> = self
+            .log
+            .iter()
+            .filter(|q| q.device == device)
+            .map(|q| q.hostname.clone())
+            .collect();
+        names.sort();
+        names.dedup();
+        names
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn resolve_registered_and_unknown() {
+        let mut dns = DnsTable::new();
+        dns.register("cloud.example.com");
+        assert!(dns.resolve(Timestamp(0), "cam", "cloud.example.com"));
+        assert!(dns.resolve(Timestamp(1), "cam", "Cloud.Example.COM"));
+        assert!(!dns.resolve(Timestamp(2), "cam", "nope.example.com"));
+        assert_eq!(dns.log().len(), 3);
+    }
+
+    #[test]
+    fn per_device_views() {
+        let mut dns = DnsTable::new();
+        dns.register("a.example.com");
+        dns.resolve(Timestamp(0), "cam", "a.example.com");
+        dns.resolve(Timestamp(1), "hub", "a.example.com");
+        dns.resolve(Timestamp(2), "cam", "a.example.com");
+        dns.resolve(Timestamp(3), "cam", "b.example.com");
+        assert_eq!(dns.queries_by("cam").len(), 3);
+        assert_eq!(
+            dns.hostnames_for("cam"),
+            vec!["a.example.com".to_string(), "b.example.com".to_string()]
+        );
+        assert_eq!(dns.hostnames_for("hub").len(), 1);
+    }
+}

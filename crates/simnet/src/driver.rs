@@ -1,0 +1,153 @@
+//! Lockstep session driver.
+//!
+//! Connects a sans-IO TLS client to a sans-IO TLS server over a
+//! `DuplexLink` and pumps bytes until the
+//! link is quiescent, optionally exchanging application payloads and
+//! optionally copying every byte into a passive [`GatewayTap`]. This
+//! is the single primitive behind every experiment in the
+//! reproduction: passive capture (real server), interception (the
+//! MITM's server), and the root-store probe (spoofed-CA server).
+
+use crate::pipe::DuplexLink;
+use crate::tap::{GatewayTap, TlsObservation};
+use iotls_tls::client::{ClientConnection, HandshakeSummary};
+use iotls_tls::server::ServerConnection;
+use iotls_x509::Timestamp;
+
+/// How many pump rounds before declaring the session wedged — far
+/// beyond any legitimate handshake (which needs ~4).
+const MAX_ROUNDS: usize = 64;
+
+/// Everything a driven session produced.
+pub struct SessionResult {
+    /// The client's view of the handshake.
+    pub client_summary: HandshakeSummary,
+    /// True when both sides established.
+    pub established: bool,
+    /// Application data the server-side received (what a successful
+    /// MITM exfiltrates).
+    pub server_received: Vec<u8>,
+    /// Application data the client received back.
+    pub client_received: Vec<u8>,
+    /// Passive observation, when a tap was attached.
+    pub observation: Option<TlsObservation>,
+    /// Total bytes carried client→server.
+    pub bytes_c2s: u64,
+    /// Total bytes carried server→client.
+    pub bytes_s2c: u64,
+}
+
+/// Session inputs.
+pub struct SessionParams<'a> {
+    /// Payload the client sends once established (the device's
+    /// app-layer message, e.g. a telemetry POST).
+    pub client_payload: Option<&'a [u8]>,
+    /// Payload the server responds with.
+    pub server_payload: Option<&'a [u8]>,
+    /// Attach a passive tap and produce an observation.
+    pub tap: bool,
+    /// Metadata for the observation record.
+    pub time: Timestamp,
+    /// Source device name for the observation.
+    pub device: &'a str,
+    /// Destination hostname for the observation.
+    pub destination: &'a str,
+}
+
+impl<'a> SessionParams<'a> {
+    /// Minimal parameters: tap on, no payloads.
+    pub fn tapped(time: Timestamp, device: &'a str, destination: &'a str) -> Self {
+        SessionParams {
+            client_payload: None,
+            server_payload: None,
+            tap: true,
+            time,
+            device,
+            destination,
+        }
+    }
+}
+
+/// Drives `client` against `server` to quiescence.
+///
+/// The client must *not* have been started; the driver calls
+/// [`ClientConnection::start`].
+pub fn drive_session(
+    mut client: ClientConnection,
+    mut server: ServerConnection,
+    params: SessionParams<'_>,
+) -> SessionResult {
+    let mut link = DuplexLink::new();
+    let mut tap = params.tap.then(GatewayTap::new);
+    let mut server_received = Vec::new();
+    let mut client_received = Vec::new();
+    let mut client_sent_payload = false;
+    let mut server_sent_payload = false;
+
+    client.start();
+
+    for _ in 0..MAX_ROUNDS {
+        let mut moved = false;
+
+        // Client → gateway → server.
+        let out = client.take_output();
+        if !out.is_empty() {
+            if let Some(t) = tap.as_mut() {
+                t.observe_c2s(&out);
+            }
+            link.c2s.write(&out);
+            let data = link.c2s.drain();
+            let _ = server.read_tls(&data);
+            moved = true;
+        }
+        server_received.extend(server.take_application_data());
+
+        // Server queues its payload once established.
+        if server.is_established() && !server_sent_payload {
+            if let Some(p) = params.server_payload {
+                server.send_application_data(p);
+                moved = true;
+            }
+            server_sent_payload = true;
+        }
+
+        // Server → gateway → client.
+        let out = server.take_output();
+        if !out.is_empty() {
+            if let Some(t) = tap.as_mut() {
+                t.observe_s2c(&out);
+            }
+            link.s2c.write(&out);
+            let data = link.s2c.drain();
+            let _ = client.read_tls(&data);
+            moved = true;
+        }
+        client_received.extend(client.take_application_data());
+
+        // Client queues its payload once established.
+        if client.is_established() && !client_sent_payload {
+            if let Some(p) = params.client_payload {
+                client.send_application_data(p);
+                moved = true;
+            }
+            client_sent_payload = true;
+        }
+
+        if !moved {
+            break;
+        }
+    }
+
+    let established = client.is_established() && server.is_established();
+    let observation =
+        tap.and_then(|t| t.into_observation(params.time, params.device, params.destination));
+    SessionResult {
+        client_summary: client.summary(),
+        established,
+        server_received,
+        client_received,
+        observation,
+        bytes_c2s: link.c2s.total_bytes(),
+        bytes_s2c: link.s2c.total_bytes(),
+    }
+}

@@ -1,0 +1,190 @@
+//! Discrete-event scheduling over virtual time.
+//!
+//! The testbed's clock never reads the host clock: experiments advance
+//! a [`SimClock`] explicitly, and anything scheduled (device boots,
+//! smart-plug power cycles, firmware updates, monthly capture rolls)
+//! goes through an [`EventQueue`]. Ties break by insertion order, so
+//! runs are fully deterministic.
+
+use iotls_x509::Timestamp;
+use std::collections::BinaryHeap;
+
+/// The simulation's wall clock.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SimClock {
+    now: Timestamp,
+}
+
+impl SimClock {
+    /// Starts the clock at `start`.
+    pub fn new(start: Timestamp) -> Self {
+        SimClock { now: start }
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> Timestamp {
+        self.now
+    }
+
+    /// Advances by `secs` seconds.
+    pub fn advance_secs(&mut self, secs: i64) {
+        assert!(secs >= 0, "clock cannot run backwards");
+        self.now = self.now.plus_secs(secs);
+    }
+
+    /// Jumps directly to `t` (must not be in the past).
+    pub fn advance_to(&mut self, t: Timestamp) {
+        assert!(t >= self.now, "clock cannot run backwards");
+        self.now = t;
+    }
+}
+
+#[derive(Debug)]
+struct Scheduled<E> {
+    at: Timestamp,
+    seq: u64,
+    event: E,
+}
+
+impl<E> PartialEq for Scheduled<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl<E> Eq for Scheduled<E> {}
+impl<E> PartialOrd for Scheduled<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<E> Ord for Scheduled<E> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // BinaryHeap is a max-heap; invert for earliest-first.
+        other
+            .at
+            .cmp(&self.at)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// A deterministic time-ordered event queue.
+#[derive(Debug)]
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Scheduled<E>>,
+    next_seq: u64,
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            next_seq: 0,
+        }
+    }
+}
+
+impl<E> EventQueue<E> {
+    /// An empty queue.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Schedules `event` at time `at`.
+    pub fn schedule(&mut self, at: Timestamp, event: E) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Scheduled { at, seq, event });
+    }
+
+    /// Time of the next event, if any.
+    pub fn peek_time(&self) -> Option<Timestamp> {
+        self.heap.peek().map(|s| s.at)
+    }
+
+    /// Pops the next event if it is due at or before `now`, advancing
+    /// the caller's view of causality one event at a time.
+    pub fn pop_due(&mut self, now: Timestamp) -> Option<(Timestamp, E)> {
+        if self.heap.peek().is_some_and(|s| s.at <= now) {
+            let s = self.heap.pop().unwrap();
+            Some((s.at, s.event))
+        } else {
+            None
+        }
+    }
+
+    /// Pops the next event unconditionally (advance-to-next-event
+    /// execution).
+    pub fn pop_next(&mut self) -> Option<(Timestamp, E)> {
+        self.heap.pop().map(|s| (s.at, s.event))
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// True when no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(s: i64) -> Timestamp {
+        Timestamp(s)
+    }
+
+    #[test]
+    fn clock_advances_and_refuses_backwards() {
+        let mut c = SimClock::new(t(100));
+        c.advance_secs(50);
+        assert_eq!(c.now(), t(150));
+        c.advance_to(t(200));
+        assert_eq!(c.now(), t(200));
+    }
+
+    #[test]
+    #[should_panic(expected = "backwards")]
+    fn clock_panics_on_backwards_jump() {
+        let mut c = SimClock::new(t(100));
+        c.advance_to(t(50));
+    }
+
+    #[test]
+    fn events_pop_in_time_order() {
+        let mut q = EventQueue::new();
+        q.schedule(t(30), "c");
+        q.schedule(t(10), "a");
+        q.schedule(t(20), "b");
+        assert_eq!(q.pop_next(), Some((t(10), "a")));
+        assert_eq!(q.pop_next(), Some((t(20), "b")));
+        assert_eq!(q.pop_next(), Some((t(30), "c")));
+        assert_eq!(q.pop_next(), None);
+    }
+
+    #[test]
+    fn ties_break_by_insertion_order() {
+        let mut q = EventQueue::new();
+        q.schedule(t(10), "first");
+        q.schedule(t(10), "second");
+        q.schedule(t(10), "third");
+        assert_eq!(q.pop_next().unwrap().1, "first");
+        assert_eq!(q.pop_next().unwrap().1, "second");
+        assert_eq!(q.pop_next().unwrap().1, "third");
+    }
+
+    #[test]
+    fn pop_due_respects_now() {
+        let mut q = EventQueue::new();
+        q.schedule(t(10), 1);
+        q.schedule(t(20), 2);
+        assert_eq!(q.pop_due(t(5)), None);
+        assert_eq!(q.pop_due(t(15)), Some((t(10), 1)));
+        assert_eq!(q.pop_due(t(15)), None);
+        assert_eq!(q.len(), 1);
+        assert_eq!(q.peek_time(), Some(t(20)));
+    }
+}

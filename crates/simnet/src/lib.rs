@@ -1,0 +1,30 @@
+//! # iotls-simnet
+//!
+//! Deterministic network simulator for the IoTLS reproduction — the
+//! stand-in for the paper's physical gateway, tcpdump, smart plugs,
+//! and lab network (DESIGN.md §2).
+//!
+//! Built in the smoltcp spirit: event-driven, allocation-light, no
+//! real sockets, no real clock. Components:
+//!
+//! * [`events`] — virtual clock and deterministic event queue
+//!   (device boots, power cycles, capture rolls);
+//! * [`pipe`] — reliable in-order byte pipes (the transport);
+//! * [`tap`] — the passive gateway: reconstructs handshake metadata
+//!   from raw bytes, producing [`tap::TlsObservation`]s;
+//! * [`driver`] — the lockstep session driver connecting sans-IO TLS
+//!   endpoints over a link, with optional tap and app payloads;
+//! * [`dns`] — simulated DNS with a per-device query log (revocation
+//!   endpoint detection).
+
+pub mod dns;
+pub mod driver;
+pub mod events;
+pub mod pipe;
+pub mod tap;
+
+pub use dns::{DnsQuery, DnsTable};
+pub use driver::{drive_session, SessionParams, SessionResult};
+pub use events::{EventQueue, SimClock};
+pub use pipe::{DuplexLink, Pipe};
+pub use tap::{GatewayTap, TlsObservation};

@@ -1,0 +1,342 @@
+//! Passive gateway tap.
+//!
+//! The paper's passive experiments record traffic at the home gateway
+//! and later extract handshake metadata from pcaps. [`GatewayTap`]
+//! does the equivalent: it watches the raw bytes of both directions of
+//! a link, deframes TLS records, and parses ClientHello / ServerHello
+//! / Alert messages *without participating in the connection*. The
+//! result is a [`TlsObservation`] — the unit every longitudinal
+//! analysis (Figures 1–3, Table 8) consumes.
+
+use iotls_tls::alert::{Alert, AlertDescription};
+use iotls_tls::fingerprint::{Fingerprint, FingerprintId};
+use iotls_tls::handshake::{ClientHello, HandshakeMessage};
+use iotls_tls::record::{ContentType, Deframer};
+use iotls_tls::version::ProtocolVersion;
+use iotls_x509::Timestamp;
+
+/// Handshake metadata extracted by passively watching one connection.
+#[derive(Debug, Clone)]
+pub struct TlsObservation {
+    /// When the connection started.
+    pub time: Timestamp,
+    /// Source device name.
+    pub device: String,
+    /// Destination hostname (DNS/SNI).
+    pub destination: String,
+    /// SNI hostname, when sent.
+    pub sni: Option<String>,
+    /// Every protocol version the ClientHello advertised.
+    pub advertised_versions: Vec<ProtocolVersion>,
+    /// The maximum advertised version.
+    pub max_advertised: ProtocolVersion,
+    /// Offered ciphersuite code points, in order.
+    pub offered_suites: Vec<u16>,
+    /// Whether the client requested an OCSP staple.
+    pub requested_ocsp: bool,
+    /// JA3-shaped fingerprint of the ClientHello.
+    pub fingerprint: FingerprintId,
+    /// Negotiated version (from ServerHello), if one arrived.
+    pub negotiated_version: Option<ProtocolVersion>,
+    /// Negotiated suite, if a ServerHello arrived.
+    pub negotiated_suite: Option<u16>,
+    /// Whether the server stapled an OCSP response.
+    pub ocsp_stapled: bool,
+    /// Issuer common name of the server's leaf certificate, when one
+    /// crossed the wire (absent for abbreviated handshakes).
+    pub leaf_issuer: Option<String>,
+    /// Whether the connection reached the application-data phase.
+    pub established: bool,
+    /// Alert descriptions seen client→server.
+    pub alerts_from_client: Vec<AlertDescription>,
+    /// Alert descriptions seen server→client.
+    pub alerts_from_server: Vec<AlertDescription>,
+}
+
+impl TlsObservation {
+    /// True when any advertised version is deprecated (< TLS 1.2).
+    pub fn advertises_deprecated_version(&self) -> bool {
+        self.advertised_versions.iter().any(|v| v.is_deprecated())
+    }
+
+    /// True when the negotiated version is deprecated.
+    pub fn negotiated_deprecated_version(&self) -> bool {
+        self.negotiated_version.is_some_and(|v| v.is_deprecated())
+    }
+
+    /// True when any offered suite is in the insecure class.
+    pub fn advertises_insecure_suite(&self) -> bool {
+        self.offered_suites
+            .iter()
+            .any(|s| iotls_tls::ciphersuite::id_is_insecure(*s))
+    }
+
+    /// True when any offered suite provides forward secrecy.
+    pub fn advertises_forward_secrecy(&self) -> bool {
+        self.offered_suites
+            .iter()
+            .any(|s| iotls_tls::ciphersuite::id_is_forward_secret(*s))
+    }
+
+    /// True when the negotiated suite is insecure.
+    pub fn negotiated_insecure_suite(&self) -> bool {
+        self.negotiated_suite
+            .is_some_and(iotls_tls::ciphersuite::id_is_insecure)
+    }
+
+    /// True when the negotiated suite provides forward secrecy.
+    pub fn negotiated_forward_secrecy(&self) -> bool {
+        self.negotiated_suite
+            .is_some_and(iotls_tls::ciphersuite::id_is_forward_secret)
+    }
+}
+
+/// A passive observer of one connection's bytes.
+#[derive(Default)]
+pub struct GatewayTap {
+    c2s: Deframer,
+    s2c: Deframer,
+    client_hello: Option<ClientHello>,
+    negotiated_version: Option<ProtocolVersion>,
+    negotiated_suite: Option<u16>,
+    ocsp_stapled: bool,
+    leaf_issuer: Option<String>,
+    server_finished: bool,
+    saw_app_data: bool,
+    alerts_from_client: Vec<Alert>,
+    alerts_from_server: Vec<Alert>,
+}
+
+impl GatewayTap {
+    /// A fresh tap.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Observes client→server bytes.
+    pub fn observe_c2s(&mut self, data: &[u8]) {
+        self.c2s.push(data);
+        while let Ok(Some(rec)) = self.c2s.pop() {
+            match rec.content_type {
+                ContentType::Handshake => {
+                    let mut buf = rec.payload.as_slice();
+                    while let Ok((msg, used)) = HandshakeMessage::decode(buf) {
+                        if let HandshakeMessage::ClientHello(ch) = msg {
+                            self.client_hello = Some(ch);
+                        }
+                        buf = &buf[used..];
+                        if buf.is_empty() {
+                            break;
+                        }
+                    }
+                }
+                ContentType::Alert => {
+                    if let Some(a) = Alert::from_bytes(&rec.payload) {
+                        self.alerts_from_client.push(a);
+                    }
+                }
+                ContentType::ApplicationData => self.saw_app_data = true,
+                ContentType::ChangeCipherSpec => {}
+            }
+        }
+    }
+
+    /// Observes server→client bytes.
+    pub fn observe_s2c(&mut self, data: &[u8]) {
+        self.s2c.push(data);
+        while let Ok(Some(rec)) = self.s2c.pop() {
+            match rec.content_type {
+                ContentType::Handshake => {
+                    let mut buf = rec.payload.as_slice();
+                    while let Ok((msg, used)) = HandshakeMessage::decode(buf) {
+                        match msg {
+                            HandshakeMessage::ServerHello(sh) => {
+                                self.negotiated_version = Some(sh.version);
+                                self.negotiated_suite = Some(sh.cipher_suite);
+                            }
+                            HandshakeMessage::Certificate(chain) => {
+                                if let Some(leaf_bytes) = chain.first() {
+                                    if let Ok(cert) =
+                                        iotls_x509::Certificate::from_bytes(leaf_bytes)
+                                    {
+                                        self.leaf_issuer =
+                                            Some(cert.tbs.issuer.common_name.clone());
+                                    }
+                                }
+                            }
+                            HandshakeMessage::CertificateStatus(_) => {
+                                self.ocsp_stapled = true;
+                            }
+                            HandshakeMessage::Finished(_) => {
+                                self.server_finished = true;
+                            }
+                            _ => {}
+                        }
+                        buf = &buf[used..];
+                        if buf.is_empty() {
+                            break;
+                        }
+                    }
+                }
+                ContentType::Alert => {
+                    if let Some(a) = Alert::from_bytes(&rec.payload) {
+                        self.alerts_from_server.push(a);
+                    }
+                }
+                ContentType::ApplicationData => self.saw_app_data = true,
+                ContentType::ChangeCipherSpec => {}
+            }
+        }
+    }
+
+    /// The observed ClientHello, if one was seen.
+    pub fn client_hello(&self) -> Option<&ClientHello> {
+        self.client_hello.as_ref()
+    }
+
+    /// Alerts seen from the client side.
+    pub fn alerts_from_client(&self) -> &[Alert] {
+        &self.alerts_from_client
+    }
+
+    /// Finalizes the observation. Returns `None` when no ClientHello
+    /// was observed (nothing TLS happened on the link).
+    pub fn into_observation(
+        self,
+        time: Timestamp,
+        device: &str,
+        destination: &str,
+    ) -> Option<TlsObservation> {
+        let ch = self.client_hello?;
+        let fingerprint = Fingerprint::from_client_hello(&ch).id();
+        Some(TlsObservation {
+            time,
+            device: device.to_string(),
+            destination: destination.to_string(),
+            sni: ch.server_name().map(str::to_string),
+            advertised_versions: ch.advertised_versions(),
+            max_advertised: ch.max_version(),
+            offered_suites: ch.cipher_suites.clone(),
+            requested_ocsp: ch.requests_ocsp(),
+            fingerprint,
+            negotiated_version: self.negotiated_version,
+            negotiated_suite: self.negotiated_suite,
+            ocsp_stapled: self.ocsp_stapled,
+            leaf_issuer: self.leaf_issuer,
+            established: self.server_finished || self.saw_app_data,
+            alerts_from_client: self
+                .alerts_from_client
+                .iter()
+                .map(|a| a.description)
+                .collect(),
+            alerts_from_server: self
+                .alerts_from_server
+                .iter()
+                .map(|a| a.description)
+                .collect(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use iotls_tls::record::Record;
+
+    fn hello_bytes() -> Vec<u8> {
+        let ch = ClientHello {
+            legacy_version: ProtocolVersion::Tls12,
+            random: [1u8; 32],
+            session_id: vec![],
+            cipher_suites: vec![0xc02f, 0x0005],
+            compression_methods: vec![0],
+            extensions: vec![iotls_tls::Extension::ServerName("dev.example.com".into())],
+        };
+        let msg = HandshakeMessage::ClientHello(ch).encode();
+        Record::new(ContentType::Handshake, ProtocolVersion::Tls12, msg).encode()
+    }
+
+    #[test]
+    fn tap_extracts_client_hello_metadata() {
+        let mut tap = GatewayTap::new();
+        tap.observe_c2s(&hello_bytes());
+        let obs = tap
+            .into_observation(Timestamp(0), "TestCam", "dev.example.com")
+            .unwrap();
+        assert_eq!(obs.sni.as_deref(), Some("dev.example.com"));
+        assert_eq!(obs.max_advertised, ProtocolVersion::Tls12);
+        assert!(obs.advertises_insecure_suite()); // 0x0005 RC4
+        assert!(obs.advertises_forward_secrecy()); // 0xc02f ECDHE
+        assert!(!obs.established);
+        assert!(obs.negotiated_version.is_none());
+    }
+
+    #[test]
+    fn tap_sees_alerts_and_server_hello() {
+        let mut tap = GatewayTap::new();
+        tap.observe_c2s(&hello_bytes());
+        let sh = iotls_tls::ServerHello {
+            version: ProtocolVersion::Tls12,
+            random: [2u8; 32],
+            session_id: vec![],
+            cipher_suite: 0xc02f,
+            extensions: vec![],
+            compression_method: 0,
+        };
+        let sh_bytes = Record::new(
+            ContentType::Handshake,
+            ProtocolVersion::Tls12,
+            HandshakeMessage::ServerHello(sh).encode(),
+        )
+        .encode();
+        tap.observe_s2c(&sh_bytes);
+        let alert = Alert::fatal(AlertDescription::UnknownCa);
+        let alert_bytes = Record::new(
+            ContentType::Alert,
+            ProtocolVersion::Tls12,
+            alert.to_bytes().to_vec(),
+        )
+        .encode();
+        tap.observe_c2s(&alert_bytes);
+        let obs = tap
+            .into_observation(Timestamp(5), "TestCam", "dev.example.com")
+            .unwrap();
+        assert_eq!(obs.negotiated_version, Some(ProtocolVersion::Tls12));
+        assert_eq!(obs.negotiated_suite, Some(0xc02f));
+        assert!(!obs.negotiated_insecure_suite());
+        assert!(obs.negotiated_forward_secrecy());
+        assert_eq!(obs.alerts_from_client, vec![AlertDescription::UnknownCa]);
+        assert!(!obs.established);
+    }
+
+    #[test]
+    fn no_client_hello_no_observation() {
+        let tap = GatewayTap::new();
+        assert!(tap.into_observation(Timestamp(0), "d", "h").is_none());
+    }
+
+    #[test]
+    fn tap_tolerates_partial_delivery() {
+        let bytes = hello_bytes();
+        let mut tap = GatewayTap::new();
+        for chunk in bytes.chunks(3) {
+            tap.observe_c2s(chunk);
+        }
+        assert!(tap.client_hello().is_some());
+    }
+
+    #[test]
+    fn app_data_marks_established() {
+        let mut tap = GatewayTap::new();
+        tap.observe_c2s(&hello_bytes());
+        let app = Record::new(
+            ContentType::ApplicationData,
+            ProtocolVersion::Tls12,
+            vec![0xaa; 16],
+        )
+        .encode();
+        tap.observe_s2c(&app);
+        let obs = tap.into_observation(Timestamp(0), "d", "h").unwrap();
+        assert!(obs.established);
+    }
+}

@@ -1,0 +1,223 @@
+//! TLS alert messages (RFC 5246 §7.2 / RFC 8446 §6).
+//!
+//! Alerts are the observable surface of the IoTLS root-store probe:
+//! the distinction between `unknown_ca` (issuer not in the root store)
+//! and `decrypt_error`/`bad_certificate` (issuer recognized, signature
+//! invalid) is exactly the side channel §4.2 of the paper exploits.
+
+use std::fmt;
+
+/// Alert severity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AlertLevel {
+    /// The connection may continue.
+    Warning,
+    /// The connection must be torn down.
+    Fatal,
+}
+
+impl AlertLevel {
+    /// Wire encoding.
+    pub fn wire(self) -> u8 {
+        match self {
+            AlertLevel::Warning => 1,
+            AlertLevel::Fatal => 2,
+        }
+    }
+
+    /// Decodes a wire value.
+    pub fn from_wire(v: u8) -> Option<AlertLevel> {
+        match v {
+            1 => Some(AlertLevel::Warning),
+            2 => Some(AlertLevel::Fatal),
+            _ => None,
+        }
+    }
+}
+
+/// Alert descriptions (subset used by the reproduction).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AlertDescription {
+    /// Graceful closure.
+    CloseNotify,
+    /// An inappropriate message was received.
+    UnexpectedMessage,
+    /// Negotiation failed (no common parameters).
+    HandshakeFailure,
+    /// A certificate was corrupt or failed signature checks.
+    BadCertificate,
+    /// A certificate was of an unsupported type.
+    UnsupportedCertificate,
+    /// A certificate was revoked.
+    CertificateRevoked,
+    /// A certificate has expired.
+    CertificateExpired,
+    /// Some unspecified certificate issue.
+    CertificateUnknown,
+    /// A field in the handshake was out of range.
+    IllegalParameter,
+    /// No trusted CA could be located for the chain.
+    UnknownCa,
+    /// A signature or Finished check failed.
+    DecryptError,
+    /// The offered protocol version is unsupported.
+    ProtocolVersion,
+    /// Generic internal error.
+    InternalError,
+    /// Anything else seen on the wire.
+    Other(u8),
+}
+
+impl AlertDescription {
+    /// Wire encoding.
+    pub fn wire(self) -> u8 {
+        match self {
+            AlertDescription::CloseNotify => 0,
+            AlertDescription::UnexpectedMessage => 10,
+            AlertDescription::HandshakeFailure => 40,
+            AlertDescription::BadCertificate => 42,
+            AlertDescription::UnsupportedCertificate => 43,
+            AlertDescription::CertificateRevoked => 44,
+            AlertDescription::CertificateExpired => 45,
+            AlertDescription::CertificateUnknown => 46,
+            AlertDescription::IllegalParameter => 47,
+            AlertDescription::UnknownCa => 48,
+            AlertDescription::DecryptError => 51,
+            AlertDescription::ProtocolVersion => 70,
+            AlertDescription::InternalError => 80,
+            AlertDescription::Other(v) => v,
+        }
+    }
+
+    /// Decodes a wire value (never fails; unknown codes map to
+    /// [`AlertDescription::Other`]).
+    pub fn from_wire(v: u8) -> AlertDescription {
+        match v {
+            0 => AlertDescription::CloseNotify,
+            10 => AlertDescription::UnexpectedMessage,
+            40 => AlertDescription::HandshakeFailure,
+            42 => AlertDescription::BadCertificate,
+            43 => AlertDescription::UnsupportedCertificate,
+            44 => AlertDescription::CertificateRevoked,
+            45 => AlertDescription::CertificateExpired,
+            46 => AlertDescription::CertificateUnknown,
+            47 => AlertDescription::IllegalParameter,
+            48 => AlertDescription::UnknownCa,
+            51 => AlertDescription::DecryptError,
+            70 => AlertDescription::ProtocolVersion,
+            80 => AlertDescription::InternalError,
+            other => AlertDescription::Other(other),
+        }
+    }
+}
+
+impl fmt::Display for AlertDescription {
+    /// Renders the RFC's lowercase alert naming (`unknown_ca`,
+    /// `decrypt_error`, …) by snake-casing the variant name.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if let AlertDescription::Other(v) = self {
+            return write!(f, "alert({v})");
+        }
+        let dbg = format!("{self:?}");
+        let mut out = String::new();
+        for (i, ch) in dbg.chars().enumerate() {
+            if ch.is_ascii_uppercase() {
+                if i > 0 {
+                    out.push('_');
+                }
+                out.push(ch.to_ascii_lowercase());
+            } else {
+                out.push(ch);
+            }
+        }
+        f.write_str(&out)
+    }
+}
+
+/// A complete alert message.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Alert {
+    /// Severity.
+    pub level: AlertLevel,
+    /// What went wrong.
+    pub description: AlertDescription,
+}
+
+impl Alert {
+    /// A fatal alert with the given description.
+    pub fn fatal(description: AlertDescription) -> Alert {
+        Alert {
+            level: AlertLevel::Fatal,
+            description,
+        }
+    }
+
+    /// The warning-level close_notify.
+    pub fn close_notify() -> Alert {
+        Alert {
+            level: AlertLevel::Warning,
+            description: AlertDescription::CloseNotify,
+        }
+    }
+
+    /// Two-byte wire encoding.
+    pub fn to_bytes(self) -> [u8; 2] {
+        [self.level.wire(), self.description.wire()]
+    }
+
+    /// Decodes the two-byte wire form.
+    pub fn from_bytes(bytes: &[u8]) -> Option<Alert> {
+        if bytes.len() != 2 {
+            return None;
+        }
+        Some(Alert {
+            level: AlertLevel::from_wire(bytes[0])?,
+            description: AlertDescription::from_wire(bytes[1]),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn side_channel_codes_match_rfc() {
+        // RFC 5246: unknown_ca = 48, decrypt_error = 51,
+        // bad_certificate = 42, certificate_unknown = 46.
+        assert_eq!(AlertDescription::UnknownCa.wire(), 48);
+        assert_eq!(AlertDescription::DecryptError.wire(), 51);
+        assert_eq!(AlertDescription::BadCertificate.wire(), 42);
+        assert_eq!(AlertDescription::CertificateUnknown.wire(), 46);
+    }
+
+    #[test]
+    fn wire_roundtrip_known_and_unknown() {
+        for code in 0u8..=255 {
+            let d = AlertDescription::from_wire(code);
+            assert_eq!(d.wire(), code);
+        }
+    }
+
+    #[test]
+    fn alert_bytes_roundtrip() {
+        let a = Alert::fatal(AlertDescription::UnknownCa);
+        assert_eq!(Alert::from_bytes(&a.to_bytes()), Some(a));
+        assert_eq!(Alert::from_bytes(&[9, 9]), None); // bad level
+        assert_eq!(Alert::from_bytes(&[1]), None); // truncated
+    }
+
+    #[test]
+    fn display_is_rfc_style() {
+        assert_eq!(AlertDescription::UnknownCa.to_string(), "unknown_ca");
+        assert_eq!(AlertDescription::DecryptError.to_string(), "decrypt_error");
+        assert_eq!(AlertDescription::Other(200).to_string(), "alert(200)");
+    }
+
+    #[test]
+    fn close_notify_is_warning() {
+        let a = Alert::close_notify();
+        assert_eq!(a.level, AlertLevel::Warning);
+        assert_eq!(a.to_bytes(), [1, 0]);
+    }
+}

@@ -1,0 +1,306 @@
+//! Ciphersuite registry with the paper's security classification.
+//!
+//! §2 of the paper classifies suites as *insecure* (DES, 3DES, RC4,
+//! EXPORT — immediate remediation required), *null/anon* (no
+//! encryption or no authentication), and *strong* (DHE/ECDHE forward
+//! secrecy). This module carries a registry of real IANA ciphersuite
+//! code points with enough structure to drive negotiation, the
+//! longitudinal analyses (Figures 2–3), and fingerprinting.
+
+use std::fmt;
+
+/// Key exchange / authentication family.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum KeyExchange {
+    /// Static RSA key transport.
+    Rsa,
+    /// Ephemeral finite-field DH, RSA-authenticated.
+    DheRsa,
+    /// Ephemeral EC DH, RSA-authenticated.
+    EcdheRsa,
+    /// Ephemeral EC DH, ECDSA-authenticated.
+    EcdheEcdsa,
+    /// Anonymous DH — no authentication.
+    DhAnon,
+    /// TLS 1.3 (key exchange is negotiated via extensions).
+    Tls13,
+    /// No key exchange (NULL suites).
+    Null,
+}
+
+/// Bulk cipher.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BulkCipher {
+    /// No encryption.
+    Null,
+    /// RC4 with 40-bit export key.
+    Rc4_40,
+    /// RC4 with 128-bit key.
+    Rc4_128,
+    /// Single DES with 40-bit export key.
+    Des40Cbc,
+    /// Single DES.
+    DesCbc,
+    /// Triple DES EDE.
+    TripleDesCbc,
+    /// AES-128 in CBC mode.
+    Aes128Cbc,
+    /// AES-256 in CBC mode.
+    Aes256Cbc,
+    /// AES-128 in GCM mode.
+    Aes128Gcm,
+    /// AES-256 in GCM mode.
+    Aes256Gcm,
+    /// ChaCha20-Poly1305.
+    ChaCha20Poly1305,
+}
+
+/// MAC / PRF hash.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MacAlgorithm {
+    /// No integrity.
+    Null,
+    /// HMAC-MD5.
+    Md5,
+    /// HMAC-SHA1.
+    Sha1,
+    /// HMAC-SHA256 (or AEAD with SHA-256 PRF).
+    Sha256,
+    /// AEAD with SHA-384 PRF.
+    Sha384,
+}
+
+/// A ciphersuite: IANA code point plus decomposed algorithms.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct CipherSuite {
+    /// IANA code point.
+    pub id: u16,
+    /// IANA name.
+    pub name: &'static str,
+    /// Key exchange family.
+    pub kx: KeyExchange,
+    /// Bulk cipher.
+    pub cipher: BulkCipher,
+    /// MAC algorithm.
+    pub mac: MacAlgorithm,
+    /// True for EXPORT-grade suites.
+    pub export: bool,
+}
+
+impl CipherSuite {
+    /// True for the paper's *insecure* class: DES, 3DES, RC4, EXPORT.
+    pub fn is_insecure(&self) -> bool {
+        self.export
+            || matches!(
+                self.cipher,
+                BulkCipher::Rc4_40
+                    | BulkCipher::Rc4_128
+                    | BulkCipher::Des40Cbc
+                    | BulkCipher::DesCbc
+                    | BulkCipher::TripleDesCbc
+            )
+    }
+
+    /// True for NULL/ANON suites (no encryption or no authentication).
+    pub fn is_null_or_anon(&self) -> bool {
+        matches!(self.kx, KeyExchange::DhAnon | KeyExchange::Null)
+            || matches!(self.cipher, BulkCipher::Null)
+    }
+
+    /// True for the paper's *strong* class: authenticated (EC)DHE
+    /// forward secrecy. All TLS 1.3 suites are forward-secret.
+    pub fn is_forward_secret(&self) -> bool {
+        matches!(
+            self.kx,
+            KeyExchange::DheRsa | KeyExchange::EcdheRsa | KeyExchange::EcdheEcdsa | KeyExchange::Tls13
+        )
+    }
+
+    /// True when the suite is only usable with TLS 1.3.
+    pub fn is_tls13(&self) -> bool {
+        matches!(self.kx, KeyExchange::Tls13)
+    }
+}
+
+impl fmt::Display for CipherSuite {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name)
+    }
+}
+
+macro_rules! suite {
+    ($id:expr, $name:ident, $kx:ident, $cipher:ident, $mac:ident, $export:expr) => {
+        CipherSuite {
+            id: $id,
+            name: stringify!($name),
+            kx: KeyExchange::$kx,
+            cipher: BulkCipher::$cipher,
+            mac: MacAlgorithm::$mac,
+            export: $export,
+        }
+    };
+}
+
+/// The full registry, ordered by code point.
+pub const REGISTRY: &[CipherSuite] = &[
+    suite!(0x0000, TLS_NULL_WITH_NULL_NULL, Null, Null, Null, false),
+    suite!(0x0001, TLS_RSA_WITH_NULL_MD5, Rsa, Null, Md5, false),
+    suite!(0x0002, TLS_RSA_WITH_NULL_SHA, Rsa, Null, Sha1, false),
+    suite!(0x0003, TLS_RSA_EXPORT_WITH_RC4_40_MD5, Rsa, Rc4_40, Md5, true),
+    suite!(0x0004, TLS_RSA_WITH_RC4_128_MD5, Rsa, Rc4_128, Md5, false),
+    suite!(0x0005, TLS_RSA_WITH_RC4_128_SHA, Rsa, Rc4_128, Sha1, false),
+    suite!(0x0008, TLS_RSA_EXPORT_WITH_DES40_CBC_SHA, Rsa, Des40Cbc, Sha1, true),
+    suite!(0x0009, TLS_RSA_WITH_DES_CBC_SHA, Rsa, DesCbc, Sha1, false),
+    suite!(0x000a, TLS_RSA_WITH_3DES_EDE_CBC_SHA, Rsa, TripleDesCbc, Sha1, false),
+    suite!(0x0014, TLS_DHE_RSA_EXPORT_WITH_DES40_CBC_SHA, DheRsa, Des40Cbc, Sha1, true),
+    suite!(0x0015, TLS_DHE_RSA_WITH_DES_CBC_SHA, DheRsa, DesCbc, Sha1, false),
+    suite!(0x0016, TLS_DHE_RSA_WITH_3DES_EDE_CBC_SHA, DheRsa, TripleDesCbc, Sha1, false),
+    suite!(0x0017, TLS_DH_anon_EXPORT_WITH_RC4_40_MD5, DhAnon, Rc4_40, Md5, true),
+    suite!(0x0018, TLS_DH_anon_WITH_RC4_128_MD5, DhAnon, Rc4_128, Md5, false),
+    suite!(0x001b, TLS_DH_anon_WITH_3DES_EDE_CBC_SHA, DhAnon, TripleDesCbc, Sha1, false),
+    suite!(0x002f, TLS_RSA_WITH_AES_128_CBC_SHA, Rsa, Aes128Cbc, Sha1, false),
+    suite!(0x0033, TLS_DHE_RSA_WITH_AES_128_CBC_SHA, DheRsa, Aes128Cbc, Sha1, false),
+    suite!(0x0034, TLS_DH_anon_WITH_AES_128_CBC_SHA, DhAnon, Aes128Cbc, Sha1, false),
+    suite!(0x0035, TLS_RSA_WITH_AES_256_CBC_SHA, Rsa, Aes256Cbc, Sha1, false),
+    suite!(0x0039, TLS_DHE_RSA_WITH_AES_256_CBC_SHA, DheRsa, Aes256Cbc, Sha1, false),
+    suite!(0x003a, TLS_DH_anon_WITH_AES_256_CBC_SHA, DhAnon, Aes256Cbc, Sha1, false),
+    suite!(0x003c, TLS_RSA_WITH_AES_128_CBC_SHA256, Rsa, Aes128Cbc, Sha256, false),
+    suite!(0x003d, TLS_RSA_WITH_AES_256_CBC_SHA256, Rsa, Aes256Cbc, Sha256, false),
+    suite!(0x0067, TLS_DHE_RSA_WITH_AES_128_CBC_SHA256, DheRsa, Aes128Cbc, Sha256, false),
+    suite!(0x006b, TLS_DHE_RSA_WITH_AES_256_CBC_SHA256, DheRsa, Aes256Cbc, Sha256, false),
+    suite!(0x009c, TLS_RSA_WITH_AES_128_GCM_SHA256, Rsa, Aes128Gcm, Sha256, false),
+    suite!(0x009d, TLS_RSA_WITH_AES_256_GCM_SHA384, Rsa, Aes256Gcm, Sha384, false),
+    suite!(0x009e, TLS_DHE_RSA_WITH_AES_128_GCM_SHA256, DheRsa, Aes128Gcm, Sha256, false),
+    suite!(0x009f, TLS_DHE_RSA_WITH_AES_256_GCM_SHA384, DheRsa, Aes256Gcm, Sha384, false),
+    suite!(0x1301, TLS_AES_128_GCM_SHA256, Tls13, Aes128Gcm, Sha256, false),
+    suite!(0x1302, TLS_AES_256_GCM_SHA384, Tls13, Aes256Gcm, Sha384, false),
+    suite!(0x1303, TLS_CHACHA20_POLY1305_SHA256, Tls13, ChaCha20Poly1305, Sha256, false),
+    suite!(0xc007, TLS_ECDHE_ECDSA_WITH_RC4_128_SHA, EcdheEcdsa, Rc4_128, Sha1, false),
+    suite!(0xc008, TLS_ECDHE_ECDSA_WITH_3DES_EDE_CBC_SHA, EcdheEcdsa, TripleDesCbc, Sha1, false),
+    suite!(0xc009, TLS_ECDHE_ECDSA_WITH_AES_128_CBC_SHA, EcdheEcdsa, Aes128Cbc, Sha1, false),
+    suite!(0xc00a, TLS_ECDHE_ECDSA_WITH_AES_256_CBC_SHA, EcdheEcdsa, Aes256Cbc, Sha1, false),
+    suite!(0xc011, TLS_ECDHE_RSA_WITH_RC4_128_SHA, EcdheRsa, Rc4_128, Sha1, false),
+    suite!(0xc012, TLS_ECDHE_RSA_WITH_3DES_EDE_CBC_SHA, EcdheRsa, TripleDesCbc, Sha1, false),
+    suite!(0xc013, TLS_ECDHE_RSA_WITH_AES_128_CBC_SHA, EcdheRsa, Aes128Cbc, Sha1, false),
+    suite!(0xc014, TLS_ECDHE_RSA_WITH_AES_256_CBC_SHA, EcdheRsa, Aes256Cbc, Sha1, false),
+    suite!(0xc023, TLS_ECDHE_ECDSA_WITH_AES_128_CBC_SHA256, EcdheEcdsa, Aes128Cbc, Sha256, false),
+    suite!(0xc024, TLS_ECDHE_ECDSA_WITH_AES_256_CBC_SHA384, EcdheEcdsa, Aes256Cbc, Sha384, false),
+    suite!(0xc027, TLS_ECDHE_RSA_WITH_AES_128_CBC_SHA256, EcdheRsa, Aes128Cbc, Sha256, false),
+    suite!(0xc028, TLS_ECDHE_RSA_WITH_AES_256_CBC_SHA384, EcdheRsa, Aes256Cbc, Sha384, false),
+    suite!(0xc02b, TLS_ECDHE_ECDSA_WITH_AES_128_GCM_SHA256, EcdheEcdsa, Aes128Gcm, Sha256, false),
+    suite!(0xc02c, TLS_ECDHE_ECDSA_WITH_AES_256_GCM_SHA384, EcdheEcdsa, Aes256Gcm, Sha384, false),
+    suite!(0xc02f, TLS_ECDHE_RSA_WITH_AES_128_GCM_SHA256, EcdheRsa, Aes128Gcm, Sha256, false),
+    suite!(0xc030, TLS_ECDHE_RSA_WITH_AES_256_GCM_SHA384, EcdheRsa, Aes256Gcm, Sha384, false),
+    suite!(0xcca8, TLS_ECDHE_RSA_WITH_CHACHA20_POLY1305_SHA256, EcdheRsa, ChaCha20Poly1305, Sha256, false),
+    suite!(0xcca9, TLS_ECDHE_ECDSA_WITH_CHACHA20_POLY1305_SHA256, EcdheEcdsa, ChaCha20Poly1305, Sha256, false),
+    suite!(0xccaa, TLS_DHE_RSA_WITH_CHACHA20_POLY1305_SHA256, DheRsa, ChaCha20Poly1305, Sha256, false),
+];
+
+/// Looks up a suite by IANA code point.
+pub fn by_id(id: u16) -> Option<&'static CipherSuite> {
+    REGISTRY.iter().find(|s| s.id == id)
+}
+
+/// Looks up a suite by IANA name.
+pub fn by_name(name: &str) -> Option<&'static CipherSuite> {
+    REGISTRY.iter().find(|s| s.name == name)
+}
+
+/// True when the code point is in the *insecure* class (unknown code
+/// points are treated as not-insecure).
+pub fn id_is_insecure(id: u16) -> bool {
+    by_id(id).is_some_and(|s| s.is_insecure())
+}
+
+/// True when the code point offers authenticated forward secrecy.
+pub fn id_is_forward_secret(id: u16) -> bool {
+    by_id(id).is_some_and(|s| s.is_forward_secret())
+}
+
+/// True for NULL/ANON code points.
+pub fn id_is_null_or_anon(id: u16) -> bool {
+    by_id(id).is_some_and(|s| s.is_null_or_anon())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_sorted_and_unique() {
+        for w in REGISTRY.windows(2) {
+            assert!(w[0].id < w[1].id, "{} !< {}", w[0].name, w[1].name);
+        }
+    }
+
+    #[test]
+    fn lookup_by_id_and_name() {
+        let rc4 = by_id(0x0005).unwrap();
+        assert_eq!(rc4.name, "TLS_RSA_WITH_RC4_128_SHA");
+        assert_eq!(by_name("TLS_AES_128_GCM_SHA256").unwrap().id, 0x1301);
+        assert!(by_id(0xffff).is_none());
+        assert!(by_name("TLS_NOPE").is_none());
+    }
+
+    #[test]
+    fn insecure_classification_matches_paper() {
+        // RC4, DES, 3DES, EXPORT are insecure.
+        for name in [
+            "TLS_RSA_WITH_RC4_128_SHA",
+            "TLS_RSA_WITH_DES_CBC_SHA",
+            "TLS_RSA_WITH_3DES_EDE_CBC_SHA",
+            "TLS_RSA_EXPORT_WITH_RC4_40_MD5",
+            "TLS_DHE_RSA_EXPORT_WITH_DES40_CBC_SHA",
+        ] {
+            assert!(by_name(name).unwrap().is_insecure(), "{name}");
+        }
+        // Modern AES-GCM is not.
+        assert!(!by_name("TLS_ECDHE_RSA_WITH_AES_128_GCM_SHA256").unwrap().is_insecure());
+        assert!(!by_name("TLS_RSA_WITH_AES_128_CBC_SHA").unwrap().is_insecure());
+    }
+
+    #[test]
+    fn null_anon_classification() {
+        assert!(by_id(0x0000).unwrap().is_null_or_anon());
+        assert!(by_name("TLS_RSA_WITH_NULL_SHA").unwrap().is_null_or_anon());
+        assert!(by_name("TLS_DH_anon_WITH_AES_128_CBC_SHA").unwrap().is_null_or_anon());
+        assert!(!by_name("TLS_RSA_WITH_AES_128_CBC_SHA").unwrap().is_null_or_anon());
+    }
+
+    #[test]
+    fn forward_secrecy_classification() {
+        assert!(by_name("TLS_ECDHE_RSA_WITH_AES_128_GCM_SHA256").unwrap().is_forward_secret());
+        assert!(by_name("TLS_DHE_RSA_WITH_AES_128_CBC_SHA").unwrap().is_forward_secret());
+        assert!(by_name("TLS_AES_128_GCM_SHA256").unwrap().is_forward_secret());
+        assert!(!by_name("TLS_RSA_WITH_AES_128_GCM_SHA256").unwrap().is_forward_secret());
+        // An insecure suite can still be forward-secret (3DES-DHE) —
+        // the classes are orthogonal, as in the paper's analysis.
+        let s = by_name("TLS_DHE_RSA_WITH_3DES_EDE_CBC_SHA").unwrap();
+        assert!(s.is_forward_secret() && s.is_insecure());
+    }
+
+    #[test]
+    fn tls13_suites_flagged() {
+        assert!(by_id(0x1301).unwrap().is_tls13());
+        assert!(by_id(0x1303).unwrap().is_tls13());
+        assert!(!by_id(0xc030).unwrap().is_tls13());
+    }
+
+    #[test]
+    fn id_helpers_handle_unknown_codepoints() {
+        assert!(!id_is_insecure(0xeeee));
+        assert!(!id_is_forward_secret(0xeeee));
+        assert!(!id_is_null_or_anon(0xeeee));
+        assert!(id_is_insecure(0x0005));
+        assert!(id_is_forward_secret(0xc02f));
+        assert!(id_is_null_or_anon(0x0001));
+    }
+
+    #[test]
+    fn display_uses_iana_name() {
+        assert_eq!(
+            by_id(0x000a).unwrap().to_string(),
+            "TLS_RSA_WITH_3DES_EDE_CBC_SHA"
+        );
+    }
+}

@@ -1,0 +1,214 @@
+//! Byte-level encoding helpers for the TLS wire format.
+//!
+//! TLS framing uses big-endian integers of 1–3 bytes and
+//! length-prefixed vectors; these helpers keep the message codecs in
+//! [`crate::handshake`] and [`crate::record`] readable.
+
+/// Errors from decoding TLS wire data.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CodecError {
+    /// Input ended before a field was complete.
+    Truncated,
+    /// A length prefix exceeded the remaining input.
+    LengthMismatch,
+    /// A field held an illegal value.
+    IllegalValue(&'static str),
+}
+
+impl std::fmt::Display for CodecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CodecError::Truncated => write!(f, "message truncated"),
+            CodecError::LengthMismatch => write!(f, "length prefix mismatch"),
+            CodecError::IllegalValue(what) => write!(f, "illegal value: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for CodecError {}
+
+/// Big-endian writer over a byte vector.
+pub trait WriteExt {
+    /// Appends a u8.
+    fn put_u8(&mut self, v: u8);
+    /// Appends a big-endian u16.
+    fn put_u16(&mut self, v: u16);
+    /// Appends a big-endian 24-bit length.
+    fn put_u24(&mut self, v: u32);
+    /// Appends raw bytes.
+    fn put_slice(&mut self, v: &[u8]);
+    /// Appends `body` prefixed by its u8 length.
+    fn put_vec8(&mut self, body: &[u8]);
+    /// Appends `body` prefixed by its u16 length.
+    fn put_vec16(&mut self, body: &[u8]);
+    /// Appends `body` prefixed by its u24 length.
+    fn put_vec24(&mut self, body: &[u8]);
+}
+
+impl WriteExt for Vec<u8> {
+    fn put_u8(&mut self, v: u8) {
+        self.push(v);
+    }
+
+    fn put_u16(&mut self, v: u16) {
+        self.extend_from_slice(&v.to_be_bytes());
+    }
+
+    fn put_u24(&mut self, v: u32) {
+        debug_assert!(v < 1 << 24);
+        self.extend_from_slice(&v.to_be_bytes()[1..]);
+    }
+
+    fn put_slice(&mut self, v: &[u8]) {
+        self.extend_from_slice(v);
+    }
+
+    fn put_vec8(&mut self, body: &[u8]) {
+        debug_assert!(body.len() <= u8::MAX as usize);
+        self.put_u8(body.len() as u8);
+        self.put_slice(body);
+    }
+
+    fn put_vec16(&mut self, body: &[u8]) {
+        debug_assert!(body.len() <= u16::MAX as usize);
+        self.put_u16(body.len() as u16);
+        self.put_slice(body);
+    }
+
+    fn put_vec24(&mut self, body: &[u8]) {
+        self.put_u24(body.len() as u32);
+        self.put_slice(body);
+    }
+}
+
+/// Big-endian cursor over a byte slice.
+pub struct Reader<'a> {
+    data: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    /// Wraps `data`.
+    pub fn new(data: &'a [u8]) -> Self {
+        Reader { data, pos: 0 }
+    }
+
+    /// Remaining unread bytes.
+    pub fn remaining(&self) -> usize {
+        self.data.len() - self.pos
+    }
+
+    /// True when fully consumed.
+    pub fn is_empty(&self) -> bool {
+        self.remaining() == 0
+    }
+
+    /// Reads `n` raw bytes.
+    pub fn take(&mut self, n: usize) -> Result<&'a [u8], CodecError> {
+        let out = self
+            .data
+            .get(self.pos..self.pos + n)
+            .ok_or(CodecError::Truncated)?;
+        self.pos += n;
+        Ok(out)
+    }
+
+    /// Reads a u8.
+    pub fn u8(&mut self) -> Result<u8, CodecError> {
+        Ok(self.take(1)?[0])
+    }
+
+    /// Reads a big-endian u16.
+    pub fn u16(&mut self) -> Result<u16, CodecError> {
+        let b = self.take(2)?;
+        Ok(u16::from_be_bytes([b[0], b[1]]))
+    }
+
+    /// Reads a big-endian 24-bit value.
+    pub fn u24(&mut self) -> Result<u32, CodecError> {
+        let b = self.take(3)?;
+        Ok(u32::from_be_bytes([0, b[0], b[1], b[2]]))
+    }
+
+    /// Reads a u8-length-prefixed vector.
+    pub fn vec8(&mut self) -> Result<&'a [u8], CodecError> {
+        let n = self.u8()? as usize;
+        self.take(n).map_err(|_| CodecError::LengthMismatch)
+    }
+
+    /// Reads a u16-length-prefixed vector.
+    pub fn vec16(&mut self) -> Result<&'a [u8], CodecError> {
+        let n = self.u16()? as usize;
+        self.take(n).map_err(|_| CodecError::LengthMismatch)
+    }
+
+    /// Reads a u24-length-prefixed vector.
+    pub fn vec24(&mut self) -> Result<&'a [u8], CodecError> {
+        let n = self.u24()? as usize;
+        self.take(n).map_err(|_| CodecError::LengthMismatch)
+    }
+
+    /// Requires full consumption.
+    pub fn finish(&self) -> Result<(), CodecError> {
+        if self.is_empty() {
+            Ok(())
+        } else {
+            Err(CodecError::LengthMismatch)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn integers_roundtrip() {
+        let mut buf = Vec::new();
+        buf.put_u8(0xab);
+        buf.put_u16(0x1234);
+        buf.put_u24(0x00dead);
+        let mut r = Reader::new(&buf);
+        assert_eq!(r.u8().unwrap(), 0xab);
+        assert_eq!(r.u16().unwrap(), 0x1234);
+        assert_eq!(r.u24().unwrap(), 0x00dead);
+        r.finish().unwrap();
+    }
+
+    #[test]
+    fn vectors_roundtrip() {
+        let mut buf = Vec::new();
+        buf.put_vec8(b"abc");
+        buf.put_vec16(b"defg");
+        buf.put_vec24(b"hi");
+        let mut r = Reader::new(&buf);
+        assert_eq!(r.vec8().unwrap(), b"abc");
+        assert_eq!(r.vec16().unwrap(), b"defg");
+        assert_eq!(r.vec24().unwrap(), b"hi");
+        r.finish().unwrap();
+    }
+
+    #[test]
+    fn truncation_and_mismatch() {
+        let mut r = Reader::new(&[0x00]);
+        assert_eq!(r.u16().unwrap_err(), CodecError::Truncated);
+        // Length prefix claims 5 bytes, only 2 present.
+        let mut r = Reader::new(&[5, 1, 2]);
+        assert_eq!(r.vec8().unwrap_err(), CodecError::LengthMismatch);
+    }
+
+    #[test]
+    fn finish_catches_trailing() {
+        let mut r = Reader::new(&[1, 2, 3]);
+        r.u8().unwrap();
+        assert_eq!(r.finish().unwrap_err(), CodecError::LengthMismatch);
+    }
+
+    #[test]
+    fn u24_bounds() {
+        let mut buf = Vec::new();
+        buf.put_u24((1 << 24) - 1);
+        let mut r = Reader::new(&buf);
+        assert_eq!(r.u24().unwrap(), (1 << 24) - 1);
+    }
+}

@@ -1,0 +1,174 @@
+//! TLS client fingerprinting (JA3-shaped).
+//!
+//! §5.3 of the paper defines a *TLS instance* as the implementation +
+//! configuration that together produce a fingerprint, and compares
+//! device fingerprints against the labeled database of Kotzias et al.
+//! This module extracts the same feature permutation JA3 uses from a
+//! ClientHello: `(version, ciphers, extensions, groups, point
+//! formats)`.
+//!
+//! Fingerprint identifiers are real JA3 values: the MD5 of the
+//! feature string (RFC 1321 MD5 implemented in `iotls-crypto`).
+
+use crate::extension::Extension;
+use crate::handshake::ClientHello;
+use iotls_crypto::md5::md5;
+use std::fmt;
+
+/// A TLS client fingerprint.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Fingerprint {
+    /// ClientHello legacy version (wire value).
+    pub version: u16,
+    /// Offered ciphersuites, in offer order.
+    pub ciphers: Vec<u16>,
+    /// Extension type code points, in offer order.
+    pub extensions: Vec<u16>,
+    /// supported_groups values.
+    pub groups: Vec<u16>,
+    /// ec_point_formats values.
+    pub point_formats: Vec<u8>,
+}
+
+impl Fingerprint {
+    /// Extracts the fingerprint from a ClientHello.
+    pub fn from_client_hello(ch: &ClientHello) -> Fingerprint {
+        let mut groups = Vec::new();
+        let mut point_formats = Vec::new();
+        for e in &ch.extensions {
+            match e {
+                Extension::SupportedGroups(g) => groups = g.clone(),
+                Extension::EcPointFormats(p) => point_formats = p.clone(),
+                _ => {}
+            }
+        }
+        Fingerprint {
+            version: ch.legacy_version.wire(),
+            ciphers: ch.cipher_suites.clone(),
+            extensions: ch.extensions.iter().map(|e| e.typ()).collect(),
+            groups,
+            point_formats,
+        }
+    }
+
+    /// The JA3-style feature string:
+    /// `version,c1-c2,e1-e2,g1-g2,p1-p2`.
+    pub fn feature_string(&self) -> String {
+        fn join<T: fmt::Display>(items: &[T]) -> String {
+            items
+                .iter()
+                .map(|i| i.to_string())
+                .collect::<Vec<_>>()
+                .join("-")
+        }
+        format!(
+            "{},{},{},{},{}",
+            self.version,
+            join(&self.ciphers),
+            join(&self.extensions),
+            join(&self.groups),
+            join(&self.point_formats),
+        )
+    }
+
+    /// The JA3 fingerprint: MD5 of the feature string.
+    pub fn id(&self) -> FingerprintId {
+        FingerprintId(md5(self.feature_string().as_bytes()))
+    }
+}
+
+/// A JA3 fingerprint identifier (MD5 of the feature string).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct FingerprintId(pub [u8; 16]);
+
+impl fmt::Display for FingerprintId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for b in &self.0 {
+            write!(f, "{b:02x}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::version::ProtocolVersion;
+
+    fn hello(ciphers: Vec<u16>, extensions: Vec<Extension>) -> ClientHello {
+        ClientHello {
+            legacy_version: ProtocolVersion::Tls12,
+            random: [0u8; 32],
+            session_id: vec![],
+            cipher_suites: ciphers,
+            compression_methods: vec![0],
+            extensions,
+        }
+    }
+
+    #[test]
+    fn feature_string_shape() {
+        let ch = hello(
+            vec![0xc02f, 0x009c],
+            vec![
+                Extension::ServerName("x.example.com".into()),
+                Extension::SupportedGroups(vec![29, 23]),
+                Extension::EcPointFormats(vec![0]),
+            ],
+        );
+        let fp = Fingerprint::from_client_hello(&ch);
+        assert_eq!(fp.feature_string(), "771,49199-156,0-10-11,29-23,0");
+    }
+
+    #[test]
+    fn random_does_not_affect_fingerprint() {
+        let mut a = hello(vec![0xc02f], vec![]);
+        let mut b = hello(vec![0xc02f], vec![]);
+        a.random = [1u8; 32];
+        b.random = [2u8; 32];
+        assert_eq!(
+            Fingerprint::from_client_hello(&a).id(),
+            Fingerprint::from_client_hello(&b).id()
+        );
+    }
+
+    #[test]
+    fn cipher_order_matters() {
+        let a = hello(vec![0xc02f, 0x009c], vec![]);
+        let b = hello(vec![0x009c, 0xc02f], vec![]);
+        assert_ne!(
+            Fingerprint::from_client_hello(&a).id(),
+            Fingerprint::from_client_hello(&b).id()
+        );
+    }
+
+    #[test]
+    fn extension_set_matters() {
+        let a = hello(vec![0xc02f], vec![Extension::SessionTicket]);
+        let b = hello(vec![0xc02f], vec![]);
+        assert_ne!(
+            Fingerprint::from_client_hello(&a).id(),
+            Fingerprint::from_client_hello(&b).id()
+        );
+    }
+
+    #[test]
+    fn sni_value_does_not_affect_fingerprint() {
+        // Only the extension *type* is fingerprinted, not the hostname
+        // — the same instance talking to two destinations matches.
+        let a = hello(vec![0xc02f], vec![Extension::ServerName("a.com".into())]);
+        let b = hello(vec![0xc02f], vec![Extension::ServerName("b.com".into())]);
+        assert_eq!(
+            Fingerprint::from_client_hello(&a).id(),
+            Fingerprint::from_client_hello(&b).id()
+        );
+    }
+
+    #[test]
+    fn id_display_is_hex() {
+        let fp = Fingerprint::from_client_hello(&hello(vec![1], vec![]));
+        let s = fp.id().to_string();
+        assert_eq!(s.len(), 32);
+        assert!(s.chars().all(|c| c.is_ascii_hexdigit()));
+    }
+}

@@ -1,0 +1,419 @@
+//! Handshake message structures and wire codec (RFC 5246 §7.4 shape).
+
+use crate::codec::{CodecError, Reader, WriteExt};
+use crate::extension::{decode_extensions, encode_extensions, Extension};
+use crate::version::ProtocolVersion;
+
+/// Handshake message type code points.
+mod msg_type {
+    pub const CLIENT_HELLO: u8 = 1;
+    pub const SERVER_HELLO: u8 = 2;
+    pub const CERTIFICATE: u8 = 11;
+    pub const SERVER_KEY_EXCHANGE: u8 = 12;
+    pub const SERVER_HELLO_DONE: u8 = 14;
+    pub const CERTIFICATE_STATUS: u8 = 22;
+    pub const CLIENT_KEY_EXCHANGE: u8 = 16;
+    pub const FINISHED: u8 = 20;
+}
+
+/// A ClientHello.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ClientHello {
+    /// legacy_version field (maximum version for pre-1.3 stacks).
+    pub legacy_version: ProtocolVersion,
+    /// 32-byte client random.
+    pub random: [u8; 32],
+    /// Session id (unused by the simulator but carried on the wire).
+    pub session_id: Vec<u8>,
+    /// Offered ciphersuite code points, in preference order.
+    pub cipher_suites: Vec<u16>,
+    /// Compression methods (always `[0]` here).
+    pub compression_methods: Vec<u8>,
+    /// Extensions, in order.
+    pub extensions: Vec<Extension>,
+}
+
+impl ClientHello {
+    /// The SNI hostname, if present.
+    pub fn server_name(&self) -> Option<&str> {
+        self.extensions.iter().find_map(|e| match e {
+            Extension::ServerName(h) => Some(h.as_str()),
+            _ => None,
+        })
+    }
+
+    /// All protocol versions this hello advertises: the
+    /// supported_versions extension when present (TLS 1.3 style),
+    /// otherwise every version up to `legacy_version`.
+    pub fn advertised_versions(&self) -> Vec<ProtocolVersion> {
+        for e in &self.extensions {
+            if let Extension::SupportedVersions(vs) = e {
+                return vs.clone();
+            }
+        }
+        ProtocolVersion::ALL
+            .into_iter()
+            .filter(|v| *v <= self.legacy_version)
+            .collect()
+    }
+
+    /// The maximum version advertised.
+    pub fn max_version(&self) -> ProtocolVersion {
+        self.advertised_versions()
+            .into_iter()
+            .max()
+            .unwrap_or(self.legacy_version)
+    }
+
+    /// True when the hello requests an OCSP staple.
+    pub fn requests_ocsp(&self) -> bool {
+        self.extensions
+            .iter()
+            .any(|e| matches!(e, Extension::StatusRequest))
+    }
+}
+
+/// A ServerHello.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ServerHello {
+    /// Negotiated protocol version.
+    pub version: ProtocolVersion,
+    /// 32-byte server random.
+    pub random: [u8; 32],
+    /// Echoed session id.
+    pub session_id: Vec<u8>,
+    /// Selected ciphersuite.
+    pub cipher_suite: u16,
+    /// Selected compression (always 0).
+    pub compression_method: u8,
+    /// Extensions.
+    pub extensions: Vec<Extension>,
+}
+
+/// Server key exchange (DHE parameters, signed).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ServerKeyExchange {
+    /// Ephemeral DH public value.
+    pub dh_public: Vec<u8>,
+    /// Signature over (client_random || server_random || dh_public).
+    pub signature: Vec<u8>,
+}
+
+/// A handshake-layer message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum HandshakeMessage {
+    /// Client's opening flight.
+    ClientHello(ClientHello),
+    /// Server's parameter selection.
+    ServerHello(ServerHello),
+    /// Certificate chain, leaf first; entries are encoded certs.
+    Certificate(Vec<Vec<u8>>),
+    /// Signed ephemeral DH parameters.
+    ServerKeyExchange(ServerKeyExchange),
+    /// Stapled OCSP response bytes.
+    CertificateStatus(Vec<u8>),
+    /// End of the server's first flight.
+    ServerHelloDone,
+    /// RSA-encrypted premaster secret or client DH public.
+    ClientKeyExchange(Vec<u8>),
+    /// Verify data.
+    Finished(Vec<u8>),
+}
+
+impl HandshakeMessage {
+    fn type_code(&self) -> u8 {
+        match self {
+            HandshakeMessage::ClientHello(_) => msg_type::CLIENT_HELLO,
+            HandshakeMessage::ServerHello(_) => msg_type::SERVER_HELLO,
+            HandshakeMessage::Certificate(_) => msg_type::CERTIFICATE,
+            HandshakeMessage::ServerKeyExchange(_) => msg_type::SERVER_KEY_EXCHANGE,
+            HandshakeMessage::CertificateStatus(_) => msg_type::CERTIFICATE_STATUS,
+            HandshakeMessage::ServerHelloDone => msg_type::SERVER_HELLO_DONE,
+            HandshakeMessage::ClientKeyExchange(_) => msg_type::CLIENT_KEY_EXCHANGE,
+            HandshakeMessage::Finished(_) => msg_type::FINISHED,
+        }
+    }
+
+    fn body(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        match self {
+            HandshakeMessage::ClientHello(ch) => {
+                out.put_u16(ch.legacy_version.wire());
+                out.put_slice(&ch.random);
+                out.put_vec8(&ch.session_id);
+                let mut suites = Vec::new();
+                for s in &ch.cipher_suites {
+                    suites.put_u16(*s);
+                }
+                out.put_vec16(&suites);
+                out.put_vec8(&ch.compression_methods);
+                encode_extensions(&ch.extensions, &mut out);
+            }
+            HandshakeMessage::ServerHello(sh) => {
+                out.put_u16(sh.version.wire());
+                out.put_slice(&sh.random);
+                out.put_vec8(&sh.session_id);
+                out.put_u16(sh.cipher_suite);
+                out.put_u8(sh.compression_method);
+                encode_extensions(&sh.extensions, &mut out);
+            }
+            HandshakeMessage::Certificate(chain) => {
+                let mut list = Vec::new();
+                for cert in chain {
+                    list.put_vec24(cert);
+                }
+                out.put_vec24(&list);
+            }
+            HandshakeMessage::ServerKeyExchange(ske) => {
+                out.put_vec16(&ske.dh_public);
+                out.put_vec16(&ske.signature);
+            }
+            HandshakeMessage::CertificateStatus(staple) => {
+                out.put_u8(1); // status_type = ocsp
+                out.put_vec24(staple);
+            }
+            HandshakeMessage::ServerHelloDone => {}
+            HandshakeMessage::ClientKeyExchange(payload) => {
+                out.put_vec16(payload);
+            }
+            HandshakeMessage::Finished(verify_data) => {
+                out.put_slice(verify_data);
+            }
+        }
+        out
+    }
+
+    /// Encodes with the 4-byte handshake header.
+    pub fn encode(&self) -> Vec<u8> {
+        let body = self.body();
+        let mut out = Vec::with_capacity(body.len() + 4);
+        out.put_u8(self.type_code());
+        out.put_vec24(&body);
+        out
+    }
+
+    /// Decodes one handshake message; returns the message and the
+    /// number of bytes consumed.
+    pub fn decode(data: &[u8]) -> Result<(HandshakeMessage, usize), CodecError> {
+        let mut r = Reader::new(data);
+        let typ = r.u8()?;
+        let body = r.vec24()?;
+        let consumed = data.len() - r.remaining();
+        let mut b = Reader::new(body);
+        let msg = match typ {
+            msg_type::CLIENT_HELLO => {
+                let legacy_version = ProtocolVersion::from_wire(b.u16()?)
+                    .ok_or(CodecError::IllegalValue("client version"))?;
+                let mut random = [0u8; 32];
+                random.copy_from_slice(b.take(32)?);
+                let session_id = b.vec8()?.to_vec();
+                let mut suites_reader = Reader::new(b.vec16()?);
+                let mut cipher_suites = Vec::new();
+                while !suites_reader.is_empty() {
+                    cipher_suites.push(suites_reader.u16()?);
+                }
+                let compression_methods = b.vec8()?.to_vec();
+                let extensions = decode_extensions(&mut b)?;
+                b.finish()?;
+                HandshakeMessage::ClientHello(ClientHello {
+                    legacy_version,
+                    random,
+                    session_id,
+                    cipher_suites,
+                    compression_methods,
+                    extensions,
+                })
+            }
+            msg_type::SERVER_HELLO => {
+                let version = ProtocolVersion::from_wire(b.u16()?)
+                    .ok_or(CodecError::IllegalValue("server version"))?;
+                let mut random = [0u8; 32];
+                random.copy_from_slice(b.take(32)?);
+                let session_id = b.vec8()?.to_vec();
+                let cipher_suite = b.u16()?;
+                let compression_method = b.u8()?;
+                let extensions = decode_extensions(&mut b)?;
+                b.finish()?;
+                HandshakeMessage::ServerHello(ServerHello {
+                    version,
+                    random,
+                    session_id,
+                    cipher_suite,
+                    compression_method,
+                    extensions,
+                })
+            }
+            msg_type::CERTIFICATE => {
+                let mut list = Reader::new(b.vec24()?);
+                let mut chain = Vec::new();
+                while !list.is_empty() {
+                    chain.push(list.vec24()?.to_vec());
+                }
+                b.finish()?;
+                HandshakeMessage::Certificate(chain)
+            }
+            msg_type::SERVER_KEY_EXCHANGE => {
+                let dh_public = b.vec16()?.to_vec();
+                let signature = b.vec16()?.to_vec();
+                b.finish()?;
+                HandshakeMessage::ServerKeyExchange(ServerKeyExchange {
+                    dh_public,
+                    signature,
+                })
+            }
+            msg_type::CERTIFICATE_STATUS => {
+                let status_type = b.u8()?;
+                if status_type != 1 {
+                    return Err(CodecError::IllegalValue("status_type"));
+                }
+                let staple = b.vec24()?.to_vec();
+                b.finish()?;
+                HandshakeMessage::CertificateStatus(staple)
+            }
+            msg_type::SERVER_HELLO_DONE => {
+                b.finish()?;
+                HandshakeMessage::ServerHelloDone
+            }
+            msg_type::CLIENT_KEY_EXCHANGE => {
+                let payload = b.vec16()?.to_vec();
+                b.finish()?;
+                HandshakeMessage::ClientKeyExchange(payload)
+            }
+            msg_type::FINISHED => HandshakeMessage::Finished(body.to_vec()),
+            _ => return Err(CodecError::IllegalValue("handshake type")),
+        };
+        Ok((msg, consumed))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::extension::sig_scheme;
+
+    fn sample_client_hello() -> ClientHello {
+        ClientHello {
+            legacy_version: ProtocolVersion::Tls12,
+            random: [7u8; 32],
+            session_id: vec![],
+            cipher_suites: vec![0xc02f, 0xc030, 0x009c, 0x0005],
+            compression_methods: vec![0],
+            extensions: vec![
+                Extension::ServerName("iot.example.com".into()),
+                Extension::SupportedGroups(vec![29, 23, 24]),
+                Extension::SignatureAlgorithms(vec![sig_scheme::RSA_PKCS1_SHA256]),
+            ],
+        }
+    }
+
+    fn roundtrip(msg: HandshakeMessage) -> HandshakeMessage {
+        let encoded = msg.encode();
+        let (decoded, consumed) = HandshakeMessage::decode(&encoded).unwrap();
+        assert_eq!(consumed, encoded.len());
+        assert_eq!(decoded, msg);
+        decoded
+    }
+
+    #[test]
+    fn client_hello_roundtrip() {
+        roundtrip(HandshakeMessage::ClientHello(sample_client_hello()));
+    }
+
+    #[test]
+    fn server_hello_roundtrip() {
+        roundtrip(HandshakeMessage::ServerHello(ServerHello {
+            version: ProtocolVersion::Tls12,
+            random: [9u8; 32],
+            session_id: vec![1, 2, 3],
+            cipher_suite: 0xc02f,
+            compression_method: 0,
+            extensions: vec![Extension::RenegotiationInfo],
+        }));
+    }
+
+    #[test]
+    fn certificate_chain_roundtrip() {
+        roundtrip(HandshakeMessage::Certificate(vec![
+            vec![1; 100],
+            vec![2; 200],
+        ]));
+        roundtrip(HandshakeMessage::Certificate(vec![]));
+    }
+
+    #[test]
+    fn other_messages_roundtrip() {
+        roundtrip(HandshakeMessage::ServerKeyExchange(ServerKeyExchange {
+            dh_public: vec![5; 96],
+            signature: vec![6; 64],
+        }));
+        roundtrip(HandshakeMessage::CertificateStatus(vec![8; 50]));
+        roundtrip(HandshakeMessage::ServerHelloDone);
+        roundtrip(HandshakeMessage::ClientKeyExchange(vec![3; 64]));
+        roundtrip(HandshakeMessage::Finished(vec![4; 12]));
+    }
+
+    #[test]
+    fn decode_reports_consumed_for_concatenated_messages() {
+        let mut buf = HandshakeMessage::ServerHelloDone.encode();
+        let second = HandshakeMessage::Finished(vec![1, 2, 3]).encode();
+        buf.extend_from_slice(&second);
+        let (msg1, used1) = HandshakeMessage::decode(&buf).unwrap();
+        assert_eq!(msg1, HandshakeMessage::ServerHelloDone);
+        let (msg2, used2) = HandshakeMessage::decode(&buf[used1..]).unwrap();
+        assert_eq!(msg2, HandshakeMessage::Finished(vec![1, 2, 3]));
+        assert_eq!(used1 + used2, buf.len());
+    }
+
+    #[test]
+    fn truncated_messages_rejected() {
+        let encoded = HandshakeMessage::ClientHello(sample_client_hello()).encode();
+        for cut in 1..encoded.len().min(40) {
+            assert!(HandshakeMessage::decode(&encoded[..cut]).is_err());
+        }
+    }
+
+    #[test]
+    fn unknown_type_rejected() {
+        let mut buf = vec![99u8];
+        buf.put_vec24(&[]);
+        assert!(HandshakeMessage::decode(&buf).is_err());
+    }
+
+    #[test]
+    fn advertised_versions_without_extension() {
+        let ch = sample_client_hello();
+        assert_eq!(
+            ch.advertised_versions(),
+            vec![
+                ProtocolVersion::Ssl30,
+                ProtocolVersion::Tls10,
+                ProtocolVersion::Tls11,
+                ProtocolVersion::Tls12
+            ]
+        );
+        assert_eq!(ch.max_version(), ProtocolVersion::Tls12);
+    }
+
+    #[test]
+    fn advertised_versions_with_extension() {
+        let mut ch = sample_client_hello();
+        ch.extensions.push(Extension::SupportedVersions(vec![
+            ProtocolVersion::Tls13,
+            ProtocolVersion::Tls12,
+        ]));
+        assert_eq!(
+            ch.advertised_versions(),
+            vec![ProtocolVersion::Tls13, ProtocolVersion::Tls12]
+        );
+        assert_eq!(ch.max_version(), ProtocolVersion::Tls13);
+    }
+
+    #[test]
+    fn sni_and_ocsp_accessors() {
+        let mut ch = sample_client_hello();
+        assert_eq!(ch.server_name(), Some("iot.example.com"));
+        assert!(!ch.requests_ocsp());
+        ch.extensions.push(Extension::StatusRequest);
+        assert!(ch.requests_ocsp());
+    }
+}

@@ -1,0 +1,133 @@
+//! The TLS 1.2 pseudo-random function (RFC 5246 §5): P_SHA256 with
+//! labeled seeds — the real key schedule, replacing the reproduction's
+//! earlier ad-hoc HMAC derivation.
+
+use iotls_crypto::hmac::hmac_sha256;
+
+/// P_SHA256(secret, seed) expanded to `out_len` bytes (RFC 5246 §5).
+pub fn p_sha256(secret: &[u8], seed: &[u8], out_len: usize) -> Vec<u8> {
+    let mut out = Vec::with_capacity(out_len + 32);
+    let mut a = hmac_sha256(secret, seed); // A(1)
+    while out.len() < out_len {
+        let mut input = Vec::with_capacity(32 + seed.len());
+        input.extend_from_slice(&a);
+        input.extend_from_slice(seed);
+        out.extend_from_slice(&hmac_sha256(secret, &input));
+        a = hmac_sha256(secret, &a); // A(i+1)
+    }
+    out.truncate(out_len);
+    out
+}
+
+/// PRF(secret, label, seed) = P_SHA256(secret, label || seed).
+pub fn prf(secret: &[u8], label: &str, seed: &[u8], out_len: usize) -> Vec<u8> {
+    let mut label_seed = Vec::with_capacity(label.len() + seed.len());
+    label_seed.extend_from_slice(label.as_bytes());
+    label_seed.extend_from_slice(seed);
+    p_sha256(secret, &label_seed, out_len)
+}
+
+/// RFC 5246 §8.1: the 48-byte master secret.
+pub fn master_secret(
+    premaster: &[u8],
+    client_random: &[u8; 32],
+    server_random: &[u8; 32],
+) -> [u8; 48] {
+    let mut seed = [0u8; 64];
+    seed[..32].copy_from_slice(client_random);
+    seed[32..].copy_from_slice(server_random);
+    prf(premaster, "master secret", &seed, 48)
+        .try_into()
+        .expect("48 bytes")
+}
+
+/// RFC 5246 §6.3: the key block (server_random || client_random seed).
+pub fn key_block(
+    master: &[u8; 48],
+    client_random: &[u8; 32],
+    server_random: &[u8; 32],
+    out_len: usize,
+) -> Vec<u8> {
+    let mut seed = [0u8; 64];
+    seed[..32].copy_from_slice(server_random);
+    seed[32..].copy_from_slice(client_random);
+    prf(master, "key expansion", &seed, out_len)
+}
+
+/// RFC 5246 §7.4.9: 12-byte Finished verify data.
+pub fn verify_data(master: &[u8; 48], label: &str, transcript_hash: &[u8; 32]) -> Vec<u8> {
+    prf(master, label, transcript_hash, 12)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use iotls_crypto::sha256::hex;
+
+    /// The widely-used community P_SHA256 test vector.
+    #[test]
+    fn p_sha256_reference_vector() {
+        let secret = [
+            0x9b, 0xbe, 0x43, 0x6b, 0xa9, 0x40, 0xf0, 0x17, 0xb1, 0x76, 0x52, 0x84, 0x9a, 0x71,
+            0xdb, 0x35,
+        ];
+        let seed = [
+            0xa0, 0xba, 0x9f, 0x93, 0x6c, 0xda, 0x31, 0x18, 0x27, 0xa6, 0xf7, 0x96, 0xff, 0xd5,
+            0x19, 0x8c,
+        ];
+        let out = prf(&secret, "test label", &seed, 100);
+        assert_eq!(
+            hex(&out),
+            "e3f229ba727be17b8d122620557cd453c2aab21d07c3d495329b52d4e61edb5a\
+             6b301791e90d35c9c9a46b4e14baf9af0fa022f7077def17abfd3797c0564bab\
+             4fbc91666e9def9b97fce34f796789baa48082d122ee42c5a72e5a5110fff701\
+             87347b66"
+        );
+    }
+
+    #[test]
+    fn expansion_lengths() {
+        let secret = b"secret";
+        let seed = b"seed";
+        for n in [0usize, 1, 31, 32, 33, 64, 100] {
+            assert_eq!(p_sha256(secret, seed, n).len(), n);
+        }
+        // Prefix property: a longer expansion starts with the shorter.
+        let long = p_sha256(secret, seed, 100);
+        let short = p_sha256(secret, seed, 40);
+        assert_eq!(&long[..40], &short[..]);
+    }
+
+    #[test]
+    fn master_secret_shape() {
+        let pm = [1u8; 48];
+        let cr = [2u8; 32];
+        let sr = [3u8; 32];
+        let m1 = master_secret(&pm, &cr, &sr);
+        assert_eq!(m1, master_secret(&pm, &cr, &sr));
+        assert_ne!(m1, master_secret(&pm, &sr, &cr), "random order matters");
+    }
+
+    #[test]
+    fn key_block_uses_server_then_client_random() {
+        let master = [7u8; 48];
+        let cr = [1u8; 32];
+        let sr = [2u8; 32];
+        let kb = key_block(&master, &cr, &sr, 64);
+        // Manually build the same expansion.
+        let mut seed = Vec::new();
+        seed.extend_from_slice(&sr);
+        seed.extend_from_slice(&cr);
+        assert_eq!(kb, prf(&master, "key expansion", &seed, 64));
+    }
+
+    #[test]
+    fn verify_data_is_12_bytes_and_label_sensitive() {
+        let master = [9u8; 48];
+        let th = [4u8; 32];
+        let c = verify_data(&master, "client finished", &th);
+        let s = verify_data(&master, "server finished", &th);
+        assert_eq!(c.len(), 12);
+        assert_ne!(c, s);
+    }
+}

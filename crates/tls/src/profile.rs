@@ -1,0 +1,175 @@
+//! TLS library behavior profiles.
+//!
+//! Table 4 of the paper tests six TLS libraries for the alert they
+//! emit on (a) a known CA with an invalid signature and (b) an unknown
+//! CA, and finds only the libraries that emit *different* alerts are
+//! amenable to the root-store exploration technique. This module
+//! encodes exactly those observable behaviors, so the reproduction's
+//! probe discovers amenability the same way the paper does — from the
+//! outside.
+
+use crate::alert::AlertDescription;
+use iotls_x509::ValidationError;
+use std::fmt;
+
+/// The TLS library a simulated client emulates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum LibraryProfile {
+    /// MbedTLS v2.21.0 — bad cert / unknown CA distinguishable.
+    MbedTls,
+    /// OpenSSL v1.1.1i — decrypt_error / unknown CA distinguishable.
+    OpenSsl,
+    /// Oracle Java v18.0 — certificate_unknown for both.
+    JavaJsse,
+    /// WolfSSL v4.1.0 — bad_certificate for both.
+    WolfSsl,
+    /// GnuTLS v3.6.15 — sends no alert.
+    GnuTls,
+    /// Apple Secure Transport (macOS 11.3) — sends no alert.
+    SecureTransport,
+}
+
+impl LibraryProfile {
+    /// All profiles, in Table 4 order.
+    pub const ALL: [LibraryProfile; 6] = [
+        LibraryProfile::MbedTls,
+        LibraryProfile::OpenSsl,
+        LibraryProfile::JavaJsse,
+        LibraryProfile::WolfSsl,
+        LibraryProfile::GnuTls,
+        LibraryProfile::SecureTransport,
+    ];
+
+    /// The alert (if any) this library sends when certificate
+    /// validation fails with `err` — the observable side channel.
+    ///
+    /// Returns `None` for libraries that close the connection without
+    /// an alert (GnuTLS, Secure Transport).
+    pub fn alert_for(self, err: ValidationError) -> Option<AlertDescription> {
+        use LibraryProfile::*;
+        match self {
+            GnuTls | SecureTransport => None,
+            JavaJsse => Some(AlertDescription::CertificateUnknown),
+            WolfSsl => Some(AlertDescription::BadCertificate),
+            MbedTls => Some(match err {
+                ValidationError::UnknownIssuer => AlertDescription::UnknownCa,
+                ValidationError::BadSignature => AlertDescription::BadCertificate,
+                ValidationError::Expired | ValidationError::NotYetValid => {
+                    AlertDescription::CertificateExpired
+                }
+                ValidationError::HostnameMismatch => AlertDescription::BadCertificate,
+                _ => AlertDescription::BadCertificate,
+            }),
+            OpenSsl => Some(match err {
+                ValidationError::UnknownIssuer => AlertDescription::UnknownCa,
+                ValidationError::BadSignature => AlertDescription::DecryptError,
+                ValidationError::Expired | ValidationError::NotYetValid => {
+                    AlertDescription::CertificateExpired
+                }
+                ValidationError::HostnameMismatch => AlertDescription::CertificateUnknown,
+                _ => AlertDescription::BadCertificate,
+            }),
+        }
+    }
+
+    /// True when unknown-CA and bad-signature failures produce
+    /// *different* alerts — the amenability criterion of §4.2.
+    pub fn is_amenable_to_root_probe(self) -> bool {
+        let unknown = self.alert_for(ValidationError::UnknownIssuer);
+        let bad_sig = self.alert_for(ValidationError::BadSignature);
+        match (unknown, bad_sig) {
+            (Some(a), Some(b)) => a != b,
+            _ => false,
+        }
+    }
+
+    /// Human-readable name with the version the paper tested.
+    pub fn display_name(self) -> &'static str {
+        match self {
+            LibraryProfile::MbedTls => "Mbedtls (v2.21.0)",
+            LibraryProfile::OpenSsl => "OpenSSL (v1.1.1i)",
+            LibraryProfile::JavaJsse => "Oracle Java (v18.0)",
+            LibraryProfile::WolfSsl => "WolfSSL (v4.1.0)",
+            LibraryProfile::GnuTls => "GNU TLS (v3.6.15)",
+            LibraryProfile::SecureTransport => "Secure Transport (macOS v11.3)",
+        }
+    }
+}
+
+impl fmt::Display for LibraryProfile {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.display_name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table4_known_ca_invalid_signature_column() {
+        assert_eq!(
+            LibraryProfile::MbedTls.alert_for(ValidationError::BadSignature),
+            Some(AlertDescription::BadCertificate)
+        );
+        assert_eq!(
+            LibraryProfile::OpenSsl.alert_for(ValidationError::BadSignature),
+            Some(AlertDescription::DecryptError)
+        );
+        assert_eq!(
+            LibraryProfile::JavaJsse.alert_for(ValidationError::BadSignature),
+            Some(AlertDescription::CertificateUnknown)
+        );
+        assert_eq!(
+            LibraryProfile::WolfSsl.alert_for(ValidationError::BadSignature),
+            Some(AlertDescription::BadCertificate)
+        );
+        assert_eq!(LibraryProfile::GnuTls.alert_for(ValidationError::BadSignature), None);
+        assert_eq!(
+            LibraryProfile::SecureTransport.alert_for(ValidationError::BadSignature),
+            None
+        );
+    }
+
+    #[test]
+    fn table4_unknown_ca_column() {
+        assert_eq!(
+            LibraryProfile::MbedTls.alert_for(ValidationError::UnknownIssuer),
+            Some(AlertDescription::UnknownCa)
+        );
+        assert_eq!(
+            LibraryProfile::OpenSsl.alert_for(ValidationError::UnknownIssuer),
+            Some(AlertDescription::UnknownCa)
+        );
+        assert_eq!(
+            LibraryProfile::JavaJsse.alert_for(ValidationError::UnknownIssuer),
+            Some(AlertDescription::CertificateUnknown)
+        );
+        assert_eq!(
+            LibraryProfile::WolfSsl.alert_for(ValidationError::UnknownIssuer),
+            Some(AlertDescription::BadCertificate)
+        );
+    }
+
+    #[test]
+    fn amenability_matches_table4() {
+        // The paper finds exactly MbedTLS and OpenSSL amenable.
+        let amenable: Vec<LibraryProfile> = LibraryProfile::ALL
+            .into_iter()
+            .filter(|p| p.is_amenable_to_root_probe())
+            .collect();
+        assert_eq!(
+            amenable,
+            vec![LibraryProfile::MbedTls, LibraryProfile::OpenSsl]
+        );
+    }
+
+    #[test]
+    fn display_names_match_paper() {
+        assert_eq!(LibraryProfile::MbedTls.to_string(), "Mbedtls (v2.21.0)");
+        assert_eq!(
+            LibraryProfile::SecureTransport.to_string(),
+            "Secure Transport (macOS v11.3)"
+        );
+    }
+}

@@ -1,0 +1,248 @@
+//! TLS record layer: framing and incremental deframing.
+
+use crate::codec::{CodecError, WriteExt};
+use crate::version::ProtocolVersion;
+
+/// Record content types.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ContentType {
+    /// change_cipher_spec (20).
+    ChangeCipherSpec,
+    /// alert (21).
+    Alert,
+    /// handshake (22).
+    Handshake,
+    /// application_data (23).
+    ApplicationData,
+}
+
+impl ContentType {
+    /// Wire code point.
+    pub fn wire(self) -> u8 {
+        match self {
+            ContentType::ChangeCipherSpec => 20,
+            ContentType::Alert => 21,
+            ContentType::Handshake => 22,
+            ContentType::ApplicationData => 23,
+        }
+    }
+
+    /// Decodes a wire code point.
+    pub fn from_wire(v: u8) -> Option<ContentType> {
+        match v {
+            20 => Some(ContentType::ChangeCipherSpec),
+            21 => Some(ContentType::Alert),
+            22 => Some(ContentType::Handshake),
+            23 => Some(ContentType::ApplicationData),
+            _ => None,
+        }
+    }
+}
+
+/// Maximum plaintext fragment length (RFC 5246 §6.2.1).
+pub const MAX_FRAGMENT: usize = 16_384;
+
+/// One TLS record.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Record {
+    /// Content type.
+    pub content_type: ContentType,
+    /// Record-layer version field.
+    pub version: ProtocolVersion,
+    /// Fragment payload (possibly encrypted).
+    pub payload: Vec<u8>,
+}
+
+impl Record {
+    /// Builds a record; panics if the payload exceeds [`MAX_FRAGMENT`].
+    pub fn new(content_type: ContentType, version: ProtocolVersion, payload: Vec<u8>) -> Record {
+        assert!(payload.len() <= MAX_FRAGMENT, "fragment too large");
+        Record {
+            content_type,
+            version,
+            payload,
+        }
+    }
+
+    /// Encodes to the 5-byte header plus payload.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(5 + self.payload.len());
+        out.put_u8(self.content_type.wire());
+        out.put_u16(self.version.wire());
+        out.put_vec16(&self.payload);
+        out
+    }
+
+    /// Splits an arbitrarily long payload into records of at most
+    /// [`MAX_FRAGMENT`] bytes.
+    pub fn fragment(
+        content_type: ContentType,
+        version: ProtocolVersion,
+        payload: &[u8],
+    ) -> Vec<Record> {
+        if payload.is_empty() {
+            return vec![Record::new(content_type, version, Vec::new())];
+        }
+        payload
+            .chunks(MAX_FRAGMENT)
+            .map(|c| Record::new(content_type, version, c.to_vec()))
+            .collect()
+    }
+}
+
+/// Incremental record parser: feed bytes in any chunking, pop whole
+/// records out.
+#[derive(Debug, Default)]
+pub struct Deframer {
+    buffer: Vec<u8>,
+}
+
+impl Deframer {
+    /// A fresh deframer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends raw transport bytes.
+    pub fn push(&mut self, data: &[u8]) {
+        self.buffer.extend_from_slice(data);
+    }
+
+    /// Bytes currently buffered (for diagnostics).
+    pub fn buffered(&self) -> usize {
+        self.buffer.len()
+    }
+
+    /// Pops the next complete record, or `None` if more bytes are
+    /// needed. Malformed headers are an error.
+    pub fn pop(&mut self) -> Result<Option<Record>, CodecError> {
+        if self.buffer.len() < 5 {
+            return Ok(None);
+        }
+        let content_type = ContentType::from_wire(self.buffer[0])
+            .ok_or(CodecError::IllegalValue("content type"))?;
+        let version = ProtocolVersion::from_wire(u16::from_be_bytes([
+            self.buffer[1],
+            self.buffer[2],
+        ]))
+        .ok_or(CodecError::IllegalValue("record version"))?;
+        let len = u16::from_be_bytes([self.buffer[3], self.buffer[4]]) as usize;
+        if self.buffer.len() < 5 + len {
+            return Ok(None);
+        }
+        let payload = self.buffer[5..5 + len].to_vec();
+        self.buffer.drain(..5 + len);
+        Ok(Some(Record {
+            content_type,
+            version,
+            payload,
+        }))
+    }
+
+    /// Drains every complete record currently buffered.
+    pub fn pop_all(&mut self) -> Result<Vec<Record>, CodecError> {
+        let mut out = Vec::new();
+        while let Some(rec) = self.pop()? {
+            out.push(rec);
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_roundtrip() {
+        let rec = Record::new(
+            ContentType::Handshake,
+            ProtocolVersion::Tls12,
+            vec![1, 2, 3],
+        );
+        let mut d = Deframer::new();
+        d.push(&rec.encode());
+        assert_eq!(d.pop().unwrap().unwrap(), rec);
+        assert_eq!(d.pop().unwrap(), None);
+    }
+
+    #[test]
+    fn deframer_handles_partial_delivery() {
+        let rec = Record::new(ContentType::Alert, ProtocolVersion::Tls10, vec![2, 48]);
+        let bytes = rec.encode();
+        let mut d = Deframer::new();
+        for b in &bytes[..bytes.len() - 1] {
+            d.push(std::slice::from_ref(b));
+            assert_eq!(d.pop().unwrap(), None);
+        }
+        d.push(&bytes[bytes.len() - 1..]);
+        assert_eq!(d.pop().unwrap().unwrap(), rec);
+    }
+
+    #[test]
+    fn deframer_handles_coalesced_records() {
+        let a = Record::new(ContentType::Handshake, ProtocolVersion::Tls12, vec![1]);
+        let b = Record::new(ContentType::ApplicationData, ProtocolVersion::Tls12, vec![2]);
+        let mut bytes = a.encode();
+        bytes.extend_from_slice(&b.encode());
+        let mut d = Deframer::new();
+        d.push(&bytes);
+        let records = d.pop_all().unwrap();
+        assert_eq!(records, vec![a, b]);
+        assert_eq!(d.buffered(), 0);
+    }
+
+    #[test]
+    fn bad_content_type_rejected() {
+        let mut d = Deframer::new();
+        d.push(&[99, 3, 3, 0, 0]);
+        assert!(d.pop().is_err());
+    }
+
+    #[test]
+    fn bad_version_rejected() {
+        let mut d = Deframer::new();
+        d.push(&[22, 9, 9, 0, 0]);
+        assert!(d.pop().is_err());
+    }
+
+    #[test]
+    fn fragmentation_respects_limit() {
+        let big = vec![0xaa; MAX_FRAGMENT * 2 + 100];
+        let frags = Record::fragment(ContentType::ApplicationData, ProtocolVersion::Tls12, &big);
+        assert_eq!(frags.len(), 3);
+        assert!(frags.iter().all(|f| f.payload.len() <= MAX_FRAGMENT));
+        let total: usize = frags.iter().map(|f| f.payload.len()).sum();
+        assert_eq!(total, big.len());
+    }
+
+    #[test]
+    fn empty_payload_fragment() {
+        let frags = Record::fragment(ContentType::Handshake, ProtocolVersion::Tls12, &[]);
+        assert_eq!(frags.len(), 1);
+        assert!(frags[0].payload.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "fragment too large")]
+    fn oversized_record_panics() {
+        Record::new(
+            ContentType::ApplicationData,
+            ProtocolVersion::Tls12,
+            vec![0; MAX_FRAGMENT + 1],
+        );
+    }
+
+    #[test]
+    fn content_type_wire_roundtrip() {
+        for ct in [
+            ContentType::ChangeCipherSpec,
+            ContentType::Alert,
+            ContentType::Handshake,
+            ContentType::ApplicationData,
+        ] {
+            assert_eq!(ContentType::from_wire(ct.wire()), Some(ct));
+        }
+        assert_eq!(ContentType::from_wire(0), None);
+    }
+}

@@ -1,0 +1,118 @@
+//! TLS protocol versions.
+
+use std::fmt;
+
+/// A TLS/SSL protocol version with its wire encoding.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum ProtocolVersion {
+    /// SSL 3.0 (1996) — broken (POODLE); deprecated by RFC 7568.
+    Ssl30,
+    /// TLS 1.0 (1999) — deprecated by RFC 8996.
+    Tls10,
+    /// TLS 1.1 (2006) — deprecated by RFC 8996.
+    Tls11,
+    /// TLS 1.2 (2008) — current baseline.
+    Tls12,
+    /// TLS 1.3 (2018) — current best practice.
+    Tls13,
+}
+
+impl ProtocolVersion {
+    /// All versions, oldest first.
+    pub const ALL: [ProtocolVersion; 5] = [
+        ProtocolVersion::Ssl30,
+        ProtocolVersion::Tls10,
+        ProtocolVersion::Tls11,
+        ProtocolVersion::Tls12,
+        ProtocolVersion::Tls13,
+    ];
+
+    /// Wire encoding (`major << 8 | minor`).
+    pub fn wire(self) -> u16 {
+        match self {
+            ProtocolVersion::Ssl30 => 0x0300,
+            ProtocolVersion::Tls10 => 0x0301,
+            ProtocolVersion::Tls11 => 0x0302,
+            ProtocolVersion::Tls12 => 0x0303,
+            ProtocolVersion::Tls13 => 0x0304,
+        }
+    }
+
+    /// Decodes a wire value.
+    pub fn from_wire(v: u16) -> Option<ProtocolVersion> {
+        match v {
+            0x0300 => Some(ProtocolVersion::Ssl30),
+            0x0301 => Some(ProtocolVersion::Tls10),
+            0x0302 => Some(ProtocolVersion::Tls11),
+            0x0303 => Some(ProtocolVersion::Tls12),
+            0x0304 => Some(ProtocolVersion::Tls13),
+            _ => None,
+        }
+    }
+
+    /// True for versions deprecated for security reasons (everything
+    /// below TLS 1.2) — the paper's "older versions" bucket in Fig. 1.
+    pub fn is_deprecated(self) -> bool {
+        self < ProtocolVersion::Tls12
+    }
+
+    /// The year the version was standardized (used in reports).
+    pub fn year(self) -> i32 {
+        match self {
+            ProtocolVersion::Ssl30 => 1996,
+            ProtocolVersion::Tls10 => 1999,
+            ProtocolVersion::Tls11 => 2006,
+            ProtocolVersion::Tls12 => 2008,
+            ProtocolVersion::Tls13 => 2018,
+        }
+    }
+}
+
+impl fmt::Display for ProtocolVersion {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            ProtocolVersion::Ssl30 => "SSL 3.0",
+            ProtocolVersion::Tls10 => "TLS 1.0",
+            ProtocolVersion::Tls11 => "TLS 1.1",
+            ProtocolVersion::Tls12 => "TLS 1.2",
+            ProtocolVersion::Tls13 => "TLS 1.3",
+        };
+        f.write_str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wire_roundtrip() {
+        for v in ProtocolVersion::ALL {
+            assert_eq!(ProtocolVersion::from_wire(v.wire()), Some(v));
+        }
+        assert_eq!(ProtocolVersion::from_wire(0x0305), None);
+        assert_eq!(ProtocolVersion::from_wire(0x0200), None);
+    }
+
+    #[test]
+    fn ordering_follows_chronology() {
+        assert!(ProtocolVersion::Ssl30 < ProtocolVersion::Tls10);
+        assert!(ProtocolVersion::Tls12 < ProtocolVersion::Tls13);
+        let max = ProtocolVersion::ALL.iter().max().unwrap();
+        assert_eq!(*max, ProtocolVersion::Tls13);
+    }
+
+    #[test]
+    fn deprecation_boundary() {
+        assert!(ProtocolVersion::Ssl30.is_deprecated());
+        assert!(ProtocolVersion::Tls11.is_deprecated());
+        assert!(!ProtocolVersion::Tls12.is_deprecated());
+        assert!(!ProtocolVersion::Tls13.is_deprecated());
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(ProtocolVersion::Tls13.to_string(), "TLS 1.3");
+        assert_eq!(ProtocolVersion::Ssl30.to_string(), "SSL 3.0");
+    }
+}

@@ -1,0 +1,206 @@
+//! Property-based tests for the TLS wire codecs and fingerprinting.
+
+use iotls_tls::alert::{Alert, AlertDescription, AlertLevel};
+use iotls_tls::extension::{decode_extensions, encode_extensions, Extension};
+use iotls_tls::fingerprint::Fingerprint;
+use iotls_tls::handshake::{ClientHello, HandshakeMessage, ServerHello, ServerKeyExchange};
+use iotls_tls::record::{ContentType, Deframer, Record};
+use iotls_tls::version::ProtocolVersion;
+use proptest::prelude::*;
+
+fn version_strategy() -> impl Strategy<Value = ProtocolVersion> {
+    prop_oneof![
+        Just(ProtocolVersion::Ssl30),
+        Just(ProtocolVersion::Tls10),
+        Just(ProtocolVersion::Tls11),
+        Just(ProtocolVersion::Tls12),
+        Just(ProtocolVersion::Tls13),
+    ]
+}
+
+fn hostname_strategy() -> impl Strategy<Value = String> {
+    "[a-z]{1,12}(\\.[a-z]{1,10}){1,3}"
+}
+
+fn extension_strategy() -> impl Strategy<Value = Extension> {
+    prop_oneof![
+        hostname_strategy().prop_map(Extension::ServerName),
+        Just(Extension::StatusRequest),
+        proptest::collection::vec(any::<u16>(), 0..8).prop_map(Extension::SupportedGroups),
+        proptest::collection::vec(any::<u8>(), 0..4).prop_map(Extension::EcPointFormats),
+        proptest::collection::vec(any::<u16>(), 0..8).prop_map(Extension::SignatureAlgorithms),
+        proptest::collection::vec("[a-z0-9/.]{1,12}", 0..4).prop_map(Extension::Alpn),
+        Just(Extension::SessionTicket),
+        proptest::collection::vec(version_strategy(), 0..5)
+            .prop_map(Extension::SupportedVersions),
+        Just(Extension::RenegotiationInfo),
+        (any::<u16>(), proptest::collection::vec(any::<u8>(), 0..32)).prop_map(|(typ, data)| {
+            Extension::Raw { typ, data }
+        }),
+    ]
+}
+
+/// Raw extensions whose type collides with a modeled extension decode
+/// into the modeled variant, so exclude those types from roundtrips.
+fn is_roundtrippable(e: &Extension) -> bool {
+    match e {
+        Extension::Raw { typ, .. } => ![0u16, 5, 10, 11, 13, 16, 35, 43, 51, 0xff01]
+            .contains(typ),
+        // An empty supported_versions list re-decodes fine, but an
+        // empty ALPN/groups list is still fine — all modeled variants
+        // roundtrip.
+        _ => true,
+    }
+}
+
+fn client_hello_strategy() -> impl Strategy<Value = ClientHello> {
+    (
+        version_strategy(),
+        proptest::array::uniform32(any::<u8>()),
+        proptest::collection::vec(any::<u8>(), 0..16),
+        proptest::collection::vec(any::<u16>(), 1..40),
+        proptest::collection::vec(extension_strategy(), 0..6),
+    )
+        .prop_map(|(v, random, session_id, suites, extensions)| ClientHello {
+            legacy_version: v,
+            random,
+            session_id,
+            cipher_suites: suites,
+            compression_methods: vec![0],
+            extensions: extensions
+                .into_iter()
+                .filter(is_roundtrippable)
+                .collect(),
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(192))]
+
+    #[test]
+    fn client_hello_roundtrips(ch in client_hello_strategy()) {
+        let msg = HandshakeMessage::ClientHello(ch);
+        let bytes = msg.encode();
+        let (decoded, used) = HandshakeMessage::decode(&bytes).unwrap();
+        prop_assert_eq!(used, bytes.len());
+        prop_assert_eq!(decoded, msg);
+    }
+
+    #[test]
+    fn server_hello_roundtrips(
+        v in version_strategy(),
+        random in proptest::array::uniform32(any::<u8>()),
+        suite in any::<u16>(),
+        session in proptest::collection::vec(any::<u8>(), 0..8),
+    ) {
+        let msg = HandshakeMessage::ServerHello(ServerHello {
+            version: v,
+            random,
+            session_id: session,
+            cipher_suite: suite,
+            compression_method: 0,
+            extensions: vec![],
+        });
+        let bytes = msg.encode();
+        let (decoded, _) = HandshakeMessage::decode(&bytes).unwrap();
+        prop_assert_eq!(decoded, msg);
+    }
+
+    #[test]
+    fn certificate_and_kx_roundtrip(
+        chain in proptest::collection::vec(proptest::collection::vec(any::<u8>(), 0..64), 0..4),
+        dh in proptest::collection::vec(any::<u8>(), 0..96),
+        sig in proptest::collection::vec(any::<u8>(), 0..64),
+    ) {
+        for msg in [
+            HandshakeMessage::Certificate(chain.clone()),
+            HandshakeMessage::ServerKeyExchange(ServerKeyExchange {
+                dh_public: dh.clone(),
+                signature: sig.clone(),
+            }),
+            HandshakeMessage::ClientKeyExchange(dh.clone()),
+            HandshakeMessage::Finished(sig.clone()),
+        ] {
+            let bytes = msg.encode();
+            let (decoded, used) = HandshakeMessage::decode(&bytes).unwrap();
+            prop_assert_eq!(used, bytes.len());
+            prop_assert_eq!(decoded, msg);
+        }
+    }
+
+    #[test]
+    fn extension_blocks_roundtrip(exts in proptest::collection::vec(extension_strategy(), 0..8)) {
+        let exts: Vec<Extension> = exts.into_iter().filter(is_roundtrippable).collect();
+        let mut buf = Vec::new();
+        encode_extensions(&exts, &mut buf);
+        let mut r = iotls_tls::codec::Reader::new(&buf);
+        let decoded = decode_extensions(&mut r).unwrap();
+        prop_assert_eq!(decoded, exts);
+    }
+
+    #[test]
+    fn truncated_hello_never_panics(ch in client_hello_strategy(), cut in 0usize..100) {
+        let bytes = HandshakeMessage::ClientHello(ch).encode();
+        let cut = cut.min(bytes.len());
+        // Must error or succeed, never panic.
+        let _ = HandshakeMessage::decode(&bytes[..cut]);
+    }
+
+    #[test]
+    fn garbage_bytes_never_panic_decoder(data in proptest::collection::vec(any::<u8>(), 0..200)) {
+        let _ = HandshakeMessage::decode(&data);
+        let mut d = Deframer::new();
+        d.push(&data);
+        while let Ok(Some(_)) = d.pop() {}
+    }
+
+    #[test]
+    fn records_roundtrip_under_any_chunking(
+        payloads in proptest::collection::vec(proptest::collection::vec(any::<u8>(), 0..300), 1..5),
+        chunk in 1usize..64,
+    ) {
+        let records: Vec<Record> = payloads
+            .iter()
+            .map(|p| Record::new(ContentType::ApplicationData, ProtocolVersion::Tls12, p.clone()))
+            .collect();
+        let mut wire = Vec::new();
+        for r in &records {
+            wire.extend_from_slice(&r.encode());
+        }
+        let mut d = Deframer::new();
+        let mut out = Vec::new();
+        for c in wire.chunks(chunk) {
+            d.push(c);
+            while let Some(r) = d.pop().unwrap() {
+                out.push(r);
+            }
+        }
+        prop_assert_eq!(out, records);
+    }
+
+    #[test]
+    fn alerts_roundtrip(level in 1u8..=2, desc in any::<u8>()) {
+        let alert = Alert {
+            level: AlertLevel::from_wire(level).unwrap(),
+            description: AlertDescription::from_wire(desc),
+        };
+        prop_assert_eq!(Alert::from_bytes(&alert.to_bytes()), Some(alert));
+    }
+
+    #[test]
+    fn fingerprint_is_pure_function_of_features(ch in client_hello_strategy()) {
+        let fp1 = Fingerprint::from_client_hello(&ch);
+        let mut ch2 = ch.clone();
+        ch2.random = [0xEE; 32];
+        ch2.session_id = vec![9, 9, 9];
+        let fp2 = Fingerprint::from_client_hello(&ch2);
+        prop_assert_eq!(fp1.id(), fp2.id(), "random/session must not affect fingerprints");
+    }
+
+    #[test]
+    fn fragmentation_reassembles(payload in proptest::collection::vec(any::<u8>(), 0..40_000)) {
+        let frags = Record::fragment(ContentType::ApplicationData, ProtocolVersion::Tls12, &payload);
+        let total: Vec<u8> = frags.iter().flat_map(|f| f.payload.clone()).collect();
+        prop_assert_eq!(total, payload);
+    }
+}

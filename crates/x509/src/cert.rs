@@ -1,0 +1,628 @@
+//! Certificates: structure, canonical encoding, signing.
+//!
+//! A [`Certificate`] mirrors the X.509v3 fields the IoTLS analyses
+//! depend on: subject/issuer distinguished names, serial number,
+//! validity window, subject public key, and the extensions from
+//! RFC 5280 that the paper's attacks exercise (BasicConstraints,
+//! SubjectAltName, KeyUsage) plus revocation pointers (CRL/OCSP URLs,
+//! Must-Staple). The to-be-signed portion has a canonical TLV encoding
+//! covered by an RSA signature.
+
+use crate::time::Timestamp;
+use crate::tlv::{TlvError, TlvReader, TlvWriter};
+use iotls_crypto::rsa::{RsaPrivateKey, RsaPublicKey};
+use iotls_crypto::sha256::sha256;
+use std::fmt;
+
+/// A simplified distinguished name.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct DistinguishedName {
+    /// CN — for leaf server certificates this is the hostname.
+    pub common_name: String,
+    /// O — owning organization (CA operator for roots).
+    pub organization: String,
+    /// C — two-letter country code.
+    pub country: String,
+}
+
+impl DistinguishedName {
+    /// Convenience constructor.
+    pub fn new(cn: &str, org: &str, country: &str) -> Self {
+        DistinguishedName {
+            common_name: cn.into(),
+            organization: org.into(),
+            country: country.into(),
+        }
+    }
+
+    /// A name with only a common name set.
+    pub fn cn(cn: &str) -> Self {
+        Self::new(cn, "", "")
+    }
+
+    fn encode(&self, w: &mut TlvWriter) {
+        w.put_nested(tag::NAME, |n| {
+            n.put_str(tag::CN, &self.common_name)
+                .put_str(tag::ORG, &self.organization)
+                .put_str(tag::COUNTRY, &self.country);
+        });
+    }
+
+    fn decode(r: &mut TlvReader) -> Result<Self, TlvError> {
+        let mut n = r.expect_nested(tag::NAME)?;
+        let out = DistinguishedName {
+            common_name: n.expect_str(tag::CN)?,
+            organization: n.expect_str(tag::ORG)?,
+            country: n.expect_str(tag::COUNTRY)?,
+        };
+        n.finish()?;
+        Ok(out)
+    }
+}
+
+impl fmt::Display for DistinguishedName {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "CN={}", self.common_name)?;
+        if !self.organization.is_empty() {
+            write!(f, ", O={}", self.organization)?;
+        }
+        if !self.country.is_empty() {
+            write!(f, ", C={}", self.country)?;
+        }
+        Ok(())
+    }
+}
+
+/// Signature algorithm marker.
+///
+/// Both variants use the same underlying RSA/SHA-256 construction in
+/// the simulator; `RsaSha1Legacy` exists so that clients can *advertise
+/// and negotiate* the weak algorithm (the Google Home Mini fallback in
+/// Table 5 downgrades to `RSA_PKCS1_SHA1`) and analyses can flag it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SignatureAlgorithm {
+    /// rsa_pkcs1_sha256 — the modern default.
+    RsaSha256,
+    /// rsa_pkcs1_sha1 — deprecated, kept for downgrade experiments.
+    RsaSha1Legacy,
+}
+
+impl SignatureAlgorithm {
+    fn to_u64(self) -> u64 {
+        match self {
+            SignatureAlgorithm::RsaSha256 => 1,
+            SignatureAlgorithm::RsaSha1Legacy => 2,
+        }
+    }
+
+    fn from_u64(v: u64) -> Result<Self, TlvError> {
+        match v {
+            1 => Ok(SignatureAlgorithm::RsaSha256),
+            2 => Ok(SignatureAlgorithm::RsaSha1Legacy),
+            _ => Err(TlvError::Malformed("signature algorithm")),
+        }
+    }
+}
+
+/// Key usage bit flags (subset of RFC 5280 §4.2.1.3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct KeyUsage(pub u8);
+
+impl KeyUsage {
+    /// digitalSignature.
+    pub const DIGITAL_SIGNATURE: KeyUsage = KeyUsage(0b0000_0001);
+    /// keyEncipherment (RSA key transport).
+    pub const KEY_ENCIPHERMENT: KeyUsage = KeyUsage(0b0000_0010);
+    /// keyCertSign (CA certificates).
+    pub const KEY_CERT_SIGN: KeyUsage = KeyUsage(0b0000_0100);
+    /// cRLSign.
+    pub const CRL_SIGN: KeyUsage = KeyUsage(0b0000_1000);
+
+    /// Union of flags.
+    pub fn union(self, other: KeyUsage) -> KeyUsage {
+        KeyUsage(self.0 | other.0)
+    }
+
+    /// True when all bits of `flag` are present.
+    pub fn contains(self, flag: KeyUsage) -> bool {
+        self.0 & flag.0 == flag.0
+    }
+
+    /// Typical usage for a CA certificate.
+    pub fn ca_default() -> KeyUsage {
+        Self::KEY_CERT_SIGN.union(Self::CRL_SIGN).union(Self::DIGITAL_SIGNATURE)
+    }
+
+    /// Typical usage for a TLS server leaf.
+    pub fn leaf_default() -> KeyUsage {
+        Self::DIGITAL_SIGNATURE.union(Self::KEY_ENCIPHERMENT)
+    }
+}
+
+/// BasicConstraints extension.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BasicConstraints {
+    /// True for CA certificates.
+    pub ca: bool,
+    /// Maximum number of intermediate CAs below this one.
+    pub path_len: Option<u8>,
+}
+
+/// X.509v3 extensions the reproduction models.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Extensions {
+    /// BasicConstraints; `None` means the extension is absent (treated
+    /// as a non-CA certificate by a *correct* validator).
+    pub basic_constraints: Option<BasicConstraints>,
+    /// DNS subject alternative names.
+    pub subject_alt_names: Vec<String>,
+    /// Key usage flags.
+    pub key_usage: KeyUsage,
+    /// OCSP responder URL (authorityInfoAccess).
+    pub ocsp_url: Option<String>,
+    /// CRL distribution point URL.
+    pub crl_url: Option<String>,
+    /// TLS Feature / status_request — "OCSP Must-Staple".
+    pub must_staple: bool,
+}
+
+/// The to-be-signed body of a certificate.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TbsCertificate {
+    /// Serial number assigned by the issuer.
+    pub serial: u64,
+    /// Issuer distinguished name.
+    pub issuer: DistinguishedName,
+    /// Subject distinguished name.
+    pub subject: DistinguishedName,
+    /// Start of the validity window (inclusive).
+    pub not_before: Timestamp,
+    /// End of the validity window (inclusive).
+    pub not_after: Timestamp,
+    /// Subject public key.
+    pub public_key: RsaPublicKey,
+    /// Extensions.
+    pub extensions: Extensions,
+}
+
+impl TbsCertificate {
+    /// Canonical encoding — exactly the bytes the signature covers.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut w = TlvWriter::new();
+        w.put_u64(tag::SERIAL, self.serial);
+        self.issuer.encode(&mut w);
+        self.subject.encode(&mut w);
+        w.put_i64(tag::NOT_BEFORE, self.not_before.0);
+        w.put_i64(tag::NOT_AFTER, self.not_after.0);
+        w.put(tag::SPKI, &self.public_key.to_bytes());
+        w.put_nested(tag::EXTENSIONS, |e| {
+            if let Some(bc) = self.extensions.basic_constraints {
+                e.put_nested(tag::BASIC_CONSTRAINTS, |b| {
+                    b.put_bool(tag::BC_CA, bc.ca);
+                    if let Some(pl) = bc.path_len {
+                        b.put(tag::BC_PATHLEN, &[pl]);
+                    }
+                });
+            }
+            for san in &self.extensions.subject_alt_names {
+                e.put_str(tag::SAN, san);
+            }
+            e.put(tag::KEY_USAGE, &[self.extensions.key_usage.0]);
+            if let Some(url) = &self.extensions.ocsp_url {
+                e.put_str(tag::OCSP_URL, url);
+            }
+            if let Some(url) = &self.extensions.crl_url {
+                e.put_str(tag::CRL_URL, url);
+            }
+            e.put_bool(tag::MUST_STAPLE, self.extensions.must_staple);
+        });
+        w.finish()
+    }
+
+    fn decode(r: &mut TlvReader) -> Result<Self, TlvError> {
+        let serial = r.expect_u64(tag::SERIAL)?;
+        let issuer = DistinguishedName::decode(r)?;
+        let subject = DistinguishedName::decode(r)?;
+        let not_before = Timestamp(r.expect_i64(tag::NOT_BEFORE)?);
+        let not_after = Timestamp(r.expect_i64(tag::NOT_AFTER)?);
+        let spki = r.expect(tag::SPKI)?;
+        let public_key =
+            RsaPublicKey::from_bytes(spki).ok_or(TlvError::Malformed("public key"))?;
+        let mut e = r.expect_nested(tag::EXTENSIONS)?;
+        let mut extensions = Extensions::default();
+        if e.peek_tag() == Some(tag::BASIC_CONSTRAINTS) {
+            let mut b = e.expect_nested(tag::BASIC_CONSTRAINTS)?;
+            let ca = b.expect_bool(tag::BC_CA)?;
+            let path_len = match b.take_optional(tag::BC_PATHLEN)? {
+                Some([pl]) => Some(*pl),
+                Some(_) => return Err(TlvError::Malformed("path length")),
+                None => None,
+            };
+            b.finish()?;
+            extensions.basic_constraints = Some(BasicConstraints { ca, path_len });
+        }
+        while e.peek_tag() == Some(tag::SAN) {
+            extensions.subject_alt_names.push(e.expect_str(tag::SAN)?);
+        }
+        let ku = e.expect(tag::KEY_USAGE)?;
+        extensions.key_usage = KeyUsage(*ku.first().ok_or(TlvError::Malformed("key usage"))?);
+        if e.peek_tag() == Some(tag::OCSP_URL) {
+            extensions.ocsp_url = Some(e.expect_str(tag::OCSP_URL)?);
+        }
+        if e.peek_tag() == Some(tag::CRL_URL) {
+            extensions.crl_url = Some(e.expect_str(tag::CRL_URL)?);
+        }
+        extensions.must_staple = e.expect_bool(tag::MUST_STAPLE)?;
+        e.finish()?;
+        Ok(TbsCertificate {
+            serial,
+            issuer,
+            subject,
+            not_before,
+            not_after,
+            public_key,
+            extensions,
+        })
+    }
+}
+
+/// A signed certificate.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Certificate {
+    /// The signed body.
+    pub tbs: TbsCertificate,
+    /// Signature algorithm marker.
+    pub signature_algorithm: SignatureAlgorithm,
+    /// RSA signature over [`TbsCertificate::to_bytes`].
+    pub signature: Vec<u8>,
+}
+
+impl Certificate {
+    /// Encodes the full certificate (TBS + algorithm + signature).
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut w = TlvWriter::new();
+        w.put(tag::TBS, &self.tbs.to_bytes());
+        w.put_u64(tag::SIG_ALG, self.signature_algorithm.to_u64());
+        w.put(tag::SIGNATURE, &self.signature);
+        w.finish()
+    }
+
+    /// Decodes a certificate produced by [`Self::to_bytes`].
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self, TlvError> {
+        let mut r = TlvReader::new(bytes);
+        let tbs_bytes = r.expect(tag::TBS)?;
+        let mut tbs_reader = TlvReader::new(tbs_bytes);
+        let tbs = TbsCertificate::decode(&mut tbs_reader)?;
+        tbs_reader.finish()?;
+        let signature_algorithm = SignatureAlgorithm::from_u64(r.expect_u64(tag::SIG_ALG)?)?;
+        let signature = r.expect(tag::SIGNATURE)?.to_vec();
+        r.finish()?;
+        Ok(Certificate {
+            tbs,
+            signature_algorithm,
+            signature,
+        })
+    }
+
+    /// SHA-256 fingerprint of the encoded certificate.
+    pub fn fingerprint(&self) -> [u8; 32] {
+        sha256(&self.to_bytes())
+    }
+
+    /// True if `signer` (the issuer's public key) validates this
+    /// certificate's signature.
+    pub fn verify_signature(&self, signer: &RsaPublicKey) -> bool {
+        signer.verify(&self.tbs.to_bytes(), &self.signature).is_ok()
+    }
+
+    /// True for self-signed certificates (subject == issuer and the
+    /// embedded key validates the signature).
+    pub fn is_self_signed(&self) -> bool {
+        self.tbs.subject == self.tbs.issuer && self.verify_signature(&self.tbs.public_key)
+    }
+
+    /// True when `now` falls inside the validity window.
+    pub fn is_time_valid(&self, now: Timestamp) -> bool {
+        self.tbs.not_before <= now && now <= self.tbs.not_after
+    }
+
+    /// True when the certificate may act as a CA (BasicConstraints
+    /// present with `ca = true`).
+    pub fn is_ca(&self) -> bool {
+        matches!(
+            self.tbs.extensions.basic_constraints,
+            Some(BasicConstraints { ca: true, .. })
+        )
+    }
+}
+
+/// A certificate bundled with its private key — the issuing side.
+///
+/// The attacker/MITM code in the reproduction is *only ever handed
+/// [`Certificate`] values* for CAs it wants to spoof; `CertifiedKey`s
+/// for trusted roots stay on the legitimate-infrastructure side, which
+/// is what makes the signature-validity side channel real.
+#[derive(Debug, Clone)]
+pub struct CertifiedKey {
+    /// The public certificate.
+    pub cert: Certificate,
+    /// The matching private key.
+    pub key: RsaPrivateKey,
+}
+
+/// Parameters for issuing a certificate.
+#[derive(Debug, Clone)]
+pub struct IssueParams {
+    /// Subject name.
+    pub subject: DistinguishedName,
+    /// Serial number.
+    pub serial: u64,
+    /// Validity window start.
+    pub not_before: Timestamp,
+    /// Validity window end.
+    pub not_after: Timestamp,
+    /// Extensions for the new certificate.
+    pub extensions: Extensions,
+    /// Signature algorithm marker to record.
+    pub signature_algorithm: SignatureAlgorithm,
+}
+
+impl IssueParams {
+    /// Sensible defaults for a server leaf certificate for `hostname`.
+    pub fn leaf(hostname: &str, serial: u64, not_before: Timestamp, days: i64) -> Self {
+        IssueParams {
+            subject: DistinguishedName::cn(hostname),
+            serial,
+            not_before,
+            not_after: not_before.plus_days(days),
+            extensions: Extensions {
+                basic_constraints: Some(BasicConstraints {
+                    ca: false,
+                    path_len: None,
+                }),
+                subject_alt_names: vec![hostname.to_string()],
+                key_usage: KeyUsage::leaf_default(),
+                ocsp_url: None,
+                crl_url: None,
+                must_staple: false,
+            },
+            signature_algorithm: SignatureAlgorithm::RsaSha256,
+        }
+    }
+
+    /// Sensible defaults for a CA certificate.
+    pub fn ca(name: DistinguishedName, serial: u64, not_before: Timestamp, days: i64) -> Self {
+        IssueParams {
+            subject: name,
+            serial,
+            not_before,
+            not_after: not_before.plus_days(days),
+            extensions: Extensions {
+                basic_constraints: Some(BasicConstraints {
+                    ca: true,
+                    path_len: None,
+                }),
+                subject_alt_names: Vec::new(),
+                key_usage: KeyUsage::ca_default(),
+                ocsp_url: None,
+                crl_url: None,
+                must_staple: false,
+            },
+            signature_algorithm: SignatureAlgorithm::RsaSha256,
+        }
+    }
+}
+
+impl CertifiedKey {
+    /// Creates a self-signed certificate (root CA or bare self-signed
+    /// leaf, depending on `params.extensions`).
+    pub fn self_signed(params: IssueParams, key: RsaPrivateKey) -> CertifiedKey {
+        let tbs = TbsCertificate {
+            serial: params.serial,
+            issuer: params.subject.clone(),
+            subject: params.subject,
+            not_before: params.not_before,
+            not_after: params.not_after,
+            public_key: key.public_key().clone(),
+            extensions: params.extensions,
+        };
+        let signature = key.sign(&tbs.to_bytes());
+        CertifiedKey {
+            cert: Certificate {
+                tbs,
+                signature_algorithm: params.signature_algorithm,
+                signature,
+            },
+            key,
+        }
+    }
+
+    /// Issues a certificate for `subject_key`'s public half, signed by
+    /// this CA.
+    pub fn issue(&self, params: IssueParams, subject_key: &RsaPrivateKey) -> Certificate {
+        self.issue_for_public_key(params, subject_key.public_key().clone())
+    }
+
+    /// Issues a certificate binding an arbitrary public key.
+    pub fn issue_for_public_key(
+        &self,
+        params: IssueParams,
+        public_key: RsaPublicKey,
+    ) -> Certificate {
+        let tbs = TbsCertificate {
+            serial: params.serial,
+            issuer: self.cert.tbs.subject.clone(),
+            subject: params.subject,
+            not_before: params.not_before,
+            not_after: params.not_after,
+            public_key,
+            extensions: params.extensions,
+        };
+        let signature = self.key.sign(&tbs.to_bytes());
+        Certificate {
+            tbs,
+            signature_algorithm: params.signature_algorithm,
+            signature,
+        }
+    }
+}
+
+/// TLV tags for certificate encoding.
+mod tag {
+    pub const TBS: u8 = 0x01;
+    pub const SIG_ALG: u8 = 0x02;
+    pub const SIGNATURE: u8 = 0x03;
+    pub const SERIAL: u8 = 0x10;
+    pub const NAME: u8 = 0x11;
+    pub const CN: u8 = 0x12;
+    pub const ORG: u8 = 0x13;
+    pub const COUNTRY: u8 = 0x14;
+    pub const NOT_BEFORE: u8 = 0x15;
+    pub const NOT_AFTER: u8 = 0x16;
+    pub const SPKI: u8 = 0x17;
+    pub const EXTENSIONS: u8 = 0x18;
+    pub const BASIC_CONSTRAINTS: u8 = 0x19;
+    pub const BC_CA: u8 = 0x1a;
+    pub const BC_PATHLEN: u8 = 0x1b;
+    pub const SAN: u8 = 0x1c;
+    pub const KEY_USAGE: u8 = 0x1d;
+    pub const OCSP_URL: u8 = 0x1e;
+    pub const CRL_URL: u8 = 0x1f;
+    pub const MUST_STAPLE: u8 = 0x20;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use iotls_crypto::drbg::Drbg;
+
+    fn t(y: i32) -> Timestamp {
+        Timestamp::from_ymd(y, 1, 1)
+    }
+
+    fn test_root() -> CertifiedKey {
+        let key = RsaPrivateKey::generate(512, &mut Drbg::from_seed(100));
+        CertifiedKey::self_signed(
+            IssueParams::ca(DistinguishedName::new("Test Root", "TestOrg", "US"), 1, t(2015), 3650),
+            key,
+        )
+    }
+
+    #[test]
+    fn self_signed_root_verifies() {
+        let root = test_root();
+        assert!(root.cert.is_self_signed());
+        assert!(root.cert.is_ca());
+        assert!(root.cert.verify_signature(&root.cert.tbs.public_key));
+    }
+
+    #[test]
+    fn issued_leaf_verifies_against_issuer_only() {
+        let root = test_root();
+        let leaf_key = RsaPrivateKey::generate(512, &mut Drbg::from_seed(101));
+        let leaf = root.issue(
+            IssueParams::leaf("device.example.com", 42, t(2018), 365),
+            &leaf_key,
+        );
+        assert!(leaf.verify_signature(&root.cert.tbs.public_key));
+        assert!(!leaf.verify_signature(leaf_key.public_key()));
+        assert!(!leaf.is_self_signed());
+        assert!(!leaf.is_ca());
+        assert_eq!(leaf.tbs.issuer, root.cert.tbs.subject);
+    }
+
+    #[test]
+    fn encoding_roundtrip() {
+        let root = test_root();
+        let leaf_key = RsaPrivateKey::generate(512, &mut Drbg::from_seed(102));
+        let mut params = IssueParams::leaf("a.example.com", 7, t(2019), 90);
+        params.extensions.subject_alt_names.push("b.example.com".into());
+        params.extensions.ocsp_url = Some("http://ocsp.example.com".into());
+        params.extensions.crl_url = Some("http://crl.example.com".into());
+        params.extensions.must_staple = true;
+        let leaf = root.issue(params, &leaf_key);
+        let decoded = Certificate::from_bytes(&leaf.to_bytes()).unwrap();
+        assert_eq!(decoded, leaf);
+    }
+
+    #[test]
+    fn tampered_tbs_breaks_signature() {
+        let root = test_root();
+        let leaf_key = RsaPrivateKey::generate(512, &mut Drbg::from_seed(103));
+        let mut leaf = root.issue(
+            IssueParams::leaf("device.example.com", 42, t(2018), 365),
+            &leaf_key,
+        );
+        leaf.tbs.subject.common_name = "evil.example.com".into();
+        assert!(!leaf.verify_signature(&root.cert.tbs.public_key));
+    }
+
+    #[test]
+    fn time_validity_window() {
+        let root = test_root();
+        let c = &root.cert;
+        assert!(c.is_time_valid(t(2016)));
+        assert!(!c.is_time_valid(t(2014)));
+        assert!(!c.is_time_valid(t(2030)));
+    }
+
+    #[test]
+    fn spoofed_ca_matches_identity_but_not_signature() {
+        // The heart of the IoTLS root-store probe: same subject,
+        // issuer, and serial — different key, so leaves signed by the
+        // spoofed CA fail signature validation against the real root.
+        let real = test_root();
+        let spoof_key = RsaPrivateKey::generate(512, &mut Drbg::from_seed(104));
+        let spoof = CertifiedKey::self_signed(
+            IssueParams {
+                subject: real.cert.tbs.subject.clone(),
+                serial: real.cert.tbs.serial,
+                not_before: real.cert.tbs.not_before,
+                not_after: real.cert.tbs.not_after,
+                extensions: real.cert.tbs.extensions.clone(),
+                signature_algorithm: real.cert.signature_algorithm,
+            },
+            spoof_key,
+        );
+        assert_eq!(spoof.cert.tbs.subject, real.cert.tbs.subject);
+        assert_eq!(spoof.cert.tbs.serial, real.cert.tbs.serial);
+        assert!(spoof.cert.is_self_signed());
+        // A leaf issued by the spoof does not verify against the real root.
+        let leaf_key = RsaPrivateKey::generate(512, &mut Drbg::from_seed(105));
+        let leaf = spoof.issue(IssueParams::leaf("h.example.com", 9, t(2020), 30), &leaf_key);
+        assert!(leaf.verify_signature(&spoof.cert.tbs.public_key));
+        assert!(!leaf.verify_signature(&real.cert.tbs.public_key));
+    }
+
+    #[test]
+    fn key_usage_flags() {
+        let ku = KeyUsage::ca_default();
+        assert!(ku.contains(KeyUsage::KEY_CERT_SIGN));
+        assert!(!KeyUsage::leaf_default().contains(KeyUsage::KEY_CERT_SIGN));
+    }
+
+    #[test]
+    fn fingerprints_differ_by_content() {
+        let root = test_root();
+        let k = RsaPrivateKey::generate(512, &mut Drbg::from_seed(106));
+        let a = root.issue(IssueParams::leaf("a.com", 1, t(2020), 10), &k);
+        let b = root.issue(IssueParams::leaf("b.com", 2, t(2020), 10), &k);
+        assert_ne!(a.fingerprint(), b.fingerprint());
+        assert_eq!(a.fingerprint(), a.fingerprint());
+    }
+
+    #[test]
+    fn malformed_bytes_rejected() {
+        assert!(Certificate::from_bytes(&[]).is_err());
+        let root = test_root();
+        let bytes = root.cert.to_bytes();
+        assert!(Certificate::from_bytes(&bytes[..bytes.len() - 3]).is_err());
+    }
+
+    #[test]
+    fn display_name_formats() {
+        let dn = DistinguishedName::new("example.com", "Example Inc", "US");
+        assert_eq!(dn.to_string(), "CN=example.com, O=Example Inc, C=US");
+        assert_eq!(DistinguishedName::cn("x").to_string(), "CN=x");
+    }
+}

@@ -1,0 +1,146 @@
+//! Hostname verification per RFC 6125 / RFC 2818.
+//!
+//! The WrongHostname interception attack (Table 2 of the paper) hinges
+//! on clients skipping exactly this check, so the rules are implemented
+//! carefully: SANs take precedence over CN, wildcards match only one
+//! left-most label, and IP-address-shaped names never match wildcards.
+
+use crate::cert::Certificate;
+
+/// Returns true when `pattern` (a dNSName entry or CN) matches
+/// `hostname` under RFC 6125 rules.
+pub fn matches_pattern(pattern: &str, hostname: &str) -> bool {
+    let pattern = pattern.trim_end_matches('.').to_ascii_lowercase();
+    let hostname = hostname.trim_end_matches('.').to_ascii_lowercase();
+    if pattern.is_empty() || hostname.is_empty() {
+        return false;
+    }
+    if !pattern.contains('*') {
+        return pattern == hostname;
+    }
+    // Wildcard handling: allowed only as the complete left-most label.
+    let mut p_labels = pattern.split('.');
+    let first = p_labels.next().unwrap_or("");
+    if first != "*" {
+        // Partial-label wildcards (f*o.example.com) are rejected.
+        return false;
+    }
+    let p_rest: Vec<&str> = p_labels.collect();
+    if p_rest.is_empty() {
+        // "*" alone never matches.
+        return false;
+    }
+    // Wildcards never match IP addresses.
+    if looks_like_ip(&hostname) {
+        return false;
+    }
+    let h_labels: Vec<&str> = hostname.split('.').collect();
+    // The wildcard covers exactly one label; the rest must match
+    // exactly, and there must be at least two labels after the
+    // wildcard (no "*.com").
+    if h_labels.len() != p_rest.len() + 1 || p_rest.len() < 2 {
+        return false;
+    }
+    if h_labels[0].is_empty() {
+        return false;
+    }
+    h_labels[1..] == p_rest[..]
+}
+
+/// True when `host` is formatted like an IPv4 address.
+fn looks_like_ip(host: &str) -> bool {
+    let parts: Vec<&str> = host.split('.').collect();
+    parts.len() == 4 && parts.iter().all(|p| !p.is_empty() && p.parse::<u8>().is_ok())
+}
+
+/// Verifies that `cert` is valid for `hostname`.
+///
+/// Follows RFC 6125: when subjectAltName dNSName entries are present
+/// they are authoritative and CN is ignored; otherwise fall back to CN
+/// (the legacy behavior many embedded clients still implement).
+pub fn cert_matches_hostname(cert: &Certificate, hostname: &str) -> bool {
+    let sans = &cert.tbs.extensions.subject_alt_names;
+    if !sans.is_empty() {
+        return sans.iter().any(|san| matches_pattern(san, hostname));
+    }
+    matches_pattern(&cert.tbs.subject.common_name, hostname)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cert::{CertifiedKey, DistinguishedName, IssueParams};
+    use crate::time::Timestamp;
+    use iotls_crypto::drbg::Drbg;
+    use iotls_crypto::rsa::RsaPrivateKey;
+
+    #[test]
+    fn exact_match_case_insensitive() {
+        assert!(matches_pattern("Example.COM", "example.com"));
+        assert!(!matches_pattern("example.com", "example.org"));
+        assert!(matches_pattern("example.com.", "example.com"));
+    }
+
+    #[test]
+    fn wildcard_single_label() {
+        assert!(matches_pattern("*.example.com", "api.example.com"));
+        assert!(matches_pattern("*.example.com", "WWW.Example.Com"));
+        assert!(!matches_pattern("*.example.com", "example.com"));
+        assert!(!matches_pattern("*.example.com", "a.b.example.com"));
+    }
+
+    #[test]
+    fn wildcard_not_partial_label() {
+        assert!(!matches_pattern("f*o.example.com", "foo.example.com"));
+        assert!(!matches_pattern("*oo.example.com", "foo.example.com"));
+    }
+
+    #[test]
+    fn wildcard_needs_two_suffix_labels() {
+        assert!(!matches_pattern("*.com", "example.com"));
+        assert!(!matches_pattern("*", "example"));
+    }
+
+    #[test]
+    fn wildcard_never_matches_ip() {
+        assert!(!matches_pattern("*.1.2.3", "4.1.2.3"));
+        assert!(matches_pattern("10.0.0.1", "10.0.0.1")); // exact IPs fine
+    }
+
+    #[test]
+    fn empty_inputs_rejected() {
+        assert!(!matches_pattern("", "example.com"));
+        assert!(!matches_pattern("example.com", ""));
+    }
+
+    fn cert_with(sans: &[&str], cn: &str) -> Certificate {
+        let key = RsaPrivateKey::generate(512, &mut Drbg::from_seed(77));
+        let mut params = IssueParams::leaf(cn, 1, Timestamp::from_ymd(2020, 1, 1), 365);
+        params.subject = DistinguishedName::cn(cn);
+        params.extensions.subject_alt_names = sans.iter().map(|s| s.to_string()).collect();
+        CertifiedKey::self_signed(params, key).cert
+    }
+
+    #[test]
+    fn san_takes_precedence_over_cn() {
+        // CN matches but SAN does not: must fail per RFC 6125.
+        let cert = cert_with(&["other.example.com"], "target.example.com");
+        assert!(!cert_matches_hostname(&cert, "target.example.com"));
+        assert!(cert_matches_hostname(&cert, "other.example.com"));
+    }
+
+    #[test]
+    fn cn_fallback_when_no_sans() {
+        let cert = cert_with(&[], "legacy.example.com");
+        assert!(cert_matches_hostname(&cert, "legacy.example.com"));
+        assert!(!cert_matches_hostname(&cert, "nope.example.com"));
+    }
+
+    #[test]
+    fn multiple_sans_any_match() {
+        let cert = cert_with(&["a.example.com", "*.cdn.example.com"], "x");
+        assert!(cert_matches_hostname(&cert, "a.example.com"));
+        assert!(cert_matches_hostname(&cert, "edge1.cdn.example.com"));
+        assert!(!cert_matches_hostname(&cert, "b.example.com"));
+    }
+}

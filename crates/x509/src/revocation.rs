@@ -1,0 +1,312 @@
+//! Certificate revocation: CRLs, OCSP, and OCSP stapling.
+//!
+//! Table 8 of the paper classifies devices by which revocation
+//! mechanism they ever exercise (CRL fetch, OCSP query, OCSP stapling
+//! via the `status_request` extension). This module provides signed
+//! CRL and OCSP message models so the passive analyzer can observe
+//! revocation traffic exactly as the paper does.
+
+use crate::cert::{Certificate, CertifiedKey, DistinguishedName};
+use crate::time::Timestamp;
+use crate::tlv::{TlvError, TlvReader, TlvWriter};
+use std::collections::BTreeSet;
+
+/// Revocation status of a single certificate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RevocationStatus {
+    /// Not on any revocation list.
+    Good,
+    /// Revoked by the issuer.
+    Revoked,
+    /// The responder does not know the certificate.
+    Unknown,
+}
+
+/// A certificate revocation list issued (and signed) by a CA.
+#[derive(Debug, Clone)]
+pub struct Crl {
+    /// The issuing CA's subject name.
+    pub issuer: DistinguishedName,
+    /// Serial numbers of revoked certificates.
+    pub revoked_serials: BTreeSet<u64>,
+    /// When this list was produced.
+    pub this_update: Timestamp,
+    /// Signature by the issuer over the list body.
+    pub signature: Vec<u8>,
+}
+
+impl Crl {
+    /// Builds and signs a CRL.
+    pub fn issue(
+        issuer: &CertifiedKey,
+        revoked_serials: impl IntoIterator<Item = u64>,
+        this_update: Timestamp,
+    ) -> Crl {
+        let revoked: BTreeSet<u64> = revoked_serials.into_iter().collect();
+        let body = Self::body_bytes(&issuer.cert.tbs.subject, &revoked, this_update);
+        Crl {
+            issuer: issuer.cert.tbs.subject.clone(),
+            revoked_serials: revoked,
+            this_update,
+            signature: issuer.key.sign(&body),
+        }
+    }
+
+    fn body_bytes(
+        issuer: &DistinguishedName,
+        revoked: &BTreeSet<u64>,
+        this_update: Timestamp,
+    ) -> Vec<u8> {
+        let mut w = TlvWriter::new();
+        w.put_str(1, &issuer.common_name);
+        w.put_i64(2, this_update.0);
+        for s in revoked {
+            w.put_u64(3, *s);
+        }
+        w.finish()
+    }
+
+    /// Verifies the CRL signature against the issuing certificate.
+    pub fn verify(&self, issuer_cert: &Certificate) -> bool {
+        let body = Self::body_bytes(&self.issuer, &self.revoked_serials, self.this_update);
+        issuer_cert
+            .tbs
+            .public_key
+            .verify(&body, &self.signature)
+            .is_ok()
+    }
+
+    /// Looks up a certificate's status on this list.
+    pub fn status_of(&self, cert: &Certificate) -> RevocationStatus {
+        if cert.tbs.issuer != self.issuer {
+            return RevocationStatus::Unknown;
+        }
+        if self.revoked_serials.contains(&cert.tbs.serial) {
+            RevocationStatus::Revoked
+        } else {
+            RevocationStatus::Good
+        }
+    }
+}
+
+/// A signed OCSP response for one certificate.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OcspResponse {
+    /// Serial of the certificate this response covers.
+    pub serial: u64,
+    /// Status asserted by the responder.
+    pub status: RevocationStatus,
+    /// When the response was produced.
+    pub produced_at: Timestamp,
+    /// Responses older than this should be refetched.
+    pub next_update: Timestamp,
+    /// Signature by the issuing CA.
+    pub signature: Vec<u8>,
+}
+
+impl OcspResponse {
+    /// Produces a signed response from the issuing CA.
+    pub fn produce(
+        issuer: &CertifiedKey,
+        serial: u64,
+        status: RevocationStatus,
+        produced_at: Timestamp,
+        validity_secs: i64,
+    ) -> OcspResponse {
+        let next_update = produced_at.plus_secs(validity_secs);
+        let body = Self::body_bytes(serial, status, produced_at, next_update);
+        OcspResponse {
+            serial,
+            status,
+            produced_at,
+            next_update,
+            signature: issuer.key.sign(&body),
+        }
+    }
+
+    fn body_bytes(
+        serial: u64,
+        status: RevocationStatus,
+        produced_at: Timestamp,
+        next_update: Timestamp,
+    ) -> Vec<u8> {
+        let mut w = TlvWriter::new();
+        w.put_u64(1, serial);
+        w.put(
+            2,
+            &[match status {
+                RevocationStatus::Good => 0,
+                RevocationStatus::Revoked => 1,
+                RevocationStatus::Unknown => 2,
+            }],
+        );
+        w.put_i64(3, produced_at.0);
+        w.put_i64(4, next_update.0);
+        w.finish()
+    }
+
+    /// Verifies the response signature and freshness at `now`.
+    pub fn verify(&self, issuer_cert: &Certificate, now: Timestamp) -> bool {
+        if now > self.next_update || now < self.produced_at {
+            return false;
+        }
+        let body = Self::body_bytes(self.serial, self.status, self.produced_at, self.next_update);
+        issuer_cert
+            .tbs
+            .public_key
+            .verify(&body, &self.signature)
+            .is_ok()
+    }
+
+    /// Serializes for transport as a TLS `status_request` staple.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut w = TlvWriter::new();
+        w.put_u64(1, self.serial);
+        w.put(
+            2,
+            &[match self.status {
+                RevocationStatus::Good => 0,
+                RevocationStatus::Revoked => 1,
+                RevocationStatus::Unknown => 2,
+            }],
+        );
+        w.put_i64(3, self.produced_at.0);
+        w.put_i64(4, self.next_update.0);
+        w.put(5, &self.signature);
+        w.finish()
+    }
+
+    /// Parses a staple produced by [`Self::to_bytes`].
+    pub fn from_bytes(bytes: &[u8]) -> Result<OcspResponse, TlvError> {
+        let mut r = TlvReader::new(bytes);
+        let serial = r.expect_u64(1)?;
+        let status = match r.expect(2)? {
+            [0] => RevocationStatus::Good,
+            [1] => RevocationStatus::Revoked,
+            [2] => RevocationStatus::Unknown,
+            _ => return Err(TlvError::Malformed("ocsp status")),
+        };
+        let produced_at = Timestamp(r.expect_i64(3)?);
+        let next_update = Timestamp(r.expect_i64(4)?);
+        let signature = r.expect(5)?.to_vec();
+        r.finish()?;
+        Ok(OcspResponse {
+            serial,
+            status,
+            produced_at,
+            next_update,
+            signature,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cert::IssueParams;
+    use iotls_crypto::drbg::Drbg;
+    use iotls_crypto::rsa::RsaPrivateKey;
+
+    fn ca(seed: u64) -> CertifiedKey {
+        let key = RsaPrivateKey::generate(512, &mut Drbg::from_seed(seed));
+        CertifiedKey::self_signed(
+            IssueParams::ca(
+                DistinguishedName::new("Revocation CA", "SimCA", "US"),
+                1,
+                Timestamp::from_ymd(2015, 1, 1),
+                7300,
+            ),
+            key,
+        )
+    }
+
+    fn leaf(issuer: &CertifiedKey, serial: u64, seed: u64) -> Certificate {
+        let k = RsaPrivateKey::generate(512, &mut Drbg::from_seed(seed));
+        issuer.issue(
+            IssueParams::leaf("svc.example.com", serial, Timestamp::from_ymd(2020, 1, 1), 365),
+            &k,
+        )
+    }
+
+    #[test]
+    fn crl_status_lookup() {
+        let issuer = ca(300);
+        let good = leaf(&issuer, 10, 301);
+        let bad = leaf(&issuer, 11, 302);
+        let crl = Crl::issue(&issuer, [11, 99], Timestamp::from_ymd(2020, 6, 1));
+        assert_eq!(crl.status_of(&good), RevocationStatus::Good);
+        assert_eq!(crl.status_of(&bad), RevocationStatus::Revoked);
+        assert!(crl.verify(&issuer.cert));
+    }
+
+    #[test]
+    fn crl_from_other_issuer_is_unknown() {
+        let issuer = ca(303);
+        let other = {
+            let key = RsaPrivateKey::generate(512, &mut Drbg::from_seed(304));
+            CertifiedKey::self_signed(
+                IssueParams::ca(
+                    DistinguishedName::new("Different CA", "Org", "US"),
+                    2,
+                    Timestamp::from_ymd(2015, 1, 1),
+                    7300,
+                ),
+                key,
+            )
+        };
+        let cert = leaf(&other, 5, 305);
+        let crl = Crl::issue(&issuer, [5], Timestamp::from_ymd(2020, 6, 1));
+        assert_eq!(crl.status_of(&cert), RevocationStatus::Unknown);
+    }
+
+    #[test]
+    fn tampered_crl_fails_verification() {
+        let issuer = ca(306);
+        let mut crl = Crl::issue(&issuer, [1, 2, 3], Timestamp::from_ymd(2020, 6, 1));
+        crl.revoked_serials.insert(4);
+        assert!(!crl.verify(&issuer.cert));
+    }
+
+    #[test]
+    fn ocsp_roundtrip_and_verification() {
+        let issuer = ca(307);
+        let t0 = Timestamp::from_ymd(2020, 6, 1);
+        let resp = OcspResponse::produce(&issuer, 42, RevocationStatus::Good, t0, 7 * 86_400);
+        assert!(resp.verify(&issuer.cert, t0.plus_days(3)));
+        let parsed = OcspResponse::from_bytes(&resp.to_bytes()).unwrap();
+        assert_eq!(parsed, resp);
+    }
+
+    #[test]
+    fn stale_ocsp_rejected() {
+        let issuer = ca(308);
+        let t0 = Timestamp::from_ymd(2020, 6, 1);
+        let resp = OcspResponse::produce(&issuer, 42, RevocationStatus::Good, t0, 86_400);
+        assert!(!resp.verify(&issuer.cert, t0.plus_days(2)));
+        assert!(!resp.verify(&issuer.cert, t0.plus_secs(-10)));
+    }
+
+    #[test]
+    fn forged_ocsp_rejected() {
+        let issuer = ca(309);
+        let mallory = ca(310); // different key, same CN
+        let t0 = Timestamp::from_ymd(2020, 6, 1);
+        let forged = OcspResponse::produce(&mallory, 42, RevocationStatus::Good, t0, 86_400);
+        assert!(!forged.verify(&issuer.cert, t0));
+    }
+
+    #[test]
+    fn ocsp_revoked_status_transported() {
+        let issuer = ca(311);
+        let t0 = Timestamp::from_ymd(2020, 6, 1);
+        let resp = OcspResponse::produce(&issuer, 7, RevocationStatus::Revoked, t0, 86_400);
+        let parsed = OcspResponse::from_bytes(&resp.to_bytes()).unwrap();
+        assert_eq!(parsed.status, RevocationStatus::Revoked);
+        assert!(parsed.verify(&issuer.cert, t0));
+    }
+
+    #[test]
+    fn malformed_staple_rejected() {
+        assert!(OcspResponse::from_bytes(&[1, 2, 3]).is_err());
+    }
+}

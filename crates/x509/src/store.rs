@@ -1,0 +1,157 @@
+//! Trusted root certificate stores.
+//!
+//! A [`RootStore`] is the set of CA certificates a TLS client trusts.
+//! Lookup is by *subject distinguished name* — exactly the behavior
+//! the IoTLS alert side channel exploits: a spoofed CA with a matching
+//! subject is *found* in the store (then fails signature checks),
+//! while an arbitrary subject is *not found* (unknown CA).
+
+use crate::cert::{Certificate, DistinguishedName};
+use std::collections::BTreeMap;
+
+/// A set of trusted root certificates, indexed by subject name.
+#[derive(Debug, Clone, Default)]
+pub struct RootStore {
+    by_subject: BTreeMap<DistinguishedName, Certificate>,
+}
+
+impl RootStore {
+    /// An empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Builds a store from an iterator of certificates.
+    pub fn from_certs(certs: impl IntoIterator<Item = Certificate>) -> Self {
+        let mut s = Self::new();
+        for c in certs {
+            s.add(c);
+        }
+        s
+    }
+
+    /// Adds (or replaces, on equal subject) a trusted root.
+    pub fn add(&mut self, cert: Certificate) {
+        self.by_subject.insert(cert.tbs.subject.clone(), cert);
+    }
+
+    /// Removes a root by subject; returns it if present.
+    pub fn remove(&mut self, subject: &DistinguishedName) -> Option<Certificate> {
+        self.by_subject.remove(subject)
+    }
+
+    /// Looks up the trusted certificate whose subject matches
+    /// `issuer` — the chain-building step of path validation.
+    pub fn find_issuer(&self, issuer: &DistinguishedName) -> Option<&Certificate> {
+        self.by_subject.get(issuer)
+    }
+
+    /// True when a root with this exact subject name is trusted.
+    pub fn contains_subject(&self, subject: &DistinguishedName) -> bool {
+        self.by_subject.contains_key(subject)
+    }
+
+    /// Number of trusted roots.
+    pub fn len(&self) -> usize {
+        self.by_subject.len()
+    }
+
+    /// True when no roots are trusted.
+    pub fn is_empty(&self) -> bool {
+        self.by_subject.is_empty()
+    }
+
+    /// Iterates the trusted roots in subject order (deterministic).
+    pub fn iter(&self) -> impl Iterator<Item = &Certificate> {
+        self.by_subject.values()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cert::{CertifiedKey, IssueParams};
+    use crate::time::Timestamp;
+    use iotls_crypto::drbg::Drbg;
+    use iotls_crypto::rsa::RsaPrivateKey;
+
+    fn root(seed: u64, cn: &str) -> CertifiedKey {
+        let key = RsaPrivateKey::generate(512, &mut Drbg::from_seed(seed));
+        CertifiedKey::self_signed(
+            IssueParams::ca(
+                DistinguishedName::new(cn, "Org", "US"),
+                seed,
+                Timestamp::from_ymd(2015, 1, 1),
+                3650,
+            ),
+            key,
+        )
+    }
+
+    #[test]
+    fn add_find_remove() {
+        let a = root(1, "Root A");
+        let b = root(2, "Root B");
+        let mut store = RootStore::new();
+        assert!(store.is_empty());
+        store.add(a.cert.clone());
+        store.add(b.cert.clone());
+        assert_eq!(store.len(), 2);
+        assert!(store.contains_subject(&a.cert.tbs.subject));
+        assert_eq!(
+            store.find_issuer(&a.cert.tbs.subject).unwrap(),
+            &a.cert
+        );
+        store.remove(&a.cert.tbs.subject);
+        assert!(!store.contains_subject(&a.cert.tbs.subject));
+        assert_eq!(store.len(), 1);
+    }
+
+    #[test]
+    fn lookup_is_by_subject_name_not_key() {
+        // A spoofed root (same subject, different key) is "found" —
+        // this is the property the alert side channel relies on.
+        let real = root(3, "Spoofable Root");
+        let spoof_key = RsaPrivateKey::generate(512, &mut Drbg::from_seed(4));
+        let spoof = CertifiedKey::self_signed(
+            IssueParams::ca(
+                real.cert.tbs.subject.clone(),
+                real.cert.tbs.serial,
+                Timestamp::from_ymd(2015, 1, 1),
+                3650,
+            ),
+            spoof_key,
+        );
+        let store = RootStore::from_certs([real.cert.clone()]);
+        let found = store.find_issuer(&spoof.cert.tbs.subject).unwrap();
+        // Found by name, but it's the *real* certificate with the real key.
+        assert_eq!(found, &real.cert);
+        assert_ne!(found.tbs.public_key, spoof.cert.tbs.public_key);
+    }
+
+    #[test]
+    fn deterministic_iteration_order() {
+        let mut store = RootStore::new();
+        store.add(root(5, "Zeta Root").cert);
+        store.add(root(6, "Alpha Root").cert);
+        let names: Vec<String> = store
+            .iter()
+            .map(|c| c.tbs.subject.common_name.clone())
+            .collect();
+        assert_eq!(names, vec!["Alpha Root", "Zeta Root"]);
+    }
+
+    #[test]
+    fn duplicate_subject_replaces() {
+        let a1 = root(7, "Dup Root");
+        let a2 = root(8, "Dup Root");
+        let mut store = RootStore::new();
+        store.add(a1.cert.clone());
+        store.add(a2.cert.clone());
+        assert_eq!(store.len(), 1);
+        assert_eq!(
+            store.find_issuer(&a2.cert.tbs.subject).unwrap().tbs.serial,
+            8
+        );
+    }
+}

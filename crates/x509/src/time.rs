@@ -1,0 +1,234 @@
+//! Civil time for the simulation.
+//!
+//! [`Timestamp`] is Unix seconds; conversions use Howard Hinnant's
+//! `days_from_civil` / `civil_from_days` algorithms, implemented from
+//! scratch (no chrono). The longitudinal analyses bucket connections
+//! by `(year, month)`, so month arithmetic lives here too.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A point in simulated time (Unix seconds, always UTC).
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct Timestamp(pub i64);
+
+/// A calendar month `(year, month)` used as the longitudinal bucket.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+pub struct Month {
+    pub year: i32,
+    pub month: u8,
+}
+
+/// Days since 1970-01-01 for a civil date (proleptic Gregorian).
+fn days_from_civil(y: i32, m: u8, d: u8) -> i64 {
+    let y = y as i64 - if m <= 2 { 1 } else { 0 };
+    let era = if y >= 0 { y } else { y - 399 } / 400;
+    let yoe = y - era * 400; // [0, 399]
+    let mp = (m as i64 + 9) % 12; // March = 0
+    let doy = (153 * mp + 2) / 5 + d as i64 - 1; // [0, 365]
+    let doe = yoe * 365 + yoe / 4 - yoe / 100 + doy; // [0, 146096]
+    era * 146097 + doe - 719468
+}
+
+/// Civil date from days since 1970-01-01.
+fn civil_from_days(z: i64) -> (i32, u8, u8) {
+    let z = z + 719468;
+    let era = if z >= 0 { z } else { z - 146096 } / 146097;
+    let doe = z - era * 146097; // [0, 146096]
+    let yoe = (doe - doe / 1460 + doe / 36524 - doe / 146096) / 365; // [0, 399]
+    let y = yoe + era * 400;
+    let doy = doe - (365 * yoe + yoe / 4 - yoe / 100); // [0, 365]
+    let mp = (5 * doy + 2) / 153; // [0, 11]
+    let d = (doy - (153 * mp + 2) / 5 + 1) as u8; // [1, 31]
+    let m = if mp < 10 { mp + 3 } else { mp - 9 } as u8; // [1, 12]
+    (
+        (y + if m <= 2 { 1 } else { 0 }) as i32,
+        m,
+        d,
+    )
+}
+
+impl Timestamp {
+    /// Builds a timestamp from a civil date at midnight UTC.
+    pub fn from_ymd(year: i32, month: u8, day: u8) -> Self {
+        assert!((1..=12).contains(&month), "month out of range");
+        assert!((1..=31).contains(&day), "day out of range");
+        Timestamp(days_from_civil(year, month, day) * 86_400)
+    }
+
+    /// Builds a timestamp from a civil date and time of day.
+    pub fn from_ymd_hms(year: i32, month: u8, day: u8, h: u8, m: u8, s: u8) -> Self {
+        Timestamp(Self::from_ymd(year, month, day).0 + h as i64 * 3600 + m as i64 * 60 + s as i64)
+    }
+
+    /// The civil `(year, month, day)` of this timestamp.
+    pub fn ymd(&self) -> (i32, u8, u8) {
+        civil_from_days(self.0.div_euclid(86_400))
+    }
+
+    /// The longitudinal bucket this instant falls in.
+    pub fn month(&self) -> Month {
+        let (y, m, _) = self.ymd();
+        Month { year: y, month: m }
+    }
+
+    /// The calendar year.
+    pub fn year(&self) -> i32 {
+        self.ymd().0
+    }
+
+    /// Adds a duration in seconds.
+    pub fn plus_secs(&self, secs: i64) -> Timestamp {
+        Timestamp(self.0 + secs)
+    }
+
+    /// Adds whole days.
+    pub fn plus_days(&self, days: i64) -> Timestamp {
+        self.plus_secs(days * 86_400)
+    }
+}
+
+impl Month {
+    /// Constructs a month bucket; panics on out-of-range months.
+    pub fn new(year: i32, month: u8) -> Self {
+        assert!((1..=12).contains(&month), "month out of range");
+        Month { year, month }
+    }
+
+    /// The next calendar month.
+    pub fn next(&self) -> Month {
+        if self.month == 12 {
+            Month::new(self.year + 1, 1)
+        } else {
+            Month::new(self.year, self.month + 1)
+        }
+    }
+
+    /// First instant of this month.
+    pub fn start(&self) -> Timestamp {
+        Timestamp::from_ymd(self.year, self.month, 1)
+    }
+
+    /// First instant of the following month (exclusive end).
+    pub fn end(&self) -> Timestamp {
+        self.next().start()
+    }
+
+    /// Inclusive iteration from `self` through `last`.
+    pub fn through(&self, last: Month) -> Vec<Month> {
+        let mut out = Vec::new();
+        let mut cur = *self;
+        while cur <= last {
+            out.push(cur);
+            cur = cur.next();
+        }
+        out
+    }
+
+    /// Number of months between buckets (self earlier ⇒ positive).
+    pub fn months_until(&self, later: Month) -> i32 {
+        (later.year - self.year) * 12 + later.month as i32 - self.month as i32
+    }
+}
+
+impl fmt::Display for Month {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:04}-{:02}", self.year, self.month)
+    }
+}
+
+impl fmt::Display for Timestamp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let (y, m, d) = self.ymd();
+        let rem = self.0.rem_euclid(86_400);
+        write!(
+            f,
+            "{:04}-{:02}-{:02}T{:02}:{:02}:{:02}Z",
+            y,
+            m,
+            d,
+            rem / 3600,
+            (rem % 3600) / 60,
+            rem % 60
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn epoch_is_1970() {
+        assert_eq!(Timestamp(0).ymd(), (1970, 1, 1));
+        assert_eq!(Timestamp::from_ymd(1970, 1, 1).0, 0);
+    }
+
+    #[test]
+    fn known_dates_roundtrip() {
+        // 2018-01-01 = 1514764800, 2021-03-15 = 1615766400.
+        assert_eq!(Timestamp::from_ymd(2018, 1, 1).0, 1_514_764_800);
+        assert_eq!(Timestamp::from_ymd(2021, 3, 15).0, 1_615_766_400);
+        assert_eq!(Timestamp(1_615_766_400).ymd(), (2021, 3, 15));
+    }
+
+    #[test]
+    fn leap_year_handling() {
+        assert_eq!(
+            Timestamp::from_ymd(2020, 2, 29).plus_days(1).ymd(),
+            (2020, 3, 1)
+        );
+        assert_eq!(
+            Timestamp::from_ymd(2019, 2, 28).plus_days(1).ymd(),
+            (2019, 3, 1)
+        );
+    }
+
+    #[test]
+    fn ymd_roundtrip_sweep() {
+        // Every 13 days across 30 years.
+        let mut t = Timestamp::from_ymd(1998, 1, 1);
+        for _ in 0..800 {
+            let (y, m, d) = t.ymd();
+            assert_eq!(Timestamp::from_ymd(y, m, d), t);
+            t = t.plus_days(13);
+        }
+    }
+
+    #[test]
+    fn month_arithmetic() {
+        let m = Month::new(2019, 12);
+        assert_eq!(m.next(), Month::new(2020, 1));
+        assert_eq!(Month::new(2018, 1).months_until(Month::new(2020, 3)), 26);
+        let span = Month::new(2018, 1).through(Month::new(2018, 4));
+        assert_eq!(span.len(), 4);
+        assert_eq!(span[3], Month::new(2018, 4));
+    }
+
+    #[test]
+    fn month_bounds_contain_instants() {
+        let m = Month::new(2020, 2);
+        let inside = Timestamp::from_ymd_hms(2020, 2, 29, 23, 59, 59);
+        assert!(m.start() <= inside && inside < m.end());
+        assert_eq!(inside.month(), m);
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(Month::new(2018, 7).to_string(), "2018-07");
+        assert_eq!(
+            Timestamp::from_ymd_hms(2021, 3, 1, 4, 5, 6).to_string(),
+            "2021-03-01T04:05:06Z"
+        );
+    }
+
+    #[test]
+    fn ordering_follows_time() {
+        assert!(Timestamp::from_ymd(2018, 5, 1) < Timestamp::from_ymd(2018, 5, 2));
+        assert!(Month::new(2018, 12) < Month::new(2019, 1));
+    }
+}

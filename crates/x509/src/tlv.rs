@@ -1,0 +1,307 @@
+//! A compact tag-length-value codec.
+//!
+//! Real X.509 uses DER; this substrate uses a deterministic TLV
+//! encoding with one-byte tags and four-byte big-endian lengths. It
+//! preserves the property the measurement methodology relies on — the
+//! *to-be-signed* certificate bytes are a canonical serialization that
+//! signatures cover — without the incidental complexity of ASN.1.
+
+use std::fmt;
+
+/// Errors raised while decoding TLV streams.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TlvError {
+    /// Input ended inside a header or value.
+    Truncated,
+    /// The decoder expected a specific tag and saw another.
+    UnexpectedTag { expected: u8, found: u8 },
+    /// A declared length exceeds the remaining input.
+    LengthOverrun,
+    /// Trailing bytes remained after a complete decode.
+    TrailingData,
+    /// A value failed domain-specific parsing (UTF-8, integer width…).
+    Malformed(&'static str),
+}
+
+impl fmt::Display for TlvError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TlvError::Truncated => write!(f, "TLV input truncated"),
+            TlvError::UnexpectedTag { expected, found } => {
+                write!(f, "expected tag 0x{expected:02x}, found 0x{found:02x}")
+            }
+            TlvError::LengthOverrun => write!(f, "TLV length exceeds input"),
+            TlvError::TrailingData => write!(f, "trailing bytes after TLV decode"),
+            TlvError::Malformed(what) => write!(f, "malformed TLV value: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for TlvError {}
+
+/// Append-only TLV writer.
+#[derive(Default)]
+pub struct TlvWriter {
+    buf: Vec<u8>,
+}
+
+impl TlvWriter {
+    /// A fresh writer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Writes one element.
+    pub fn put(&mut self, tag: u8, value: &[u8]) -> &mut Self {
+        self.buf.push(tag);
+        self.buf
+            .extend_from_slice(&(value.len() as u32).to_be_bytes());
+        self.buf.extend_from_slice(value);
+        self
+    }
+
+    /// Writes a UTF-8 string element.
+    pub fn put_str(&mut self, tag: u8, value: &str) -> &mut Self {
+        self.put(tag, value.as_bytes())
+    }
+
+    /// Writes a u64 element (8 bytes, big-endian).
+    pub fn put_u64(&mut self, tag: u8, value: u64) -> &mut Self {
+        self.put(tag, &value.to_be_bytes())
+    }
+
+    /// Writes an i64 element (8 bytes, big-endian, two's complement).
+    pub fn put_i64(&mut self, tag: u8, value: i64) -> &mut Self {
+        self.put(tag, &value.to_be_bytes())
+    }
+
+    /// Writes a boolean element (one byte, 0/1).
+    pub fn put_bool(&mut self, tag: u8, value: bool) -> &mut Self {
+        self.put(tag, &[value as u8])
+    }
+
+    /// Writes a nested container built by `f`.
+    pub fn put_nested(&mut self, tag: u8, f: impl FnOnce(&mut TlvWriter)) -> &mut Self {
+        let mut inner = TlvWriter::new();
+        f(&mut inner);
+        let bytes = inner.finish();
+        self.put(tag, &bytes)
+    }
+
+    /// Consumes the writer, returning the encoded bytes.
+    pub fn finish(self) -> Vec<u8> {
+        self.buf
+    }
+}
+
+/// Cursor-based TLV reader.
+pub struct TlvReader<'a> {
+    data: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> TlvReader<'a> {
+    /// Wraps `data` for decoding.
+    pub fn new(data: &'a [u8]) -> Self {
+        TlvReader { data, pos: 0 }
+    }
+
+    /// True when all input is consumed.
+    pub fn is_empty(&self) -> bool {
+        self.pos >= self.data.len()
+    }
+
+    /// Peeks at the next tag without consuming.
+    pub fn peek_tag(&self) -> Option<u8> {
+        self.data.get(self.pos).copied()
+    }
+
+    /// Reads the next element as `(tag, value)`.
+    #[allow(clippy::should_implement_trait)] // cursor API, not an Iterator
+    pub fn next(&mut self) -> Result<(u8, &'a [u8]), TlvError> {
+        let tag = *self.data.get(self.pos).ok_or(TlvError::Truncated)?;
+        let len_bytes = self
+            .data
+            .get(self.pos + 1..self.pos + 5)
+            .ok_or(TlvError::Truncated)?;
+        let len = u32::from_be_bytes(len_bytes.try_into().unwrap()) as usize;
+        let start = self.pos + 5;
+        let value = self
+            .data
+            .get(start..start + len)
+            .ok_or(TlvError::LengthOverrun)?;
+        self.pos = start + len;
+        Ok((tag, value))
+    }
+
+    /// Reads the next element and requires `tag`.
+    pub fn expect(&mut self, tag: u8) -> Result<&'a [u8], TlvError> {
+        let (found, value) = self.next()?;
+        if found != tag {
+            return Err(TlvError::UnexpectedTag {
+                expected: tag,
+                found,
+            });
+        }
+        Ok(value)
+    }
+
+    /// Reads a UTF-8 string with the given tag.
+    pub fn expect_str(&mut self, tag: u8) -> Result<String, TlvError> {
+        let v = self.expect(tag)?;
+        String::from_utf8(v.to_vec()).map_err(|_| TlvError::Malformed("utf-8"))
+    }
+
+    /// Reads a u64 with the given tag.
+    pub fn expect_u64(&mut self, tag: u8) -> Result<u64, TlvError> {
+        let v = self.expect(tag)?;
+        Ok(u64::from_be_bytes(
+            v.try_into().map_err(|_| TlvError::Malformed("u64 width"))?,
+        ))
+    }
+
+    /// Reads an i64 with the given tag.
+    pub fn expect_i64(&mut self, tag: u8) -> Result<i64, TlvError> {
+        let v = self.expect(tag)?;
+        Ok(i64::from_be_bytes(
+            v.try_into().map_err(|_| TlvError::Malformed("i64 width"))?,
+        ))
+    }
+
+    /// Reads a bool with the given tag.
+    pub fn expect_bool(&mut self, tag: u8) -> Result<bool, TlvError> {
+        let v = self.expect(tag)?;
+        match v {
+            [0] => Ok(false),
+            [1] => Ok(true),
+            _ => Err(TlvError::Malformed("bool")),
+        }
+    }
+
+    /// Reads a nested container with the given tag.
+    pub fn expect_nested(&mut self, tag: u8) -> Result<TlvReader<'a>, TlvError> {
+        Ok(TlvReader::new(self.expect(tag)?))
+    }
+
+    /// If the next tag equals `tag`, consume and return it; otherwise
+    /// leave the cursor untouched.
+    pub fn take_optional(&mut self, tag: u8) -> Result<Option<&'a [u8]>, TlvError> {
+        if self.peek_tag() == Some(tag) {
+            Ok(Some(self.expect(tag)?))
+        } else {
+            Ok(None)
+        }
+    }
+
+    /// Asserts the reader is fully consumed.
+    pub fn finish(&self) -> Result<(), TlvError> {
+        if self.is_empty() {
+            Ok(())
+        } else {
+            Err(TlvError::TrailingData)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_scalars() {
+        let mut w = TlvWriter::new();
+        w.put_str(1, "hello")
+            .put_u64(2, 0xdeadbeef)
+            .put_bool(3, true)
+            .put_i64(4, -42);
+        let bytes = w.finish();
+        let mut r = TlvReader::new(&bytes);
+        assert_eq!(r.expect_str(1).unwrap(), "hello");
+        assert_eq!(r.expect_u64(2).unwrap(), 0xdeadbeef);
+        assert!(r.expect_bool(3).unwrap());
+        assert_eq!(r.expect_i64(4).unwrap(), -42);
+        r.finish().unwrap();
+    }
+
+    #[test]
+    fn nested_containers() {
+        let mut w = TlvWriter::new();
+        w.put_nested(9, |inner| {
+            inner.put_str(1, "a").put_str(1, "b");
+        });
+        let bytes = w.finish();
+        let mut r = TlvReader::new(&bytes);
+        let mut inner = r.expect_nested(9).unwrap();
+        assert_eq!(inner.expect_str(1).unwrap(), "a");
+        assert_eq!(inner.expect_str(1).unwrap(), "b");
+        inner.finish().unwrap();
+        r.finish().unwrap();
+    }
+
+    #[test]
+    fn unexpected_tag_reported() {
+        let mut w = TlvWriter::new();
+        w.put_str(1, "x");
+        let bytes = w.finish();
+        let mut r = TlvReader::new(&bytes);
+        assert_eq!(
+            r.expect(2),
+            Err(TlvError::UnexpectedTag {
+                expected: 2,
+                found: 1
+            })
+        );
+    }
+
+    #[test]
+    fn truncation_detected() {
+        let mut w = TlvWriter::new();
+        w.put_str(1, "hello");
+        let bytes = w.finish();
+        for cut in 1..bytes.len() {
+            let mut r = TlvReader::new(&bytes[..cut]);
+            assert!(r.expect_str(1).is_err(), "cut at {cut} must fail");
+        }
+    }
+
+    #[test]
+    fn length_overrun_detected() {
+        // Tag 1, claimed length 100, only 2 bytes present.
+        let bytes = [1u8, 0, 0, 0, 100, 0xaa, 0xbb];
+        let mut r = TlvReader::new(&bytes);
+        assert_eq!(r.next().unwrap_err(), TlvError::LengthOverrun);
+    }
+
+    #[test]
+    fn trailing_data_detected() {
+        let mut w = TlvWriter::new();
+        w.put_str(1, "x").put_str(2, "y");
+        let bytes = w.finish();
+        let mut r = TlvReader::new(&bytes);
+        r.expect_str(1).unwrap();
+        assert_eq!(r.finish(), Err(TlvError::TrailingData));
+    }
+
+    #[test]
+    fn optional_fields() {
+        let mut w = TlvWriter::new();
+        w.put_str(5, "present").put_str(7, "after");
+        let bytes = w.finish();
+        let mut r = TlvReader::new(&bytes);
+        assert!(r.take_optional(6).unwrap().is_none());
+        assert_eq!(r.take_optional(5).unwrap().unwrap(), b"present");
+        assert_eq!(r.expect_str(7).unwrap(), "after");
+    }
+
+    #[test]
+    fn invalid_bool_and_widths() {
+        let mut w = TlvWriter::new();
+        w.put(3, &[7]);
+        let bytes = w.finish();
+        assert!(TlvReader::new(&bytes).expect_bool(3).is_err());
+        let mut w = TlvWriter::new();
+        w.put(2, &[1, 2, 3]);
+        let bytes = w.finish();
+        assert!(TlvReader::new(&bytes).expect_u64(2).is_err());
+    }
+}

@@ -1,0 +1,554 @@
+//! Certificate chain (path) validation.
+//!
+//! Implements the RFC 5280 subset the IoTLS experiments exercise, with
+//! a [`ValidationPolicy`] that lets the device emulation layer turn
+//! individual checks off — reproducing the real-world validation bugs
+//! in Table 7 (no validation at all, missing hostname checks, missing
+//! BasicConstraints enforcement).
+//!
+//! The *order* of checks mirrors common TLS library behavior and is
+//! load-bearing for the root-store side channel: the validator first
+//! builds the path (failing with [`ValidationError::UnknownIssuer`]
+//! when no trusted root matches the top-most issuer name) and only
+//! then verifies signatures (failing with
+//! [`ValidationError::BadSignature`]).
+
+use crate::cert::Certificate;
+use crate::hostname::cert_matches_hostname;
+use crate::store::RootStore;
+use crate::time::Timestamp;
+use std::fmt;
+
+/// Reasons path validation can fail, ordered roughly by discovery
+/// order during validation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ValidationError {
+    /// The presented chain was empty.
+    EmptyChain,
+    /// An intermediate's issuer does not match the next certificate's
+    /// subject (broken chain).
+    BrokenChain,
+    /// No trusted root matches the chain's top-most issuer name.
+    UnknownIssuer,
+    /// An issuer was located but a signature failed to verify.
+    BadSignature,
+    /// A certificate's notAfter is in the past.
+    Expired,
+    /// A certificate's notBefore is in the future.
+    NotYetValid,
+    /// A non-leaf certificate is not a valid CA (BasicConstraints
+    /// missing, or ca=false).
+    InvalidBasicConstraints,
+    /// The chain is longer than an issuer's pathLenConstraint allows.
+    PathLenExceeded,
+    /// A CA certificate lacks the keyCertSign usage.
+    KeyUsageViolation,
+    /// The leaf certificate does not match the requested hostname.
+    HostnameMismatch,
+}
+
+impl fmt::Display for ValidationError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            ValidationError::EmptyChain => "empty certificate chain",
+            ValidationError::BrokenChain => "broken certificate chain",
+            ValidationError::UnknownIssuer => "unknown certificate authority",
+            ValidationError::BadSignature => "certificate signature verification failed",
+            ValidationError::Expired => "certificate expired",
+            ValidationError::NotYetValid => "certificate not yet valid",
+            ValidationError::InvalidBasicConstraints => "invalid BasicConstraints",
+            ValidationError::PathLenExceeded => "path length constraint exceeded",
+            ValidationError::KeyUsageViolation => "key usage violation",
+            ValidationError::HostnameMismatch => "hostname mismatch",
+        };
+        f.write_str(s)
+    }
+}
+
+impl std::error::Error for ValidationError {}
+
+/// Which checks a client actually performs.
+///
+/// A fully correct client uses [`ValidationPolicy::strict`]. The
+/// broken policies model the vulnerable devices in the paper:
+/// `no_validation` accepts anything (Zmodo Doorbell & co.), and
+/// `no_hostname_check` validates the chain but ignores the hostname
+/// (the four Amazon devices in Table 7).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ValidationPolicy {
+    /// Verify every signature in the path.
+    pub check_signatures: bool,
+    /// Enforce notBefore/notAfter on every certificate.
+    pub check_validity: bool,
+    /// Require the leaf to match the requested hostname.
+    pub check_hostname: bool,
+    /// Require CA certificates to carry BasicConstraints ca=true.
+    pub check_basic_constraints: bool,
+    /// Require CA certificates to carry keyCertSign.
+    pub check_key_usage: bool,
+}
+
+impl ValidationPolicy {
+    /// Everything on — a correct RFC 5280 validator.
+    pub fn strict() -> Self {
+        ValidationPolicy {
+            check_signatures: true,
+            check_validity: true,
+            check_hostname: true,
+            check_basic_constraints: true,
+            check_key_usage: true,
+        }
+    }
+
+    /// No validation whatsoever (accepts self-signed junk).
+    pub fn no_validation() -> Self {
+        ValidationPolicy {
+            check_signatures: false,
+            check_validity: false,
+            check_hostname: false,
+            check_basic_constraints: false,
+            check_key_usage: false,
+        }
+    }
+
+    /// Chain checks on, hostname check skipped.
+    pub fn no_hostname_check() -> Self {
+        ValidationPolicy {
+            check_hostname: false,
+            ..Self::strict()
+        }
+    }
+
+    /// Chain + hostname on, BasicConstraints skipped — vulnerable to
+    /// the InvalidBasicConstraints attack (a leaf used as a CA).
+    pub fn no_basic_constraints() -> Self {
+        ValidationPolicy {
+            check_basic_constraints: false,
+            check_key_usage: false,
+            ..Self::strict()
+        }
+    }
+
+    /// True when the policy performs no checks at all.
+    pub fn is_no_validation(&self) -> bool {
+        *self == Self::no_validation()
+    }
+}
+
+/// Validates `chain` (leaf first) against `roots` for `hostname` at
+/// time `now` under `policy`.
+///
+/// Returns the validation outcome a client with that policy would
+/// reach. With [`ValidationPolicy::no_validation`] this always
+/// succeeds for non-empty chains.
+pub fn validate_chain(
+    chain: &[Certificate],
+    roots: &RootStore,
+    hostname: &str,
+    now: Timestamp,
+    policy: &ValidationPolicy,
+) -> Result<(), ValidationError> {
+    let leaf = chain.first().ok_or(ValidationError::EmptyChain)?;
+    if policy.is_no_validation() {
+        return Ok(());
+    }
+
+    // 1. Structural chain building: each certificate's issuer must be
+    //    the next certificate's subject.
+    for window in chain.windows(2) {
+        if window[0].tbs.issuer != window[1].tbs.subject {
+            return Err(ValidationError::BrokenChain);
+        }
+    }
+
+    // 2. Locate the trust anchor for the top-most certificate. When
+    //    the top certificate *is* a trusted root (some servers send
+    //    the root), anchor on it directly.
+    let top = chain.last().expect("non-empty");
+    let anchor = if roots.contains_subject(&top.tbs.subject)
+        && roots.find_issuer(&top.tbs.subject).map(|c| &c.tbs.public_key)
+            == Some(&top.tbs.public_key)
+    {
+        None // top of chain is itself the anchor
+    } else {
+        match roots.find_issuer(&top.tbs.issuer) {
+            Some(root) => Some(root.clone()),
+            None => return Err(ValidationError::UnknownIssuer),
+        }
+    };
+
+    // 3. Signatures, bottom-up: each certificate must be signed by the
+    //    key above it; the top by the anchor (or itself when the
+    //    anchor is in-chain, i.e. self-signed root sent by server).
+    if policy.check_signatures {
+        for window in chain.windows(2) {
+            if !window[0].verify_signature(&window[1].tbs.public_key) {
+                return Err(ValidationError::BadSignature);
+            }
+        }
+        match &anchor {
+            Some(root) => {
+                if !top.verify_signature(&root.tbs.public_key) {
+                    return Err(ValidationError::BadSignature);
+                }
+            }
+            None => {
+                if !top.verify_signature(&top.tbs.public_key) {
+                    return Err(ValidationError::BadSignature);
+                }
+            }
+        }
+    }
+
+    // 4. Validity windows (every cert in the path plus the anchor).
+    if policy.check_validity {
+        for cert in chain.iter().chain(anchor.iter()) {
+            if now < cert.tbs.not_before {
+                return Err(ValidationError::NotYetValid);
+            }
+            if now > cert.tbs.not_after {
+                return Err(ValidationError::Expired);
+            }
+        }
+    }
+
+    // 5. CA constraints on every issuing certificate (everything above
+    //    the leaf, plus the anchor).
+    if policy.check_basic_constraints {
+        for (i, issuing) in chain.iter().enumerate().skip(1) {
+            if !issuing.is_ca() {
+                return Err(ValidationError::InvalidBasicConstraints);
+            }
+            // pathLen counts intermediates *below* this certificate.
+            if let Some(bc) = issuing.tbs.extensions.basic_constraints {
+                if let Some(max) = bc.path_len {
+                    let below = i - 1; // intermediates between this cert and leaf
+                    if below > max as usize {
+                        return Err(ValidationError::PathLenExceeded);
+                    }
+                }
+            }
+        }
+        if let Some(root) = &anchor {
+            if !root.is_ca() {
+                return Err(ValidationError::InvalidBasicConstraints);
+            }
+            if let Some(bc) = root.tbs.extensions.basic_constraints {
+                if let Some(max) = bc.path_len {
+                    if chain.len() - 1 > max as usize {
+                        return Err(ValidationError::PathLenExceeded);
+                    }
+                }
+            }
+        }
+    }
+
+    if policy.check_key_usage {
+        use crate::cert::KeyUsage;
+        for issuing in chain.iter().skip(1).chain(anchor.iter()) {
+            if !issuing.tbs.extensions.key_usage.contains(KeyUsage::KEY_CERT_SIGN) {
+                return Err(ValidationError::KeyUsageViolation);
+            }
+        }
+    }
+
+    // 6. Hostname, last — mirrors libraries that verify the chain and
+    //    then check identity.
+    if policy.check_hostname && !cert_matches_hostname(leaf, hostname) {
+        return Err(ValidationError::HostnameMismatch);
+    }
+
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cert::{
+        BasicConstraints, CertifiedKey, DistinguishedName, Extensions, IssueParams, KeyUsage,
+    };
+    use iotls_crypto::drbg::Drbg;
+    use iotls_crypto::rsa::RsaPrivateKey;
+
+    struct Pki {
+        root: CertifiedKey,
+        roots: RootStore,
+        now: Timestamp,
+    }
+
+    fn pki(seed: u64) -> Pki {
+        let key = RsaPrivateKey::generate(512, &mut Drbg::from_seed(seed));
+        let root = CertifiedKey::self_signed(
+            IssueParams::ca(
+                DistinguishedName::new("Sim Trust Root", "SimCA", "US"),
+                1,
+                Timestamp::from_ymd(2015, 1, 1),
+                7300,
+            ),
+            key,
+        );
+        let roots = RootStore::from_certs([root.cert.clone()]);
+        Pki {
+            root,
+            roots,
+            now: Timestamp::from_ymd(2021, 3, 1),
+        }
+    }
+
+    fn leaf_for(pki: &Pki, host: &str, seed: u64) -> Certificate {
+        let k = RsaPrivateKey::generate(512, &mut Drbg::from_seed(seed));
+        pki.root.issue(
+            IssueParams::leaf(host, seed, Timestamp::from_ymd(2020, 6, 1), 398),
+            &k,
+        )
+    }
+
+    #[test]
+    fn valid_leaf_passes_strict() {
+        let p = pki(200);
+        let leaf = leaf_for(&p, "cloud.example.com", 201);
+        assert_eq!(
+            validate_chain(&[leaf], &p.roots, "cloud.example.com", p.now, &ValidationPolicy::strict()),
+            Ok(())
+        );
+    }
+
+    #[test]
+    fn empty_chain_fails() {
+        let p = pki(202);
+        assert_eq!(
+            validate_chain(&[], &p.roots, "x", p.now, &ValidationPolicy::strict()),
+            Err(ValidationError::EmptyChain)
+        );
+    }
+
+    #[test]
+    fn self_signed_is_unknown_issuer() {
+        let p = pki(203);
+        let k = RsaPrivateKey::generate(512, &mut Drbg::from_seed(204));
+        let selfsigned =
+            CertifiedKey::self_signed(IssueParams::leaf("evil.example.com", 9, Timestamp::from_ymd(2020, 1, 1), 365), k);
+        assert_eq!(
+            validate_chain(&[selfsigned.cert], &p.roots, "evil.example.com", p.now, &ValidationPolicy::strict()),
+            Err(ValidationError::UnknownIssuer)
+        );
+    }
+
+    #[test]
+    fn spoofed_root_yields_bad_signature_not_unknown_issuer() {
+        // The alert side channel in one test: a chain issued by a
+        // spoofed CA whose name matches a trusted root fails with
+        // BadSignature, distinguishable from UnknownIssuer.
+        let p = pki(205);
+        let spoof_key = RsaPrivateKey::generate(512, &mut Drbg::from_seed(206));
+        let spoof = CertifiedKey::self_signed(
+            IssueParams::ca(p.root.cert.tbs.subject.clone(), 1, Timestamp::from_ymd(2015, 1, 1), 7300),
+            spoof_key,
+        );
+        let k = RsaPrivateKey::generate(512, &mut Drbg::from_seed(207));
+        let leaf = spoof.issue(
+            IssueParams::leaf("cloud.example.com", 10, Timestamp::from_ymd(2020, 6, 1), 365),
+            &k,
+        );
+        assert_eq!(
+            validate_chain(&[leaf], &p.roots, "cloud.example.com", p.now, &ValidationPolicy::strict()),
+            Err(ValidationError::BadSignature)
+        );
+    }
+
+    #[test]
+    fn hostname_mismatch_detected_and_skippable() {
+        let p = pki(208);
+        let leaf = leaf_for(&p, "real.example.com", 209);
+        assert_eq!(
+            validate_chain(std::slice::from_ref(&leaf), &p.roots, "other.example.com", p.now, &ValidationPolicy::strict()),
+            Err(ValidationError::HostnameMismatch)
+        );
+        assert_eq!(
+            validate_chain(&[leaf], &p.roots, "other.example.com", p.now, &ValidationPolicy::no_hostname_check()),
+            Ok(())
+        );
+    }
+
+    #[test]
+    fn expired_and_not_yet_valid() {
+        let p = pki(210);
+        let leaf = leaf_for(&p, "h.example.com", 211);
+        assert_eq!(
+            validate_chain(std::slice::from_ref(&leaf), &p.roots, "h.example.com", Timestamp::from_ymd(2029, 1, 1), &ValidationPolicy::strict()),
+            Err(ValidationError::Expired)
+        );
+        assert_eq!(
+            validate_chain(&[leaf], &p.roots, "h.example.com", Timestamp::from_ymd(2019, 1, 1), &ValidationPolicy::strict()),
+            Err(ValidationError::NotYetValid)
+        );
+    }
+
+    #[test]
+    fn leaf_as_intermediate_violates_basic_constraints() {
+        // The InvalidBasicConstraints attack: a leaf certificate (not a
+        // CA) signs another leaf.
+        let p = pki(212);
+        let mid_key = RsaPrivateKey::generate(512, &mut Drbg::from_seed(213));
+        let mid_cert = p.root.issue(
+            IssueParams::leaf("attacker.example.net", 20, Timestamp::from_ymd(2020, 6, 1), 365),
+            &mid_key,
+        );
+        let mid = CertifiedKey { cert: mid_cert, key: mid_key };
+        let k = RsaPrivateKey::generate(512, &mut Drbg::from_seed(214));
+        let forged = mid.issue(
+            IssueParams::leaf("victim.example.com", 21, Timestamp::from_ymd(2020, 7, 1), 365),
+            &k,
+        );
+        let chain = [forged, mid.cert.clone()];
+        assert_eq!(
+            validate_chain(&chain, &p.roots, "victim.example.com", p.now, &ValidationPolicy::strict()),
+            Err(ValidationError::InvalidBasicConstraints)
+        );
+        // A client that skips the check accepts the forged chain.
+        assert_eq!(
+            validate_chain(&chain, &p.roots, "victim.example.com", p.now, &ValidationPolicy::no_basic_constraints()),
+            Ok(())
+        );
+    }
+
+    #[test]
+    fn intermediate_chain_validates() {
+        let p = pki(215);
+        let int_key = RsaPrivateKey::generate(512, &mut Drbg::from_seed(216));
+        let int_cert = p.root.issue(
+            IssueParams::ca(DistinguishedName::new("Sim Intermediate", "SimCA", "US"), 30, Timestamp::from_ymd(2018, 1, 1), 3650),
+            &int_key,
+        );
+        let intermediate = CertifiedKey { cert: int_cert.clone(), key: int_key };
+        let k = RsaPrivateKey::generate(512, &mut Drbg::from_seed(217));
+        let leaf = intermediate.issue(
+            IssueParams::leaf("svc.example.com", 31, Timestamp::from_ymd(2020, 6, 1), 365),
+            &k,
+        );
+        assert_eq!(
+            validate_chain(&[leaf, int_cert], &p.roots, "svc.example.com", p.now, &ValidationPolicy::strict()),
+            Ok(())
+        );
+    }
+
+    #[test]
+    fn path_len_constraint_enforced() {
+        let p = pki(218);
+        // Root allows zero intermediates below an intermediate with pathLen 0.
+        let int_key = RsaPrivateKey::generate(512, &mut Drbg::from_seed(219));
+        let mut int_params = IssueParams::ca(
+            DistinguishedName::new("Constrained Intermediate", "SimCA", "US"),
+            40,
+            Timestamp::from_ymd(2018, 1, 1),
+            3650,
+        );
+        int_params.extensions.basic_constraints = Some(BasicConstraints { ca: true, path_len: Some(0) });
+        let int_cert = p.root.issue(int_params, &int_key);
+        let intermediate = CertifiedKey { cert: int_cert.clone(), key: int_key };
+
+        let sub_key = RsaPrivateKey::generate(512, &mut Drbg::from_seed(220));
+        let sub_cert = intermediate.issue(
+            IssueParams::ca(DistinguishedName::new("Sub CA", "SimCA", "US"), 41, Timestamp::from_ymd(2019, 1, 1), 3650),
+            &sub_key,
+        );
+        let sub = CertifiedKey { cert: sub_cert.clone(), key: sub_key };
+        let k = RsaPrivateKey::generate(512, &mut Drbg::from_seed(221));
+        let leaf = sub.issue(
+            IssueParams::leaf("deep.example.com", 42, Timestamp::from_ymd(2020, 6, 1), 365),
+            &k,
+        );
+        assert_eq!(
+            validate_chain(&[leaf, sub_cert, int_cert], &p.roots, "deep.example.com", p.now, &ValidationPolicy::strict()),
+            Err(ValidationError::PathLenExceeded)
+        );
+    }
+
+    #[test]
+    fn key_usage_enforced_for_issuers() {
+        let p = pki(222);
+        let int_key = RsaPrivateKey::generate(512, &mut Drbg::from_seed(223));
+        let mut params = IssueParams::ca(
+            DistinguishedName::new("No-Sign CA", "SimCA", "US"),
+            50,
+            Timestamp::from_ymd(2018, 1, 1),
+            3650,
+        );
+        params.extensions.key_usage = KeyUsage::DIGITAL_SIGNATURE; // missing keyCertSign
+        let int_cert = p.root.issue(params, &int_key);
+        let intermediate = CertifiedKey { cert: int_cert.clone(), key: int_key };
+        let k = RsaPrivateKey::generate(512, &mut Drbg::from_seed(224));
+        let leaf = intermediate.issue(
+            IssueParams::leaf("ku.example.com", 51, Timestamp::from_ymd(2020, 6, 1), 365),
+            &k,
+        );
+        assert_eq!(
+            validate_chain(&[leaf, int_cert], &p.roots, "ku.example.com", p.now, &ValidationPolicy::strict()),
+            Err(ValidationError::KeyUsageViolation)
+        );
+    }
+
+    #[test]
+    fn broken_chain_detected() {
+        let p = pki(225);
+        let other = pki(226);
+        let leaf = leaf_for(&p, "a.example.com", 227);
+        let unrelated = leaf_for(&other, "b.example.com", 228);
+        assert_eq!(
+            validate_chain(&[leaf, unrelated], &p.roots, "a.example.com", p.now, &ValidationPolicy::strict()),
+            Err(ValidationError::BrokenChain)
+        );
+    }
+
+    #[test]
+    fn no_validation_accepts_anything() {
+        let p = pki(229);
+        let k = RsaPrivateKey::generate(512, &mut Drbg::from_seed(230));
+        let junk = CertifiedKey::self_signed(
+            IssueParams::leaf("whatever.example.com", 60, Timestamp::from_ymd(1999, 1, 1), 1),
+            k,
+        );
+        assert_eq!(
+            validate_chain(&[junk.cert], &p.roots, "completely.different.host", p.now, &ValidationPolicy::no_validation()),
+            Ok(())
+        );
+    }
+
+    #[test]
+    fn server_sent_root_anchors_in_store() {
+        // Some servers include the root; the validator anchors on the
+        // in-store copy.
+        let p = pki(231);
+        let leaf = leaf_for(&p, "r.example.com", 232);
+        assert_eq!(
+            validate_chain(
+                &[leaf, p.root.cert.clone()],
+                &p.roots,
+                "r.example.com",
+                p.now,
+                &ValidationPolicy::strict()
+            ),
+            Ok(())
+        );
+    }
+
+    #[test]
+    fn extensions_default_is_not_ca() {
+        // A cert without BasicConstraints cannot issue.
+        let p = pki(233);
+        let mid_key = RsaPrivateKey::generate(512, &mut Drbg::from_seed(234));
+        let mut params = IssueParams::leaf("noext.example.com", 70, Timestamp::from_ymd(2020, 1, 1), 900);
+        params.extensions = Extensions::default();
+        let mid_cert = p.root.issue(params, &mid_key);
+        let mid = CertifiedKey { cert: mid_cert.clone(), key: mid_key };
+        let k = RsaPrivateKey::generate(512, &mut Drbg::from_seed(235));
+        let forged = mid.issue(
+            IssueParams::leaf("victim2.example.com", 71, Timestamp::from_ymd(2020, 6, 1), 365),
+            &k,
+        );
+        assert_eq!(
+            validate_chain(&[forged, mid_cert], &p.roots, "victim2.example.com", p.now, &ValidationPolicy::strict()),
+            Err(ValidationError::InvalidBasicConstraints)
+        );
+    }
+}

@@ -1,0 +1,244 @@
+//! Property-based tests for the PKI substrate: TLV codec, certificate
+//! encoding, hostname matching, time math, and validation invariants.
+
+use iotls_crypto::drbg::Drbg;
+use iotls_crypto::rsa::RsaPrivateKey;
+use iotls_x509::tlv::{TlvReader, TlvWriter};
+use iotls_x509::{
+    matches_pattern, validate_chain, BasicConstraints, Certificate, CertifiedKey,
+    DistinguishedName, IssueParams, Month, RootStore, Timestamp, ValidationError,
+    ValidationPolicy,
+};
+use proptest::prelude::*;
+use std::sync::OnceLock;
+
+fn shared_root() -> &'static CertifiedKey {
+    static R: OnceLock<CertifiedKey> = OnceLock::new();
+    R.get_or_init(|| {
+        let key = RsaPrivateKey::generate(512, &mut Drbg::from_seed(0x909));
+        CertifiedKey::self_signed(
+            IssueParams::ca(
+                DistinguishedName::new("Prop Root", "Prop", "US"),
+                1,
+                Timestamp::from_ymd(2010, 1, 1),
+                7300,
+            ),
+            key,
+        )
+    })
+}
+
+fn shared_leaf_key() -> &'static RsaPrivateKey {
+    static K: OnceLock<RsaPrivateKey> = OnceLock::new();
+    K.get_or_init(|| RsaPrivateKey::generate(512, &mut Drbg::from_seed(0x90A)))
+}
+
+fn label() -> impl Strategy<Value = String> {
+    "[a-z][a-z0-9-]{0,14}"
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn tlv_scalar_roundtrip(
+        tag in any::<u8>(),
+        s in "[ -~]{0,40}",
+        n in any::<u64>(),
+        b in any::<bool>(),
+        i in any::<i64>(),
+    ) {
+        let mut w = TlvWriter::new();
+        w.put_str(tag, &s).put_u64(tag, n).put_bool(tag, b).put_i64(tag, i);
+        let bytes = w.finish();
+        let mut r = TlvReader::new(&bytes);
+        prop_assert_eq!(r.expect_str(tag).unwrap(), s);
+        prop_assert_eq!(r.expect_u64(tag).unwrap(), n);
+        prop_assert_eq!(r.expect_bool(tag).unwrap(), b);
+        prop_assert_eq!(r.expect_i64(tag).unwrap(), i);
+        r.finish().unwrap();
+    }
+
+    #[test]
+    fn tlv_truncation_never_panics(data in proptest::collection::vec(any::<u8>(), 0..120)) {
+        let mut r = TlvReader::new(&data);
+        for _ in 0..10 {
+            if r.next().is_err() {
+                break;
+            }
+        }
+    }
+
+    #[test]
+    fn certificate_encoding_roundtrips(
+        host in "[a-z]{1,10}\\.example\\.com",
+        serial in any::<u64>(),
+        days in 1i64..2000,
+        san_count in 0usize..4,
+    ) {
+        let mut params = IssueParams::leaf(&host, serial, Timestamp::from_ymd(2019, 6, 1), days);
+        for i in 0..san_count {
+            params.extensions.subject_alt_names.push(format!("alt{i}.{host}"));
+        }
+        let cert = shared_root().issue(params, shared_leaf_key());
+        let decoded = Certificate::from_bytes(&cert.to_bytes()).unwrap();
+        prop_assert_eq!(&decoded, &cert);
+        prop_assert_eq!(decoded.fingerprint(), cert.fingerprint());
+    }
+
+    #[test]
+    fn tampering_any_tbs_field_breaks_the_signature(
+        host in "[a-z]{1,10}\\.example\\.com",
+        which in 0usize..4,
+    ) {
+        let cert = shared_root().issue(
+            IssueParams::leaf(&host, 7, Timestamp::from_ymd(2019, 6, 1), 365),
+            shared_leaf_key(),
+        );
+        prop_assert!(cert.verify_signature(&shared_root().cert.tbs.public_key));
+        let mut tampered = cert.clone();
+        match which {
+            0 => tampered.tbs.serial ^= 1,
+            1 => tampered.tbs.subject.common_name.push('x'),
+            2 => tampered.tbs.not_after = tampered.tbs.not_after.plus_days(1),
+            _ => tampered.tbs.extensions.must_staple = !tampered.tbs.extensions.must_staple,
+        }
+        prop_assert!(!tampered.verify_signature(&shared_root().cert.tbs.public_key));
+    }
+
+    #[test]
+    fn exact_hostname_match_is_reflexive_and_case_insensitive(host in "[a-z]{1,10}(\\.[a-z]{1,8}){1,3}") {
+        let prefixed = format!("x{host}");
+        prop_assert!(matches_pattern(&host, &host));
+        prop_assert!(matches_pattern(&host.to_uppercase(), &host));
+        prop_assert!(!matches_pattern(&host, &prefixed));
+    }
+
+    #[test]
+    fn wildcard_matches_exactly_one_label(
+        sub in label(),
+        domain in "[a-z]{1,8}\\.[a-z]{2,3}",
+        extra in label(),
+    ) {
+        let pattern = format!("*.{domain}");
+        let one_label = format!("{sub}.{domain}");
+        let two_labels = format!("{extra}.{sub}.{domain}");
+        prop_assert!(matches_pattern(&pattern, &one_label));
+        prop_assert!(!matches_pattern(&pattern, &domain));
+        prop_assert!(!matches_pattern(&pattern, &two_labels));
+    }
+
+    #[test]
+    fn validation_is_deterministic_and_ordered(
+        host in "[a-z]{1,10}\\.example\\.com",
+        now_offset in -4000i64..4000,
+    ) {
+        let root = shared_root();
+        let cert = root.issue(
+            IssueParams::leaf(&host, 9, Timestamp::from_ymd(2019, 6, 1), 365),
+            shared_leaf_key(),
+        );
+        let roots = RootStore::from_certs([root.cert.clone()]);
+        let now = Timestamp::from_ymd(2019, 6, 1).plus_days(now_offset);
+        let r1 = validate_chain(std::slice::from_ref(&cert), &roots, &host, now, &ValidationPolicy::strict());
+        let r2 = validate_chain(std::slice::from_ref(&cert), &roots, &host, now, &ValidationPolicy::strict());
+        prop_assert_eq!(&r1, &r2);
+        // Outcome agrees with the validity window.
+        if now_offset < 0 {
+            prop_assert_eq!(r1, Err(ValidationError::NotYetValid));
+        } else if now_offset > 365 {
+            prop_assert_eq!(r1, Err(ValidationError::Expired));
+        } else {
+            prop_assert_eq!(r1, Ok(()));
+        }
+        // The empty store always reports UnknownIssuer inside the window.
+        if (0..=365).contains(&now_offset) {
+            prop_assert_eq!(
+                validate_chain(&[cert], &RootStore::new(), &host, now, &ValidationPolicy::strict()),
+                Err(ValidationError::UnknownIssuer)
+            );
+        }
+    }
+
+    #[test]
+    fn no_validation_accepts_every_nonempty_chain(
+        host in "[a-z]{1,10}\\.example\\.com",
+        wrong_host in "[a-z]{1,10}\\.example\\.org",
+    ) {
+        let cert = shared_root().issue(
+            IssueParams::leaf(&host, 11, Timestamp::from_ymd(2019, 6, 1), 10),
+            shared_leaf_key(),
+        );
+        // Expired, wrong hostname, empty store: still accepted.
+        prop_assert_eq!(
+            validate_chain(
+                &[cert],
+                &RootStore::new(),
+                &wrong_host,
+                Timestamp::from_ymd(2030, 1, 1),
+                &ValidationPolicy::no_validation()
+            ),
+            Ok(())
+        );
+    }
+
+    #[test]
+    fn timestamp_civil_roundtrip(days in -20_000i64..40_000) {
+        let t = Timestamp(days * 86_400 + 12 * 3600);
+        let (y, m, d) = t.ymd();
+        let back = Timestamp::from_ymd(y, m, d).plus_secs(12 * 3600);
+        prop_assert_eq!(back, t);
+        prop_assert!((1..=12).contains(&m));
+        prop_assert!((1..=31).contains(&d));
+    }
+
+    #[test]
+    fn month_iteration_is_contiguous(y in 2000i32..2030, m in 1u8..=12, span in 0i32..50) {
+        let start = Month::new(y, m);
+        let mut end = start;
+        for _ in 0..span {
+            end = end.next();
+        }
+        let months = start.through(end);
+        prop_assert_eq!(months.len() as i32, span + 1);
+        for w in months.windows(2) {
+            prop_assert_eq!(w[0].next(), w[1]);
+            prop_assert_eq!(w[0].end(), w[1].start());
+        }
+        prop_assert_eq!(start.months_until(end), span);
+    }
+
+    #[test]
+    fn basic_constraints_gate_issuance(ca in any::<bool>()) {
+        // A chain through an intermediate is valid iff the
+        // intermediate carries ca=true.
+        let root = shared_root();
+        let mid_key = shared_leaf_key();
+        let mut params = IssueParams::ca(
+            DistinguishedName::new("Prop Mid", "Prop", "US"),
+            20,
+            Timestamp::from_ymd(2018, 1, 1),
+            3650,
+        );
+        params.extensions.basic_constraints = Some(BasicConstraints { ca, path_len: None });
+        let mid_cert = root.issue(params, mid_key);
+        let mid = CertifiedKey { cert: mid_cert.clone(), key: mid_key.clone() };
+        let leaf = mid.issue(
+            IssueParams::leaf("deep.example.com", 21, Timestamp::from_ymd(2019, 1, 1), 365),
+            shared_leaf_key(),
+        );
+        let roots = RootStore::from_certs([root.cert.clone()]);
+        let result = validate_chain(
+            &[leaf, mid_cert],
+            &roots,
+            "deep.example.com",
+            Timestamp::from_ymd(2019, 6, 1),
+            &ValidationPolicy::strict(),
+        );
+        if ca {
+            prop_assert_eq!(result, Ok(()));
+        } else {
+            prop_assert_eq!(result, Err(ValidationError::InvalidBasicConstraints));
+        }
+    }
+}

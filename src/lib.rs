@@ -1,0 +1,21 @@
+//! # iotls-repro
+//!
+//! Umbrella crate for the reproduction of *IoTLS: Understanding TLS
+//! Usage in Consumer IoT Devices* (Paracha, Dubois,
+//! Vallina-Rodriguez, Choffnes — ACM IMC 2021).
+//!
+//! Re-exports every workspace crate under one roof and hosts the
+//! runnable examples (`examples/`) and the cross-crate integration
+//! tests (`tests/`). See `README.md` for the quickstart, `DESIGN.md`
+//! for the system inventory and substitution rationale, and
+//! `EXPERIMENTS.md` for paper-vs-measured results.
+
+pub use iotls as core;
+pub use iotls_analysis as analysis;
+pub use iotls_capture as capture;
+pub use iotls_crypto as crypto;
+pub use iotls_devices as devices;
+pub use iotls_rootstore as rootstore;
+pub use iotls_simnet as simnet;
+pub use iotls_tls as tls;
+pub use iotls_x509 as x509;

@@ -1,0 +1,123 @@
+//! The measurement system is blackbox; these tests compare what it
+//! *measured* against the hidden ground truth, as an oracle — every
+//! conclusive claim the prober makes must be correct.
+
+use iotls_repro::core::{run_interception_audit, run_root_probe, ProbeVerdict};
+use iotls_repro::devices::Testbed;
+use iotls_repro::x509::ValidationPolicy;
+
+#[test]
+fn interception_verdicts_agree_with_validation_policies() {
+    let testbed = Testbed::global();
+    let audit = run_interception_audit(testbed, 0x0AC1E);
+    for row in &audit.rows {
+        let device = testbed.device(&row.device);
+        let has_quirk = device.spec.disable_validation_after_failures.is_some();
+        let truth_vulnerable = has_quirk
+            || device.spec.instances_now().iter().enumerate().any(|(i, inst)| {
+                let used = device.spec.destinations.iter().any(|d| d.instance == i);
+                used && (inst.validation.is_no_validation() || !inst.validation.check_hostname)
+            });
+        assert_eq!(
+            row.is_vulnerable(),
+            truth_vulnerable,
+            "{}: measured {} vs truth {}",
+            row.device,
+            row.is_vulnerable(),
+            truth_vulnerable
+        );
+    }
+}
+
+#[test]
+fn no_validation_findings_are_exactly_the_no_validation_devices() {
+    let testbed = Testbed::global();
+    let audit = run_interception_audit(testbed, 0x0AC1E);
+    for row in &audit.rows {
+        let device = testbed.device(&row.device);
+        let truth = device.spec.disable_validation_after_failures.is_some()
+            || device.spec.instances_now().iter().enumerate().any(|(i, inst)| {
+                let used = device.spec.destinations.iter().any(|d| d.instance == i);
+                used && inst.validation.is_no_validation()
+            });
+        assert_eq!(row.no_validation, truth, "{}", row.device);
+    }
+}
+
+#[test]
+fn probe_has_no_false_verdicts() {
+    let testbed = Testbed::global();
+    let probe = run_root_probe(testbed, 0x0AC1E);
+    let mut conclusive = 0usize;
+    for row in probe.amenable_rows() {
+        let truth = &testbed.device(&row.device).truth;
+        for (id, verdict) in row.common.iter().chain(row.deprecated.iter()) {
+            let in_store = truth.common_present.contains(id)
+                || truth.deprecated_present.contains(id);
+            match verdict {
+                ProbeVerdict::Present => {
+                    conclusive += 1;
+                    assert!(in_store, "{} false positive on {:?}", row.device, id);
+                }
+                ProbeVerdict::Absent => {
+                    conclusive += 1;
+                    assert!(!in_store, "{} false negative on {:?}", row.device, id);
+                }
+                ProbeVerdict::Inconclusive => {}
+            }
+        }
+    }
+    // Sanity: the probe actually decided something (8 devices × most
+    // of 209 certs).
+    assert!(conclusive > 1_200, "only {conclusive} conclusive verdicts");
+}
+
+#[test]
+fn amenability_matches_first_instance_library() {
+    let testbed = Testbed::global();
+    let probe = run_root_probe(testbed, 0x0AC1E);
+    for row in &probe.rows {
+        let device = testbed.device(&row.device);
+        let first_instance_idx = device
+            .spec
+            .boot_destinations()
+            .first()
+            .map(|d| d.instance)
+            .unwrap_or(0);
+        let inst = &device.spec.instances_now()[first_instance_idx];
+        let truth_amenable =
+            inst.library.is_amenable_to_root_probe() && !inst.validation.is_no_validation();
+        assert_eq!(
+            row.amenable, truth_amenable,
+            "{}: measured {} vs truth {}",
+            row.device, row.amenable, truth_amenable
+        );
+    }
+}
+
+#[test]
+fn legitimate_infrastructure_validates_everywhere() {
+    // The testbed invariant behind everything: every device accepts
+    // its own cloud with strict validation (so any interception
+    // failure is the attack's doing, not a broken PKI).
+    let testbed = Testbed::global();
+    let now = iotls_repro::rootstore::probe_time();
+    for device in &testbed.devices {
+        for dest in &device.spec.destinations {
+            let ep = testbed.cloud().endpoint(&dest.hostname).unwrap();
+            assert_eq!(
+                iotls_repro::x509::validate_chain(
+                    &ep.chain,
+                    &device.truth.store,
+                    &dest.hostname,
+                    now,
+                    &ValidationPolicy::strict(),
+                ),
+                Ok(()),
+                "{} -> {}",
+                device.spec.name,
+                dest.hostname
+            );
+        }
+    }
+}
