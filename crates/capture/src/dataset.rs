@@ -49,6 +49,11 @@ pub struct PassiveDataset {
     pub observations: Vec<WeightedObservation>,
     /// Revocation endpoint flows.
     pub revocation_flows: Vec<RevocationFlow>,
+    /// Sessions whose capture was truncated before a parseable
+    /// ClientHello (e.g. cut by an injected fault). Real gateway
+    /// captures contain these too; they are counted rather than
+    /// silently dropped so generation-side loss is visible.
+    pub truncated: u64,
 }
 
 /// Aggregate statistics over the dataset.
@@ -176,7 +181,7 @@ mod tests {
                 weighted("A", Month::new(2018, 2), 50),
                 weighted("B", Month::new(2018, 1), 10),
             ],
-            revocation_flows: vec![],
+            ..Default::default()
         };
         assert_eq!(ds.total_connections(), 160);
         assert_eq!(ds.device_observations("A").len(), 2);
@@ -192,7 +197,7 @@ mod tests {
                 weighted("B", Month::new(2018, 1), 10),
                 weighted("C", Month::new(2018, 1), 40),
             ],
-            revocation_flows: vec![],
+            ..Default::default()
         };
         let s = ds.stats();
         assert_eq!(s.total_connections, 150);

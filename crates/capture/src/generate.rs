@@ -16,17 +16,37 @@ use crate::dataset::{PassiveDataset, RevocationFlow, RevocationKind, WeightedObs
 use crate::timeline::{build_timeline, StudyEvent};
 use iotls_crypto::drbg::Drbg;
 use iotls_devices::{DeviceSetup, Testbed};
-use iotls_simnet::{drive_session, SessionParams};
+use iotls_simnet::{
+    drive_session_faulted, FaultPlan, LinkConditioner, SessionFaults, SessionParams, SessionResult,
+};
 use iotls_tls::client::ClientConnection;
 use iotls_tls::server::ServerConnection;
 use iotls_simnet::TlsObservation;
 use iotls_x509::Month;
 use std::collections::HashMap;
 
+/// How many times a faulted capture drive is re-driven before the
+/// generator gives up and keeps whatever the tap managed to see.
+const CAPTURE_RETRIES: usize = 6;
+
 /// Generates the passive dataset for the whole testbed, driven by
 /// the event timeline.
 pub fn generate(testbed: &Testbed, seed: u64) -> PassiveDataset {
+    generate_with_faults(testbed, seed, FaultPlan::none())
+}
+
+/// Generates the passive dataset under an injected-fault schedule.
+///
+/// The conditioner sits between the endpoints and the gateway tap, so
+/// a session cut before a parseable ClientHello yields no observation;
+/// the generator *counts* those truncated captures (rather than
+/// silently dropping them, as a naive analyzer would) and re-drives
+/// the faulted session — with the same handshake randomness but a
+/// fresh fault draw — until a clean capture lands. DNS faults are an
+/// active-lab concern; the generator only exercises link faults.
+pub fn generate_with_faults(testbed: &Testbed, seed: u64, plan: FaultPlan) -> PassiveDataset {
     let mut dataset = PassiveDataset::default();
+    let mut truncated = 0u64;
     let root_rng = Drbg::from_seed(seed);
     // Cache of driven handshakes keyed by (device, dest index, phase
     // start) — the observation metadata is identical within a phase.
@@ -52,7 +72,29 @@ pub fn generate(testbed: &Testbed, seed: u64) -> PassiveDataset {
                 let observation = cache
                     .entry(key)
                     .or_insert_with(|| {
-                        drive_one(testbed, device, dest_idx, month, &mut rng)
+                        let mut tries = 0;
+                        loop {
+                            let fault_key = format!(
+                                "capture/{}/{}/{}/try{}",
+                                device.spec.name,
+                                device.spec.destinations[dest_idx].hostname,
+                                month,
+                                tries
+                            );
+                            let faults = plan.session_faults(&fault_key);
+                            let result =
+                                drive_one(testbed, device, dest_idx, month, &mut rng, &faults);
+                            if result.observation.is_none() {
+                                // Cut before a parseable ClientHello:
+                                // count it, don't just drop it.
+                                truncated += 1;
+                            }
+                            if result.tainted() && tries + 1 < CAPTURE_RETRIES {
+                                tries += 1;
+                                continue;
+                            }
+                            break result.observation;
+                        }
                     })
                     .clone();
                 let Some(mut obs) = observation else {
@@ -98,17 +140,22 @@ pub fn generate(testbed: &Testbed, seed: u64) -> PassiveDataset {
             }
         }
     }
+    dataset.truncated = truncated;
     dataset
 }
 
-/// Drives one real handshake for (device, destination) in `month`.
+/// Drives one real handshake for (device, destination) in `month`,
+/// through a link conditioner applying `faults`. The handshake
+/// randomness is keyed by (hostname, month) only, so re-drives of a
+/// faulted session replay identical bytes.
 fn drive_one(
     testbed: &Testbed,
     device: &DeviceSetup,
     dest_idx: usize,
     month: Month,
     rng: &mut Drbg,
-) -> Option<TlsObservation> {
+    faults: &SessionFaults,
+) -> SessionResult {
     let dest = &device.spec.destinations[dest_idx];
     let client_cfg = testbed.client_config_for(device, dest, month);
     let server_cfg = testbed.server_config(dest);
@@ -124,7 +171,11 @@ fn drive_one(
         rng.fork(&format!("server/{}/{}", dest.hostname, month)),
     );
     let payload = dest.payload.clone().unwrap_or_else(|| "ping".into());
-    let result = drive_session(
+    let mut conditioner = LinkConditioner::new(SessionFaults {
+        ops: faults.ops.clone(),
+        dns: None,
+    });
+    drive_session_faulted(
         client,
         server,
         SessionParams {
@@ -135,8 +186,8 @@ fn drive_one(
             device: &device.spec.name,
             destination: &dest.hostname,
         },
-    );
-    result.observation
+        &mut conditioner,
+    )
 }
 
 #[cfg(test)]

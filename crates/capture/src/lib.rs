@@ -12,13 +12,14 @@
 
 pub mod dataset;
 pub mod generate;
+pub mod json;
 pub mod serialize;
 pub mod timeline;
 
 pub use dataset::{
     DatasetStats, PassiveDataset, RevocationFlow, RevocationKind, WeightedObservation,
 };
-pub use generate::generate;
+pub use generate::{generate, generate_with_faults};
 pub use timeline::{build_timeline, StudyEvent};
 pub use serialize::{from_json, to_json, DatasetFile, ObservationRecord, RevocationRecord};
 

@@ -1,18 +1,19 @@
 //! Dataset (de)serialization — the "publicly available longitudinal
-//! TLS handshake data" deliverable, in JSON.
+//! TLS handshake data" deliverable, in JSON (via the crate's own
+//! dependency-free [`crate::json`] codec).
 
 use crate::dataset::{
     PassiveDataset, RevocationFlow, RevocationKind, WeightedObservation,
 };
+use crate::json::Json;
 use iotls_simnet::TlsObservation;
 use iotls_tls::alert::AlertDescription;
 use iotls_tls::fingerprint::FingerprintId;
 use iotls_tls::version::ProtocolVersion;
 use iotls_x509::Timestamp;
-use serde::{Deserialize, Serialize};
 
 /// Serializable mirror of one weighted observation.
-#[derive(Debug, Serialize, Deserialize, PartialEq)]
+#[derive(Debug, PartialEq)]
 pub struct ObservationRecord {
     /// Unix seconds.
     pub time: i64,
@@ -49,7 +50,7 @@ pub struct ObservationRecord {
 }
 
 /// Serializable revocation flow.
-#[derive(Debug, Serialize, Deserialize, PartialEq)]
+#[derive(Debug, PartialEq)]
 pub struct RevocationRecord {
     /// Unix seconds.
     pub time: i64,
@@ -64,12 +65,14 @@ pub struct RevocationRecord {
 }
 
 /// Serializable dataset.
-#[derive(Debug, Serialize, Deserialize, Default)]
+#[derive(Debug, Default)]
 pub struct DatasetFile {
     /// Observations.
     pub observations: Vec<ObservationRecord>,
     /// Revocation flows.
     pub revocation_flows: Vec<RevocationRecord>,
+    /// Truncated-capture count (absent in older files).
+    pub truncated: u64,
 }
 
 fn fp_from_hex(s: &str) -> Option<FingerprintId> {
@@ -81,6 +84,21 @@ fn fp_from_hex(s: &str) -> Option<FingerprintId> {
         out[i] = u8::from_str_radix(&s[i * 2..i * 2 + 2], 16).ok()?;
     }
     Some(FingerprintId(out))
+}
+
+fn opt_str(v: &Json) -> Option<Option<String>> {
+    match v {
+        Json::Null => Some(None),
+        Json::Str(s) => Some(Some(s.clone())),
+        _ => None,
+    }
+}
+
+fn opt_u16(v: &Json) -> Option<Option<u16>> {
+    match v {
+        Json::Null => Some(None),
+        other => other.as_u16().map(Some),
+    }
 }
 
 impl From<&WeightedObservation> for ObservationRecord {
@@ -108,6 +126,80 @@ impl From<&WeightedObservation> for ObservationRecord {
 }
 
 impl ObservationRecord {
+    fn to_value(&self) -> Json {
+        Json::Obj(vec![
+            ("time".into(), self.time.into()),
+            ("device".into(), self.device.as_str().into()),
+            ("destination".into(), self.destination.as_str().into()),
+            ("sni".into(), self.sni.as_deref().into()),
+            (
+                "advertised_versions".into(),
+                self.advertised_versions.iter().copied().collect(),
+            ),
+            (
+                "offered_suites".into(),
+                self.offered_suites.iter().copied().collect(),
+            ),
+            ("requested_ocsp".into(), self.requested_ocsp.into()),
+            ("fingerprint".into(), self.fingerprint.as_str().into()),
+            ("negotiated_version".into(), self.negotiated_version.into()),
+            ("negotiated_suite".into(), self.negotiated_suite.into()),
+            ("ocsp_stapled".into(), self.ocsp_stapled.into()),
+            ("leaf_issuer".into(), self.leaf_issuer.as_deref().into()),
+            ("established".into(), self.established.into()),
+            (
+                "alerts_from_client".into(),
+                self.alerts_from_client.iter().copied().collect(),
+            ),
+            (
+                "alerts_from_server".into(),
+                self.alerts_from_server.iter().copied().collect(),
+            ),
+            ("count".into(), self.count.into()),
+        ])
+    }
+
+    fn from_value(v: &Json) -> Option<ObservationRecord> {
+        Some(ObservationRecord {
+            time: v.get("time")?.as_i64()?,
+            device: v.get("device")?.as_str()?.to_string(),
+            destination: v.get("destination")?.as_str()?.to_string(),
+            sni: opt_str(v.get("sni")?)?,
+            advertised_versions: v
+                .get("advertised_versions")?
+                .as_arr()?
+                .iter()
+                .map(Json::as_u16)
+                .collect::<Option<_>>()?,
+            offered_suites: v
+                .get("offered_suites")?
+                .as_arr()?
+                .iter()
+                .map(Json::as_u16)
+                .collect::<Option<_>>()?,
+            requested_ocsp: v.get("requested_ocsp")?.as_bool()?,
+            fingerprint: v.get("fingerprint")?.as_str()?.to_string(),
+            negotiated_version: opt_u16(v.get("negotiated_version")?)?,
+            negotiated_suite: opt_u16(v.get("negotiated_suite")?)?,
+            ocsp_stapled: v.get("ocsp_stapled")?.as_bool()?,
+            leaf_issuer: opt_str(v.get("leaf_issuer")?)?,
+            established: v.get("established")?.as_bool()?,
+            alerts_from_client: v
+                .get("alerts_from_client")?
+                .as_arr()?
+                .iter()
+                .map(Json::as_u8)
+                .collect::<Option<_>>()?,
+            alerts_from_server: v
+                .get("alerts_from_server")?
+                .as_arr()?
+                .iter()
+                .map(Json::as_u8)
+                .collect::<Option<_>>()?,
+            count: v.get("count")?.as_u64()?,
+        })
+    }
+
     /// Converts back to the in-memory form. Returns `None` for
     /// malformed records (unknown versions, bad fingerprints).
     pub fn to_weighted(&self) -> Option<WeightedObservation> {
@@ -153,53 +245,97 @@ impl ObservationRecord {
     }
 }
 
+impl RevocationRecord {
+    fn to_value(&self) -> Json {
+        Json::Obj(vec![
+            ("time".into(), self.time.into()),
+            ("device".into(), self.device.as_str().into()),
+            ("kind".into(), self.kind.as_str().into()),
+            ("url".into(), self.url.as_str().into()),
+            ("count".into(), self.count.into()),
+        ])
+    }
+
+    fn from_value(v: &Json) -> Option<RevocationRecord> {
+        Some(RevocationRecord {
+            time: v.get("time")?.as_i64()?,
+            device: v.get("device")?.as_str()?.to_string(),
+            kind: v.get("kind")?.as_str()?.to_string(),
+            url: v.get("url")?.as_str()?.to_string(),
+            count: v.get("count")?.as_u64()?,
+        })
+    }
+}
+
 /// Serializes a dataset to JSON.
 pub fn to_json(dataset: &PassiveDataset) -> String {
-    let file = DatasetFile {
-        observations: dataset.observations.iter().map(Into::into).collect(),
-        revocation_flows: dataset
-            .revocation_flows
-            .iter()
-            .map(|f| RevocationRecord {
-                time: f.time.0,
-                device: f.device.clone(),
-                kind: match f.kind {
-                    RevocationKind::CrlFetch => "crl".into(),
-                    RevocationKind::OcspQuery => "ocsp".into(),
-                },
-                url: f.url.clone(),
-                count: f.count,
-            })
-            .collect(),
-    };
-    serde_json::to_string(&file).expect("dataset serializes")
+    let observations: Vec<ObservationRecord> =
+        dataset.observations.iter().map(Into::into).collect();
+    let revocation_flows: Vec<RevocationRecord> = dataset
+        .revocation_flows
+        .iter()
+        .map(|f| RevocationRecord {
+            time: f.time.0,
+            device: f.device.clone(),
+            kind: match f.kind {
+                RevocationKind::CrlFetch => "crl".into(),
+                RevocationKind::OcspQuery => "ocsp".into(),
+            },
+            url: f.url.clone(),
+            count: f.count,
+        })
+        .collect();
+    Json::Obj(vec![
+        (
+            "observations".into(),
+            observations.iter().map(|r| r.to_value()).collect(),
+        ),
+        (
+            "revocation_flows".into(),
+            revocation_flows.iter().map(|r| r.to_value()).collect(),
+        ),
+        ("truncated".into(), dataset.truncated.into()),
+    ])
+    .encode()
 }
 
 /// Parses a dataset from JSON. Returns `None` on malformed input.
 pub fn from_json(json: &str) -> Option<PassiveDataset> {
-    let file: DatasetFile = serde_json::from_str(json).ok()?;
-    let observations: Option<Vec<WeightedObservation>> =
-        file.observations.iter().map(|r| r.to_weighted()).collect();
-    let revocation_flows: Option<Vec<RevocationFlow>> = file
-        .revocation_flows
+    let root = Json::parse(json)?;
+    let observations: Option<Vec<WeightedObservation>> = root
+        .get("observations")?
+        .as_arr()?
         .iter()
-        .map(|r| {
+        .map(|v| ObservationRecord::from_value(v)?.to_weighted())
+        .collect();
+    let revocation_flows: Option<Vec<RevocationFlow>> = root
+        .get("revocation_flows")?
+        .as_arr()?
+        .iter()
+        .map(|v| {
+            let r = RevocationRecord::from_value(v)?;
             Some(RevocationFlow {
                 time: Timestamp(r.time),
-                device: r.device.clone(),
+                device: r.device,
                 kind: match r.kind.as_str() {
                     "crl" => RevocationKind::CrlFetch,
                     "ocsp" => RevocationKind::OcspQuery,
                     _ => return None,
                 },
-                url: r.url.clone(),
+                url: r.url,
                 count: r.count,
             })
         })
         .collect();
+    // Older files predate the truncated counter; treat absent as 0.
+    let truncated = match root.get("truncated") {
+        Some(v) => v.as_u64()?,
+        None => 0,
+    };
     Some(PassiveDataset {
         observations: observations?,
         revocation_flows: revocation_flows?,
+        truncated,
     })
 }
 
@@ -248,6 +384,7 @@ mod tests {
                 url: "http://ocsp.example".into(),
                 count: 7,
             }],
+            truncated: 3,
         }
     }
 
@@ -266,12 +403,21 @@ mod tests {
         assert_eq!(a.observation.negotiated_version, b.observation.negotiated_version);
         assert_eq!(back.revocation_flows.len(), 1);
         assert_eq!(back.revocation_flows[0].kind, RevocationKind::OcspQuery);
+        assert_eq!(back.truncated, 3);
     }
 
     #[test]
     fn malformed_json_rejected() {
         assert!(from_json("not json").is_none());
         assert!(from_json("{\"observations\": [{\"bad\": true}]}").is_none());
+    }
+
+    #[test]
+    fn missing_truncated_defaults_to_zero() {
+        let ds = PassiveDataset::default();
+        let json = to_json(&ds).replace(",\"truncated\":0", "");
+        let back = from_json(&json).unwrap();
+        assert_eq!(back.truncated, 0);
     }
 
     #[test]

@@ -8,8 +8,9 @@
 //! previously-failed connections to surface follow-up hostnames.
 
 use crate::attacker::InterceptPolicy;
-use crate::lab::ActiveLab;
+use crate::lab::{ActiveLab, FaultStats};
 use iotls_devices::Testbed;
+use iotls_simnet::FaultPlan;
 use std::collections::BTreeSet;
 
 /// Sensitive-content markers the paper quotes from intercepted
@@ -54,6 +55,9 @@ pub struct InterceptionReport {
     /// TrafficPassthrough across devices that surfaced any (§4.2
     /// reports ≈20.4%).
     pub passthrough_extra_hostnames_pct: f64,
+    /// Fault/recovery counters aggregated across every lab the audit
+    /// spun up. All zeros outside chaos runs.
+    pub fault_stats: FaultStats,
 }
 
 impl InterceptionReport {
@@ -94,6 +98,12 @@ fn attack_device(
         let outcomes = lab.boot_and_connect(device, Some(policy));
         for o in &outcomes {
             observed.insert(o.destination.clone());
+            if o.result.tainted() {
+                // An unhealed network fault says nothing about the
+                // device's validation behavior — never mint a verdict
+                // from it.
+                continue;
+            }
             if o.intercepted && o.result.established {
                 compromised.insert(o.destination.clone());
                 let plaintext = String::from_utf8_lossy(&o.result.server_received);
@@ -110,8 +120,22 @@ fn attack_device(
 
 /// Runs the full Table 7 audit over the active devices.
 pub fn run_interception_audit(testbed: &Testbed, seed: u64) -> InterceptionReport {
+    run_interception_audit_with(testbed, seed, FaultPlan::none())
+}
+
+/// Runs the Table 7 audit under an injected-fault schedule. Faulted
+/// connections recover inside the lab (inline re-dials plus boot-level
+/// reconnects); any outcome still tainted after the budget is excluded
+/// from vulnerability verdicts — a dropped connection is not evidence
+/// that a device declined an attack.
+pub fn run_interception_audit_with(
+    testbed: &Testbed,
+    seed: u64,
+    plan: FaultPlan,
+) -> InterceptionReport {
     let mut rows = Vec::new();
     let mut passthrough_gains = Vec::new();
+    let mut fault_stats = FaultStats::default();
 
     for device in testbed.devices.iter().filter(|d| d.spec.in_active) {
         // Fresh lab per device per attack so the Yi quirk and boot
@@ -126,7 +150,7 @@ pub fn run_interception_audit(testbed: &Testbed, seed: u64) -> InterceptionRepor
             InterceptPolicy::WrongHostname,
         ];
         for (i, policy) in policies.iter().enumerate() {
-            let mut lab = ActiveLab::new(testbed, seed ^ (i as u64) << 8);
+            let mut lab = ActiveLab::with_faults(testbed, seed ^ (i as u64) << 8, plan);
             let (compromised, attack_leaks, seen) =
                 attack_device(&mut lab, &device.spec.name, policy);
             flags[i] = !compromised.is_empty();
@@ -159,6 +183,9 @@ pub fn run_interception_audit(testbed: &Testbed, seed: u64) -> InterceptionRepor
                 let outcomes = lab.boot_and_connect(device, Some(policy));
                 for o in &outcomes {
                     observed.insert(o.destination.clone());
+                    if o.result.tainted() {
+                        continue;
+                    }
                     if o.intercepted && o.result.established {
                         vulnerable.insert(o.destination.clone());
                         flags[i] = true;
@@ -172,6 +199,7 @@ pub fn run_interception_audit(testbed: &Testbed, seed: u64) -> InterceptionRepor
             if i == 0 && before > 0 && after > before {
                 passthrough_gains.push((after - before) as f64 / before as f64 * 100.0);
             }
+            fault_stats.merge(&lab.fault_stats());
         }
 
         rows.push(InterceptionRow {
@@ -194,6 +222,7 @@ pub fn run_interception_audit(testbed: &Testbed, seed: u64) -> InterceptionRepor
     InterceptionReport {
         rows,
         passthrough_extra_hostnames_pct,
+        fault_stats,
     }
 }
 

@@ -8,8 +8,9 @@
 //! never reads device configuration.
 
 use crate::attacker::InterceptPolicy;
-use crate::lab::ActiveLab;
+use crate::lab::{ActiveLab, FaultStats};
 use iotls_devices::Testbed;
+use iotls_simnet::FaultPlan;
 use iotls_tls::ciphersuite;
 use iotls_tls::client::HandshakeFailure;
 use iotls_tls::extension::sig_scheme;
@@ -105,7 +106,21 @@ pub fn classify_downgrade(first: &ClientHello, retry: &ClientHello) -> Option<Do
 /// Runs the Table 5 experiment: every active device, every boot
 /// destination, under both failure modes.
 pub fn run_downgrade_probe(testbed: &Testbed, seed: u64) -> Vec<DowngradeRow> {
+    run_downgrade_probe_with(testbed, seed, FaultPlan::none()).0
+}
+
+/// Runs the Table 5 experiment under an injected-fault schedule,
+/// returning the rows plus the aggregated fault/recovery counters. An
+/// outcome still tainted after the lab's retry budget never mints a
+/// downgrade verdict: a retry forced by a network fault is not a
+/// device fallback decision.
+pub fn run_downgrade_probe_with(
+    testbed: &Testbed,
+    seed: u64,
+    plan: FaultPlan,
+) -> (Vec<DowngradeRow>, FaultStats) {
     let mut rows = Vec::new();
+    let mut fault_stats = FaultStats::default();
     for device in testbed.devices.iter().filter(|d| d.spec.in_active) {
         let mut on_failed = false;
         let mut on_incomplete = false;
@@ -117,7 +132,7 @@ pub fn run_downgrade_probe(testbed: &Testbed, seed: u64) -> Vec<DowngradeRow> {
             .iter()
             .enumerate()
         {
-            let mut lab = ActiveLab::new(testbed, seed ^ (mode_idx as u64) << 16);
+            let mut lab = ActiveLab::with_faults(testbed, seed ^ (mode_idx as u64) << 16, plan);
             let dev = lab.testbed.device(&device.spec.name);
             if mode_idx == 0 {
                 total = dev.spec.boot_destinations().len();
@@ -131,6 +146,9 @@ pub fn run_downgrade_probe(testbed: &Testbed, seed: u64) -> Vec<DowngradeRow> {
                 }
             }
             for o in &outcomes {
+                if o.result.tainted() {
+                    continue;
+                }
                 let Some(retry) = &o.retry_hello else {
                     continue;
                 };
@@ -144,6 +162,7 @@ pub fn run_downgrade_probe(testbed: &Testbed, seed: u64) -> Vec<DowngradeRow> {
                     kind.get_or_insert(k);
                 }
             }
+            fault_stats.merge(&lab.fault_stats());
         }
 
         if let Some(kind) = kind {
@@ -157,7 +176,7 @@ pub fn run_downgrade_probe(testbed: &Testbed, seed: u64) -> Vec<DowngradeRow> {
             });
         }
     }
-    rows
+    (rows, fault_stats)
 }
 
 /// One device's Table 6 row: which old versions it will negotiate.
@@ -184,6 +203,11 @@ fn accepts_version(lab: &mut ActiveLab<'_>, device_name: &str, v: ProtocolVersio
             continue;
         }
         return outcomes.iter().any(|o| {
+            if o.result.tainted() {
+                // A faulted session proves nothing about version
+                // support either way.
+                return false;
+            }
             if o.result.established {
                 return true;
             }
@@ -201,12 +225,25 @@ fn accepts_version(lab: &mut ActiveLab<'_>, device_name: &str, v: ProtocolVersio
 
 /// Runs the Table 6 scan over every active device.
 pub fn run_old_version_scan(testbed: &Testbed, seed: u64) -> Vec<OldVersionRow> {
+    run_old_version_scan_with(testbed, seed, FaultPlan::none()).0
+}
+
+/// Runs the Table 6 scan under an injected-fault schedule, returning
+/// the rows plus the aggregated fault/recovery counters.
+pub fn run_old_version_scan_with(
+    testbed: &Testbed,
+    seed: u64,
+    plan: FaultPlan,
+) -> (Vec<OldVersionRow>, FaultStats) {
     let mut rows = Vec::new();
+    let mut fault_stats = FaultStats::default();
     for device in testbed.devices.iter().filter(|d| d.spec.in_active) {
-        let mut lab10 = ActiveLab::new(testbed, seed ^ 0x10);
+        let mut lab10 = ActiveLab::with_faults(testbed, seed ^ 0x10, plan);
         let tls10 = accepts_version(&mut lab10, &device.spec.name, ProtocolVersion::Tls10);
-        let mut lab11 = ActiveLab::new(testbed, seed ^ 0x11);
+        fault_stats.merge(&lab10.fault_stats());
+        let mut lab11 = ActiveLab::with_faults(testbed, seed ^ 0x11, plan);
         let tls11 = accepts_version(&mut lab11, &device.spec.name, ProtocolVersion::Tls11);
+        fault_stats.merge(&lab11.fault_stats());
         if tls10 || tls11 {
             rows.push(OldVersionRow {
                 device: device.spec.name.clone(),
@@ -215,7 +252,7 @@ pub fn run_old_version_scan(testbed: &Testbed, seed: u64) -> Vec<OldVersionRow> 
             });
         }
     }
-    rows
+    (rows, fault_stats)
 }
 
 #[cfg(test)]

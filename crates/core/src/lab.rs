@@ -11,11 +11,72 @@ use crate::attacker::{Attacker, InterceptPolicy};
 use iotls_crypto::drbg::Drbg;
 use iotls_devices::spec::Destination;
 use iotls_devices::{apply_fallback, client_config, DeviceSetup, Testbed};
-use iotls_simnet::{drive_session, SessionParams, SessionResult};
+use iotls_simnet::{
+    drive_session_faulted, DnsTable, FailureCause, FaultPlan, InjectedFault, LinkConditioner,
+    SessionFaults, SessionParams, SessionResult,
+};
 use iotls_tls::client::{ClientConnection, HandshakeFailure};
 use iotls_tls::fingerprint::Fingerprint;
 use iotls_x509::{Timestamp, ValidationPolicy};
 use std::collections::{BTreeSet, HashMap};
+
+/// How many times one logical attempt transparently re-dials after a
+/// fault that a plain reconnect can heal (reset, garble, stall, DNS).
+const INLINE_RETRY_BUDGET: usize = 6;
+
+/// How many times the boot-level recovery reconnects after a fault
+/// that re-dialing alone cannot heal (mid-handshake power loss).
+const RECONNECT_BUDGET: usize = 4;
+
+/// Counters for injected faults and the recovery work they caused.
+/// All zeros outside chaos runs.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FaultStats {
+    /// Connection resets that fired.
+    pub resets: u64,
+    /// Garbled fragments that fired.
+    pub garbles: u64,
+    /// Stalls that fired (sessions wedged into the round budget).
+    pub stalls: u64,
+    /// Mid-handshake power cycles that fired.
+    pub power_cycles: u64,
+    /// Injected DNS failures (NXDOMAIN or resolver timeout).
+    pub dns_failures: u64,
+    /// Transparent re-dials inside a single logical attempt.
+    pub inline_retries: u64,
+    /// Boot-level reconnects after an unhealed (power-cycle) taint.
+    pub reconnects: u64,
+    /// Sessions whose final outcome was clean after at least one
+    /// faulted try.
+    pub recovered: u64,
+    /// Sessions still tainted after the full retry budget.
+    pub unrecovered: u64,
+    /// Virtual seconds spent in retry backoff. Deliberately *not*
+    /// added to the lab clock: the probe timestamp feeds certificate
+    /// validity and must stay identical to a fault-free run.
+    pub backoff_virtual_secs: u64,
+}
+
+impl FaultStats {
+    /// Total faults that actually fired, across every class.
+    pub fn injected_total(&self) -> u64 {
+        self.resets + self.garbles + self.stalls + self.power_cycles + self.dns_failures
+    }
+
+    /// Field-wise accumulation (for aggregating across labs).
+    pub fn merge(&mut self, other: &FaultStats) {
+        self.resets += other.resets;
+        self.garbles += other.garbles;
+        self.stalls += other.stalls;
+        self.power_cycles += other.power_cycles;
+        self.dns_failures += other.dns_failures;
+        self.inline_retries += other.inline_retries;
+        self.reconnects += other.reconnects;
+        self.recovered += other.recovered;
+        self.unrecovered += other.unrecovered;
+        self.backoff_virtual_secs += other.backoff_virtual_secs;
+    }
+}
 
 /// Mutable per-device state that persists across boots.
 #[derive(Debug, Default)]
@@ -59,23 +120,54 @@ pub struct ActiveLab<'a> {
     states: HashMap<String, DeviceState>,
     rng: Drbg,
     now: Timestamp,
+    plan: FaultPlan,
+    dns: DnsTable,
+    stats: FaultStats,
+    /// Monotone per-lab attempt counter; keys the fault schedule so
+    /// every re-dial draws a fresh fault decision.
+    attempt_seq: u64,
 }
 
 impl<'a> ActiveLab<'a> {
     /// Sets up the lab at probe time (March 2021).
     pub fn new(testbed: &'a Testbed, seed: u64) -> ActiveLab<'a> {
+        Self::with_faults(testbed, seed, FaultPlan::none())
+    }
+
+    /// Sets up the lab with an injected-fault schedule (chaos runs).
+    pub fn with_faults(testbed: &'a Testbed, seed: u64, plan: FaultPlan) -> ActiveLab<'a> {
+        let mut dns = DnsTable::new();
+        for device in &testbed.devices {
+            for dest in &device.spec.destinations {
+                dns.register(&dest.hostname);
+            }
+        }
         ActiveLab {
             testbed,
             attacker: Attacker::new(testbed.pki, seed),
             states: HashMap::new(),
             rng: Drbg::from_seed(seed).fork("active-lab"),
             now: iotls_rootstore::probe_time(),
+            plan,
+            dns,
+            stats: FaultStats::default(),
+            attempt_seq: 0,
         }
     }
 
     /// The probe-time clock.
     pub fn now(&self) -> Timestamp {
         self.now
+    }
+
+    /// Fault/recovery counters accumulated so far.
+    pub fn fault_stats(&self) -> FaultStats {
+        self.stats
+    }
+
+    /// The lab's DNS view (registry plus per-device query log).
+    pub fn dns(&self) -> &DnsTable {
+        &self.dns
     }
 
     /// Mutable state for a device.
@@ -116,15 +208,22 @@ impl<'a> ActiveLab<'a> {
             self.attempt(device, dest, instance, effective_policy, false);
         let first_fp = Fingerprint::from_client_hello(&first_hello).id();
 
-        // Device-side failure bookkeeping.
+        // Device-side failure bookkeeping. A fault-tainted attempt is
+        // a *network* artifact, not a device verdict: it must neither
+        // advance the give-up counter nor trigger the device's
+        // fallback (a reset mid-handshake would otherwise be
+        // indistinguishable from a muted server).
+        let tainted = first.tainted();
         let failed = !first.established;
-        self.note_outcome(device, failed);
+        if !tainted {
+            self.note_outcome(device, failed);
+        }
 
         // Fallback retry: the device reconnects with a weaker
         // configuration when its trigger matches the failure mode.
         let mut retry_hello = None;
         let mut result = first;
-        if failed {
+        if failed && !tainted {
             if let Some(fb) = &instance.fallback {
                 let incomplete = result.client_summary.version.is_none()
                     && result.client_summary.failure.is_none();
@@ -138,7 +237,9 @@ impl<'a> ActiveLab<'a> {
                 if triggered {
                     let (second, hello) =
                         self.attempt(device, dest, instance, effective_policy, true);
-                    self.note_outcome(device, !second.established);
+                    if !second.tainted() {
+                        self.note_outcome(device, !second.established);
+                    }
                     retry_hello = Some(hello);
                     result = second;
                 }
@@ -155,7 +256,16 @@ impl<'a> ActiveLab<'a> {
         }
     }
 
-    /// One raw attempt; `fallback` selects the downgraded config.
+    /// One logical attempt; `fallback` selects the downgraded config.
+    ///
+    /// Under a fault plan, an attempt whose session was killed by a
+    /// reset, garble, stall, or DNS failure transparently re-dials
+    /// (fresh fault draw, *same* handshake randomness — the client's
+    /// DRBG key does not include the try index) up to
+    /// [`INLINE_RETRY_BUDGET`] times, accumulating virtual backoff in
+    /// the stats rather than advancing the lab clock. A mid-handshake
+    /// power loss is not re-dialed here: the device is down, and
+    /// recovery is the caller's (boot-level) job.
     fn attempt(
         &mut self,
         device: &DeviceSetup,
@@ -169,37 +279,117 @@ impl<'a> ActiveLab<'a> {
         } else {
             instance.clone()
         };
-        let mut cfg = client_config(&spec, device.truth.store.clone());
-        if self.state(&device.spec.name).validation_disabled {
-            cfg.validation_policy = ValidationPolicy::no_validation();
-        }
-        let server_cfg = match policy {
-            Some(p) => self.attacker.server_config(p, &dest.hostname),
-            None => self.testbed.server_config(dest),
-        };
+        let validation_disabled = self.state(&device.spec.name).validation_disabled;
         let boot_count = self.state(&device.spec.name).boot_count;
-        let client_rng = self.rng.fork(&format!(
+        let conn_key = format!(
             "conn/{}/{}/{}/{}",
             device.spec.name, dest.hostname, boot_count, fallback
-        ));
-        let server_rng = client_rng.fork("server");
-        let client = ClientConnection::new(cfg, &dest.hostname, self.now, client_rng);
-        let hello = client.build_client_hello();
-        let server = iotls_tls::ServerConnection::new(server_cfg, server_rng);
-        let payload = dest.payload.clone().unwrap_or_else(|| "ping".into());
-        let result = drive_session(
-            client,
-            server,
-            SessionParams {
-                client_payload: Some(payload.as_bytes()),
-                server_payload: Some(b"ok"),
-                tap: true,
-                time: self.now,
-                device: &device.spec.name,
-                destination: &dest.hostname,
-            },
         );
-        (result, hello)
+
+        let mut faulted_tries = 0u64;
+        let mut last: Option<(SessionResult, iotls_tls::ClientHello)> = None;
+        for try_idx in 0..INLINE_RETRY_BUDGET {
+            let seq = self.attempt_seq;
+            self.attempt_seq += 1;
+            let faults = self.plan.session_faults(&format!("{conn_key}/try{seq}"));
+
+            let mut cfg = client_config(&spec, device.truth.store.clone());
+            if validation_disabled {
+                cfg.validation_policy = ValidationPolicy::no_validation();
+            }
+            let client_rng = self.rng.fork(&conn_key);
+            let server_rng = client_rng.fork("server");
+            let client = ClientConnection::new(cfg, &dest.hostname, self.now, client_rng);
+            let hello = client.build_client_hello();
+
+            // Name resolution precedes the connection; an injected
+            // DNS fault aborts this try before any bytes flow.
+            let resolution =
+                self.dns
+                    .resolve_faulted(self.now, &device.spec.name, &dest.hostname, faults.dns);
+            if resolution.faulted() {
+                self.stats.dns_failures += 1;
+                faulted_tries += 1;
+                let kind = faults.dns.expect("faulted resolution implies a DNS fault");
+                last = Some((
+                    SessionResult {
+                        client_summary: client.summary(),
+                        established: false,
+                        failure: Some(FailureCause::DnsFailure),
+                        faults: vec![InjectedFault::Dns { kind }],
+                        server_received: Vec::new(),
+                        client_received: Vec::new(),
+                        observation: None,
+                        bytes_c2s: 0,
+                        bytes_s2c: 0,
+                    },
+                    hello,
+                ));
+                if try_idx + 1 == INLINE_RETRY_BUDGET {
+                    break;
+                }
+                self.stats.inline_retries += 1;
+                self.stats.backoff_virtual_secs += 1 << try_idx;
+                continue;
+            }
+
+            let server_cfg = match policy {
+                Some(p) => self.attacker.server_config(p, &dest.hostname),
+                None => self.testbed.server_config(dest),
+            };
+            let server = iotls_tls::ServerConnection::new(server_cfg, server_rng);
+            let payload = dest.payload.clone().unwrap_or_else(|| "ping".into());
+            let mut conditioner = LinkConditioner::new(SessionFaults {
+                ops: faults.ops.clone(),
+                dns: None,
+            });
+            let result = drive_session_faulted(
+                client,
+                server,
+                SessionParams {
+                    client_payload: Some(payload.as_bytes()),
+                    server_payload: Some(b"ok"),
+                    tap: true,
+                    time: self.now,
+                    device: &device.spec.name,
+                    destination: &dest.hostname,
+                },
+                &mut conditioner,
+            );
+            self.count_injected(&result.faults);
+            let tainted = result.tainted();
+            let power_cycled = result
+                .faults
+                .iter()
+                .any(|f| matches!(f, InjectedFault::PowerCycle { .. }));
+            last = Some((result, hello));
+            if !tainted {
+                if faulted_tries > 0 {
+                    self.stats.recovered += 1;
+                }
+                break;
+            }
+            faulted_tries += 1;
+            if power_cycled || try_idx + 1 == INLINE_RETRY_BUDGET {
+                break;
+            }
+            self.stats.inline_retries += 1;
+            self.stats.backoff_virtual_secs += 1 << try_idx;
+        }
+        last.expect("at least one try ran")
+    }
+
+    /// Tallies conditioner-fired faults into the lab counters.
+    fn count_injected(&mut self, faults: &[InjectedFault]) {
+        for f in faults {
+            match f {
+                InjectedFault::Reset { .. } => self.stats.resets += 1,
+                InjectedFault::Garble { .. } => self.stats.garbles += 1,
+                InjectedFault::Stall { .. } => self.stats.stalls += 1,
+                InjectedFault::PowerCycle { .. } => self.stats.power_cycles += 1,
+                InjectedFault::Dns { .. } => self.stats.dns_failures += 1,
+            }
+        }
     }
 
     /// Updates the consecutive-failure counter and the Yi quirk.
@@ -218,10 +408,44 @@ impl<'a> ActiveLab<'a> {
         }
     }
 
+    /// [`Self::connect`] with recovery: when the outcome is tainted by
+    /// an injected fault that re-dialing inside the attempt could not
+    /// heal (a mid-handshake power loss, or an exhausted inline
+    /// budget), waits out a virtual backoff and reconnects, up to
+    /// [`RECONNECT_BUDGET`] times. The reconnect re-runs the full
+    /// device connection logic — same boot count, same handshake
+    /// randomness — so a recovered outcome is exactly what a
+    /// fault-free run would have measured.
+    pub fn connect_recovering(
+        &mut self,
+        device: &DeviceSetup,
+        dest: &Destination,
+        policy: Option<&InterceptPolicy>,
+    ) -> ConnectionOutcome {
+        let mut outcome = self.connect(device, dest, policy);
+        let mut tries = 0;
+        while outcome.result.tainted() && tries < RECONNECT_BUDGET {
+            tries += 1;
+            self.stats.reconnects += 1;
+            self.stats.backoff_virtual_secs += 2 << tries;
+            outcome = self.connect(device, dest, policy);
+        }
+        if tries > 0 {
+            if outcome.result.tainted() {
+                self.stats.unrecovered += 1;
+            } else {
+                self.stats.recovered += 1;
+            }
+        }
+        outcome
+    }
+
     /// Boots a device and drives every boot destination (passthrough
     /// destinations reach their real servers). Returns no outcomes on
     /// a flaky boot. Successful connections unlock the device's
     /// off-boot destinations (observable under TrafficPassthrough).
+    /// Each connection recovers in place from injected faults, so the
+    /// unlock decision is made from clean outcomes only.
     pub fn boot_and_connect(
         &mut self,
         device: &DeviceSetup,
@@ -233,7 +457,7 @@ impl<'a> ActiveLab<'a> {
         let mut outcomes = Vec::new();
         let mut any_success = false;
         for dest in device.spec.boot_destinations() {
-            let outcome = self.connect(device, dest, policy);
+            let outcome = self.connect_recovering(device, dest, policy);
             any_success |= outcome.result.established;
             outcomes.push(outcome);
         }
@@ -258,7 +482,7 @@ impl<'a> ActiveLab<'a> {
                 .cloned()
                 .collect();
             for dest in &followups {
-                let outcome = self.connect(device, dest, policy);
+                let outcome = self.connect_recovering(device, dest, policy);
                 outcomes.push(outcome);
             }
         }
@@ -387,5 +611,53 @@ mod tests {
         let outcomes = lab.boot_and_connect(dev, None);
         assert_eq!(outcomes.len(), dev.spec.boot_destinations().len());
         assert!(outcomes.iter().all(|o| o.result.established));
+    }
+
+    #[test]
+    fn injected_faults_recover_to_clean_outcomes() {
+        let tb = Testbed::global();
+        let plan = FaultPlan::uniform(0xFA017, 80);
+        let mut chaos = ActiveLab::with_faults(tb, 0xAB5, plan);
+        let mut clean = ActiveLab::new(tb, 0xAB5);
+        let dev = tb.device("Zmodo Doorbell");
+        for _ in 0..12 {
+            let a = chaos.boot_and_connect(dev, None);
+            let b = clean.boot_and_connect(dev, None);
+            assert_eq!(a.len(), b.len());
+            for (x, y) in a.iter().zip(&b) {
+                assert_eq!(x.destination, y.destination);
+                assert_eq!(x.result.established, y.result.established);
+                assert!(!x.result.tainted(), "unrecovered outcome");
+            }
+        }
+        let stats = chaos.fault_stats();
+        assert!(stats.injected_total() > 0, "no faults fired: {stats:?}");
+        assert!(stats.recovered > 0, "nothing recovered: {stats:?}");
+        assert_eq!(clean.fault_stats(), FaultStats::default());
+    }
+
+    #[test]
+    fn dns_faults_are_retried_and_logged() {
+        let tb = Testbed::global();
+        let plan = FaultPlan {
+            seed: 0xD15,
+            reset_pm: 0,
+            garble_pm: 0,
+            stall_pm: 0,
+            dns_fail_pm: 300,
+            power_cycle_pm: 0,
+        };
+        let mut lab = ActiveLab::with_faults(tb, 0xAB5, plan);
+        let dev = tb.device("D-Link Camera");
+        let dest = dev.spec.destinations[0].clone();
+        for _ in 0..8 {
+            let out = lab.connect_recovering(dev, &dest, None);
+            assert!(out.result.established, "DNS retry should converge");
+        }
+        let stats = lab.fault_stats();
+        assert!(stats.dns_failures > 0, "{stats:?}");
+        let log = lab.dns().log();
+        assert!(log.iter().any(|q| q.outcome.faulted()));
+        assert!(log.iter().any(|q| q.outcome.resolved()));
     }
 }

@@ -11,9 +11,10 @@
 //! the wire only; ground-truth store contents are never read.
 
 use crate::attacker::InterceptPolicy;
-use crate::lab::ActiveLab;
+use crate::lab::{ActiveLab, FaultStats};
 use iotls_devices::{canonical_probe_order, DeviceSetup, Testbed};
 use iotls_rootstore::CaId;
+use iotls_simnet::FaultPlan;
 use iotls_tls::alert::AlertDescription;
 use iotls_tls::profile::LibraryProfile;
 use iotls_x509::ValidationError;
@@ -81,6 +82,12 @@ pub struct RootProbeReport {
     pub excluded_no_validation: Vec<String>,
     /// Probed devices (amenable and not).
     pub rows: Vec<RootProbeRow>,
+    /// Fault/recovery counters aggregated across every lab this probe
+    /// spun up. All zeros outside chaos runs.
+    pub fault_stats: FaultStats,
+    /// Verdicts initially lost to injected faults and recovered by
+    /// re-probing across extra reboots.
+    pub reprobed_verdicts: usize,
 }
 
 impl RootProbeReport {
@@ -95,38 +102,62 @@ impl RootProbeReport {
     }
 }
 
+/// What one reboot-probe attempt produced.
+enum ProbeAttempt {
+    /// Flaky boot: no traffic at all.
+    NoTraffic,
+    /// An injected network fault tainted the session; the (lack of an)
+    /// alert says nothing about the device's store.
+    Faulted,
+    /// A clean session; the client's first alert, if any.
+    Alert(Option<AlertDescription>),
+}
+
 /// Intercepts only the device's *first* boot connection under
-/// `policy`, returning the alert the client sent (or `None` for no
-/// traffic / no alert — the caller distinguishes via `Option<Option>`:
-/// outer None = no traffic this boot).
-fn probe_once(
+/// `policy`. Every call consumes exactly one reboot, whether or not
+/// the session survives its injected faults — so a chaos run walks
+/// the device's flaky-boot schedule in lockstep with a clean run.
+fn probe_attempt(
     lab: &mut ActiveLab<'_>,
     device: &DeviceSetup,
     policy: &InterceptPolicy,
-) -> Option<Option<AlertDescription>> {
+) -> ProbeAttempt {
     if !lab.power_cycle(device) {
-        return None; // flaky boot: no traffic at all
+        return ProbeAttempt::NoTraffic; // flaky boot
     }
-    let first = device.spec.boot_destinations().first().cloned()?.clone();
-    let outcome = lab.connect(device, &first, Some(policy));
+    let Some(first) = device.spec.boot_destinations().first().cloned() else {
+        return ProbeAttempt::NoTraffic;
+    };
+    let dest = first.clone();
+    let outcome = lab.connect(device, &dest, Some(policy));
+    if outcome.result.tainted() {
+        return ProbeAttempt::Faulted;
+    }
     let alert = outcome
         .result
         .observation
         .as_ref()
         .and_then(|o| o.alerts_from_client.first().copied());
-    Some(alert)
+    ProbeAttempt::Alert(alert)
 }
 
-/// Repeats `probe_once` across flaky boots up to `tries` times.
+/// Repeats the probe across flaky boots up to `tries` times. Attempts
+/// lost to injected faults don't count against the flaky-boot budget,
+/// but total reboots are bounded at `2 * tries`.
 fn probe_retrying(
     lab: &mut ActiveLab<'_>,
     device: &DeviceSetup,
     policy: &InterceptPolicy,
     tries: u32,
 ) -> Option<Option<AlertDescription>> {
-    for _ in 0..tries {
-        if let Some(alert) = probe_once(lab, device, policy) {
-            return Some(alert);
+    let mut no_traffic = 0;
+    let mut total = 0;
+    while no_traffic < tries && total < tries * 2 {
+        total += 1;
+        match probe_attempt(lab, device, policy) {
+            ProbeAttempt::Alert(alert) => return Some(alert),
+            ProbeAttempt::Faulted => {}
+            ProbeAttempt::NoTraffic => no_traffic += 1,
         }
     }
     None
@@ -134,11 +165,26 @@ fn probe_retrying(
 
 /// Runs the full root-store exploration over the testbed.
 pub fn run_root_probe(testbed: &Testbed, seed: u64) -> RootProbeReport {
+    run_root_probe_with(testbed, seed, FaultPlan::none())
+}
+
+/// Runs the root-store exploration under an injected-fault schedule.
+///
+/// Fault-tainted probes are provisionally inconclusive; after the main
+/// verdict pass, those certificates are re-probed across extra
+/// simulated reboots under a bounded retry budget. The extra reboots
+/// come *after* the full pass so the main pass's alignment with the
+/// device's flaky-boot schedule is untouched, and alert identity does
+/// not depend on the boot index — a recovered verdict is exactly what
+/// a fault-free run measures.
+pub fn run_root_probe_with(testbed: &Testbed, seed: u64, plan: FaultPlan) -> RootProbeReport {
     let order = canonical_probe_order(testbed.pki);
     let common_len = testbed.pki.common.len();
     let mut excluded_reboot_unsafe = Vec::new();
     let mut excluded_no_validation = Vec::new();
     let mut rows = Vec::new();
+    let mut fault_stats = FaultStats::default();
+    let mut reprobed_verdicts = 0;
 
     for device in testbed.devices.iter().filter(|d| d.spec.in_active) {
         if !device.spec.reboot_safe {
@@ -149,20 +195,34 @@ pub fn run_root_probe(testbed: &Testbed, seed: u64) -> RootProbeReport {
         // Screening: a device whose connections can be terminated with
         // a bare self-signed certificate never validates — excluded,
         // as in §5.2. (Repeated attempts also catch the Yi quirk.)
+        // A fault-tainted attempt is a network artifact, not a device
+        // verdict: it earns an extra screening attempt instead of
+        // consuming one.
         {
-            let mut lab = ActiveLab::new(testbed, seed ^ 0x5C4EE4);
+            let mut lab = ActiveLab::with_faults(testbed, seed ^ 0x5C4EE4, plan);
             let mut never_validates = false;
-            for _ in 0..5 {
+            let mut budget = 5;
+            let mut attempts = 0;
+            while attempts < budget {
+                attempts += 1;
                 let dev = lab.testbed.device(&device.spec.name);
-                if let Some(first) = dev.spec.boot_destinations().first() {
-                    let dest = (*first).clone();
-                    let out = lab.connect(dev, &dest, Some(&InterceptPolicy::SelfSigned));
-                    if out.result.established {
-                        never_validates = true;
-                        break;
+                let Some(dest) = dev.spec.boot_destinations().first().map(|d| (*d).clone())
+                else {
+                    break;
+                };
+                let out = lab.connect(dev, &dest, Some(&InterceptPolicy::SelfSigned));
+                if out.result.tainted() {
+                    if budget < 10 {
+                        budget += 1;
                     }
+                    continue;
+                }
+                if out.result.established {
+                    never_validates = true;
+                    break;
                 }
             }
+            fault_stats.merge(&lab.fault_stats());
             if never_validates {
                 excluded_no_validation.push(device.spec.name.clone());
                 continue;
@@ -175,7 +235,7 @@ pub fn run_root_probe(testbed: &Testbed, seed: u64) -> RootProbeReport {
         let baseline;
         let known;
         {
-            let mut lab = ActiveLab::new(testbed, seed ^ 0xA3E4AB);
+            let mut lab = ActiveLab::with_faults(testbed, seed ^ 0xA3E4AB, plan);
             baseline = probe_retrying(&mut lab, device, &InterceptPolicy::SelfSigned, 8)
                 .flatten();
             let popular = testbed.pki.universe.get(testbed.pki.common[0]).cert.clone();
@@ -186,6 +246,7 @@ pub fn run_root_probe(testbed: &Testbed, seed: u64) -> RootProbeReport {
                 8,
             )
             .flatten();
+            fault_stats.merge(&lab.fault_stats());
         }
         let amenable = match (baseline, known) {
             (Some(b), Some(k)) => b != k,
@@ -201,23 +262,28 @@ pub fn run_root_probe(testbed: &Testbed, seed: u64) -> RootProbeReport {
 
         if amenable {
             let unknown_alert = baseline.expect("amenable implies baseline alert");
+            let verdict_for = |alert: Option<AlertDescription>| match alert {
+                None => ProbeVerdict::Inconclusive,
+                Some(alert) if alert == unknown_alert => ProbeVerdict::Absent,
+                Some(_) => ProbeVerdict::Present,
+            };
             // Fresh lab so probe boot k aligns with the device's boot
             // schedule for cert k.
-            let mut lab = ActiveLab::new(testbed, seed ^ 0x9420BE);
+            let mut lab = ActiveLab::with_faults(testbed, seed ^ 0x9420BE, plan);
+            let mut faulted_probes: Vec<usize> = Vec::new();
             for (idx, ca_id) in order.iter().enumerate() {
                 let target = testbed.pki.universe.get(*ca_id).cert.clone();
-                let observed =
-                    probe_once(&mut lab, device, &InterceptPolicy::SpoofedCa(Box::new(target)));
-                let verdict = match observed {
-                    None => ProbeVerdict::Inconclusive,
-                    Some(None) => ProbeVerdict::Inconclusive,
-                    Some(Some(alert)) => {
-                        if alert == unknown_alert {
-                            ProbeVerdict::Absent
-                        } else {
-                            ProbeVerdict::Present
-                        }
+                let verdict = match probe_attempt(
+                    &mut lab,
+                    device,
+                    &InterceptPolicy::SpoofedCa(Box::new(target)),
+                ) {
+                    ProbeAttempt::NoTraffic => ProbeVerdict::Inconclusive,
+                    ProbeAttempt::Faulted => {
+                        faulted_probes.push(idx);
+                        ProbeVerdict::Inconclusive
                     }
+                    ProbeAttempt::Alert(alert) => verdict_for(alert),
                 };
                 if idx < common_len {
                     row.common.insert(*ca_id, verdict);
@@ -225,6 +291,32 @@ pub fn run_root_probe(testbed: &Testbed, seed: u64) -> RootProbeReport {
                     row.deprecated.insert(*ca_id, verdict);
                 }
             }
+            // Recovery: re-probe certificates whose verdicts were lost
+            // to injected faults, each across a handful of extra
+            // reboots. Flaky-boot inconclusives are left alone — they
+            // are genuine no-traffic outcomes a clean run also sees.
+            for idx in faulted_probes {
+                let ca_id = order[idx];
+                let target = testbed.pki.universe.get(ca_id).cert.clone();
+                let recovered = probe_retrying(
+                    &mut lab,
+                    device,
+                    &InterceptPolicy::SpoofedCa(Box::new(target)),
+                    6,
+                );
+                if let Some(alert) = recovered {
+                    let verdict = verdict_for(alert);
+                    if verdict != ProbeVerdict::Inconclusive {
+                        reprobed_verdicts += 1;
+                        if idx < common_len {
+                            row.common.insert(ca_id, verdict);
+                        } else {
+                            row.deprecated.insert(ca_id, verdict);
+                        }
+                    }
+                }
+            }
+            fault_stats.merge(&lab.fault_stats());
         }
 
         rows.push(row);
@@ -234,6 +326,8 @@ pub fn run_root_probe(testbed: &Testbed, seed: u64) -> RootProbeReport {
         excluded_reboot_unsafe,
         excluded_no_validation,
         rows,
+        fault_stats,
+        reprobed_verdicts,
     }
 }
 

@@ -1,153 +1,211 @@
-//! Property-based tests for the crypto substrate.
+//! Property-style tests for the crypto substrate.
+//!
+//! Inputs are generated from the crate's own deterministic DRBG
+//! rather than an external property-testing framework, so the suite
+//! builds and runs with no registry access and every failure
+//! reproduces from the fixed seed.
 
 use iotls_crypto::bigint::Uint;
 use iotls_crypto::drbg::Drbg;
 use iotls_crypto::rsa::RsaPrivateKey;
 use iotls_crypto::sha256::sha256;
 use iotls_crypto::{ChaCha20, Rc4};
-use proptest::prelude::*;
 
-fn uint_strategy() -> impl Strategy<Value = Uint> {
-    proptest::collection::vec(any::<u8>(), 0..40).prop_map(|b| Uint::from_be_bytes(&b))
+/// Runs `body` for `n` generated cases, each with its own fork of a
+/// fixed-seed DRBG (case index in the label keeps cases independent).
+fn cases(n: u64, label: &str, mut body: impl FnMut(&mut Drbg)) {
+    let root = Drbg::from_seed(0xC4_5E5).fork(label);
+    for i in 0..n {
+        let mut rng = root.fork(&format!("case-{i}"));
+        body(&mut rng);
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
+fn random_bytes(rng: &mut Drbg, max_len: u64) -> Vec<u8> {
+    let len = rng.below(max_len + 1) as usize;
+    let mut out = vec![0u8; len];
+    rng.fill_bytes(&mut out);
+    out
+}
 
-    #[test]
-    fn add_commutes(a in uint_strategy(), b in uint_strategy()) {
-        prop_assert_eq!(a.add(&b), b.add(&a));
-    }
+fn random_uint(rng: &mut Drbg) -> Uint {
+    Uint::from_be_bytes(&random_bytes(rng, 39))
+}
 
-    #[test]
-    fn add_sub_roundtrip(a in uint_strategy(), b in uint_strategy()) {
-        prop_assert_eq!(a.add(&b).sub(&b), a);
-    }
+#[test]
+fn add_commutes() {
+    cases(128, "add-commutes", |rng| {
+        let (a, b) = (random_uint(rng), random_uint(rng));
+        assert_eq!(a.add(&b), b.add(&a));
+    });
+}
 
-    #[test]
-    fn mul_commutes_and_distributes(
-        a in uint_strategy(), b in uint_strategy(), c in uint_strategy()
-    ) {
-        prop_assert_eq!(a.mul(&b), b.mul(&a));
-        prop_assert_eq!(a.mul(&b.add(&c)), a.mul(&b).add(&a.mul(&c)));
-    }
+#[test]
+fn add_sub_roundtrip() {
+    cases(128, "add-sub", |rng| {
+        let (a, b) = (random_uint(rng), random_uint(rng));
+        assert_eq!(a.add(&b).sub(&b), a);
+    });
+}
 
-    #[test]
-    fn divrem_identity(a in uint_strategy(), b in uint_strategy()) {
-        prop_assume!(!b.is_zero());
+#[test]
+fn mul_commutes_and_distributes() {
+    cases(128, "mul", |rng| {
+        let (a, b, c) = (random_uint(rng), random_uint(rng), random_uint(rng));
+        assert_eq!(a.mul(&b), b.mul(&a));
+        assert_eq!(a.mul(&b.add(&c)), a.mul(&b).add(&a.mul(&c)));
+    });
+}
+
+#[test]
+fn divrem_identity() {
+    cases(128, "divrem", |rng| {
+        let a = random_uint(rng);
+        let b = random_uint(rng);
+        if b.is_zero() {
+            return;
+        }
         let (q, r) = a.divrem(&b);
-        prop_assert!(r < b.clone());
-        prop_assert_eq!(q.mul(&b).add(&r), a);
-    }
+        assert!(r < b.clone());
+        assert_eq!(q.mul(&b).add(&r), a);
+    });
+}
 
-    #[test]
-    fn shift_roundtrip(a in uint_strategy(), s in 0usize..200) {
-        prop_assert_eq!(a.shl(s).shr(s), a);
-    }
+#[test]
+fn shift_roundtrip() {
+    cases(128, "shift", |rng| {
+        let a = random_uint(rng);
+        let s = rng.below(200) as usize;
+        assert_eq!(a.shl(s).shr(s), a);
+    });
+}
 
-    #[test]
-    fn bytes_roundtrip(a in uint_strategy()) {
-        prop_assert_eq!(Uint::from_be_bytes(&a.to_be_bytes()), a);
-    }
+#[test]
+fn bytes_roundtrip() {
+    cases(128, "bytes", |rng| {
+        let a = random_uint(rng);
+        assert_eq!(Uint::from_be_bytes(&a.to_be_bytes()), a);
+    });
+}
 
-    #[test]
-    fn hex_roundtrip(a in uint_strategy()) {
-        prop_assert_eq!(Uint::from_hex(&a.to_hex()).unwrap(), a);
-    }
+#[test]
+fn hex_roundtrip() {
+    cases(128, "hex", |rng| {
+        let a = random_uint(rng);
+        assert_eq!(Uint::from_hex(&a.to_hex()).unwrap(), a);
+    });
+}
 
-    #[test]
-    fn modpow_multiplicative(
-        a in uint_strategy(), b in uint_strategy(), e in 0u64..50, m in uint_strategy()
-    ) {
-        prop_assume!(!m.is_zero());
+#[test]
+fn modpow_multiplicative() {
+    cases(64, "modpow", |rng| {
+        let (a, b, m) = (random_uint(rng), random_uint(rng), random_uint(rng));
+        if m.is_zero() {
+            return;
+        }
         // (a*b)^e mod m == a^e * b^e mod m
-        let e = Uint::from_u64(e);
+        let e = Uint::from_u64(rng.below(50));
         let lhs = a.mul(&b).modpow(&e, &m);
         let rhs = a.modpow(&e, &m).modmul(&b.modpow(&e, &m), &m);
-        prop_assert_eq!(lhs, rhs);
-    }
+        assert_eq!(lhs, rhs);
+    });
+}
 
-    #[test]
-    fn modinv_inverts(a in uint_strategy(), m in uint_strategy()) {
-        prop_assume!(m.cmp_val(&Uint::from_u64(2)) == std::cmp::Ordering::Greater);
-        if let Some(inv) = a.modinv(&m) {
-            prop_assert!(a.modmul(&inv, &m).is_one());
-        } else {
-            prop_assert!(!a.gcd(&m).is_one() || a.rem(&m).is_zero());
+#[test]
+fn modinv_inverts() {
+    cases(128, "modinv", |rng| {
+        let (a, m) = (random_uint(rng), random_uint(rng));
+        if m.cmp_val(&Uint::from_u64(2)) != std::cmp::Ordering::Greater {
+            return;
         }
-    }
+        if let Some(inv) = a.modinv(&m) {
+            assert!(a.modmul(&inv, &m).is_one());
+        } else {
+            assert!(!a.gcd(&m).is_one() || a.rem(&m).is_zero());
+        }
+    });
+}
 
-    #[test]
-    fn sha256_deterministic_and_sensitive(data in proptest::collection::vec(any::<u8>(), 0..300)) {
+#[test]
+fn sha256_deterministic_and_sensitive() {
+    cases(128, "sha256", |rng| {
+        let data = random_bytes(rng, 299);
         let d1 = sha256(&data);
-        prop_assert_eq!(d1, sha256(&data));
+        assert_eq!(d1, sha256(&data));
         if !data.is_empty() {
             let mut flipped = data.clone();
             flipped[0] ^= 1;
-            prop_assert_ne!(d1, sha256(&flipped));
+            assert_ne!(d1, sha256(&flipped));
         }
-    }
+    });
+}
 
-    #[test]
-    fn rc4_roundtrip(key in proptest::collection::vec(any::<u8>(), 1..64),
-                     msg in proptest::collection::vec(any::<u8>(), 0..200)) {
+#[test]
+fn rc4_roundtrip() {
+    cases(128, "rc4", |rng| {
+        let mut key = vec![0u8; rng.range(1, 64) as usize];
+        rng.fill_bytes(&mut key);
+        let msg = random_bytes(rng, 199);
         let mut buf = msg.clone();
         Rc4::new(&key).apply(&mut buf);
         Rc4::new(&key).apply(&mut buf);
-        prop_assert_eq!(buf, msg);
-    }
+        assert_eq!(buf, msg);
+    });
+}
 
-    #[test]
-    fn chacha20_roundtrip(seed in any::<u64>(), msg in proptest::collection::vec(any::<u8>(), 0..200)) {
+#[test]
+fn chacha20_roundtrip() {
+    cases(128, "chacha20", |rng| {
         let mut key = [0u8; 32];
         let mut nonce = [0u8; 12];
-        let mut rng = Drbg::from_seed(seed);
         rng.fill_bytes(&mut key);
         rng.fill_bytes(&mut nonce);
+        let msg = random_bytes(rng, 199);
         let mut buf = msg.clone();
         ChaCha20::new(&key, &nonce, 0).apply(&mut buf);
         ChaCha20::new(&key, &nonce, 0).apply(&mut buf);
-        prop_assert_eq!(buf, msg);
-    }
+        assert_eq!(buf, msg);
+    });
+}
 
-    #[test]
-    fn drbg_below_in_bounds(seed in any::<u64>(), bound in 1u64..10_000) {
-        let mut d = Drbg::from_seed(seed);
+#[test]
+fn drbg_below_in_bounds() {
+    cases(128, "below", |rng| {
+        let bound = rng.range(1, 10_000);
+        let mut d = Drbg::from_seed(rng.next_u64());
         for _ in 0..20 {
-            prop_assert!(d.below(bound) < bound);
+            assert!(d.below(bound) < bound);
         }
-    }
+    });
 }
 
-// RSA keygen is too slow to regenerate per proptest case; use one key
-// and vary the message instead.
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
-
-    #[test]
-    fn rsa_sign_verify_any_message(msg in proptest::collection::vec(any::<u8>(), 0..200)) {
-        let key = shared_key();
-        let sig = key.sign(&msg);
-        prop_assert!(key.public_key().verify(&msg, &sig).is_ok());
-        let mut other = msg.clone();
-        other.push(0);
-        prop_assert!(key.public_key().verify(&other, &sig).is_err());
-    }
-
-    #[test]
-    fn rsa_encrypt_decrypt_any_message(
-        seed in any::<u64>(),
-        msg in proptest::collection::vec(any::<u8>(), 0..48)
-    ) {
-        let key = shared_key();
-        let mut rng = Drbg::from_seed(seed);
-        let ct = key.public_key().encrypt(&msg, &mut rng).unwrap();
-        prop_assert_eq!(key.decrypt(&ct).unwrap(), msg);
-    }
-}
-
+// RSA keygen is too slow to regenerate per case; use one key and vary
+// the message instead.
 fn shared_key() -> &'static RsaPrivateKey {
     use std::sync::OnceLock;
     static KEY: OnceLock<RsaPrivateKey> = OnceLock::new();
     KEY.get_or_init(|| RsaPrivateKey::generate(512, &mut Drbg::from_seed(0xA11CE)))
+}
+
+#[test]
+fn rsa_sign_verify_any_message() {
+    cases(24, "rsa-sign", |rng| {
+        let msg = random_bytes(rng, 199);
+        let key = shared_key();
+        let sig = key.sign(&msg);
+        assert!(key.public_key().verify(&msg, &sig).is_ok());
+        let mut other = msg.clone();
+        other.push(0);
+        assert!(key.public_key().verify(&other, &sig).is_err());
+    });
+}
+
+#[test]
+fn rsa_encrypt_decrypt_any_message() {
+    cases(24, "rsa-encrypt", |rng| {
+        let msg = random_bytes(rng, 48);
+        let key = shared_key();
+        let ct = key.public_key().encrypt(&msg, rng).unwrap();
+        assert_eq!(key.decrypt(&ct).unwrap(), msg);
+    });
 }

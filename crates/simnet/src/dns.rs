@@ -5,8 +5,34 @@
 //! endpoints. The simulator's DNS keeps a log of every query so the
 //! passive analyzer can make the same inferences.
 
+use crate::fault::DnsFault;
 use iotls_x509::Timestamp;
 use std::collections::BTreeMap;
+
+/// How one DNS query ended.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DnsOutcome {
+    /// The name resolved.
+    Resolved,
+    /// The name is not in the registry (legitimate NXDOMAIN).
+    NotRegistered,
+    /// An injected fault returned NXDOMAIN for a registered name.
+    FaultNxDomain,
+    /// An injected fault swallowed the query (resolver timeout).
+    FaultTimeout,
+}
+
+impl DnsOutcome {
+    /// True when the lookup produced an address.
+    pub fn resolved(&self) -> bool {
+        matches!(self, DnsOutcome::Resolved)
+    }
+
+    /// True when the failure was injected rather than legitimate.
+    pub fn faulted(&self) -> bool {
+        matches!(self, DnsOutcome::FaultNxDomain | DnsOutcome::FaultTimeout)
+    }
+}
 
 /// One logged DNS query.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -17,6 +43,8 @@ pub struct DnsQuery {
     pub device: String,
     /// Hostname asked for.
     pub hostname: String,
+    /// How it ended.
+    pub outcome: DnsOutcome,
 }
 
 /// Hostname registry plus query log.
@@ -40,15 +68,38 @@ impl DnsTable {
     /// Resolves `hostname` for `device`, logging the query. Returns
     /// whether the name resolves.
     pub fn resolve(&mut self, time: Timestamp, device: &str, hostname: &str) -> bool {
+        self.resolve_faulted(time, device, hostname, None).resolved()
+    }
+
+    /// Resolves `hostname` for `device` with an optional injected
+    /// fault. A fault turns an otherwise-successful lookup into
+    /// NXDOMAIN or a timeout; the query is logged either way, with its
+    /// outcome, so analyses can count injected DNS failures.
+    pub fn resolve_faulted(
+        &mut self,
+        time: Timestamp,
+        device: &str,
+        hostname: &str,
+        fault: Option<DnsFault>,
+    ) -> DnsOutcome {
+        let registered = self
+            .registered
+            .get(&hostname.to_ascii_lowercase())
+            .copied()
+            .unwrap_or(false);
+        let outcome = match (fault, registered) {
+            (Some(DnsFault::NxDomain), _) => DnsOutcome::FaultNxDomain,
+            (Some(DnsFault::Timeout), _) => DnsOutcome::FaultTimeout,
+            (None, true) => DnsOutcome::Resolved,
+            (None, false) => DnsOutcome::NotRegistered,
+        };
         self.log.push(DnsQuery {
             time,
             device: device.to_string(),
             hostname: hostname.to_string(),
+            outcome,
         });
-        self.registered
-            .get(&hostname.to_ascii_lowercase())
-            .copied()
-            .unwrap_or(false)
+        outcome
     }
 
     /// The full query log.
@@ -87,6 +138,36 @@ mod tests {
         assert!(dns.resolve(Timestamp(1), "cam", "Cloud.Example.COM"));
         assert!(!dns.resolve(Timestamp(2), "cam", "nope.example.com"));
         assert_eq!(dns.log().len(), 3);
+    }
+
+    #[test]
+    fn faulted_resolution_logs_outcome() {
+        let mut dns = DnsTable::new();
+        dns.register("cloud.example.com");
+        let o = dns.resolve_faulted(
+            Timestamp(0),
+            "cam",
+            "cloud.example.com",
+            Some(DnsFault::NxDomain),
+        );
+        assert_eq!(o, DnsOutcome::FaultNxDomain);
+        assert!(o.faulted() && !o.resolved());
+        let o = dns.resolve_faulted(
+            Timestamp(1),
+            "cam",
+            "cloud.example.com",
+            Some(DnsFault::Timeout),
+        );
+        assert_eq!(o, DnsOutcome::FaultTimeout);
+        // A clean retry of the same name succeeds.
+        let o = dns.resolve_faulted(Timestamp(2), "cam", "cloud.example.com", None);
+        assert_eq!(o, DnsOutcome::Resolved);
+        // Legitimate NXDOMAIN is distinguishable from the injected one.
+        let o = dns.resolve_faulted(Timestamp(3), "cam", "nope.example.com", None);
+        assert_eq!(o, DnsOutcome::NotRegistered);
+        assert!(!o.faulted());
+        assert_eq!(dns.log().len(), 4);
+        assert_eq!(dns.log()[0].outcome, DnsOutcome::FaultNxDomain);
     }
 
     #[test]

@@ -7,7 +7,13 @@
 //! is the single primitive behind every experiment in the
 //! reproduction: passive capture (real server), interception (the
 //! MITM's server), and the root-store probe (spoofed-CA server).
+//!
+//! Every transferred chunk passes through a
+//! [`LinkConditioner`], which in chaos runs may cut,
+//! corrupt, or throttle the stream; the plain [`drive_session`] uses a
+//! passthrough conditioner and behaves exactly as before.
 
+use crate::fault::{Direction, FailureCause, InjectedFault, LinkConditioner};
 use crate::pipe::DuplexLink;
 use crate::tap::{GatewayTap, TlsObservation};
 use iotls_tls::client::{ClientConnection, HandshakeSummary};
@@ -24,6 +30,12 @@ pub struct SessionResult {
     pub client_summary: HandshakeSummary,
     /// True when both sides established.
     pub established: bool,
+    /// Network-level failure cause, when the *link* (not either
+    /// endpoint) killed the session. `None` with `established ==
+    /// false` means an endpoint declined — see the client summary.
+    pub failure: Option<FailureCause>,
+    /// Faults the conditioner actually injected, in firing order.
+    pub faults: Vec<InjectedFault>,
     /// Application data the server-side received (what a successful
     /// MITM exfiltrates).
     pub server_received: Vec<u8>,
@@ -35,6 +47,14 @@ pub struct SessionResult {
     pub bytes_c2s: u64,
     /// Total bytes carried server→client.
     pub bytes_s2c: u64,
+}
+
+impl SessionResult {
+    /// True when a fault fired during this session: its outcome says
+    /// nothing reliable about the endpoints.
+    pub fn tainted(&self) -> bool {
+        !self.faults.is_empty()
+    }
 }
 
 /// Session inputs.
@@ -68,14 +88,31 @@ impl<'a> SessionParams<'a> {
     }
 }
 
-/// Drives `client` against `server` to quiescence.
+/// Drives `client` against `server` to quiescence on a clean link.
 ///
 /// The client must *not* have been started; the driver calls
 /// [`ClientConnection::start`].
 pub fn drive_session(
+    client: ClientConnection,
+    server: ServerConnection,
+    params: SessionParams<'_>,
+) -> SessionResult {
+    drive_session_faulted(client, server, params, &mut LinkConditioner::passthrough())
+}
+
+/// Drives `client` against `server` through a fault-injecting
+/// [`LinkConditioner`].
+///
+/// The conditioner may cut the link (→ [`FailureCause::Reset`]),
+/// corrupt a byte (→ [`FailureCause::Garbled`]), or throttle delivery
+/// until the round budget runs out (→ [`FailureCause::Wedged`]). The
+/// gateway tap sees the bytes *after* conditioning, exactly like a
+/// physical tap downstream of a lossy path.
+pub fn drive_session_faulted(
     mut client: ClientConnection,
     mut server: ServerConnection,
     params: SessionParams<'_>,
+    conditioner: &mut LinkConditioner,
 ) -> SessionResult {
     let mut link = DuplexLink::new();
     let mut tap = params.tap.then(GatewayTap::new);
@@ -83,19 +120,22 @@ pub fn drive_session(
     let mut client_received = Vec::new();
     let mut client_sent_payload = false;
     let mut server_sent_payload = false;
+    let mut exhausted = true;
 
     client.start();
 
-    for _ in 0..MAX_ROUNDS {
+    for round in 0..MAX_ROUNDS {
+        conditioner.begin_round(round);
         let mut moved = false;
 
-        // Client → gateway → server.
+        // Client → conditioner → gateway → server.
         let out = client.take_output();
-        if !out.is_empty() {
+        let delivered = conditioner.transfer(Direction::C2s, &out, round);
+        if !delivered.is_empty() {
             if let Some(t) = tap.as_mut() {
-                t.observe_c2s(&out);
+                t.observe_c2s(&delivered);
             }
-            link.c2s.write(&out);
+            link.c2s.write(&delivered);
             let data = link.c2s.drain();
             let _ = server.read_tls(&data);
             moved = true;
@@ -111,13 +151,14 @@ pub fn drive_session(
             server_sent_payload = true;
         }
 
-        // Server → gateway → client.
+        // Server → conditioner → gateway → client.
         let out = server.take_output();
-        if !out.is_empty() {
+        let delivered = conditioner.transfer(Direction::S2c, &out, round);
+        if !delivered.is_empty() {
             if let Some(t) = tap.as_mut() {
-                t.observe_s2c(&out);
+                t.observe_s2c(&delivered);
             }
-            link.s2c.write(&out);
+            link.s2c.write(&delivered);
             let data = link.s2c.drain();
             let _ = client.read_tls(&data);
             moved = true;
@@ -133,17 +174,25 @@ pub fn drive_session(
             client_sent_payload = true;
         }
 
-        if !moved {
+        if !moved && !conditioner.has_backlog() {
+            exhausted = false;
             break;
         }
     }
 
     let established = client.is_established() && server.is_established();
+    let failure = if established {
+        None
+    } else {
+        conditioner.failure_cause(exhausted)
+    };
     let observation =
         tap.and_then(|t| t.into_observation(params.time, params.device, params.destination));
     SessionResult {
         client_summary: client.summary(),
         established,
+        failure,
+        faults: conditioner.injected().to_vec(),
         server_received,
         client_received,
         observation,

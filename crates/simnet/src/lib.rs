@@ -15,16 +15,22 @@
 //! * [`driver`] — the lockstep session driver connecting sans-IO TLS
 //!   endpoints over a link, with optional tap and app payloads;
 //! * [`dns`] — simulated DNS with a per-device query log (revocation
-//!   endpoint detection).
+//!   endpoint detection);
+//! * [`fault`] — seeded deterministic fault injection (resets, stalls,
+//!   garbled fragments, DNS failures, power cycles) for chaos runs.
 
 pub mod dns;
 pub mod driver;
 pub mod events;
+pub mod fault;
 pub mod pipe;
 pub mod tap;
 
-pub use dns::{DnsQuery, DnsTable};
-pub use driver::{drive_session, SessionParams, SessionResult};
+pub use dns::{DnsOutcome, DnsQuery, DnsTable};
+pub use driver::{drive_session, drive_session_faulted, SessionParams, SessionResult};
 pub use events::{EventQueue, SimClock};
+pub use fault::{
+    DnsFault, FailureCause, FaultOp, FaultPlan, InjectedFault, LinkConditioner, SessionFaults,
+};
 pub use pipe::{DuplexLink, Pipe};
 pub use tap::{GatewayTap, TlsObservation};

@@ -21,9 +21,8 @@ use iotls_crypto::dh::{DhGroup, DhKeyPair};
 use iotls_crypto::drbg::Drbg;
 use iotls_crypto::rsa::RsaPrivateKey;
 use iotls_x509::Certificate;
-use parking_lot::Mutex;
 use std::collections::HashMap;
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 
 /// A shared session cache for RFC 5246 session-ID resumption:
 /// session id → master secret. Clone the handle into every
@@ -41,22 +40,22 @@ impl SessionCache {
 
     /// Stores a session.
     pub fn insert(&self, session_id: Vec<u8>, master: [u8; 48]) {
-        self.inner.lock().insert(session_id, master);
+        self.inner.lock().expect("session cache lock poisoned").insert(session_id, master);
     }
 
     /// Looks up a session's master secret.
     pub fn get(&self, session_id: &[u8]) -> Option<[u8; 48]> {
-        self.inner.lock().get(session_id).copied()
+        self.inner.lock().expect("session cache lock poisoned").get(session_id).copied()
     }
 
     /// Number of cached sessions.
     pub fn len(&self) -> usize {
-        self.inner.lock().len()
+        self.inner.lock().expect("session cache lock poisoned").len()
     }
 
     /// True when no sessions are cached.
     pub fn is_empty(&self) -> bool {
-        self.inner.lock().is_empty()
+        self.inner.lock().expect("session cache lock poisoned").is_empty()
     }
 }
 

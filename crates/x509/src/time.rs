@@ -5,19 +5,14 @@
 //! scratch (no chrono). The longitudinal analyses bucket connections
 //! by `(year, month)`, so month arithmetic lives here too.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// A point in simulated time (Unix seconds, always UTC).
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct Timestamp(pub i64);
 
 /// A calendar month `(year, month)` used as the longitudinal bucket.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct Month {
     pub year: i32,
     pub month: u8,

@@ -1,5 +1,9 @@
-//! Property-based tests for the PKI substrate: TLV codec, certificate
+//! Property-style tests for the PKI substrate: TLV codec, certificate
 //! encoding, hostname matching, time math, and validation invariants.
+//!
+//! Inputs come from the workspace's deterministic DRBG instead of an
+//! external property-testing framework, so the suite builds with no
+//! registry access and failures reproduce from the fixed seed.
 
 use iotls_crypto::drbg::Drbg;
 use iotls_crypto::rsa::RsaPrivateKey;
@@ -9,8 +13,15 @@ use iotls_x509::{
     DistinguishedName, IssueParams, Month, RootStore, Timestamp, ValidationError,
     ValidationPolicy,
 };
-use proptest::prelude::*;
 use std::sync::OnceLock;
+
+fn cases(n: u64, label: &str, mut body: impl FnMut(&mut Drbg)) {
+    let root = Drbg::from_seed(0x50_9B57).fork(label);
+    for i in 0..n {
+        let mut rng = root.fork(&format!("case-{i}"));
+        body(&mut rng);
+    }
+}
 
 fn shared_root() -> &'static CertifiedKey {
     static R: OnceLock<CertifiedKey> = OnceLock::new();
@@ -33,69 +44,94 @@ fn shared_leaf_key() -> &'static RsaPrivateKey {
     K.get_or_init(|| RsaPrivateKey::generate(512, &mut Drbg::from_seed(0x90A)))
 }
 
-fn label() -> impl Strategy<Value = String> {
-    "[a-z][a-z0-9-]{0,14}"
+fn random_bytes(rng: &mut Drbg, max_len: u64) -> Vec<u8> {
+    let len = rng.below(max_len + 1) as usize;
+    let mut out = vec![0u8; len];
+    rng.fill_bytes(&mut out);
+    out
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(96))]
+fn random_label(rng: &mut Drbg, min: u64, max: u64) -> String {
+    let len = rng.range(min, max) as usize;
+    (0..len)
+        .map(|_| (b'a' + rng.below(26) as u8) as char)
+        .collect()
+}
 
-    #[test]
-    fn tlv_scalar_roundtrip(
-        tag in any::<u8>(),
-        s in "[ -~]{0,40}",
-        n in any::<u64>(),
-        b in any::<bool>(),
-        i in any::<i64>(),
-    ) {
+fn random_host(rng: &mut Drbg) -> String {
+    format!("{}.example.com", random_label(rng, 1, 11))
+}
+
+/// Printable-ASCII string of up to 40 characters.
+fn random_printable(rng: &mut Drbg) -> String {
+    let len = rng.below(41) as usize;
+    (0..len)
+        .map(|_| (b' ' + rng.below(95) as u8) as char)
+        .collect()
+}
+
+#[test]
+fn tlv_scalar_roundtrip() {
+    cases(96, "tlv-scalar", |rng| {
+        let tag = rng.next_u32() as u8;
+        let s = random_printable(rng);
+        let n = rng.next_u64();
+        let b = rng.chance(0.5);
+        let i = rng.next_u64() as i64;
         let mut w = TlvWriter::new();
         w.put_str(tag, &s).put_u64(tag, n).put_bool(tag, b).put_i64(tag, i);
         let bytes = w.finish();
         let mut r = TlvReader::new(&bytes);
-        prop_assert_eq!(r.expect_str(tag).unwrap(), s);
-        prop_assert_eq!(r.expect_u64(tag).unwrap(), n);
-        prop_assert_eq!(r.expect_bool(tag).unwrap(), b);
-        prop_assert_eq!(r.expect_i64(tag).unwrap(), i);
+        assert_eq!(r.expect_str(tag).unwrap(), s);
+        assert_eq!(r.expect_u64(tag).unwrap(), n);
+        assert_eq!(r.expect_bool(tag).unwrap(), b);
+        assert_eq!(r.expect_i64(tag).unwrap(), i);
         r.finish().unwrap();
-    }
+    });
+}
 
-    #[test]
-    fn tlv_truncation_never_panics(data in proptest::collection::vec(any::<u8>(), 0..120)) {
+#[test]
+fn tlv_truncation_never_panics() {
+    cases(96, "tlv-truncation", |rng| {
+        let data = random_bytes(rng, 119);
         let mut r = TlvReader::new(&data);
         for _ in 0..10 {
             if r.next().is_err() {
                 break;
             }
         }
-    }
+    });
+}
 
-    #[test]
-    fn certificate_encoding_roundtrips(
-        host in "[a-z]{1,10}\\.example\\.com",
-        serial in any::<u64>(),
-        days in 1i64..2000,
-        san_count in 0usize..4,
-    ) {
-        let mut params = IssueParams::leaf(&host, serial, Timestamp::from_ymd(2019, 6, 1), days);
+#[test]
+fn certificate_encoding_roundtrips() {
+    cases(48, "cert-roundtrip", |rng| {
+        let host = random_host(rng);
+        let serial = rng.next_u64();
+        let days = rng.range(1, 2000) as i64;
+        let san_count = rng.below(4) as usize;
+        let mut params =
+            IssueParams::leaf(&host, serial, Timestamp::from_ymd(2019, 6, 1), days);
         for i in 0..san_count {
             params.extensions.subject_alt_names.push(format!("alt{i}.{host}"));
         }
         let cert = shared_root().issue(params, shared_leaf_key());
         let decoded = Certificate::from_bytes(&cert.to_bytes()).unwrap();
-        prop_assert_eq!(&decoded, &cert);
-        prop_assert_eq!(decoded.fingerprint(), cert.fingerprint());
-    }
+        assert_eq!(&decoded, &cert);
+        assert_eq!(decoded.fingerprint(), cert.fingerprint());
+    });
+}
 
-    #[test]
-    fn tampering_any_tbs_field_breaks_the_signature(
-        host in "[a-z]{1,10}\\.example\\.com",
-        which in 0usize..4,
-    ) {
+#[test]
+fn tampering_any_tbs_field_breaks_the_signature() {
+    cases(32, "tamper", |rng| {
+        let host = random_host(rng);
+        let which = rng.below(4) as usize;
         let cert = shared_root().issue(
             IssueParams::leaf(&host, 7, Timestamp::from_ymd(2019, 6, 1), 365),
             shared_leaf_key(),
         );
-        prop_assert!(cert.verify_signature(&shared_root().cert.tbs.public_key));
+        assert!(cert.verify_signature(&shared_root().cert.tbs.public_key));
         let mut tampered = cert.clone();
         match which {
             0 => tampered.tbs.serial ^= 1,
@@ -103,36 +139,45 @@ proptest! {
             2 => tampered.tbs.not_after = tampered.tbs.not_after.plus_days(1),
             _ => tampered.tbs.extensions.must_staple = !tampered.tbs.extensions.must_staple,
         }
-        prop_assert!(!tampered.verify_signature(&shared_root().cert.tbs.public_key));
-    }
+        assert!(!tampered.verify_signature(&shared_root().cert.tbs.public_key));
+    });
+}
 
-    #[test]
-    fn exact_hostname_match_is_reflexive_and_case_insensitive(host in "[a-z]{1,10}(\\.[a-z]{1,8}){1,3}") {
+#[test]
+fn exact_hostname_match_is_reflexive_and_case_insensitive() {
+    cases(96, "exact-match", |rng| {
+        let labels = rng.range(2, 5);
+        let host = (0..labels)
+            .map(|_| random_label(rng, 1, 9))
+            .collect::<Vec<_>>()
+            .join(".");
         let prefixed = format!("x{host}");
-        prop_assert!(matches_pattern(&host, &host));
-        prop_assert!(matches_pattern(&host.to_uppercase(), &host));
-        prop_assert!(!matches_pattern(&host, &prefixed));
-    }
+        assert!(matches_pattern(&host, &host));
+        assert!(matches_pattern(&host.to_uppercase(), &host));
+        assert!(!matches_pattern(&host, &prefixed));
+    });
+}
 
-    #[test]
-    fn wildcard_matches_exactly_one_label(
-        sub in label(),
-        domain in "[a-z]{1,8}\\.[a-z]{2,3}",
-        extra in label(),
-    ) {
+#[test]
+fn wildcard_matches_exactly_one_label() {
+    cases(96, "wildcard", |rng| {
+        let sub = random_label(rng, 1, 16);
+        let domain = format!("{}.{}", random_label(rng, 1, 9), random_label(rng, 2, 4));
+        let extra = random_label(rng, 1, 16);
         let pattern = format!("*.{domain}");
         let one_label = format!("{sub}.{domain}");
         let two_labels = format!("{extra}.{sub}.{domain}");
-        prop_assert!(matches_pattern(&pattern, &one_label));
-        prop_assert!(!matches_pattern(&pattern, &domain));
-        prop_assert!(!matches_pattern(&pattern, &two_labels));
-    }
+        assert!(matches_pattern(&pattern, &one_label));
+        assert!(!matches_pattern(&pattern, &domain));
+        assert!(!matches_pattern(&pattern, &two_labels));
+    });
+}
 
-    #[test]
-    fn validation_is_deterministic_and_ordered(
-        host in "[a-z]{1,10}\\.example\\.com",
-        now_offset in -4000i64..4000,
-    ) {
+#[test]
+fn validation_is_deterministic_and_ordered() {
+    cases(48, "validation", |rng| {
+        let host = random_host(rng);
+        let now_offset = rng.range(0, 8000) as i64 - 4000;
         let root = shared_root();
         let cert = root.issue(
             IssueParams::leaf(&host, 9, Timestamp::from_ymd(2019, 6, 1), 365),
@@ -140,37 +185,50 @@ proptest! {
         );
         let roots = RootStore::from_certs([root.cert.clone()]);
         let now = Timestamp::from_ymd(2019, 6, 1).plus_days(now_offset);
-        let r1 = validate_chain(std::slice::from_ref(&cert), &roots, &host, now, &ValidationPolicy::strict());
-        let r2 = validate_chain(std::slice::from_ref(&cert), &roots, &host, now, &ValidationPolicy::strict());
-        prop_assert_eq!(&r1, &r2);
+        let r1 = validate_chain(
+            std::slice::from_ref(&cert),
+            &roots,
+            &host,
+            now,
+            &ValidationPolicy::strict(),
+        );
+        let r2 = validate_chain(
+            std::slice::from_ref(&cert),
+            &roots,
+            &host,
+            now,
+            &ValidationPolicy::strict(),
+        );
+        assert_eq!(&r1, &r2);
         // Outcome agrees with the validity window.
         if now_offset < 0 {
-            prop_assert_eq!(r1, Err(ValidationError::NotYetValid));
+            assert_eq!(r1, Err(ValidationError::NotYetValid));
         } else if now_offset > 365 {
-            prop_assert_eq!(r1, Err(ValidationError::Expired));
+            assert_eq!(r1, Err(ValidationError::Expired));
         } else {
-            prop_assert_eq!(r1, Ok(()));
+            assert_eq!(r1, Ok(()));
         }
         // The empty store always reports UnknownIssuer inside the window.
         if (0..=365).contains(&now_offset) {
-            prop_assert_eq!(
+            assert_eq!(
                 validate_chain(&[cert], &RootStore::new(), &host, now, &ValidationPolicy::strict()),
                 Err(ValidationError::UnknownIssuer)
             );
         }
-    }
+    });
+}
 
-    #[test]
-    fn no_validation_accepts_every_nonempty_chain(
-        host in "[a-z]{1,10}\\.example\\.com",
-        wrong_host in "[a-z]{1,10}\\.example\\.org",
-    ) {
+#[test]
+fn no_validation_accepts_every_nonempty_chain() {
+    cases(32, "no-validation", |rng| {
+        let host = random_host(rng);
+        let wrong_host = format!("{}.example.org", random_label(rng, 1, 11));
         let cert = shared_root().issue(
             IssueParams::leaf(&host, 11, Timestamp::from_ymd(2019, 6, 1), 10),
             shared_leaf_key(),
         );
         // Expired, wrong hostname, empty store: still accepted.
-        prop_assert_eq!(
+        assert_eq!(
             validate_chain(
                 &[cert],
                 &RootStore::new(),
@@ -180,36 +238,46 @@ proptest! {
             ),
             Ok(())
         );
-    }
+    });
+}
 
-    #[test]
-    fn timestamp_civil_roundtrip(days in -20_000i64..40_000) {
+#[test]
+fn timestamp_civil_roundtrip() {
+    cases(96, "civil-roundtrip", |rng| {
+        let days = rng.range(0, 60_000) as i64 - 20_000;
         let t = Timestamp(days * 86_400 + 12 * 3600);
         let (y, m, d) = t.ymd();
         let back = Timestamp::from_ymd(y, m, d).plus_secs(12 * 3600);
-        prop_assert_eq!(back, t);
-        prop_assert!((1..=12).contains(&m));
-        prop_assert!((1..=31).contains(&d));
-    }
+        assert_eq!(back, t);
+        assert!((1..=12).contains(&m));
+        assert!((1..=31).contains(&d));
+    });
+}
 
-    #[test]
-    fn month_iteration_is_contiguous(y in 2000i32..2030, m in 1u8..=12, span in 0i32..50) {
+#[test]
+fn month_iteration_is_contiguous() {
+    cases(96, "month-iter", |rng| {
+        let y = rng.range(2000, 2030) as i32;
+        let m = rng.range(1, 12) as u8;
+        let span = rng.below(50) as i32;
         let start = Month::new(y, m);
         let mut end = start;
         for _ in 0..span {
             end = end.next();
         }
         let months = start.through(end);
-        prop_assert_eq!(months.len() as i32, span + 1);
+        assert_eq!(months.len() as i32, span + 1);
         for w in months.windows(2) {
-            prop_assert_eq!(w[0].next(), w[1]);
-            prop_assert_eq!(w[0].end(), w[1].start());
+            assert_eq!(w[0].next(), w[1]);
+            assert_eq!(w[0].end(), w[1].start());
         }
-        prop_assert_eq!(start.months_until(end), span);
-    }
+        assert_eq!(start.months_until(end), span);
+    });
+}
 
-    #[test]
-    fn basic_constraints_gate_issuance(ca in any::<bool>()) {
+#[test]
+fn basic_constraints_gate_issuance() {
+    for ca in [false, true] {
         // A chain through an intermediate is valid iff the
         // intermediate carries ca=true.
         let root = shared_root();
@@ -236,9 +304,9 @@ proptest! {
             &ValidationPolicy::strict(),
         );
         if ca {
-            prop_assert_eq!(result, Ok(()));
+            assert_eq!(result, Ok(()));
         } else {
-            prop_assert_eq!(result, Err(ValidationError::InvalidBasicConstraints));
+            assert_eq!(result, Err(ValidationError::InvalidBasicConstraints));
         }
     }
 }

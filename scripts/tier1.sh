@@ -1,0 +1,12 @@
+#!/usr/bin/env sh
+# Tier-1 gate: offline release build, the full workspace test suite,
+# and the chaos (fault-injection) experiments. Run from the repo root.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+cargo build --release --offline --workspace
+cargo test -q --offline --workspace
+cargo test -q --offline --test chaos_experiments
+
+echo "tier1: OK"
