@@ -46,19 +46,48 @@ pub fn generate(testbed: &Testbed, seed: u64) -> PassiveDataset {
 /// active-lab concern; the generator only exercises link faults.
 pub fn generate_with_faults(testbed: &Testbed, seed: u64, plan: FaultPlan) -> PassiveDataset {
     let mut dataset = PassiveDataset::default();
-    let mut truncated = 0u64;
     let root_rng = Drbg::from_seed(seed);
-    // Cache of driven handshakes keyed by (device, dest index, phase
-    // start) — the observation metadata is identical within a phase.
-    let mut cache: HashMap<(String, usize, Month), Option<TlsObservation>> = HashMap::new();
 
-    for (_at, event) in build_timeline(testbed) {
-        let StudyEvent::CaptureRoll { device: device_name, month } = event else {
+    // Split the timeline's capture rolls into per-device lanes. Every
+    // RNG draw is forked per (device, month) and the handshake cache is
+    // keyed per device, so lanes are independent; each lane walks its
+    // own months in timeline order, and the per-event outputs are
+    // re-merged by global event index below — byte-identical to the
+    // sequential interleaving at any worker count.
+    let mut lanes: Vec<(String, Vec<(usize, Month)>)> = Vec::new();
+    let mut lane_of: HashMap<String, usize> = HashMap::new();
+    for (idx, (_at, event)) in build_timeline(testbed).into_iter().enumerate() {
+        let StudyEvent::CaptureRoll { device, month } = event else {
             continue; // joins/retirements/updates need no capture action
         };
+        let lane = *lane_of.entry(device.clone()).or_insert_with(|| {
+            lanes.push((device.clone(), Vec::new()));
+            lanes.len() - 1
+        });
+        lanes[lane].1.push((idx, month));
+    }
+
+    /// One capture roll's output, tagged with its timeline position.
+    struct EventOut {
+        idx: usize,
+        observations: Vec<WeightedObservation>,
+        flows: Vec<RevocationFlow>,
+        truncated: u64,
+    }
+
+    let per_lane = iotls_simnet::ordered_map(lanes, |(device_name, months)| {
         let device = testbed.device(&device_name);
-        let mut rng = root_rng.fork(&format!("capture/{}/{}", device.spec.name, month));
-        {
+        // Cache of driven handshakes keyed by (device, dest index,
+        // phase start) — the observation metadata is identical within
+        // a phase.
+        let mut cache: HashMap<(String, usize, Month), Option<TlsObservation>> = HashMap::new();
+        let mut outs = Vec::with_capacity(months.len());
+        for (idx, month) in months {
+            let mut truncated = 0u64;
+            let mut observations = Vec::new();
+            let mut flows = Vec::new();
+            let mut rng = root_rng.fork(&format!("capture/{}/{}", device.spec.name, month));
+            {
             let phase_start = device
                 .spec
                 .phases
@@ -113,7 +142,7 @@ pub fn generate_with_faults(testbed: &Testbed, seed: u64, plan: FaultPlan) -> Pa
                 if count == 0 {
                     continue;
                 }
-                dataset.observations.push(WeightedObservation {
+                observations.push(WeightedObservation {
                     observation: obs,
                     count,
                 });
@@ -121,7 +150,7 @@ pub fn generate_with_faults(testbed: &Testbed, seed: u64, plan: FaultPlan) -> Pa
 
             // Revocation endpoint flows (Table 8's CRL/OCSP columns).
             if device.spec.revocation.crl {
-                dataset.revocation_flows.push(RevocationFlow {
+                flows.push(RevocationFlow {
                     time: month.start().plus_days(3),
                     device: device.spec.name.clone(),
                     kind: RevocationKind::CrlFetch,
@@ -130,7 +159,7 @@ pub fn generate_with_faults(testbed: &Testbed, seed: u64, plan: FaultPlan) -> Pa
                 });
             }
             if device.spec.revocation.ocsp {
-                dataset.revocation_flows.push(RevocationFlow {
+                flows.push(RevocationFlow {
                     time: month.start().plus_days(5),
                     device: device.spec.name.clone(),
                     kind: RevocationKind::OcspQuery,
@@ -138,9 +167,19 @@ pub fn generate_with_faults(testbed: &Testbed, seed: u64, plan: FaultPlan) -> Pa
                     count: 10 + rng.below(30),
                 });
             }
+            }
+            outs.push(EventOut { idx, observations, flows, truncated });
         }
+        outs
+    });
+
+    let mut events: Vec<EventOut> = per_lane.into_iter().flatten().collect();
+    events.sort_by_key(|e| e.idx);
+    for e in events {
+        dataset.observations.extend(e.observations);
+        dataset.revocation_flows.extend(e.flows);
+        dataset.truncated += e.truncated;
     }
-    dataset.truncated = truncated;
     dataset
 }
 

@@ -58,6 +58,9 @@ pub struct InterceptionReport {
     /// Fault/recovery counters aggregated across every lab the audit
     /// spun up. All zeros outside chaos runs.
     pub fault_stats: FaultStats,
+    /// Verification-cache hit/miss counters aggregated across the same
+    /// labs.
+    pub verify_cache_stats: iotls_x509::cache::CacheStats,
 }
 
 impl InterceptionReport {
@@ -136,10 +139,19 @@ pub fn run_interception_audit_with(
     let mut rows = Vec::new();
     let mut passthrough_gains = Vec::new();
     let mut fault_stats = FaultStats::default();
+    let mut verify_cache_stats = iotls_x509::cache::CacheStats::default();
 
-    for device in testbed.devices.iter().filter(|d| d.spec.in_active) {
+    // Each device gets fresh labs seeded independently of roster
+    // position, so the per-device work fans out across workers and the
+    // ordered merge below reproduces the sequential accumulation
+    // exactly.
+    let devices: Vec<_> = testbed.devices.iter().filter(|d| d.spec.in_active).collect();
+    let per_device = iotls_simnet::ordered_map(devices, |device| {
         // Fresh lab per device per attack so the Yi quirk and boot
         // counters don't bleed between experiments.
+        let mut device_stats = FaultStats::default();
+        let mut device_cache = iotls_x509::cache::CacheStats::default();
+        let mut device_gain = None;
         let mut vulnerable = BTreeSet::new();
         let mut leaks: Vec<String> = Vec::new();
         let mut observed: BTreeSet<String> = BTreeSet::new();
@@ -197,12 +209,13 @@ pub fn run_interception_audit_with(
             }
             let after = observed.len();
             if i == 0 && before > 0 && after > before {
-                passthrough_gains.push((after - before) as f64 / before as f64 * 100.0);
+                device_gain = Some((after - before) as f64 / before as f64 * 100.0);
             }
-            fault_stats.merge(&lab.fault_stats());
+            device_stats.merge(&lab.fault_stats());
+            device_cache.merge(&lab.verify_cache_stats());
         }
 
-        rows.push(InterceptionRow {
+        let row = InterceptionRow {
             device: device.spec.name.clone(),
             no_validation: flags[0],
             invalid_basic_constraints: flags[1],
@@ -210,7 +223,17 @@ pub fn run_interception_audit_with(
             vulnerable_destinations: vulnerable,
             total_destinations: observed,
             sensitive_leaks: leaks,
-        });
+        };
+        (row, device_gain, device_stats, device_cache)
+    });
+
+    for (row, gain, stats, cache) in per_device {
+        rows.push(row);
+        if let Some(g) = gain {
+            passthrough_gains.push(g);
+        }
+        fault_stats.merge(&stats);
+        verify_cache_stats.merge(&cache);
     }
 
     let passthrough_extra_hostnames_pct = if passthrough_gains.is_empty() {
@@ -223,6 +246,7 @@ pub fn run_interception_audit_with(
         rows,
         passthrough_extra_hostnames_pct,
         fault_stats,
+        verify_cache_stats,
     }
 }
 

@@ -172,8 +172,10 @@ impl DeviceAudit {
 /// Runs the auditing service over every active device: reboot, let
 /// the device connect, grade every distinct ClientHello.
 pub fn run_audit_service(testbed: &Testbed, seed: u64) -> Vec<DeviceAudit> {
-    let mut out = Vec::new();
-    for device in testbed.devices.iter().filter(|d| d.spec.in_active) {
+    // Each device gets its own lab and RNG stream; the ordered fan-out
+    // keeps the report in roster order at any thread count.
+    let devices: Vec<_> = testbed.devices.iter().filter(|d| d.spec.in_active).collect();
+    iotls_simnet::ordered_map(devices, |device| {
         let mut lab = ActiveLab::new(testbed, seed ^ 0xA0D17);
         let mut per_fp: BTreeMap<FingerprintId, Vec<AuditIssue>> = BTreeMap::new();
         for _ in 0..4 {
@@ -191,12 +193,11 @@ pub fn run_audit_service(testbed: &Testbed, seed: u64) -> Vec<DeviceAudit> {
                 issues,
             })
             .collect();
-        out.push(DeviceAudit {
+        DeviceAudit {
             device: device.spec.name.clone(),
             instances,
-        });
-    }
-    out
+        }
+    })
 }
 
 /// What the guardian gateway does with one observed connection.

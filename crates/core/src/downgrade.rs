@@ -121,7 +121,9 @@ pub fn run_downgrade_probe_with(
 ) -> (Vec<DowngradeRow>, FaultStats) {
     let mut rows = Vec::new();
     let mut fault_stats = FaultStats::default();
-    for device in testbed.devices.iter().filter(|d| d.spec.in_active) {
+    let devices: Vec<_> = testbed.devices.iter().filter(|d| d.spec.in_active).collect();
+    let per_device = iotls_simnet::ordered_map(devices, |device| {
+        let mut device_stats = FaultStats::default();
         let mut on_failed = false;
         let mut on_incomplete = false;
         let mut kind: Option<DowngradeKind> = None;
@@ -162,19 +164,22 @@ pub fn run_downgrade_probe_with(
                     kind.get_or_insert(k);
                 }
             }
-            fault_stats.merge(&lab.fault_stats());
+            device_stats.merge(&lab.fault_stats());
         }
 
-        if let Some(kind) = kind {
-            rows.push(DowngradeRow {
-                device: device.spec.name.clone(),
-                on_failed_handshake: on_failed,
-                on_incomplete_handshake: on_incomplete,
-                kind,
-                downgraded_destinations: downgraded,
-                total_destinations: total,
-            });
-        }
+        let row = kind.map(|kind| DowngradeRow {
+            device: device.spec.name.clone(),
+            on_failed_handshake: on_failed,
+            on_incomplete_handshake: on_incomplete,
+            kind,
+            downgraded_destinations: downgraded,
+            total_destinations: total,
+        });
+        (row, device_stats)
+    });
+    for (row, stats) in per_device {
+        rows.extend(row);
+        fault_stats.merge(&stats);
     }
     (rows, fault_stats)
 }
@@ -237,20 +242,25 @@ pub fn run_old_version_scan_with(
 ) -> (Vec<OldVersionRow>, FaultStats) {
     let mut rows = Vec::new();
     let mut fault_stats = FaultStats::default();
-    for device in testbed.devices.iter().filter(|d| d.spec.in_active) {
+    let devices: Vec<_> = testbed.devices.iter().filter(|d| d.spec.in_active).collect();
+    let per_device = iotls_simnet::ordered_map(devices, |device| {
+        let mut device_stats = FaultStats::default();
         let mut lab10 = ActiveLab::with_faults(testbed, seed ^ 0x10, plan);
         let tls10 = accepts_version(&mut lab10, &device.spec.name, ProtocolVersion::Tls10);
-        fault_stats.merge(&lab10.fault_stats());
+        device_stats.merge(&lab10.fault_stats());
         let mut lab11 = ActiveLab::with_faults(testbed, seed ^ 0x11, plan);
         let tls11 = accepts_version(&mut lab11, &device.spec.name, ProtocolVersion::Tls11);
-        fault_stats.merge(&lab11.fault_stats());
-        if tls10 || tls11 {
-            rows.push(OldVersionRow {
-                device: device.spec.name.clone(),
-                tls10,
-                tls11,
-            });
-        }
+        device_stats.merge(&lab11.fault_stats());
+        let row = (tls10 || tls11).then(|| OldVersionRow {
+            device: device.spec.name.clone(),
+            tls10,
+            tls11,
+        });
+        (row, device_stats)
+    });
+    for (row, stats) in per_device {
+        rows.extend(row);
+        fault_stats.merge(&stats);
     }
     (rows, fault_stats)
 }

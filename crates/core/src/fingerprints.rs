@@ -57,29 +57,40 @@ impl FingerprintSurvey {
 /// Runs the survey over every active device.
 pub fn run_fingerprint_survey(testbed: &Testbed, seed: u64) -> FingerprintSurvey {
     let mut survey = FingerprintSurvey::default();
-    for device in testbed.devices.iter().filter(|d| d.spec.in_active) {
+    // Per-device collection fans out; the BTreeMap accumulators make
+    // the merge order-insensitive anyway, but the ordered merge keeps
+    // the degenerate paths identical too.
+    let devices: Vec<_> = testbed.devices.iter().filter(|d| d.spec.in_active).collect();
+    let per_device = iotls_simnet::ordered_map(devices, |device| {
         let mut lab = ActiveLab::new(testbed, seed ^ 0xF19E4);
         let mut counts: BTreeMap<FingerprintId, u64> = BTreeMap::new();
+        let mut seen: BTreeSet<FingerprintId> = BTreeSet::new();
         // A few reboots to ride out flaky boots and reach follow-up
         // destinations.
         for _ in 0..4 {
             let outcomes = lab.boot_and_connect(device, None);
             for o in &outcomes {
                 *counts.entry(o.first_fingerprint).or_insert(0) += 1;
-                survey
-                    .by_device
-                    .entry(device.spec.name.clone())
-                    .or_default()
-                    .insert(o.first_fingerprint);
-                survey
-                    .by_fingerprint
-                    .entry(o.first_fingerprint)
-                    .or_default()
-                    .insert(device.spec.name.clone());
+                seen.insert(o.first_fingerprint);
             }
         }
-        if let Some((fp, _)) = counts.iter().max_by_key(|(_, c)| **c) {
-            survey.dominant.insert(device.spec.name.clone(), *fp);
+        let dominant = counts.iter().max_by_key(|(_, c)| **c).map(|(fp, _)| *fp);
+        (device.spec.name.clone(), seen, dominant)
+    });
+
+    for (name, seen, dominant) in per_device {
+        for fp in &seen {
+            survey
+                .by_fingerprint
+                .entry(*fp)
+                .or_default()
+                .insert(name.clone());
+        }
+        if !seen.is_empty() {
+            survey.by_device.insert(name.clone(), seen);
+        }
+        if let Some(fp) = dominant {
+            survey.dominant.insert(name, fp);
         }
     }
     survey

@@ -126,6 +126,10 @@ pub struct ActiveLab<'a> {
     /// Monotone per-lab attempt counter; keys the fault schedule so
     /// every re-dial draws a fresh fault decision.
     attempt_seq: u64,
+    /// Validation-verdict memoization shared by every handshake the
+    /// lab drives. Per-lab (never global) so the hit/miss counters are
+    /// part of the run's deterministic output.
+    verify_cache: std::sync::Arc<iotls_x509::cache::VerificationCache>,
 }
 
 impl<'a> ActiveLab<'a> {
@@ -152,6 +156,7 @@ impl<'a> ActiveLab<'a> {
             dns,
             stats: FaultStats::default(),
             attempt_seq: 0,
+            verify_cache: std::sync::Arc::default(),
         }
     }
 
@@ -163,6 +168,12 @@ impl<'a> ActiveLab<'a> {
     /// Fault/recovery counters accumulated so far.
     pub fn fault_stats(&self) -> FaultStats {
         self.stats
+    }
+
+    /// Verification-cache hit/miss counters accumulated so far
+    /// (reported next to [`FaultStats`]).
+    pub fn verify_cache_stats(&self) -> iotls_x509::cache::CacheStats {
+        self.verify_cache.stats()
     }
 
     /// The lab's DNS view (registry plus per-device query log).
@@ -294,6 +305,7 @@ impl<'a> ActiveLab<'a> {
             let faults = self.plan.session_faults(&format!("{conn_key}/try{seq}"));
 
             let mut cfg = client_config(&spec, device.truth.store.clone());
+            cfg.verify_cache = Some(self.verify_cache.clone());
             if validation_disabled {
                 cfg.validation_policy = ValidationPolicy::no_validation();
             }
@@ -634,6 +646,28 @@ mod tests {
         assert!(stats.injected_total() > 0, "no faults fired: {stats:?}");
         assert!(stats.recovered > 0, "nothing recovered: {stats:?}");
         assert_eq!(clean.fault_stats(), FaultStats::default());
+    }
+
+    #[test]
+    fn verification_cache_hits_on_repeat_connections_deterministically() {
+        let tb = Testbed::global();
+        let run = |seed| {
+            let mut lab = ActiveLab::new(tb, seed);
+            let dev = tb.device("D-Link Camera");
+            let outcomes: Vec<_> = (0..6)
+                .flat_map(|_| lab.boot_and_connect(dev, None))
+                .map(|o| (o.destination, o.result.established))
+                .collect();
+            (outcomes, lab.verify_cache_stats())
+        };
+        let (outcomes_a, stats_a) = run(0xCACE);
+        let (outcomes_b, stats_b) = run(0xCACE);
+        // Repeat boots present the same chains; the cache must absorb
+        // the repeats and count them reproducibly.
+        assert!(stats_a.misses > 0, "{stats_a:?}");
+        assert!(stats_a.hits > stats_a.misses, "{stats_a:?}");
+        assert_eq!(stats_a, stats_b);
+        assert_eq!(outcomes_a, outcomes_b);
     }
 
     #[test]

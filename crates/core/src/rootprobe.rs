@@ -85,6 +85,9 @@ pub struct RootProbeReport {
     /// Fault/recovery counters aggregated across every lab this probe
     /// spun up. All zeros outside chaos runs.
     pub fault_stats: FaultStats,
+    /// Verification-cache hit/miss counters aggregated across the same
+    /// labs.
+    pub verify_cache_stats: iotls_x509::cache::CacheStats,
     /// Verdicts initially lost to injected faults and recovered by
     /// re-probing across extra reboots.
     pub reprobed_verdicts: usize,
@@ -184,12 +187,29 @@ pub fn run_root_probe_with(testbed: &Testbed, seed: u64, plan: FaultPlan) -> Roo
     let mut excluded_no_validation = Vec::new();
     let mut rows = Vec::new();
     let mut fault_stats = FaultStats::default();
+    let mut verify_cache_stats = iotls_x509::cache::CacheStats::default();
     let mut reprobed_verdicts = 0;
 
-    for device in testbed.devices.iter().filter(|d| d.spec.in_active) {
+    // One device's fate after probing: excluded for one of the two §5.2
+    // reasons, or a (possibly non-amenable) verdict row.
+    enum DeviceFate {
+        RebootUnsafe(String),
+        NoValidation(String),
+        Probed(Box<RootProbeRow>),
+    }
+
+    let devices: Vec<_> = testbed.devices.iter().filter(|d| d.spec.in_active).collect();
+    let per_device = iotls_simnet::ordered_map(devices, |device| {
+        let mut device_stats = FaultStats::default();
+        let mut device_cache = iotls_x509::cache::CacheStats::default();
+        let mut device_reprobed = 0usize;
         if !device.spec.reboot_safe {
-            excluded_reboot_unsafe.push(device.spec.name.clone());
-            continue;
+            return (
+                DeviceFate::RebootUnsafe(device.spec.name.clone()),
+                device_stats,
+                device_cache,
+                device_reprobed,
+            );
         }
 
         // Screening: a device whose connections can be terminated with
@@ -222,10 +242,15 @@ pub fn run_root_probe_with(testbed: &Testbed, seed: u64, plan: FaultPlan) -> Roo
                     break;
                 }
             }
-            fault_stats.merge(&lab.fault_stats());
+            device_stats.merge(&lab.fault_stats());
+            device_cache.merge(&lab.verify_cache_stats());
             if never_validates {
-                excluded_no_validation.push(device.spec.name.clone());
-                continue;
+                return (
+                    DeviceFate::NoValidation(device.spec.name.clone()),
+                    device_stats,
+                    device_cache,
+                    device_reprobed,
+                );
             }
         }
 
@@ -246,7 +271,8 @@ pub fn run_root_probe_with(testbed: &Testbed, seed: u64, plan: FaultPlan) -> Roo
                 8,
             )
             .flatten();
-            fault_stats.merge(&lab.fault_stats());
+            device_stats.merge(&lab.fault_stats());
+            device_cache.merge(&lab.verify_cache_stats());
         }
         let amenable = match (baseline, known) {
             (Some(b), Some(k)) => b != k,
@@ -307,7 +333,7 @@ pub fn run_root_probe_with(testbed: &Testbed, seed: u64, plan: FaultPlan) -> Roo
                 if let Some(alert) = recovered {
                     let verdict = verdict_for(alert);
                     if verdict != ProbeVerdict::Inconclusive {
-                        reprobed_verdicts += 1;
+                        device_reprobed += 1;
                         if idx < common_len {
                             row.common.insert(ca_id, verdict);
                         } else {
@@ -316,10 +342,27 @@ pub fn run_root_probe_with(testbed: &Testbed, seed: u64, plan: FaultPlan) -> Roo
                     }
                 }
             }
-            fault_stats.merge(&lab.fault_stats());
+            device_stats.merge(&lab.fault_stats());
+            device_cache.merge(&lab.verify_cache_stats());
         }
 
-        rows.push(row);
+        (
+            DeviceFate::Probed(Box::new(row)),
+            device_stats,
+            device_cache,
+            device_reprobed,
+        )
+    });
+
+    for (fate, stats, cache, reprobed) in per_device {
+        match fate {
+            DeviceFate::RebootUnsafe(name) => excluded_reboot_unsafe.push(name),
+            DeviceFate::NoValidation(name) => excluded_no_validation.push(name),
+            DeviceFate::Probed(row) => rows.push(*row),
+        }
+        fault_stats.merge(&stats);
+        verify_cache_stats.merge(&cache);
+        reprobed_verdicts += reprobed;
     }
 
     RootProbeReport {
@@ -327,6 +370,7 @@ pub fn run_root_probe_with(testbed: &Testbed, seed: u64, plan: FaultPlan) -> Roo
         excluded_no_validation,
         rows,
         fault_stats,
+        verify_cache_stats,
         reprobed_verdicts,
     }
 }

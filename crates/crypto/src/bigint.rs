@@ -16,7 +16,7 @@ use std::fmt;
 /// limb vector.
 #[derive(Clone, PartialEq, Eq, Hash, Default)]
 pub struct Uint {
-    limbs: Vec<u64>,
+    pub(crate) limbs: Vec<u64>,
 }
 
 impl Uint {
@@ -112,7 +112,7 @@ impl Uint {
         self.limbs.first().copied().unwrap_or(0)
     }
 
-    fn normalize(&mut self) {
+    pub(crate) fn normalize(&mut self) {
         while self.limbs.last() == Some(&0) {
             self.limbs.pop();
         }
@@ -347,9 +347,23 @@ impl Uint {
         self.mul(rhs).rem(m)
     }
 
-    /// Modular exponentiation `self^exp mod m` via left-to-right
-    /// square-and-multiply. Panics if `m` is zero.
+    /// Modular exponentiation `self^exp mod m`. Odd moduli take the
+    /// Montgomery fixed-window fast path ([`crate::mont::MontCtx`]);
+    /// even moduli fall back to [`Self::modpow_generic`]. Panics if
+    /// `m` is zero.
     pub fn modpow(&self, exp: &Uint, m: &Uint) -> Uint {
+        assert!(!m.is_zero(), "Uint::modpow zero modulus");
+        if let Some(ctx) = crate::mont::MontCtx::new(m) {
+            return ctx.modpow(self, exp);
+        }
+        self.modpow_generic(exp, m)
+    }
+
+    /// Reference modular exponentiation via left-to-right
+    /// square-and-multiply, with a full division per step. Kept as the
+    /// even-modulus fallback and as the cross-check oracle for the
+    /// Montgomery path's property tests. Panics if `m` is zero.
+    pub fn modpow_generic(&self, exp: &Uint, m: &Uint) -> Uint {
         assert!(!m.is_zero(), "Uint::modpow zero modulus");
         if m.is_one() {
             return Uint::zero();

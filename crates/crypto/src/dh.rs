@@ -50,11 +50,23 @@ pub struct DhKeyPair {
     public: Uint,
 }
 
+/// Secret-exponent length, in bits. Real implementations use short
+/// exponents (OpenSSL sizes them at twice the group's security
+/// strength, cf. RFC 7919 §5.2): Oakley Group 1 offers well under
+/// 128 bits of strength, so 256-bit secrets keep the full security of
+/// the group while making each modexp ~3× cheaper than full-width
+/// exponents — the measurement engine's single hottest operation.
+const SECRET_BITS: u64 = 256;
+
 impl DhKeyPair {
-    /// Generates an ephemeral keypair: secret in `[2, p-2]`,
-    /// public = g^secret mod p.
+    /// Generates an ephemeral keypair: a short-exponent secret in
+    /// `[2, 2^256 + 1]` (see [`SECRET_BITS`]), public = g^secret mod p.
     pub fn generate(group: &DhGroup, rng: &mut Drbg) -> Self {
-        let upper = group.p.sub(&Uint::from_u64(3));
+        let upper = if group.p.bit_len() > SECRET_BITS as usize + 2 {
+            Uint::one().shl(SECRET_BITS as usize)
+        } else {
+            group.p.sub(&Uint::from_u64(3))
+        };
         let secret = random_below(&upper, rng).add(&Uint::from_u64(2));
         let public = group.g.modpow(&secret, &group.p);
         DhKeyPair {

@@ -10,6 +10,9 @@
 //!
 //! * [`bigint::Uint`] — arbitrary-precision unsigned arithmetic
 //!   (Knuth Algorithm D division, modular exponentiation/inverse);
+//! * [`mont::MontCtx`] — Montgomery-form multiplication and
+//!   fixed-window exponentiation, the hot path behind `Uint::modpow`
+//!   for odd moduli;
 //! * [`sha256`] — FIPS 180-4 SHA-256;
 //! * [`hmac`] — HMAC-SHA256 (RFC 2104);
 //! * [`rsa`] — RSA keygen / PKCS#1 v1.5-shaped signatures and key
@@ -36,6 +39,7 @@ pub mod dh;
 pub mod drbg;
 pub mod hmac;
 pub mod md5;
+pub mod mont;
 pub mod prime;
 pub mod rc4;
 pub mod rsa;

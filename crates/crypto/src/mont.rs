@@ -1,0 +1,250 @@
+//! Montgomery-form modular arithmetic.
+//!
+//! [`MontCtx`] precomputes the constants for a fixed *odd* modulus and
+//! then multiplies residues with CIOS (coarsely integrated operand
+//! scanning) Montgomery reduction — no multi-limb division anywhere in
+//! the loop, unlike the schoolbook `mul` + `divrem` path. On top of it
+//! sits a fixed 4-bit-window exponentiation ladder, which is what
+//! every RSA operation in the simulator bottoms out in.
+//!
+//! Residues are plain `k`-limb little-endian vectors (`k` = modulus
+//! limb count); conversion in and out of Montgomery form goes through
+//! [`MontCtx::to_mont`] / [`MontCtx::from_mont`]. Even moduli are not
+//! representable here — callers fall back to the generic path.
+
+use crate::bigint::Uint;
+
+/// Window width (bits) of the exponentiation ladder.
+const WINDOW: usize = 4;
+
+/// Precomputed Montgomery context for one odd modulus.
+pub struct MontCtx {
+    /// Modulus limbs, little-endian, length `k`.
+    m: Vec<u64>,
+    /// `-m^{-1} mod 2^64`.
+    n0: u64,
+    /// `R^2 mod m` where `R = 2^(64k)`, as a `k`-limb residue.
+    r2: Vec<u64>,
+}
+
+impl MontCtx {
+    /// Builds the context. Returns `None` for even (or zero/one)
+    /// moduli, which Montgomery reduction cannot handle.
+    pub fn new(m: &Uint) -> Option<MontCtx> {
+        if m.is_even() || m.is_one() || m.is_zero() {
+            return None;
+        }
+        let limbs = m.limbs.clone();
+        let k = limbs.len();
+        // Newton–Hensel inversion of m[0] modulo 2^64: each step
+        // doubles the number of correct low bits, so six steps from a
+        // 5-bit-correct start cover all 64.
+        let m0 = limbs[0];
+        let mut inv = m0; // correct mod 2^5 for odd m0
+        for _ in 0..6 {
+            inv = inv.wrapping_mul(2u64.wrapping_sub(m0.wrapping_mul(inv)));
+        }
+        debug_assert_eq!(m0.wrapping_mul(inv), 1);
+        let n0 = inv.wrapping_neg();
+        // R^2 mod m via one (context-lifetime) division.
+        let r2_uint = Uint::one().shl(128 * k).rem(m);
+        let mut r2 = r2_uint.limbs.clone();
+        r2.resize(k, 0);
+        Some(MontCtx { m: limbs, n0, r2 })
+    }
+
+    /// Modulus limb count.
+    fn k(&self) -> usize {
+        self.m.len()
+    }
+
+    /// CIOS Montgomery multiplication: returns `a * b * R^{-1} mod m`.
+    pub fn mont_mul(&self, a: &[u64], b: &[u64]) -> Vec<u64> {
+        let k = self.k();
+        debug_assert!(a.len() == k && b.len() == k);
+        let mut t = vec![0u64; k + 2];
+        for &ai in a {
+            // t += ai * b
+            let mut carry = 0u64;
+            for j in 0..k {
+                let v = t[j] as u128 + ai as u128 * b[j] as u128 + carry as u128;
+                t[j] = v as u64;
+                carry = (v >> 64) as u64;
+            }
+            let v = t[k] as u128 + carry as u128;
+            t[k] = v as u64;
+            t[k + 1] = (v >> 64) as u64;
+            // t = (t + mi * m) / 2^64 — mi chosen so the low limb
+            // cancels exactly.
+            let mi = t[0].wrapping_mul(self.n0);
+            let v = t[0] as u128 + mi as u128 * self.m[0] as u128;
+            let mut carry = (v >> 64) as u64;
+            for j in 1..k {
+                let v = t[j] as u128 + mi as u128 * self.m[j] as u128 + carry as u128;
+                t[j - 1] = v as u64;
+                carry = (v >> 64) as u64;
+            }
+            let v = t[k] as u128 + carry as u128;
+            t[k - 1] = v as u64;
+            t[k] = t[k + 1] + ((v >> 64) as u64);
+            t[k + 1] = 0;
+        }
+        // One conditional subtraction brings the result below m.
+        if t[k] != 0 || !limbs_lt(&t[..k], &self.m) {
+            sub_in_place(&mut t, &self.m);
+        }
+        t.truncate(k);
+        t
+    }
+
+    /// Converts `x` (must be `< m`) into Montgomery form.
+    pub fn to_mont(&self, x: &Uint) -> Vec<u64> {
+        let mut limbs = x.limbs.clone();
+        limbs.resize(self.k(), 0);
+        self.mont_mul(&limbs, &self.r2)
+    }
+
+    /// Converts a Montgomery residue back to a plain integer.
+    pub fn from_mont(&self, x: &[u64]) -> Uint {
+        let mut one = vec![0u64; self.k()];
+        one[0] = 1;
+        let mut out = Uint { limbs: self.mont_mul(x, &one) };
+        out.normalize();
+        out
+    }
+
+    /// `base^exp mod m` via a fixed 4-bit-window ladder over
+    /// Montgomery residues.
+    pub fn modpow(&self, base: &Uint, exp: &Uint) -> Uint {
+        let base_m = self.to_mont(&base.rem(&Uint { limbs: self.m.clone() }));
+        // one in Montgomery form is R mod m = mont_mul(1, R^2).
+        let mut one = vec![0u64; self.k()];
+        one[0] = 1;
+        let one_m = self.mont_mul(&one, &self.r2);
+
+        // table[j] = base^j in Montgomery form.
+        let mut table = Vec::with_capacity(1 << WINDOW);
+        table.push(one_m.clone());
+        for j in 1..1 << WINDOW {
+            let prev: &Vec<u64> = &table[j - 1];
+            table.push(self.mont_mul(prev, &base_m));
+        }
+
+        let bits = exp.bit_len();
+        let windows = bits.div_ceil(WINDOW);
+        let mut acc = one_m;
+        let mut started = false;
+        for w in (0..windows).rev() {
+            if started {
+                for _ in 0..WINDOW {
+                    acc = self.mont_mul(&acc, &acc);
+                }
+            }
+            let mut idx = 0usize;
+            for b in 0..WINDOW {
+                let bit = w * WINDOW + b;
+                if exp.bit(bit) {
+                    idx |= 1 << b;
+                }
+            }
+            if idx != 0 {
+                acc = self.mont_mul(&acc, &table[idx]);
+                started = true;
+            } else if started {
+                // nothing to multiply; squarings already applied
+            }
+        }
+        self.from_mont(&acc)
+    }
+}
+
+/// `a < b` over equal-length limb slices.
+fn limbs_lt(a: &[u64], b: &[u64]) -> bool {
+    debug_assert_eq!(a.len(), b.len());
+    for i in (0..a.len()).rev() {
+        if a[i] != b[i] {
+            return a[i] < b[i];
+        }
+    }
+    false
+}
+
+/// `t -= m` in place (`t` has at least `m.len()` limbs; borrow beyond
+/// `m.len()` propagates into the spill limb).
+fn sub_in_place(t: &mut [u64], m: &[u64]) {
+    let mut borrow = 0u64;
+    for (i, &mi) in m.iter().enumerate() {
+        let (d1, b1) = t[i].overflowing_sub(mi);
+        let (d2, b2) = d1.overflowing_sub(borrow);
+        t[i] = d2;
+        borrow = (b1 as u64) + (b2 as u64);
+    }
+    if borrow > 0 {
+        t[m.len()] = t[m.len()].wrapping_sub(borrow);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn u(v: u64) -> Uint {
+        Uint::from_u64(v)
+    }
+
+    #[test]
+    fn even_modulus_rejected() {
+        assert!(MontCtx::new(&u(100)).is_none());
+        assert!(MontCtx::new(&Uint::one()).is_none());
+        assert!(MontCtx::new(&Uint::zero()).is_none());
+        assert!(MontCtx::new(&u(101)).is_some());
+    }
+
+    #[test]
+    fn roundtrip_through_mont_form() {
+        let m = Uint::from_hex("fedcba98765432100fedcba987654321").unwrap();
+        let ctx = MontCtx::new(&m).unwrap();
+        let x = Uint::from_hex("123456789abcdef0fedcba9876543210").unwrap().rem(&m);
+        assert_eq!(ctx.from_mont(&ctx.to_mont(&x)), x);
+    }
+
+    #[test]
+    fn mont_mul_matches_modmul() {
+        let m = Uint::from_hex("f123456789abcdef123456789abcdef1").unwrap();
+        let ctx = MontCtx::new(&m).unwrap();
+        let a = Uint::from_hex("deadbeefcafebabe0123456789abcdef").unwrap().rem(&m);
+        let b = Uint::from_hex("aaaabbbbccccddddeeeeffff00001111").unwrap().rem(&m);
+        let am = ctx.to_mont(&a);
+        let bm = ctx.to_mont(&b);
+        let prod = ctx.from_mont(&ctx.mont_mul(&am, &bm));
+        assert_eq!(prod, a.modmul(&b, &m));
+    }
+
+    #[test]
+    fn modpow_matches_generic() {
+        let m = Uint::from_hex("c000000000000000000000000000024f").unwrap();
+        let ctx = MontCtx::new(&m).unwrap();
+        let base = Uint::from_hex("3243f6a8885a308d313198a2e0370734").unwrap();
+        let exp = Uint::from_hex("10001").unwrap();
+        assert_eq!(ctx.modpow(&base, &exp), base.modpow_generic(&exp, &m));
+    }
+
+    #[test]
+    fn modpow_edge_exponents() {
+        let m = u(1_000_003); // odd
+        let ctx = MontCtx::new(&m).unwrap();
+        assert!(ctx.modpow(&u(7), &Uint::zero()).is_one());
+        assert_eq!(ctx.modpow(&u(7), &Uint::one()), u(7));
+        assert_eq!(ctx.modpow(&Uint::zero(), &u(5)), Uint::zero());
+        // Fermat: 2^(p-1) ≡ 1 mod p for prime p.
+        assert!(ctx.modpow(&u(2), &u(1_000_002)).is_one());
+    }
+
+    #[test]
+    fn single_limb_modulus() {
+        let m = u(0xffffffff_ffffffc5); // odd
+        let ctx = MontCtx::new(&m).unwrap();
+        let got = ctx.modpow(&u(123456789), &u(987654321));
+        assert_eq!(got, u(123456789).modpow_generic(&u(987654321), &m));
+    }
+}

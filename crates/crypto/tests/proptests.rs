@@ -127,6 +127,57 @@ fn modinv_inverts() {
 }
 
 #[test]
+fn montgomery_modpow_matches_generic_oracle() {
+    // `Uint::modpow` dispatches to the Montgomery fast path for odd
+    // moduli and to the schoolbook ladder otherwise; both must agree
+    // with the ladder everywhere, including the dispatch boundary.
+    cases(48, "mont-vs-generic", |rng| {
+        let (a, e) = (random_uint(rng), random_uint(rng));
+        let mut m = random_uint(rng);
+        if m.is_zero() {
+            return;
+        }
+        // Half the cases force an odd modulus (Montgomery path), the
+        // other half keep whatever parity came out (even moduli take
+        // the generic path and must stay bit-identical too).
+        if rng.below(2) == 0 && m.is_even() {
+            m = m.add(&Uint::one());
+        }
+        assert_eq!(a.modpow(&e, &m), a.modpow_generic(&e, &m), "m={}", m.to_hex());
+    });
+}
+
+#[test]
+fn montgomery_context_mul_matches_modmul() {
+    use iotls_crypto::mont::MontCtx;
+    cases(48, "mont-mul", |rng| {
+        let mut m = random_uint(rng);
+        if m.is_even() {
+            m = m.add(&Uint::one());
+        }
+        if m.is_one() {
+            return;
+        }
+        let ctx = MontCtx::new(&m).expect("odd modulus > 1 must build a context");
+        let (a, b) = (random_uint(rng).rem(&m), random_uint(rng).rem(&m));
+        let product = ctx.from_mont(&ctx.mont_mul(&ctx.to_mont(&a), &ctx.to_mont(&b)));
+        assert_eq!(product, a.modmul(&b, &m));
+    });
+}
+
+#[test]
+fn montgomery_rejects_even_moduli() {
+    use iotls_crypto::mont::MontCtx;
+    cases(48, "mont-even", |rng| {
+        let mut m = random_uint(rng);
+        if !m.is_even() {
+            m = m.add(&Uint::one());
+        }
+        assert!(MontCtx::new(&m).is_none());
+    });
+}
+
+#[test]
 fn sha256_deterministic_and_sensitive() {
     cases(128, "sha256", |rng| {
         let data = random_bytes(rng, 299);
@@ -197,6 +248,19 @@ fn rsa_sign_verify_any_message() {
         let mut other = msg.clone();
         other.push(0);
         assert!(key.public_key().verify(&other, &sig).is_err());
+    });
+}
+
+#[test]
+fn rsa_crt_signatures_match_full_exponentiation() {
+    // The CRT fast path must be byte-identical to the plain c^d mod n
+    // computation — certificate bytes across the whole testbed depend
+    // on it.
+    let crt_key = shared_key();
+    let plain_key = crt_key.without_crt();
+    cases(16, "rsa-crt", |rng| {
+        let msg = random_bytes(rng, 199);
+        assert_eq!(crt_key.sign(&msg), plain_key.sign(&msg));
     });
 }
 

@@ -34,6 +34,7 @@ pub fn client_config(spec: &TlsInstanceSpec, root_store: RootStore) -> ClientCon
         // `iotls_tls::client::PinPolicy`).
         pin: iotls_tls::client::PinPolicy::None,
         verify_staple: false,
+        verify_cache: None,
     }
 }
 

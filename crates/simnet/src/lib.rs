@@ -17,12 +17,16 @@
 //! * [`dns`] — simulated DNS with a per-device query log (revocation
 //!   endpoint detection);
 //! * [`fault`] — seeded deterministic fault injection (resets, stalls,
-//!   garbled fragments, DNS failures, power cycles) for chaos runs.
+//!   garbled fragments, DNS failures, power cycles) for chaos runs;
+//! * [`par`] — deterministic fan-out (`IOTLS_THREADS` workers, ordered
+//!   merge) for the embarrassingly parallel per-device experiment
+//!   loops.
 
 pub mod dns;
 pub mod driver;
 pub mod events;
 pub mod fault;
+pub mod par;
 pub mod pipe;
 pub mod tap;
 
@@ -32,5 +36,6 @@ pub use events::{EventQueue, SimClock};
 pub use fault::{
     DnsFault, FailureCause, FaultOp, FaultPlan, InjectedFault, LinkConditioner, SessionFaults,
 };
+pub use par::{ordered_map, worker_count};
 pub use pipe::{DuplexLink, Pipe};
 pub use tap::{GatewayTap, TlsObservation};

@@ -1,0 +1,117 @@
+//! Deterministic fan-out over independent work items.
+//!
+//! The experiment drivers iterate a device roster where every item
+//! owns its own seeded RNG stream, so the loop bodies are
+//! embarrassingly parallel. [`ordered_map`] runs them on a scoped
+//! thread pool and returns results **in input order**, which is the
+//! whole trick: merging in roster order makes every downstream table,
+//! `FaultStats` accumulation, and float summation identical to the
+//! sequential run, regardless of how many workers raced.
+//!
+//! Worker count comes from the `IOTLS_THREADS` environment variable
+//! (re-read on every call so tests can flip it), defaulting to the
+//! machine's available parallelism. With one worker — or one item —
+//! the closure runs inline on the caller's thread: zero overhead, and
+//! the degenerate case is trivially identical to the sequential code.
+//!
+//! Std-only (`std::thread::scope` + an atomic work index); the
+//! workspace stays offline-buildable with no new dependencies.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Environment variable overriding the worker count.
+pub const THREADS_ENV: &str = "IOTLS_THREADS";
+
+/// Resolves the worker count: `IOTLS_THREADS` if set to a positive
+/// integer, otherwise available parallelism, otherwise 1.
+pub fn worker_count() -> usize {
+    std::env::var(THREADS_ENV)
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        })
+}
+
+/// Applies `f` to every item and returns the outputs in input order.
+///
+/// `f` must depend only on its item (plus shared read-only state) —
+/// the usual shape is "build a fresh lab from a per-device seed, run
+/// the probe, return the rows". Panics in `f` propagate to the caller.
+pub fn ordered_map<T, R, F>(items: Vec<T>, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    let workers = worker_count().min(items.len());
+    if workers <= 1 {
+        return items.into_iter().map(f).collect();
+    }
+
+    let n = items.len();
+    // Slots are claimed via an atomic cursor; each result lands in the
+    // slot matching its input index, so output order is input order.
+    let slots: Vec<std::sync::Mutex<(Option<T>, Option<R>)>> = items
+        .into_iter()
+        .map(|item| std::sync::Mutex::new((Some(item), None)))
+        .collect();
+    let cursor = AtomicUsize::new(0);
+
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let i = cursor.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let item = slots[i].lock().unwrap().0.take().expect("slot claimed once");
+                let out = f(item);
+                slots[i].lock().unwrap().1 = Some(out);
+            });
+        }
+    });
+
+    slots
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .unwrap()
+                .1
+                .expect("worker filled every slot")
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preserves_input_order() {
+        let items: Vec<usize> = (0..100).collect();
+        let out = ordered_map(items.clone(), |i| i * 3);
+        assert_eq!(out, items.iter().map(|i| i * 3).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn handles_empty_and_single() {
+        assert!(ordered_map(Vec::<u32>::new(), |x| x).is_empty());
+        assert_eq!(ordered_map(vec![7], |x| x + 1), vec![8]);
+    }
+
+    #[test]
+    fn moves_non_clone_items() {
+        let items = vec![String::from("a"), String::from("bb")];
+        let out = ordered_map(items, |s| s.len());
+        assert_eq!(out, vec![1, 2]);
+    }
+
+    #[test]
+    fn worker_count_floor_is_one() {
+        assert!(worker_count() >= 1);
+    }
+}

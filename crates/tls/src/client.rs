@@ -111,6 +111,10 @@ pub struct ClientConfig {
     /// revoked staples, stale staples, and missing staples for
     /// Must-Staple leaves. Requires `request_ocsp`.
     pub verify_staple: bool,
+    /// Optional memoization of chain-validation verdicts, shared by
+    /// every handshake within one experiment run. `None` validates
+    /// from scratch each time (identical verdicts, more work).
+    pub verify_cache: Option<std::sync::Arc<iotls_x509::cache::VerificationCache>>,
 }
 
 impl ClientConfig {
@@ -135,6 +139,7 @@ impl ClientConfig {
             alpn: Vec::new(),
             pin: PinPolicy::None,
             verify_staple: false,
+            verify_cache: None,
         }
     }
 
@@ -649,14 +654,25 @@ impl ClientConnection {
     /// Runs certificate validation and, on success, the key exchange
     /// and client's second flight.
     fn complete_client_flight(&mut self) {
-        // Certificate validation — the decision Table 7 audits.
-        let result = validate_chain(
-            &self.server_chain,
-            &self.config.root_store,
-            &self.hostname,
-            self.now,
-            &self.config.validation_policy,
-        );
+        // Certificate validation — the decision Table 7 audits. With a
+        // cache attached, repeat presentations of a chain within the
+        // run skip straight to the memoized verdict.
+        let result = match &self.config.verify_cache {
+            Some(cache) => cache.validate(
+                &self.server_chain,
+                &self.config.root_store,
+                &self.hostname,
+                self.now,
+                &self.config.validation_policy,
+            ),
+            None => validate_chain(
+                &self.server_chain,
+                &self.config.root_store,
+                &self.hostname,
+                self.now,
+                &self.config.validation_policy,
+            ),
+        };
         if let Err(e) = result {
             self.fail_validation(e);
             return;

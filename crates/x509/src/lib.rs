@@ -16,6 +16,9 @@
 //!   single-label wildcards);
 //! * [`store`] — root stores with subject-name lookup (the property
 //!   the TLS-alert side channel exploits);
+//! * [`cache`] — per-run memoization of validation verdicts keyed by
+//!   (chain digest, store id, day bucket, hostname, policy), with
+//!   hit/miss counters for the measurement reports;
 //! * [`revocation`] — signed CRL and OCSP models for the Table 8
 //!   analysis;
 //! * [`time`] — civil time and the `(year, month)` buckets used by the
@@ -23,6 +26,7 @@
 //! * [`tlv`] — the deterministic tag-length-value codec
 //!   (DER stand-in; see DESIGN.md §2 for the substitution rationale).
 
+pub mod cache;
 pub mod cert;
 pub mod hostname;
 pub mod revocation;
@@ -31,6 +35,7 @@ pub mod time;
 pub mod tlv;
 pub mod verify;
 
+pub use cache::{CacheStats, VerificationCache};
 pub use cert::{
     BasicConstraints, Certificate, CertifiedKey, DistinguishedName, Extensions, IssueParams,
     KeyUsage, SignatureAlgorithm, TbsCertificate,

@@ -13,6 +13,10 @@ use std::collections::BTreeMap;
 #[derive(Debug, Clone, Default)]
 pub struct RootStore {
     by_subject: BTreeMap<DistinguishedName, Certificate>,
+    /// XOR of all member fingerprints — a cheap, order-independent
+    /// content id maintained eagerly by `add`/`remove` so the
+    /// verification cache can key on the store in O(1).
+    id: [u8; 32],
 }
 
 impl RootStore {
@@ -32,12 +36,32 @@ impl RootStore {
 
     /// Adds (or replaces, on equal subject) a trusted root.
     pub fn add(&mut self, cert: Certificate) {
-        self.by_subject.insert(cert.tbs.subject.clone(), cert);
+        self.xor_id(&cert.fingerprint());
+        if let Some(replaced) = self.by_subject.insert(cert.tbs.subject.clone(), cert) {
+            self.xor_id(&replaced.fingerprint());
+        }
     }
 
     /// Removes a root by subject; returns it if present.
     pub fn remove(&mut self, subject: &DistinguishedName) -> Option<Certificate> {
-        self.by_subject.remove(subject)
+        let removed = self.by_subject.remove(subject);
+        if let Some(cert) = &removed {
+            self.xor_id(&cert.fingerprint());
+        }
+        removed
+    }
+
+    /// Content identifier: the XOR of every member's fingerprint.
+    /// Equal sets of roots yield equal ids regardless of insertion
+    /// order; the empty store's id is all zeros.
+    pub fn id(&self) -> [u8; 32] {
+        self.id
+    }
+
+    fn xor_id(&mut self, fp: &[u8; 32]) {
+        for (b, f) in self.id.iter_mut().zip(fp) {
+            *b ^= f;
+        }
     }
 
     /// Looks up the trusted certificate whose subject matches

@@ -1,0 +1,59 @@
+//! Perf harness: times the three headline workloads and emits one
+//! JSON entry per workload on stdout (`{workload, seconds, threads}`).
+//!
+//! `scripts/bench.sh` wraps this with the tier-1 test-suite timing and
+//! writes `BENCH_baseline.json` / `BENCH_current.json`, so the perf
+//! trajectory of the repo is measured the same way in every PR.
+//!
+//! Run with: `cargo run --release --example bench_workloads`
+
+use iotls_repro::capture::generate;
+use iotls_repro::core::{run_interception_audit, run_root_probe};
+use iotls_repro::devices::Testbed;
+use std::time::Instant;
+
+/// Worker count the engine will use: `IOTLS_THREADS` when set,
+/// otherwise the machine's available parallelism.
+fn threads() -> usize {
+    std::env::var("IOTLS_THREADS")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        })
+}
+
+fn timed(name: &str, threads: usize, f: impl FnOnce()) -> String {
+    let start = Instant::now();
+    f();
+    let seconds = start.elapsed().as_secs_f64();
+    eprintln!("bench: {name} finished in {seconds:.2}s");
+    format!(
+        "  {{\"workload\": \"{name}\", \"seconds\": {seconds:.3}, \"threads\": {threads}}}"
+    )
+}
+
+fn main() {
+    let threads = threads();
+    // Testbed/PKI construction is shared setup, not a workload.
+    let tb = Testbed::global();
+
+    let entries = [
+        timed("passive_generate", threads, || {
+            let ds = generate(tb, 0xCAFE);
+            assert!(ds.total_connections() > 0);
+        }),
+        timed("active_sweep", threads, || {
+            let report = run_interception_audit(tb, 0x7AB1E7);
+            assert!(!report.rows.is_empty());
+        }),
+        timed("rootprobe_sweep", threads, || {
+            let report = run_root_probe(tb, 0x6007);
+            assert!(!report.rows.is_empty());
+        }),
+    ];
+    println!("{}", entries.join(",\n"));
+}

@@ -1,0 +1,41 @@
+#!/usr/bin/env sh
+# Perf baseline harness: times the tier-1 test suite plus the three
+# headline workloads (passive generate, full active sweep, rootprobe
+# sweep) and writes a JSON report.
+#
+#   scripts/bench.sh            -> BENCH_current.json
+#   scripts/bench.sh baseline   -> BENCH_baseline.json
+#
+# Thread count comes from IOTLS_THREADS (default: all cores), and is
+# recorded per entry so speedups are attributable.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+case "${1:-current}" in
+    baseline) OUT=BENCH_baseline.json ;;
+    current)  OUT=BENCH_current.json ;;
+    *)        OUT="$1" ;;
+esac
+
+THREADS="${IOTLS_THREADS:-$(nproc 2>/dev/null || echo 1)}"
+
+cargo build --release --offline --workspace
+cargo build --release --offline --example bench_workloads
+
+T0=$(date +%s)
+cargo test -q --offline --workspace >/dev/null
+T1=$(date +%s)
+TIER1=$((T1 - T0))
+
+WORKLOADS=$(./target/release/examples/bench_workloads)
+
+{
+    echo "["
+    printf '  {"workload": "tier1_tests", "seconds": %d.0, "threads": %s},\n' "$TIER1" "$THREADS"
+    printf '%s\n' "$WORKLOADS"
+    echo "]"
+} > "$OUT"
+
+echo "bench: wrote $OUT"
+cat "$OUT"

@@ -1,12 +1,16 @@
 #!/usr/bin/env sh
-# Tier-1 gate: offline release build, the full workspace test suite,
-# and the chaos (fault-injection) experiments. Run from the repo root.
+# Tier-1 gate: offline release build, lint gate, and the full workspace
+# test suite (which already includes the chaos fault-injection
+# experiments under tests/). Run from the repo root.
 set -eu
 
 cd "$(dirname "$0")/.."
 
-cargo build --release --offline --workspace
-cargo test -q --offline --workspace
-cargo test -q --offline --test chaos_experiments
+start=$(date +%s)
 
-echo "tier1: OK"
+cargo build --release --offline --workspace
+cargo clippy --offline --workspace -- -D warnings
+cargo test -q --offline --workspace
+
+end=$(date +%s)
+echo "tier1: OK ($((end - start))s)"
