@@ -5,21 +5,9 @@
 //! users can re-plot with their own tooling.
 
 use iotls::{CipherMix, Series, VersionMix};
-use iotls_capture::PassiveDataset;
 use iotls_rootstore::{staleness_histogram, SimPki};
 use iotls::RootProbeReport;
 use iotls_x509::Month;
-
-fn month_axis(ds: &PassiveDataset) -> Vec<Month> {
-    let mut months: Vec<Month> = ds
-        .observations
-        .iter()
-        .map(|o| o.observation.time.month())
-        .collect();
-    months.sort();
-    months.dedup();
-    months
-}
 
 /// Escapes a CSV field (quotes fields containing separators).
 fn field(s: &str) -> String {
@@ -32,13 +20,12 @@ fn field(s: &str) -> String {
 
 /// CSV of the Figure 1 series: one row per (device, month) with the
 /// six version-mix fractions.
-pub fn version_series_csv(ds: &PassiveDataset, series: &Series<VersionMix>) -> String {
-    let axis = month_axis(ds);
+pub fn version_series_csv(axis: &[Month], series: &Series<VersionMix>) -> String {
     let mut out = String::from(
         "device,month,adv_tls13,adv_tls12,adv_older,est_tls13,est_tls12,est_older\n",
     );
     for (device, months) in series {
-        for m in &axis {
+        for m in axis {
             if let Some(mix) = months.get(m) {
                 out.push_str(&format!(
                     "{},{},{:.4},{:.4},{:.4},{:.4},{:.4},{:.4}\n",
@@ -58,12 +45,11 @@ pub fn version_series_csv(ds: &PassiveDataset, series: &Series<VersionMix>) -> S
 }
 
 /// CSV of the Figures 2–3 series.
-pub fn cipher_series_csv(ds: &PassiveDataset, series: &Series<CipherMix>) -> String {
-    let axis = month_axis(ds);
+pub fn cipher_series_csv(axis: &[Month], series: &Series<CipherMix>) -> String {
     let mut out =
         String::from("device,month,adv_insecure,est_insecure,adv_strong,est_strong\n");
     for (device, months) in series {
-        for m in &axis {
+        for m in axis {
             if let Some(mix) = months.get(m) {
                 out.push_str(&format!(
                     "{},{},{:.4},{:.4},{:.4},{:.4}\n",
@@ -102,7 +88,7 @@ mod tests {
     #[test]
     fn version_csv_shape() {
         let ds = global_dataset();
-        let csv = version_series_csv(ds, &version_series(ds));
+        let csv = version_series_csv(&crate::figures::month_axis(ds), &version_series(ds));
         let mut lines = csv.lines();
         assert_eq!(
             lines.next().unwrap(),
@@ -120,7 +106,7 @@ mod tests {
     #[test]
     fn cipher_csv_fractions_in_range() {
         let ds = global_dataset();
-        let csv = cipher_series_csv(ds, &cipher_series(ds));
+        let csv = cipher_series_csv(&crate::figures::month_axis(ds), &cipher_series(ds));
         for line in csv.lines().skip(1) {
             let fields: Vec<&str> = line.split(',').collect();
             for v in &fields[2..] {

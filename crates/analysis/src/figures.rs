@@ -11,7 +11,11 @@ use std::collections::BTreeMap;
 
 const LABEL_WIDTH: usize = 22;
 
-fn month_axis(ds: &PassiveDataset) -> Vec<Month> {
+/// The sorted, distinct months with traffic — the heatmap x-axis.
+/// Streaming callers get this for free from
+/// `iotls::PassiveAnalysis::month_axis`; this helper derives it from
+/// a materialized row dataset.
+pub fn month_axis(ds: &PassiveDataset) -> Vec<Month> {
     let mut months: Vec<Month> = ds
         .observations
         .iter()
@@ -51,16 +55,15 @@ type MixRow<'a> = (&'a str, Box<dyn Fn(&VersionMix) -> f64>);
 /// Figure 1: advertised and established TLS version heatmap. Only the
 /// devices with non-TLS-1.2 behavior are shown, as in the paper.
 pub fn fig1_versions(
-    ds: &PassiveDataset,
+    axis: &[Month],
     series: &Series<VersionMix>,
     fig1_devices: &[String],
 ) -> String {
-    let axis = month_axis(ds);
     let mut out = String::from(
         "Figure 1: TLS version support over time (rows per device: 1.3 / 1.2 / older; \
          left = advertised, right = established; '·' = no traffic)\n\n",
     );
-    out.push_str(&axis_header(&axis));
+    out.push_str(&axis_header(axis));
     out.push('\n');
     for device in fig1_devices {
         let Some(s) = series.get(device) else {
@@ -75,7 +78,7 @@ pub fn fig1_versions(
             ("est old", Box::new(|m: &VersionMix| m.est_older)),
         ];
         for (label, f) in rows {
-            let values = series_row(s, &axis, &f);
+            let values = series_row(s, axis, &f);
             out.push_str(&heat_row(
                 &format!("{device} {label}"),
                 &values,
@@ -90,16 +93,15 @@ pub fn fig1_versions(
 
 /// Figure 2: insecure-ciphersuite advertisement heatmap (devices that
 /// advertise them; lower is better).
-pub fn fig2_insecure(ds: &PassiveDataset, series: &Series<CipherMix>) -> String {
-    let axis = month_axis(ds);
+pub fn fig2_insecure(axis: &[Month], series: &Series<CipherMix>) -> String {
     let mut out = String::from(
         "Figure 2: fraction of connections advertising insecure ciphersuites \
          (DES/3DES/RC4/EXPORT) per month\n\n",
     );
-    out.push_str(&axis_header(&axis));
+    out.push_str(&axis_header(axis));
     out.push('\n');
     for (device, s) in series {
-        let values = series_row(s, &axis, |m| m.adv_insecure);
+        let values = series_row(s, axis, |m| m.adv_insecure);
         // Skip the clean devices, as the paper's figure does.
         let ever = values.iter().flatten().any(|v| *v > 0.01);
         if !ever {
@@ -113,16 +115,15 @@ pub fn fig2_insecure(ds: &PassiveDataset, series: &Series<CipherMix>) -> String 
 
 /// Figure 3: strong-ciphersuite (forward secrecy) establishment
 /// heatmap (higher is better).
-pub fn fig3_strong(ds: &PassiveDataset, series: &Series<CipherMix>) -> String {
-    let axis = month_axis(ds);
+pub fn fig3_strong(axis: &[Month], series: &Series<CipherMix>) -> String {
     let mut out = String::from(
         "Figure 3: fraction of connections established with forward-secret \
          ciphersuites per month\n\n",
     );
-    out.push_str(&axis_header(&axis));
+    out.push_str(&axis_header(axis));
     out.push('\n');
     for (device, s) in series {
-        let values = series_row(s, &axis, |m| m.est_strong);
+        let values = series_row(s, axis, |m| m.est_strong);
         // The paper hides the 18 devices that are always-strong.
         let always_strong = values.iter().flatten().all(|v| *v > 0.9)
             && values.iter().any(|v| v.is_some());
@@ -174,7 +175,7 @@ mod tests {
         let ds = global_dataset();
         let series = version_series(ds);
         let summary = passive_summary(ds);
-        let text = fig1_versions(ds, &series, &summary.fig1_devices);
+        let text = fig1_versions(&month_axis(ds), &series, &summary.fig1_devices);
         assert!(text.contains("Wemo Plug adv old"));
         assert!(text.contains("Google Home Mini adv 1.3"));
         // 27 months of axis between the pipes.
@@ -187,7 +188,7 @@ mod tests {
     fn fig2_skips_clean_devices() {
         let ds = global_dataset();
         let series = cipher_series(ds);
-        let text = fig2_insecure(ds, &series);
+        let text = fig2_insecure(&month_axis(ds), &series);
         assert!(text.contains("Zmodo Doorbell"));
         assert!(!text.contains("D-Link Camera"));
         assert!(!text.contains("Nest Thermostat"));
@@ -197,7 +198,7 @@ mod tests {
     fn fig3_shows_transitioning_devices() {
         let ds = global_dataset();
         let series = cipher_series(ds);
-        let text = fig3_strong(ds, &series);
+        let text = fig3_strong(&month_axis(ds), &series);
         assert!(text.contains("Blink Hub"));
         assert!(text.contains("Wink Hub 2"));
     }

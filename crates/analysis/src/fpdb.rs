@@ -7,6 +7,7 @@
 //! library templates produce (that is what a real database contains),
 //! and the remainder is deterministic noise.
 
+use iotls_capture::{Interner, Symbol};
 use iotls_crypto::drbg::Drbg;
 use iotls_devices::instance;
 use iotls_devices::client_config;
@@ -19,9 +20,12 @@ use std::collections::BTreeMap;
 pub const DB_SIZE: usize = 1_684;
 
 /// A labeled fingerprint database: fingerprint → application labels.
+/// Labels are interned — shared labels ("openssl", "boringssl", …)
+/// are stored once and entries carry fixed-width [`Symbol`]s.
 #[derive(Debug, Default)]
 pub struct FingerprintDb {
-    by_fingerprint: BTreeMap<FingerprintId, Vec<String>>,
+    by_fingerprint: BTreeMap<FingerprintId, Vec<Symbol>>,
+    labels: Interner,
     len: usize,
 }
 
@@ -77,10 +81,8 @@ impl FingerprintDb {
     }
 
     fn insert(&mut self, fp: FingerprintId, label: &str) {
-        self.by_fingerprint
-            .entry(fp)
-            .or_default()
-            .push(label.to_string());
+        let sym = self.labels.intern(label);
+        self.by_fingerprint.entry(fp).or_default().push(sym);
         self.len += 1;
     }
 
@@ -95,11 +97,11 @@ impl FingerprintDb {
     }
 
     /// Application labels matching a fingerprint.
-    pub fn labels_for(&self, fp: &FingerprintId) -> &[String] {
+    pub fn labels_for(&self, fp: &FingerprintId) -> Vec<&str> {
         self.by_fingerprint
             .get(fp)
-            .map(|v| v.as_slice())
-            .unwrap_or(&[])
+            .map(|v| v.iter().map(|s| self.labels.resolve(*s)).collect())
+            .unwrap_or_default()
     }
 }
 
@@ -120,11 +122,11 @@ mod tests {
     fn stock_library_fingerprints_are_labeled() {
         let db = db();
         let openssl = template_fingerprint(&instance::openssl_102());
-        assert_eq!(db.labels_for(&openssl), &["openssl".to_string()]);
+        assert_eq!(db.labels_for(&openssl), vec!["openssl"]);
         let android = template_fingerprint(&instance::android_sdk());
-        assert_eq!(db.labels_for(&android), &["android-sdk".to_string()]);
+        assert_eq!(db.labels_for(&android), vec!["android-sdk"]);
         let roku = template_fingerprint(&instance::roku_main());
-        assert_eq!(db.labels_for(&roku), &["openssl".to_string()]);
+        assert_eq!(db.labels_for(&roku), vec!["openssl"]);
     }
 
     #[test]

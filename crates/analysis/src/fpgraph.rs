@@ -55,7 +55,7 @@ impl SharingGraph {
                 users
                     .entry(*fp)
                     .or_default()
-                    .push((Node::Application(label.clone()), false));
+                    .push((Node::Application(label.to_string()), false));
             }
         }
         let mut graph = SharingGraph::default();

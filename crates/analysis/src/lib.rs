@@ -24,6 +24,7 @@ pub mod render;
 pub mod tables;
 
 pub use export::{cipher_series_csv, staleness_csv, version_series_csv};
+pub use figures::month_axis;
 pub use fpdb::{template_fingerprint, FingerprintDb, DB_SIZE};
 pub use fpgraph::{Edge, Node, SharingGraph};
 pub use minimization::{render_utilization, root_store_utilization, UtilizationRow};

@@ -20,7 +20,8 @@ fn main() {
     let ds = global_dataset();
     let summary = passive_summary(ds);
     let series = version_series(ds);
-    let mut body = iotls_analysis::figures::fig1_versions(ds, &series, &summary.fig1_devices);
+    let axis = iotls_analysis::month_axis(ds);
+    let mut body = iotls_analysis::figures::fig1_versions(&axis, &series, &summary.fig1_devices);
     body.push_str("\nDetected upgrades:\n");
     for t in version_transitions(ds) {
         body.push_str(&format!("  {} {} -> {} ({})\n", t.device, t.from, t.to, t.month));

@@ -16,7 +16,8 @@ fn main() {
     let ds = global_dataset();
     let series = cipher_series(ds);
     let summary = passive_summary(ds);
-    let mut body = iotls_analysis::figures::fig2_insecure(ds, &series);
+    let axis = iotls_analysis::month_axis(ds);
+    let mut body = iotls_analysis::figures::fig2_insecure(&axis, &series);
     body.push_str(&format!(
         "\nDevices advertising insecure suites: {} of 40 (paper: 34)\n\
          Devices establishing them: {:?} (paper: Wink Hub 2, LG TV)\n",

@@ -16,7 +16,8 @@ fn main() {
     let ds = global_dataset();
     let series = cipher_series(ds);
     let summary = passive_summary(ds);
-    let mut body = iotls_analysis::figures::fig3_strong(ds, &series);
+    let axis = iotls_analysis::month_axis(ds);
+    let mut body = iotls_analysis::figures::fig3_strong(&axis, &series);
     body.push_str(&format!(
         "\nDevices advertising forward secrecy: {} of 40 (paper: 33)\n\
          Devices establishing mostly without it: {} (paper: 22)\n",

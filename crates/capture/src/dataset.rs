@@ -91,25 +91,27 @@ impl PassiveDataset {
             .collect()
     }
 
-    /// Device names present in the dataset, sorted.
+    /// Device names present in the dataset, sorted. Allocates one
+    /// `String` per *distinct* device, not per observation.
     pub fn device_names(&self) -> Vec<String> {
-        let mut names: Vec<String> = self
+        let mut names: Vec<&str> = self
             .observations
             .iter()
-            .map(|o| o.observation.device.clone())
+            .map(|o| o.observation.device.as_str())
             .collect();
-        names.sort();
+        names.sort_unstable();
         names.dedup();
-        names
+        names.into_iter().map(String::from).collect()
     }
 
     /// Aggregate statistics (§4.1).
     pub fn stats(&self) -> DatasetStats {
-        let mut per: std::collections::BTreeMap<String, u64> = std::collections::BTreeMap::new();
+        let mut per: std::collections::BTreeMap<&str, u64> = std::collections::BTreeMap::new();
         for o in &self.observations {
-            *per.entry(o.observation.device.clone()).or_insert(0) += o.count;
+            *per.entry(o.observation.device.as_str()).or_insert(0) += o.count;
         }
-        let per_device: Vec<(String, u64)> = per.into_iter().collect();
+        let per_device: Vec<(String, u64)> =
+            per.into_iter().map(|(d, c)| (d.to_string(), c)).collect();
         let total: u64 = per_device.iter().map(|(_, c)| c).sum();
         let mut counts: Vec<u64> = per_device.iter().map(|(_, c)| *c).collect();
         counts.sort_unstable();

@@ -11,17 +11,29 @@
 //! destination, phase) combinations reuse the driven handshake, which
 //! is metadata-identical, keeping the full two-year dataset fast to
 //! generate.
+//!
+//! Output is columnar from the start: each parallel lane interns its
+//! strings and fingerprints locally and appends rows to a lane-local
+//! [`DatasetBuilder`]; the sequential merge walks events in timeline
+//! order, remaps lane symbols into the shared tables, and streams
+//! sealed [`ObsChunk`]s to the caller's sink. [`generate_streamed`]
+//! can additionally split each weighted row into many physical rows
+//! (`max_count_per_row`), which is how the `passive_10m` bench
+//! materializes a paper-scale (≥10M-connection) row stream from the
+//! seed schedule while holding only one open chunk in memory.
 
-use crate::dataset::{PassiveDataset, RevocationFlow, RevocationKind, WeightedObservation};
+use crate::columnar::{ColumnarDataset, DatasetBuilder, ObsChunk, RevRow, RowView};
+use crate::dataset::{PassiveDataset, RevocationKind};
+use crate::intern::{DigestInterner, Interner, Symbol};
 use crate::timeline::{build_timeline, StudyEvent};
 use iotls_crypto::drbg::Drbg;
 use iotls_devices::{DeviceSetup, Testbed};
 use iotls_simnet::{
-    drive_session_faulted, FaultPlan, LinkConditioner, SessionFaults, SessionParams, SessionResult,
+    drive_session_faulted_tapped, FaultPlan, GatewayTap, LinkConditioner, SessionFaults,
+    SessionParams, SessionResult, TlsObservation,
 };
 use iotls_tls::client::ClientConnection;
 use iotls_tls::server::ServerConnection;
-use iotls_simnet::TlsObservation;
 use iotls_x509::Month;
 use std::collections::HashMap;
 
@@ -32,10 +44,94 @@ const CAPTURE_RETRIES: usize = 6;
 /// Generates the passive dataset for the whole testbed, driven by
 /// the event timeline.
 pub fn generate(testbed: &Testbed, seed: u64) -> PassiveDataset {
-    generate_with_faults(testbed, seed, FaultPlan::none())
+    generate_columnar(testbed, seed).to_rows()
 }
 
-/// Generates the passive dataset under an injected-fault schedule.
+/// Row-oriented variant of [`generate_columnar_with_faults`].
+pub fn generate_with_faults(testbed: &Testbed, seed: u64, plan: FaultPlan) -> PassiveDataset {
+    generate_columnar_with_faults(testbed, seed, plan).to_rows()
+}
+
+/// Generates the columnar passive dataset (no faults).
+pub fn generate_columnar(testbed: &Testbed, seed: u64) -> ColumnarDataset {
+    generate_columnar_with_faults(testbed, seed, FaultPlan::none())
+}
+
+/// Generates the columnar passive dataset under an injected-fault
+/// schedule, keeping every chunk in memory.
+pub fn generate_columnar_with_faults(
+    testbed: &Testbed,
+    seed: u64,
+    plan: FaultPlan,
+) -> ColumnarDataset {
+    let mut chunks = Vec::new();
+    let mut ds = generate_streamed(testbed, seed, plan, u64::MAX, &mut |c| chunks.push(c));
+    ds.chunks = chunks;
+    ds
+}
+
+/// One capture roll's output, as ranges into its lane's rows/flows.
+struct EventOut {
+    idx: usize,
+    rows: (u32, u32),
+    flows: (u32, u32),
+    truncated: u64,
+}
+
+/// Everything one per-device lane produced: a lane-local columnar
+/// dataset plus per-event ranges for the timeline-order merge.
+struct LaneOut {
+    ds: ColumnarDataset,
+    events: Vec<EventOut>,
+}
+
+/// Lazily-built symbol translation from one lane's tables into the
+/// shared output tables.
+struct Remap {
+    strings: Vec<u32>,
+    fps: Vec<u32>,
+}
+
+const UNMAPPED: u32 = u32::MAX;
+
+impl Remap {
+    fn for_lane(lane: &LaneOut) -> Remap {
+        Remap {
+            strings: vec![UNMAPPED; lane.ds.strings.len()],
+            fps: vec![UNMAPPED; lane.ds.fps.len()],
+        }
+    }
+
+    fn sym(&mut self, from: &Interner, to: &mut Interner, s: Symbol) -> Symbol {
+        let slot = &mut self.strings[s.index()];
+        if *slot == UNMAPPED {
+            *slot = to.intern(from.resolve(s)).0;
+        }
+        Symbol(*slot)
+    }
+
+    fn fp(&mut self, from: &DigestInterner, to: &mut DigestInterner, id: u32) -> u32 {
+        let slot = &mut self.fps[id as usize];
+        if *slot == UNMAPPED {
+            *slot = to.intern(from.resolve(id));
+        }
+        *slot
+    }
+}
+
+/// Looks up row `i` of a lane's chunk sequence.
+fn lane_row(chunks: &[ObsChunk], mut i: usize) -> crate::columnar::RawRow<'_> {
+    for c in chunks {
+        if i < c.len() {
+            return c.row(i);
+        }
+        i -= c.len();
+    }
+    unreachable!("row index out of lane range")
+}
+
+/// Generates the passive dataset as a stream of sealed columnar
+/// chunks, in bounded memory.
 ///
 /// The conditioner sits between the endpoints and the gateway tap, so
 /// a session cut before a parseable ClientHello yields no observation;
@@ -44,8 +140,21 @@ pub fn generate(testbed: &Testbed, seed: u64) -> PassiveDataset {
 /// the faulted session — with the same handshake randomness but a
 /// fresh fault draw — until a clean capture lands. DNS faults are an
 /// active-lab concern; the generator only exercises link faults.
-pub fn generate_with_faults(testbed: &Testbed, seed: u64, plan: FaultPlan) -> PassiveDataset {
-    let mut dataset = PassiveDataset::default();
+///
+/// Every weighted row is split into `count.div_ceil(max_count_per_row)`
+/// physical rows whose counts sum exactly to the original, so
+/// `u64::MAX` reproduces the seed row stream verbatim while small
+/// values materialize a paper-scale row volume. Sealed chunks are
+/// handed to `sink` as they fill; the returned dataset carries the
+/// intern tables, revocation flows, and truncation tally but **no
+/// chunks** — the sink saw them all.
+pub fn generate_streamed(
+    testbed: &Testbed,
+    seed: u64,
+    plan: FaultPlan,
+    max_count_per_row: u64,
+    sink: &mut dyn FnMut(ObsChunk),
+) -> ColumnarDataset {
     let root_rng = Drbg::from_seed(seed);
 
     // Split the timeline's capture rolls into per-device lanes. Every
@@ -67,27 +176,22 @@ pub fn generate_with_faults(testbed: &Testbed, seed: u64, plan: FaultPlan) -> Pa
         lanes[lane].1.push((idx, month));
     }
 
-    /// One capture roll's output, tagged with its timeline position.
-    struct EventOut {
-        idx: usize,
-        observations: Vec<WeightedObservation>,
-        flows: Vec<RevocationFlow>,
-        truncated: u64,
-    }
-
-    let per_lane = iotls_simnet::ordered_map(lanes, |(device_name, months)| {
+    let lane_outs = iotls_simnet::ordered_map(lanes, |(device_name, months)| {
         let device = testbed.device(&device_name);
-        // Cache of driven handshakes keyed by (device, dest index,
-        // phase start) — the observation metadata is identical within
-        // a phase.
-        let mut cache: HashMap<(String, usize, Month), Option<TlsObservation>> = HashMap::new();
-        let mut outs = Vec::with_capacity(months.len());
+        // Cache of driven handshakes keyed by (dest index, phase
+        // start) — the observation metadata is identical within a
+        // phase. One reusable tap serves every drive in the lane.
+        let mut cache: HashMap<(usize, Month), Option<TlsObservation>> = HashMap::new();
+        let mut tap = GatewayTap::new();
+        let mut b = DatasetBuilder::new();
+        let mut chunks = Vec::new();
+        let mut row_n = 0u32;
+        let mut events = Vec::with_capacity(months.len());
         for (idx, month) in months {
             let mut truncated = 0u64;
-            let mut observations = Vec::new();
-            let mut flows = Vec::new();
+            let row_start = row_n;
+            let flow_start = b.revocation_flows.len() as u32;
             let mut rng = root_rng.fork(&format!("capture/{}/{}", device.spec.name, month));
-            {
             let phase_start = device
                 .spec
                 .phases
@@ -97,41 +201,34 @@ pub fn generate_with_faults(testbed: &Testbed, seed: u64, plan: FaultPlan) -> Pa
                 .next_back()
                 .unwrap_or(device.spec.phases[0].start);
             for (dest_idx, dest) in device.spec.destinations.iter().enumerate() {
-                let key = (device.spec.name.clone(), dest_idx, phase_start);
-                let observation = cache
-                    .entry(key)
-                    .or_insert_with(|| {
-                        let mut tries = 0;
-                        loop {
-                            let fault_key = format!(
-                                "capture/{}/{}/{}/try{}",
-                                device.spec.name,
-                                device.spec.destinations[dest_idx].hostname,
-                                month,
-                                tries
-                            );
-                            let faults = plan.session_faults(&fault_key);
-                            let result =
-                                drive_one(testbed, device, dest_idx, month, &mut rng, &faults);
-                            if result.observation.is_none() {
-                                // Cut before a parseable ClientHello:
-                                // count it, don't just drop it.
-                                truncated += 1;
-                            }
-                            if result.tainted() && tries + 1 < CAPTURE_RETRIES {
-                                tries += 1;
-                                continue;
-                            }
-                            break result.observation;
+                let observation = cache.entry((dest_idx, phase_start)).or_insert_with(|| {
+                    let mut tries = 0;
+                    loop {
+                        let fault_key = format!(
+                            "capture/{}/{}/{}/try{}",
+                            device.spec.name,
+                            device.spec.destinations[dest_idx].hostname,
+                            month,
+                            tries
+                        );
+                        let faults = plan.session_faults(&fault_key);
+                        let result =
+                            drive_one(testbed, device, dest_idx, month, &mut rng, &faults, &mut tap);
+                        if result.observation.is_none() {
+                            // Cut before a parseable ClientHello:
+                            // count it, don't just drop it.
+                            truncated += 1;
                         }
-                    })
-                    .clone();
-                let Some(mut obs) = observation else {
+                        if result.tainted() && tries + 1 < CAPTURE_RETRIES {
+                            tries += 1;
+                            continue;
+                        }
+                        break result.observation;
+                    }
+                });
+                let Some(obs) = observation else {
                     continue;
                 };
-                // Stamp the month (mid-month noon keeps it inside the
-                // bucket regardless of month length).
-                obs.time = month.start().plus_days(14).plus_secs(12 * 3600);
                 let base_rate = match dest.boost {
                     Some((from, to, boosted)) if from <= month && month <= to => boosted,
                     _ => dest.monthly_connections,
@@ -142,51 +239,122 @@ pub fn generate_with_faults(testbed: &Testbed, seed: u64, plan: FaultPlan) -> Pa
                 if count == 0 {
                     continue;
                 }
-                observations.push(WeightedObservation {
-                    observation: obs,
-                    count,
-                });
+                // Stamp the month (mid-month noon keeps it inside the
+                // bucket regardless of month length).
+                let mut stamped = obs.clone();
+                stamped.time = month.start().plus_days(14).plus_secs(12 * 3600);
+                b.push_obs(&stamped, count, &mut |c| chunks.push(c));
+                row_n += 1;
             }
 
             // Revocation endpoint flows (Table 8's CRL/OCSP columns).
             if device.spec.revocation.crl {
-                flows.push(RevocationFlow {
-                    time: month.start().plus_days(3),
-                    device: device.spec.name.clone(),
+                let dev = b.strings.intern(&device.spec.name);
+                let url = b.strings.intern("http://crl.simtrust.example/latest.crl");
+                b.revocation_flows.push(RevRow {
+                    time: month.start().plus_days(3).0,
+                    device: dev,
                     kind: RevocationKind::CrlFetch,
-                    url: "http://crl.simtrust.example/latest.crl".into(),
+                    url,
                     count: 2 + rng.below(5),
                 });
             }
             if device.spec.revocation.ocsp {
-                flows.push(RevocationFlow {
-                    time: month.start().plus_days(5),
-                    device: device.spec.name.clone(),
+                let dev = b.strings.intern(&device.spec.name);
+                let url = b.strings.intern("http://ocsp.simtrust.example");
+                b.revocation_flows.push(RevRow {
+                    time: month.start().plus_days(5).0,
+                    device: dev,
                     kind: RevocationKind::OcspQuery,
-                    url: "http://ocsp.simtrust.example".into(),
+                    url,
                     count: 10 + rng.below(30),
                 });
             }
-            }
-            outs.push(EventOut { idx, observations, flows, truncated });
+            events.push(EventOut {
+                idx,
+                rows: (row_start, row_n),
+                flows: (flow_start, b.revocation_flows.len() as u32),
+                truncated,
+            });
         }
-        outs
+        b.flush(&mut |c| chunks.push(c));
+        LaneOut {
+            ds: b.into_dataset(chunks),
+            events,
+        }
     });
 
-    let mut events: Vec<EventOut> = per_lane.into_iter().flatten().collect();
-    events.sort_by_key(|e| e.idx);
-    for e in events {
-        dataset.observations.extend(e.observations);
-        dataset.revocation_flows.extend(e.flows);
-        dataset.truncated += e.truncated;
+    // Sequential merge in global timeline order: remap lane symbols
+    // into the shared tables and stream rows (expanded as requested)
+    // through one open chunk.
+    let mut remaps: Vec<Remap> = lane_outs.iter().map(Remap::for_lane).collect();
+    let mut ordered: Vec<(usize, &EventOut)> = lane_outs
+        .iter()
+        .enumerate()
+        .flat_map(|(lane_i, lane)| lane.events.iter().map(move |e| (lane_i, e)))
+        .collect();
+    ordered.sort_by_key(|(_, e)| e.idx);
+
+    let mut out = DatasetBuilder::new();
+    for (lane_i, ev) in ordered {
+        let lane = &lane_outs[lane_i];
+        let remap = &mut remaps[lane_i];
+        for i in ev.rows.0..ev.rows.1 {
+            let raw = lane_row(&lane.ds.chunks, i as usize);
+            let row = RowView {
+                time: raw.time(),
+                device: remap.sym(&lane.ds.strings, &mut out.strings, raw.device()),
+                destination: remap.sym(&lane.ds.strings, &mut out.strings, raw.destination()),
+                sni: raw
+                    .sni()
+                    .map(|s| remap.sym(&lane.ds.strings, &mut out.strings, s)),
+                fingerprint: remap.fp(&lane.ds.fps, &mut out.fps, raw.fingerprint_id()),
+                advertised_wire: raw.advertised_wire(),
+                max_advertised_wire: raw.max_advertised_wire(),
+                suites: raw.suites(),
+                negotiated_version_wire: raw.negotiated_version_wire(),
+                negotiated_suite: raw.negotiated_suite(),
+                leaf_issuer: raw
+                    .leaf_issuer()
+                    .map(|s| remap.sym(&lane.ds.strings, &mut out.strings, s)),
+                alerts_c2s: raw.alerts_c2s(),
+                alerts_s2c: raw.alerts_s2c(),
+                requested_ocsp: raw.requested_ocsp(),
+                ocsp_stapled: raw.ocsp_stapled(),
+                established: raw.established(),
+                count: 0, // per-split count set below
+            };
+            // Split into n physical rows whose counts sum exactly to
+            // the weighted count.
+            let count = raw.count();
+            let n = count.div_ceil(max_count_per_row.max(1));
+            let (base, rem) = (count / n, count % n);
+            for k in 0..n {
+                let split = RowView {
+                    count: base + u64::from(k < rem),
+                    ..row
+                };
+                out.push_row(&split, sink);
+            }
+        }
+        for fi in ev.flows.0..ev.flows.1 {
+            let f = lane.ds.revocation_flows[fi as usize];
+            let device = remap.sym(&lane.ds.strings, &mut out.strings, f.device);
+            let url = remap.sym(&lane.ds.strings, &mut out.strings, f.url);
+            out.revocation_flows.push(RevRow { device, url, ..f });
+        }
+        out.truncated += ev.truncated;
     }
-    dataset
+    out.flush(sink);
+    out.into_dataset(Vec::new())
 }
 
 /// Drives one real handshake for (device, destination) in `month`,
-/// through a link conditioner applying `faults`. The handshake
-/// randomness is keyed by (hostname, month) only, so re-drives of a
-/// faulted session replay identical bytes.
+/// through a link conditioner applying `faults`, observing through
+/// the lane's reusable `tap`. The handshake randomness is keyed by
+/// (hostname, month) only, so re-drives of a faulted session replay
+/// identical bytes.
+#[allow(clippy::too_many_arguments)]
 fn drive_one(
     testbed: &Testbed,
     device: &DeviceSetup,
@@ -194,6 +362,7 @@ fn drive_one(
     month: Month,
     rng: &mut Drbg,
     faults: &SessionFaults,
+    tap: &mut GatewayTap,
 ) -> SessionResult {
     let dest = &device.spec.destinations[dest_idx];
     let client_cfg = testbed.client_config_for(device, dest, month);
@@ -214,7 +383,7 @@ fn drive_one(
         ops: faults.ops.clone(),
         dns: None,
     });
-    drive_session_faulted(
+    drive_session_faulted_tapped(
         client,
         server,
         SessionParams {
@@ -226,12 +395,14 @@ fn drive_one(
             destination: &dest.hostname,
         },
         &mut conditioner,
+        tap,
     )
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::dataset::RevocationKind;
     use iotls_tls::version::ProtocolVersion;
     use std::sync::OnceLock;
 
@@ -375,5 +546,55 @@ mod tests {
         };
         assert!(share(Month::new(2019, 1)) > 0.3, "boosted month");
         assert!(share(Month::new(2019, 10)) < 0.3, "after upgrade");
+    }
+
+    #[test]
+    fn streamed_chunks_match_in_memory_columnar() {
+        let col = generate_columnar(Testbed::global(), 0xCAFE);
+        let mut streamed = Vec::new();
+        let tail = generate_streamed(
+            Testbed::global(),
+            0xCAFE,
+            FaultPlan::none(),
+            u64::MAX,
+            &mut |c| streamed.push(c),
+        );
+        assert!(tail.chunks.is_empty());
+        let total: usize = streamed.iter().map(ObsChunk::len).sum();
+        assert_eq!(total, col.total_rows());
+        assert_eq!(tail.truncated, col.truncated);
+        assert_eq!(tail.revocation_flows.len(), col.revocation_flows.len());
+    }
+
+    #[test]
+    fn row_splitting_preserves_connection_totals() {
+        let col = generate_columnar(Testbed::global(), 0xCAFE);
+        let mut split_rows = 0usize;
+        let mut split_conns = 0u64;
+        generate_streamed(
+            Testbed::global(),
+            0xCAFE,
+            FaultPlan::none(),
+            1_000,
+            &mut |c| {
+                split_rows += c.len();
+                split_conns += c.connections();
+            },
+        );
+        assert_eq!(split_conns, col.total_connections());
+        assert!(split_rows > col.total_rows());
+        // Every split row respects the cap.
+        let mut checked = false;
+        generate_streamed(
+            Testbed::global(),
+            0xCAFE,
+            FaultPlan::none(),
+            1_000,
+            &mut |c| {
+                checked = true;
+                assert!(c.rows().all(|r| r.count() <= 1_000 && r.count() > 0));
+            },
+        );
+        assert!(checked);
     }
 }

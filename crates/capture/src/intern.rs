@@ -1,0 +1,151 @@
+//! String and digest interning for the columnar passive dataset.
+//!
+//! At paper scale the passive pipeline carries tens of millions of
+//! rows, but the distinct device names, SNI hostnames, endpoint URLs,
+//! issuer CNs, and fingerprint digests number in the hundreds. Rows
+//! therefore store fixed-width [`Symbol`]s and resolve them once at
+//! the edge; the intern tables are insertion-ordered, so symbol
+//! assignment is as deterministic as the row stream that produced it.
+
+use iotls_tls::fingerprint::FingerprintId;
+use std::collections::HashMap;
+
+/// A handle to an interned string: a dense index into an [`Interner`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Symbol(pub u32);
+
+impl Symbol {
+    /// The dense index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// An insertion-ordered string intern table.
+#[derive(Debug, Default, Clone)]
+pub struct Interner {
+    strings: Vec<String>,
+    index: HashMap<String, u32>,
+}
+
+impl Interner {
+    /// An empty table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Interns `s`, returning its (stable) symbol.
+    pub fn intern(&mut self, s: &str) -> Symbol {
+        if let Some(&id) = self.index.get(s) {
+            return Symbol(id);
+        }
+        let id = self.strings.len() as u32;
+        self.strings.push(s.to_string());
+        self.index.insert(s.to_string(), id);
+        Symbol(id)
+    }
+
+    /// Resolves a symbol back to its string.
+    ///
+    /// Panics if `sym` did not come from this table.
+    pub fn resolve(&self, sym: Symbol) -> &str {
+        &self.strings[sym.index()]
+    }
+
+    /// Looks up a string without interning it.
+    pub fn lookup(&self, s: &str) -> Option<Symbol> {
+        self.index.get(s).map(|&id| Symbol(id))
+    }
+
+    /// Number of distinct strings.
+    pub fn len(&self) -> usize {
+        self.strings.len()
+    }
+
+    /// True when no string has been interned.
+    pub fn is_empty(&self) -> bool {
+        self.strings.is_empty()
+    }
+
+    /// All interned strings, in insertion (symbol) order.
+    pub fn iter(&self) -> impl Iterator<Item = &str> {
+        self.strings.iter().map(String::as_str)
+    }
+}
+
+/// An insertion-ordered intern table for fingerprint digests.
+///
+/// Digests are 16 bytes; rows hold a 4-byte index instead, and
+/// identical ClientHello shapes (the overwhelmingly common case in
+/// IoT traffic) share one entry.
+#[derive(Debug, Default, Clone)]
+pub struct DigestInterner {
+    digests: Vec<FingerprintId>,
+    index: HashMap<FingerprintId, u32>,
+}
+
+impl DigestInterner {
+    /// An empty table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Interns a digest, returning its dense index.
+    pub fn intern(&mut self, fp: FingerprintId) -> u32 {
+        if let Some(&id) = self.index.get(&fp) {
+            return id;
+        }
+        let id = self.digests.len() as u32;
+        self.digests.push(fp);
+        self.index.insert(fp, id);
+        id
+    }
+
+    /// Resolves an index back to the digest.
+    pub fn resolve(&self, id: u32) -> FingerprintId {
+        self.digests[id as usize]
+    }
+
+    /// Number of distinct digests.
+    pub fn len(&self) -> usize {
+        self.digests.len()
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.digests.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interning_is_idempotent_and_ordered() {
+        let mut t = Interner::new();
+        let a = t.intern("alpha");
+        let b = t.intern("beta");
+        assert_eq!(t.intern("alpha"), a);
+        assert_eq!(a, Symbol(0));
+        assert_eq!(b, Symbol(1));
+        assert_eq!(t.resolve(a), "alpha");
+        assert_eq!(t.resolve(b), "beta");
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.lookup("beta"), Some(b));
+        assert_eq!(t.lookup("gamma"), None);
+        assert_eq!(t.iter().collect::<Vec<_>>(), vec!["alpha", "beta"]);
+    }
+
+    #[test]
+    fn digest_interning_dedupes() {
+        let mut t = DigestInterner::new();
+        let a = t.intern(FingerprintId([1; 16]));
+        let b = t.intern(FingerprintId([2; 16]));
+        assert_eq!(t.intern(FingerprintId([1; 16])), a);
+        assert_ne!(a, b);
+        assert_eq!(t.resolve(a), FingerprintId([1; 16]));
+        assert_eq!(t.len(), 2);
+        assert!(!t.is_empty());
+    }
+}

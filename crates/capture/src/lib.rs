@@ -10,18 +10,27 @@
 //! connection dataset that drives Figures 1–3 and Table 8, with JSON
 //! (de)serialization for the public-dataset deliverable.
 
+pub mod columnar;
 pub mod dataset;
 pub mod generate;
+pub mod intern;
 pub mod json;
 pub mod serialize;
 pub mod timeline;
 
+pub use columnar::{
+    ChunkWriter, ColumnarDataset, DatasetBuilder, ObsChunk, ObsRef, RevRow, RowView, CHUNK_ROWS,
+};
 pub use dataset::{
     DatasetStats, PassiveDataset, RevocationFlow, RevocationKind, WeightedObservation,
 };
-pub use generate::{generate, generate_with_faults};
+pub use generate::{generate, generate_columnar, generate_columnar_with_faults, generate_streamed,
+    generate_with_faults};
+pub use intern::{DigestInterner, Interner, Symbol};
 pub use timeline::{build_timeline, StudyEvent};
-pub use serialize::{from_json, to_json, DatasetFile, ObservationRecord, RevocationRecord};
+pub use serialize::{
+    from_json, to_json, to_json_columnar, DatasetFile, ObservationRecord, RevocationRecord,
+};
 
 use iotls_devices::Testbed;
 use std::sync::OnceLock;
@@ -33,4 +42,11 @@ pub const DEFAULT_SEED: u64 = 0x10AD;
 pub fn global_dataset() -> &'static PassiveDataset {
     static DS: OnceLock<PassiveDataset> = OnceLock::new();
     DS.get_or_init(|| generate(Testbed::global(), DEFAULT_SEED))
+}
+
+/// The process-wide shared columnar dataset (default seed, global
+/// testbed). Same rows as [`global_dataset`], columnar form.
+pub fn global_columnar() -> &'static ColumnarDataset {
+    static DS: OnceLock<ColumnarDataset> = OnceLock::new();
+    DS.get_or_init(|| generate_columnar(Testbed::global(), DEFAULT_SEED))
 }

@@ -2,6 +2,7 @@
 //! TLS handshake data" deliverable, in JSON (via the crate's own
 //! dependency-free [`crate::json`] codec).
 
+use crate::columnar::ColumnarDataset;
 use crate::dataset::{
     PassiveDataset, RevocationFlow, RevocationKind, WeightedObservation,
 };
@@ -299,6 +300,78 @@ pub fn to_json(dataset: &PassiveDataset) -> String {
     .encode()
 }
 
+/// Serializes a columnar dataset to JSON, byte-identical to
+/// `to_json(&ds.to_rows())` — but straight off the chunks, without
+/// materializing the `String`-heavy row vector first.
+pub fn to_json_columnar(ds: &ColumnarDataset) -> String {
+    let observations: Vec<Json> = ds
+        .rows()
+        .map(|r| {
+            Json::Obj(vec![
+                ("time".into(), r.raw.time().into()),
+                ("device".into(), r.device_name().into()),
+                ("destination".into(), r.destination().into()),
+                ("sni".into(), r.sni().into()),
+                (
+                    "advertised_versions".into(),
+                    r.raw.advertised_wire().iter().copied().collect(),
+                ),
+                (
+                    "offered_suites".into(),
+                    r.raw.suites().iter().copied().collect(),
+                ),
+                ("requested_ocsp".into(), r.raw.requested_ocsp().into()),
+                ("fingerprint".into(), r.fingerprint().to_string().as_str().into()),
+                (
+                    "negotiated_version".into(),
+                    r.raw.negotiated_version_wire().into(),
+                ),
+                ("negotiated_suite".into(), r.raw.negotiated_suite().into()),
+                ("ocsp_stapled".into(), r.raw.ocsp_stapled().into()),
+                ("leaf_issuer".into(), r.leaf_issuer().into()),
+                ("established".into(), r.raw.established().into()),
+                (
+                    "alerts_from_client".into(),
+                    r.raw.alerts_c2s().iter().copied().collect(),
+                ),
+                (
+                    "alerts_from_server".into(),
+                    r.raw.alerts_s2c().iter().copied().collect(),
+                ),
+                ("count".into(), r.raw.count().into()),
+            ])
+        })
+        .collect();
+    let revocation_flows: Vec<Json> = ds
+        .revocation_flows
+        .iter()
+        .map(|f| {
+            Json::Obj(vec![
+                ("time".into(), f.time.into()),
+                ("device".into(), ds.strings.resolve(f.device).into()),
+                (
+                    "kind".into(),
+                    match f.kind {
+                        RevocationKind::CrlFetch => "crl".into(),
+                        RevocationKind::OcspQuery => "ocsp".into(),
+                    },
+                ),
+                ("url".into(), ds.strings.resolve(f.url).into()),
+                ("count".into(), f.count.into()),
+            ])
+        })
+        .collect();
+    Json::Obj(vec![
+        ("observations".into(), observations.into_iter().collect()),
+        (
+            "revocation_flows".into(),
+            revocation_flows.into_iter().collect(),
+        ),
+        ("truncated".into(), ds.truncated.into()),
+    ])
+    .encode()
+}
+
 /// Parses a dataset from JSON. Returns `None` on malformed input.
 pub fn from_json(json: &str) -> Option<PassiveDataset> {
     let root = Json::parse(json)?;
@@ -404,6 +477,18 @@ mod tests {
         assert_eq!(back.revocation_flows.len(), 1);
         assert_eq!(back.revocation_flows[0].kind, RevocationKind::OcspQuery);
         assert_eq!(back.truncated, 3);
+    }
+
+    #[test]
+    fn columnar_export_is_byte_identical() {
+        let cds = crate::columnar::ColumnarDataset::from_rows(&sample());
+        assert_eq!(to_json_columnar(&cds), to_json(&cds.to_rows()));
+        // And at seed scale, against the canonical dataset.
+        let global = crate::global_columnar();
+        assert_eq!(
+            to_json_columnar(global),
+            to_json(crate::global_dataset())
+        );
     }
 
     #[test]

@@ -58,8 +58,9 @@ pub use fingerprints::{run_fingerprint_survey, FingerprintSurvey};
 pub use lab::{ActiveLab, ConnectionOutcome, DeviceState, FaultStats};
 pub use party::{label_party, party_version_bias, PartyBiasRow, THIRD_PARTY_DOMAINS};
 pub use passive::{
-    cipher_series, passive_summary, revocation_summary, version_series, version_transitions,
-    CipherMix, PassiveSummary, RevocationSummary, Series, VersionMix, VersionTransition,
+    analyze_columnar, analyze_streamed, cipher_series, passive_summary, revocation_summary,
+    version_series, version_transitions, CipherMix, PassiveAccumulator, PassiveAnalysis,
+    PassiveSummary, RevocationSummary, Series, VersionMix, VersionTransition,
 };
 pub use rootprobe::{
     library_alert_matrix, run_root_probe, run_root_probe_with, LibraryAlertRow, ProbeVerdict,

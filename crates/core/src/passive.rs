@@ -4,9 +4,14 @@
 //! Consumes the weighted observation dataset and produces per-device
 //! monthly series plus the summary statistics quoted in the text.
 
-use iotls_capture::{PassiveDataset, RevocationKind};
+use iotls_capture::{
+    generate_streamed, ColumnarDataset, Interner, ObsChunk, PassiveDataset, RevRow,
+    RevocationKind, Symbol,
+};
+use iotls_devices::Testbed;
+use iotls_simnet::FaultPlan;
 use iotls_tls::version::ProtocolVersion;
-use iotls_x509::Month;
+use iotls_x509::{Month, Timestamp};
 use std::collections::{BTreeMap, BTreeSet};
 
 /// Fractions of connections per version class in one month — one cell
@@ -188,7 +193,7 @@ pub fn version_transitions(ds: &PassiveDataset) -> Vec<VersionTransition> {
 }
 
 /// The §5.1 headline statistics.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct PassiveSummary {
     /// Devices whose every connection advertised and established
     /// exactly TLS 1.2.
@@ -307,7 +312,7 @@ pub fn passive_summary(ds: &PassiveDataset) -> PassiveSummary {
 }
 
 /// Table 8: revocation-method support by device.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct RevocationSummary {
     /// Devices fetching CRLs.
     pub crl: Vec<String>,
@@ -356,6 +361,438 @@ pub fn revocation_summary(ds: &PassiveDataset) -> RevocationSummary {
         ocsp: ocsp.into_iter().collect(),
         ocsp_stapling: stapling.into_iter().collect(),
     }
+}
+
+// ── Single-pass streaming accumulator ───────────────────────────────
+//
+// The legacy functions above each re-scan the materialized row vector;
+// at paper scale (~17M rows) that is five full passes over gigabytes
+// of `String`-laden observations. The accumulator below folds every
+// table and figure input out of the columnar chunk stream in ONE pass,
+// using integer cells keyed by interned symbols. Partials merge
+// associatively (chunk order does not matter), and `finish` resolves
+// symbols to names once, reproducing the legacy outputs bit for bit:
+// all per-cell totals are integers below 2^53, so summing in `u64`
+// and converting at the end yields exactly the same `f64`s as the
+// legacy per-row `f64` accumulation.
+
+/// One (device, month) cell of integer counters — the union of the
+/// Figure 1 and Figures 2–3 cell inputs plus the dominant-version
+/// histogram feeding the transition detector.
+#[derive(Debug, Clone, Default)]
+struct Cell {
+    total: u64,
+    adv_tls13: u64,
+    adv_tls12: u64,
+    adv_older: u64,
+    est_tls13: u64,
+    est_tls12: u64,
+    est_older: u64,
+    adv_insecure: u64,
+    est_insecure: u64,
+    adv_strong: u64,
+    est_strong: u64,
+    /// Connections per advertised-max wire version (for dominance).
+    adv_max: BTreeMap<u16, u64>,
+}
+
+impl Cell {
+    fn merge(&mut self, other: &Cell) {
+        self.total += other.total;
+        self.adv_tls13 += other.adv_tls13;
+        self.adv_tls12 += other.adv_tls12;
+        self.adv_older += other.adv_older;
+        self.est_tls13 += other.est_tls13;
+        self.est_tls12 += other.est_tls12;
+        self.est_older += other.est_older;
+        self.adv_insecure += other.adv_insecure;
+        self.est_insecure += other.est_insecure;
+        self.adv_strong += other.adv_strong;
+        self.est_strong += other.est_strong;
+        for (wire, n) in &other.adv_max {
+            *self.adv_max.entry(*wire).or_insert(0) += n;
+        }
+    }
+}
+
+/// Whole-study per-device aggregates (the §5.1 summary inputs).
+#[derive(Debug, Clone)]
+struct DeviceAgg {
+    only_tls12: bool,
+    adv_insecure: bool,
+    est_insecure: bool,
+    adv_fs: bool,
+    est_conns: u64,
+    fs_conns: u64,
+    stapling: bool,
+}
+
+impl Default for DeviceAgg {
+    fn default() -> Self {
+        DeviceAgg {
+            only_tls12: true,
+            adv_insecure: false,
+            est_insecure: false,
+            adv_fs: false,
+            est_conns: 0,
+            fs_conns: 0,
+            stapling: false,
+        }
+    }
+}
+
+impl DeviceAgg {
+    fn merge(&mut self, other: &DeviceAgg) {
+        self.only_tls12 &= other.only_tls12;
+        self.adv_insecure |= other.adv_insecure;
+        self.est_insecure |= other.est_insecure;
+        self.adv_fs |= other.adv_fs;
+        self.est_conns += other.est_conns;
+        self.fs_conns += other.fs_conns;
+        self.stapling |= other.stapling;
+    }
+}
+
+/// Everything the passive section of the paper needs, computed in one
+/// pass: Figures 1–3 series, the version-transition annotations, the
+/// §5.1 summary, Table 8, and the axis/roster metadata the renderers
+/// take as parameters.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PassiveAnalysis {
+    /// Figure 1 series (identical to [`version_series`]).
+    pub version_series: Series<VersionMix>,
+    /// Figures 2–3 series (identical to [`cipher_series`]).
+    pub cipher_series: Series<CipherMix>,
+    /// Permanent upgrades (identical to [`version_transitions`]).
+    pub transitions: Vec<VersionTransition>,
+    /// §5.1 summary (identical to [`passive_summary`]).
+    pub summary: PassiveSummary,
+    /// Table 8 (identical to [`revocation_summary`]).
+    pub revocation: RevocationSummary,
+    /// Sorted distinct months with traffic (the heatmap x-axis).
+    pub month_axis: Vec<Month>,
+    /// Sorted device names observed.
+    pub device_names: Vec<String>,
+    /// Total weighted connections folded.
+    pub total_connections: u64,
+}
+
+/// Single-pass, merge-able accumulator over columnar observation
+/// chunks. Feed chunks with [`add_chunk`](Self::add_chunk) (any
+/// order), flows with [`add_flows`](Self::add_flows), combine
+/// partials with [`merge`](Self::merge), then resolve with
+/// [`finish`](Self::finish).
+#[derive(Debug, Clone, Default)]
+pub struct PassiveAccumulator {
+    cells: BTreeMap<(Symbol, Month), Cell>,
+    devices: BTreeMap<Symbol, DeviceAgg>,
+    total: u64,
+    tls13: u64,
+    rc4: u64,
+    null_anon: bool,
+    crl: BTreeSet<Symbol>,
+    ocsp: BTreeSet<Symbol>,
+}
+
+impl PassiveAccumulator {
+    /// An empty accumulator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Folds every row of one chunk.
+    pub fn add_chunk(&mut self, chunk: &ObsChunk) {
+        let tls12 = ProtocolVersion::Tls12.wire();
+        let tls13 = ProtocolVersion::Tls13.wire();
+        for row in chunk.rows() {
+            let count = row.count();
+            let month = Timestamp(row.time()).month();
+            let cell = self.cells.entry((row.device(), month)).or_default();
+            cell.total += count;
+            let max = row.max_advertised_wire();
+            if max == tls13 {
+                cell.adv_tls13 += count;
+            } else if max == tls12 {
+                cell.adv_tls12 += count;
+            } else {
+                cell.adv_older += count;
+            }
+            *cell.adv_max.entry(max).or_insert(0) += count;
+            let neg = row.negotiated_version_wire();
+            match neg {
+                Some(v) if v == tls13 => cell.est_tls13 += count,
+                Some(v) if v == tls12 => cell.est_tls12 += count,
+                Some(_) => cell.est_older += count,
+                None => {}
+            }
+            let suites = row.suites();
+            let adv_insecure = suites
+                .iter()
+                .any(|s| iotls_tls::ciphersuite::id_is_insecure(*s));
+            let adv_fs = suites
+                .iter()
+                .any(|s| iotls_tls::ciphersuite::id_is_forward_secret(*s));
+            let est_insecure = row
+                .negotiated_suite()
+                .is_some_and(iotls_tls::ciphersuite::id_is_insecure);
+            let est_fs = row
+                .negotiated_suite()
+                .is_some_and(iotls_tls::ciphersuite::id_is_forward_secret);
+            if adv_insecure {
+                cell.adv_insecure += count;
+            }
+            if est_insecure {
+                cell.est_insecure += count;
+            }
+            if adv_fs {
+                cell.adv_strong += count;
+            }
+            if est_fs {
+                cell.est_strong += count;
+            }
+
+            self.total += count;
+            if row.advertised_wire().contains(&tls13) {
+                self.tls13 += count;
+            }
+            if suites.iter().any(|s| {
+                iotls_tls::ciphersuite::by_id(*s).is_some_and(|i| {
+                    matches!(
+                        i.cipher,
+                        iotls_tls::BulkCipher::Rc4_40 | iotls_tls::BulkCipher::Rc4_128
+                    )
+                })
+            }) {
+                self.rc4 += count;
+            }
+            if suites
+                .iter()
+                .any(|s| iotls_tls::ciphersuite::id_is_null_or_anon(*s))
+            {
+                self.null_anon = true;
+            }
+
+            let dev = self.devices.entry(row.device()).or_default();
+            if max != tls12 || neg.is_some_and(|v| v != tls12) {
+                dev.only_tls12 = false;
+            }
+            dev.adv_insecure |= adv_insecure;
+            dev.est_insecure |= est_insecure;
+            dev.adv_fs |= adv_fs;
+            if row.negotiated_suite().is_some() {
+                dev.est_conns += count;
+                if est_fs {
+                    dev.fs_conns += count;
+                }
+            }
+            dev.stapling |= row.requested_ocsp();
+        }
+    }
+
+    /// Folds revocation endpoint flows (Table 8 CRL/OCSP columns).
+    pub fn add_flows(&mut self, flows: &[RevRow]) {
+        for f in flows {
+            match f.kind {
+                RevocationKind::CrlFetch => self.crl.insert(f.device),
+                RevocationKind::OcspQuery => self.ocsp.insert(f.device),
+            };
+        }
+    }
+
+    /// Merges another partial into `self`. Associative and
+    /// commutative, so chunk partitioning does not affect the result;
+    /// both partials must share the intern table that numbered their
+    /// symbols.
+    pub fn merge(&mut self, other: &PassiveAccumulator) {
+        for (key, cell) in &other.cells {
+            self.cells.entry(*key).or_default().merge(cell);
+        }
+        for (sym, agg) in &other.devices {
+            self.devices.entry(*sym).or_default().merge(agg);
+        }
+        self.total += other.total;
+        self.tls13 += other.tls13;
+        self.rc4 += other.rc4;
+        self.null_anon |= other.null_anon;
+        self.crl.extend(&other.crl);
+        self.ocsp.extend(&other.ocsp);
+    }
+
+    /// Resolves symbols against `strings` and produces every passive
+    /// output, byte-identical to the legacy row-scanning functions.
+    pub fn finish(&self, strings: &Interner) -> PassiveAnalysis {
+        let name = |sym: Symbol| strings.resolve(sym).to_string();
+
+        // Sorted roster: legacy code iterates `ds.device_names()`.
+        let mut device_names: Vec<String> =
+            self.devices.keys().map(|s| name(*s)).collect();
+        device_names.sort();
+        let mut by_name: Vec<(String, Symbol)> = self
+            .devices
+            .keys()
+            .map(|s| (name(*s), *s))
+            .collect();
+        by_name.sort();
+
+        let mut version_series: Series<VersionMix> = BTreeMap::new();
+        let mut cipher_series: Series<CipherMix> = BTreeMap::new();
+        let mut months_seen: BTreeSet<Month> = BTreeSet::new();
+        for ((sym, month), cell) in &self.cells {
+            months_seen.insert(*month);
+            let total = cell.total;
+            let scale = |n: u64| {
+                if total > 0 {
+                    n as f64 / total as f64
+                } else {
+                    n as f64
+                }
+            };
+            version_series
+                .entry(name(*sym))
+                .or_default()
+                .insert(
+                    *month,
+                    VersionMix {
+                        adv_tls13: scale(cell.adv_tls13),
+                        adv_tls12: scale(cell.adv_tls12),
+                        adv_older: scale(cell.adv_older),
+                        est_tls13: scale(cell.est_tls13),
+                        est_tls12: scale(cell.est_tls12),
+                        est_older: scale(cell.est_older),
+                    },
+                );
+            cipher_series
+                .entry(name(*sym))
+                .or_default()
+                .insert(
+                    *month,
+                    CipherMix {
+                        adv_insecure: scale(cell.adv_insecure),
+                        est_insecure: scale(cell.est_insecure),
+                        adv_strong: scale(cell.adv_strong),
+                        est_strong: scale(cell.est_strong),
+                    },
+                );
+        }
+
+        // Transitions, in sorted-device order like the legacy scan.
+        let mut transitions = Vec::new();
+        for (device, sym) in &by_name {
+            let dominant: Vec<(Month, ProtocolVersion)> = self
+                .cells
+                .range((*sym, Month::new(i32::MIN, 1))..=(*sym, Month::new(i32::MAX, 12)))
+                .map(|((_, m), cell)| {
+                    let v = cell
+                        .adv_max
+                        .iter()
+                        .max_by_key(|(_, c)| **c)
+                        .and_then(|(wire, _)| ProtocolVersion::from_wire(*wire))
+                        .expect("non-empty month");
+                    (*m, v)
+                })
+                .collect();
+            for i in 1..dominant.len() {
+                let (month, to) = dominant[i];
+                let (_, from) = dominant[i - 1];
+                if to > from && dominant[i..].iter().all(|(_, v)| *v == to) {
+                    transitions.push(VersionTransition {
+                        device: device.clone(),
+                        month,
+                        from,
+                        to,
+                    });
+                    break;
+                }
+            }
+        }
+
+        let mut summary = PassiveSummary {
+            tls12_exclusive_devices: Vec::new(),
+            fig1_devices: Vec::new(),
+            null_anon_seen: self.null_anon,
+            devices_advertising_insecure: Vec::new(),
+            devices_establishing_insecure: Vec::new(),
+            devices_advertising_fs: Vec::new(),
+            devices_mostly_without_fs: Vec::new(),
+            pct_connections_tls13: 100.0 * self.tls13 as f64 / self.total.max(1) as f64,
+            pct_connections_rc4: 100.0 * self.rc4 as f64 / self.total.max(1) as f64,
+        };
+        let mut stapling = BTreeSet::new();
+        for (device, sym) in &by_name {
+            let agg = &self.devices[sym];
+            if agg.only_tls12 {
+                summary.tls12_exclusive_devices.push(device.clone());
+            } else {
+                summary.fig1_devices.push(device.clone());
+            }
+            if agg.adv_insecure {
+                summary.devices_advertising_insecure.push(device.clone());
+            }
+            if agg.est_insecure {
+                summary.devices_establishing_insecure.push(device.clone());
+            }
+            if agg.adv_fs {
+                summary.devices_advertising_fs.push(device.clone());
+            }
+            if agg.est_conns > 0 && agg.fs_conns * 2 < agg.est_conns {
+                summary.devices_mostly_without_fs.push(device.clone());
+            }
+            if agg.stapling {
+                stapling.insert(device.clone());
+            }
+        }
+
+        let revocation = RevocationSummary {
+            crl: self.crl.iter().map(|s| name(*s)).collect::<BTreeSet<_>>()
+                .into_iter()
+                .collect(),
+            ocsp: self.ocsp.iter().map(|s| name(*s)).collect::<BTreeSet<_>>()
+                .into_iter()
+                .collect(),
+            ocsp_stapling: stapling.into_iter().collect(),
+        };
+
+        PassiveAnalysis {
+            version_series,
+            cipher_series,
+            transitions,
+            summary,
+            revocation,
+            month_axis: months_seen.into_iter().collect(),
+            device_names,
+            total_connections: self.total,
+        }
+    }
+}
+
+/// Analyzes an in-memory columnar dataset in one pass.
+pub fn analyze_columnar(ds: &ColumnarDataset) -> PassiveAnalysis {
+    let mut acc = PassiveAccumulator::new();
+    for chunk in &ds.chunks {
+        acc.add_chunk(chunk);
+    }
+    acc.add_flows(&ds.revocation_flows);
+    acc.finish(&ds.strings)
+}
+
+/// Generates and analyzes the passive dataset **streamed**: chunks
+/// flow from the generator straight into the accumulator and are
+/// dropped, so peak memory is one chunk plus the integer cells —
+/// independent of row count. `max_count_per_row` sets the paper-scale
+/// expansion (`u64::MAX` = seed-scale weighted rows, `1` = one row
+/// per simulated connection, ≈17M rows).
+pub fn analyze_streamed(
+    testbed: &Testbed,
+    seed: u64,
+    plan: FaultPlan,
+    max_count_per_row: u64,
+) -> PassiveAnalysis {
+    let mut acc = PassiveAccumulator::new();
+    let tail = generate_streamed(testbed, seed, plan, max_count_per_row, &mut |chunk| {
+        acc.add_chunk(&chunk);
+    });
+    acc.add_flows(&tail.revocation_flows);
+    acc.finish(&tail.strings)
 }
 
 #[cfg(test)]
@@ -464,6 +901,73 @@ mod tests {
         // PFS adoption 10/2019.
         assert!(blink[&Month::new(2019, 9)].est_strong < 0.1);
         assert!(blink[&Month::new(2019, 11)].est_strong > 0.9);
+    }
+
+    #[test]
+    fn accumulator_matches_legacy_row_scan_exactly() {
+        let ds = global_dataset();
+        let cds = iotls_capture::global_columnar();
+        let a = analyze_columnar(cds);
+        assert_eq!(a.version_series, version_series(ds));
+        assert_eq!(a.cipher_series, cipher_series(ds));
+        assert_eq!(a.transitions, version_transitions(ds));
+        assert_eq!(a.summary, passive_summary(ds));
+        assert_eq!(a.revocation, revocation_summary(ds));
+        assert_eq!(a.device_names, ds.device_names());
+        assert_eq!(a.total_connections, cds.total_connections());
+    }
+
+    #[test]
+    fn accumulator_partials_merge_associatively() {
+        let cds = iotls_capture::global_columnar();
+        let whole = analyze_columnar(cds);
+
+        // Split the chunk stream across two partials, flows in the
+        // second, then merge in the "wrong" order.
+        let mid = cds.chunks.len() / 2;
+        let mut a = PassiveAccumulator::new();
+        for chunk in &cds.chunks[..mid] {
+            a.add_chunk(chunk);
+        }
+        let mut b = PassiveAccumulator::new();
+        for chunk in &cds.chunks[mid..] {
+            b.add_chunk(chunk);
+        }
+        b.add_flows(&cds.revocation_flows);
+        b.merge(&a);
+        assert_eq!(b.finish(&cds.strings), whole);
+    }
+
+    #[test]
+    fn streamed_analysis_matches_in_memory() {
+        use iotls_devices::Testbed;
+        use iotls_simnet::FaultPlan;
+        let cds = iotls_capture::global_columnar();
+        let whole = analyze_columnar(cds);
+        let streamed = analyze_streamed(
+            Testbed::global(),
+            iotls_capture::DEFAULT_SEED,
+            FaultPlan::none(),
+            u64::MAX,
+        );
+        assert_eq!(streamed, whole);
+    }
+
+    #[test]
+    fn row_expansion_preserves_analysis() {
+        use iotls_devices::Testbed;
+        use iotls_simnet::FaultPlan;
+        // Splitting weighted rows into many unit rows must not change
+        // any fraction, transition, or summary: the accumulator sums
+        // the same integers.
+        let whole = analyze_columnar(iotls_capture::global_columnar());
+        let split = analyze_streamed(
+            Testbed::global(),
+            iotls_capture::DEFAULT_SEED,
+            FaultPlan::none(),
+            50_000,
+        );
+        assert_eq!(split, whole);
     }
 
     #[test]

@@ -109,13 +109,42 @@ pub fn drive_session(
 /// gateway tap sees the bytes *after* conditioning, exactly like a
 /// physical tap downstream of a lossy path.
 pub fn drive_session_faulted(
+    client: ClientConnection,
+    server: ServerConnection,
+    params: SessionParams<'_>,
+    conditioner: &mut LinkConditioner,
+) -> SessionResult {
+    if params.tap {
+        let mut tap = GatewayTap::new();
+        drive_inner(client, server, params, conditioner, Some(&mut tap))
+    } else {
+        drive_inner(client, server, params, conditioner, None)
+    }
+}
+
+/// Like [`drive_session_faulted`] with `tap: true`, but observing
+/// through a caller-owned [`GatewayTap`], which is reset first. Lets a
+/// capture lane reuse one tap (and its scratch buffers) across many
+/// sessions instead of allocating per session.
+pub fn drive_session_faulted_tapped(
+    client: ClientConnection,
+    server: ServerConnection,
+    params: SessionParams<'_>,
+    conditioner: &mut LinkConditioner,
+    tap: &mut GatewayTap,
+) -> SessionResult {
+    tap.reset();
+    drive_inner(client, server, params, conditioner, Some(tap))
+}
+
+fn drive_inner(
     mut client: ClientConnection,
     mut server: ServerConnection,
     params: SessionParams<'_>,
     conditioner: &mut LinkConditioner,
+    mut tap: Option<&mut GatewayTap>,
 ) -> SessionResult {
     let mut link = DuplexLink::new();
-    let mut tap = params.tap.then(GatewayTap::new);
     let mut server_received = Vec::new();
     let mut client_received = Vec::new();
     let mut client_sent_payload = false;
@@ -186,8 +215,9 @@ pub fn drive_session_faulted(
     } else {
         conditioner.failure_cause(exhausted)
     };
-    let observation =
-        tap.and_then(|t| t.into_observation(params.time, params.device, params.destination));
+    let observation = tap
+        .as_mut()
+        .and_then(|t| t.take_observation(params.time, params.device, params.destination));
     SessionResult {
         client_summary: client.summary(),
         established,

@@ -31,7 +31,10 @@ pub mod pipe;
 pub mod tap;
 
 pub use dns::{DnsOutcome, DnsQuery, DnsTable};
-pub use driver::{drive_session, drive_session_faulted, SessionParams, SessionResult};
+pub use driver::{
+    drive_session, drive_session_faulted, drive_session_faulted_tapped, SessionParams,
+    SessionResult,
+};
 pub use events::{EventQueue, SimClock};
 pub use fault::{
     DnsFault, FailureCause, FaultOp, FaultPlan, InjectedFault, LinkConditioner, SessionFaults,

@@ -47,6 +47,12 @@ where
     R: Send,
     F: Fn(T) -> R + Sync,
 {
+    // A single item can never exploit a pool: short-circuit before
+    // even reading the environment, so the hot chunked-generator path
+    // (one lane) costs nothing beyond the closure itself.
+    if items.len() <= 1 {
+        return items.into_iter().map(f).collect();
+    }
     let workers = worker_count().min(items.len());
     if workers <= 1 {
         return items.into_iter().map(f).collect();
@@ -113,5 +119,12 @@ mod tests {
     #[test]
     fn worker_count_floor_is_one() {
         assert!(worker_count() >= 1);
+    }
+
+    #[test]
+    fn single_item_runs_on_caller_thread() {
+        let caller = std::thread::current().id();
+        let out = ordered_map(vec![()], |()| std::thread::current().id());
+        assert_eq!(out, vec![caller]);
     }
 }

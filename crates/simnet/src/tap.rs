@@ -10,7 +10,9 @@
 
 use iotls_tls::alert::{Alert, AlertDescription};
 use iotls_tls::fingerprint::{Fingerprint, FingerprintId};
-use iotls_tls::handshake::{ClientHello, HandshakeMessage};
+use iotls_tls::handshake::{
+    first_certificate, msg_type, next_raw_message, server_hello_fields, validate_body, ClientHello,
+};
 use iotls_tls::record::{ContentType, Deframer};
 use iotls_tls::version::ProtocolVersion;
 use iotls_x509::Timestamp;
@@ -114,15 +116,30 @@ impl GatewayTap {
     }
 
     /// Observes client→server bytes.
+    ///
+    /// Records and handshake bodies are scanned as borrowed slices;
+    /// the only allocation is the ClientHello itself, which the
+    /// observation keeps.
     pub fn observe_c2s(&mut self, data: &[u8]) {
         self.c2s.push(data);
-        while let Ok(Some(rec)) = self.c2s.pop() {
+        while let Ok(Some(rec)) = self.c2s.pop_ref() {
             match rec.content_type {
                 ContentType::Handshake => {
-                    let mut buf = rec.payload.as_slice();
-                    while let Ok((msg, used)) = HandshakeMessage::decode(buf) {
-                        if let HandshakeMessage::ClientHello(ch) = msg {
-                            self.client_hello = Some(ch);
+                    let mut buf = rec.payload;
+                    while let Ok((typ, body, used)) = next_raw_message(buf) {
+                        let valid = if typ == msg_type::CLIENT_HELLO {
+                            match ClientHello::decode_body(body) {
+                                Ok(ch) => {
+                                    self.client_hello = Some(ch);
+                                    true
+                                }
+                                Err(_) => false,
+                            }
+                        } else {
+                            validate_body(typ, body).is_ok()
+                        };
+                        if !valid {
+                            break;
                         }
                         buf = &buf[used..];
                         if buf.is_empty() {
@@ -131,7 +148,7 @@ impl GatewayTap {
                     }
                 }
                 ContentType::Alert => {
-                    if let Some(a) = Alert::from_bytes(&rec.payload) {
+                    if let Some(a) = Alert::from_bytes(rec.payload) {
                         self.alerts_from_client.push(a);
                     }
                 }
@@ -144,33 +161,49 @@ impl GatewayTap {
     /// Observes server→client bytes.
     pub fn observe_s2c(&mut self, data: &[u8]) {
         self.s2c.push(data);
-        while let Ok(Some(rec)) = self.s2c.pop() {
+        while let Ok(Some(rec)) = self.s2c.pop_ref() {
             match rec.content_type {
                 ContentType::Handshake => {
-                    let mut buf = rec.payload.as_slice();
-                    while let Ok((msg, used)) = HandshakeMessage::decode(buf) {
-                        match msg {
-                            HandshakeMessage::ServerHello(sh) => {
-                                self.negotiated_version = Some(sh.version);
-                                self.negotiated_suite = Some(sh.cipher_suite);
-                            }
-                            HandshakeMessage::Certificate(chain) => {
-                                if let Some(leaf_bytes) = chain.first() {
-                                    if let Ok(cert) =
-                                        iotls_x509::Certificate::from_bytes(leaf_bytes)
-                                    {
-                                        self.leaf_issuer =
-                                            Some(cert.tbs.issuer.common_name.clone());
-                                    }
+                    let mut buf = rec.payload;
+                    while let Ok((typ, body, used)) = next_raw_message(buf) {
+                        let valid = match typ {
+                            msg_type::SERVER_HELLO => match server_hello_fields(body) {
+                                Ok((version, suite)) => {
+                                    self.negotiated_version = Some(version);
+                                    self.negotiated_suite = Some(suite);
+                                    true
                                 }
+                                Err(_) => false,
+                            },
+                            msg_type::CERTIFICATE => match first_certificate(body) {
+                                Ok(leaf) => {
+                                    if let Some(leaf_bytes) = leaf {
+                                        if let Ok(cert) =
+                                            iotls_x509::Certificate::from_bytes(leaf_bytes)
+                                        {
+                                            self.leaf_issuer =
+                                                Some(cert.tbs.issuer.common_name.clone());
+                                        }
+                                    }
+                                    true
+                                }
+                                Err(_) => false,
+                            },
+                            msg_type::CERTIFICATE_STATUS => {
+                                let ok = validate_body(typ, body).is_ok();
+                                if ok {
+                                    self.ocsp_stapled = true;
+                                }
+                                ok
                             }
-                            HandshakeMessage::CertificateStatus(_) => {
-                                self.ocsp_stapled = true;
-                            }
-                            HandshakeMessage::Finished(_) => {
+                            msg_type::FINISHED => {
                                 self.server_finished = true;
+                                true
                             }
-                            _ => {}
+                            _ => validate_body(typ, body).is_ok(),
+                        };
+                        if !valid {
+                            break;
                         }
                         buf = &buf[used..];
                         if buf.is_empty() {
@@ -179,7 +212,7 @@ impl GatewayTap {
                     }
                 }
                 ContentType::Alert => {
-                    if let Some(a) = Alert::from_bytes(&rec.payload) {
+                    if let Some(a) = Alert::from_bytes(rec.payload) {
                         self.alerts_from_server.push(a);
                     }
                 }
@@ -187,6 +220,22 @@ impl GatewayTap {
                 ContentType::ChangeCipherSpec => {}
             }
         }
+    }
+
+    /// Clears all per-connection state, keeping buffer allocations, so
+    /// one tap (and its scratch buffers) can observe many connections.
+    pub fn reset(&mut self) {
+        self.c2s.clear();
+        self.s2c.clear();
+        self.client_hello = None;
+        self.negotiated_version = None;
+        self.negotiated_suite = None;
+        self.ocsp_stapled = false;
+        self.leaf_issuer = None;
+        self.server_finished = false;
+        self.saw_app_data = false;
+        self.alerts_from_client.clear();
+        self.alerts_from_server.clear();
     }
 
     /// The observed ClientHello, if one was seen.
@@ -202,36 +251,52 @@ impl GatewayTap {
     /// Finalizes the observation. Returns `None` when no ClientHello
     /// was observed (nothing TLS happened on the link).
     pub fn into_observation(
-        self,
+        mut self,
         time: Timestamp,
         device: &str,
         destination: &str,
     ) -> Option<TlsObservation> {
-        let ch = self.client_hello?;
+        self.take_observation(time, device, destination)
+    }
+
+    /// Takes the observation out of a reusable tap, leaving the
+    /// per-connection state spent. Call [`GatewayTap::reset`] before
+    /// observing the next connection.
+    pub fn take_observation(
+        &mut self,
+        time: Timestamp,
+        device: &str,
+        destination: &str,
+    ) -> Option<TlsObservation> {
+        let ch = self.client_hello.take()?;
         let fingerprint = Fingerprint::from_client_hello(&ch).id();
+        let sni = ch.server_name().map(str::to_string);
+        let advertised_versions = ch.advertised_versions();
+        let max_advertised = ch.max_version();
+        let requested_ocsp = ch.requests_ocsp();
         Some(TlsObservation {
             time,
             device: device.to_string(),
             destination: destination.to_string(),
-            sni: ch.server_name().map(str::to_string),
-            advertised_versions: ch.advertised_versions(),
-            max_advertised: ch.max_version(),
-            offered_suites: ch.cipher_suites.clone(),
-            requested_ocsp: ch.requests_ocsp(),
+            sni,
+            advertised_versions,
+            max_advertised,
+            offered_suites: ch.cipher_suites,
+            requested_ocsp,
             fingerprint,
-            negotiated_version: self.negotiated_version,
-            negotiated_suite: self.negotiated_suite,
-            ocsp_stapled: self.ocsp_stapled,
-            leaf_issuer: self.leaf_issuer,
+            negotiated_version: self.negotiated_version.take(),
+            negotiated_suite: self.negotiated_suite.take(),
+            ocsp_stapled: std::mem::take(&mut self.ocsp_stapled),
+            leaf_issuer: self.leaf_issuer.take(),
             established: self.server_finished || self.saw_app_data,
             alerts_from_client: self
                 .alerts_from_client
-                .iter()
+                .drain(..)
                 .map(|a| a.description)
                 .collect(),
             alerts_from_server: self
                 .alerts_from_server
-                .iter()
+                .drain(..)
                 .map(|a| a.description)
                 .collect(),
         })
@@ -242,6 +307,7 @@ impl GatewayTap {
 mod tests {
     use super::*;
     use iotls_tls::record::Record;
+    use iotls_tls::HandshakeMessage;
 
     fn hello_bytes() -> Vec<u8> {
         let ch = ClientHello {

@@ -244,6 +244,72 @@ pub fn encode_extensions(exts: &[Extension], out: &mut Vec<u8>) {
     out.put_vec16(&block);
 }
 
+/// Walks an extension block performing exactly the validation of
+/// [`decode_extensions`] — same error cases, same order — without
+/// building any [`Extension`] values. Used by the passive parse path.
+pub fn skim_extensions(r: &mut Reader) -> Result<(), CodecError> {
+    if r.is_empty() {
+        return Ok(());
+    }
+    let mut block = Reader::new(r.vec16()?);
+    while !block.is_empty() {
+        let typ = block.u16()?;
+        let payload = block.vec16()?;
+        skim_extension(typ, payload)?;
+    }
+    Ok(())
+}
+
+/// Validation-only mirror of [`Extension::decode`]. Variants that
+/// decode infallibly (session_ticket, key_share, renegotiation_info,
+/// unknown-as-raw) are accepted without inspection, exactly as the
+/// allocating path does.
+fn skim_extension(typ: u16, payload: &[u8]) -> Result<(), CodecError> {
+    let mut r = Reader::new(payload);
+    match typ {
+        ext_type::SERVER_NAME => {
+            let mut list = Reader::new(r.vec16()?);
+            if list.u8()? != 0 {
+                return Err(CodecError::IllegalValue("sni name_type"));
+            }
+            let host = list.vec16()?;
+            list.finish()?;
+            std::str::from_utf8(host).map_err(|_| CodecError::IllegalValue("sni utf-8"))?;
+        }
+        ext_type::STATUS_REQUEST => {
+            if r.u8()? != 1 {
+                return Err(CodecError::IllegalValue("status_type"));
+            }
+            r.vec16()?;
+            r.vec16()?;
+        }
+        ext_type::SUPPORTED_GROUPS | ext_type::SIGNATURE_ALGORITHMS => {
+            let mut list = Reader::new(r.vec16()?);
+            while !list.is_empty() {
+                list.u16()?;
+            }
+        }
+        ext_type::EC_POINT_FORMATS => {
+            r.vec8()?;
+        }
+        ext_type::ALPN => {
+            let mut list = Reader::new(r.vec16()?);
+            while !list.is_empty() {
+                std::str::from_utf8(list.vec8()?)
+                    .map_err(|_| CodecError::IllegalValue("alpn utf-8"))?;
+            }
+        }
+        ext_type::SUPPORTED_VERSIONS => {
+            let mut list = Reader::new(r.vec8()?);
+            while !list.is_empty() {
+                list.u16()?;
+            }
+        }
+        _ => {}
+    }
+    Ok(())
+}
+
 /// Decodes an extension block; `r` may be empty (no extensions).
 pub fn decode_extensions(r: &mut Reader) -> Result<Vec<Extension>, CodecError> {
     if r.is_empty() {
@@ -357,6 +423,46 @@ mod tests {
         entry.put_vec16(b"x");
         payload.put_vec16(&entry);
         assert!(Extension::decode(ext_type::SERVER_NAME, &payload).is_err());
+    }
+
+    #[test]
+    fn skim_agrees_with_decode_on_valid_and_corrupted_blocks() {
+        let exts = vec![
+            Extension::ServerName("a.example.com".into()),
+            Extension::StatusRequest,
+            Extension::SupportedGroups(vec![29, 23]),
+            Extension::EcPointFormats(vec![0]),
+            Extension::SignatureAlgorithms(vec![0x0401]),
+            Extension::Alpn(vec!["h2".into()]),
+            Extension::SessionTicket,
+            Extension::SupportedVersions(vec![ProtocolVersion::Tls13]),
+            Extension::KeyShare(vec![1, 2, 3]),
+            Extension::RenegotiationInfo,
+            Extension::Raw {
+                typ: 0x4a4a,
+                data: vec![9],
+            },
+        ];
+        let mut buf = Vec::new();
+        encode_extensions(&exts, &mut buf);
+        // Valid block and every byte-corrupted variant must agree.
+        let mut cases = vec![buf.clone()];
+        for i in 0..buf.len() {
+            for delta in [1u8, 0x80] {
+                let mut c = buf.clone();
+                c[i] = c[i].wrapping_add(delta);
+                cases.push(c);
+            }
+        }
+        for case in cases {
+            let decoded = decode_extensions(&mut Reader::new(&case));
+            let skimmed = skim_extensions(&mut Reader::new(&case));
+            assert_eq!(
+                decoded.as_ref().err(),
+                skimmed.as_ref().err(),
+                "decode/skim diverge on {case:02x?}"
+            );
+        }
     }
 
     #[test]

@@ -1,18 +1,26 @@
 //! Handshake message structures and wire codec (RFC 5246 §7.4 shape).
 
 use crate::codec::{CodecError, Reader, WriteExt};
-use crate::extension::{decode_extensions, encode_extensions, Extension};
+use crate::extension::{decode_extensions, encode_extensions, skim_extensions, Extension};
 use crate::version::ProtocolVersion;
 
 /// Handshake message type code points.
-mod msg_type {
+pub mod msg_type {
+    /// client_hello (1).
     pub const CLIENT_HELLO: u8 = 1;
+    /// server_hello (2).
     pub const SERVER_HELLO: u8 = 2;
+    /// certificate (11).
     pub const CERTIFICATE: u8 = 11;
+    /// server_key_exchange (12).
     pub const SERVER_KEY_EXCHANGE: u8 = 12;
+    /// server_hello_done (14).
     pub const SERVER_HELLO_DONE: u8 = 14;
+    /// certificate_status (22).
     pub const CERTIFICATE_STATUS: u8 = 22;
+    /// client_key_exchange (16).
     pub const CLIENT_KEY_EXCHANGE: u8 = 16;
+    /// finished (20).
     pub const FINISHED: u8 = 20;
 }
 
@@ -34,6 +42,34 @@ pub struct ClientHello {
 }
 
 impl ClientHello {
+    /// Decodes a ClientHello *body* (the bytes after the 4-byte
+    /// handshake header), exactly as [`HandshakeMessage::decode`]
+    /// would.
+    pub fn decode_body(body: &[u8]) -> Result<ClientHello, CodecError> {
+        let mut b = Reader::new(body);
+        let legacy_version = ProtocolVersion::from_wire(b.u16()?)
+            .ok_or(CodecError::IllegalValue("client version"))?;
+        let mut random = [0u8; 32];
+        random.copy_from_slice(b.take(32)?);
+        let session_id = b.vec8()?.to_vec();
+        let mut suites_reader = Reader::new(b.vec16()?);
+        let mut cipher_suites = Vec::new();
+        while !suites_reader.is_empty() {
+            cipher_suites.push(suites_reader.u16()?);
+        }
+        let compression_methods = b.vec8()?.to_vec();
+        let extensions = decode_extensions(&mut b)?;
+        b.finish()?;
+        Ok(ClientHello {
+            legacy_version,
+            random,
+            session_id,
+            cipher_suites,
+            compression_methods,
+            extensions,
+        })
+    }
+
     /// The SNI hostname, if present.
     pub fn server_name(&self) -> Option<&str> {
         self.extensions.iter().find_map(|e| match e {
@@ -202,27 +238,7 @@ impl HandshakeMessage {
         let mut b = Reader::new(body);
         let msg = match typ {
             msg_type::CLIENT_HELLO => {
-                let legacy_version = ProtocolVersion::from_wire(b.u16()?)
-                    .ok_or(CodecError::IllegalValue("client version"))?;
-                let mut random = [0u8; 32];
-                random.copy_from_slice(b.take(32)?);
-                let session_id = b.vec8()?.to_vec();
-                let mut suites_reader = Reader::new(b.vec16()?);
-                let mut cipher_suites = Vec::new();
-                while !suites_reader.is_empty() {
-                    cipher_suites.push(suites_reader.u16()?);
-                }
-                let compression_methods = b.vec8()?.to_vec();
-                let extensions = decode_extensions(&mut b)?;
-                b.finish()?;
-                HandshakeMessage::ClientHello(ClientHello {
-                    legacy_version,
-                    random,
-                    session_id,
-                    cipher_suites,
-                    compression_methods,
-                    extensions,
-                })
+                HandshakeMessage::ClientHello(ClientHello::decode_body(body)?)
             }
             msg_type::SERVER_HELLO => {
                 let version = ProtocolVersion::from_wire(b.u16()?)
@@ -284,6 +300,98 @@ impl HandshakeMessage {
         };
         Ok((msg, consumed))
     }
+}
+
+/// Splits the next handshake message off `data` without copying,
+/// returning `(type code, borrowed body, bytes consumed)`.
+///
+/// Only the 4-byte header is parsed; pair with [`validate_body`] or a
+/// typed extractor to get [`HandshakeMessage::decode`]'s full
+/// validation without its allocations.
+pub fn next_raw_message(data: &[u8]) -> Result<(u8, &[u8], usize), CodecError> {
+    let mut r = Reader::new(data);
+    let typ = r.u8()?;
+    let body = r.vec24()?;
+    Ok((typ, body, data.len() - r.remaining()))
+}
+
+/// Validates a handshake message body exactly as
+/// [`HandshakeMessage::decode`] would — same error cases in the same
+/// order — without building the owned message.
+pub fn validate_body(typ: u8, body: &[u8]) -> Result<(), CodecError> {
+    let mut b = Reader::new(body);
+    match typ {
+        msg_type::CLIENT_HELLO => {
+            ProtocolVersion::from_wire(b.u16()?).ok_or(CodecError::IllegalValue("client version"))?;
+            b.take(32)?;
+            b.vec8()?;
+            let mut suites = Reader::new(b.vec16()?);
+            while !suites.is_empty() {
+                suites.u16()?;
+            }
+            b.vec8()?;
+            skim_extensions(&mut b)?;
+            b.finish()
+        }
+        msg_type::SERVER_HELLO => {
+            server_hello_fields(body)?;
+            Ok(())
+        }
+        msg_type::CERTIFICATE => {
+            first_certificate(body)?;
+            Ok(())
+        }
+        msg_type::SERVER_KEY_EXCHANGE => {
+            b.vec16()?;
+            b.vec16()?;
+            b.finish()
+        }
+        msg_type::CERTIFICATE_STATUS => {
+            if b.u8()? != 1 {
+                return Err(CodecError::IllegalValue("status_type"));
+            }
+            b.vec24()?;
+            b.finish()
+        }
+        msg_type::SERVER_HELLO_DONE => b.finish(),
+        msg_type::CLIENT_KEY_EXCHANGE => {
+            b.vec16()?;
+            b.finish()
+        }
+        msg_type::FINISHED => Ok(()),
+        _ => Err(CodecError::IllegalValue("handshake type")),
+    }
+}
+
+/// Validates a ServerHello body and returns `(version, cipher_suite)`
+/// without allocating.
+pub fn server_hello_fields(body: &[u8]) -> Result<(ProtocolVersion, u16), CodecError> {
+    let mut b = Reader::new(body);
+    let version =
+        ProtocolVersion::from_wire(b.u16()?).ok_or(CodecError::IllegalValue("server version"))?;
+    b.take(32)?;
+    b.vec8()?;
+    let cipher_suite = b.u16()?;
+    b.u8()?;
+    skim_extensions(&mut b)?;
+    b.finish()?;
+    Ok((version, cipher_suite))
+}
+
+/// Validates a Certificate body and returns the first (leaf) entry as
+/// a borrowed slice, or `None` for an empty chain.
+pub fn first_certificate(body: &[u8]) -> Result<Option<&[u8]>, CodecError> {
+    let mut b = Reader::new(body);
+    let mut list = Reader::new(b.vec24()?);
+    let mut leaf = None;
+    while !list.is_empty() {
+        let cert = list.vec24()?;
+        if leaf.is_none() {
+            leaf = Some(cert);
+        }
+    }
+    b.finish()?;
+    Ok(leaf)
 }
 
 #[cfg(test)]
@@ -377,6 +485,84 @@ mod tests {
         let mut buf = vec![99u8];
         buf.put_vec24(&[]);
         assert!(HandshakeMessage::decode(&buf).is_err());
+    }
+
+    fn sample_messages() -> Vec<HandshakeMessage> {
+        vec![
+            HandshakeMessage::ClientHello(sample_client_hello()),
+            HandshakeMessage::ServerHello(ServerHello {
+                version: ProtocolVersion::Tls12,
+                random: [9u8; 32],
+                session_id: vec![1, 2, 3],
+                cipher_suite: 0xc02f,
+                compression_method: 0,
+                extensions: vec![Extension::RenegotiationInfo],
+            }),
+            HandshakeMessage::Certificate(vec![vec![1; 40], vec![2; 60]]),
+            HandshakeMessage::ServerKeyExchange(ServerKeyExchange {
+                dh_public: vec![5; 96],
+                signature: vec![6; 64],
+            }),
+            HandshakeMessage::CertificateStatus(vec![8; 50]),
+            HandshakeMessage::ServerHelloDone,
+            HandshakeMessage::ClientKeyExchange(vec![3; 64]),
+            HandshakeMessage::Finished(vec![4; 12]),
+        ]
+    }
+
+    #[test]
+    fn raw_skim_agrees_with_decode() {
+        for msg in sample_messages() {
+            let encoded = msg.encode();
+            // Valid encoding plus every single-byte corruption.
+            let mut cases = vec![encoded.clone()];
+            for i in 0..encoded.len() {
+                for delta in [1u8, 0x80] {
+                    let mut c = encoded.clone();
+                    c[i] = c[i].wrapping_add(delta);
+                    cases.push(c);
+                }
+            }
+            for case in cases {
+                let decoded = HandshakeMessage::decode(&case);
+                let skimmed = next_raw_message(&case)
+                    .and_then(|(typ, body, used)| validate_body(typ, body).map(|()| used));
+                match (&decoded, &skimmed) {
+                    (Ok((_, used_d)), Ok(used_s)) => assert_eq!(used_d, used_s),
+                    (Err(de), Err(se)) => assert_eq!(de, se, "error mismatch on {case:02x?}"),
+                    _ => panic!("decode/skim diverge on {case:02x?}: {decoded:?} vs {skimmed:?}"),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn typed_extractors_match_decoded_fields() {
+        for msg in sample_messages() {
+            let encoded = msg.encode();
+            let (typ, body, _) = next_raw_message(&encoded).unwrap();
+            match msg {
+                HandshakeMessage::ClientHello(ch) => {
+                    assert_eq!(ClientHello::decode_body(body).unwrap(), ch);
+                }
+                HandshakeMessage::ServerHello(sh) => {
+                    assert_eq!(
+                        server_hello_fields(body).unwrap(),
+                        (sh.version, sh.cipher_suite)
+                    );
+                }
+                HandshakeMessage::Certificate(chain) => {
+                    assert_eq!(
+                        first_certificate(body).unwrap(),
+                        chain.first().map(Vec::as_slice)
+                    );
+                }
+                _ => assert!(validate_body(typ, body).is_ok()),
+            }
+        }
+        let empty_chain = HandshakeMessage::Certificate(vec![]).encode();
+        let (_, body, _) = next_raw_message(&empty_chain).unwrap();
+        assert_eq!(first_certificate(body).unwrap(), None);
     }
 
     #[test]

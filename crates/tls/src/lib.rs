@@ -39,8 +39,11 @@ pub use ciphersuite::{by_id, by_name, BulkCipher, CipherSuite, KeyExchange, MacA
 pub use client::{CachedSession, ClientConfig, ClientConnection, HandshakeFailure, HandshakeSummary};
 pub use extension::Extension;
 pub use fingerprint::{Fingerprint, FingerprintId};
-pub use handshake::{ClientHello, HandshakeMessage, ServerHello};
+pub use handshake::{
+    first_certificate, next_raw_message, server_hello_fields, validate_body, ClientHello,
+    HandshakeMessage, ServerHello,
+};
 pub use profile::LibraryProfile;
-pub use record::{ContentType, Deframer, Record};
+pub use record::{ContentType, Deframer, Record, RecordRef};
 pub use server::{ServerConfig, ServerConnection, ServerFailure, SessionCache};
 pub use version::ProtocolVersion;

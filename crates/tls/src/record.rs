@@ -90,11 +90,31 @@ impl Record {
     }
 }
 
+/// A record whose payload borrows the deframer's buffer — the
+/// zero-copy counterpart of [`Record`], used on the passive parse
+/// path where payloads are scanned once and never stored.
+#[derive(Debug, PartialEq, Eq)]
+pub struct RecordRef<'a> {
+    /// Content type.
+    pub content_type: ContentType,
+    /// Record-layer version field.
+    pub version: ProtocolVersion,
+    /// Borrowed fragment payload.
+    pub payload: &'a [u8],
+}
+
 /// Incremental record parser: feed bytes in any chunking, pop whole
 /// records out.
+///
+/// Consumed records advance a cursor instead of draining the buffer;
+/// the consumed prefix is reclaimed on the next [`Deframer::push`]
+/// (usually a plain `clear`, since taps drain every complete record
+/// between pushes), so steady-state popping does no per-record
+/// allocation or memmove.
 #[derive(Debug, Default)]
 pub struct Deframer {
     buffer: Vec<u8>,
+    start: usize,
 }
 
 impl Deframer {
@@ -105,37 +125,58 @@ impl Deframer {
 
     /// Appends raw transport bytes.
     pub fn push(&mut self, data: &[u8]) {
+        if self.start == self.buffer.len() {
+            // Everything consumed: reuse the allocation outright.
+            self.buffer.clear();
+        } else if self.start > 0 {
+            self.buffer.drain(..self.start);
+        }
+        self.start = 0;
         self.buffer.extend_from_slice(data);
     }
 
     /// Bytes currently buffered (for diagnostics).
     pub fn buffered(&self) -> usize {
-        self.buffer.len()
+        self.buffer.len() - self.start
+    }
+
+    /// Discards all buffered bytes, keeping the allocation for reuse.
+    pub fn clear(&mut self) {
+        self.buffer.clear();
+        self.start = 0;
+    }
+
+    /// Pops the next complete record with a borrowed payload, or
+    /// `None` if more bytes are needed. Malformed headers are an
+    /// error and consume nothing.
+    pub fn pop_ref(&mut self) -> Result<Option<RecordRef<'_>>, CodecError> {
+        let buf = &self.buffer[self.start..];
+        if buf.len() < 5 {
+            return Ok(None);
+        }
+        let content_type =
+            ContentType::from_wire(buf[0]).ok_or(CodecError::IllegalValue("content type"))?;
+        let version = ProtocolVersion::from_wire(u16::from_be_bytes([buf[1], buf[2]]))
+            .ok_or(CodecError::IllegalValue("record version"))?;
+        let len = u16::from_be_bytes([buf[3], buf[4]]) as usize;
+        if buf.len() < 5 + len {
+            return Ok(None);
+        }
+        self.start += 5 + len;
+        Ok(Some(RecordRef {
+            content_type,
+            version,
+            payload: &self.buffer[self.start - len..self.start],
+        }))
     }
 
     /// Pops the next complete record, or `None` if more bytes are
     /// needed. Malformed headers are an error.
     pub fn pop(&mut self) -> Result<Option<Record>, CodecError> {
-        if self.buffer.len() < 5 {
-            return Ok(None);
-        }
-        let content_type = ContentType::from_wire(self.buffer[0])
-            .ok_or(CodecError::IllegalValue("content type"))?;
-        let version = ProtocolVersion::from_wire(u16::from_be_bytes([
-            self.buffer[1],
-            self.buffer[2],
-        ]))
-        .ok_or(CodecError::IllegalValue("record version"))?;
-        let len = u16::from_be_bytes([self.buffer[3], self.buffer[4]]) as usize;
-        if self.buffer.len() < 5 + len {
-            return Ok(None);
-        }
-        let payload = self.buffer[5..5 + len].to_vec();
-        self.buffer.drain(..5 + len);
-        Ok(Some(Record {
-            content_type,
-            version,
-            payload,
+        Ok(self.pop_ref()?.map(|r| Record {
+            content_type: r.content_type,
+            version: r.version,
+            payload: r.payload.to_vec(),
         }))
     }
 

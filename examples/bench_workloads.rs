@@ -1,15 +1,29 @@
-//! Perf harness: times the three headline workloads and emits one
-//! JSON entry per workload on stdout (`{workload, seconds, threads}`).
+//! Perf harness: times the headline workloads and emits one JSON
+//! entry per workload on stdout
+//! (`{workload, seconds, threads, rss_mb, ...}`).
 //!
 //! `scripts/bench.sh` wraps this with the tier-1 test-suite timing and
 //! writes `BENCH_baseline.json` / `BENCH_current.json`, so the perf
 //! trajectory of the repo is measured the same way in every PR.
+//! `scripts/bench_check.sh` diffs the two and fails on regressions.
+//!
+//! The `passive_10m` workload generates and analyzes the paper-scale
+//! dataset — every simulated connection as its own row, ≥10M rows —
+//! and records throughput and peak RSS. With `IOTLS_BENCH_LEGACY=1`
+//! it instead runs the pre-streaming shape of that pipeline
+//! (materialize the full `String`-laden row vector, then one full
+//! scan per table), which is what `bench.sh baseline` records.
 //!
 //! Run with: `cargo run --release --example bench_workloads`
 
-use iotls_repro::capture::generate;
-use iotls_repro::core::{run_interception_audit, run_root_probe};
+use iotls_repro::capture::{generate, generate_streamed, DEFAULT_SEED};
+use iotls_repro::core::{
+    analyze_streamed, cipher_series, passive_summary, revocation_summary, run_interception_audit,
+    run_root_probe, version_series, version_transitions,
+};
 use iotls_repro::devices::Testbed;
+use iotls_repro::simnet::FaultPlan;
+use std::hint::black_box;
 use std::time::Instant;
 
 /// Worker count the engine will use: `IOTLS_THREADS` when set,
@@ -26,18 +40,90 @@ fn threads() -> usize {
         })
 }
 
-fn timed(name: &str, threads: usize, f: impl FnOnce()) -> String {
+/// Resets the kernel's peak-RSS watermark for this process so each
+/// workload's `VmHWM` reading is its own (Linux ≥ 4.0; a failed write
+/// degrades to a whole-process high-water mark).
+fn reset_peak_rss() {
+    let _ = std::fs::write("/proc/self/clear_refs", "5");
+}
+
+/// Peak resident set size in MiB, from `/proc/self/status`.
+fn peak_rss_mb() -> f64 {
+    let status = std::fs::read_to_string("/proc/self/status").unwrap_or_default();
+    for line in status.lines() {
+        if let Some(rest) = line.strip_prefix("VmHWM:") {
+            let kb: f64 = rest
+                .split_whitespace()
+                .next()
+                .and_then(|v| v.parse().ok())
+                .unwrap_or(0.0);
+            return kb / 1024.0;
+        }
+    }
+    0.0
+}
+
+/// Times one workload, capturing wall seconds and its peak RSS.
+/// `f` returns extra JSON fields (e.g. row counts), empty for none.
+fn timed(name: &str, threads: usize, f: impl FnOnce() -> String) -> String {
+    reset_peak_rss();
     let start = Instant::now();
-    f();
+    let extra = f();
     let seconds = start.elapsed().as_secs_f64();
-    eprintln!("bench: {name} finished in {seconds:.2}s");
+    let rss = peak_rss_mb();
+    eprintln!("bench: {name} finished in {seconds:.2}s (peak RSS {rss:.0} MB)");
     format!(
-        "  {{\"workload\": \"{name}\", \"seconds\": {seconds:.3}, \"threads\": {threads}}}"
+        "  {{\"workload\": \"{name}\", \"seconds\": {seconds:.3}, \"threads\": {threads}, \
+         \"rss_mb\": {rss:.1}{extra}}}"
     )
+}
+
+/// Paper-scale passive run: ≥10M connections, one row each, streamed
+/// through the single-pass accumulator. Memory stays bounded at one
+/// open chunk plus the integer cells.
+fn passive_10m_streamed() -> String {
+    let a = analyze_streamed(Testbed::global(), DEFAULT_SEED, FaultPlan::none(), 1);
+    assert!(
+        a.total_connections >= 10_000_000,
+        "paper scale means >=10M connections, got {}",
+        a.total_connections
+    );
+    assert!(!a.summary.fig1_devices.is_empty());
+    let rows = a.total_connections; // one row per connection
+    black_box(&a);
+    format!(", \"rows\": {rows}, \"connections\": {}", a.total_connections)
+}
+
+/// The pre-streaming shape of the same workload: materialize every
+/// row as a `String`-carrying observation, then run one full scan per
+/// deliverable (Figures 1–3 series, transitions, summary, Table 8),
+/// the way the row-vector pipeline did.
+fn passive_10m_legacy() -> String {
+    let mut chunks = Vec::new();
+    let mut cds = generate_streamed(
+        Testbed::global(),
+        DEFAULT_SEED,
+        FaultPlan::none(),
+        1,
+        &mut |c| chunks.push(c),
+    );
+    cds.chunks = chunks;
+    let ds = cds.to_rows();
+    drop(cds);
+    let connections = ds.total_connections();
+    assert!(connections >= 10_000_000);
+    black_box(version_series(&ds));
+    black_box(cipher_series(&ds));
+    black_box(version_transitions(&ds));
+    black_box(passive_summary(&ds));
+    black_box(revocation_summary(&ds));
+    let rows = ds.observations.len();
+    format!(", \"rows\": {rows}, \"connections\": {connections}")
 }
 
 fn main() {
     let threads = threads();
+    let legacy = std::env::var("IOTLS_BENCH_LEGACY").is_ok_and(|v| v == "1");
     // Testbed/PKI construction is shared setup, not a workload.
     let tb = Testbed::global();
 
@@ -45,14 +131,24 @@ fn main() {
         timed("passive_generate", threads, || {
             let ds = generate(tb, 0xCAFE);
             assert!(ds.total_connections() > 0);
+            String::new()
         }),
         timed("active_sweep", threads, || {
             let report = run_interception_audit(tb, 0x7AB1E7);
             assert!(!report.rows.is_empty());
+            String::new()
         }),
         timed("rootprobe_sweep", threads, || {
             let report = run_root_probe(tb, 0x6007);
             assert!(!report.rows.is_empty());
+            String::new()
+        }),
+        timed("passive_10m", threads, || {
+            if legacy {
+                passive_10m_legacy()
+            } else {
+                passive_10m_streamed()
+            }
         }),
     ];
     println!("{}", entries.join(",\n"));

@@ -2,37 +2,39 @@
 //! renders Figures 1–3 as heatmaps, Table 8, the §5.1 summary
 //! statistics, and the prior-work comparison.
 //!
+//! Everything below the dataset line comes from ONE pass over the
+//! columnar chunk stream (`analyze_columnar`), not repeated scans of
+//! a materialized row vector.
+//!
 //! Run with: `cargo run --release --example longitudinal_report`
 
 use iotls_repro::analysis::{figures, tables};
-use iotls_repro::capture::global_dataset;
-use iotls_repro::core::{
-    cipher_series, passive_summary, revocation_summary, version_series, version_transitions,
-};
+use iotls_repro::capture::global_columnar;
+use iotls_repro::core::analyze_columnar;
 
 fn main() {
     println!("== IoTLS longitudinal analysis (Figures 1-3, Table 8, §5.1) ==\n");
 
-    let ds = global_dataset();
-    let stats = ds.stats();
+    let ds = global_columnar();
+    let a = analyze_columnar(ds);
     println!(
-        "Dataset: {} TLS connections from {} devices (mean {:.0}K / median {:.0}K per device)\n",
-        stats.total_connections,
-        stats.per_device.len(),
-        stats.mean_per_device / 1000.0,
-        stats.median_per_device as f64 / 1000.0,
+        "Dataset: {} TLS connections from {} devices ({} columnar rows in {} chunks)\n",
+        a.total_connections,
+        a.device_names.len(),
+        ds.total_rows(),
+        ds.chunks.len(),
     );
 
-    let summary = passive_summary(ds);
-    let versions = version_series(ds);
-    let ciphers = cipher_series(ds);
-
-    println!("{}", figures::fig1_versions(ds, &versions, &summary.fig1_devices));
-    println!("{}", figures::fig2_insecure(ds, &ciphers));
-    println!("{}", figures::fig3_strong(ds, &ciphers));
+    let summary = &a.summary;
+    println!(
+        "{}",
+        figures::fig1_versions(&a.month_axis, &a.version_series, &summary.fig1_devices)
+    );
+    println!("{}", figures::fig2_insecure(&a.month_axis, &a.cipher_series));
+    println!("{}", figures::fig3_strong(&a.month_axis, &a.cipher_series));
 
     println!("Detected protocol-version upgrades:");
-    for t in version_transitions(ds) {
+    for t in &a.transitions {
         println!("  {:<20} {} -> {} ({})", t.device, t.from, t.to, t.month);
     }
 
@@ -65,6 +67,8 @@ fn main() {
         summary.pct_connections_tls13, summary.pct_connections_rc4,
     );
 
-    let revocation = revocation_summary(ds);
-    println!("{}", tables::table8_revocation(&revocation, &ds.device_names()));
+    println!(
+        "{}",
+        tables::table8_revocation(&a.revocation, &a.device_names)
+    );
 }

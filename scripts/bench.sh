@@ -1,10 +1,13 @@
 #!/usr/bin/env sh
-# Perf baseline harness: times the tier-1 test suite plus the three
-# headline workloads (passive generate, full active sweep, rootprobe
-# sweep) and writes a JSON report.
+# Perf baseline harness: times the tier-1 suite (a real scripts/tier1.sh
+# run) plus the headline workloads (passive generate, full active
+# sweep, rootprobe sweep, paper-scale passive_10m) and writes a JSON
+# report. Every entry records wall seconds AND peak RSS in MB.
 #
 #   scripts/bench.sh            -> BENCH_current.json
-#   scripts/bench.sh baseline   -> BENCH_baseline.json
+#   scripts/bench.sh baseline   -> BENCH_baseline.json  (legacy-shape
+#                                  passive_10m: materialized row vector,
+#                                  one scan per table)
 #
 # Thread count comes from IOTLS_THREADS (default: all cores), and is
 # recorded per entry so speedups are attributable.
@@ -13,7 +16,7 @@ set -eu
 cd "$(dirname "$0")/.."
 
 case "${1:-current}" in
-    baseline) OUT=BENCH_baseline.json ;;
+    baseline) OUT=BENCH_baseline.json; export IOTLS_BENCH_LEGACY=1 ;;
     current)  OUT=BENCH_current.json ;;
     *)        OUT="$1" ;;
 esac
@@ -23,16 +26,33 @@ THREADS="${IOTLS_THREADS:-$(nproc 2>/dev/null || echo 1)}"
 cargo build --release --offline --workspace
 cargo build --release --offline --example bench_workloads
 
-T0=$(date +%s)
-cargo test -q --offline --workspace >/dev/null
-T1=$(date +%s)
-TIER1=$((T1 - T0))
+# tier1_tests: wall time and child peak RSS of an actual tier1.sh run.
+# python3's RUSAGE_CHILDREN maxrss covers the whole cargo process tree;
+# without python3 the RSS column degrades to 0.
+if command -v python3 >/dev/null 2>&1; then
+    TIER1_LINE=$(python3 - "$THREADS" <<'EOF'
+import resource, subprocess, sys, time
+threads = sys.argv[1]
+t0 = time.time()
+subprocess.run(["scripts/tier1.sh"], check=True, stdout=sys.stderr)
+secs = time.time() - t0
+rss_mb = resource.getrusage(resource.RUSAGE_CHILDREN).ru_maxrss / 1024.0
+print(f'  {{"workload": "tier1_tests", "seconds": {secs:.3f}, '
+      f'"threads": {threads}, "rss_mb": {rss_mb:.1f}}},')
+EOF
+)
+else
+    T0=$(date +%s)
+    ./scripts/tier1.sh >&2
+    T1=$(date +%s)
+    TIER1_LINE=$(printf '  {"workload": "tier1_tests", "seconds": %d.0, "threads": %s, "rss_mb": 0.0},' "$((T1 - T0))" "$THREADS")
+fi
 
 WORKLOADS=$(./target/release/examples/bench_workloads)
 
 {
     echo "["
-    printf '  {"workload": "tier1_tests", "seconds": %d.0, "threads": %s},\n' "$TIER1" "$THREADS"
+    printf '%s\n' "$TIER1_LINE"
     printf '%s\n' "$WORKLOADS"
     echo "]"
 } > "$OUT"

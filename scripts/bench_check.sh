@@ -1,0 +1,55 @@
+#!/usr/bin/env sh
+# Perf regression gate: compares BENCH_current.json against
+# BENCH_baseline.json and fails if any workload present in both got
+# more than 15% slower. Workloads only in one file are reported but
+# not failed (new workloads have no baseline yet).
+#
+#   scripts/bench_check.sh [current.json] [baseline.json]
+#
+# Wired as an optional tier-1 step: IOTLS_BENCH_CHECK=1 scripts/tier1.sh
+set -eu
+
+cd "$(dirname "$0")/.."
+
+CURRENT="${1:-BENCH_current.json}"
+BASELINE="${2:-BENCH_baseline.json}"
+
+for f in "$CURRENT" "$BASELINE"; do
+    if [ ! -f "$f" ]; then
+        echo "bench_check: missing $f (run scripts/bench.sh first)" >&2
+        exit 2
+    fi
+done
+
+# Extract "workload seconds" pairs from the one-entry-per-line JSON the
+# bench harness writes.
+pairs() {
+    sed -n 's/.*"workload": *"\([^"]*\)".*"seconds": *\([0-9.]*\).*/\1 \2/p' "$1"
+}
+
+pairs "$CURRENT" | {
+    fail=0
+    while read -r name cur; do
+        base=$(pairs "$BASELINE" | awk -v n="$name" '$1 == n { print $2; exit }')
+        if [ -z "$base" ]; then
+            echo "bench_check: $name: no baseline entry (current ${cur}s), skipping"
+            continue
+        fi
+        # Fail when cur > base * 1.15 (guard against a zero baseline).
+        verdict=$(awk -v c="$cur" -v b="$base" 'BEGIN {
+            if (b <= 0) { print "skip"; exit }
+            ratio = c / b
+            if (ratio > 1.15) printf "FAIL %.0f%%", (ratio - 1) * 100
+            else printf "ok %+.0f%%", (ratio - 1) * 100
+        }')
+        echo "bench_check: $name: ${cur}s vs baseline ${base}s ($verdict)"
+        case "$verdict" in
+            FAIL*) fail=1 ;;
+        esac
+    done
+    if [ "$fail" -ne 0 ]; then
+        echo "bench_check: FAILED (>15% regression)" >&2
+        exit 1
+    fi
+    echo "bench_check: OK"
+}

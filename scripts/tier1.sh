@@ -14,3 +14,10 @@ cargo test -q --offline --workspace
 
 end=$(date +%s)
 echo "tier1: OK ($((end - start))s)"
+
+# Optional perf gate: compare BENCH_current.json to BENCH_baseline.json
+# and fail on >15% regressions. Off by default because the bench files
+# are refreshed by scripts/bench.sh, not by every tier-1 run.
+if [ "${IOTLS_BENCH_CHECK:-0}" = "1" ]; then
+    ./scripts/bench_check.sh
+fi

@@ -75,11 +75,12 @@ fn every_figure_renders() {
     let testbed = Testbed::global();
     let ds = global_dataset();
     let summary = passive_summary(ds);
-    let f1 = figures::fig1_versions(ds, &version_series(ds), &summary.fig1_devices);
+    let axis = figures::month_axis(ds);
+    let f1 = figures::fig1_versions(&axis, &version_series(ds), &summary.fig1_devices);
     assert!(f1.contains("Wemo Plug"));
-    let f2 = figures::fig2_insecure(ds, &cipher_series(ds));
+    let f2 = figures::fig2_insecure(&axis, &cipher_series(ds));
     assert!(f2.contains("advertising insecure"));
-    let f3 = figures::fig3_strong(ds, &cipher_series(ds));
+    let f3 = figures::fig3_strong(&axis, &cipher_series(ds));
     assert!(f3.contains("forward-secret"));
     let probe = run_root_probe(testbed, 0x4E9D);
     let f4 = figures::fig4_staleness(testbed.pki, &probe);

@@ -7,16 +7,22 @@
 //! active sweep plus the passive generator at 1 and at 8 workers and
 //! compares everything.
 
-use iotls_repro::analysis::tables;
-use iotls_repro::capture::{generate, to_json};
+use iotls_repro::analysis::{figures, tables};
+use iotls_repro::capture::{generate, generate_columnar, to_json, to_json_columnar};
 use iotls_repro::core::{
+    analyze_columnar, analyze_streamed, cipher_series, passive_summary, revocation_summary,
     run_downgrade_probe_with, run_fingerprint_survey, run_interception_audit_with,
-    run_old_version_scan_with, run_root_probe_with,
+    run_old_version_scan_with, run_root_probe_with, version_series,
 };
 use iotls_repro::crypto::sha256::sha256;
 use iotls_repro::devices::Testbed;
 use iotls_repro::simnet::par::THREADS_ENV;
 use iotls_repro::simnet::FaultPlan;
+use std::sync::Mutex;
+
+/// Both tests in this binary mutate `IOTLS_THREADS`; the harness runs
+/// them on concurrent threads, so the env var is serialized here.
+static ENV_LOCK: Mutex<()> = Mutex::new(());
 
 /// Everything a sweep produces, flattened to comparable bytes.
 #[derive(Debug, PartialEq)]
@@ -63,6 +69,7 @@ fn run_sweep(testbed: &'static Testbed) -> SweepFootprint {
 
 #[test]
 fn one_worker_and_eight_workers_produce_identical_bytes() {
+    let _env = ENV_LOCK.lock().unwrap_or_else(|e| e.into_inner());
     let testbed = Testbed::global();
 
     std::env::set_var(THREADS_ENV, "1");
@@ -81,4 +88,67 @@ fn one_worker_and_eight_workers_produce_identical_bytes() {
     // comparing non-trivial counters.
     assert_ne!(sequential.audit_fault_stats, format!("{:?}", iotls_repro::core::FaultStats::default()));
     assert_ne!(sequential.audit_cache_stats, "CacheStats { hits: 0, misses: 0 }");
+}
+
+/// The rendered passive deliverables, flattened to comparable bytes.
+#[derive(Debug, PartialEq)]
+struct PassiveFootprint {
+    fig1: String,
+    fig2: String,
+    fig3: String,
+    table8: String,
+    export_digest: [u8; 32],
+}
+
+/// Renders every passive table/figure plus the JSON export through the
+/// streaming accumulator, asserting along the way that the legacy
+/// row-scanning path produces the same bytes.
+fn run_passive(testbed: &'static Testbed) -> PassiveFootprint {
+    let cds = generate_columnar(testbed, 0x10AD);
+    let rows = cds.to_rows();
+
+    // Single-pass streamed analysis (chunks dropped as they are
+    // folded) vs the in-memory chunk walk vs the legacy row scans.
+    let streamed = analyze_streamed(testbed, 0x10AD, FaultPlan::none(), u64::MAX);
+    assert_eq!(streamed, analyze_columnar(&cds));
+    assert_eq!(streamed.version_series, version_series(&rows));
+    assert_eq!(streamed.cipher_series, cipher_series(&rows));
+    assert_eq!(streamed.summary, passive_summary(&rows));
+    assert_eq!(streamed.revocation, revocation_summary(&rows));
+    assert_eq!(streamed.month_axis, figures::month_axis(&rows));
+    assert_eq!(streamed.device_names, rows.device_names());
+
+    // Exported dataset: columnar encoder vs the row-vector encoder.
+    let export = to_json_columnar(&cds);
+    assert_eq!(export, to_json(&rows));
+
+    PassiveFootprint {
+        fig1: figures::fig1_versions(
+            &streamed.month_axis,
+            &streamed.version_series,
+            &streamed.summary.fig1_devices,
+        ),
+        fig2: figures::fig2_insecure(&streamed.month_axis, &streamed.cipher_series),
+        fig3: figures::fig3_strong(&streamed.month_axis, &streamed.cipher_series),
+        table8: tables::table8_revocation(&streamed.revocation, &streamed.device_names),
+        export_digest: sha256(export.as_bytes()),
+    }
+}
+
+#[test]
+fn streamed_pipeline_is_byte_identical_at_any_thread_count() {
+    let _env = ENV_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    let testbed = Testbed::global();
+
+    std::env::set_var(THREADS_ENV, "1");
+    let sequential = run_passive(testbed);
+
+    std::env::set_var(THREADS_ENV, "8");
+    let parallel = run_passive(testbed);
+    std::env::remove_var(THREADS_ENV);
+
+    assert_eq!(sequential, parallel);
+    assert!(sequential.fig1.contains("Wemo Plug"));
+    assert!(sequential.fig3.contains("Blink Hub"));
+    assert!(sequential.table8.contains("OCSP Stapling"));
 }
