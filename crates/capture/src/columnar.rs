@@ -33,6 +33,59 @@ pub const CHUNK_ROWS: usize = 65_536;
 /// Sentinel for "absent" in optional symbol columns.
 const NO_SYM: u32 = u32::MAX;
 
+/// Counters for the columnar pipeline: rows written, chunks sealed,
+/// pool-dedup effectiveness, and bitmap-pruning effectiveness. Plain
+/// data so per-lane partials merge in roster order; [`export`]
+/// (Self::export) folds them into a metrics registry under
+/// `capture.*`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ColumnarStats {
+    /// Rows appended across all chunks.
+    pub rows_written: u64,
+    /// Chunks sealed (taken out of the writer).
+    pub chunks_sealed: u64,
+    /// Variable-length u16 spans served from the dedup pool.
+    pub pool_u16_hits: u64,
+    /// Variable-length u16 spans newly appended to the pool.
+    pub pool_u16_appends: u64,
+    /// Variable-length u8 spans served from the dedup pool.
+    pub pool_u8_hits: u64,
+    /// Variable-length u8 spans newly appended to the pool.
+    pub pool_u8_appends: u64,
+    /// Chunks whose rows a pruned scan actually visited.
+    pub chunks_scanned: u64,
+    /// Chunks a pruned scan skipped via bitmap/time metadata.
+    pub chunks_pruned: u64,
+}
+
+impl ColumnarStats {
+    /// Field-wise accumulation (for aggregating across lanes).
+    pub fn merge(&mut self, other: &ColumnarStats) {
+        self.rows_written += other.rows_written;
+        self.chunks_sealed += other.chunks_sealed;
+        self.pool_u16_hits += other.pool_u16_hits;
+        self.pool_u16_appends += other.pool_u16_appends;
+        self.pool_u8_hits += other.pool_u8_hits;
+        self.pool_u8_appends += other.pool_u8_appends;
+        self.chunks_scanned += other.chunks_scanned;
+        self.chunks_pruned += other.chunks_pruned;
+    }
+
+    /// Folds the counters into a metrics registry under `<prefix>.*`
+    /// (e.g. `capture.lane` for per-lane builders, `capture.merge`
+    /// for the sequential merge builder). Zero counters are omitted.
+    pub fn export(&self, reg: &mut iotls_obs::Registry, prefix: &str) {
+        reg.add(&format!("{prefix}.rows.written"), self.rows_written);
+        reg.add(&format!("{prefix}.chunks.sealed"), self.chunks_sealed);
+        reg.add(&format!("{prefix}.pool.u16.dedup_hits"), self.pool_u16_hits);
+        reg.add(&format!("{prefix}.pool.u16.appends"), self.pool_u16_appends);
+        reg.add(&format!("{prefix}.pool.u8.dedup_hits"), self.pool_u8_hits);
+        reg.add(&format!("{prefix}.pool.u8.appends"), self.pool_u8_appends);
+        reg.add(&format!("{prefix}.chunks.scanned"), self.chunks_scanned);
+        reg.add(&format!("{prefix}.chunks.pruned"), self.chunks_pruned);
+    }
+}
+
 /// Row flag bits.
 mod flag {
     pub const REQUESTED_OCSP: u8 = 1;
@@ -309,6 +362,7 @@ pub struct ChunkWriter {
     chunk: ObsChunk,
     dedupe_u16: HashMap<Box<[u16]>, (u32, u16)>,
     dedupe_u8: HashMap<Box<[u8]>, (u32, u16)>,
+    stats: ColumnarStats,
 }
 
 impl ChunkWriter {
@@ -337,8 +391,10 @@ impl ChunkWriter {
             return (0, 0);
         }
         if let Some(&span) = self.dedupe_u16.get(items) {
+            self.stats.pool_u16_hits += 1;
             return span;
         }
+        self.stats.pool_u16_appends += 1;
         let span = (self.chunk.pool_u16.len() as u32, items.len() as u16);
         self.chunk.pool_u16.extend_from_slice(items);
         self.dedupe_u16.insert(items.into(), span);
@@ -350,8 +406,10 @@ impl ChunkWriter {
             return (0, 0);
         }
         if let Some(&span) = self.dedupe_u8.get(items) {
+            self.stats.pool_u8_hits += 1;
             return span;
         }
+        self.stats.pool_u8_appends += 1;
         let span = (self.chunk.pool_u8.len() as u32, items.len() as u16);
         self.chunk.pool_u8.extend_from_slice(items);
         self.dedupe_u8.insert(items.into(), span);
@@ -400,13 +458,21 @@ impl ChunkWriter {
             c.device_bits.resize(word + 1, 0);
         }
         c.device_bits[word] |= 1u64 << bit;
+        self.stats.rows_written += 1;
     }
 
     /// Seals and returns the open chunk, leaving the writer empty.
     pub fn take(&mut self) -> ObsChunk {
+        self.stats.chunks_sealed += 1;
         self.dedupe_u16.clear();
         self.dedupe_u8.clear();
         std::mem::take(&mut self.chunk)
+    }
+
+    /// Pipeline counters accumulated across this writer's lifetime
+    /// (rows, seals, pool-dedup effectiveness).
+    pub fn stats(&self) -> ColumnarStats {
+        self.stats
     }
 }
 
@@ -559,6 +625,24 @@ impl ColumnarDataset {
             })
     }
 
+    /// [`ColumnarDataset::device_rows`] that additionally tallies how
+    /// many chunks the device-bitmap metadata pruned versus scanned.
+    pub fn device_rows_metered<'a>(
+        &'a self,
+        device: &str,
+        stats: &mut ColumnarStats,
+    ) -> impl Iterator<Item = ObsRef<'a>> {
+        let sym = self.strings.lookup(device);
+        for c in &self.chunks {
+            if sym.is_some_and(|s| c.has_device(s)) {
+                stats.chunks_scanned += 1;
+            } else {
+                stats.chunks_pruned += 1;
+            }
+        }
+        self.device_rows(device)
+    }
+
     /// Materializes the legacy row-oriented dataset (byte-identical
     /// through the JSON exporter).
     pub fn to_rows(&self) -> PassiveDataset {
@@ -688,6 +772,11 @@ impl DatasetBuilder {
         if !self.writer.is_empty() {
             sink(self.writer.take());
         }
+    }
+
+    /// Pipeline counters accumulated by this builder's chunk writer.
+    pub fn stats(&self) -> ColumnarStats {
+        self.writer.stats()
     }
 
     /// Finishes into a dataset holding `chunks` (typically everything

@@ -23,14 +23,15 @@
 //! seed schedule while holding only one open chunk in memory.
 
 use crate::columnar::{ColumnarDataset, DatasetBuilder, ObsChunk, RevRow, RowView};
+use iotls_obs::Registry;
 use crate::dataset::{PassiveDataset, RevocationKind};
 use crate::intern::{DigestInterner, Interner, Symbol};
 use crate::timeline::{build_timeline, StudyEvent};
 use iotls_crypto::drbg::Drbg;
 use iotls_devices::{DeviceSetup, Testbed};
 use iotls_simnet::{
-    drive_session_faulted_tapped, FaultPlan, GatewayTap, LinkConditioner, SessionFaults,
-    SessionParams, SessionResult, TlsObservation,
+    drive_session_faulted_tapped, record_session_metrics, FaultPlan, GatewayTap, LinkConditioner,
+    SessionFaults, SessionParams, SessionResult, TlsObservation,
 };
 use iotls_tls::client::ClientConnection;
 use iotls_tls::server::ServerConnection;
@@ -79,10 +80,13 @@ struct EventOut {
 }
 
 /// Everything one per-device lane produced: a lane-local columnar
-/// dataset plus per-event ranges for the timeline-order merge.
+/// dataset, per-event ranges for the timeline-order merge, and a
+/// lane-local metrics shard (merged into the caller's registry in
+/// roster order, so the totals are thread-count independent).
 struct LaneOut {
     ds: ColumnarDataset,
     events: Vec<EventOut>,
+    obs: Registry,
 }
 
 /// Lazily-built symbol translation from one lane's tables into the
@@ -155,6 +159,24 @@ pub fn generate_streamed(
     max_count_per_row: u64,
     sink: &mut dyn FnMut(ObsChunk),
 ) -> ColumnarDataset {
+    generate_streamed_metered(testbed, seed, plan, max_count_per_row, sink, &mut Registry::new())
+}
+
+/// [`generate_streamed`] with pipeline metrics. Each lane records its
+/// driven sessions (`sim.*`) and builder counters into a lane-local
+/// [`Registry`] shard; shards merge into `reg` in roster order, then
+/// the sequential merge phase adds `capture.*` counters (rows
+/// weighted/expanded, chunks streamed, pool dedup, truncations) and
+/// intern-table-size gauges — all byte-identical at any
+/// `IOTLS_THREADS`.
+pub fn generate_streamed_metered(
+    testbed: &Testbed,
+    seed: u64,
+    plan: FaultPlan,
+    max_count_per_row: u64,
+    sink: &mut dyn FnMut(ObsChunk),
+    reg: &mut Registry,
+) -> ColumnarDataset {
     let root_rng = Drbg::from_seed(seed);
 
     // Split the timeline's capture rolls into per-device lanes. Every
@@ -183,6 +205,7 @@ pub fn generate_streamed(
         // phase. One reusable tap serves every drive in the lane.
         let mut cache: HashMap<(usize, Month), Option<TlsObservation>> = HashMap::new();
         let mut tap = GatewayTap::new();
+        let mut obs_reg = Registry::new();
         let mut b = DatasetBuilder::new();
         let mut chunks = Vec::new();
         let mut row_n = 0u32;
@@ -214,12 +237,14 @@ pub fn generate_streamed(
                         let faults = plan.session_faults(&fault_key);
                         let result =
                             drive_one(testbed, device, dest_idx, month, &mut rng, &faults, &mut tap);
+                        record_session_metrics(&mut obs_reg, &result);
                         if result.observation.is_none() {
                             // Cut before a parseable ClientHello:
                             // count it, don't just drop it.
                             truncated += 1;
                         }
                         if result.tainted() && tries + 1 < CAPTURE_RETRIES {
+                            obs_reg.inc("capture.captures.retried");
                             tries += 1;
                             continue;
                         }
@@ -278,11 +303,16 @@ pub fn generate_streamed(
             });
         }
         b.flush(&mut |c| chunks.push(c));
+        b.stats().export(&mut obs_reg, "capture.lane");
         LaneOut {
             ds: b.into_dataset(chunks),
             events,
+            obs: obs_reg,
         }
     });
+    for lane in &lane_outs {
+        reg.merge(&lane.obs);
+    }
 
     // Sequential merge in global timeline order: remap lane symbols
     // into the shared tables and stream rows (expanded as requested)
@@ -329,6 +359,9 @@ pub fn generate_streamed(
             let count = raw.count();
             let n = count.div_ceil(max_count_per_row.max(1));
             let (base, rem) = (count / n, count % n);
+            reg.inc("capture.rows.weighted");
+            reg.add("capture.rows.expanded", n);
+            reg.add("capture.connections", count);
             for k in 0..n {
                 let split = RowView {
                     count: base + u64::from(k < rem),
@@ -346,6 +379,10 @@ pub fn generate_streamed(
         out.truncated += ev.truncated;
     }
     out.flush(sink);
+    reg.add("capture.captures.truncated", out.truncated);
+    out.stats().export(reg, "capture.merge");
+    reg.set_gauge("capture.strings.interned", out.strings.len() as i64);
+    reg.set_gauge("capture.fingerprints.interned", out.fps.len() as i64);
     out.into_dataset(Vec::new())
 }
 

@@ -19,13 +19,16 @@ pub mod serialize;
 pub mod timeline;
 
 pub use columnar::{
-    ChunkWriter, ColumnarDataset, DatasetBuilder, ObsChunk, ObsRef, RevRow, RowView, CHUNK_ROWS,
+    ChunkWriter, ColumnarDataset, ColumnarStats, DatasetBuilder, ObsChunk, ObsRef, RevRow, RowView,
+    CHUNK_ROWS,
 };
 pub use dataset::{
     DatasetStats, PassiveDataset, RevocationFlow, RevocationKind, WeightedObservation,
 };
-pub use generate::{generate, generate_columnar, generate_columnar_with_faults, generate_streamed,
-    generate_with_faults};
+pub use generate::{
+    generate, generate_columnar, generate_columnar_with_faults, generate_streamed,
+    generate_streamed_metered, generate_with_faults,
+};
 pub use intern::{DigestInterner, Interner, Symbol};
 pub use timeline::{build_timeline, StudyEvent};
 pub use serialize::{

@@ -10,6 +10,7 @@
 use crate::attacker::InterceptPolicy;
 use crate::lab::{ActiveLab, FaultStats};
 use iotls_devices::Testbed;
+use iotls_obs::Registry;
 use iotls_simnet::FaultPlan;
 use std::collections::BTreeSet;
 
@@ -136,6 +137,19 @@ pub fn run_interception_audit_with(
     seed: u64,
     plan: FaultPlan,
 ) -> InterceptionReport {
+    run_interception_audit_metered(testbed, seed, plan, &mut Registry::new())
+}
+
+/// [`run_interception_audit_with`] recording metrics into `reg`: each
+/// per-device lab's `sim.*`/`core.*`/`x509.*` counters plus
+/// `audit.*` verdict counters, merged in roster order so the totals
+/// are identical at any `IOTLS_THREADS`.
+pub fn run_interception_audit_metered(
+    testbed: &Testbed,
+    seed: u64,
+    plan: FaultPlan,
+    reg: &mut Registry,
+) -> InterceptionReport {
     let mut rows = Vec::new();
     let mut passthrough_gains = Vec::new();
     let mut fault_stats = FaultStats::default();
@@ -151,6 +165,7 @@ pub fn run_interception_audit_with(
         // counters don't bleed between experiments.
         let mut device_stats = FaultStats::default();
         let mut device_cache = iotls_x509::cache::CacheStats::default();
+        let mut device_reg = Registry::new();
         let mut device_gain = None;
         let mut vulnerable = BTreeSet::new();
         let mut leaks: Vec<String> = Vec::new();
@@ -213,7 +228,22 @@ pub fn run_interception_audit_with(
             }
             device_stats.merge(&lab.fault_stats());
             device_cache.merge(&lab.verify_cache_stats());
+            device_reg.merge(&lab.metrics());
+            device_reg.inc("audit.attacks.run");
         }
+        device_reg.inc("audit.devices.audited");
+        for (flag, name) in flags.iter().zip([
+            "audit.verdicts.no_validation",
+            "audit.verdicts.invalid_basic_constraints",
+            "audit.verdicts.wrong_hostname",
+        ]) {
+            if *flag {
+                device_reg.inc(name);
+            }
+        }
+        device_reg.add("audit.destinations.compromised", vulnerable.len() as u64);
+        device_reg.add("audit.destinations.observed", observed.len() as u64);
+        device_reg.add("audit.leaks.sensitive", leaks.len() as u64);
 
         let row = InterceptionRow {
             device: device.spec.name.clone(),
@@ -224,16 +254,17 @@ pub fn run_interception_audit_with(
             total_destinations: observed,
             sensitive_leaks: leaks,
         };
-        (row, device_gain, device_stats, device_cache)
+        (row, device_gain, device_stats, device_cache, device_reg)
     });
 
-    for (row, gain, stats, cache) in per_device {
+    for (row, gain, stats, cache, device_reg) in per_device {
         rows.push(row);
         if let Some(g) = gain {
             passthrough_gains.push(g);
         }
         fault_stats.merge(&stats);
         verify_cache_stats.merge(&cache);
+        reg.merge(&device_reg);
     }
 
     let passthrough_extra_hostnames_pct = if passthrough_gains.is_empty() {

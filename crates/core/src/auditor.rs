@@ -8,6 +8,7 @@
 
 use crate::lab::ActiveLab;
 use iotls_devices::Testbed;
+use iotls_obs::Registry;
 use iotls_simnet::TlsObservation;
 use iotls_tls::ciphersuite;
 use iotls_tls::extension::sig_scheme;
@@ -172,10 +173,21 @@ impl DeviceAudit {
 /// Runs the auditing service over every active device: reboot, let
 /// the device connect, grade every distinct ClientHello.
 pub fn run_audit_service(testbed: &Testbed, seed: u64) -> Vec<DeviceAudit> {
+    run_audit_service_metered(testbed, seed, &mut Registry::new())
+}
+
+/// [`run_audit_service`] recording metrics into `reg`: per-lab
+/// `sim.*`/`core.*` counters merged in roster order plus `auditor.*`
+/// grade tallies.
+pub fn run_audit_service_metered(
+    testbed: &Testbed,
+    seed: u64,
+    reg: &mut Registry,
+) -> Vec<DeviceAudit> {
     // Each device gets its own lab and RNG stream; the ordered fan-out
     // keeps the report in roster order at any thread count.
     let devices: Vec<_> = testbed.devices.iter().filter(|d| d.spec.in_active).collect();
-    iotls_simnet::ordered_map(devices, |device| {
+    let per_device = iotls_simnet::ordered_map(devices, |device| {
         let mut lab = ActiveLab::new(testbed, seed ^ 0xA0D17);
         let mut per_fp: BTreeMap<FingerprintId, Vec<AuditIssue>> = BTreeMap::new();
         for _ in 0..4 {
@@ -193,11 +205,29 @@ pub fn run_audit_service(testbed: &Testbed, seed: u64) -> Vec<DeviceAudit> {
                 issues,
             })
             .collect();
-        DeviceAudit {
+        let audit = DeviceAudit {
             device: device.spec.name.clone(),
             instances,
-        }
-    })
+        };
+        (audit, lab.metrics())
+    });
+    per_device
+        .into_iter()
+        .map(|(audit, device_reg)| {
+            reg.merge(&device_reg);
+            reg.inc("auditor.devices.audited");
+            reg.add("auditor.instances.graded", audit.instances.len() as u64);
+            for inst in &audit.instances {
+                reg.inc(match inst.grade {
+                    Grade::Good => "auditor.grades.good",
+                    Grade::NeedsAttention => "auditor.grades.needs_attention",
+                    Grade::Critical => "auditor.grades.critical",
+                });
+                reg.add("auditor.issues.flagged", inst.issues.len() as u64);
+            }
+            audit
+        })
+        .collect()
 }
 
 /// What the guardian gateway does with one observed connection.

@@ -10,6 +10,7 @@
 use crate::attacker::InterceptPolicy;
 use crate::lab::{ActiveLab, FaultStats};
 use iotls_devices::Testbed;
+use iotls_obs::Registry;
 use iotls_simnet::FaultPlan;
 use iotls_tls::ciphersuite;
 use iotls_tls::client::HandshakeFailure;
@@ -119,11 +120,25 @@ pub fn run_downgrade_probe_with(
     seed: u64,
     plan: FaultPlan,
 ) -> (Vec<DowngradeRow>, FaultStats) {
+    run_downgrade_probe_metered(testbed, seed, plan, &mut Registry::new())
+}
+
+/// [`run_downgrade_probe_with`] recording metrics into `reg`: per-lab
+/// `sim.*`/`core.*` counters merged in roster order, plus
+/// `downgrade.*` step/trigger counters tallied from the rows in the
+/// sequential merge.
+pub fn run_downgrade_probe_metered(
+    testbed: &Testbed,
+    seed: u64,
+    plan: FaultPlan,
+    reg: &mut Registry,
+) -> (Vec<DowngradeRow>, FaultStats) {
     let mut rows = Vec::new();
     let mut fault_stats = FaultStats::default();
     let devices: Vec<_> = testbed.devices.iter().filter(|d| d.spec.in_active).collect();
     let per_device = iotls_simnet::ordered_map(devices, |device| {
         let mut device_stats = FaultStats::default();
+        let mut device_reg = Registry::new();
         let mut on_failed = false;
         let mut on_incomplete = false;
         let mut kind: Option<DowngradeKind> = None;
@@ -165,6 +180,7 @@ pub fn run_downgrade_probe_with(
                 }
             }
             device_stats.merge(&lab.fault_stats());
+            device_reg.merge(&lab.metrics());
         }
 
         let row = kind.map(|kind| DowngradeRow {
@@ -175,9 +191,28 @@ pub fn run_downgrade_probe_with(
             downgraded_destinations: downgraded,
             total_destinations: total,
         });
-        (row, device_stats)
+        (row, device_stats, device_reg)
     });
-    for (row, stats) in per_device {
+    for (row, stats, device_reg) in per_device {
+        reg.merge(&device_reg);
+        reg.inc("downgrade.devices.probed");
+        if let Some(row) = &row {
+            reg.inc(match row.kind {
+                DowngradeKind::VersionFallback { .. } => "downgrade.steps.version_fallback",
+                DowngradeKind::WeakerCiphers { .. } => "downgrade.steps.weaker_ciphers",
+                DowngradeKind::SuiteCollapse { .. } => "downgrade.steps.suite_collapse",
+            });
+            if row.on_failed_handshake {
+                reg.inc("downgrade.triggers.failed_handshake");
+            }
+            if row.on_incomplete_handshake {
+                reg.inc("downgrade.triggers.incomplete_handshake");
+            }
+            reg.add(
+                "downgrade.destinations.downgraded",
+                row.downgraded_destinations.len() as u64,
+            );
+        }
         rows.extend(row);
         fault_stats.merge(&stats);
     }
@@ -240,25 +275,50 @@ pub fn run_old_version_scan_with(
     seed: u64,
     plan: FaultPlan,
 ) -> (Vec<OldVersionRow>, FaultStats) {
+    run_old_version_scan_metered(testbed, seed, plan, &mut Registry::new())
+}
+
+/// [`run_old_version_scan_with`] recording metrics into `reg`:
+/// per-lab counters merged in roster order plus `oldversion.*`
+/// acceptance counters.
+pub fn run_old_version_scan_metered(
+    testbed: &Testbed,
+    seed: u64,
+    plan: FaultPlan,
+    reg: &mut Registry,
+) -> (Vec<OldVersionRow>, FaultStats) {
     let mut rows = Vec::new();
     let mut fault_stats = FaultStats::default();
     let devices: Vec<_> = testbed.devices.iter().filter(|d| d.spec.in_active).collect();
     let per_device = iotls_simnet::ordered_map(devices, |device| {
         let mut device_stats = FaultStats::default();
+        let mut device_reg = Registry::new();
         let mut lab10 = ActiveLab::with_faults(testbed, seed ^ 0x10, plan);
         let tls10 = accepts_version(&mut lab10, &device.spec.name, ProtocolVersion::Tls10);
         device_stats.merge(&lab10.fault_stats());
+        device_reg.merge(&lab10.metrics());
         let mut lab11 = ActiveLab::with_faults(testbed, seed ^ 0x11, plan);
         let tls11 = accepts_version(&mut lab11, &device.spec.name, ProtocolVersion::Tls11);
         device_stats.merge(&lab11.fault_stats());
+        device_reg.merge(&lab11.metrics());
         let row = (tls10 || tls11).then(|| OldVersionRow {
             device: device.spec.name.clone(),
             tls10,
             tls11,
         });
-        (row, device_stats)
+        (row, device_stats, device_reg)
     });
-    for (row, stats) in per_device {
+    for (row, stats, device_reg) in per_device {
+        reg.merge(&device_reg);
+        reg.inc("oldversion.devices.scanned");
+        if let Some(row) = &row {
+            if row.tls10 {
+                reg.inc("oldversion.accepts.tls10");
+            }
+            if row.tls11 {
+                reg.inc("oldversion.accepts.tls11");
+            }
+        }
         rows.extend(row);
         fault_stats.merge(&stats);
     }

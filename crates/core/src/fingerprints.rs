@@ -7,6 +7,7 @@
 
 use crate::lab::ActiveLab;
 use iotls_devices::Testbed;
+use iotls_obs::Registry;
 use iotls_tls::fingerprint::FingerprintId;
 use std::collections::{BTreeMap, BTreeSet};
 
@@ -56,6 +57,17 @@ impl FingerprintSurvey {
 
 /// Runs the survey over every active device.
 pub fn run_fingerprint_survey(testbed: &Testbed, seed: u64) -> FingerprintSurvey {
+    run_fingerprint_survey_metered(testbed, seed, &mut Registry::new())
+}
+
+/// [`run_fingerprint_survey`] recording metrics into `reg`: per-lab
+/// `sim.*`/`core.*` counters merged in roster order plus
+/// `fingerprints.*` distinct/observation tallies.
+pub fn run_fingerprint_survey_metered(
+    testbed: &Testbed,
+    seed: u64,
+    reg: &mut Registry,
+) -> FingerprintSurvey {
     let mut survey = FingerprintSurvey::default();
     // Per-device collection fans out; the BTreeMap accumulators make
     // the merge order-insensitive anyway, but the ordered merge keeps
@@ -75,10 +87,13 @@ pub fn run_fingerprint_survey(testbed: &Testbed, seed: u64) -> FingerprintSurvey
             }
         }
         let dominant = counts.iter().max_by_key(|(_, c)| **c).map(|(fp, _)| *fp);
-        (device.spec.name.clone(), seen, dominant)
+        (device.spec.name.clone(), seen, dominant, lab.metrics())
     });
 
-    for (name, seen, dominant) in per_device {
+    for (name, seen, dominant, device_reg) in per_device {
+        reg.merge(&device_reg);
+        reg.inc("fingerprints.devices.surveyed");
+        reg.add("fingerprints.distinct_per_device", seen.len() as u64);
         for fp in &seen {
             survey
                 .by_fingerprint
@@ -93,6 +108,10 @@ pub fn run_fingerprint_survey(testbed: &Testbed, seed: u64) -> FingerprintSurvey
             survey.dominant.insert(name, fp);
         }
     }
+    reg.set_gauge(
+        "fingerprints.distinct",
+        survey.by_fingerprint.len() as i64,
+    );
     survey
 }
 

@@ -11,9 +11,10 @@ use crate::attacker::{Attacker, InterceptPolicy};
 use iotls_crypto::drbg::Drbg;
 use iotls_devices::spec::Destination;
 use iotls_devices::{apply_fallback, client_config, DeviceSetup, Testbed};
+use iotls_obs::Registry;
 use iotls_simnet::{
-    drive_session_faulted, DnsTable, FailureCause, FaultPlan, InjectedFault, LinkConditioner,
-    SessionFaults, SessionParams, SessionResult,
+    drive_session_faulted, record_session_metrics, DnsTable, FailureCause, FaultPlan,
+    InjectedFault, LinkConditioner, SessionFaults, SessionParams, SessionResult,
 };
 use iotls_tls::client::{ClientConnection, HandshakeFailure};
 use iotls_tls::fingerprint::Fingerprint;
@@ -130,6 +131,11 @@ pub struct ActiveLab<'a> {
     /// lab drives. Per-lab (never global) so the hit/miss counters are
     /// part of the run's deterministic output.
     verify_cache: std::sync::Arc<iotls_x509::cache::VerificationCache>,
+    /// Live `sim.*` session counters for every session this lab
+    /// drives. Per-lab, like the cache: engines merge per-device lab
+    /// registries in roster order, keeping the merged snapshot
+    /// byte-identical at any worker count.
+    obs: Registry,
 }
 
 impl<'a> ActiveLab<'a> {
@@ -157,6 +163,7 @@ impl<'a> ActiveLab<'a> {
             stats: FaultStats::default(),
             attempt_seq: 0,
             verify_cache: std::sync::Arc::default(),
+            obs: Registry::new(),
         }
     }
 
@@ -179,6 +186,29 @@ impl<'a> ActiveLab<'a> {
     /// The lab's DNS view (registry plus per-device query log).
     pub fn dns(&self) -> &DnsTable {
         &self.dns
+    }
+
+    /// Snapshot of every metric this lab produced: the live `sim.*`
+    /// session counters, plus the [`FaultStats`] recovery counters
+    /// mirrored under `core.*` and the verification-cache counters
+    /// mirrored under `x509.cache.*`. The mirrors are taken at
+    /// snapshot time so the registry and the legacy stats structs can
+    /// never disagree.
+    pub fn metrics(&self) -> Registry {
+        let mut reg = self.obs.clone();
+        let s = self.stats;
+        reg.add("core.faults.resets", s.resets);
+        reg.add("core.faults.garbles", s.garbles);
+        reg.add("core.faults.stalls", s.stalls);
+        reg.add("core.faults.power_cycles", s.power_cycles);
+        reg.add("core.faults.dns_failures", s.dns_failures);
+        reg.add("core.retries.inline", s.inline_retries);
+        reg.add("core.reconnects", s.reconnects);
+        reg.add("core.recovered", s.recovered);
+        reg.add("core.unrecovered", s.unrecovered);
+        reg.add("core.backoff.virtual_secs", s.backoff_virtual_secs);
+        self.verify_cache.export_metrics(&mut reg);
+        reg
     }
 
     /// Mutable state for a device.
@@ -323,20 +353,21 @@ impl<'a> ActiveLab<'a> {
                 self.stats.dns_failures += 1;
                 faulted_tries += 1;
                 let kind = faults.dns.expect("faulted resolution implies a DNS fault");
-                last = Some((
-                    SessionResult {
-                        client_summary: client.summary(),
-                        established: false,
-                        failure: Some(FailureCause::DnsFailure),
-                        faults: vec![InjectedFault::Dns { kind }],
-                        server_received: Vec::new(),
-                        client_received: Vec::new(),
-                        observation: None,
-                        bytes_c2s: 0,
-                        bytes_s2c: 0,
-                    },
-                    hello,
-                ));
+                let dns_result = SessionResult {
+                    client_summary: client.summary(),
+                    established: false,
+                    failure: Some(FailureCause::DnsFailure),
+                    faults: vec![InjectedFault::Dns { kind }],
+                    server_received: Vec::new(),
+                    client_received: Vec::new(),
+                    observation: None,
+                    bytes_c2s: 0,
+                    bytes_s2c: 0,
+                    records_deframed: 0,
+                    bytes_tapped: 0,
+                };
+                record_session_metrics(&mut self.obs, &dns_result);
+                last = Some((dns_result, hello));
                 if try_idx + 1 == INLINE_RETRY_BUDGET {
                     break;
                 }
@@ -368,6 +399,7 @@ impl<'a> ActiveLab<'a> {
                 },
                 &mut conditioner,
             );
+            record_session_metrics(&mut self.obs, &result);
             self.count_injected(&result.faults);
             let tainted = result.tainted();
             let power_cycled = result

@@ -5,10 +5,11 @@
 //! monthly series plus the summary statistics quoted in the text.
 
 use iotls_capture::{
-    generate_streamed, ColumnarDataset, Interner, ObsChunk, PassiveDataset, RevRow,
-    RevocationKind, Symbol,
+    generate_streamed, generate_streamed_metered, ColumnarDataset, Interner, ObsChunk,
+    PassiveDataset, RevRow, RevocationKind, Symbol,
 };
 use iotls_devices::Testbed;
+use iotls_obs::Registry;
 use iotls_simnet::FaultPlan;
 use iotls_tls::version::ProtocolVersion;
 use iotls_x509::{Month, Timestamp};
@@ -767,11 +768,21 @@ impl PassiveAccumulator {
 
 /// Analyzes an in-memory columnar dataset in one pass.
 pub fn analyze_columnar(ds: &ColumnarDataset) -> PassiveAnalysis {
+    analyze_columnar_metered(ds, &mut Registry::new())
+}
+
+/// [`analyze_columnar`] recording `passive.*` counters (chunks/rows/
+/// flows folded, weighted connections) into `reg`.
+pub fn analyze_columnar_metered(ds: &ColumnarDataset, reg: &mut Registry) -> PassiveAnalysis {
     let mut acc = PassiveAccumulator::new();
     for chunk in &ds.chunks {
+        reg.inc("passive.chunks.analyzed");
+        reg.add("passive.rows.analyzed", chunk.len() as u64);
         acc.add_chunk(chunk);
     }
     acc.add_flows(&ds.revocation_flows);
+    reg.add("passive.flows.analyzed", ds.revocation_flows.len() as u64);
+    reg.add("passive.connections", acc.total);
     acc.finish(&ds.strings)
 }
 
@@ -792,6 +803,39 @@ pub fn analyze_streamed(
         acc.add_chunk(&chunk);
     });
     acc.add_flows(&tail.revocation_flows);
+    acc.finish(&tail.strings)
+}
+
+/// [`analyze_streamed`] with full pipeline metrics: the generator's
+/// `sim.*`/`capture.*` counters plus the analyzer's `passive.*`
+/// counters land in `reg`, byte-identical at any `IOTLS_THREADS`.
+pub fn analyze_streamed_metered(
+    testbed: &Testbed,
+    seed: u64,
+    plan: FaultPlan,
+    max_count_per_row: u64,
+    reg: &mut Registry,
+) -> PassiveAnalysis {
+    let mut acc = PassiveAccumulator::new();
+    let mut chunks = 0u64;
+    let mut rows = 0u64;
+    let tail = generate_streamed_metered(
+        testbed,
+        seed,
+        plan,
+        max_count_per_row,
+        &mut |chunk| {
+            chunks += 1;
+            rows += chunk.len() as u64;
+            acc.add_chunk(&chunk);
+        },
+        reg,
+    );
+    reg.add("passive.chunks.analyzed", chunks);
+    reg.add("passive.rows.analyzed", rows);
+    acc.add_flows(&tail.revocation_flows);
+    reg.add("passive.flows.analyzed", tail.revocation_flows.len() as u64);
+    reg.add("passive.connections", acc.total);
     acc.finish(&tail.strings)
 }
 

@@ -13,6 +13,7 @@
 use crate::attacker::InterceptPolicy;
 use crate::lab::{ActiveLab, FaultStats};
 use iotls_devices::{canonical_probe_order, DeviceSetup, Testbed};
+use iotls_obs::Registry;
 use iotls_rootstore::CaId;
 use iotls_simnet::FaultPlan;
 use iotls_tls::alert::AlertDescription;
@@ -181,6 +182,19 @@ pub fn run_root_probe(testbed: &Testbed, seed: u64) -> RootProbeReport {
 /// not depend on the boot index — a recovered verdict is exactly what
 /// a fault-free run measures.
 pub fn run_root_probe_with(testbed: &Testbed, seed: u64, plan: FaultPlan) -> RootProbeReport {
+    run_root_probe_metered(testbed, seed, plan, &mut Registry::new())
+}
+
+/// [`run_root_probe_with`] recording metrics into `reg`: per-lab
+/// `sim.*`/`core.*`/`x509.*` counters merged in roster order, plus
+/// `rootprobe.*` fate and verdict counters tallied in the sequential
+/// merge — identical at any `IOTLS_THREADS`.
+pub fn run_root_probe_metered(
+    testbed: &Testbed,
+    seed: u64,
+    plan: FaultPlan,
+    reg: &mut Registry,
+) -> RootProbeReport {
     let order = canonical_probe_order(testbed.pki);
     let common_len = testbed.pki.common.len();
     let mut excluded_reboot_unsafe = Vec::new();
@@ -202,12 +216,14 @@ pub fn run_root_probe_with(testbed: &Testbed, seed: u64, plan: FaultPlan) -> Roo
     let per_device = iotls_simnet::ordered_map(devices, |device| {
         let mut device_stats = FaultStats::default();
         let mut device_cache = iotls_x509::cache::CacheStats::default();
+        let mut device_reg = Registry::new();
         let mut device_reprobed = 0usize;
         if !device.spec.reboot_safe {
             return (
                 DeviceFate::RebootUnsafe(device.spec.name.clone()),
                 device_stats,
                 device_cache,
+                device_reg,
                 device_reprobed,
             );
         }
@@ -244,11 +260,13 @@ pub fn run_root_probe_with(testbed: &Testbed, seed: u64, plan: FaultPlan) -> Roo
             }
             device_stats.merge(&lab.fault_stats());
             device_cache.merge(&lab.verify_cache_stats());
+            device_reg.merge(&lab.metrics());
             if never_validates {
                 return (
                     DeviceFate::NoValidation(device.spec.name.clone()),
                     device_stats,
                     device_cache,
+                    device_reg,
                     device_reprobed,
                 );
             }
@@ -273,6 +291,7 @@ pub fn run_root_probe_with(testbed: &Testbed, seed: u64, plan: FaultPlan) -> Roo
             .flatten();
             device_stats.merge(&lab.fault_stats());
             device_cache.merge(&lab.verify_cache_stats());
+            device_reg.merge(&lab.metrics());
         }
         let amenable = match (baseline, known) {
             (Some(b), Some(k)) => b != k,
@@ -344,24 +363,47 @@ pub fn run_root_probe_with(testbed: &Testbed, seed: u64, plan: FaultPlan) -> Roo
             }
             device_stats.merge(&lab.fault_stats());
             device_cache.merge(&lab.verify_cache_stats());
+            device_reg.merge(&lab.metrics());
         }
 
         (
             DeviceFate::Probed(Box::new(row)),
             device_stats,
             device_cache,
+            device_reg,
             device_reprobed,
         )
     });
 
-    for (fate, stats, cache, reprobed) in per_device {
+    for (fate, stats, cache, device_reg, reprobed) in per_device {
+        reg.merge(&device_reg);
         match fate {
-            DeviceFate::RebootUnsafe(name) => excluded_reboot_unsafe.push(name),
-            DeviceFate::NoValidation(name) => excluded_no_validation.push(name),
-            DeviceFate::Probed(row) => rows.push(*row),
+            DeviceFate::RebootUnsafe(name) => {
+                reg.inc("rootprobe.fate.reboot_unsafe");
+                excluded_reboot_unsafe.push(name);
+            }
+            DeviceFate::NoValidation(name) => {
+                reg.inc("rootprobe.fate.no_validation");
+                excluded_no_validation.push(name);
+            }
+            DeviceFate::Probed(row) => {
+                reg.inc("rootprobe.fate.probed");
+                if row.amenable {
+                    reg.inc("rootprobe.devices.amenable");
+                }
+                for verdict in row.common.values().chain(row.deprecated.values()) {
+                    reg.inc(match verdict {
+                        ProbeVerdict::Present => "rootprobe.verdicts.present",
+                        ProbeVerdict::Absent => "rootprobe.verdicts.absent",
+                        ProbeVerdict::Inconclusive => "rootprobe.verdicts.inconclusive",
+                    });
+                }
+                rows.push(*row);
+            }
         }
         fault_stats.merge(&stats);
         verify_cache_stats.merge(&cache);
+        reg.add("rootprobe.verdicts.reprobed", reprobed as u64);
         reprobed_verdicts += reprobed;
     }
 

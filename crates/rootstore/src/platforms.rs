@@ -102,14 +102,14 @@ pub struct PlatformHistory {
 }
 
 impl PlatformHistory {
-    /// The earliest version.
-    pub fn earliest(&self) -> &StoreVersion {
-        self.versions.first().expect("history non-empty")
+    /// The earliest version, or `None` for an empty history.
+    pub fn earliest(&self) -> Option<&StoreVersion> {
+        self.versions.first()
     }
 
-    /// The latest version.
-    pub fn latest(&self) -> &StoreVersion {
-        self.versions.last().expect("history non-empty")
+    /// The latest version, or `None` for an empty history.
+    pub fn latest(&self) -> Option<&StoreVersion> {
+        self.versions.last()
     }
 }
 
@@ -197,6 +197,16 @@ mod tests {
     }
 
     #[test]
+    fn empty_history_has_no_versions() {
+        let h = PlatformHistory {
+            platform: Platform::Ubuntu,
+            versions: Vec::new(),
+        };
+        assert!(h.earliest().is_none());
+        assert!(h.latest().is_none());
+    }
+
+    #[test]
     fn version_counts_match_table3() {
         let (_, hs) = histories();
         let counts: Vec<usize> = hs.iter().map(|h| h.versions.len()).collect();
@@ -207,8 +217,8 @@ mod tests {
     fn earliest_years_match_table3() {
         let (_, hs) = histories();
         for h in hs {
-            assert_eq!(h.earliest().year, h.platform.earliest_year());
-            assert_eq!(h.latest().year, 2021);
+            assert_eq!(h.earliest().unwrap().year, h.platform.earliest_year());
+            assert_eq!(h.latest().unwrap().year, 2021);
         }
     }
 
@@ -229,7 +239,7 @@ mod tests {
         assert_eq!(common.len() as u32, COMMON_COUNT);
         for h in hs {
             for id in &common {
-                assert!(h.latest().certs.contains(id), "{}", h.platform.name());
+                assert!(h.latest().unwrap().certs.contains(id), "{}", h.platform.name());
             }
         }
     }
@@ -239,7 +249,7 @@ mod tests {
         let (u, hs) = histories();
         for id in u.ids_where(|f| matches!(f, CaFate::Deprecated { .. })) {
             for h in hs {
-                assert!(!h.latest().certs.contains(&id));
+                assert!(!h.latest().unwrap().certs.contains(&id));
             }
         }
     }
@@ -251,9 +261,9 @@ mod tests {
         let android = hs.iter().find(|h| h.platform == Platform::Android).unwrap();
         for rec in u.records() {
             if let CaFate::Deprecated { removal_year } = rec.fate {
-                if removal_year > android.earliest().year {
+                if removal_year > android.earliest().unwrap().year {
                     assert!(
-                        android.earliest().certs.contains(&rec.id),
+                        android.earliest().unwrap().certs.contains(&rec.id),
                         "{} (removed {removal_year})",
                         rec.name.common_name
                     );
@@ -267,7 +277,7 @@ mod tests {
         let (u, hs) = histories();
         for id in u.ids_where(|f| matches!(f, CaFate::Readded { .. })) {
             for h in hs {
-                let in_latest = h.latest().certs.contains(&id);
+                let in_latest = h.latest().unwrap().certs.contains(&id);
                 assert_eq!(in_latest, h.platform == Platform::Mozilla);
             }
         }
@@ -278,14 +288,14 @@ mod tests {
         let (_, hs) = histories();
         for h in hs {
             // Earliest stores carry common + not-yet-removed CAs.
-            assert!(h.earliest().certs.len() > 122);
+            assert!(h.earliest().unwrap().certs.len() > 122);
             // Latest stores: exactly common (+ Mozilla's re-adds).
             let expected = if h.platform == Platform::Mozilla {
                 122 + 5
             } else {
                 122
             };
-            assert_eq!(h.latest().certs.len(), expected, "{}", h.platform.name());
+            assert_eq!(h.latest().unwrap().certs.len(), expected, "{}", h.platform.name());
         }
     }
 }

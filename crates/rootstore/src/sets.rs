@@ -25,12 +25,16 @@ pub fn common_certs(
     now: Timestamp,
 ) -> Vec<CaId> {
     assert!(!histories.is_empty());
-    let mut common: BTreeSet<CaId> = histories[0].latest().certs.clone();
+    let mut common: BTreeSet<CaId> = histories[0]
+        .latest()
+        .map(|v| v.certs.clone())
+        .unwrap_or_default();
     for h in &histories[1..] {
-        common = common
-            .intersection(&h.latest().certs)
-            .copied()
-            .collect();
+        // An empty history trusts nothing, so the intersection empties.
+        match h.latest() {
+            Some(v) => common = common.intersection(&v.certs).copied().collect(),
+            None => common.clear(),
+        }
     }
     common
         .into_iter()
@@ -48,7 +52,9 @@ pub fn deprecated_certs(
 ) -> Vec<CaId> {
     let mut still_trusted: BTreeSet<CaId> = BTreeSet::new();
     for h in histories {
-        still_trusted.extend(h.latest().certs.iter().copied());
+        if let Some(latest) = h.latest() {
+            still_trusted.extend(latest.certs.iter().copied());
+        }
     }
     let mut removed: BTreeSet<CaId> = BTreeSet::new();
     for h in histories {

@@ -47,6 +47,11 @@ pub struct SessionResult {
     pub bytes_c2s: u64,
     /// Total bytes carried server→client.
     pub bytes_s2c: u64,
+    /// Complete TLS records the gateway tap deframed (zero when no
+    /// tap was attached).
+    pub records_deframed: u64,
+    /// Raw bytes the gateway tap saw (zero when no tap was attached).
+    pub bytes_tapped: u64,
 }
 
 impl SessionResult {
@@ -215,6 +220,9 @@ fn drive_inner(
     } else {
         conditioner.failure_cause(exhausted)
     };
+    let (records_deframed, bytes_tapped) = tap
+        .as_ref()
+        .map_or((0, 0), |t| (t.records_deframed(), t.bytes_tapped()));
     let observation = tap
         .as_mut()
         .and_then(|t| t.take_observation(params.time, params.device, params.destination));
@@ -228,5 +236,7 @@ fn drive_inner(
         observation,
         bytes_c2s: link.c2s.total_bytes(),
         bytes_s2c: link.s2c.total_bytes(),
+        records_deframed,
+        bytes_tapped,
     }
 }

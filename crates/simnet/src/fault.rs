@@ -32,6 +32,18 @@ pub enum FailureCause {
     Garbled,
 }
 
+impl FailureCause {
+    /// Stable snake_case label used as a metrics-counter suffix.
+    pub fn label(&self) -> &'static str {
+        match self {
+            FailureCause::Reset => "reset",
+            FailureCause::Wedged => "wedged",
+            FailureCause::DnsFailure => "dns_failure",
+            FailureCause::Garbled => "garbled",
+        }
+    }
+}
+
 /// How a DNS lookup fails.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum DnsFault {
@@ -107,6 +119,19 @@ pub enum InjectedFault {
         /// How the lookup failed.
         kind: DnsFault,
     },
+}
+
+impl InjectedFault {
+    /// Stable snake_case label used as a metrics-counter suffix.
+    pub fn label(&self) -> &'static str {
+        match self {
+            InjectedFault::Reset { .. } => "reset",
+            InjectedFault::Garble { .. } => "garble",
+            InjectedFault::Stall { .. } => "stall",
+            InjectedFault::PowerCycle { .. } => "power_cycle",
+            InjectedFault::Dns { .. } => "dns",
+        }
+    }
 }
 
 /// The faults one session draws from a plan.

@@ -26,6 +26,7 @@ pub mod dns;
 pub mod driver;
 pub mod events;
 pub mod fault;
+pub mod metrics;
 pub mod par;
 pub mod pipe;
 pub mod tap;
@@ -39,6 +40,7 @@ pub use events::{EventQueue, SimClock};
 pub use fault::{
     DnsFault, FailureCause, FaultOp, FaultPlan, InjectedFault, LinkConditioner, SessionFaults,
 };
+pub use metrics::record_session_metrics;
 pub use par::{ordered_map, worker_count};
 pub use pipe::{DuplexLink, Pipe};
 pub use tap::{GatewayTap, TlsObservation};

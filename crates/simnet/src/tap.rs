@@ -107,6 +107,8 @@ pub struct GatewayTap {
     saw_app_data: bool,
     alerts_from_client: Vec<Alert>,
     alerts_from_server: Vec<Alert>,
+    records_deframed: u64,
+    bytes_tapped: u64,
 }
 
 impl GatewayTap {
@@ -121,8 +123,10 @@ impl GatewayTap {
     /// the only allocation is the ClientHello itself, which the
     /// observation keeps.
     pub fn observe_c2s(&mut self, data: &[u8]) {
+        self.bytes_tapped += data.len() as u64;
         self.c2s.push(data);
         while let Ok(Some(rec)) = self.c2s.pop_ref() {
+            self.records_deframed += 1;
             match rec.content_type {
                 ContentType::Handshake => {
                     let mut buf = rec.payload;
@@ -160,8 +164,10 @@ impl GatewayTap {
 
     /// Observes server→client bytes.
     pub fn observe_s2c(&mut self, data: &[u8]) {
+        self.bytes_tapped += data.len() as u64;
         self.s2c.push(data);
         while let Ok(Some(rec)) = self.s2c.pop_ref() {
+            self.records_deframed += 1;
             match rec.content_type {
                 ContentType::Handshake => {
                     let mut buf = rec.payload;
@@ -236,6 +242,20 @@ impl GatewayTap {
         self.saw_app_data = false;
         self.alerts_from_client.clear();
         self.alerts_from_server.clear();
+        self.records_deframed = 0;
+        self.bytes_tapped = 0;
+    }
+
+    /// Complete TLS records deframed (both directions) since the last
+    /// [`GatewayTap::reset`].
+    pub fn records_deframed(&self) -> u64 {
+        self.records_deframed
+    }
+
+    /// Raw bytes tapped (both directions) since the last
+    /// [`GatewayTap::reset`].
+    pub fn bytes_tapped(&self) -> u64 {
+        self.bytes_tapped
     }
 
     /// The observed ClientHello, if one was seen.

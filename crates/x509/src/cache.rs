@@ -41,6 +41,13 @@ impl CacheStats {
         self.hits += other.hits;
         self.misses += other.misses;
     }
+
+    /// Folds the counters into a metrics registry under
+    /// `x509.cache.hits` / `x509.cache.misses`.
+    pub fn export(&self, reg: &mut iotls_obs::Registry) {
+        reg.add("x509.cache.hits", self.hits);
+        reg.add("x509.cache.misses", self.misses);
+    }
 }
 
 /// A memoizing front for [`validate_chain`].
@@ -91,6 +98,12 @@ impl VerificationCache {
             hits: self.hits.load(Ordering::Relaxed),
             misses: self.misses.load(Ordering::Relaxed),
         }
+    }
+
+    /// Snapshots the counters straight into a metrics registry (see
+    /// [`CacheStats::export`]).
+    pub fn export_metrics(&self, reg: &mut iotls_obs::Registry) {
+        self.stats().export(reg);
     }
 }
 

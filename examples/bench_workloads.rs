@@ -14,14 +14,21 @@
 //! (materialize the full `String`-laden row vector, then one full
 //! scan per table), which is what `bench.sh baseline` records.
 //!
+//! Set `IOTLS_METRICS=path.json` to also write the run's
+//! observability registry (deterministic counters + wall timings) as
+//! JSON; `bench.sh` stores it next to each timing snapshot so
+//! `bench_check.sh` can flag behavioral regressions (cache hit rates,
+//! dedup/pruning ratios) alongside wall-clock ones.
+//!
 //! Run with: `cargo run --release --example bench_workloads`
 
 use iotls_repro::capture::{generate, generate_streamed, DEFAULT_SEED};
 use iotls_repro::core::{
-    analyze_streamed, cipher_series, passive_summary, revocation_summary, run_interception_audit,
-    run_root_probe, version_series, version_transitions,
+    analyze_streamed_metered, cipher_series, passive_summary, revocation_summary,
+    run_interception_audit_metered, run_root_probe_metered, version_series, version_transitions,
 };
 use iotls_repro::devices::Testbed;
+use iotls_repro::obs::Registry;
 use iotls_repro::simnet::FaultPlan;
 use std::hint::black_box;
 use std::time::Instant;
@@ -81,8 +88,8 @@ fn timed(name: &str, threads: usize, f: impl FnOnce() -> String) -> String {
 /// Paper-scale passive run: ≥10M connections, one row each, streamed
 /// through the single-pass accumulator. Memory stays bounded at one
 /// open chunk plus the integer cells.
-fn passive_10m_streamed() -> String {
-    let a = analyze_streamed(Testbed::global(), DEFAULT_SEED, FaultPlan::none(), 1);
+fn passive_10m_streamed(reg: &mut Registry) -> String {
+    let a = analyze_streamed_metered(Testbed::global(), DEFAULT_SEED, FaultPlan::none(), 1, reg);
     assert!(
         a.total_connections >= 10_000_000,
         "paper scale means >=10M connections, got {}",
@@ -126,6 +133,7 @@ fn main() {
     let legacy = std::env::var("IOTLS_BENCH_LEGACY").is_ok_and(|v| v == "1");
     // Testbed/PKI construction is shared setup, not a workload.
     let tb = Testbed::global();
+    let mut reg = Registry::new();
 
     let entries = [
         timed("passive_generate", threads, || {
@@ -134,12 +142,12 @@ fn main() {
             String::new()
         }),
         timed("active_sweep", threads, || {
-            let report = run_interception_audit(tb, 0x7AB1E7);
+            let report = run_interception_audit_metered(tb, 0x7AB1E7, FaultPlan::none(), &mut reg);
             assert!(!report.rows.is_empty());
             String::new()
         }),
         timed("rootprobe_sweep", threads, || {
-            let report = run_root_probe(tb, 0x6007);
+            let report = run_root_probe_metered(tb, 0x6007, FaultPlan::none(), &mut reg);
             assert!(!report.rows.is_empty());
             String::new()
         }),
@@ -147,9 +155,14 @@ fn main() {
             if legacy {
                 passive_10m_legacy()
             } else {
-                passive_10m_streamed()
+                passive_10m_streamed(&mut reg)
             }
         }),
     ];
     println!("{}", entries.join(",\n"));
+
+    if let Ok(path) = std::env::var("IOTLS_METRICS") {
+        std::fs::write(&path, reg.to_json()).expect("write IOTLS_METRICS file");
+        eprintln!("bench: metrics written to {path}");
+    }
 }

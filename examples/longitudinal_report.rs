@@ -7,16 +7,23 @@
 //! a materialized row vector.
 //!
 //! Run with: `cargo run --release --example longitudinal_report`
+//!
+//! Set `IOTLS_METRICS=path.json` to also write the run's observability
+//! registry (passive.* counters plus wall-clock timings) as JSON.
 
 use iotls_repro::analysis::{figures, tables};
 use iotls_repro::capture::global_columnar;
-use iotls_repro::core::analyze_columnar;
+use iotls_repro::core::analyze_columnar_metered;
+use iotls_repro::obs::{Registry, Span};
 
 fn main() {
     println!("== IoTLS longitudinal analysis (Figures 1-3, Table 8, §5.1) ==\n");
 
+    let mut reg = Registry::new();
     let ds = global_columnar();
-    let a = analyze_columnar(ds);
+    let span = Span::start("passive.analyze");
+    let a = analyze_columnar_metered(ds, &mut reg);
+    reg.record(span);
     println!(
         "Dataset: {} TLS connections from {} devices ({} columnar rows in {} chunks)\n",
         a.total_connections,
@@ -71,4 +78,9 @@ fn main() {
         "{}",
         tables::table8_revocation(&a.revocation, &a.device_names)
     );
+
+    if let Ok(path) = std::env::var("IOTLS_METRICS") {
+        std::fs::write(&path, reg.to_json()).expect("write IOTLS_METRICS file");
+        eprintln!("metrics written to {path}");
+    }
 }

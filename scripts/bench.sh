@@ -48,7 +48,11 @@ else
     TIER1_LINE=$(printf '  {"workload": "tier1_tests", "seconds": %d.0, "threads": %s, "rss_mb": 0.0},' "$((T1 - T0))" "$THREADS")
 fi
 
-WORKLOADS=$(./target/release/examples/bench_workloads)
+# Counter snapshot: the deterministic observability registry for the
+# workloads, written next to the timing report so bench_check.sh can
+# flag behavioral regressions (cache hit rates, dedup/pruning ratios).
+METRICS="${OUT%.json}_metrics.json"
+WORKLOADS=$(IOTLS_METRICS="$METRICS" ./target/release/examples/bench_workloads)
 
 {
     echo "["
@@ -57,5 +61,5 @@ WORKLOADS=$(./target/release/examples/bench_workloads)
     echo "]"
 } > "$OUT"
 
-echo "bench: wrote $OUT"
+echo "bench: wrote $OUT (counters: $METRICS)"
 cat "$OUT"

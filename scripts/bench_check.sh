@@ -51,5 +51,62 @@ pairs "$CURRENT" | {
         echo "bench_check: FAILED (>15% regression)" >&2
         exit 1
     fi
-    echo "bench_check: OK"
 }
+
+# --- Behavior gate: counter snapshots --------------------------------
+# scripts/bench.sh writes the deterministic observability registry of
+# the bench workloads next to each timing report. Derived ratios (cache
+# hit rates, pool dedup rates, chunk pruning) drifting more than five
+# points is a behavioral regression even before it shows up in wall
+# clock — a cache that stopped hitting, a pruner that stopped pruning.
+CUR_METRICS="${CURRENT%.json}_metrics.json"
+BASE_METRICS="${BASELINE%.json}_metrics.json"
+
+# counter FILE NAME -> value, empty when absent. The registry JSON is
+# one line; split on commas/braces, then match the quoted key.
+counter() {
+    tr ',{}' '\n\n\n' < "$1" | sed -n "s/^\"$2\":\\([0-9][0-9]*\\)\$/\\1/p" | head -n 1
+}
+
+# rate FILE A B -> A/(A+B) to 4 places, empty when either is absent.
+rate() {
+    a=$(counter "$1" "$2")
+    b=$(counter "$1" "$3")
+    [ -n "$a" ] && [ -n "$b" ] || return 0
+    awk -v a="$a" -v b="$b" 'BEGIN { if (a + b > 0) printf "%.4f", a / (a + b) }'
+}
+
+if [ ! -f "$CUR_METRICS" ] || [ ! -f "$BASE_METRICS" ]; then
+    echo "bench_check: counter snapshot missing ($CUR_METRICS or $BASE_METRICS), skipping behavior gate"
+else
+    fail=0
+    for spec in \
+        "x509_cache_hit_rate x509.cache.hits x509.cache.misses" \
+        "pool_u16_dedup_rate capture.lane.pool.u16.dedup_hits capture.lane.pool.u16.appends" \
+        "pool_u8_dedup_rate capture.lane.pool.u8.dedup_hits capture.lane.pool.u8.appends" \
+        "chunk_prune_rate capture.merge.chunks.pruned capture.merge.chunks.scanned"
+    do
+        set -- $spec
+        cur=$(rate "$CUR_METRICS" "$2" "$3")
+        base=$(rate "$BASE_METRICS" "$2" "$3")
+        if [ -z "$cur" ] || [ -z "$base" ]; then
+            echo "bench_check: $1: counters absent from a snapshot, skipping"
+            continue
+        fi
+        verdict=$(awk -v c="$cur" -v b="$base" 'BEGIN {
+            d = c - b; if (d < 0) d = -d
+            if (d > 0.05) printf "FAIL drift %.3f", d
+            else printf "ok drift %.3f", d
+        }')
+        echo "bench_check: $1: $cur vs baseline $base ($verdict)"
+        case "$verdict" in
+            FAIL*) fail=1 ;;
+        esac
+    done
+    if [ "$fail" -ne 0 ]; then
+        echo "bench_check: FAILED (counter ratio drift >0.05)" >&2
+        exit 1
+    fi
+fi
+
+echo "bench_check: OK"

@@ -11,6 +11,11 @@ start=$(date +%s)
 cargo build --release --offline --workspace
 cargo clippy --offline --workspace -- -D warnings
 cargo test -q --offline --workspace
+# Golden-snapshot suite: every exported paper artifact (Tables 4-9,
+# Figures 1-5, §5.1 summary) pinned against tests/golden/ fixtures.
+# Part of the workspace run above; repeated by name so a fixture drift
+# is called out explicitly in the tier-1 log.
+cargo test -q --offline --test golden_artifacts
 
 end=$(date +%s)
 echo "tier1: OK ($((end - start))s)"

@@ -15,6 +15,7 @@ pub use iotls_analysis as analysis;
 pub use iotls_capture as capture;
 pub use iotls_crypto as crypto;
 pub use iotls_devices as devices;
+pub use iotls_obs as obs;
 pub use iotls_rootstore as rootstore;
 pub use iotls_simnet as simnet;
 pub use iotls_tls as tls;

@@ -211,6 +211,62 @@ fn stalled_peer_is_reported_wedged_not_rejected() {
 }
 
 #[test]
+fn fault_counters_exactly_match_the_injected_schedule() {
+    // The observability layer counts faults twice, independently: the
+    // link conditioner's injections land in `sim.faults.injected.*`
+    // (per session result, at the tap) and the lab's recovery
+    // machinery tallies the same events into `FaultStats` (exported as
+    // `core.faults.*`). Both views must agree *exactly* with the
+    // engine's own fault report — a higher metric would mean a fault
+    // double-counted, a lower one a fault silently swallowed.
+    use iotls_repro::core::{run_interception_audit_metered, run_root_probe_metered};
+    use iotls_repro::obs::Registry;
+
+    let tb = Testbed::global();
+    for (name, reg, stats) in [
+        {
+            let mut reg = Registry::new();
+            let report = run_interception_audit_metered(tb, 0x7AB1E7, chaos_plan(), &mut reg);
+            ("audit", reg, report.fault_stats)
+        },
+        {
+            let mut reg = Registry::new();
+            let report = run_root_probe_metered(tb, 0x6007, chaos_plan(), &mut reg);
+            ("rootprobe", reg, report.fault_stats)
+        },
+    ] {
+        assert!(stats.injected_total() > 0, "{name}: plan never fired");
+        for (counter, want) in [
+            ("sim.faults.injected.reset", stats.resets),
+            ("sim.faults.injected.garble", stats.garbles),
+            ("sim.faults.injected.stall", stats.stalls),
+            ("sim.faults.injected.power_cycle", stats.power_cycles),
+            ("sim.faults.injected.dns", stats.dns_failures),
+            ("core.faults.resets", stats.resets),
+            ("core.faults.garbles", stats.garbles),
+            ("core.faults.stalls", stats.stalls),
+            ("core.faults.power_cycles", stats.power_cycles),
+            ("core.faults.dns_failures", stats.dns_failures),
+            ("core.retries.inline", stats.inline_retries),
+            ("core.recovered", stats.recovered),
+            ("core.unrecovered", stats.unrecovered),
+        ] {
+            assert_eq!(
+                reg.counter(counter),
+                want,
+                "{name}: `{counter}` diverges from the engine's FaultStats {stats:?}"
+            );
+        }
+        let injected_metric: u64 = reg
+            .counters()
+            .filter(|(k, _)| k.starts_with("sim.faults.injected."))
+            .map(|(_, v)| v)
+            .sum();
+        assert_eq!(injected_metric, stats.injected_total(), "{name}");
+    }
+}
+
+#[test]
 fn passive_dataset_is_identical_under_chaos_and_counts_truncations() {
     use iotls_repro::capture::{generate, generate_with_faults};
     let tb = Testbed::global();

@@ -1,0 +1,230 @@
+//! Golden-snapshot suite: every exported paper artifact — Tables 1–9,
+//! Figures 1–5, and the §5.1 summary statistics — serialized to
+//! canonical JSON and pinned byte-for-byte against fixtures under
+//! `tests/golden/`.
+//!
+//! A failure here means an artifact changed. If the change is
+//! intentional (a renderer edit, a deliberate model change),
+//! regenerate the fixtures and review the diff before committing:
+//!
+//! ```sh
+//! IOTLS_BLESS=1 cargo test -q --offline --test golden_artifacts
+//! git diff tests/golden/
+//! ```
+//!
+//! Fixtures are canonical JSON (sorted behavior comes from the
+//! renderers themselves being deterministic; the JSON encoder keeps
+//! insertion order and emits no whitespace). Floats are serialized as
+//! fixed-precision strings so the files stay byte-stable across
+//! formatting changes.
+
+use iotls_repro::analysis::{figures, tables, FingerprintDb, SharingGraph};
+use iotls_repro::capture::json::Json;
+use iotls_repro::capture::global_dataset;
+use iotls_repro::core::{
+    cipher_series, library_alert_matrix, passive_summary, revocation_summary,
+    run_downgrade_probe, run_fingerprint_survey, run_interception_audit, run_old_version_scan,
+    run_root_probe, version_series,
+};
+use iotls_repro::devices::Testbed;
+use std::path::PathBuf;
+
+/// The canonical seeds the examples and module tests pin their
+/// paper-number assertions to; the fixtures are blessed from the same
+/// runs so one source of truth covers both.
+const AUDIT_SEED: u64 = 0x7AB1E7;
+const ROOTPROBE_SEED: u64 = 0x6007;
+const DOWNGRADE_SEED: u64 = 0xD0E6;
+const OLDVERSION_SEED: u64 = 0x01DE;
+const FINGERPRINT_SEED: u64 = 0x5075;
+const FPDB_SEED: u64 = 0xDB;
+
+fn fixture_path(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/golden")
+        .join(format!("{name}.json"))
+}
+
+/// Compares (or, under `IOTLS_BLESS=1`, rewrites) one artifact's
+/// fixture.
+fn check(name: &str, artifact: Json) {
+    let encoded = artifact.encode() + "\n";
+    let path = fixture_path(name);
+    if std::env::var("IOTLS_BLESS").is_ok_and(|v| v == "1") {
+        std::fs::write(&path, &encoded)
+            .unwrap_or_else(|e| panic!("bless {}: {e}", path.display()));
+        return;
+    }
+    let want = std::fs::read_to_string(&path).unwrap_or_else(|_| {
+        panic!(
+            "missing fixture {} — regenerate with IOTLS_BLESS=1 (see module docs)",
+            path.display()
+        )
+    });
+    assert_eq!(
+        want, encoded,
+        "artifact `{name}` drifted from its golden fixture; if intentional, \
+         rebless with IOTLS_BLESS=1 and review the diff"
+    );
+}
+
+/// Wraps a rendered table/figure in the canonical artifact envelope.
+fn text_artifact(name: &str, text: String) -> Json {
+    Json::Obj(vec![
+        ("artifact".into(), Json::Str(name.into())),
+        ("text".into(), Json::Str(text)),
+    ])
+}
+
+fn str_arr(items: &[String]) -> Json {
+    Json::Arr(items.iter().map(|s| Json::Str(s.clone())).collect())
+}
+
+#[test]
+fn golden_static_tables() {
+    check(
+        "table1_roster",
+        text_artifact("table1_roster", tables::table1_roster(Testbed::global())),
+    );
+    check(
+        "table2_attacks",
+        text_artifact("table2_attacks", tables::table2_attacks()),
+    );
+    check(
+        "table3_platforms",
+        text_artifact("table3_platforms", tables::table3_platforms()),
+    );
+    check(
+        "table4_library_alerts",
+        text_artifact(
+            "table4_library_alerts",
+            tables::table4_library_alerts(&library_alert_matrix()),
+        ),
+    );
+}
+
+#[test]
+fn golden_table5_downgrades() {
+    let rows = run_downgrade_probe(Testbed::global(), DOWNGRADE_SEED);
+    check(
+        "table5_downgrades",
+        text_artifact("table5_downgrades", tables::table5_downgrades(&rows)),
+    );
+}
+
+#[test]
+fn golden_table6_old_versions() {
+    let rows = run_old_version_scan(Testbed::global(), OLDVERSION_SEED);
+    check(
+        "table6_old_versions",
+        text_artifact("table6_old_versions", tables::table6_old_versions(&rows)),
+    );
+}
+
+#[test]
+fn golden_table7_interception() {
+    let report = run_interception_audit(Testbed::global(), AUDIT_SEED);
+    check(
+        "table7_interception",
+        text_artifact("table7_interception", tables::table7_interception(&report)),
+    );
+}
+
+#[test]
+fn golden_table8_revocation() {
+    let ds = global_dataset();
+    check(
+        "table8_revocation",
+        text_artifact(
+            "table8_revocation",
+            tables::table8_revocation(&revocation_summary(ds), &ds.device_names()),
+        ),
+    );
+}
+
+#[test]
+fn golden_table9_rootstores_and_fig4() {
+    let testbed = Testbed::global();
+    let report = run_root_probe(testbed, ROOTPROBE_SEED);
+    check(
+        "table9_rootstores",
+        text_artifact("table9_rootstores", tables::table9_rootstores(&report)),
+    );
+    check(
+        "fig4_staleness",
+        text_artifact("fig4_staleness", figures::fig4_staleness(testbed.pki, &report)),
+    );
+}
+
+#[test]
+fn golden_longitudinal_figures() {
+    let ds = global_dataset();
+    let summary = passive_summary(ds);
+    let axis = figures::month_axis(ds);
+    check(
+        "fig1_versions",
+        text_artifact(
+            "fig1_versions",
+            figures::fig1_versions(&axis, &version_series(ds), &summary.fig1_devices),
+        ),
+    );
+    check(
+        "fig2_insecure",
+        text_artifact("fig2_insecure", figures::fig2_insecure(&axis, &cipher_series(ds))),
+    );
+    check(
+        "fig3_strong",
+        text_artifact("fig3_strong", figures::fig3_strong(&axis, &cipher_series(ds))),
+    );
+}
+
+#[test]
+fn golden_fig5_sharing_graph() {
+    let survey = run_fingerprint_survey(Testbed::global(), FINGERPRINT_SEED);
+    let graph = SharingGraph::build(&survey, &FingerprintDb::build(FPDB_SEED));
+    check(
+        "fig5_sharing_graph",
+        text_artifact("fig5_sharing_graph", graph.render()),
+    );
+}
+
+#[test]
+fn golden_section51_summary() {
+    let s = passive_summary(global_dataset());
+    check(
+        "section51_summary",
+        Json::Obj(vec![
+            ("artifact".into(), Json::Str("section51_summary".into())),
+            (
+                "tls12_exclusive_devices".into(),
+                str_arr(&s.tls12_exclusive_devices),
+            ),
+            ("fig1_devices".into(), str_arr(&s.fig1_devices)),
+            ("null_anon_seen".into(), Json::Bool(s.null_anon_seen)),
+            (
+                "devices_advertising_insecure".into(),
+                str_arr(&s.devices_advertising_insecure),
+            ),
+            (
+                "devices_establishing_insecure".into(),
+                str_arr(&s.devices_establishing_insecure),
+            ),
+            (
+                "devices_advertising_fs".into(),
+                str_arr(&s.devices_advertising_fs),
+            ),
+            (
+                "devices_mostly_without_fs".into(),
+                str_arr(&s.devices_mostly_without_fs),
+            ),
+            (
+                "pct_connections_tls13".into(),
+                Json::Str(format!("{:.4}", s.pct_connections_tls13)),
+            ),
+            (
+                "pct_connections_rc4".into(),
+                Json::Str(format!("{:.4}", s.pct_connections_rc4)),
+            ),
+        ]),
+    );
+}

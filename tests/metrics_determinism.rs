@@ -1,0 +1,88 @@
+//! Thread-count invariance of the observability layer.
+//!
+//! The recording discipline (`DESIGN.md` §11): parallel workers record
+//! into per-device/per-lane `Registry` shards which the engine merges
+//! in roster order, and every engine-level tally happens in the
+//! sequential merge loop. The contract under test: the deterministic
+//! snapshot (`Registry::counters_json()` — counters, gauges,
+//! histograms; wall-clock timings excluded) is *byte-identical* at any
+//! `IOTLS_THREADS`, for every instrumented pipeline.
+
+use iotls_repro::core::{
+    analyze_streamed_metered, run_interception_audit_metered, run_root_probe_metered,
+};
+use iotls_repro::devices::Testbed;
+use iotls_repro::obs::Registry;
+use iotls_repro::simnet::par::THREADS_ENV;
+use iotls_repro::simnet::FaultPlan;
+use std::sync::Mutex;
+
+/// Tests in this binary mutate `IOTLS_THREADS`; the harness runs them
+/// on concurrent threads, so the env var is serialized here.
+static ENV_LOCK: Mutex<()> = Mutex::new(());
+
+/// The deterministic counter snapshots of every instrumented pipeline,
+/// as comparable bytes.
+fn snapshots(testbed: &'static Testbed) -> Vec<(&'static str, String)> {
+    let plan = FaultPlan::uniform(0xDE7, 40);
+
+    let mut audit_reg = Registry::new();
+    run_interception_audit_metered(testbed, 0x4E9D, plan, &mut audit_reg);
+
+    let mut probe_reg = Registry::new();
+    run_root_probe_metered(testbed, 0x4E9D, plan, &mut probe_reg);
+
+    let mut passive_reg = Registry::new();
+    analyze_streamed_metered(testbed, 0x10AD, FaultPlan::none(), u64::MAX, &mut passive_reg);
+
+    vec![
+        ("audit", audit_reg.counters_json()),
+        ("rootprobe", probe_reg.counters_json()),
+        ("passive_streamed", passive_reg.counters_json()),
+    ]
+}
+
+#[test]
+fn counter_sections_byte_identical_across_thread_counts() {
+    let _env = ENV_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    let testbed = Testbed::global();
+
+    std::env::set_var(THREADS_ENV, "1");
+    let sequential = snapshots(testbed);
+
+    std::env::set_var(THREADS_ENV, "8");
+    let parallel = snapshots(testbed);
+    std::env::remove_var(THREADS_ENV);
+
+    for ((name, seq), (_, par)) in sequential.iter().zip(&parallel) {
+        assert_eq!(seq, par, "{name}: counter snapshot diverges across thread counts");
+    }
+
+    // The snapshots carry real work: sessions were driven, faults
+    // fired, the cache was exercised, rows flowed through the
+    // columnar pipeline.
+    let audit = &sequential[0].1;
+    assert!(audit.contains("\"sim.sessions.driven\":"), "{audit}");
+    assert!(audit.contains("\"sim.faults.injected.reset\":"), "{audit}");
+    assert!(audit.contains("\"audit.devices.audited\":32"), "{audit}");
+    let probe = &sequential[1].1;
+    assert!(probe.contains("\"x509.cache.hits\":"), "{probe}");
+    assert!(probe.contains("\"rootprobe.verdicts.present\":"), "{probe}");
+    let passive = &sequential[2].1;
+    assert!(passive.contains("\"capture.lane.rows.written\":"), "{passive}");
+    assert!(passive.contains("\"passive.connections\":"), "{passive}");
+}
+
+#[test]
+fn timings_are_excluded_from_the_deterministic_snapshot() {
+    use iotls_repro::obs::Span;
+    let mut reg = Registry::new();
+    reg.inc("work.done");
+    reg.record(Span::start("work.wall_clock"));
+    let deterministic = reg.counters_json();
+    assert!(deterministic.contains("\"work.done\":1"));
+    assert!(!deterministic.contains("timings"), "{deterministic}");
+    let full = reg.to_json();
+    assert!(full.contains("\"timings\""), "{full}");
+    assert!(full.contains("work.wall_clock"), "{full}");
+}
