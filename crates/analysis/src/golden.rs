@@ -1,0 +1,66 @@
+//! Golden-fixture rendering for the experiment registry.
+//!
+//! Maps an [`ExperimentReport`] to the `tests/golden/` fixture texts
+//! it backs, so the golden suite and the examples can iterate
+//! [`ExperimentKind::ALL`](iotls::ExperimentKind::ALL) instead of
+//! hand-listing one test per engine. Fixture names here match
+//! [`Report::fixtures`](iotls::Report::fixtures) on each report
+//! variant.
+
+use crate::fpdb::FingerprintDb;
+use crate::fpgraph::SharingGraph;
+use crate::{figures, tables};
+use iotls::ExperimentReport;
+use iotls_devices::Testbed;
+
+/// Renders every golden fixture an experiment report backs, as
+/// `(fixture_name, rendered_text)` pairs in fixture order.
+///
+/// The root probe yields both `table9_rootstores` and
+/// `fig4_staleness` from one run; the fingerprint survey joins
+/// against the labeled application database seeded with `fpdb_seed`;
+/// the audit service backs no fixture and yields nothing.
+pub fn experiment_artifacts(
+    testbed: &Testbed,
+    report: &ExperimentReport,
+    fpdb_seed: u64,
+) -> Vec<(&'static str, String)> {
+    match report {
+        ExperimentReport::Interception(r) => {
+            vec![("table7_interception", tables::table7_interception(r))]
+        }
+        ExperimentReport::RootProbe(r) => vec![
+            ("table9_rootstores", tables::table9_rootstores(r)),
+            ("fig4_staleness", figures::fig4_staleness(testbed.pki, r)),
+        ],
+        ExperimentReport::Downgrade(r) => {
+            vec![("table5_downgrades", tables::table5_downgrades(&r.rows))]
+        }
+        ExperimentReport::OldVersion(r) => {
+            vec![("table6_old_versions", tables::table6_old_versions(&r.rows))]
+        }
+        ExperimentReport::Fingerprints(survey) => {
+            let graph = SharingGraph::build(survey, &FingerprintDb::build(fpdb_seed));
+            vec![("fig5_sharing_graph", graph.render())]
+        }
+        ExperimentReport::Auditor(_) => Vec::new(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use iotls::{ExperimentCtx, ExperimentKind, Report};
+
+    #[test]
+    fn fixture_names_agree_with_the_report_trait() {
+        // Cheap structural check on a tiny slice of the registry: the
+        // renderer map and Report::fixtures must never drift apart.
+        let testbed = Testbed::global();
+        let kind = ExperimentKind::AuditService;
+        let report = kind.run(testbed, &ExperimentCtx::new(kind.canonical_seed()));
+        let rendered = experiment_artifacts(testbed, &report, 0xDB);
+        let names: Vec<&str> = rendered.iter().map(|(n, _)| *n).collect();
+        assert_eq!(names, report.fixtures());
+    }
+}

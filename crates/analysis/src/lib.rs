@@ -18,6 +18,7 @@
 pub mod export;
 pub mod figures;
 pub mod fpdb;
+pub mod golden;
 pub mod fpgraph;
 pub mod minimization;
 pub mod render;
@@ -26,6 +27,7 @@ pub mod tables;
 pub use export::{cipher_series_csv, staleness_csv, version_series_csv};
 pub use figures::month_axis;
 pub use fpdb::{template_fingerprint, FingerprintDb, DB_SIZE};
+pub use golden::experiment_artifacts;
 pub use fpgraph::{Edge, Node, SharingGraph};
 pub use minimization::{render_utilization, root_store_utilization, UtilizationRow};
 pub use render::{heat_glyph, heat_row, TextTable};

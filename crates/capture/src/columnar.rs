@@ -35,8 +35,8 @@ const NO_SYM: u32 = u32::MAX;
 
 /// Counters for the columnar pipeline: rows written, chunks sealed,
 /// pool-dedup effectiveness, and bitmap-pruning effectiveness. Plain
-/// data so per-lane partials merge in roster order; [`export`]
-/// (Self::export) folds them into a metrics registry under
+/// data so per-lane partials merge in roster order;
+/// [`export`](Self::export) folds them into a metrics registry under
 /// `capture.*`.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct ColumnarStats {

@@ -16,14 +16,15 @@
 //! strings and fingerprints locally and appends rows to a lane-local
 //! [`DatasetBuilder`]; the sequential merge walks events in timeline
 //! order, remaps lane symbols into the shared tables, and streams
-//! sealed [`ObsChunk`]s to the caller's sink. [`generate_streamed`]
+//! sealed [`ObsChunk`]s to the caller's sink.
+//! [`CaptureCtx::generate_streamed`]
 //! can additionally split each weighted row into many physical rows
 //! (`max_count_per_row`), which is how the `passive_10m` bench
 //! materializes a paper-scale (≥10M-connection) row stream from the
 //! seed schedule while holding only one open chunk in memory.
 
 use crate::columnar::{ColumnarDataset, DatasetBuilder, ObsChunk, RevRow, RowView};
-use iotls_obs::Registry;
+use iotls_obs::{Registry, SharedRegistry};
 use crate::dataset::{PassiveDataset, RevocationKind};
 use crate::intern::{DigestInterner, Interner, Symbol};
 use crate::timeline::{build_timeline, StudyEvent};
@@ -42,33 +43,124 @@ use std::collections::HashMap;
 /// generator gives up and keeps whatever the tap managed to see.
 const CAPTURE_RETRIES: usize = 6;
 
-/// Generates the passive dataset for the whole testbed, driven by
-/// the event timeline.
-pub fn generate(testbed: &Testbed, seed: u64) -> PassiveDataset {
-    generate_columnar(testbed, seed).to_rows()
-}
-
-/// Row-oriented variant of [`generate_columnar_with_faults`].
-pub fn generate_with_faults(testbed: &Testbed, seed: u64, plan: FaultPlan) -> PassiveDataset {
-    generate_columnar_with_faults(testbed, seed, plan).to_rows()
-}
-
-/// Generates the columnar passive dataset (no faults).
-pub fn generate_columnar(testbed: &Testbed, seed: u64) -> ColumnarDataset {
-    generate_columnar_with_faults(testbed, seed, FaultPlan::none())
-}
-
-/// Generates the columnar passive dataset under an injected-fault
-/// schedule, keeping every chunk in memory.
-pub fn generate_columnar_with_faults(
-    testbed: &Testbed,
+/// Everything a generation run needs beyond the testbed: the seed,
+/// the fault schedule, the worker-count policy, and a metrics handle.
+///
+/// The context replaces the old `generate_with_faults` /
+/// `generate_streamed_metered` variant matrix: construct one
+/// [`CaptureCtx`], set the knobs that differ from the defaults, and
+/// call [`CaptureCtx::generate`] (or the columnar/streamed shapes).
+/// The thread count is resolved once at construction — from
+/// `IOTLS_THREADS` via [`iotls_simnet::worker_count`] — instead of
+/// deep inside every fan-out.
+#[derive(Debug, Clone)]
+pub struct CaptureCtx {
     seed: u64,
     plan: FaultPlan,
-) -> ColumnarDataset {
-    let mut chunks = Vec::new();
-    let mut ds = generate_streamed(testbed, seed, plan, u64::MAX, &mut |c| chunks.push(c));
-    ds.chunks = chunks;
-    ds
+    threads: usize,
+    metrics: SharedRegistry,
+}
+
+impl CaptureCtx {
+    /// A context with default knobs: no faults, env-resolved worker
+    /// count, no-op metrics.
+    pub fn new(seed: u64) -> CaptureCtx {
+        CaptureCtx {
+            seed,
+            plan: FaultPlan::none(),
+            threads: iotls_simnet::worker_count(),
+            metrics: SharedRegistry::noop(),
+        }
+    }
+
+    /// Replaces the fault schedule.
+    pub fn with_plan(mut self, plan: FaultPlan) -> CaptureCtx {
+        self.plan = plan;
+        self
+    }
+
+    /// Replaces the worker-count policy (`0`/`1` mean inline).
+    pub fn with_threads(mut self, threads: usize) -> CaptureCtx {
+        self.threads = threads;
+        self
+    }
+
+    /// Replaces the metrics handle.
+    pub fn with_metrics(mut self, metrics: SharedRegistry) -> CaptureCtx {
+        self.metrics = metrics;
+        self
+    }
+
+    /// The generation seed.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// The injected-fault schedule.
+    pub fn plan(&self) -> FaultPlan {
+        self.plan
+    }
+
+    /// The resolved worker count.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// The metrics handle recordings merge into.
+    pub fn metrics(&self) -> &SharedRegistry {
+        &self.metrics
+    }
+
+    /// Generates the row-oriented passive dataset.
+    pub fn generate(&self, testbed: &Testbed) -> PassiveDataset {
+        self.generate_columnar(testbed).to_rows()
+    }
+
+    /// Generates the columnar passive dataset, keeping every chunk in
+    /// memory.
+    pub fn generate_columnar(&self, testbed: &Testbed) -> ColumnarDataset {
+        let mut chunks = Vec::new();
+        let mut ds = self.generate_streamed(testbed, u64::MAX, &mut |c| chunks.push(c));
+        ds.chunks = chunks;
+        ds
+    }
+
+    /// Generates the dataset as a stream of sealed columnar chunks in
+    /// bounded memory.
+    ///
+    /// Every weighted row is split into
+    /// `count.div_ceil(max_count_per_row)` physical rows whose counts
+    /// sum exactly to the original (`u64::MAX` reproduces the seed
+    /// row stream verbatim); sealed chunks are handed to `sink` as
+    /// they fill, and the returned dataset carries the intern tables,
+    /// revocation flows, and truncation tally but **no chunks** — the
+    /// sink saw them all. Faulted drives are retried and truncated
+    /// captures counted, so the output is byte-identical to a
+    /// fault-free run of the same seed.
+    pub fn generate_streamed(
+        &self,
+        testbed: &Testbed,
+        max_count_per_row: u64,
+        sink: &mut dyn FnMut(ObsChunk),
+    ) -> ColumnarDataset {
+        let mut local = Registry::new();
+        let ds = streamed(self, testbed, max_count_per_row, sink, &mut local);
+        self.metrics.merge(&local);
+        ds
+    }
+}
+
+/// Generates the passive dataset for the whole testbed, driven by
+/// the event timeline. Default-knob convenience for
+/// [`CaptureCtx::generate`].
+pub fn generate(testbed: &Testbed, seed: u64) -> PassiveDataset {
+    CaptureCtx::new(seed).generate(testbed)
+}
+
+/// Generates the columnar passive dataset (no faults). Default-knob
+/// convenience for [`CaptureCtx::generate_columnar`].
+pub fn generate_columnar(testbed: &Testbed, seed: u64) -> ColumnarDataset {
+    CaptureCtx::new(seed).generate_columnar(testbed)
 }
 
 /// One capture roll's output, as ranges into its lane's rows/flows.
@@ -134,8 +226,7 @@ fn lane_row(chunks: &[ObsChunk], mut i: usize) -> crate::columnar::RawRow<'_> {
     unreachable!("row index out of lane range")
 }
 
-/// Generates the passive dataset as a stream of sealed columnar
-/// chunks, in bounded memory.
+/// The streamed generator behind [`CaptureCtx::generate_streamed`].
 ///
 /// The conditioner sits between the endpoints and the gateway tap, so
 /// a session cut before a parseable ClientHello yields no observation;
@@ -152,32 +243,22 @@ fn lane_row(chunks: &[ObsChunk], mut i: usize) -> crate::columnar::RawRow<'_> {
 /// handed to `sink` as they fill; the returned dataset carries the
 /// intern tables, revocation flows, and truncation tally but **no
 /// chunks** — the sink saw them all.
-pub fn generate_streamed(
+///
+/// Metrics: each lane records its driven sessions (`sim.*`) and
+/// builder counters into a lane-local [`Registry`] shard; shards
+/// merge into `reg` in roster order, then the sequential merge phase
+/// adds `capture.*` counters (rows weighted/expanded, chunks
+/// streamed, pool dedup, truncations) and intern-table-size gauges —
+/// all byte-identical at any worker count.
+fn streamed(
+    ctx: &CaptureCtx,
     testbed: &Testbed,
-    seed: u64,
-    plan: FaultPlan,
-    max_count_per_row: u64,
-    sink: &mut dyn FnMut(ObsChunk),
-) -> ColumnarDataset {
-    generate_streamed_metered(testbed, seed, plan, max_count_per_row, sink, &mut Registry::new())
-}
-
-/// [`generate_streamed`] with pipeline metrics. Each lane records its
-/// driven sessions (`sim.*`) and builder counters into a lane-local
-/// [`Registry`] shard; shards merge into `reg` in roster order, then
-/// the sequential merge phase adds `capture.*` counters (rows
-/// weighted/expanded, chunks streamed, pool dedup, truncations) and
-/// intern-table-size gauges — all byte-identical at any
-/// `IOTLS_THREADS`.
-pub fn generate_streamed_metered(
-    testbed: &Testbed,
-    seed: u64,
-    plan: FaultPlan,
     max_count_per_row: u64,
     sink: &mut dyn FnMut(ObsChunk),
     reg: &mut Registry,
 ) -> ColumnarDataset {
-    let root_rng = Drbg::from_seed(seed);
+    let plan = ctx.plan;
+    let root_rng = Drbg::from_seed(ctx.seed);
 
     // Split the timeline's capture rolls into per-device lanes. Every
     // RNG draw is forked per (device, month) and the handshake cache is
@@ -198,7 +279,7 @@ pub fn generate_streamed_metered(
         lanes[lane].1.push((idx, month));
     }
 
-    let lane_outs = iotls_simnet::ordered_map(lanes, |(device_name, months)| {
+    let lane_outs = iotls_simnet::ordered_map_with(ctx.threads, lanes, |(device_name, months)| {
         let device = testbed.device(&device_name);
         // Cache of driven handshakes keyed by (dest index, phase
         // start) — the observation metadata is identical within a
@@ -589,13 +670,8 @@ mod tests {
     fn streamed_chunks_match_in_memory_columnar() {
         let col = generate_columnar(Testbed::global(), 0xCAFE);
         let mut streamed = Vec::new();
-        let tail = generate_streamed(
-            Testbed::global(),
-            0xCAFE,
-            FaultPlan::none(),
-            u64::MAX,
-            &mut |c| streamed.push(c),
-        );
+        let tail = CaptureCtx::new(0xCAFE)
+            .generate_streamed(Testbed::global(), u64::MAX, &mut |c| streamed.push(c));
         assert!(tail.chunks.is_empty());
         let total: usize = streamed.iter().map(ObsChunk::len).sum();
         assert_eq!(total, col.total_rows());
@@ -606,32 +682,34 @@ mod tests {
     #[test]
     fn row_splitting_preserves_connection_totals() {
         let col = generate_columnar(Testbed::global(), 0xCAFE);
+        let ctx = CaptureCtx::new(0xCAFE);
         let mut split_rows = 0usize;
         let mut split_conns = 0u64;
-        generate_streamed(
-            Testbed::global(),
-            0xCAFE,
-            FaultPlan::none(),
-            1_000,
-            &mut |c| {
-                split_rows += c.len();
-                split_conns += c.connections();
-            },
-        );
+        ctx.generate_streamed(Testbed::global(), 1_000, &mut |c| {
+            split_rows += c.len();
+            split_conns += c.connections();
+        });
         assert_eq!(split_conns, col.total_connections());
         assert!(split_rows > col.total_rows());
         // Every split row respects the cap.
         let mut checked = false;
-        generate_streamed(
-            Testbed::global(),
-            0xCAFE,
-            FaultPlan::none(),
-            1_000,
-            &mut |c| {
-                checked = true;
-                assert!(c.rows().all(|r| r.count() <= 1_000 && r.count() > 0));
-            },
-        );
+        ctx.generate_streamed(Testbed::global(), 1_000, &mut |c| {
+            checked = true;
+            assert!(c.rows().all(|r| r.count() <= 1_000 && r.count() > 0));
+        });
         assert!(checked);
+    }
+
+    #[test]
+    fn ctx_threads_and_metrics_knobs_do_not_change_the_dataset() {
+        let baseline = generate(Testbed::global(), 0xCAFE);
+        let metrics = SharedRegistry::live();
+        let ctx = CaptureCtx::new(0xCAFE).with_threads(3).with_metrics(metrics.clone());
+        let ds = ctx.generate(Testbed::global());
+        assert_eq!(ds.total_connections(), baseline.total_connections());
+        assert_eq!(ds.observations.len(), baseline.observations.len());
+        let snap = metrics.snapshot();
+        assert!(snap.counter("capture.rows.weighted") > 0);
+        assert_eq!(snap.counter("capture.connections"), ds.total_connections());
     }
 }

@@ -25,10 +25,7 @@ pub use columnar::{
 pub use dataset::{
     DatasetStats, PassiveDataset, RevocationFlow, RevocationKind, WeightedObservation,
 };
-pub use generate::{
-    generate, generate_columnar, generate_columnar_with_faults, generate_streamed,
-    generate_streamed_metered, generate_with_faults,
-};
+pub use generate::{generate, generate_columnar, CaptureCtx};
 pub use intern::{DigestInterner, Interner, Symbol};
 pub use timeline::{build_timeline, StudyEvent};
 pub use serialize::{

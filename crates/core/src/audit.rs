@@ -8,10 +8,14 @@
 //! previously-failed connections to surface follow-up hostnames.
 
 use crate::attacker::InterceptPolicy;
+use crate::experiment::{
+    cache_stats_json, fault_stats_json, Experiment, ExperimentCtx, InterceptionAudit, Report,
+};
 use crate::lab::{ActiveLab, FaultStats};
+use iotls_capture::json::Json;
 use iotls_devices::Testbed;
 use iotls_obs::Registry;
-use iotls_simnet::FaultPlan;
+use iotls_x509::cache::CacheStats;
 use std::collections::BTreeSet;
 
 /// Sensitive-content markers the paper quotes from intercepted
@@ -47,7 +51,7 @@ impl InterceptionRow {
 }
 
 /// The full audit report.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct InterceptionReport {
     /// One row per audited device (all active devices, vulnerable or
     /// not).
@@ -122,162 +126,222 @@ fn attack_device(
     (compromised, leaks, observed)
 }
 
-/// Runs the full Table 7 audit over the active devices.
+/// Runs the full Table 7 audit over the active devices with the
+/// default context (env-resolved thread policy, no faults).
 pub fn run_interception_audit(testbed: &Testbed, seed: u64) -> InterceptionReport {
-    run_interception_audit_with(testbed, seed, FaultPlan::none())
+    InterceptionAudit.run(testbed, &ExperimentCtx::new(seed))
 }
 
-/// Runs the Table 7 audit under an injected-fault schedule. Faulted
-/// connections recover inside the lab (inline re-dials plus boot-level
-/// reconnects); any outcome still tainted after the budget is excluded
-/// from vulnerability verdicts — a dropped connection is not evidence
-/// that a device declined an attack.
-pub fn run_interception_audit_with(
-    testbed: &Testbed,
-    seed: u64,
-    plan: FaultPlan,
-) -> InterceptionReport {
-    run_interception_audit_metered(testbed, seed, plan, &mut Registry::new())
-}
+impl Experiment for InterceptionAudit {
+    type Report = InterceptionReport;
 
-/// [`run_interception_audit_with`] recording metrics into `reg`: each
-/// per-device lab's `sim.*`/`core.*`/`x509.*` counters plus
-/// `audit.*` verdict counters, merged in roster order so the totals
-/// are identical at any `IOTLS_THREADS`.
-pub fn run_interception_audit_metered(
-    testbed: &Testbed,
-    seed: u64,
-    plan: FaultPlan,
-    reg: &mut Registry,
-) -> InterceptionReport {
-    let mut rows = Vec::new();
-    let mut passthrough_gains = Vec::new();
-    let mut fault_stats = FaultStats::default();
-    let mut verify_cache_stats = iotls_x509::cache::CacheStats::default();
-
-    // Each device gets fresh labs seeded independently of roster
-    // position, so the per-device work fans out across workers and the
-    // ordered merge below reproduces the sequential accumulation
-    // exactly.
-    let devices: Vec<_> = testbed.devices.iter().filter(|d| d.spec.in_active).collect();
-    let per_device = iotls_simnet::ordered_map(devices, |device| {
-        // Fresh lab per device per attack so the Yi quirk and boot
-        // counters don't bleed between experiments.
-        let mut device_stats = FaultStats::default();
-        let mut device_cache = iotls_x509::cache::CacheStats::default();
-        let mut device_reg = Registry::new();
-        let mut device_gain = None;
-        let mut vulnerable = BTreeSet::new();
-        let mut leaks: Vec<String> = Vec::new();
-        let mut observed: BTreeSet<String> = BTreeSet::new();
-        let mut flags = [false; 3];
-        let policies = [
-            InterceptPolicy::SelfSigned,
-            InterceptPolicy::InvalidBasicConstraints,
-            InterceptPolicy::WrongHostname,
-        ];
-        for (i, policy) in policies.iter().enumerate() {
-            let mut lab = ActiveLab::with_faults(testbed, seed ^ (i as u64) << 8, plan);
-            let (compromised, attack_leaks, seen) =
-                attack_device(&mut lab, &device.spec.name, policy);
-            flags[i] = !compromised.is_empty();
-            vulnerable.extend(compromised);
-            for l in attack_leaks {
-                if !leaks.contains(&l) {
-                    leaks.push(l);
-                }
-            }
-            observed.extend(seen);
-
-            // TrafficPassthrough: pass previously-failed connections
-            // through and re-attack whatever else appears.
-            let failed: Vec<String> = device
-                .spec
-                .boot_destinations()
-                .iter()
-                .map(|d| d.hostname.clone())
-                .filter(|h| !vulnerable.contains(h))
-                .collect();
-            let before = observed.len();
-            {
-                let state = lab.state(&device.spec.name);
-                for h in failed {
-                    state.passthrough.insert(h);
-                }
-            }
-            // Retry across flaky boots until the device talks.
-            for _ in 0..6 {
-                let outcomes = lab.boot_and_connect(device, Some(policy));
-                for o in &outcomes {
-                    observed.insert(o.destination.clone());
-                    if o.result.tainted() {
-                        continue;
-                    }
-                    if o.intercepted && o.result.established {
-                        vulnerable.insert(o.destination.clone());
-                        flags[i] = true;
-                    }
-                }
-                if !outcomes.is_empty() {
-                    break;
-                }
-            }
-            let after = observed.len();
-            if i == 0 && before > 0 && after > before {
-                device_gain = Some((after - before) as f64 / before as f64 * 100.0);
-            }
-            device_stats.merge(&lab.fault_stats());
-            device_cache.merge(&lab.verify_cache_stats());
-            device_reg.merge(&lab.metrics());
-            device_reg.inc("audit.attacks.run");
-        }
-        device_reg.inc("audit.devices.audited");
-        for (flag, name) in flags.iter().zip([
-            "audit.verdicts.no_validation",
-            "audit.verdicts.invalid_basic_constraints",
-            "audit.verdicts.wrong_hostname",
-        ]) {
-            if *flag {
-                device_reg.inc(name);
-            }
-        }
-        device_reg.add("audit.destinations.compromised", vulnerable.len() as u64);
-        device_reg.add("audit.destinations.observed", observed.len() as u64);
-        device_reg.add("audit.leaks.sensitive", leaks.len() as u64);
-
-        let row = InterceptionRow {
-            device: device.spec.name.clone(),
-            no_validation: flags[0],
-            invalid_basic_constraints: flags[1],
-            wrong_hostname: flags[2],
-            vulnerable_destinations: vulnerable,
-            total_destinations: observed,
-            sensitive_leaks: leaks,
-        };
-        (row, device_gain, device_stats, device_cache, device_reg)
-    });
-
-    for (row, gain, stats, cache, device_reg) in per_device {
-        rows.push(row);
-        if let Some(g) = gain {
-            passthrough_gains.push(g);
-        }
-        fault_stats.merge(&stats);
-        verify_cache_stats.merge(&cache);
-        reg.merge(&device_reg);
+    fn name(&self) -> &'static str {
+        "interception_audit"
     }
 
-    let passthrough_extra_hostnames_pct = if passthrough_gains.is_empty() {
-        0.0
-    } else {
-        passthrough_gains.iter().sum::<f64>() / passthrough_gains.len() as f64
-    };
+    /// Runs the Table 7 audit under the context's fault schedule.
+    /// Faulted connections recover inside the lab (inline re-dials
+    /// plus boot-level reconnects); any outcome still tainted after
+    /// the budget is excluded from vulnerability verdicts — a dropped
+    /// connection is not evidence that a device declined an attack.
+    /// Each per-device lab's `sim.*`/`core.*`/`x509.*` counters plus
+    /// the `audit.*` verdict counters merge in roster order so the
+    /// totals are identical at any thread count.
+    fn run(&self, testbed: &Testbed, ctx: &ExperimentCtx) -> InterceptionReport {
+        let seed = ctx.seed();
+        let mut rows = Vec::new();
+        let mut passthrough_gains = Vec::new();
+        let mut fault_stats = FaultStats::default();
+        let mut verify_cache_stats = CacheStats::default();
+        let mut reg = Registry::new();
 
-    InterceptionReport {
-        rows,
-        passthrough_extra_hostnames_pct,
-        fault_stats,
-        verify_cache_stats,
+        // Each device gets fresh labs seeded independently of roster
+        // position, so the per-device work fans out across workers and
+        // the ordered merge below reproduces the sequential
+        // accumulation exactly.
+        let devices: Vec<_> = testbed.devices.iter().filter(|d| d.spec.in_active).collect();
+        let per_device = iotls_simnet::ordered_map_with(ctx.threads(), devices, |device| {
+            // Fresh lab per device per attack so the Yi quirk and boot
+            // counters don't bleed between experiments.
+            let mut device_stats = FaultStats::default();
+            let mut device_cache = CacheStats::default();
+            let mut device_reg = Registry::new();
+            let mut device_gain = None;
+            let mut vulnerable = BTreeSet::new();
+            let mut leaks: Vec<String> = Vec::new();
+            let mut observed: BTreeSet<String> = BTreeSet::new();
+            let mut flags = [false; 3];
+            let policies = [
+                InterceptPolicy::SelfSigned,
+                InterceptPolicy::InvalidBasicConstraints,
+                InterceptPolicy::WrongHostname,
+            ];
+            for (i, policy) in policies.iter().enumerate() {
+                let mut lab = ActiveLab::with_ctx(testbed, ctx, seed ^ (i as u64) << 8);
+                let (compromised, attack_leaks, seen) =
+                    attack_device(&mut lab, &device.spec.name, policy);
+                flags[i] = !compromised.is_empty();
+                vulnerable.extend(compromised);
+                for l in attack_leaks {
+                    if !leaks.contains(&l) {
+                        leaks.push(l);
+                    }
+                }
+                observed.extend(seen);
+
+                // TrafficPassthrough: pass previously-failed
+                // connections through and re-attack whatever else
+                // appears.
+                let failed: Vec<String> = device
+                    .spec
+                    .boot_destinations()
+                    .iter()
+                    .map(|d| d.hostname.clone())
+                    .filter(|h| !vulnerable.contains(h))
+                    .collect();
+                let before = observed.len();
+                {
+                    let state = lab.state(&device.spec.name);
+                    for h in failed {
+                        state.passthrough.insert(h);
+                    }
+                }
+                // Retry across flaky boots until the device talks.
+                for _ in 0..6 {
+                    let outcomes = lab.boot_and_connect(device, Some(policy));
+                    for o in &outcomes {
+                        observed.insert(o.destination.clone());
+                        if o.result.tainted() {
+                            continue;
+                        }
+                        if o.intercepted && o.result.established {
+                            vulnerable.insert(o.destination.clone());
+                            flags[i] = true;
+                        }
+                    }
+                    if !outcomes.is_empty() {
+                        break;
+                    }
+                }
+                let after = observed.len();
+                if i == 0 && before > 0 && after > before {
+                    device_gain = Some((after - before) as f64 / before as f64 * 100.0);
+                }
+                device_stats.merge(&lab.fault_stats());
+                device_cache.merge(&lab.verify_cache_stats());
+                device_reg.merge(&lab.metrics());
+                device_reg.inc("audit.attacks.run");
+            }
+            device_reg.inc("audit.devices.audited");
+            for (flag, name) in flags.iter().zip([
+                "audit.verdicts.no_validation",
+                "audit.verdicts.invalid_basic_constraints",
+                "audit.verdicts.wrong_hostname",
+            ]) {
+                if *flag {
+                    device_reg.inc(name);
+                }
+            }
+            device_reg.add("audit.destinations.compromised", vulnerable.len() as u64);
+            device_reg.add("audit.destinations.observed", observed.len() as u64);
+            device_reg.add("audit.leaks.sensitive", leaks.len() as u64);
+
+            let row = InterceptionRow {
+                device: device.spec.name.clone(),
+                no_validation: flags[0],
+                invalid_basic_constraints: flags[1],
+                wrong_hostname: flags[2],
+                vulnerable_destinations: vulnerable,
+                total_destinations: observed,
+                sensitive_leaks: leaks,
+            };
+            (row, device_gain, device_stats, device_cache, device_reg)
+        });
+
+        for (row, gain, stats, cache, device_reg) in per_device {
+            rows.push(row);
+            if let Some(g) = gain {
+                passthrough_gains.push(g);
+            }
+            fault_stats.merge(&stats);
+            verify_cache_stats.merge(&cache);
+            reg.merge(&device_reg);
+        }
+        ctx.merge_metrics(&reg);
+
+        let passthrough_extra_hostnames_pct = if passthrough_gains.is_empty() {
+            0.0
+        } else {
+            passthrough_gains.iter().sum::<f64>() / passthrough_gains.len() as f64
+        };
+
+        InterceptionReport {
+            rows,
+            passthrough_extra_hostnames_pct,
+            fault_stats,
+            verify_cache_stats,
+        }
+    }
+}
+
+impl Report for InterceptionReport {
+    fn to_json(&self) -> Json {
+        let rows = self
+            .rows
+            .iter()
+            .map(|r| {
+                Json::Obj(vec![
+                    ("device".into(), Json::Str(r.device.clone())),
+                    ("no_validation".into(), Json::Bool(r.no_validation)),
+                    (
+                        "invalid_basic_constraints".into(),
+                        Json::Bool(r.invalid_basic_constraints),
+                    ),
+                    ("wrong_hostname".into(), Json::Bool(r.wrong_hostname)),
+                    (
+                        "vulnerable_destinations".into(),
+                        Json::Num(r.vulnerable_destinations.len() as i128),
+                    ),
+                    (
+                        "total_destinations".into(),
+                        Json::Num(r.total_destinations.len() as i128),
+                    ),
+                    (
+                        "sensitive_leaks".into(),
+                        Json::Arr(
+                            r.sensitive_leaks
+                                .iter()
+                                .map(|l| Json::Str(l.clone()))
+                                .collect(),
+                        ),
+                    ),
+                ])
+            })
+            .collect();
+        Json::Obj(vec![
+            ("rows".into(), Json::Arr(rows)),
+            (
+                "passthrough_extra_hostnames_bp".into(),
+                Json::Num((self.passthrough_extra_hostnames_pct * 100.0).round() as i128),
+            ),
+            ("fault_stats".into(), fault_stats_json(&self.fault_stats)),
+            (
+                "verify_cache".into(),
+                cache_stats_json(&self.verify_cache_stats),
+            ),
+        ])
+    }
+
+    fn fixtures(&self) -> &'static [&'static str] {
+        &["table7_interception"]
+    }
+
+    fn fault_stats(&self) -> Option<&FaultStats> {
+        Some(&self.fault_stats)
+    }
+
+    fn cache_stats(&self) -> Option<CacheStats> {
+        Some(self.verify_cache_stats)
     }
 }
 

@@ -6,7 +6,9 @@
 //! Both consume only on-the-wire artifacts — ClientHellos and tapped
 //! observations — so either could run against real devices unchanged.
 
-use crate::lab::ActiveLab;
+use crate::experiment::{fault_stats_json, AuditService, Experiment, ExperimentCtx, Report};
+use crate::lab::{ActiveLab, FaultStats};
+use iotls_capture::json::Json;
 use iotls_devices::Testbed;
 use iotls_obs::Registry;
 use iotls_simnet::TlsObservation;
@@ -170,64 +172,140 @@ impl DeviceAudit {
     }
 }
 
-/// Runs the auditing service over every active device: reboot, let
-/// the device connect, grade every distinct ClientHello.
-pub fn run_audit_service(testbed: &Testbed, seed: u64) -> Vec<DeviceAudit> {
-    run_audit_service_metered(testbed, seed, &mut Registry::new())
+/// The auditing-service report: per-device audits plus aggregated
+/// fault counters.
+#[derive(Debug, Clone)]
+pub struct AuditorReport {
+    /// One audit per active device, in roster order.
+    pub audits: Vec<DeviceAudit>,
+    /// Aggregated fault/recovery counters; all zeros outside chaos
+    /// runs.
+    pub fault_stats: FaultStats,
 }
 
-/// [`run_audit_service`] recording metrics into `reg`: per-lab
-/// `sim.*`/`core.*` counters merged in roster order plus `auditor.*`
-/// grade tallies.
-pub fn run_audit_service_metered(
-    testbed: &Testbed,
-    seed: u64,
-    reg: &mut Registry,
-) -> Vec<DeviceAudit> {
-    // Each device gets its own lab and RNG stream; the ordered fan-out
-    // keeps the report in roster order at any thread count.
-    let devices: Vec<_> = testbed.devices.iter().filter(|d| d.spec.in_active).collect();
-    let per_device = iotls_simnet::ordered_map(devices, |device| {
-        let mut lab = ActiveLab::new(testbed, seed ^ 0xA0D17);
-        let mut per_fp: BTreeMap<FingerprintId, Vec<AuditIssue>> = BTreeMap::new();
-        for _ in 0..4 {
-            for o in lab.boot_and_connect(device, None) {
-                per_fp
-                    .entry(Fingerprint::from_client_hello(&o.first_hello).id())
-                    .or_insert_with(|| grade_client_hello(&o.first_hello));
+/// Runs the auditing service over every active device with the
+/// default context: reboot, let the device connect, grade every
+/// distinct ClientHello.
+pub fn run_audit_service(testbed: &Testbed, seed: u64) -> Vec<DeviceAudit> {
+    AuditService.run(testbed, &ExperimentCtx::new(seed)).audits
+}
+
+impl Experiment for AuditService {
+    type Report = AuditorReport;
+
+    fn name(&self) -> &'static str {
+        "audit_service"
+    }
+
+    /// Runs the auditing service under the context: per-lab
+    /// `sim.*`/`core.*` counters merge in roster order plus
+    /// `auditor.*` grade tallies.
+    fn run(&self, testbed: &Testbed, ctx: &ExperimentCtx) -> AuditorReport {
+        let seed = ctx.seed();
+        let mut reg = Registry::new();
+        let mut fault_stats = FaultStats::default();
+        // Each device gets its own lab and RNG stream; the ordered
+        // fan-out keeps the report in roster order at any thread
+        // count.
+        let devices: Vec<_> = testbed.devices.iter().filter(|d| d.spec.in_active).collect();
+        let per_device = iotls_simnet::ordered_map_with(ctx.threads(), devices, |device| {
+            let mut lab = ActiveLab::with_ctx(testbed, ctx, seed ^ 0xA0D17);
+            let mut per_fp: BTreeMap<FingerprintId, Vec<AuditIssue>> = BTreeMap::new();
+            for _ in 0..4 {
+                for o in lab.boot_and_connect(device, None) {
+                    per_fp
+                        .entry(Fingerprint::from_client_hello(&o.first_hello).id())
+                        .or_insert_with(|| grade_client_hello(&o.first_hello));
+                }
             }
-        }
-        let instances = per_fp
+            let instances = per_fp
+                .into_iter()
+                .map(|(fingerprint, issues)| InstanceAudit {
+                    fingerprint,
+                    grade: grade(&issues),
+                    issues,
+                })
+                .collect();
+            let audit = DeviceAudit {
+                device: device.spec.name.clone(),
+                instances,
+            };
+            (audit, lab.fault_stats(), lab.metrics())
+        });
+        let audits = per_device
             .into_iter()
-            .map(|(fingerprint, issues)| InstanceAudit {
-                fingerprint,
-                grade: grade(&issues),
-                issues,
+            .map(|(audit, stats, device_reg)| {
+                reg.merge(&device_reg);
+                reg.inc("auditor.devices.audited");
+                reg.add("auditor.instances.graded", audit.instances.len() as u64);
+                for inst in &audit.instances {
+                    reg.inc(match inst.grade {
+                        Grade::Good => "auditor.grades.good",
+                        Grade::NeedsAttention => "auditor.grades.needs_attention",
+                        Grade::Critical => "auditor.grades.critical",
+                    });
+                    reg.add("auditor.issues.flagged", inst.issues.len() as u64);
+                }
+                fault_stats.merge(&stats);
+                audit
             })
             .collect();
-        let audit = DeviceAudit {
-            device: device.spec.name.clone(),
-            instances,
-        };
-        (audit, lab.metrics())
-    });
-    per_device
-        .into_iter()
-        .map(|(audit, device_reg)| {
-            reg.merge(&device_reg);
-            reg.inc("auditor.devices.audited");
-            reg.add("auditor.instances.graded", audit.instances.len() as u64);
-            for inst in &audit.instances {
-                reg.inc(match inst.grade {
-                    Grade::Good => "auditor.grades.good",
-                    Grade::NeedsAttention => "auditor.grades.needs_attention",
-                    Grade::Critical => "auditor.grades.critical",
-                });
-                reg.add("auditor.issues.flagged", inst.issues.len() as u64);
-            }
-            audit
-        })
-        .collect()
+        ctx.merge_metrics(&reg);
+        AuditorReport {
+            audits,
+            fault_stats,
+        }
+    }
+}
+
+impl Report for AuditorReport {
+    fn to_json(&self) -> Json {
+        let audits = self
+            .audits
+            .iter()
+            .map(|a| {
+                let instances = a
+                    .instances
+                    .iter()
+                    .map(|inst| {
+                        Json::Obj(vec![
+                            (
+                                "fingerprint".into(),
+                                Json::Str(inst.fingerprint.to_string()),
+                            ),
+                            ("grade".into(), Json::Str(format!("{:?}", inst.grade))),
+                            (
+                                "issues".into(),
+                                Json::Arr(
+                                    inst.issues
+                                        .iter()
+                                        .map(|i| Json::Str(i.to_string()))
+                                        .collect(),
+                                ),
+                            ),
+                        ])
+                    })
+                    .collect();
+                Json::Obj(vec![
+                    ("device".into(), Json::Str(a.device.clone())),
+                    ("grade".into(), Json::Str(format!("{:?}", a.grade()))),
+                    ("instances".into(), Json::Arr(instances)),
+                ])
+            })
+            .collect();
+        Json::Obj(vec![
+            ("audits".into(), Json::Arr(audits)),
+            ("fault_stats".into(), fault_stats_json(&self.fault_stats)),
+        ])
+    }
+
+    fn fixtures(&self) -> &'static [&'static str] {
+        &[]
+    }
+
+    fn fault_stats(&self) -> Option<&FaultStats> {
+        Some(&self.fault_stats)
+    }
 }
 
 /// What the guardian gateway does with one observed connection.

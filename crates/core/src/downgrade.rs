@@ -8,10 +8,13 @@
 //! never reads device configuration.
 
 use crate::attacker::InterceptPolicy;
+use crate::experiment::{
+    fault_stats_json, DowngradeProbe, Experiment, ExperimentCtx, OldVersionScan, Report,
+};
 use crate::lab::{ActiveLab, FaultStats};
+use iotls_capture::json::Json;
 use iotls_devices::Testbed;
 use iotls_obs::Registry;
-use iotls_simnet::FaultPlan;
 use iotls_tls::ciphersuite;
 use iotls_tls::client::HandshakeFailure;
 use iotls_tls::extension::sig_scheme;
@@ -104,119 +107,203 @@ pub fn classify_downgrade(first: &ClientHello, retry: &ClientHello) -> Option<Do
     None
 }
 
-/// Runs the Table 5 experiment: every active device, every boot
-/// destination, under both failure modes.
+/// The Table 5 report: downgrade rows plus the fault/recovery
+/// counters aggregated across every lab the probe spun up.
+#[derive(Debug, Clone)]
+pub struct DowngradeReport {
+    /// One row per device that downgraded (devices that never
+    /// weakened a retry are absent — Table 5 prints offenders only).
+    pub rows: Vec<DowngradeRow>,
+    /// Aggregated fault/recovery counters; all zeros outside chaos
+    /// runs.
+    pub fault_stats: FaultStats,
+}
+
+/// Runs the Table 5 experiment — every active device, every boot
+/// destination, under both failure modes — with the default context.
 pub fn run_downgrade_probe(testbed: &Testbed, seed: u64) -> Vec<DowngradeRow> {
-    run_downgrade_probe_with(testbed, seed, FaultPlan::none()).0
+    DowngradeProbe.run(testbed, &ExperimentCtx::new(seed)).rows
 }
 
-/// Runs the Table 5 experiment under an injected-fault schedule,
-/// returning the rows plus the aggregated fault/recovery counters. An
-/// outcome still tainted after the lab's retry budget never mints a
-/// downgrade verdict: a retry forced by a network fault is not a
-/// device fallback decision.
-pub fn run_downgrade_probe_with(
-    testbed: &Testbed,
-    seed: u64,
-    plan: FaultPlan,
-) -> (Vec<DowngradeRow>, FaultStats) {
-    run_downgrade_probe_metered(testbed, seed, plan, &mut Registry::new())
-}
+impl Experiment for DowngradeProbe {
+    type Report = DowngradeReport;
 
-/// [`run_downgrade_probe_with`] recording metrics into `reg`: per-lab
-/// `sim.*`/`core.*` counters merged in roster order, plus
-/// `downgrade.*` step/trigger counters tallied from the rows in the
-/// sequential merge.
-pub fn run_downgrade_probe_metered(
-    testbed: &Testbed,
-    seed: u64,
-    plan: FaultPlan,
-    reg: &mut Registry,
-) -> (Vec<DowngradeRow>, FaultStats) {
-    let mut rows = Vec::new();
-    let mut fault_stats = FaultStats::default();
-    let devices: Vec<_> = testbed.devices.iter().filter(|d| d.spec.in_active).collect();
-    let per_device = iotls_simnet::ordered_map(devices, |device| {
-        let mut device_stats = FaultStats::default();
-        let mut device_reg = Registry::new();
-        let mut on_failed = false;
-        let mut on_incomplete = false;
-        let mut kind: Option<DowngradeKind> = None;
-        let mut downgraded = BTreeSet::new();
-        let mut total = 0;
-
-        for (mode_idx, policy) in [InterceptPolicy::Mute, InterceptPolicy::SelfSigned]
-            .iter()
-            .enumerate()
-        {
-            let mut lab = ActiveLab::with_faults(testbed, seed ^ (mode_idx as u64) << 16, plan);
-            let dev = lab.testbed.device(&device.spec.name);
-            if mode_idx == 0 {
-                total = dev.spec.boot_destinations().len();
-            }
-            // Boot until the device talks (flaky boots).
-            let mut outcomes = Vec::new();
-            for _ in 0..6 {
-                outcomes = lab.boot_and_connect(dev, Some(policy));
-                if !outcomes.is_empty() {
-                    break;
-                }
-            }
-            for o in &outcomes {
-                if o.result.tainted() {
-                    continue;
-                }
-                let Some(retry) = &o.retry_hello else {
-                    continue;
-                };
-                if let Some(k) = classify_downgrade(&o.first_hello, retry) {
-                    downgraded.insert(o.destination.clone());
-                    if mode_idx == 0 {
-                        on_incomplete = true;
-                    } else {
-                        on_failed = true;
-                    }
-                    kind.get_or_insert(k);
-                }
-            }
-            device_stats.merge(&lab.fault_stats());
-            device_reg.merge(&lab.metrics());
-        }
-
-        let row = kind.map(|kind| DowngradeRow {
-            device: device.spec.name.clone(),
-            on_failed_handshake: on_failed,
-            on_incomplete_handshake: on_incomplete,
-            kind,
-            downgraded_destinations: downgraded,
-            total_destinations: total,
-        });
-        (row, device_stats, device_reg)
-    });
-    for (row, stats, device_reg) in per_device {
-        reg.merge(&device_reg);
-        reg.inc("downgrade.devices.probed");
-        if let Some(row) = &row {
-            reg.inc(match row.kind {
-                DowngradeKind::VersionFallback { .. } => "downgrade.steps.version_fallback",
-                DowngradeKind::WeakerCiphers { .. } => "downgrade.steps.weaker_ciphers",
-                DowngradeKind::SuiteCollapse { .. } => "downgrade.steps.suite_collapse",
-            });
-            if row.on_failed_handshake {
-                reg.inc("downgrade.triggers.failed_handshake");
-            }
-            if row.on_incomplete_handshake {
-                reg.inc("downgrade.triggers.incomplete_handshake");
-            }
-            reg.add(
-                "downgrade.destinations.downgraded",
-                row.downgraded_destinations.len() as u64,
-            );
-        }
-        rows.extend(row);
-        fault_stats.merge(&stats);
+    fn name(&self) -> &'static str {
+        "downgrade_probe"
     }
-    (rows, fault_stats)
+
+    /// Runs the Table 5 experiment under the context's fault schedule.
+    /// An outcome still tainted after the lab's retry budget never
+    /// mints a downgrade verdict: a retry forced by a network fault is
+    /// not a device fallback decision. Per-lab `sim.*`/`core.*`
+    /// counters merge in roster order, plus `downgrade.*`
+    /// step/trigger counters tallied from the rows in the sequential
+    /// merge.
+    fn run(&self, testbed: &Testbed, ctx: &ExperimentCtx) -> DowngradeReport {
+        let seed = ctx.seed();
+        let mut rows = Vec::new();
+        let mut fault_stats = FaultStats::default();
+        let mut reg = Registry::new();
+        let devices: Vec<_> = testbed.devices.iter().filter(|d| d.spec.in_active).collect();
+        let per_device = iotls_simnet::ordered_map_with(ctx.threads(), devices, |device| {
+            let mut device_stats = FaultStats::default();
+            let mut device_reg = Registry::new();
+            let mut on_failed = false;
+            let mut on_incomplete = false;
+            let mut kind: Option<DowngradeKind> = None;
+            let mut downgraded = BTreeSet::new();
+            let mut total = 0;
+
+            for (mode_idx, policy) in [InterceptPolicy::Mute, InterceptPolicy::SelfSigned]
+                .iter()
+                .enumerate()
+            {
+                let mut lab = ActiveLab::with_ctx(testbed, ctx, seed ^ (mode_idx as u64) << 16);
+                let dev = lab.testbed.device(&device.spec.name);
+                if mode_idx == 0 {
+                    total = dev.spec.boot_destinations().len();
+                }
+                // Boot until the device talks (flaky boots).
+                let mut outcomes = Vec::new();
+                for _ in 0..6 {
+                    outcomes = lab.boot_and_connect(dev, Some(policy));
+                    if !outcomes.is_empty() {
+                        break;
+                    }
+                }
+                for o in &outcomes {
+                    if o.result.tainted() {
+                        continue;
+                    }
+                    let Some(retry) = &o.retry_hello else {
+                        continue;
+                    };
+                    if let Some(k) = classify_downgrade(&o.first_hello, retry) {
+                        downgraded.insert(o.destination.clone());
+                        if mode_idx == 0 {
+                            on_incomplete = true;
+                        } else {
+                            on_failed = true;
+                        }
+                        kind.get_or_insert(k);
+                    }
+                }
+                device_stats.merge(&lab.fault_stats());
+                device_reg.merge(&lab.metrics());
+            }
+
+            let row = kind.map(|kind| DowngradeRow {
+                device: device.spec.name.clone(),
+                on_failed_handshake: on_failed,
+                on_incomplete_handshake: on_incomplete,
+                kind,
+                downgraded_destinations: downgraded,
+                total_destinations: total,
+            });
+            (row, device_stats, device_reg)
+        });
+        for (row, stats, device_reg) in per_device {
+            reg.merge(&device_reg);
+            reg.inc("downgrade.devices.probed");
+            if let Some(row) = &row {
+                reg.inc(match row.kind {
+                    DowngradeKind::VersionFallback { .. } => "downgrade.steps.version_fallback",
+                    DowngradeKind::WeakerCiphers { .. } => "downgrade.steps.weaker_ciphers",
+                    DowngradeKind::SuiteCollapse { .. } => "downgrade.steps.suite_collapse",
+                });
+                if row.on_failed_handshake {
+                    reg.inc("downgrade.triggers.failed_handshake");
+                }
+                if row.on_incomplete_handshake {
+                    reg.inc("downgrade.triggers.incomplete_handshake");
+                }
+                reg.add(
+                    "downgrade.destinations.downgraded",
+                    row.downgraded_destinations.len() as u64,
+                );
+            }
+            rows.extend(row);
+            fault_stats.merge(&stats);
+        }
+        ctx.merge_metrics(&reg);
+        DowngradeReport { rows, fault_stats }
+    }
+}
+
+impl Report for DowngradeReport {
+    fn to_json(&self) -> Json {
+        let rows = self
+            .rows
+            .iter()
+            .map(|r| {
+                let kind = match &r.kind {
+                    DowngradeKind::VersionFallback { from, to } => Json::Obj(vec![
+                        ("kind".into(), Json::Str("version_fallback".into())),
+                        ("from".into(), Json::Str(format!("{from:?}"))),
+                        ("to".into(), Json::Str(format!("{to:?}"))),
+                    ]),
+                    DowngradeKind::WeakerCiphers {
+                        added_insecure,
+                        added_sha1,
+                    } => Json::Obj(vec![
+                        ("kind".into(), Json::Str("weaker_ciphers".into())),
+                        (
+                            "added_insecure".into(),
+                            Json::Arr(
+                                added_insecure.iter().map(|s| Json::Num(*s as i128)).collect(),
+                            ),
+                        ),
+                        ("added_sha1".into(), Json::Bool(*added_sha1)),
+                    ]),
+                    DowngradeKind::SuiteCollapse {
+                        from,
+                        to,
+                        remaining,
+                    } => Json::Obj(vec![
+                        ("kind".into(), Json::Str("suite_collapse".into())),
+                        ("from".into(), Json::Num(*from as i128)),
+                        ("to".into(), Json::Num(*to as i128)),
+                        (
+                            "remaining".into(),
+                            Json::Arr(remaining.iter().map(|s| Json::Num(*s as i128)).collect()),
+                        ),
+                    ]),
+                };
+                Json::Obj(vec![
+                    ("device".into(), Json::Str(r.device.clone())),
+                    (
+                        "on_failed_handshake".into(),
+                        Json::Bool(r.on_failed_handshake),
+                    ),
+                    (
+                        "on_incomplete_handshake".into(),
+                        Json::Bool(r.on_incomplete_handshake),
+                    ),
+                    ("downgrade".into(), kind),
+                    (
+                        "downgraded_destinations".into(),
+                        Json::Num(r.downgraded_destinations.len() as i128),
+                    ),
+                    (
+                        "total_destinations".into(),
+                        Json::Num(r.total_destinations as i128),
+                    ),
+                ])
+            })
+            .collect();
+        Json::Obj(vec![
+            ("rows".into(), Json::Arr(rows)),
+            ("fault_stats".into(), fault_stats_json(&self.fault_stats)),
+        ])
+    }
+
+    fn fixtures(&self) -> &'static [&'static str] {
+        &["table5_downgrades"]
+    }
+
+    fn fault_stats(&self) -> Option<&FaultStats> {
+        Some(&self.fault_stats)
+    }
 }
 
 /// One device's Table 6 row: which old versions it will negotiate.
@@ -263,66 +350,102 @@ fn accepts_version(lab: &mut ActiveLab<'_>, device_name: &str, v: ProtocolVersio
     false
 }
 
-/// Runs the Table 6 scan over every active device.
+/// The Table 6 report: acceptance rows plus aggregated fault
+/// counters.
+#[derive(Debug, Clone)]
+pub struct OldVersionReport {
+    /// One row per device that accepted at least one old version.
+    pub rows: Vec<OldVersionRow>,
+    /// Aggregated fault/recovery counters; all zeros outside chaos
+    /// runs.
+    pub fault_stats: FaultStats,
+}
+
+/// Runs the Table 6 scan over every active device with the default
+/// context.
 pub fn run_old_version_scan(testbed: &Testbed, seed: u64) -> Vec<OldVersionRow> {
-    run_old_version_scan_with(testbed, seed, FaultPlan::none()).0
+    OldVersionScan.run(testbed, &ExperimentCtx::new(seed)).rows
 }
 
-/// Runs the Table 6 scan under an injected-fault schedule, returning
-/// the rows plus the aggregated fault/recovery counters.
-pub fn run_old_version_scan_with(
-    testbed: &Testbed,
-    seed: u64,
-    plan: FaultPlan,
-) -> (Vec<OldVersionRow>, FaultStats) {
-    run_old_version_scan_metered(testbed, seed, plan, &mut Registry::new())
-}
+impl Experiment for OldVersionScan {
+    type Report = OldVersionReport;
 
-/// [`run_old_version_scan_with`] recording metrics into `reg`:
-/// per-lab counters merged in roster order plus `oldversion.*`
-/// acceptance counters.
-pub fn run_old_version_scan_metered(
-    testbed: &Testbed,
-    seed: u64,
-    plan: FaultPlan,
-    reg: &mut Registry,
-) -> (Vec<OldVersionRow>, FaultStats) {
-    let mut rows = Vec::new();
-    let mut fault_stats = FaultStats::default();
-    let devices: Vec<_> = testbed.devices.iter().filter(|d| d.spec.in_active).collect();
-    let per_device = iotls_simnet::ordered_map(devices, |device| {
-        let mut device_stats = FaultStats::default();
-        let mut device_reg = Registry::new();
-        let mut lab10 = ActiveLab::with_faults(testbed, seed ^ 0x10, plan);
-        let tls10 = accepts_version(&mut lab10, &device.spec.name, ProtocolVersion::Tls10);
-        device_stats.merge(&lab10.fault_stats());
-        device_reg.merge(&lab10.metrics());
-        let mut lab11 = ActiveLab::with_faults(testbed, seed ^ 0x11, plan);
-        let tls11 = accepts_version(&mut lab11, &device.spec.name, ProtocolVersion::Tls11);
-        device_stats.merge(&lab11.fault_stats());
-        device_reg.merge(&lab11.metrics());
-        let row = (tls10 || tls11).then(|| OldVersionRow {
-            device: device.spec.name.clone(),
-            tls10,
-            tls11,
-        });
-        (row, device_stats, device_reg)
-    });
-    for (row, stats, device_reg) in per_device {
-        reg.merge(&device_reg);
-        reg.inc("oldversion.devices.scanned");
-        if let Some(row) = &row {
-            if row.tls10 {
-                reg.inc("oldversion.accepts.tls10");
-            }
-            if row.tls11 {
-                reg.inc("oldversion.accepts.tls11");
-            }
-        }
-        rows.extend(row);
-        fault_stats.merge(&stats);
+    fn name(&self) -> &'static str {
+        "old_version_scan"
     }
-    (rows, fault_stats)
+
+    /// Runs the Table 6 scan under the context's fault schedule:
+    /// per-lab counters merge in roster order plus `oldversion.*`
+    /// acceptance counters.
+    fn run(&self, testbed: &Testbed, ctx: &ExperimentCtx) -> OldVersionReport {
+        let seed = ctx.seed();
+        let mut rows = Vec::new();
+        let mut fault_stats = FaultStats::default();
+        let mut reg = Registry::new();
+        let devices: Vec<_> = testbed.devices.iter().filter(|d| d.spec.in_active).collect();
+        let per_device = iotls_simnet::ordered_map_with(ctx.threads(), devices, |device| {
+            let mut device_stats = FaultStats::default();
+            let mut device_reg = Registry::new();
+            let mut lab10 = ActiveLab::with_ctx(testbed, ctx, seed ^ 0x10);
+            let tls10 = accepts_version(&mut lab10, &device.spec.name, ProtocolVersion::Tls10);
+            device_stats.merge(&lab10.fault_stats());
+            device_reg.merge(&lab10.metrics());
+            let mut lab11 = ActiveLab::with_ctx(testbed, ctx, seed ^ 0x11);
+            let tls11 = accepts_version(&mut lab11, &device.spec.name, ProtocolVersion::Tls11);
+            device_stats.merge(&lab11.fault_stats());
+            device_reg.merge(&lab11.metrics());
+            let row = (tls10 || tls11).then(|| OldVersionRow {
+                device: device.spec.name.clone(),
+                tls10,
+                tls11,
+            });
+            (row, device_stats, device_reg)
+        });
+        for (row, stats, device_reg) in per_device {
+            reg.merge(&device_reg);
+            reg.inc("oldversion.devices.scanned");
+            if let Some(row) = &row {
+                if row.tls10 {
+                    reg.inc("oldversion.accepts.tls10");
+                }
+                if row.tls11 {
+                    reg.inc("oldversion.accepts.tls11");
+                }
+            }
+            rows.extend(row);
+            fault_stats.merge(&stats);
+        }
+        ctx.merge_metrics(&reg);
+        OldVersionReport { rows, fault_stats }
+    }
+}
+
+impl Report for OldVersionReport {
+    fn to_json(&self) -> Json {
+        let rows = self
+            .rows
+            .iter()
+            .map(|r| {
+                Json::Obj(vec![
+                    ("device".into(), Json::Str(r.device.clone())),
+                    ("tls10".into(), Json::Bool(r.tls10)),
+                    ("tls11".into(), Json::Bool(r.tls11)),
+                ])
+            })
+            .collect();
+        Json::Obj(vec![
+            ("rows".into(), Json::Arr(rows)),
+            ("fault_stats".into(), fault_stats_json(&self.fault_stats)),
+        ])
+    }
+
+    fn fixtures(&self) -> &'static [&'static str] {
+        &["table6_old_versions"]
+    }
+
+    fn fault_stats(&self) -> Option<&FaultStats> {
+        Some(&self.fault_stats)
+    }
 }
 
 #[cfg(test)]

@@ -5,14 +5,18 @@
 //! "snapshot in time" the paper fingerprints, since passive data may
 //! mix library versions across firmware updates.
 
-use crate::lab::ActiveLab;
+use crate::experiment::{
+    fault_stats_json, Experiment, ExperimentCtx, FingerprintSurveyor, Report,
+};
+use crate::lab::{ActiveLab, FaultStats};
+use iotls_capture::json::Json;
 use iotls_devices::Testbed;
 use iotls_obs::Registry;
 use iotls_tls::fingerprint::FingerprintId;
 use std::collections::{BTreeMap, BTreeSet};
 
 /// The survey result.
-#[derive(Debug, Default)]
+#[derive(Debug, Clone, Default)]
 pub struct FingerprintSurvey {
     /// Device → set of fingerprints observed.
     pub by_device: BTreeMap<String, BTreeSet<FingerprintId>>,
@@ -21,6 +25,9 @@ pub struct FingerprintSurvey {
     pub dominant: BTreeMap<String, FingerprintId>,
     /// Fingerprint → devices using it.
     pub by_fingerprint: BTreeMap<FingerprintId, BTreeSet<String>>,
+    /// Fault/recovery counters aggregated across the survey labs. All
+    /// zeros outside chaos runs.
+    pub fault_stats: FaultStats,
 }
 
 impl FingerprintSurvey {
@@ -55,64 +62,119 @@ impl FingerprintSurvey {
     }
 }
 
-/// Runs the survey over every active device.
+/// Runs the survey over every active device with the default context.
 pub fn run_fingerprint_survey(testbed: &Testbed, seed: u64) -> FingerprintSurvey {
-    run_fingerprint_survey_metered(testbed, seed, &mut Registry::new())
+    FingerprintSurveyor.run(testbed, &ExperimentCtx::new(seed))
 }
 
-/// [`run_fingerprint_survey`] recording metrics into `reg`: per-lab
-/// `sim.*`/`core.*` counters merged in roster order plus
-/// `fingerprints.*` distinct/observation tallies.
-pub fn run_fingerprint_survey_metered(
-    testbed: &Testbed,
-    seed: u64,
-    reg: &mut Registry,
-) -> FingerprintSurvey {
-    let mut survey = FingerprintSurvey::default();
-    // Per-device collection fans out; the BTreeMap accumulators make
-    // the merge order-insensitive anyway, but the ordered merge keeps
-    // the degenerate paths identical too.
-    let devices: Vec<_> = testbed.devices.iter().filter(|d| d.spec.in_active).collect();
-    let per_device = iotls_simnet::ordered_map(devices, |device| {
-        let mut lab = ActiveLab::new(testbed, seed ^ 0xF19E4);
-        let mut counts: BTreeMap<FingerprintId, u64> = BTreeMap::new();
-        let mut seen: BTreeSet<FingerprintId> = BTreeSet::new();
-        // A few reboots to ride out flaky boots and reach follow-up
-        // destinations.
-        for _ in 0..4 {
-            let outcomes = lab.boot_and_connect(device, None);
-            for o in &outcomes {
-                *counts.entry(o.first_fingerprint).or_insert(0) += 1;
-                seen.insert(o.first_fingerprint);
-            }
-        }
-        let dominant = counts.iter().max_by_key(|(_, c)| **c).map(|(fp, _)| *fp);
-        (device.spec.name.clone(), seen, dominant, lab.metrics())
-    });
+impl Experiment for FingerprintSurveyor {
+    type Report = FingerprintSurvey;
 
-    for (name, seen, dominant, device_reg) in per_device {
-        reg.merge(&device_reg);
-        reg.inc("fingerprints.devices.surveyed");
-        reg.add("fingerprints.distinct_per_device", seen.len() as u64);
-        for fp in &seen {
-            survey
-                .by_fingerprint
-                .entry(*fp)
-                .or_default()
-                .insert(name.clone());
-        }
-        if !seen.is_empty() {
-            survey.by_device.insert(name.clone(), seen);
-        }
-        if let Some(fp) = dominant {
-            survey.dominant.insert(name, fp);
-        }
+    fn name(&self) -> &'static str {
+        "fingerprint_survey"
     }
-    reg.set_gauge(
-        "fingerprints.distinct",
-        survey.by_fingerprint.len() as i64,
-    );
-    survey
+
+    /// Runs the survey under the context: per-lab `sim.*`/`core.*`
+    /// counters merge in roster order plus `fingerprints.*`
+    /// distinct/observation tallies.
+    fn run(&self, testbed: &Testbed, ctx: &ExperimentCtx) -> FingerprintSurvey {
+        let seed = ctx.seed();
+        let mut survey = FingerprintSurvey::default();
+        let mut reg = Registry::new();
+        // Per-device collection fans out; the BTreeMap accumulators
+        // make the merge order-insensitive anyway, but the ordered
+        // merge keeps the degenerate paths identical too.
+        let devices: Vec<_> = testbed.devices.iter().filter(|d| d.spec.in_active).collect();
+        let per_device = iotls_simnet::ordered_map_with(ctx.threads(), devices, |device| {
+            let mut lab = ActiveLab::with_ctx(testbed, ctx, seed ^ 0xF19E4);
+            let mut counts: BTreeMap<FingerprintId, u64> = BTreeMap::new();
+            let mut seen: BTreeSet<FingerprintId> = BTreeSet::new();
+            // A few reboots to ride out flaky boots and reach
+            // follow-up destinations.
+            for _ in 0..4 {
+                let outcomes = lab.boot_and_connect(device, None);
+                for o in &outcomes {
+                    *counts.entry(o.first_fingerprint).or_insert(0) += 1;
+                    seen.insert(o.first_fingerprint);
+                }
+            }
+            let dominant = counts.iter().max_by_key(|(_, c)| **c).map(|(fp, _)| *fp);
+            (
+                device.spec.name.clone(),
+                seen,
+                dominant,
+                lab.fault_stats(),
+                lab.metrics(),
+            )
+        });
+
+        for (name, seen, dominant, stats, device_reg) in per_device {
+            reg.merge(&device_reg);
+            reg.inc("fingerprints.devices.surveyed");
+            reg.add("fingerprints.distinct_per_device", seen.len() as u64);
+            for fp in &seen {
+                survey
+                    .by_fingerprint
+                    .entry(*fp)
+                    .or_default()
+                    .insert(name.clone());
+            }
+            if !seen.is_empty() {
+                survey.by_device.insert(name.clone(), seen);
+            }
+            if let Some(fp) = dominant {
+                survey.dominant.insert(name, fp);
+            }
+            survey.fault_stats.merge(&stats);
+        }
+        reg.set_gauge(
+            "fingerprints.distinct",
+            survey.by_fingerprint.len() as i64,
+        );
+        ctx.merge_metrics(&reg);
+        survey
+    }
+}
+
+impl Report for FingerprintSurvey {
+    fn to_json(&self) -> Json {
+        let by_device = self
+            .by_device
+            .iter()
+            .map(|(name, fps)| {
+                (
+                    name.clone(),
+                    Json::Arr(fps.iter().map(|fp| Json::Str(fp.to_string())).collect()),
+                )
+            })
+            .collect();
+        let shared = self
+            .shared_fingerprints()
+            .into_iter()
+            .map(|(fp, devices)| {
+                Json::Obj(vec![
+                    ("fingerprint".into(), Json::Str(fp.to_string())),
+                    (
+                        "devices".into(),
+                        Json::Arr(devices.iter().map(|d| Json::Str(d.clone())).collect()),
+                    ),
+                ])
+            })
+            .collect();
+        Json::Obj(vec![
+            ("by_device".into(), Json::Obj(by_device)),
+            ("shared".into(), Json::Arr(shared)),
+            ("fault_stats".into(), fault_stats_json(&self.fault_stats)),
+        ])
+    }
+
+    fn fixtures(&self) -> &'static [&'static str] {
+        &["fig5_sharing_graph"]
+    }
+
+    fn fault_stats(&self) -> Option<&FaultStats> {
+        Some(&self.fault_stats)
+    }
 }
 
 #[cfg(test)]

@@ -8,6 +8,7 @@
 //! [`crate::rootprobe`] only look at what crosses the wire.
 
 use crate::attacker::{Attacker, InterceptPolicy};
+use crate::experiment::ExperimentCtx;
 use iotls_crypto::drbg::Drbg;
 use iotls_devices::spec::Destination;
 use iotls_devices::{apply_fallback, client_config, DeviceSetup, Testbed};
@@ -112,25 +113,49 @@ pub struct ConnectionOutcome {
     pub first_hello: iotls_tls::ClientHello,
 }
 
+/// The experiment context a lab answers to: borrowed from an engine
+/// (the normal path — many labs share one ctx), or owned when the lab
+/// is constructed stand-alone via [`ActiveLab::new`] /
+/// [`ActiveLab::with_faults`].
+enum LabCtx<'a> {
+    /// An engine's context, shared across its per-device labs.
+    Borrowed(&'a ExperimentCtx),
+    /// A hermetic context for stand-alone labs.
+    Owned(Box<ExperimentCtx>),
+}
+
+impl LabCtx<'_> {
+    fn get(&self) -> &ExperimentCtx {
+        match self {
+            LabCtx::Borrowed(ctx) => ctx,
+            LabCtx::Owned(ctx) => ctx,
+        }
+    }
+}
+
 /// The laboratory: the testbed plus an attacker and device states.
 pub struct ActiveLab<'a> {
     /// The testbed under test.
     pub testbed: &'a Testbed,
     /// The on-path attacker.
     pub attacker: Attacker,
+    /// The fault plan and cache policy come from here; the lab holds
+    /// no parallel copies of the ctx's fields.
+    ctx: LabCtx<'a>,
     states: HashMap<String, DeviceState>,
     rng: Drbg,
     now: Timestamp,
-    plan: FaultPlan,
     dns: DnsTable,
     stats: FaultStats,
     /// Monotone per-lab attempt counter; keys the fault schedule so
     /// every re-dial draws a fresh fault decision.
     attempt_seq: u64,
     /// Validation-verdict memoization shared by every handshake the
-    /// lab drives. Per-lab (never global) so the hit/miss counters are
-    /// part of the run's deterministic output.
-    verify_cache: std::sync::Arc<iotls_x509::cache::VerificationCache>,
+    /// lab drives, resolved from the ctx's [`iotls_x509::CacheScope`]
+    /// at construction (`None` disables memoization). Per-lab under
+    /// the default scope, so the hit/miss counters are part of the
+    /// run's deterministic output.
+    verify_cache: Option<std::sync::Arc<iotls_x509::cache::VerificationCache>>,
     /// Live `sim.*` session counters for every session this lab
     /// drives. Per-lab, like the cache: engines merge per-device lab
     /// registries in roster order, keeping the merged snapshot
@@ -146,25 +171,46 @@ impl<'a> ActiveLab<'a> {
 
     /// Sets up the lab with an injected-fault schedule (chaos runs).
     pub fn with_faults(testbed: &'a Testbed, seed: u64, plan: FaultPlan) -> ActiveLab<'a> {
+        Self::init(testbed, seed, LabCtx::Owned(Box::new(ExperimentCtx::bare(seed, plan))))
+    }
+
+    /// Sets up a lab borrowing an engine's context. `lab_seed` is the
+    /// engine-derived lab seed (a pure function of `ctx.seed()`), kept
+    /// separate so the XOR derivations of the six engines stay intact.
+    pub fn with_ctx(
+        testbed: &'a Testbed,
+        ctx: &'a ExperimentCtx,
+        lab_seed: u64,
+    ) -> ActiveLab<'a> {
+        Self::init(testbed, lab_seed, LabCtx::Borrowed(ctx))
+    }
+
+    fn init(testbed: &'a Testbed, seed: u64, ctx: LabCtx<'a>) -> ActiveLab<'a> {
         let mut dns = DnsTable::new();
         for device in &testbed.devices {
             for dest in &device.spec.destinations {
                 dns.register(&dest.hostname);
             }
         }
+        let verify_cache = ctx.get().lab_cache();
         ActiveLab {
             testbed,
             attacker: Attacker::new(testbed.pki, seed),
+            ctx,
             states: HashMap::new(),
             rng: Drbg::from_seed(seed).fork("active-lab"),
             now: iotls_rootstore::probe_time(),
-            plan,
             dns,
             stats: FaultStats::default(),
             attempt_seq: 0,
-            verify_cache: std::sync::Arc::default(),
+            verify_cache,
             obs: Registry::new(),
         }
+    }
+
+    /// The experiment context this lab answers to.
+    pub fn ctx(&self) -> &ExperimentCtx {
+        self.ctx.get()
     }
 
     /// The probe-time clock.
@@ -178,9 +224,10 @@ impl<'a> ActiveLab<'a> {
     }
 
     /// Verification-cache hit/miss counters accumulated so far
-    /// (reported next to [`FaultStats`]).
+    /// (reported next to [`FaultStats`]; all zeros when the ctx
+    /// disabled caching).
     pub fn verify_cache_stats(&self) -> iotls_x509::cache::CacheStats {
-        self.verify_cache.stats()
+        self.verify_cache.as_deref().map(|c| c.stats()).unwrap_or_default()
     }
 
     /// The lab's DNS view (registry plus per-device query log).
@@ -207,7 +254,9 @@ impl<'a> ActiveLab<'a> {
         reg.add("core.recovered", s.recovered);
         reg.add("core.unrecovered", s.unrecovered);
         reg.add("core.backoff.virtual_secs", s.backoff_virtual_secs);
-        self.verify_cache.export_metrics(&mut reg);
+        if let Some(cache) = &self.verify_cache {
+            cache.export_metrics(&mut reg);
+        }
         reg
     }
 
@@ -332,10 +381,10 @@ impl<'a> ActiveLab<'a> {
         for try_idx in 0..INLINE_RETRY_BUDGET {
             let seq = self.attempt_seq;
             self.attempt_seq += 1;
-            let faults = self.plan.session_faults(&format!("{conn_key}/try{seq}"));
+            let faults = self.ctx.get().plan().session_faults(&format!("{conn_key}/try{seq}"));
 
             let mut cfg = client_config(&spec, device.truth.store.clone());
-            cfg.verify_cache = Some(self.verify_cache.clone());
+            cfg.verify_cache = self.verify_cache.clone();
             if validation_disabled {
                 cfg.validation_policy = ValidationPolicy::no_validation();
             }
@@ -456,7 +505,7 @@ impl<'a> ActiveLab<'a> {
     /// an injected fault that re-dialing inside the attempt could not
     /// heal (a mid-handshake power loss, or an exhausted inline
     /// budget), waits out a virtual backoff and reconnects, up to
-    /// [`RECONNECT_BUDGET`] times. The reconnect re-runs the full
+    /// `RECONNECT_BUDGET` times. The reconnect re-runs the full
     /// device connection logic — same boot count, same handshake
     /// randomness — so a recovered outcome is exactly what a
     /// fault-free run would have measured.

@@ -29,12 +29,18 @@
 //! * [`fingerprints`] — the active fingerprint survey (§5.3,
 //!   Figure 5 input);
 //! * [`auditor`] — the §6 recommendations implemented: the vendor
-//!   auditing service and the SPIN-style guardian gateway.
+//!   auditing service and the SPIN-style guardian gateway;
+//! * [`experiment`] — the experiment runtime: [`ExperimentCtx`]
+//!   (seed, fault plan, thread policy, metrics shard, verification
+//!   cache), the [`Experiment`]/[`Report`] traits every engine
+//!   implements, and the [`Orchestrator`] that runs any subset of
+//!   experiments from one context.
 
 pub mod attacker;
 pub mod audit;
 pub mod auditor;
 pub mod downgrade;
+pub mod experiment;
 pub mod fingerprints;
 pub mod lab;
 pub mod party;
@@ -42,29 +48,30 @@ pub mod passive;
 pub mod rootprobe;
 
 pub use attacker::{Attacker, InterceptPolicy, ATTACKER_DOMAIN};
-pub use audit::{
-    run_interception_audit, run_interception_audit_metered, run_interception_audit_with,
-    InterceptionReport, InterceptionRow, SENSITIVE_MARKERS,
-};
+pub use audit::{run_interception_audit, InterceptionReport, InterceptionRow, SENSITIVE_MARKERS};
 pub use auditor::{
-    grade, grade_client_hello, guardian_verdict, run_audit_service, run_audit_service_metered,
-    AuditIssue, DeviceAudit, Grade, GuardianAction, InstanceAudit,
+    grade, grade_client_hello, guardian_verdict, run_audit_service, AuditIssue, AuditorReport,
+    DeviceAudit, Grade, GuardianAction, InstanceAudit,
 };
 pub use downgrade::{
-    classify_downgrade, run_downgrade_probe, run_downgrade_probe_metered,
-    run_downgrade_probe_with, run_old_version_scan, run_old_version_scan_metered,
-    run_old_version_scan_with, DowngradeKind, DowngradeRow, OldVersionRow,
+    classify_downgrade, run_downgrade_probe, run_old_version_scan, DowngradeKind, DowngradeReport,
+    DowngradeRow, OldVersionReport, OldVersionRow,
 };
-pub use fingerprints::{run_fingerprint_survey, run_fingerprint_survey_metered, FingerprintSurvey};
+pub use experiment::{
+    cache_stats_json, fault_stats_json, AuditService, DowngradeProbe, Experiment, ExperimentCtx,
+    ExperimentCtxBuilder, ExperimentError, ExperimentKind, ExperimentReport, ExperimentRun,
+    FingerprintSurveyor, InterceptionAudit, OldVersionScan, Orchestrator, Report, RootProbe,
+    METRICS_ENV,
+};
+pub use fingerprints::{run_fingerprint_survey, FingerprintSurvey};
 pub use lab::{ActiveLab, ConnectionOutcome, DeviceState, FaultStats};
 pub use party::{label_party, party_version_bias, PartyBiasRow, THIRD_PARTY_DOMAINS};
 pub use passive::{
-    analyze_columnar, analyze_columnar_metered, analyze_streamed, analyze_streamed_metered,
-    cipher_series, passive_summary, revocation_summary, version_series, version_transitions,
-    CipherMix, PassiveAccumulator, PassiveAnalysis, PassiveSummary, RevocationSummary, Series,
-    VersionMix, VersionTransition,
+    analyze_columnar, analyze_streamed, cipher_series, passive_summary, revocation_summary,
+    version_series, version_transitions, CipherMix, PassiveAccumulator, PassiveAnalysis,
+    PassiveSummary, RevocationSummary, Series, VersionMix, VersionTransition,
 };
 pub use rootprobe::{
-    library_alert_matrix, run_root_probe, run_root_probe_metered, run_root_probe_with,
-    LibraryAlertRow, ProbeVerdict, RootProbeReport, RootProbeRow,
+    library_alert_matrix, run_root_probe, LibraryAlertRow, ProbeVerdict, RootProbeReport,
+    RootProbeRow,
 };

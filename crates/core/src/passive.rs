@@ -4,13 +4,12 @@
 //! Consumes the weighted observation dataset and produces per-device
 //! monthly series plus the summary statistics quoted in the text.
 
+use crate::experiment::ExperimentCtx;
 use iotls_capture::{
-    generate_streamed, generate_streamed_metered, ColumnarDataset, Interner, ObsChunk,
-    PassiveDataset, RevRow, RevocationKind, Symbol,
+    ColumnarDataset, Interner, ObsChunk, PassiveDataset, RevRow, RevocationKind, Symbol,
 };
 use iotls_devices::Testbed;
 use iotls_obs::Registry;
-use iotls_simnet::FaultPlan;
 use iotls_tls::version::ProtocolVersion;
 use iotls_x509::{Month, Timestamp};
 use std::collections::{BTreeMap, BTreeSet};
@@ -766,14 +765,11 @@ impl PassiveAccumulator {
     }
 }
 
-/// Analyzes an in-memory columnar dataset in one pass.
-pub fn analyze_columnar(ds: &ColumnarDataset) -> PassiveAnalysis {
-    analyze_columnar_metered(ds, &mut Registry::new())
-}
-
-/// [`analyze_columnar`] recording `passive.*` counters (chunks/rows/
-/// flows folded, weighted connections) into `reg`.
-pub fn analyze_columnar_metered(ds: &ColumnarDataset, reg: &mut Registry) -> PassiveAnalysis {
+/// Analyzes an in-memory columnar dataset in one pass, recording
+/// `passive.*` counters (chunks/rows/flows folded, weighted
+/// connections) into the context's metrics shard.
+pub fn analyze_columnar(ds: &ColumnarDataset, ctx: &ExperimentCtx) -> PassiveAnalysis {
+    let mut reg = Registry::new();
     let mut acc = PassiveAccumulator::new();
     for chunk in &ds.chunks {
         reg.inc("passive.chunks.analyzed");
@@ -783,6 +779,7 @@ pub fn analyze_columnar_metered(ds: &ColumnarDataset, reg: &mut Registry) -> Pas
     acc.add_flows(&ds.revocation_flows);
     reg.add("passive.flows.analyzed", ds.revocation_flows.len() as u64);
     reg.add("passive.connections", acc.total);
+    ctx.merge_metrics(&reg);
     acc.finish(&ds.strings)
 }
 
@@ -791,51 +788,31 @@ pub fn analyze_columnar_metered(ds: &ColumnarDataset, reg: &mut Registry) -> Pas
 /// dropped, so peak memory is one chunk plus the integer cells —
 /// independent of row count. `max_count_per_row` sets the paper-scale
 /// expansion (`u64::MAX` = seed-scale weighted rows, `1` = one row
-/// per simulated connection, ≈17M rows).
+/// per simulated connection, ≈17M rows). The generator's
+/// `sim.*`/`capture.*` counters plus the analyzer's `passive.*`
+/// counters land in the context's metrics shard, byte-identical at
+/// any thread count.
 pub fn analyze_streamed(
     testbed: &Testbed,
-    seed: u64,
-    plan: FaultPlan,
+    ctx: &ExperimentCtx,
     max_count_per_row: u64,
 ) -> PassiveAnalysis {
-    let mut acc = PassiveAccumulator::new();
-    let tail = generate_streamed(testbed, seed, plan, max_count_per_row, &mut |chunk| {
-        acc.add_chunk(&chunk);
-    });
-    acc.add_flows(&tail.revocation_flows);
-    acc.finish(&tail.strings)
-}
-
-/// [`analyze_streamed`] with full pipeline metrics: the generator's
-/// `sim.*`/`capture.*` counters plus the analyzer's `passive.*`
-/// counters land in `reg`, byte-identical at any `IOTLS_THREADS`.
-pub fn analyze_streamed_metered(
-    testbed: &Testbed,
-    seed: u64,
-    plan: FaultPlan,
-    max_count_per_row: u64,
-    reg: &mut Registry,
-) -> PassiveAnalysis {
+    let mut reg = Registry::new();
     let mut acc = PassiveAccumulator::new();
     let mut chunks = 0u64;
     let mut rows = 0u64;
-    let tail = generate_streamed_metered(
-        testbed,
-        seed,
-        plan,
-        max_count_per_row,
-        &mut |chunk| {
-            chunks += 1;
-            rows += chunk.len() as u64;
-            acc.add_chunk(&chunk);
-        },
-        reg,
-    );
+    let capture = ctx.capture_ctx();
+    let tail = capture.generate_streamed(testbed, max_count_per_row, &mut |chunk| {
+        chunks += 1;
+        rows += chunk.len() as u64;
+        acc.add_chunk(&chunk);
+    });
     reg.add("passive.chunks.analyzed", chunks);
     reg.add("passive.rows.analyzed", rows);
     acc.add_flows(&tail.revocation_flows);
     reg.add("passive.flows.analyzed", tail.revocation_flows.len() as u64);
     reg.add("passive.connections", acc.total);
+    ctx.merge_metrics(&reg);
     acc.finish(&tail.strings)
 }
 
@@ -951,7 +928,7 @@ mod tests {
     fn accumulator_matches_legacy_row_scan_exactly() {
         let ds = global_dataset();
         let cds = iotls_capture::global_columnar();
-        let a = analyze_columnar(cds);
+        let a = analyze_columnar(cds, &ExperimentCtx::new(0));
         assert_eq!(a.version_series, version_series(ds));
         assert_eq!(a.cipher_series, cipher_series(ds));
         assert_eq!(a.transitions, version_transitions(ds));
@@ -964,7 +941,7 @@ mod tests {
     #[test]
     fn accumulator_partials_merge_associatively() {
         let cds = iotls_capture::global_columnar();
-        let whole = analyze_columnar(cds);
+        let whole = analyze_columnar(cds, &ExperimentCtx::new(0));
 
         // Split the chunk stream across two partials, flows in the
         // second, then merge in the "wrong" order.
@@ -985,32 +962,22 @@ mod tests {
     #[test]
     fn streamed_analysis_matches_in_memory() {
         use iotls_devices::Testbed;
-        use iotls_simnet::FaultPlan;
         let cds = iotls_capture::global_columnar();
-        let whole = analyze_columnar(cds);
-        let streamed = analyze_streamed(
-            Testbed::global(),
-            iotls_capture::DEFAULT_SEED,
-            FaultPlan::none(),
-            u64::MAX,
-        );
+        let ctx = ExperimentCtx::new(iotls_capture::DEFAULT_SEED);
+        let whole = analyze_columnar(cds, &ctx);
+        let streamed = analyze_streamed(Testbed::global(), &ctx, u64::MAX);
         assert_eq!(streamed, whole);
     }
 
     #[test]
     fn row_expansion_preserves_analysis() {
         use iotls_devices::Testbed;
-        use iotls_simnet::FaultPlan;
         // Splitting weighted rows into many unit rows must not change
         // any fraction, transition, or summary: the accumulator sums
         // the same integers.
-        let whole = analyze_columnar(iotls_capture::global_columnar());
-        let split = analyze_streamed(
-            Testbed::global(),
-            iotls_capture::DEFAULT_SEED,
-            FaultPlan::none(),
-            50_000,
-        );
+        let ctx = ExperimentCtx::new(iotls_capture::DEFAULT_SEED);
+        let whole = analyze_columnar(iotls_capture::global_columnar(), &ctx);
+        let split = analyze_streamed(Testbed::global(), &ctx, 50_000);
         assert_eq!(split, whole);
     }
 

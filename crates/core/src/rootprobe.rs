@@ -11,13 +11,17 @@
 //! the wire only; ground-truth store contents are never read.
 
 use crate::attacker::InterceptPolicy;
+use crate::experiment::{
+    cache_stats_json, fault_stats_json, Experiment, ExperimentCtx, Report, RootProbe,
+};
 use crate::lab::{ActiveLab, FaultStats};
+use iotls_capture::json::Json;
 use iotls_devices::{canonical_probe_order, DeviceSetup, Testbed};
 use iotls_obs::Registry;
 use iotls_rootstore::CaId;
-use iotls_simnet::FaultPlan;
 use iotls_tls::alert::AlertDescription;
 use iotls_tls::profile::LibraryProfile;
+use iotls_x509::cache::CacheStats;
 use iotls_x509::ValidationError;
 use std::collections::BTreeMap;
 
@@ -75,7 +79,7 @@ impl RootProbeRow {
 }
 
 /// Full probe report.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct RootProbeReport {
     /// Devices excluded as unsafe to reboot.
     pub excluded_reboot_unsafe: Vec<String>,
@@ -167,34 +171,106 @@ fn probe_retrying(
     None
 }
 
-/// Runs the full root-store exploration over the testbed.
+/// Runs the full root-store exploration over the testbed with the
+/// default context.
 pub fn run_root_probe(testbed: &Testbed, seed: u64) -> RootProbeReport {
-    run_root_probe_with(testbed, seed, FaultPlan::none())
+    RootProbe.run(testbed, &ExperimentCtx::new(seed))
 }
 
-/// Runs the root-store exploration under an injected-fault schedule.
-///
-/// Fault-tainted probes are provisionally inconclusive; after the main
-/// verdict pass, those certificates are re-probed across extra
-/// simulated reboots under a bounded retry budget. The extra reboots
-/// come *after* the full pass so the main pass's alignment with the
-/// device's flaky-boot schedule is untouched, and alert identity does
-/// not depend on the boot index — a recovered verdict is exactly what
-/// a fault-free run measures.
-pub fn run_root_probe_with(testbed: &Testbed, seed: u64, plan: FaultPlan) -> RootProbeReport {
-    run_root_probe_metered(testbed, seed, plan, &mut Registry::new())
+impl Experiment for RootProbe {
+    type Report = RootProbeReport;
+
+    fn name(&self) -> &'static str {
+        "root_probe"
+    }
+
+    /// Runs the root-store exploration under the context's fault
+    /// schedule.
+    ///
+    /// Fault-tainted probes are provisionally inconclusive; after the
+    /// main verdict pass, those certificates are re-probed across
+    /// extra simulated reboots under a bounded retry budget. The extra
+    /// reboots come *after* the full pass so the main pass's alignment
+    /// with the device's flaky-boot schedule is untouched, and alert
+    /// identity does not depend on the boot index — a recovered
+    /// verdict is exactly what a fault-free run measures. Per-lab
+    /// `sim.*`/`core.*`/`x509.*` counters merge in roster order, plus
+    /// `rootprobe.*` fate and verdict counters tallied in the
+    /// sequential merge — identical at any thread count.
+    fn run(&self, testbed: &Testbed, ctx: &ExperimentCtx) -> RootProbeReport {
+        probe_all(testbed, ctx)
+    }
 }
 
-/// [`run_root_probe_with`] recording metrics into `reg`: per-lab
-/// `sim.*`/`core.*`/`x509.*` counters merged in roster order, plus
-/// `rootprobe.*` fate and verdict counters tallied in the sequential
-/// merge — identical at any `IOTLS_THREADS`.
-pub fn run_root_probe_metered(
-    testbed: &Testbed,
-    seed: u64,
-    plan: FaultPlan,
-    reg: &mut Registry,
-) -> RootProbeReport {
+impl Report for RootProbeReport {
+    fn to_json(&self) -> Json {
+        let str_arr = |names: &[String]| {
+            Json::Arr(names.iter().map(|n| Json::Str(n.clone())).collect())
+        };
+        let rows = self
+            .rows
+            .iter()
+            .map(|r| {
+                let (common_present, common_conclusive) = r.common_ratio();
+                let (dep_present, dep_conclusive) = r.deprecated_ratio();
+                Json::Obj(vec![
+                    ("device".into(), Json::Str(r.device.clone())),
+                    ("amenable".into(), Json::Bool(r.amenable)),
+                    ("common_present".into(), Json::Num(common_present as i128)),
+                    (
+                        "common_conclusive".into(),
+                        Json::Num(common_conclusive as i128),
+                    ),
+                    ("deprecated_present".into(), Json::Num(dep_present as i128)),
+                    (
+                        "deprecated_conclusive".into(),
+                        Json::Num(dep_conclusive as i128),
+                    ),
+                ])
+            })
+            .collect();
+        Json::Obj(vec![
+            (
+                "excluded_reboot_unsafe".into(),
+                str_arr(&self.excluded_reboot_unsafe),
+            ),
+            (
+                "excluded_no_validation".into(),
+                str_arr(&self.excluded_no_validation),
+            ),
+            ("rows".into(), Json::Arr(rows)),
+            (
+                "reprobed_verdicts".into(),
+                Json::Num(self.reprobed_verdicts as i128),
+            ),
+            ("fault_stats".into(), fault_stats_json(&self.fault_stats)),
+            (
+                "verify_cache".into(),
+                cache_stats_json(&self.verify_cache_stats),
+            ),
+        ])
+    }
+
+    fn fixtures(&self) -> &'static [&'static str] {
+        &["table9_rootstores", "fig4_staleness"]
+    }
+
+    fn fault_stats(&self) -> Option<&FaultStats> {
+        Some(&self.fault_stats)
+    }
+
+    fn cache_stats(&self) -> Option<CacheStats> {
+        Some(self.verify_cache_stats)
+    }
+}
+
+/// The probe body shared by the [`Experiment`] impl: fans devices out
+/// under the context's thread policy and merges per-device shards in
+/// roster order.
+fn probe_all(testbed: &Testbed, ctx: &ExperimentCtx) -> RootProbeReport {
+    let seed = ctx.seed();
+    let mut reg_local = Registry::new();
+    let reg = &mut reg_local;
     let order = canonical_probe_order(testbed.pki);
     let common_len = testbed.pki.common.len();
     let mut excluded_reboot_unsafe = Vec::new();
@@ -213,9 +289,9 @@ pub fn run_root_probe_metered(
     }
 
     let devices: Vec<_> = testbed.devices.iter().filter(|d| d.spec.in_active).collect();
-    let per_device = iotls_simnet::ordered_map(devices, |device| {
+    let per_device = iotls_simnet::ordered_map_with(ctx.threads(), devices, |device| {
         let mut device_stats = FaultStats::default();
-        let mut device_cache = iotls_x509::cache::CacheStats::default();
+        let mut device_cache = CacheStats::default();
         let mut device_reg = Registry::new();
         let mut device_reprobed = 0usize;
         if !device.spec.reboot_safe {
@@ -235,7 +311,7 @@ pub fn run_root_probe_metered(
         // verdict: it earns an extra screening attempt instead of
         // consuming one.
         {
-            let mut lab = ActiveLab::with_faults(testbed, seed ^ 0x5C4EE4, plan);
+            let mut lab = ActiveLab::with_ctx(testbed, ctx, seed ^ 0x5C4EE4);
             let mut never_validates = false;
             let mut budget = 5;
             let mut attempts = 0;
@@ -278,7 +354,7 @@ pub fn run_root_probe_metered(
         let baseline;
         let known;
         {
-            let mut lab = ActiveLab::with_faults(testbed, seed ^ 0xA3E4AB, plan);
+            let mut lab = ActiveLab::with_ctx(testbed, ctx, seed ^ 0xA3E4AB);
             baseline = probe_retrying(&mut lab, device, &InterceptPolicy::SelfSigned, 8)
                 .flatten();
             let popular = testbed.pki.universe.get(testbed.pki.common[0]).cert.clone();
@@ -314,7 +390,7 @@ pub fn run_root_probe_metered(
             };
             // Fresh lab so probe boot k aligns with the device's boot
             // schedule for cert k.
-            let mut lab = ActiveLab::with_faults(testbed, seed ^ 0x9420BE, plan);
+            let mut lab = ActiveLab::with_ctx(testbed, ctx, seed ^ 0x9420BE);
             let mut faulted_probes: Vec<usize> = Vec::new();
             for (idx, ca_id) in order.iter().enumerate() {
                 let target = testbed.pki.universe.get(*ca_id).cert.clone();
@@ -406,6 +482,7 @@ pub fn run_root_probe_metered(
         reg.add("rootprobe.verdicts.reprobed", reprobed as u64);
         reprobed_verdicts += reprobed;
     }
+    ctx.merge_metrics(reg);
 
     RootProbeReport {
         excluded_reboot_unsafe,

@@ -60,7 +60,7 @@ const SECRET_BITS: u64 = 256;
 
 impl DhKeyPair {
     /// Generates an ephemeral keypair: a short-exponent secret in
-    /// `[2, 2^256 + 1]` (see [`SECRET_BITS`]), public = g^secret mod p.
+    /// `[2, 2^256 + 1]` (see `SECRET_BITS`), public = g^secret mod p.
     pub fn generate(group: &DhGroup, rng: &mut Drbg) -> Self {
         let upper = if group.p.bit_len() > SECRET_BITS as usize + 2 {
             Uint::one().shl(SECRET_BITS as usize)

@@ -13,7 +13,7 @@
 //! * [`mont::MontCtx`] — Montgomery-form multiplication and
 //!   fixed-window exponentiation, the hot path behind `Uint::modpow`
 //!   for odd moduli;
-//! * [`sha256`] — FIPS 180-4 SHA-256;
+//! * [`mod@sha256`] — FIPS 180-4 SHA-256;
 //! * [`hmac`] — HMAC-SHA256 (RFC 2104);
 //! * [`rsa`] — RSA keygen / PKCS#1 v1.5-shaped signatures and key
 //!   transport;
@@ -23,7 +23,7 @@
 //!   across the security spectrum the paper measures (real RC4 and
 //!   DES/3DES for the legacy suites, AES-128-CTR and ChaCha20 for
 //!   the modern ones);
-//! * [`md5`] — broken, but it is what JA3 fingerprints hash with;
+//! * [`mod@md5`] — broken, but it is what JA3 fingerprints hash with;
 //! * [`drbg`] — a fork-able deterministic random generator so every
 //!   experiment reproduces byte-for-byte from a single seed.
 //!

@@ -15,7 +15,7 @@
 //! * [`spec`] — specification types;
 //! * [`instance`] — shared TLS instance templates (the Fig. 5
 //!   fingerprint-sharing substrate) and spec → `ClientConfig`;
-//! * [`roster`] — the 40 devices;
+//! * [`mod@roster`] — the 40 devices;
 //! * [`rootsel`] — root-store ground truth construction;
 //! * [`cloud`] — cloud endpoint provisioning;
 //! * [`testbed`] — the assembled, cached [`testbed::Testbed`].

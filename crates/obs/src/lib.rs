@@ -384,6 +384,68 @@ fn encode_str(out: &mut String, s: &str) {
     out.push('"');
 }
 
+/// A cheaply cloneable handle to an optional shared [`Registry`] —
+/// the "record here if anyone is listening" half of an experiment
+/// context.
+///
+/// The default handle is a **no-op shard**: [`SharedRegistry::with`]
+/// and [`SharedRegistry::merge`] return immediately without locking
+/// or touching a registry, so unmetered runs pay nothing for the
+/// instrumentation plumbing. A live handle ([`SharedRegistry::live`])
+/// wraps one mutex-guarded [`Registry`] that any number of clones
+/// merge into.
+///
+/// The determinism discipline is unchanged: engines accumulate into a
+/// local [`Registry`] in roster order and [`merge`](Self::merge) the
+/// finished shard once at the end, so the shared registry receives
+/// the same bytes regardless of worker count.
+#[derive(Debug, Clone, Default)]
+pub struct SharedRegistry {
+    inner: Option<std::sync::Arc<std::sync::Mutex<Registry>>>,
+}
+
+impl SharedRegistry {
+    /// The no-op handle: every recording is dropped.
+    pub fn noop() -> SharedRegistry {
+        SharedRegistry::default()
+    }
+
+    /// A live handle around a fresh empty registry.
+    pub fn live() -> SharedRegistry {
+        SharedRegistry {
+            inner: Some(std::sync::Arc::new(std::sync::Mutex::new(Registry::new()))),
+        }
+    }
+
+    /// Whether recordings are kept (`true`) or dropped (`false`).
+    pub fn is_live(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// Runs `f` against the underlying registry; no-op handles skip
+    /// the closure entirely.
+    pub fn with(&self, f: impl FnOnce(&mut Registry)) {
+        if let Some(inner) = &self.inner {
+            f(&mut inner.lock().unwrap_or_else(|e| e.into_inner()));
+        }
+    }
+
+    /// Merges a finished local shard. Callers merge once from the
+    /// sequential roster-order loop, never per worker, so liveness
+    /// cannot change the merged bytes.
+    pub fn merge(&self, shard: &Registry) {
+        self.with(|reg| reg.merge(shard));
+    }
+
+    /// A clone of the accumulated registry (empty for no-op handles).
+    pub fn snapshot(&self) -> Registry {
+        match &self.inner {
+            Some(inner) => inner.lock().unwrap_or_else(|e| e.into_inner()).clone(),
+            None => Registry::new(),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -486,5 +548,32 @@ mod tests {
     fn mismatched_histogram_merge_panics() {
         let mut a = Histogram::new(&[1]);
         a.merge(&Histogram::new(&[2]));
+    }
+
+    #[test]
+    fn noop_shared_registry_drops_everything() {
+        let handle = SharedRegistry::noop();
+        assert!(!handle.is_live());
+        let mut touched = false;
+        handle.with(|_| touched = true);
+        assert!(!touched, "no-op handle ran the closure");
+        let mut shard = Registry::new();
+        shard.inc("dropped");
+        handle.merge(&shard);
+        assert!(handle.snapshot().is_empty());
+        assert!(!SharedRegistry::default().is_live());
+    }
+
+    #[test]
+    fn live_shared_registry_accumulates_across_clones() {
+        let handle = SharedRegistry::live();
+        assert!(handle.is_live());
+        let clone = handle.clone();
+        let mut shard = Registry::new();
+        shard.add("work.done", 3);
+        clone.merge(&shard);
+        handle.with(|reg| reg.inc("work.done"));
+        assert_eq!(handle.snapshot().counter("work.done"), 4);
+        assert_eq!(clone.snapshot().counter("work.done"), 4);
     }
 }

@@ -41,6 +41,6 @@ pub use fault::{
     DnsFault, FailureCause, FaultOp, FaultPlan, InjectedFault, LinkConditioner, SessionFaults,
 };
 pub use metrics::record_session_metrics;
-pub use par::{ordered_map, worker_count};
+pub use par::{ordered_map, ordered_map_with, worker_count};
 pub use pipe::{DuplexLink, Pipe};
 pub use tap::{GatewayTap, TlsObservation};

@@ -36,7 +36,8 @@ pub fn worker_count() -> usize {
         })
 }
 
-/// Applies `f` to every item and returns the outputs in input order.
+/// Applies `f` to every item and returns the outputs in input order,
+/// resolving the worker count from the environment on every call.
 ///
 /// `f` must depend only on its item (plus shared read-only state) —
 /// the usual shape is "build a fresh lab from a per-device seed, run
@@ -53,8 +54,23 @@ where
     if items.len() <= 1 {
         return items.into_iter().map(f).collect();
     }
-    let workers = worker_count().min(items.len());
-    if workers <= 1 {
+    ordered_map_with(worker_count(), items, f)
+}
+
+/// [`ordered_map`] with an explicit worker-count policy — the entry
+/// point for callers holding an experiment context that resolved
+/// `IOTLS_THREADS` once at construction instead of per fan-out.
+///
+/// `workers` is a ceiling, clamped to the item count; `0` and `1`
+/// both run the closure inline on the caller's thread.
+pub fn ordered_map_with<T, R, F>(workers: usize, items: Vec<T>, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    let workers = workers.min(items.len());
+    if items.len() <= 1 || workers <= 1 {
         return items.into_iter().map(f).collect();
     }
 
@@ -126,5 +142,23 @@ mod tests {
         let caller = std::thread::current().id();
         let out = ordered_map(vec![()], |()| std::thread::current().id());
         assert_eq!(out, vec![caller]);
+    }
+
+    #[test]
+    fn explicit_worker_policy_matches_env_path() {
+        let items: Vec<usize> = (0..64).collect();
+        let want: Vec<usize> = items.iter().map(|i| i * 7).collect();
+        for workers in [0, 1, 2, 8, 100] {
+            assert_eq!(ordered_map_with(workers, items.clone(), |i| i * 7), want);
+        }
+    }
+
+    #[test]
+    fn zero_and_one_worker_run_inline() {
+        let caller = std::thread::current().id();
+        for workers in [0, 1] {
+            let out = ordered_map_with(workers, vec![(), ()], |()| std::thread::current().id());
+            assert_eq!(out, vec![caller, caller]);
+        }
     }
 }

@@ -107,6 +107,39 @@ impl VerificationCache {
     }
 }
 
+/// How an experiment context scopes verification caching for the labs
+/// it spawns.
+///
+/// The default, [`CacheScope::PerLab`], hands every lab a fresh
+/// cache: hit/miss counters stay a pure function of that lab's seed,
+/// so parallel sweeps report identical numbers at any worker count.
+/// [`CacheScope::Shared`] trades that determinism of the *counters*
+/// (never of the verdicts — the cache memoizes a pure function) for
+/// cross-lab reuse, and [`CacheScope::Disabled`] turns memoization
+/// off entirely, which is the honest baseline for cache benchmarks.
+#[derive(Debug, Clone, Default)]
+pub enum CacheScope {
+    /// A fresh cache per lab (deterministic counters; the default).
+    #[default]
+    PerLab,
+    /// One cache shared by every lab the context spawns.
+    Shared(std::sync::Arc<VerificationCache>),
+    /// No memoization: every validation runs in full.
+    Disabled,
+}
+
+impl CacheScope {
+    /// The cache handle a newly constructed lab should install, or
+    /// `None` when caching is disabled.
+    pub fn lab_cache(&self) -> Option<std::sync::Arc<VerificationCache>> {
+        match self {
+            CacheScope::PerLab => Some(std::sync::Arc::default()),
+            CacheScope::Shared(cache) => Some(cache.clone()),
+            CacheScope::Disabled => None,
+        }
+    }
+}
+
 /// Digest of the chain as presented (order-sensitive).
 fn chain_digest(chain: &[Certificate]) -> [u8; 32] {
     let mut buf = Vec::with_capacity(chain.len() * 32);

@@ -35,7 +35,7 @@ pub mod time;
 pub mod tlv;
 pub mod verify;
 
-pub use cache::{CacheStats, VerificationCache};
+pub use cache::{CacheScope, CacheStats, VerificationCache};
 pub use cert::{
     BasicConstraints, Certificate, CertifiedKey, DistinguishedName, Extensions, IssueParams,
     KeyUsage, SignatureAlgorithm, TbsCertificate,

@@ -21,31 +21,21 @@
 //! dedup/pruning ratios) alongside wall-clock ones.
 //!
 //! Run with: `cargo run --release --example bench_workloads`
+//!
+//! All workloads run from one [`ExperimentCtx`] (re-seeded per
+//! workload), so `--threads`/`IOTLS_THREADS` and the metrics sink are
+//! resolved once, up front. Flags: `--seed N --threads N --faults PM
+//! --metrics` (see `iotls_repro::cli`).
 
-use iotls_repro::capture::{generate, generate_streamed, DEFAULT_SEED};
+use iotls_repro::capture::{generate, DEFAULT_SEED};
+use iotls_repro::cli::ExampleArgs;
 use iotls_repro::core::{
-    analyze_streamed_metered, cipher_series, passive_summary, revocation_summary,
-    run_interception_audit_metered, run_root_probe_metered, version_series, version_transitions,
+    analyze_streamed, cipher_series, passive_summary, revocation_summary, version_series,
+    version_transitions, Experiment, ExperimentCtx, InterceptionAudit, RootProbe,
 };
 use iotls_repro::devices::Testbed;
-use iotls_repro::obs::Registry;
-use iotls_repro::simnet::FaultPlan;
 use std::hint::black_box;
 use std::time::Instant;
-
-/// Worker count the engine will use: `IOTLS_THREADS` when set,
-/// otherwise the machine's available parallelism.
-fn threads() -> usize {
-    std::env::var("IOTLS_THREADS")
-        .ok()
-        .and_then(|v| v.parse::<usize>().ok())
-        .filter(|&n| n > 0)
-        .unwrap_or_else(|| {
-            std::thread::available_parallelism()
-                .map(|n| n.get())
-                .unwrap_or(1)
-        })
-}
 
 /// Resets the kernel's peak-RSS watermark for this process so each
 /// workload's `VmHWM` reading is its own (Linux ≥ 4.0; a failed write
@@ -88,8 +78,8 @@ fn timed(name: &str, threads: usize, f: impl FnOnce() -> String) -> String {
 /// Paper-scale passive run: ≥10M connections, one row each, streamed
 /// through the single-pass accumulator. Memory stays bounded at one
 /// open chunk plus the integer cells.
-fn passive_10m_streamed(reg: &mut Registry) -> String {
-    let a = analyze_streamed_metered(Testbed::global(), DEFAULT_SEED, FaultPlan::none(), 1, reg);
+fn passive_10m_streamed(ctx: &ExperimentCtx) -> String {
+    let a = analyze_streamed(Testbed::global(), ctx, 1);
     assert!(
         a.total_connections >= 10_000_000,
         "paper scale means >=10M connections, got {}",
@@ -105,15 +95,10 @@ fn passive_10m_streamed(reg: &mut Registry) -> String {
 /// row as a `String`-carrying observation, then run one full scan per
 /// deliverable (Figures 1–3 series, transitions, summary, Table 8),
 /// the way the row-vector pipeline did.
-fn passive_10m_legacy() -> String {
+fn passive_10m_legacy(ctx: &ExperimentCtx) -> String {
     let mut chunks = Vec::new();
-    let mut cds = generate_streamed(
-        Testbed::global(),
-        DEFAULT_SEED,
-        FaultPlan::none(),
-        1,
-        &mut |c| chunks.push(c),
-    );
+    let capture = ctx.capture_ctx();
+    let mut cds = capture.generate_streamed(Testbed::global(), 1, &mut |c| chunks.push(c));
     cds.chunks = chunks;
     let ds = cds.to_rows();
     drop(cds);
@@ -129,11 +114,14 @@ fn passive_10m_legacy() -> String {
 }
 
 fn main() {
-    let threads = threads();
+    let args = ExampleArgs::parse();
+    let ctx = args.ctx(DEFAULT_SEED);
+    let threads = ctx.threads();
     let legacy = std::env::var("IOTLS_BENCH_LEGACY").is_ok_and(|v| v == "1");
-    // Testbed/PKI construction is shared setup, not a workload.
+    // Testbed/PKI construction is shared setup, not a workload. The
+    // workloads pin their historical seeds (re-seeding the shared
+    // ctx) so bench snapshots stay comparable across runs.
     let tb = Testbed::global();
-    let mut reg = Registry::new();
 
     let entries = [
         timed("passive_generate", threads, || {
@@ -142,27 +130,25 @@ fn main() {
             String::new()
         }),
         timed("active_sweep", threads, || {
-            let report = run_interception_audit_metered(tb, 0x7AB1E7, FaultPlan::none(), &mut reg);
+            let report = InterceptionAudit.run(tb, &ctx.with_seed(0x7AB1E7));
             assert!(!report.rows.is_empty());
             String::new()
         }),
         timed("rootprobe_sweep", threads, || {
-            let report = run_root_probe_metered(tb, 0x6007, FaultPlan::none(), &mut reg);
+            let report = RootProbe.run(tb, &ctx.with_seed(0x6007));
             assert!(!report.rows.is_empty());
             String::new()
         }),
         timed("passive_10m", threads, || {
+            let passive = ctx.with_seed(DEFAULT_SEED);
             if legacy {
-                passive_10m_legacy()
+                passive_10m_legacy(&passive)
             } else {
-                passive_10m_streamed(&mut reg)
+                passive_10m_streamed(&passive)
             }
         }),
     ];
     println!("{}", entries.join(",\n"));
 
-    if let Ok(path) = std::env::var("IOTLS_METRICS") {
-        std::fs::write(&path, reg.to_json()).expect("write IOTLS_METRICS file");
-        eprintln!("bench: metrics written to {path}");
-    }
+    args.finish(&ctx);
 }

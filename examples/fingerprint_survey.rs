@@ -3,15 +3,22 @@
 //! and prints the Figure 5 sharing graph.
 //!
 //! Run with: `cargo run --release --example fingerprint_survey`
+//!
+//! Flags: `--seed N --threads N --faults PM --metrics` (see
+//! `iotls_repro::cli`).
 
 use iotls_repro::analysis::{FingerprintDb, SharingGraph};
-use iotls_repro::core::run_fingerprint_survey;
+use iotls_repro::cli::{fault_stats_line, ExampleArgs};
+use iotls_repro::core::{Experiment, FingerprintSurveyor};
 use iotls_repro::devices::Testbed;
 
 fn main() {
     println!("== IoTLS fingerprint survey (§5.3, Figure 5) ==\n");
 
-    let survey = run_fingerprint_survey(Testbed::global(), 0x5075);
+    let args = ExampleArgs::parse();
+    let ctx = args.ctx(0x5075);
+
+    let survey = FingerprintSurveyor.run(Testbed::global(), &ctx);
     println!(
         "{} active devices surveyed; {} distinct fingerprints observed",
         survey.by_device.len(),
@@ -42,4 +49,7 @@ fn main() {
     }
 
     println!("\nFigure 5 (text form):\n{}", graph.render());
+    println!("{}", fault_stats_line(&survey.fault_stats));
+
+    args.finish(&ctx);
 }

@@ -3,16 +3,23 @@
 //! with the Table 2 policies.
 //!
 //! Run with: `cargo run --release --example interception_audit`
+//!
+//! Flags: `--seed N --threads N --faults PM --metrics` (see
+//! `iotls_repro::cli`).
 
 use iotls_repro::analysis::tables;
-use iotls_repro::core::run_interception_audit;
+use iotls_repro::cli::{fault_stats_line, ExampleArgs};
+use iotls_repro::core::{Experiment, InterceptionAudit};
 use iotls_repro::devices::Testbed;
 
 fn main() {
     println!("== IoTLS interception audit (Tables 2 & 7) ==\n");
     println!("{}", tables::table2_attacks());
 
-    let report = run_interception_audit(Testbed::global(), 0x7AB1E7);
+    let args = ExampleArgs::parse();
+    let ctx = args.ctx(0x7AB1E7);
+
+    let report = InterceptionAudit.run(Testbed::global(), &ctx);
     println!("{}", tables::table7_interception(&report));
 
     println!("Sensitive data recovered from compromised connections:");
@@ -25,4 +32,7 @@ fn main() {
         report.vulnerable_rows().len(),
         report.leaky_devices().len(),
     );
+    println!("\n{}", fault_stats_line(&report.fault_stats));
+
+    args.finish(&ctx);
 }

@@ -1,6 +1,8 @@
 //! The two-year passive analysis: generates the 27-month dataset,
 //! renders Figures 1–3 as heatmaps, Table 8, the §5.1 summary
-//! statistics, and the prior-work comparison.
+//! statistics, and the prior-work comparison — then sweeps the whole
+//! active-experiment registry through one [`Orchestrator`] pass and
+//! prints every golden artifact the reports back.
 //!
 //! Everything below the dataset line comes from ONE pass over the
 //! columnar chunk stream (`analyze_columnar`), not repeated scans of
@@ -10,20 +12,29 @@
 //!
 //! Set `IOTLS_METRICS=path.json` to also write the run's observability
 //! registry (passive.* counters plus wall-clock timings) as JSON.
+//! Flags: `--seed N --threads N --faults PM --metrics` (see
+//! `iotls_repro::cli`).
 
-use iotls_repro::analysis::{figures, tables};
+use iotls_repro::analysis::{experiment_artifacts, figures, tables};
 use iotls_repro::capture::global_columnar;
-use iotls_repro::core::analyze_columnar_metered;
-use iotls_repro::obs::{Registry, Span};
+use iotls_repro::cli::ExampleArgs;
+use iotls_repro::core::{analyze_columnar, Orchestrator, Report};
+use iotls_repro::devices::Testbed;
+use iotls_repro::obs::Span;
+
+/// Seed for the labeled fingerprint database Figure 5 joins against.
+const FPDB_SEED: u64 = 0xDB;
 
 fn main() {
     println!("== IoTLS longitudinal analysis (Figures 1-3, Table 8, §5.1) ==\n");
 
-    let mut reg = Registry::new();
+    let args = ExampleArgs::parse();
+    let ctx = args.ctx(iotls_repro::capture::DEFAULT_SEED);
+
     let ds = global_columnar();
     let span = Span::start("passive.analyze");
-    let a = analyze_columnar_metered(ds, &mut reg);
-    reg.record(span);
+    let a = analyze_columnar(ds, &ctx);
+    ctx.metrics().with(|reg| reg.record(span));
     println!(
         "Dataset: {} TLS connections from {} devices ({} columnar rows in {} chunks)\n",
         a.total_connections,
@@ -79,8 +90,31 @@ fn main() {
         tables::table8_revocation(&a.revocation, &a.device_names)
     );
 
-    if let Ok(path) = std::env::var("IOTLS_METRICS") {
-        std::fs::write(&path, reg.to_json()).expect("write IOTLS_METRICS file");
-        eprintln!("metrics written to {path}");
+    // The full active registry, one orchestrator pass: every
+    // experiment at its canonical paper seed, sharing this run's
+    // fault plan, thread policy, cache scope, and metrics shard.
+    let testbed = Testbed::global();
+    println!("== Active experiment registry (one orchestrator pass) ==\n");
+    for run in Orchestrator::new(testbed, &ctx).canonical_seeds().run_all() {
+        match &run.result {
+            Ok(report) => {
+                let artifacts = experiment_artifacts(testbed, report, FPDB_SEED);
+                println!(
+                    "{}: ok ({} fixture artifact{})",
+                    run.kind.name(),
+                    artifacts.len(),
+                    if artifacts.len() == 1 { "" } else { "s" },
+                );
+                for (name, text) in artifacts {
+                    println!("\n-- {name} --\n{text}");
+                }
+                if let Some(stats) = report.fault_stats() {
+                    println!("  {}", iotls_repro::cli::fault_stats_line(stats));
+                }
+            }
+            Err(e) => println!("{}: FAILED ({e})", run.kind.name()),
+        }
     }
+
+    args.finish(&ctx);
 }

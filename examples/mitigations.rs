@@ -5,23 +5,30 @@
 //! compromised-CA MITM.
 //!
 //! Run with: `cargo run --release --example mitigations`
+//!
+//! Flags: `--seed N --threads N --faults PM --metrics` (see
+//! `iotls_repro::cli`).
 
 use iotls_repro::capture::global_dataset;
+use iotls_repro::cli::{fault_stats_line, ExampleArgs};
 use iotls_repro::core::{
-    guardian_verdict, run_audit_service, Grade, GuardianAction,
+    guardian_verdict, AuditService, Experiment, Grade, GuardianAction,
 };
 use iotls_repro::devices::Testbed;
 
 fn main() {
     println!("== IoTLS §6 mitigations ==\n");
 
+    let args = ExampleArgs::parse();
+    let ctx = args.ctx(0xA0D1);
+
     // 1. The auditing service: devices phone in at reboot, the
     //    service grades their hellos and alerts manufacturers.
-    let audits = run_audit_service(Testbed::global(), 0xA0D1);
+    let report = AuditService.run(Testbed::global(), &ctx);
     println!("Auditing service report (32 active devices):\n");
     for grade in [Grade::Critical, Grade::NeedsAttention, Grade::Good] {
         let devices: Vec<&iotls_repro::core::DeviceAudit> =
-            audits.iter().filter(|a| a.grade() == grade).collect();
+            report.audits.iter().filter(|a| a.grade() == grade).collect();
         println!("{grade:?} ({}):", devices.len());
         for a in devices {
             let worst = a
@@ -34,6 +41,7 @@ fn main() {
         }
         println!();
     }
+    println!("{}\n", fault_stats_line(&report.fault_stats));
 
     // 2. The guardian gateway over one month of passive traffic.
     let ds = global_dataset();
@@ -62,4 +70,6 @@ fn main() {
          pin defeats interception even for a non-validating client, while a root\n\
          pin does not survive a compromised CA — the paper's §6 caveat.)"
     );
+
+    args.finish(&ctx);
 }

@@ -2,12 +2,20 @@
 //! TLS handshake through the gateway tap, and try one interception.
 //!
 //! Run with: `cargo run --release --example quickstart`
+//!
+//! Flags: `--seed N --threads N --faults PM --metrics` (see
+//! `iotls_repro::cli`). With `--faults`, the fault-stats line at the
+//! end shows the injected chaos and the lab's recovery work.
 
+use iotls_repro::cli::{fault_stats_line, ExampleArgs};
 use iotls_repro::core::{ActiveLab, InterceptPolicy};
 use iotls_repro::devices::Testbed;
 
 fn main() {
     println!("== IoTLS reproduction quickstart ==\n");
+
+    let args = ExampleArgs::parse();
+    let ctx = args.ctx(1);
 
     // The testbed: 40 devices (Table 1), their cloud endpoints, and a
     // full synthetic PKI. Built once, deterministic.
@@ -21,8 +29,9 @@ fn main() {
     println!("{}", iotls_repro::analysis::tables::table1_roster(testbed));
 
     // A benign connection: the D-Link camera phones home while the
-    // gateway passively observes.
-    let mut lab = ActiveLab::new(testbed, 1);
+    // gateway passively observes. The lab borrows the ctx, so the
+    // fault plan and verification cache follow the flags.
+    let mut lab = ActiveLab::with_ctx(testbed, &ctx, ctx.seed());
     let camera = testbed.device("D-Link Camera");
     let dest = camera.spec.destinations[0].clone();
     let outcome = lab.connect(camera, &dest, None);
@@ -65,4 +74,7 @@ fn main() {
         outcome.result.established,
         String::from_utf8_lossy(&outcome.result.server_received),
     );
+
+    println!("\n{}", fault_stats_line(&lab.fault_stats()));
+    args.finish(&ctx);
 }

@@ -4,15 +4,22 @@
 //! reports the staleness of what it finds (Figure 4).
 //!
 //! Run with: `cargo run --release --example rootstore_probe`
+//!
+//! Flags: `--seed N --threads N --faults PM --metrics` (see
+//! `iotls_repro::cli`).
 
 use iotls_repro::analysis::{figures, tables};
-use iotls_repro::core::{library_alert_matrix, run_root_probe};
+use iotls_repro::cli::{fault_stats_line, ExampleArgs};
+use iotls_repro::core::{library_alert_matrix, Experiment, RootProbe};
 use iotls_repro::devices::Testbed;
 
 fn main() {
     println!("== IoTLS root-store exploration (Tables 3, 4, 9; Figure 4) ==\n");
     println!("{}", tables::table3_platforms());
     println!("{}", tables::table4_library_alerts(&library_alert_matrix()));
+
+    let args = ExampleArgs::parse();
+    let ctx = args.ctx(0x6007);
 
     let testbed = Testbed::global();
     println!(
@@ -21,7 +28,7 @@ fn main() {
         testbed.pki.deprecated.len(),
     );
 
-    let report = run_root_probe(testbed, 0x6007);
+    let report = RootProbe.run(testbed, &ctx);
     println!("{}", tables::table9_rootstores(&report));
     println!("{}", figures::fig4_staleness(testbed.pki, &report));
 
@@ -44,4 +51,7 @@ fn main() {
             .collect();
         println!("  {:<20} {}", row.device, names.join(", "));
     }
+    println!("\n{}", fault_stats_line(&report.fault_stats));
+
+    args.finish(&ctx);
 }

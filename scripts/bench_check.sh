@@ -68,12 +68,17 @@ counter() {
     tr ',{}' '\n\n\n' < "$1" | sed -n "s/^\"$2\":\\([0-9][0-9]*\\)\$/\\1/p" | head -n 1
 }
 
-# rate FILE A B -> A/(A+B) to 4 places, empty when either is absent.
+# rate FILE A B -> A/(A+B) to 4 places; "n/a" when the counters are
+# present but sum to zero (a fresh workload with no events to rate —
+# never a division), empty when either counter is absent.
 rate() {
     a=$(counter "$1" "$2")
     b=$(counter "$1" "$3")
     [ -n "$a" ] && [ -n "$b" ] || return 0
-    awk -v a="$a" -v b="$b" 'BEGIN { if (a + b > 0) printf "%.4f", a / (a + b) }'
+    awk -v a="$a" -v b="$b" 'BEGIN {
+        if (a + b > 0) printf "%.4f", a / (a + b)
+        else printf "n/a"
+    }'
 }
 
 if [ ! -f "$CUR_METRICS" ] || [ ! -f "$BASE_METRICS" ]; then
@@ -91,6 +96,10 @@ else
         base=$(rate "$BASE_METRICS" "$2" "$3")
         if [ -z "$cur" ] || [ -z "$base" ]; then
             echo "bench_check: $1: counters absent from a snapshot, skipping"
+            continue
+        fi
+        if [ "$cur" = "n/a" ] || [ "$base" = "n/a" ]; then
+            echo "bench_check: $1: n/a (zero baseline counter), skipping"
             continue
         fi
         verdict=$(awk -v c="$cur" -v b="$base" 'BEGIN {

@@ -17,6 +17,18 @@ cargo test -q --offline --workspace
 # is called out explicitly in the tier-1 log.
 cargo test -q --offline --test golden_artifacts
 
+# Docs gate: rustdoc warnings (broken intra-doc links, bad code
+# fences) fail tier-1, same as clippy warnings do.
+RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --offline --workspace
+
+# API-surface gate: the per-engine `_with`/`_metered` variant matrix
+# was collapsed into ExperimentCtx; fail if a new variant sneaks back
+# into the engine crate.
+if grep -rnE 'fn [a-z_]+_(with|metered)\(' crates/core/src; then
+    echo "tier1: FAILED (_with/_metered engine variant reintroduced in crates/core/src)" >&2
+    exit 1
+fi
+
 end=$(date +%s)
 echo "tier1: OK ($((end - start))s)"
 

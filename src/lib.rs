@@ -9,6 +9,11 @@
 //! tests (`tests/`). See `README.md` for the quickstart, `DESIGN.md`
 //! for the system inventory and substitution rationale, and
 //! `EXPERIMENTS.md` for paper-vs-measured results.
+//!
+//! [`cli`] is the one piece of code living here rather than in a
+//! workspace crate: the flag-parsing helper the examples share.
+
+pub mod cli;
 
 pub use iotls as core;
 pub use iotls_analysis as analysis;

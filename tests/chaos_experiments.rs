@@ -9,9 +9,9 @@
 //! field-by-field against a fault-free run of the same seed.
 
 use iotls_repro::core::{
-    run_downgrade_probe, run_downgrade_probe_with, run_interception_audit,
-    run_interception_audit_with, run_old_version_scan, run_old_version_scan_with, run_root_probe,
-    run_root_probe_with, ActiveLab, FaultStats, InterceptPolicy,
+    run_downgrade_probe, run_interception_audit, run_old_version_scan, run_root_probe, ActiveLab,
+    DowngradeProbe, Experiment, ExperimentCtx, FaultStats, InterceptPolicy, InterceptionAudit,
+    OldVersionScan, RootProbe,
 };
 use iotls_repro::devices::{client_config, Testbed};
 use iotls_repro::simnet::{
@@ -35,11 +35,16 @@ fn chaos_plan() -> FaultPlan {
     }
 }
 
+/// A context carrying the chaos schedule for `seed`.
+fn chaos_ctx(seed: u64) -> ExperimentCtx {
+    ExperimentCtx::builder().seed(seed).plan(chaos_plan()).build()
+}
+
 #[test]
 fn interception_audit_is_identical_under_chaos() {
     let tb = Testbed::global();
     let clean = run_interception_audit(tb, 0x7AB1E7);
-    let chaos = run_interception_audit_with(tb, 0x7AB1E7, chaos_plan());
+    let chaos = InterceptionAudit.run(tb, &chaos_ctx(0x7AB1E7));
 
     assert_eq!(chaos.vulnerable_rows().len(), 11);
     assert_eq!(chaos.leaky_devices().len(), 7);
@@ -79,7 +84,8 @@ fn interception_audit_is_identical_under_chaos() {
 fn downgrade_and_old_version_tables_are_identical_under_chaos() {
     let tb = Testbed::global();
     let clean = run_downgrade_probe(tb, 0xD0E6);
-    let (chaos, stats) = run_downgrade_probe_with(tb, 0xD0E6, chaos_plan());
+    let report = DowngradeProbe.run(tb, &chaos_ctx(0xD0E6));
+    let (chaos, stats) = (report.rows, report.fault_stats);
     assert_eq!(chaos.len(), 7);
     assert_eq!(clean.len(), chaos.len());
     for (a, b) in clean.iter().zip(&chaos) {
@@ -102,7 +108,8 @@ fn downgrade_and_old_version_tables_are_identical_under_chaos() {
     println!("downgrade fault/recovery report: {stats:?}");
 
     let clean_old = run_old_version_scan(tb, 0x01DE);
-    let (chaos_old, old_stats) = run_old_version_scan_with(tb, 0x01DE, chaos_plan());
+    let old_report = OldVersionScan.run(tb, &chaos_ctx(0x01DE));
+    let (chaos_old, old_stats) = (old_report.rows, old_report.fault_stats);
     assert_eq!(chaos_old.len(), 18);
     assert_eq!(clean_old.len(), chaos_old.len());
     for (a, b) in clean_old.iter().zip(&chaos_old) {
@@ -115,7 +122,7 @@ fn downgrade_and_old_version_tables_are_identical_under_chaos() {
 fn root_probe_table9_is_identical_under_chaos() {
     let tb = Testbed::global();
     let clean = run_root_probe(tb, 0x6007);
-    let chaos = run_root_probe_with(tb, 0x6007, chaos_plan());
+    let chaos = RootProbe.run(tb, &chaos_ctx(0x6007));
 
     assert_eq!(clean.excluded_reboot_unsafe, chaos.excluded_reboot_unsafe);
     assert_eq!(clean.excluded_no_validation, chaos.excluded_no_validation);
@@ -219,20 +226,25 @@ fn fault_counters_exactly_match_the_injected_schedule() {
     // `core.faults.*`). Both views must agree *exactly* with the
     // engine's own fault report — a higher metric would mean a fault
     // double-counted, a lower one a fault silently swallowed.
-    use iotls_repro::core::{run_interception_audit_metered, run_root_probe_metered};
-    use iotls_repro::obs::Registry;
-
     let tb = Testbed::global();
     for (name, reg, stats) in [
         {
-            let mut reg = Registry::new();
-            let report = run_interception_audit_metered(tb, 0x7AB1E7, chaos_plan(), &mut reg);
-            ("audit", reg, report.fault_stats)
+            let ctx = ExperimentCtx::builder()
+                .seed(0x7AB1E7)
+                .plan(chaos_plan())
+                .metrics(true)
+                .build();
+            let report = InterceptionAudit.run(tb, &ctx);
+            ("audit", ctx.metrics_snapshot(), report.fault_stats)
         },
         {
-            let mut reg = Registry::new();
-            let report = run_root_probe_metered(tb, 0x6007, chaos_plan(), &mut reg);
-            ("rootprobe", reg, report.fault_stats)
+            let ctx = ExperimentCtx::builder()
+                .seed(0x6007)
+                .plan(chaos_plan())
+                .metrics(true)
+                .build();
+            let report = RootProbe.run(tb, &ctx);
+            ("rootprobe", ctx.metrics_snapshot(), report.fault_stats)
         },
     ] {
         assert!(stats.injected_total() > 0, "{name}: plan never fired");
@@ -268,10 +280,10 @@ fn fault_counters_exactly_match_the_injected_schedule() {
 
 #[test]
 fn passive_dataset_is_identical_under_chaos_and_counts_truncations() {
-    use iotls_repro::capture::{generate, generate_with_faults};
+    use iotls_repro::capture::{generate, CaptureCtx};
     let tb = Testbed::global();
     let clean = generate(tb, 0xCAFE);
-    let chaos = generate_with_faults(tb, 0xCAFE, chaos_plan());
+    let chaos = CaptureCtx::new(0xCAFE).with_plan(chaos_plan()).generate(tb);
     assert_eq!(clean.total_connections(), chaos.total_connections());
     assert_eq!(clean.observations.len(), chaos.observations.len());
     assert_eq!(

@@ -18,25 +18,19 @@
 //! fixed-precision strings so the files stay byte-stable across
 //! formatting changes.
 
-use iotls_repro::analysis::{figures, tables, FingerprintDb, SharingGraph};
+use iotls_repro::analysis::{experiment_artifacts, figures, tables};
 use iotls_repro::capture::json::Json;
 use iotls_repro::capture::global_dataset;
 use iotls_repro::core::{
-    cipher_series, library_alert_matrix, passive_summary, revocation_summary,
-    run_downgrade_probe, run_fingerprint_survey, run_interception_audit, run_old_version_scan,
-    run_root_probe, version_series,
+    cipher_series, library_alert_matrix, passive_summary, revocation_summary, version_series,
+    ExperimentCtx, ExperimentKind, Orchestrator, Report,
 };
 use iotls_repro::devices::Testbed;
 use std::path::PathBuf;
 
-/// The canonical seeds the examples and module tests pin their
-/// paper-number assertions to; the fixtures are blessed from the same
-/// runs so one source of truth covers both.
-const AUDIT_SEED: u64 = 0x7AB1E7;
-const ROOTPROBE_SEED: u64 = 0x6007;
-const DOWNGRADE_SEED: u64 = 0xD0E6;
-const OLDVERSION_SEED: u64 = 0x01DE;
-const FINGERPRINT_SEED: u64 = 0x5075;
+/// Seed for the labeled application fingerprint database Figure 5
+/// joins against (the experiment seeds themselves are canonical:
+/// [`ExperimentKind::canonical_seed`]).
 const FPDB_SEED: u64 = 0xDB;
 
 fn fixture_path(name: &str) -> PathBuf {
@@ -104,30 +98,30 @@ fn golden_static_tables() {
 }
 
 #[test]
-fn golden_table5_downgrades() {
-    let rows = run_downgrade_probe(Testbed::global(), DOWNGRADE_SEED);
-    check(
-        "table5_downgrades",
-        text_artifact("table5_downgrades", tables::table5_downgrades(&rows)),
-    );
-}
-
-#[test]
-fn golden_table6_old_versions() {
-    let rows = run_old_version_scan(Testbed::global(), OLDVERSION_SEED);
-    check(
-        "table6_old_versions",
-        text_artifact("table6_old_versions", tables::table6_old_versions(&rows)),
-    );
-}
-
-#[test]
-fn golden_table7_interception() {
-    let report = run_interception_audit(Testbed::global(), AUDIT_SEED);
-    check(
-        "table7_interception",
-        text_artifact("table7_interception", tables::table7_interception(&report)),
-    );
+fn golden_experiment_registry() {
+    // One orchestrator pass over the whole registry at the canonical
+    // seeds covers every experiment-backed fixture: Tables 5, 6, 7, 9
+    // and Figures 4 and 5. The audit service backs no fixture but
+    // still runs, so a panic in any engine fails this test.
+    let testbed = Testbed::global();
+    let ctx = ExperimentCtx::new(0);
+    let runs = Orchestrator::new(testbed, &ctx).canonical_seeds().run_all();
+    assert_eq!(runs.len(), ExperimentKind::ALL.len());
+    let mut checked = 0;
+    for run in &runs {
+        let report = run
+            .result
+            .as_ref()
+            .unwrap_or_else(|e| panic!("{}: {e}", run.kind.name()));
+        let rendered = experiment_artifacts(testbed, report, FPDB_SEED);
+        let names: Vec<&str> = rendered.iter().map(|(n, _)| *n).collect();
+        assert_eq!(names, report.fixtures(), "{}", run.kind.name());
+        for (name, text) in rendered {
+            check(name, text_artifact(name, text));
+            checked += 1;
+        }
+    }
+    assert_eq!(checked, 6, "fixture coverage shrank");
 }
 
 #[test]
@@ -139,20 +133,6 @@ fn golden_table8_revocation() {
             "table8_revocation",
             tables::table8_revocation(&revocation_summary(ds), &ds.device_names()),
         ),
-    );
-}
-
-#[test]
-fn golden_table9_rootstores_and_fig4() {
-    let testbed = Testbed::global();
-    let report = run_root_probe(testbed, ROOTPROBE_SEED);
-    check(
-        "table9_rootstores",
-        text_artifact("table9_rootstores", tables::table9_rootstores(&report)),
-    );
-    check(
-        "fig4_staleness",
-        text_artifact("fig4_staleness", figures::fig4_staleness(testbed.pki, &report)),
     );
 }
 
@@ -175,16 +155,6 @@ fn golden_longitudinal_figures() {
     check(
         "fig3_strong",
         text_artifact("fig3_strong", figures::fig3_strong(&axis, &cipher_series(ds))),
-    );
-}
-
-#[test]
-fn golden_fig5_sharing_graph() {
-    let survey = run_fingerprint_survey(Testbed::global(), FINGERPRINT_SEED);
-    let graph = SharingGraph::build(&survey, &FingerprintDb::build(FPDB_SEED));
-    check(
-        "fig5_sharing_graph",
-        text_artifact("fig5_sharing_graph", graph.render()),
     );
 }
 

@@ -9,7 +9,7 @@
 //! `IOTLS_THREADS`, for every instrumented pipeline.
 
 use iotls_repro::core::{
-    analyze_streamed_metered, run_interception_audit_metered, run_root_probe_metered,
+    analyze_streamed, Experiment, ExperimentCtx, InterceptionAudit, RootProbe,
 };
 use iotls_repro::devices::Testbed;
 use iotls_repro::obs::Registry;
@@ -21,24 +21,37 @@ use std::sync::Mutex;
 /// on concurrent threads, so the env var is serialized here.
 static ENV_LOCK: Mutex<()> = Mutex::new(());
 
+/// A live-metrics context (thread policy resolved from the env at
+/// construction — call under the lock, after setting `IOTLS_THREADS`).
+fn metered_ctx(seed: u64, plan: FaultPlan) -> ExperimentCtx {
+    ExperimentCtx::builder()
+        .seed(seed)
+        .plan(plan)
+        .metrics(true)
+        .build()
+}
+
 /// The deterministic counter snapshots of every instrumented pipeline,
 /// as comparable bytes.
 fn snapshots(testbed: &'static Testbed) -> Vec<(&'static str, String)> {
     let plan = FaultPlan::uniform(0xDE7, 40);
 
-    let mut audit_reg = Registry::new();
-    run_interception_audit_metered(testbed, 0x4E9D, plan, &mut audit_reg);
+    let audit_ctx = metered_ctx(0x4E9D, plan);
+    InterceptionAudit.run(testbed, &audit_ctx);
 
-    let mut probe_reg = Registry::new();
-    run_root_probe_metered(testbed, 0x4E9D, plan, &mut probe_reg);
+    let probe_ctx = metered_ctx(0x4E9D, plan);
+    RootProbe.run(testbed, &probe_ctx);
 
-    let mut passive_reg = Registry::new();
-    analyze_streamed_metered(testbed, 0x10AD, FaultPlan::none(), u64::MAX, &mut passive_reg);
+    let passive_ctx = metered_ctx(0x10AD, FaultPlan::none());
+    analyze_streamed(testbed, &passive_ctx, u64::MAX);
 
     vec![
-        ("audit", audit_reg.counters_json()),
-        ("rootprobe", probe_reg.counters_json()),
-        ("passive_streamed", passive_reg.counters_json()),
+        ("audit", audit_ctx.metrics_snapshot().counters_json()),
+        ("rootprobe", probe_ctx.metrics_snapshot().counters_json()),
+        (
+            "passive_streamed",
+            passive_ctx.metrics_snapshot().counters_json(),
+        ),
     ]
 }
 

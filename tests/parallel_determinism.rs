@@ -11,8 +11,8 @@ use iotls_repro::analysis::{figures, tables};
 use iotls_repro::capture::{generate, generate_columnar, to_json, to_json_columnar};
 use iotls_repro::core::{
     analyze_columnar, analyze_streamed, cipher_series, passive_summary, revocation_summary,
-    run_downgrade_probe_with, run_fingerprint_survey, run_interception_audit_with,
-    run_old_version_scan_with, run_root_probe_with, version_series,
+    run_fingerprint_survey, version_series, DowngradeProbe, Experiment, ExperimentCtx,
+    ExperimentError, InterceptionAudit, OldVersionScan, RootProbe, METRICS_ENV,
 };
 use iotls_repro::crypto::sha256::sha256;
 use iotls_repro::devices::Testbed;
@@ -41,11 +41,16 @@ struct SweepFootprint {
 }
 
 fn run_sweep(testbed: &'static Testbed) -> SweepFootprint {
-    let plan = FaultPlan::uniform(0xDE7, 40);
-    let audit = run_interception_audit_with(testbed, 0x4E9D, plan);
-    let probe = run_root_probe_with(testbed, 0x4E9D, plan);
-    let (down_rows, _) = run_downgrade_probe_with(testbed, 0x4E9D, plan);
-    let (old_rows, _) = run_old_version_scan_with(testbed, 0x4E9D, plan);
+    // Built after the caller pins IOTLS_THREADS: the ctx resolves its
+    // thread policy from the env exactly once, here.
+    let ctx = ExperimentCtx::builder()
+        .seed(0x4E9D)
+        .plan(FaultPlan::uniform(0xDE7, 40))
+        .build();
+    let audit = InterceptionAudit.run(testbed, &ctx);
+    let probe = RootProbe.run(testbed, &ctx);
+    let down_rows = DowngradeProbe.run(testbed, &ctx).rows;
+    let old_rows = OldVersionScan.run(testbed, &ctx).rows;
     let survey = run_fingerprint_survey(testbed, 0x5075);
     let dataset = generate(testbed, 0x10AD);
     SweepFootprint {
@@ -109,8 +114,9 @@ fn run_passive(testbed: &'static Testbed) -> PassiveFootprint {
 
     // Single-pass streamed analysis (chunks dropped as they are
     // folded) vs the in-memory chunk walk vs the legacy row scans.
-    let streamed = analyze_streamed(testbed, 0x10AD, FaultPlan::none(), u64::MAX);
-    assert_eq!(streamed, analyze_columnar(&cds));
+    let ctx = ExperimentCtx::new(0x10AD);
+    let streamed = analyze_streamed(testbed, &ctx, u64::MAX);
+    assert_eq!(streamed, analyze_columnar(&cds, &ctx));
     assert_eq!(streamed.version_series, version_series(&rows));
     assert_eq!(streamed.cipher_series, cipher_series(&rows));
     assert_eq!(streamed.summary, passive_summary(&rows));
@@ -151,4 +157,62 @@ fn streamed_pipeline_is_byte_identical_at_any_thread_count() {
     assert!(sequential.fig1.contains("Wemo Plug"));
     assert!(sequential.fig3.contains("Blink Hub"));
     assert!(sequential.table8.contains("OCSP Stapling"));
+}
+
+#[test]
+fn bad_env_values_fall_back_and_are_recorded() {
+    let _env = ENV_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+
+    // Non-numeric and zero thread counts fall back to the default
+    // parallelism, warn, and bump the ctx.env.threads.invalid counter.
+    for bad in ["notanumber", "0", "-3"] {
+        std::env::set_var(THREADS_ENV, bad);
+        let ctx = ExperimentCtx::builder().seed(1).metrics(true).build();
+        assert!(ctx.threads() >= 1, "{bad}: threads {}", ctx.threads());
+        assert!(
+            ctx.warnings().iter().any(|w| matches!(
+                w,
+                ExperimentError::InvalidEnv { var, value }
+                    if *var == THREADS_ENV && value == bad
+            )),
+            "{bad}: warnings {:?}",
+            ctx.warnings()
+        );
+        assert_eq!(
+            ctx.metrics_snapshot().counter("ctx.env.threads.invalid"),
+            1,
+            "{bad}"
+        );
+    }
+    std::env::remove_var(THREADS_ENV);
+
+    // A *valid* value produces no warning and no counter.
+    std::env::set_var(THREADS_ENV, "2");
+    let ctx = ExperimentCtx::builder().seed(1).metrics(true).build();
+    assert_eq!(ctx.threads(), 2);
+    assert!(ctx.warnings().is_empty(), "{:?}", ctx.warnings());
+    std::env::remove_var(THREADS_ENV);
+
+    // An empty IOTLS_METRICS path is unusable: warn, no sink, and the
+    // metrics shard stays a no-op unless explicitly forced live.
+    std::env::set_var(METRICS_ENV, "");
+    let ctx = ExperimentCtx::builder().seed(1).build();
+    assert!(ctx.metrics_sink().is_none());
+    assert!(!ctx.metrics().is_live());
+    assert!(
+        ctx.warnings().iter().any(|w| matches!(
+            w,
+            ExperimentError::InvalidEnv { var, .. } if *var == METRICS_ENV
+        )),
+        "{:?}",
+        ctx.warnings()
+    );
+    std::env::remove_var(METRICS_ENV);
+
+    // Explicit builder knobs win over the environment entirely.
+    std::env::set_var(THREADS_ENV, "notanumber");
+    let ctx = ExperimentCtx::builder().seed(1).threads(3).build();
+    assert_eq!(ctx.threads(), 3);
+    assert!(ctx.warnings().is_empty(), "{:?}", ctx.warnings());
+    std::env::remove_var(THREADS_ENV);
 }
