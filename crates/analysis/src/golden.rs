@@ -19,7 +19,8 @@ use iotls_devices::Testbed;
 /// The root probe yields both `table9_rootstores` and
 /// `fig4_staleness` from one run; the fingerprint survey joins
 /// against the labeled application database seeded with `fpdb_seed`;
-/// the audit service backs no fixture and yields nothing.
+/// the audit service backs no fixture and yields nothing; the
+/// gateway renders its own drain snapshot.
 pub fn experiment_artifacts(
     testbed: &Testbed,
     report: &ExperimentReport,
@@ -44,6 +45,7 @@ pub fn experiment_artifacts(
             vec![("fig5_sharing_graph", graph.render())]
         }
         ExperimentReport::Auditor(_) => Vec::new(),
+        ExperimentReport::Gateway(r) => vec![("gateway_service", r.render())],
     }
 }
 

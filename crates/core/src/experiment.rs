@@ -60,8 +60,9 @@ pub enum ExperimentError {
         /// The rejected value.
         value: String,
     },
-    /// An engine panicked; the orchestrator caught it and carried on.
-    EngineFailed {
+    /// An engine panicked; the orchestrator caught it (bumping the
+    /// `core.orchestrator.panics` counter) and carried on.
+    Panicked {
         /// [`ExperimentKind::name`] of the failed engine.
         experiment: &'static str,
         /// The panic payload, stringified.
@@ -78,8 +79,8 @@ impl fmt::Display for ExperimentError {
             ExperimentError::InvalidEnv { var, value } => {
                 write!(f, "invalid {var}={value:?}; using the default")
             }
-            ExperimentError::EngineFailed { experiment, message } => {
-                write!(f, "experiment `{experiment}` failed: {message}")
+            ExperimentError::Panicked { experiment, message } => {
+                write!(f, "experiment `{experiment}` panicked: {message}")
             }
         }
     }
@@ -421,6 +422,11 @@ pub struct FingerprintSurveyor;
 #[derive(Debug, Clone, Copy, Default)]
 pub struct AuditService;
 
+/// Runs the resident gateway soak (the long-lived multiplexing
+/// runtime behind the paper's continuous capture).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct GatewayService;
+
 /// The closed set of experiments the orchestrator can run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
 pub enum ExperimentKind {
@@ -436,17 +442,20 @@ pub enum ExperimentKind {
     FingerprintSurvey,
     /// [`AuditService`].
     AuditService,
+    /// [`GatewayService`].
+    GatewayService,
 }
 
 impl ExperimentKind {
     /// Every experiment, in canonical (paper-section) order.
-    pub const ALL: [ExperimentKind; 6] = [
+    pub const ALL: [ExperimentKind; 7] = [
         ExperimentKind::InterceptionAudit,
         ExperimentKind::RootProbe,
         ExperimentKind::DowngradeProbe,
         ExperimentKind::OldVersionScan,
         ExperimentKind::FingerprintSurvey,
         ExperimentKind::AuditService,
+        ExperimentKind::GatewayService,
     ];
 
     /// The stable engine name.
@@ -458,6 +467,7 @@ impl ExperimentKind {
             ExperimentKind::OldVersionScan => "old_version_scan",
             ExperimentKind::FingerprintSurvey => "fingerprint_survey",
             ExperimentKind::AuditService => "audit_service",
+            ExperimentKind::GatewayService => "gateway_service",
         }
     }
 
@@ -479,6 +489,7 @@ impl ExperimentKind {
             ExperimentKind::OldVersionScan => 0x01DE,
             ExperimentKind::FingerprintSurvey => 0x5075,
             ExperimentKind::AuditService => 0xA0D1,
+            ExperimentKind::GatewayService => 0x6A7E,
         }
     }
 
@@ -504,6 +515,9 @@ impl ExperimentKind {
             ExperimentKind::AuditService => {
                 ExperimentReport::Auditor(AuditService.run(testbed, ctx))
             }
+            ExperimentKind::GatewayService => {
+                ExperimentReport::Gateway(GatewayService.run(testbed, ctx))
+            }
         }
     }
 }
@@ -524,6 +538,8 @@ pub enum ExperimentReport {
     Fingerprints(FingerprintSurvey),
     /// §6 audit-service report.
     Auditor(AuditorReport),
+    /// Resident-gateway drain snapshot.
+    Gateway(crate::gateway::GatewayReport),
 }
 
 impl ExperimentReport {
@@ -536,6 +552,7 @@ impl ExperimentReport {
             ExperimentReport::OldVersion(_) => ExperimentKind::OldVersionScan,
             ExperimentReport::Fingerprints(_) => ExperimentKind::FingerprintSurvey,
             ExperimentReport::Auditor(_) => ExperimentKind::AuditService,
+            ExperimentReport::Gateway(_) => ExperimentKind::GatewayService,
         }
     }
 
@@ -547,6 +564,7 @@ impl ExperimentReport {
             ExperimentReport::OldVersion(r) => r,
             ExperimentReport::Fingerprints(r) => r,
             ExperimentReport::Auditor(r) => r,
+            ExperimentReport::Gateway(r) => r,
         }
     }
 }
@@ -583,8 +601,8 @@ pub struct ExperimentRun {
 /// Experiments run sequentially in [`ExperimentKind::ALL`] order
 /// (each engine parallelizes internally over
 /// [`ExperimentCtx::threads`] workers); a panicking engine is caught
-/// and surfaced as [`ExperimentError::EngineFailed`] without
-/// stopping the sweep.
+/// and surfaced as [`ExperimentError::Panicked`] without stopping
+/// the sweep.
 pub struct Orchestrator<'a> {
     testbed: &'a Testbed,
     ctx: &'a ExperimentCtx,
@@ -620,7 +638,8 @@ impl<'a> Orchestrator<'a> {
     }
 
     /// Runs one experiment, converting an engine panic into
-    /// [`ExperimentError::EngineFailed`].
+    /// [`ExperimentError::Panicked`] (payload message preserved) and
+    /// bumping the `core.orchestrator.panics` counter.
     pub fn run_one(&self, kind: ExperimentKind) -> Result<ExperimentReport, ExperimentError> {
         let ctx = if self.canonical_seeds {
             self.ctx.with_seed(kind.canonical_seed())
@@ -630,9 +649,14 @@ impl<'a> Orchestrator<'a> {
         std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
             kind.run(self.testbed, &ctx)
         }))
-        .map_err(|payload| ExperimentError::EngineFailed {
-            experiment: kind.name(),
-            message: panic_message(payload),
+        .map_err(|payload| {
+            self.ctx
+                .metrics()
+                .with(|reg| reg.inc("core.orchestrator.panics"));
+            ExperimentError::Panicked {
+                experiment: kind.name(),
+                message: panic_message(payload),
+            }
         })
     }
 
@@ -681,12 +705,13 @@ mod tests {
             value: "lots".into(),
         };
         assert_eq!(e.to_string(), "invalid IOTLS_THREADS=\"lots\"; using the default");
-        let e = ExperimentError::EngineFailed {
+        let e = ExperimentError::Panicked {
             experiment: "root_probe",
             message: "boom".into(),
         };
         assert!(e.to_string().contains("root_probe"));
         assert!(e.to_string().contains("boom"));
+        assert!(e.to_string().contains("panicked"));
         assert!(
             ExperimentError::UnknownExperiment("x".into())
                 .to_string()

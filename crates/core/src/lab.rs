@@ -24,11 +24,13 @@ use std::collections::{BTreeSet, HashMap};
 
 /// How many times one logical attempt transparently re-dials after a
 /// fault that a plain reconnect can heal (reset, garble, stall, DNS).
-const INLINE_RETRY_BUDGET: usize = 6;
+/// Public so the gateway's per-session retry loop shares the budget.
+pub const INLINE_RETRY_BUDGET: usize = 6;
 
 /// How many times the boot-level recovery reconnects after a fault
 /// that re-dialing alone cannot heal (mid-handshake power loss).
-const RECONNECT_BUDGET: usize = 4;
+/// Public so gateway-style callers can mirror the boot-level policy.
+pub const RECONNECT_BUDGET: usize = 4;
 
 /// Counters for injected faults and the recovery work they caused.
 /// All zeros outside chaos runs.

@@ -34,7 +34,11 @@
 //!   (seed, fault plan, thread policy, metrics shard, verification
 //!   cache), the [`Experiment`]/[`Report`] traits every engine
 //!   implements, and the [`Orchestrator`] that runs any subset of
-//!   experiments from one context.
+//!   experiments from one context;
+//! * [`gateway`] — the resident audit gateway: bounded-queue
+//!   admission control, per-class token buckets, per-endpoint
+//!   circuit breakers, per-session deadlines, panic isolation, and
+//!   graceful drain over a recorded-flow session mux.
 
 pub mod attacker;
 pub mod audit;
@@ -42,6 +46,7 @@ pub mod auditor;
 pub mod downgrade;
 pub mod experiment;
 pub mod fingerprints;
+pub mod gateway;
 pub mod lab;
 pub mod party;
 pub mod passive;
@@ -60,10 +65,14 @@ pub use downgrade::{
 pub use experiment::{
     cache_stats_json, fault_stats_json, AuditService, DowngradeProbe, Experiment, ExperimentCtx,
     ExperimentCtxBuilder, ExperimentError, ExperimentKind, ExperimentReport, ExperimentRun,
-    FingerprintSurveyor, InterceptionAudit, OldVersionScan, Orchestrator, Report, RootProbe,
-    METRICS_ENV,
+    FingerprintSurveyor, GatewayService, InterceptionAudit, OldVersionScan, Orchestrator, Report,
+    RootProbe, METRICS_ENV,
 };
 pub use fingerprints::{run_fingerprint_survey, FingerprintSurvey};
+pub use gateway::{
+    BreakerState, CircuitBreaker, ClassRow, Gateway, GatewayConfig, GatewayReport, Rejected,
+    SessionVerdict, TokenBucket,
+};
 pub use lab::{ActiveLab, ConnectionOutcome, DeviceState, FaultStats};
 pub use party::{label_party, party_version_bias, PartyBiasRow, THIRD_PARTY_DOMAINS};
 pub use passive::{

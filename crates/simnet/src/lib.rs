@@ -18,6 +18,9 @@
 //!   endpoint detection);
 //! * [`fault`] — seeded deterministic fault injection (resets, stalls,
 //!   garbled fragments, DNS failures, power cycles) for chaos runs;
+//! * [`mux`] — the accept-loop/session-mux shim for the resident
+//!   gateway: record a clean session's wire tape once, replay it per
+//!   multiplexed session under its own fault draw and deadline;
 //! * [`par`] — deterministic fan-out (`IOTLS_THREADS` workers, ordered
 //!   merge) for the embarrassingly parallel per-device experiment
 //!   loops.
@@ -27,6 +30,7 @@ pub mod driver;
 pub mod events;
 pub mod fault;
 pub mod metrics;
+pub mod mux;
 pub mod par;
 pub mod pipe;
 pub mod tap;
@@ -41,6 +45,7 @@ pub use fault::{
     DnsFault, FailureCause, FaultOp, FaultPlan, InjectedFault, LinkConditioner, SessionFaults,
 };
 pub use metrics::record_session_metrics;
+pub use mux::{replay_flow, AcceptLoop, FlowRound, ReplayOutcome, SessionFlow};
 pub use par::{ordered_map, ordered_map_with, worker_count};
 pub use pipe::{DuplexLink, Pipe};
 pub use tap::{GatewayTap, TlsObservation};

@@ -1,0 +1,358 @@
+//! Accept-loop and session-mux shim for the gateway runtime.
+//!
+//! A resident gateway multiplexes orders of magnitude more sessions
+//! than the batch experiments drive, so re-running a full TLS
+//! handshake per admitted session would dominate the soak. The shim
+//! splits the work the way a real gateway does:
+//!
+//! * [`SessionFlow::record`] drives one *clean* TLS session to
+//!   quiescence once, capturing the per-round byte chunks each
+//!   endpoint emitted — the session's wire "tape";
+//! * [`replay_flow`] pushes a recorded tape through a fresh
+//!   [`LinkConditioner`] under that session's own fault draw and a
+//!   per-session round **deadline**, classifying the outcome without
+//!   touching the TLS state machines again;
+//! * [`AcceptLoop`] turns a seed into the deterministic arrival
+//!   schedule (how many sessions knock per tick, and which recorded
+//!   flow each one replays), a pure function of `(seed, tick)` so the
+//!   schedule is identical at any worker count.
+//!
+//! Everything here runs on virtual time (ticks and pump rounds); no
+//! wall clock is ever consulted.
+
+use crate::fault::{Direction, FailureCause, InjectedFault, LinkConditioner, SessionFaults};
+use iotls_crypto::drbg::Drbg;
+use iotls_tls::client::ClientConnection;
+use iotls_tls::server::ServerConnection;
+
+/// Round budget for *recording* a flow — matches the session driver's
+/// wedge budget, far beyond any legitimate handshake.
+const RECORD_MAX_ROUNDS: usize = 64;
+
+/// One pump round of a recorded session: the bytes each endpoint put
+/// on the wire that round.
+#[derive(Debug, Clone, Default)]
+pub struct FlowRound {
+    /// Client → server bytes emitted this round.
+    pub c2s: Vec<u8>,
+    /// Server → client bytes emitted this round.
+    pub s2c: Vec<u8>,
+}
+
+/// The wire tape of one driven TLS session: per-round byte chunks
+/// plus whether the endpoints established. Recorded once per
+/// `(device, destination)` pair and replayed by every multiplexed
+/// session that targets the same endpoint.
+#[derive(Debug, Clone)]
+pub struct SessionFlow {
+    /// Per-round chunks, in pump order.
+    pub rounds: Vec<FlowRound>,
+    /// Whether both endpoints established on the clean link.
+    pub established: bool,
+    /// Total bytes across both directions (cached for replay).
+    total_bytes: u64,
+}
+
+impl SessionFlow {
+    /// Drives `client` against `server` on a clean link and records
+    /// the per-round byte chunks. The client must not have been
+    /// started. Payloads are queued once the respective endpoint
+    /// establishes, mirroring the lockstep driver.
+    pub fn record(
+        mut client: ClientConnection,
+        mut server: ServerConnection,
+        client_payload: Option<&[u8]>,
+        server_payload: Option<&[u8]>,
+    ) -> SessionFlow {
+        let mut rounds = Vec::new();
+        let mut client_sent = false;
+        let mut server_sent = false;
+        client.start();
+
+        for _ in 0..RECORD_MAX_ROUNDS {
+            let mut round = FlowRound::default();
+            let mut moved = false;
+
+            let out = client.take_output();
+            if !out.is_empty() {
+                let _ = server.read_tls(&out);
+                round.c2s = out;
+                moved = true;
+            }
+            let _ = server.take_application_data();
+            if server.is_established() && !server_sent {
+                if let Some(p) = server_payload {
+                    server.send_application_data(p);
+                    moved = true;
+                }
+                server_sent = true;
+            }
+
+            let out = server.take_output();
+            if !out.is_empty() {
+                let _ = client.read_tls(&out);
+                round.s2c = out;
+                moved = true;
+            }
+            let _ = client.take_application_data();
+            if client.is_established() && !client_sent {
+                if let Some(p) = client_payload {
+                    client.send_application_data(p);
+                    moved = true;
+                }
+                client_sent = true;
+            }
+
+            if !moved {
+                break;
+            }
+            rounds.push(round);
+        }
+
+        let total_bytes = rounds
+            .iter()
+            .map(|r| (r.c2s.len() + r.s2c.len()) as u64)
+            .sum();
+        SessionFlow {
+            rounds,
+            established: client.is_established() && server.is_established(),
+            total_bytes,
+        }
+    }
+
+    /// Total bytes on the tape, both directions.
+    pub fn total_bytes(&self) -> u64 {
+        self.total_bytes
+    }
+
+    /// Rounds the clean session needed to reach quiescence.
+    pub fn len(&self) -> usize {
+        self.rounds.len()
+    }
+
+    /// True when the tape carries no bytes at all.
+    pub fn is_empty(&self) -> bool {
+        self.rounds.is_empty()
+    }
+}
+
+/// Outcome of replaying one tape through a conditioner.
+#[derive(Debug, Clone)]
+pub struct ReplayOutcome {
+    /// Every byte of the tape was delivered within the deadline.
+    pub completed: bool,
+    /// The session counts as established: the tape established on the
+    /// clean link, the replay completed, and no fault fired that a
+    /// real session could not have survived.
+    pub established: bool,
+    /// Network-level failure, by conditioner severity; a replay that
+    /// ran out of deadline with no cut reports [`FailureCause::Wedged`]
+    /// (callers reclassify this as a deadline overrun).
+    pub failure: Option<FailureCause>,
+    /// Pump rounds consumed (virtual time).
+    pub rounds_used: usize,
+    /// Bytes the conditioner actually delivered.
+    pub bytes_delivered: u64,
+    /// Faults that fired, in firing order.
+    pub injected: Vec<InjectedFault>,
+}
+
+/// Replays `flow` through a fresh [`LinkConditioner`] built from
+/// `faults`, with a hard per-session round `deadline` in place of the
+/// driver's global wedge budget.
+///
+/// A stall that would previously burn the full 64-round budget now
+/// runs out at `deadline` rounds and is reported as
+/// [`FailureCause::Wedged`] with `completed == false` — the gateway
+/// reclassifies that as a deadline overrun. A garbled byte fails the
+/// session even when all bytes deliver (a corrupted handshake record
+/// breaks the transcript MAC); a cut fails it immediately.
+pub fn replay_flow(flow: &SessionFlow, faults: SessionFaults, deadline: usize) -> ReplayOutcome {
+    let mut cond = LinkConditioner::new(faults);
+    let mut delivered = 0u64;
+    let mut rounds_used = 0;
+    let mut completed = false;
+    let empty: &[u8] = &[];
+
+    for round in 0..deadline {
+        rounds_used = round + 1;
+        cond.begin_round(round);
+        let (c2s, s2c) = match flow.rounds.get(round) {
+            Some(r) => (r.c2s.as_slice(), r.s2c.as_slice()),
+            None => (empty, empty),
+        };
+        delivered += cond.transfer(Direction::C2s, c2s, round).len() as u64;
+        delivered += cond.transfer(Direction::S2c, s2c, round).len() as u64;
+        if cond.is_cut() {
+            break;
+        }
+        if round + 1 >= flow.len() && delivered >= flow.total_bytes() && !cond.has_backlog() {
+            completed = true;
+            break;
+        }
+    }
+
+    // Completed replays can still have failed as TLS sessions (a
+    // garble passed every byte through, corrupted); incomplete ones
+    // without a cut ran out of deadline.
+    let failure = cond.failure_cause(!completed && !cond.is_cut());
+    let established = flow.established && completed && failure.is_none();
+    ReplayOutcome {
+        completed,
+        established,
+        failure,
+        rounds_used,
+        bytes_delivered: delivered,
+        injected: cond.injected().to_vec(),
+    }
+}
+
+/// Deterministic arrival schedule for the gateway's accept loop.
+///
+/// Arrivals are a pure function of `(seed, tick)`: the same seed
+/// yields the same knock count and the same flow choice per knock at
+/// any worker count, in any tick order.
+#[derive(Debug, Clone, Copy)]
+pub struct AcceptLoop {
+    seed: u64,
+    load: u32,
+    spread: u32,
+}
+
+impl AcceptLoop {
+    /// An accept loop averaging `load` arrivals per tick, jittered
+    /// uniformly within `±spread`.
+    pub fn new(seed: u64, load: u32, spread: u32) -> AcceptLoop {
+        AcceptLoop { seed, load, spread }
+    }
+
+    /// The arrivals for `tick`: one entry per knocking session, each
+    /// an index into a roster of `n_flows` recorded flows.
+    pub fn arrivals(&self, tick: u64, n_flows: usize) -> Vec<usize> {
+        if n_flows == 0 {
+            return Vec::new();
+        }
+        let mut rng = Drbg::from_seed(self.seed)
+            .fork("accept-loop")
+            .fork(&format!("tick/{tick}"));
+        let lo = self.load.saturating_sub(self.spread) as u64;
+        let hi = (self.load + self.spread) as u64;
+        let count = rng.range(lo, hi) as usize;
+        (0..count).map(|_| rng.below(n_flows as u64) as usize).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fault::FaultOp;
+
+    /// A synthetic tape; replay logic only cares about byte chunks.
+    fn tape(established: bool) -> SessionFlow {
+        let rounds = vec![
+            FlowRound { c2s: vec![1; 300], s2c: Vec::new() },
+            FlowRound { c2s: Vec::new(), s2c: vec![2; 900] },
+            FlowRound { c2s: vec![3; 100], s2c: vec![4; 60] },
+        ];
+        let total_bytes = rounds
+            .iter()
+            .map(|r| (r.c2s.len() + r.s2c.len()) as u64)
+            .sum();
+        SessionFlow { rounds, established, total_bytes }
+    }
+
+    #[test]
+    fn clean_replay_completes_and_establishes() {
+        let flow = tape(true);
+        let out = replay_flow(&flow, SessionFaults::none(), 12);
+        assert!(out.completed);
+        assert!(out.established);
+        assert_eq!(out.failure, None);
+        assert_eq!(out.bytes_delivered, flow.total_bytes());
+        assert_eq!(out.rounds_used, flow.len());
+        assert!(out.injected.is_empty());
+    }
+
+    #[test]
+    fn declined_tape_never_establishes() {
+        let out = replay_flow(&tape(false), SessionFaults::none(), 12);
+        assert!(out.completed);
+        assert!(!out.established, "endpoint declined on the clean link");
+        assert_eq!(out.failure, None);
+    }
+
+    #[test]
+    fn reset_fails_the_replay() {
+        let faults = SessionFaults {
+            ops: vec![FaultOp::Reset { offset: 128 }],
+            dns: None,
+        };
+        let out = replay_flow(&tape(true), faults, 12);
+        assert!(!out.completed);
+        assert!(!out.established);
+        assert_eq!(out.failure, Some(FailureCause::Reset));
+        assert_eq!(out.bytes_delivered, 128);
+    }
+
+    #[test]
+    fn garble_fails_even_a_complete_replay() {
+        let faults = SessionFaults {
+            ops: vec![FaultOp::Garble { offset: 10 }],
+            dns: None,
+        };
+        let out = replay_flow(&tape(true), faults, 12);
+        assert!(out.completed, "all bytes still flow");
+        assert!(!out.established);
+        assert_eq!(out.failure, Some(FailureCause::Garbled));
+    }
+
+    #[test]
+    fn stall_overruns_the_deadline_as_wedged() {
+        let faults = SessionFaults {
+            ops: vec![FaultOp::Stall { after_round: 0 }],
+            dns: None,
+        };
+        let out = replay_flow(&tape(true), faults, 12);
+        assert!(!out.completed);
+        assert_eq!(out.failure, Some(FailureCause::Wedged));
+        assert_eq!(out.rounds_used, 12, "burns exactly the deadline, not 64");
+        assert!(out.bytes_delivered < tape(true).total_bytes());
+    }
+
+    #[test]
+    fn replay_is_deterministic() {
+        let faults = || SessionFaults {
+            ops: vec![FaultOp::Garble { offset: 500 }, FaultOp::Stall { after_round: 1 }],
+            dns: None,
+        };
+        let a = replay_flow(&tape(true), faults(), 8);
+        let b = replay_flow(&tape(true), faults(), 8);
+        assert_eq!(a.completed, b.completed);
+        assert_eq!(a.failure, b.failure);
+        assert_eq!(a.bytes_delivered, b.bytes_delivered);
+        assert_eq!(a.injected, b.injected);
+    }
+
+    #[test]
+    fn accept_loop_is_a_pure_function_of_seed_and_tick() {
+        let acc = AcceptLoop::new(0x6A7E, 100, 25);
+        let a = acc.arrivals(7, 40);
+        let b = acc.arrivals(7, 40);
+        assert_eq!(a, b);
+        // Ticks draw independent schedules.
+        assert_ne!(acc.arrivals(8, 40), a);
+        // Counts stay inside the jitter band and indices in range.
+        for tick in 0..50 {
+            let arr = acc.arrivals(tick, 40);
+            assert!((75..=125).contains(&arr.len()), "tick {tick}: {}", arr.len());
+            assert!(arr.iter().all(|&i| i < 40));
+        }
+    }
+
+    #[test]
+    fn accept_loop_handles_empty_roster_and_zero_spread() {
+        assert!(AcceptLoop::new(1, 10, 3).arrivals(0, 0).is_empty());
+        let acc = AcceptLoop::new(2, 5, 0);
+        assert_eq!(acc.arrivals(3, 4).len(), 5);
+    }
+}

@@ -9,7 +9,9 @@
 //!
 //! The `passive_10m` workload generates and analyzes the paper-scale
 //! dataset — every simulated connection as its own row, ≥10M rows —
-//! and records throughput and peak RSS. With `IOTLS_BENCH_LEGACY=1`
+//! and records throughput and peak RSS. The `gateway_soak` workload
+//! multiplexes ≥1M sessions through the resident gateway runtime and
+//! records sessions/sec alongside peak RSS. With `IOTLS_BENCH_LEGACY=1`
 //! it instead runs the pre-streaming shape of that pipeline
 //! (materialize the full `String`-laden row vector, then one full
 //! scan per table), which is what `bench.sh baseline` records.
@@ -31,7 +33,8 @@ use iotls_repro::capture::{generate, DEFAULT_SEED};
 use iotls_repro::cli::ExampleArgs;
 use iotls_repro::core::{
     analyze_streamed, cipher_series, passive_summary, revocation_summary, version_series,
-    version_transitions, Experiment, ExperimentCtx, InterceptionAudit, RootProbe,
+    version_transitions, Experiment, ExperimentCtx, Gateway, GatewayConfig, InterceptionAudit,
+    RootProbe,
 };
 use iotls_repro::devices::Testbed;
 use std::hint::black_box;
@@ -113,6 +116,38 @@ fn passive_10m_legacy(ctx: &ExperimentCtx) -> String {
     format!(", \"rows\": {rows}, \"connections\": {connections}")
 }
 
+/// Gateway soak at bench scale: ≥1M multiplexed sessions through the
+/// resident runtime, sized so nothing is rejected (the bench measures
+/// session throughput, not admission control). Reports sessions/sec;
+/// peak RSS comes from the shared `timed` wrapper.
+fn gateway_soak(ctx: &ExperimentCtx) -> String {
+    let cfg = GatewayConfig {
+        ticks: 520,
+        load: 2048,
+        load_spread: 64,
+        queue_capacity: 8192,
+        pool_capacity: 4096,
+        bucket_capacity: 4096,
+        bucket_refill: 2048,
+        ..GatewayConfig::default()
+    };
+    let start = Instant::now();
+    let report = Gateway::new(Testbed::global(), ctx, cfg).run();
+    let seconds = start.elapsed().as_secs_f64();
+    assert!(
+        report.completed >= 1_000_000,
+        "bench scale means >=1M completed sessions, got {}",
+        report.completed
+    );
+    assert!(report.invariant_holds());
+    let rate = report.completed as f64 / seconds.max(1e-9);
+    black_box(&report);
+    format!(
+        ", \"sessions\": {}, \"sessions_per_sec\": {rate:.0}",
+        report.completed
+    )
+}
+
 fn main() {
     let args = ExampleArgs::parse();
     let ctx = args.ctx(DEFAULT_SEED);
@@ -146,6 +181,9 @@ fn main() {
             } else {
                 passive_10m_streamed(&passive)
             }
+        }),
+        timed("gateway_soak", threads, || {
+            gateway_soak(&ctx.with_seed(0x6A7E))
         }),
     ];
     println!("{}", entries.join(",\n"));

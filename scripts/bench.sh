@@ -1,8 +1,9 @@
 #!/usr/bin/env sh
 # Perf baseline harness: times the tier-1 suite (a real scripts/tier1.sh
 # run) plus the headline workloads (passive generate, full active
-# sweep, rootprobe sweep, paper-scale passive_10m) and writes a JSON
-# report. Every entry records wall seconds AND peak RSS in MB.
+# sweep, rootprobe sweep, paper-scale passive_10m, gateway_soak with
+# >=1M multiplexed sessions) and writes a JSON report. Every entry
+# records wall seconds AND peak RSS in MB.
 #
 #   scripts/bench.sh            -> BENCH_current.json
 #   scripts/bench.sh baseline   -> BENCH_baseline.json  (legacy-shape

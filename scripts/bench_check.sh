@@ -32,7 +32,7 @@ pairs "$CURRENT" | {
     while read -r name cur; do
         base=$(pairs "$BASELINE" | awk -v n="$name" '$1 == n { print $2; exit }')
         if [ -z "$base" ]; then
-            echo "bench_check: $name: no baseline entry (current ${cur}s), skipping"
+            echo "bench_check: $name: new workload (no baseline), current ${cur}s"
             continue
         fi
         # Fail when cur > base * 1.15 (guard against a zero baseline).

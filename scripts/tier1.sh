@@ -16,6 +16,13 @@ cargo test -q --offline --workspace
 # Part of the workspace run above; repeated by name so a fixture drift
 # is called out explicitly in the tier-1 log.
 cargo test -q --offline --test golden_artifacts
+# Gateway robustness suite: the drain invariant (admitted == completed
+# + rejected + aborted under mid-stream shutdown), worker-count
+# byte-identity, breaker behavior, panic isolation, and the 0%/100%
+# fault-plan extremes. Also in the workspace run; repeated by name so
+# a gateway regression is called out explicitly.
+cargo test -q --offline --test gateway_service
+cargo test -q --offline --test chaos_experiments gateway_survives_fault_plan_extremes
 
 # Docs gate: rustdoc warnings (broken intra-doc links, bad code
 # fences) fail tier-1, same as clippy warnings do.

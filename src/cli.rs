@@ -12,10 +12,17 @@
 //! * `--metrics` — force the observability registry live even without
 //!   an `IOTLS_METRICS` sink path.
 //!
+//! Gateway examples additionally understand:
+//!
+//! * `--ticks N` — accept-loop ticks before shutdown begins;
+//! * `--load N` — mean session arrivals per tick;
+//! * `--drain-at N` — begin draining at tick `N` (mid-stream
+//!   shutdown; the default runs the full soak).
+//!
 //! Environment knobs (`IOTLS_THREADS`, `IOTLS_METRICS`) still apply
 //! through [`ExperimentCtx`]'s builder; flags win where both are set.
 
-use crate::core::{ExperimentCtx, FaultStats};
+use crate::core::{ExperimentCtx, FaultStats, GatewayConfig};
 use crate::simnet::FaultPlan;
 
 /// Parsed example flags; see the module docs for the grammar.
@@ -29,6 +36,12 @@ pub struct ExampleArgs {
     pub faults: Option<u16>,
     /// `--metrics` was passed.
     pub metrics: bool,
+    /// `--ticks` override for gateway soaks, if given.
+    pub ticks: Option<u64>,
+    /// `--load` override for gateway soaks, if given.
+    pub load: Option<u32>,
+    /// `--drain-at` shutdown tick for gateway soaks, if given.
+    pub drain_at: Option<u64>,
 }
 
 impl ExampleArgs {
@@ -41,7 +54,8 @@ impl ExampleArgs {
             Err(msg) => {
                 eprintln!("error: {msg}");
                 eprintln!(
-                    "usage: [--seed N] [--threads N] [--faults PM] [--metrics]"
+                    "usage: [--seed N] [--threads N] [--faults PM] [--metrics] \
+                     [--ticks N] [--load N] [--drain-at N]"
                 );
                 std::process::exit(2);
             }
@@ -80,6 +94,31 @@ impl ExampleArgs {
                     );
                 }
                 "--metrics" => args.metrics = true,
+                "--ticks" => {
+                    let v = value("--ticks")?;
+                    args.ticks = Some(
+                        v.parse::<u64>()
+                            .ok()
+                            .filter(|&n| n > 0)
+                            .ok_or_else(|| format!("bad --ticks {v:?}"))?,
+                    );
+                }
+                "--load" => {
+                    let v = value("--load")?;
+                    args.load = Some(
+                        v.parse::<u32>()
+                            .ok()
+                            .filter(|&n| n > 0)
+                            .ok_or_else(|| format!("bad --load {v:?}"))?,
+                    );
+                }
+                "--drain-at" => {
+                    let v = value("--drain-at")?;
+                    args.drain_at = Some(
+                        v.parse::<u64>()
+                            .map_err(|_| format!("bad --drain-at {v:?}"))?,
+                    );
+                }
                 other => return Err(format!("unknown flag {other:?}")),
             }
         }
@@ -106,6 +145,18 @@ impl ExampleArgs {
             eprintln!("warning: {w}");
         }
         ctx
+    }
+
+    /// Layers the gateway flags over a base [`GatewayConfig`]:
+    /// `--ticks` and `--load` replace the base values, `--drain-at`
+    /// schedules a mid-stream shutdown.
+    pub fn gateway_config(&self, base: GatewayConfig) -> GatewayConfig {
+        GatewayConfig {
+            ticks: self.ticks.unwrap_or(base.ticks),
+            load: self.load.unwrap_or(base.load),
+            drain_at: self.drain_at.or(base.drain_at),
+            ..base
+        }
     }
 
     /// End-of-run housekeeping: writes the `IOTLS_METRICS` sink if
@@ -158,12 +209,16 @@ mod tests {
     fn parses_every_flag() {
         let args = ExampleArgs::parse_from(&argv(&[
             "--seed", "0x7AB1E7", "--threads", "4", "--faults", "40", "--metrics",
+            "--ticks", "128", "--load", "500", "--drain-at", "64",
         ]))
         .unwrap();
         assert_eq!(args.seed, Some(0x7AB1E7));
         assert_eq!(args.threads, Some(4));
         assert_eq!(args.faults, Some(40));
         assert!(args.metrics);
+        assert_eq!(args.ticks, Some(128));
+        assert_eq!(args.load, Some(500));
+        assert_eq!(args.drain_at, Some(64));
     }
 
     #[test]
@@ -173,6 +228,21 @@ mod tests {
         assert!(ExampleArgs::parse_from(&argv(&["--faults", "2000"])).is_err());
         assert!(ExampleArgs::parse_from(&argv(&["--wat"])).is_err());
         assert!(ExampleArgs::parse_from(&argv(&["--seed"])).is_err());
+        assert!(ExampleArgs::parse_from(&argv(&["--ticks", "0"])).is_err());
+        assert!(ExampleArgs::parse_from(&argv(&["--load", "x"])).is_err());
+        assert!(ExampleArgs::parse_from(&argv(&["--drain-at", "-3"])).is_err());
+    }
+
+    #[test]
+    fn gateway_flags_layer_onto_the_config() {
+        let args =
+            ExampleArgs::parse_from(&argv(&["--ticks", "96", "--drain-at", "48"])).unwrap();
+        let cfg = args.gateway_config(GatewayConfig::default());
+        assert_eq!(cfg.ticks, 96);
+        assert_eq!(cfg.load, GatewayConfig::default().load, "unset flag keeps the base");
+        assert_eq!(cfg.drain_at, Some(48));
+        let plain = ExampleArgs::default().gateway_config(GatewayConfig::default());
+        assert_eq!(plain.drain_at, None);
     }
 
     #[test]

@@ -279,6 +279,84 @@ fn fault_counters_exactly_match_the_injected_schedule() {
 }
 
 #[test]
+fn gateway_survives_fault_plan_extremes() {
+    use iotls_repro::core::{Gateway, GatewayConfig, GatewayService};
+
+    let tb = Testbed::global();
+    let run = |pm: u16| {
+        let ctx = ExperimentCtx::builder()
+            .seed(0x6A7E)
+            .plan(FaultPlan::uniform(0x6A7E, pm))
+            .threads(4)
+            .build();
+        Gateway::new(tb, &ctx, GatewayConfig::default()).run()
+    };
+
+    // 0% fault rate: the hot path. No panics, no faults, no failure
+    // verdicts — and still every admitted session accounted for.
+    let clean = run(0);
+    assert!(clean.invariant_holds(), "{}", clean.render());
+    assert_eq!(clean.panicked, 0);
+    assert_eq!(clean.fault_stats, FaultStats::default());
+    assert_eq!(clean.failed_total(), 0);
+    assert_eq!(clean.deadline_exceeded, 0);
+    assert_eq!(
+        clean.established + clean.handshake_failed,
+        clean.completed,
+        "every clean session must carry a terminal verdict"
+    );
+    assert!(clean.established > 0);
+
+    // 100% fault rate: every try of every session faults. Still no
+    // panics, and every completed session lands on a *typed* verdict —
+    // a FailureCause bucket, a deadline overrun, or a clean-link
+    // decline; nothing unclassified.
+    let storm = run(1000);
+    assert!(storm.invariant_holds(), "{}", storm.render());
+    assert_eq!(storm.panicked, 0, "fault storms must not panic the pool");
+    assert_eq!(storm.established, 0, "nothing survives a 100% fault rate");
+    assert_eq!(
+        storm.failed_total() + storm.deadline_exceeded + storm.handshake_failed,
+        storm.completed,
+        "unclassified sessions under 100% faults: {}",
+        storm.render()
+    );
+    assert!(storm.failed_total() > 0);
+
+    // FaultStats totals must equal the injected-fault counters the
+    // same run exported — one event, two independent tallies.
+    let s = storm.fault_stats;
+    assert!(s.injected_total() > 0);
+    let injected_metric: u64 = storm
+        .counters
+        .iter()
+        .filter(|(k, _)| k.starts_with("gateway.faults.injected."))
+        .map(|(_, v)| *v)
+        .sum();
+    assert_eq!(injected_metric, s.injected_total());
+    for (counter, want) in [
+        ("gateway.faults.injected.reset", s.resets),
+        ("gateway.faults.injected.garble", s.garbles),
+        ("gateway.faults.injected.stall", s.stalls),
+        ("gateway.faults.injected.power_cycle", s.power_cycles),
+        ("gateway.faults.injected.dns", s.dns_failures),
+    ] {
+        let got = storm
+            .counters
+            .iter()
+            .find(|(k, _)| *k == counter)
+            .map(|(_, v)| *v)
+            .unwrap_or(0);
+        assert_eq!(got, want, "`{counter}` diverges from FaultStats {s:?}");
+    }
+
+    // The registered engine path absorbs the chaos ctx the same way.
+    let report = GatewayService.run(tb, &chaos_ctx(0x6A7E));
+    assert!(report.invariant_holds());
+    assert!(report.fault_stats.injected_total() > 0);
+}
+
+#[test]
 fn passive_dataset_is_identical_under_chaos_and_counts_truncations() {
     use iotls_repro::capture::{generate, CaptureCtx};
     let tb = Testbed::global();

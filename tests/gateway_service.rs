@@ -1,0 +1,184 @@
+//! Gateway-runtime suite: drain semantics, worker-count
+//! byte-identity, circuit-breaker behavior, and panic isolation.
+//!
+//! Every test runs entirely on virtual time with builder-pinned
+//! worker counts, so nothing here reads `IOTLS_THREADS` or races the
+//! environment.
+
+use iotls_repro::core::{
+    Experiment, ExperimentCtx, Gateway, GatewayConfig, GatewayService, Report,
+};
+use iotls_repro::devices::Testbed;
+use iotls_repro::simnet::FaultPlan;
+
+/// ~10% fault rate across every class — the drain-test regime the
+/// acceptance criteria pin.
+fn tenpct_plan(seed: u64) -> FaultPlan {
+    FaultPlan::uniform(seed, 100)
+}
+
+#[test]
+fn drain_mid_stream_loses_no_sessions() {
+    // Shutdown fires mid-stream while the ingress queue is deep
+    // (offered load far above pool capacity) under ~10% faults. The
+    // drain invariant must account for every admitted session:
+    // completed, rejected, or aborted — none silently lost.
+    let tb = Testbed::global();
+    let ctx = ExperimentCtx::builder()
+        .seed(0xD8A1)
+        .plan(tenpct_plan(0xD8A1))
+        .threads(4)
+        .build();
+    let cfg = GatewayConfig {
+        ticks: 40,
+        drain_at: Some(12),
+        drain_grace: 2,
+        pool_capacity: 40,
+        queue_capacity: 400,
+        ..GatewayConfig::default()
+    };
+    let report = Gateway::new(tb, &ctx, cfg).run();
+
+    assert!(report.invariant_holds(), "{}", report.render());
+    assert!(
+        report.aborted > 0,
+        "drain must catch queued sessions mid-stream: {}",
+        report.render()
+    );
+    assert!(report.completed > 0);
+    assert!(report.established > 0);
+    assert!(
+        report.fault_stats.injected_total() > 0,
+        "the 10% plan never fired"
+    );
+    // The report exposes the same invariant the counters do.
+    let aborted = report
+        .counters
+        .iter()
+        .find(|(k, _)| k == "gateway.drain.aborted")
+        .map(|(_, v)| *v)
+        .unwrap_or(0);
+    assert_eq!(aborted, report.aborted);
+}
+
+#[test]
+fn report_is_byte_identical_across_worker_counts() {
+    // The acceptance bar: same seed, IOTLS_THREADS=1 vs 8 (pinned via
+    // the builder so the test itself is env-independent), identical
+    // GatewayReport — counters section included — byte for byte.
+    let tb = Testbed::global();
+    let run = |threads: usize| {
+        let ctx = ExperimentCtx::builder()
+            .seed(0x6A7E)
+            .plan(tenpct_plan(0x6A7E))
+            .threads(threads)
+            .build();
+        let report = Gateway::new(tb, &ctx, GatewayConfig::default()).run();
+        (report.render(), report.to_json().encode())
+    };
+    let (text_1, json_1) = run(1);
+    let (text_8, json_8) = run(8);
+    assert_eq!(text_1, text_8, "rendered report diverged across threads");
+    assert_eq!(json_1, json_8, "JSON report diverged across threads");
+}
+
+#[test]
+fn breakers_trip_probe_and_shed_load_when_endpoints_wedge() {
+    // A stall-only plan at 100%: every replay overruns its deadline,
+    // so every endpoint fails every session. Breakers must trip,
+    // schedule half-open probes, and shed admitted load as
+    // circuit-open rejections — and stalls must surface as
+    // DeadlineExceeded, not burn the old 64-round wedge budget.
+    let tb = Testbed::global();
+    let plan = FaultPlan {
+        seed: 0x57A11,
+        reset_pm: 0,
+        garble_pm: 0,
+        stall_pm: 1000,
+        dns_fail_pm: 0,
+        power_cycle_pm: 0,
+    };
+    let ctx = ExperimentCtx::builder()
+        .seed(0x57A11)
+        .plan(plan)
+        .threads(4)
+        .build();
+    let report = Gateway::new(tb, &ctx, GatewayConfig::default()).run();
+
+    assert!(report.invariant_holds(), "{}", report.render());
+    // A stall drawn past a short tape's end legitimately lets the
+    // session finish, so some sessions still establish — but every
+    // one that wedged must surface as a deadline overrun, not burn
+    // the old 64-round budget, and long-tape endpoints (which wedge
+    // on every draw) must trip their breakers.
+    assert!(report.deadline_exceeded > 0, "stalls must become deadline overruns");
+    assert!(
+        report.established < report.completed,
+        "100% stalls cannot be a clean run"
+    );
+    assert_eq!(report.failed_total(), 0, "stalls are overruns, not failures");
+    assert_eq!(
+        report.established + report.handshake_failed + report.deadline_exceeded,
+        report.completed,
+        "every completed session needs a terminal verdict: {}",
+        report.render()
+    );
+    assert!(report.breakers_opened > 0, "breakers never tripped");
+    assert!(report.breaker_probes > 0, "no half-open probes scheduled");
+    assert!(
+        report.rejected_circuit_open > 0,
+        "open breakers never shed load"
+    );
+}
+
+#[test]
+fn poisoned_sessions_are_isolated_and_counted() {
+    // poison_pm = 1000: every driven session panics inside the worker
+    // pool. The pool must survive all of them, classify each as
+    // Panicked, and keep the drain invariant intact.
+    let tb = Testbed::global();
+    let ctx = ExperimentCtx::builder().seed(0xBAD).threads(4).build();
+    let cfg = GatewayConfig {
+        ticks: 4,
+        load: 8,
+        load_spread: 2,
+        queue_capacity: 64,
+        pool_capacity: 16,
+        bucket_capacity: 64,
+        bucket_refill: 32,
+        poison_pm: 1000,
+        ..GatewayConfig::default()
+    };
+    let report = Gateway::new(tb, &ctx, cfg).run();
+
+    assert!(report.invariant_holds(), "{}", report.render());
+    assert!(report.completed > 0);
+    assert_eq!(
+        report.panicked, report.completed,
+        "every session must panic and be isolated: {}",
+        report.render()
+    );
+    assert_eq!(report.established, 0);
+    let panicked = report
+        .counters
+        .iter()
+        .find(|(k, _)| k == "gateway.sessions.panicked")
+        .map(|(_, v)| *v)
+        .unwrap_or(0);
+    assert_eq!(panicked, report.panicked);
+}
+
+#[test]
+fn gateway_runs_as_a_registered_experiment() {
+    // The registry path: GatewayService::run with the canonical
+    // default config produces a fixture-backed report whose name and
+    // fixture list agree with the experiment registry.
+    let tb = Testbed::global();
+    let ctx = ExperimentCtx::new(0x6A7E);
+    let report = GatewayService.run(tb, &ctx);
+    assert_eq!(GatewayService.name(), "gateway_service");
+    assert_eq!(report.fixtures(), &["gateway_service"]);
+    assert!(report.invariant_holds());
+    assert!(report.established > 0);
+    assert!(report.fault_stats().is_some());
+}

@@ -100,9 +100,10 @@ fn golden_static_tables() {
 #[test]
 fn golden_experiment_registry() {
     // One orchestrator pass over the whole registry at the canonical
-    // seeds covers every experiment-backed fixture: Tables 5, 6, 7, 9
-    // and Figures 4 and 5. The audit service backs no fixture but
-    // still runs, so a panic in any engine fails this test.
+    // seeds covers every experiment-backed fixture: Tables 5, 6, 7, 9,
+    // Figures 4 and 5, and the gateway drain snapshot. The audit
+    // service backs no fixture but still runs, so a panic in any
+    // engine fails this test.
     let testbed = Testbed::global();
     let ctx = ExperimentCtx::new(0);
     let runs = Orchestrator::new(testbed, &ctx).canonical_seeds().run_all();
@@ -121,7 +122,7 @@ fn golden_experiment_registry() {
             checked += 1;
         }
     }
-    assert_eq!(checked, 6, "fixture coverage shrank");
+    assert_eq!(checked, 7, "fixture coverage shrank");
 }
 
 #[test]
