@@ -97,28 +97,32 @@ mod flag {
 /// One columnar chunk of observations. Symbol columns index the
 /// owning dataset's intern tables; variable-length columns are
 /// `(offset, len)` spans into the chunk's local pools.
+///
+/// Fields are `pub(crate)` so [`crate::store`] can serialize the
+/// columns verbatim; outside the crate only the row/metadata API is
+/// visible.
 #[derive(Debug, Clone)]
 pub struct ObsChunk {
-    time: Vec<i64>,
-    device: Vec<u32>,
-    destination: Vec<u32>,
-    sni: Vec<u32>,
-    fingerprint: Vec<u32>,
-    adv_versions: Vec<(u32, u16)>,
-    max_adv: Vec<u16>,
-    suites: Vec<(u32, u16)>,
-    neg_version: Vec<u16>,
-    neg_suite: Vec<u16>,
-    leaf_issuer: Vec<u32>,
-    alerts_c2s: Vec<(u32, u16)>,
-    alerts_s2c: Vec<(u32, u16)>,
-    flags: Vec<u8>,
-    count: Vec<u64>,
-    pool_u16: Vec<u16>,
-    pool_u8: Vec<u8>,
-    min_time: i64,
-    max_time: i64,
-    device_bits: Vec<u64>,
+    pub(crate) time: Vec<i64>,
+    pub(crate) device: Vec<u32>,
+    pub(crate) destination: Vec<u32>,
+    pub(crate) sni: Vec<u32>,
+    pub(crate) fingerprint: Vec<u32>,
+    pub(crate) adv_versions: Vec<(u32, u16)>,
+    pub(crate) max_adv: Vec<u16>,
+    pub(crate) suites: Vec<(u32, u16)>,
+    pub(crate) neg_version: Vec<u16>,
+    pub(crate) neg_suite: Vec<u16>,
+    pub(crate) leaf_issuer: Vec<u32>,
+    pub(crate) alerts_c2s: Vec<(u32, u16)>,
+    pub(crate) alerts_s2c: Vec<(u32, u16)>,
+    pub(crate) flags: Vec<u8>,
+    pub(crate) count: Vec<u64>,
+    pub(crate) pool_u16: Vec<u16>,
+    pub(crate) pool_u8: Vec<u8>,
+    pub(crate) min_time: i64,
+    pub(crate) max_time: i64,
+    pub(crate) device_bits: Vec<u64>,
 }
 
 impl Default for ObsChunk {
@@ -386,30 +390,36 @@ impl ChunkWriter {
         self.chunk.len() >= CHUNK_ROWS
     }
 
-    fn intern_u16(&mut self, items: &[u16]) -> (u32, u16) {
+    /// Interns `items` on behalf of `n` identical rows: the span
+    /// lookup happens once, while the dedup counters advance exactly
+    /// as if the rows had been pushed one at a time.
+    fn intern_u16_n(&mut self, items: &[u16], n: u64) -> (u32, u16) {
         if items.is_empty() {
             return (0, 0);
         }
         if let Some(&span) = self.dedupe_u16.get(items) {
-            self.stats.pool_u16_hits += 1;
+            self.stats.pool_u16_hits += n;
             return span;
         }
         self.stats.pool_u16_appends += 1;
+        self.stats.pool_u16_hits += n - 1;
         let span = (self.chunk.pool_u16.len() as u32, items.len() as u16);
         self.chunk.pool_u16.extend_from_slice(items);
         self.dedupe_u16.insert(items.into(), span);
         span
     }
 
-    fn intern_u8(&mut self, items: &[u8]) -> (u32, u16) {
+    /// [`intern_u16_n`](Self::intern_u16_n) for the u8 pool.
+    fn intern_u8_n(&mut self, items: &[u8], n: u64) -> (u32, u16) {
         if items.is_empty() {
             return (0, 0);
         }
         if let Some(&span) = self.dedupe_u8.get(items) {
-            self.stats.pool_u8_hits += 1;
+            self.stats.pool_u8_hits += n;
             return span;
         }
         self.stats.pool_u8_appends += 1;
+        self.stats.pool_u8_hits += n - 1;
         let span = (self.chunk.pool_u8.len() as u32, items.len() as u16);
         self.chunk.pool_u8.extend_from_slice(items);
         self.dedupe_u8.insert(items.into(), span);
@@ -418,24 +428,42 @@ impl ChunkWriter {
 
     /// Appends one row.
     pub fn push(&mut self, row: &RowView<'_>) {
-        let adv = self.intern_u16(row.advertised_wire);
-        let suites = self.intern_u16(row.suites);
-        let a_c2s = self.intern_u8(row.alerts_c2s);
-        let a_s2c = self.intern_u8(row.alerts_s2c);
+        self.push_repeated(row, 1);
+    }
+
+    /// Appends `n` copies of one row — columns, pools, dedup
+    /// counters, and pruning metadata all byte-identical to calling
+    /// [`push`](Self::push) `n` times, but the span lookups happen
+    /// once and the fixed-width columns are bulk-filled. The caller
+    /// handles chunk capacity (the writer never seals on its own), so
+    /// `n` should not push the open chunk past [`CHUNK_ROWS`] unless
+    /// an oversized chunk is intended.
+    pub fn push_repeated(&mut self, row: &RowView<'_>, n: usize) {
+        if n == 0 {
+            return;
+        }
+        let reps = n as u64;
+        let adv = self.intern_u16_n(row.advertised_wire, reps);
+        let suites = self.intern_u16_n(row.suites, reps);
+        let a_c2s = self.intern_u8_n(row.alerts_c2s, reps);
+        let a_s2c = self.intern_u8_n(row.alerts_s2c, reps);
         let c = &mut self.chunk;
-        c.time.push(row.time);
-        c.device.push(row.device.0);
-        c.destination.push(row.destination.0);
-        c.sni.push(row.sni.map_or(NO_SYM, |s| s.0));
-        c.fingerprint.push(row.fingerprint);
-        c.adv_versions.push(adv);
-        c.max_adv.push(row.max_advertised_wire);
-        c.suites.push(suites);
-        c.neg_version.push(row.negotiated_version_wire.unwrap_or(0));
-        c.neg_suite.push(row.negotiated_suite.unwrap_or(0));
-        c.leaf_issuer.push(row.leaf_issuer.map_or(NO_SYM, |s| s.0));
-        c.alerts_c2s.push(a_c2s);
-        c.alerts_s2c.push(a_s2c);
+        let len = c.time.len() + n;
+        c.time.resize(len, row.time);
+        c.device.resize(len, row.device.0);
+        c.destination.resize(len, row.destination.0);
+        c.sni.resize(len, row.sni.map_or(NO_SYM, |s| s.0));
+        c.fingerprint.resize(len, row.fingerprint);
+        c.adv_versions.resize(len, adv);
+        c.max_adv.resize(len, row.max_advertised_wire);
+        c.suites.resize(len, suites);
+        c.neg_version
+            .resize(len, row.negotiated_version_wire.unwrap_or(0));
+        c.neg_suite.resize(len, row.negotiated_suite.unwrap_or(0));
+        c.leaf_issuer
+            .resize(len, row.leaf_issuer.map_or(NO_SYM, |s| s.0));
+        c.alerts_c2s.resize(len, a_c2s);
+        c.alerts_s2c.resize(len, a_s2c);
         let mut flags = 0u8;
         if row.requested_ocsp {
             flags |= flag::REQUESTED_OCSP;
@@ -449,8 +477,8 @@ impl ChunkWriter {
         if row.negotiated_suite.is_some() {
             flags |= flag::HAS_NEG_SUITE;
         }
-        c.flags.push(flags);
-        c.count.push(row.count);
+        c.flags.resize(len, flags);
+        c.count.resize(len, row.count);
         c.min_time = c.min_time.min(row.time);
         c.max_time = c.max_time.max(row.time);
         let (word, bit) = (row.device.index() / 64, row.device.index() % 64);
@@ -458,7 +486,7 @@ impl ChunkWriter {
             c.device_bits.resize(word + 1, 0);
         }
         c.device_bits[word] |= 1u64 << bit;
-        self.stats.rows_written += 1;
+        self.stats.rows_written += reps;
     }
 
     /// Seals and returns the open chunk, leaving the writer empty.

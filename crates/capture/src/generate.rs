@@ -23,7 +23,10 @@
 //! materializes a paper-scale (≥10M-connection) row stream from the
 //! seed schedule while holding only one open chunk in memory.
 
-use crate::columnar::{ColumnarDataset, DatasetBuilder, ObsChunk, RevRow, RowView};
+use crate::columnar::{
+    ChunkWriter, ColumnarDataset, ColumnarStats, DatasetBuilder, ObsChunk, RevRow, RowView,
+    CHUNK_ROWS,
+};
 use iotls_obs::{Registry, SharedRegistry};
 use crate::dataset::{PassiveDataset, RevocationKind};
 use crate::intern::{DigestInterner, Interner, Symbol};
@@ -143,8 +146,26 @@ impl CaptureCtx {
         max_count_per_row: u64,
         sink: &mut dyn FnMut(ObsChunk),
     ) -> ColumnarDataset {
+        self.generate_folded(testbed, max_count_per_row, &|c| c, &mut |c| sink(c))
+    }
+
+    /// [`generate_streamed`](Self::generate_streamed) with a
+    /// chunk-fold stage fused into the parallel builders: `fold` runs
+    /// **on the worker that sealed the chunk** (so per-chunk analysis
+    /// parallelizes with construction), and the folded values reach
+    /// `emit` sequentially in chunk order. At most
+    /// `threads` folded-but-unemitted chunks are in flight, keeping a
+    /// streaming consumer's memory bounded. `generate_streamed` is
+    /// the identity-fold special case.
+    pub fn generate_folded<A: Send>(
+        &self,
+        testbed: &Testbed,
+        max_count_per_row: u64,
+        fold: &(dyn Fn(ObsChunk) -> A + Sync),
+        emit: &mut dyn FnMut(A),
+    ) -> ColumnarDataset {
         let mut local = Registry::new();
-        let ds = streamed(self, testbed, max_count_per_row, sink, &mut local);
+        let ds = streamed(self, testbed, max_count_per_row, fold, emit, &mut local);
         self.metrics.merge(&local);
         ds
     }
@@ -179,6 +200,25 @@ struct LaneOut {
     ds: ColumnarDataset,
     events: Vec<EventOut>,
     obs: Registry,
+}
+
+/// One weighted merged row, remapped into the shared tables and
+/// pinned to its global expanded-row offset — the unit of work for
+/// the parallel chunk builders of phase 2. The row's `count` field is
+/// a placeholder; physical row `j` of the task carries
+/// `base + (j < rem) as u64` so the splits sum exactly to the
+/// weighted count.
+struct Task<'a> {
+    /// Global expanded-row offset of the task's first physical row.
+    start: u64,
+    /// Physical rows the task expands into (≥ 1).
+    n: u64,
+    /// Per-row count floor.
+    base: u64,
+    /// How many leading rows get `base + 1`.
+    rem: u64,
+    /// The remapped row (borrowing its lane's pools).
+    row: RowView<'a>,
 }
 
 /// Lazily-built symbol translation from one lane's tables into the
@@ -246,15 +286,28 @@ fn lane_row(chunks: &[ObsChunk], mut i: usize) -> crate::columnar::RawRow<'_> {
 ///
 /// Metrics: each lane records its driven sessions (`sim.*`) and
 /// builder counters into a lane-local [`Registry`] shard; shards
-/// merge into `reg` in roster order, then the sequential merge phase
-/// adds `capture.*` counters (rows weighted/expanded, chunks
-/// streamed, pool dedup, truncations) and intern-table-size gauges —
-/// all byte-identical at any worker count.
-fn streamed(
+/// merge into `reg` in roster order, then the merge phase adds
+/// `capture.*` counters (rows weighted/expanded, chunks streamed,
+/// pool dedup, truncations) and intern-table-size gauges — all
+/// byte-identical at any worker count.
+///
+/// The merge itself runs in two phases. Phase 1 walks the ordered
+/// events **sequentially**, performing every intern-table remap in
+/// timeline order (so the shared tables are byte-identical to the old
+/// one-writer merge) and recording each weighted row as a [`Task`]
+/// pinned to its global expanded-row offset. Phase 2 builds the
+/// sealed chunks **in parallel**: chunk `k` covers the fixed global
+/// row range `[k·CHUNK_ROWS, (k+1)·CHUNK_ROWS)`, and because
+/// [`ChunkWriter::take`] resets the dedup maps at every seal, a
+/// chunk's bytes and stats depend only on its own rows — per-chunk
+/// construction with a fresh writer is byte- and counter-identical to
+/// one writer pushing row by row, at any worker count.
+fn streamed<A: Send>(
     ctx: &CaptureCtx,
     testbed: &Testbed,
     max_count_per_row: u64,
-    sink: &mut dyn FnMut(ObsChunk),
+    fold: &(dyn Fn(ObsChunk) -> A + Sync),
+    emit: &mut dyn FnMut(A),
     reg: &mut Registry,
 ) -> ColumnarDataset {
     let plan = ctx.plan;
@@ -395,9 +448,11 @@ fn streamed(
         reg.merge(&lane.obs);
     }
 
-    // Sequential merge in global timeline order: remap lane symbols
-    // into the shared tables and stream rows (expanded as requested)
-    // through one open chunk.
+    // Phase 1 — sequential remap in global timeline order: lane
+    // symbols translate into the shared tables (every intern call in
+    // the exact order the one-writer merge made them), and each
+    // weighted row becomes a `Task` pinned to its global
+    // expanded-row offset.
     let mut remaps: Vec<Remap> = lane_outs.iter().map(Remap::for_lane).collect();
     let mut ordered: Vec<(usize, &EventOut)> = lane_outs
         .iter()
@@ -407,6 +462,8 @@ fn streamed(
     ordered.sort_by_key(|(_, e)| e.idx);
 
     let mut out = DatasetBuilder::new();
+    let mut tasks: Vec<Task<'_>> = Vec::new();
+    let mut total_rows = 0u64;
     for (lane_i, ev) in ordered {
         let lane = &lane_outs[lane_i];
         let remap = &mut remaps[lane_i];
@@ -433,7 +490,7 @@ fn streamed(
                 requested_ocsp: raw.requested_ocsp(),
                 ocsp_stapled: raw.ocsp_stapled(),
                 established: raw.established(),
-                count: 0, // per-split count set below
+                count: 0, // per-split count set by the chunk builders
             };
             // Split into n physical rows whose counts sum exactly to
             // the weighted count.
@@ -443,13 +500,14 @@ fn streamed(
             reg.inc("capture.rows.weighted");
             reg.add("capture.rows.expanded", n);
             reg.add("capture.connections", count);
-            for k in 0..n {
-                let split = RowView {
-                    count: base + u64::from(k < rem),
-                    ..row
-                };
-                out.push_row(&split, sink);
-            }
+            tasks.push(Task {
+                start: total_rows,
+                n,
+                base,
+                rem,
+                row,
+            });
+            total_rows += n;
         }
         for fi in ev.flows.0..ev.flows.1 {
             let f = lane.ds.revocation_flows[fi as usize];
@@ -459,9 +517,61 @@ fn streamed(
         }
         out.truncated += ev.truncated;
     }
-    out.flush(sink);
+
+    // Phase 2 — parallel chunk construction over fixed global row
+    // ranges. Tasks have strictly increasing starts and n ≥ 1, so the
+    // first task overlapping a range is found by binary search; a
+    // task's rows keep their `base + 1` (first `rem`) / `base` counts
+    // wherever the chunk boundaries fall. Chunks are built in batches
+    // of `threads` so at most that many sealed chunks are in memory,
+    // then folded values are emitted in chunk order.
+    let starts: Vec<u64> = tasks.iter().map(|t| t.start).collect();
+    let chunk_rows = CHUNK_ROWS as u64;
+    let chunk_count = total_rows.div_ceil(chunk_rows) as usize;
+    let build = |k: usize| {
+        let lo = k as u64 * chunk_rows;
+        let hi = (lo + chunk_rows).min(total_rows);
+        let mut w = ChunkWriter::new();
+        let mut ti = starts.partition_point(|&s| s <= lo) - 1;
+        let mut pos = lo;
+        while pos < hi {
+            let t = &tasks[ti];
+            let end = (t.start + t.n).min(hi);
+            let (j0, j1) = (pos - t.start, end - t.start);
+            let boosted = j1.min(t.rem) - j0.min(t.rem);
+            if boosted > 0 {
+                let split = RowView {
+                    count: t.base + 1,
+                    ..t.row
+                };
+                w.push_repeated(&split, boosted as usize);
+            }
+            let rest = (j1 - j0) - boosted;
+            if rest > 0 {
+                let split = RowView {
+                    count: t.base,
+                    ..t.row
+                };
+                w.push_repeated(&split, rest as usize);
+            }
+            pos = end;
+            ti += 1;
+        }
+        let chunk = w.take();
+        (fold(chunk), w.stats())
+    };
+    let mut merge_stats = ColumnarStats::default();
+    let mut next = 0usize;
+    while next < chunk_count {
+        let batch: Vec<usize> = (next..(next + ctx.threads.max(1)).min(chunk_count)).collect();
+        next += batch.len();
+        for (folded, stats) in iotls_simnet::ordered_map_with(ctx.threads, batch, build) {
+            merge_stats.merge(&stats);
+            emit(folded);
+        }
+    }
     reg.add("capture.captures.truncated", out.truncated);
-    out.stats().export(reg, "capture.merge");
+    merge_stats.export(reg, "capture.merge");
     reg.set_gauge("capture.strings.interned", out.strings.len() as i64);
     reg.set_gauge("capture.fingerprints.interned", out.fps.len() as i64);
     out.into_dataset(Vec::new())

@@ -115,6 +115,11 @@ impl DigestInterner {
     pub fn is_empty(&self) -> bool {
         self.digests.is_empty()
     }
+
+    /// All interned digests, in insertion (index) order.
+    pub fn iter(&self) -> impl Iterator<Item = FingerprintId> + '_ {
+        self.digests.iter().copied()
+    }
 }
 
 #[cfg(test)]

@@ -16,12 +16,14 @@ pub mod generate;
 pub mod intern;
 pub mod json;
 pub mod serialize;
+pub mod store;
 pub mod timeline;
 
 pub use columnar::{
-    ChunkWriter, ColumnarDataset, ColumnarStats, DatasetBuilder, ObsChunk, ObsRef, RevRow, RowView,
-    CHUNK_ROWS,
+    ChunkWriter, ColumnarDataset, ColumnarStats, DatasetBuilder, ObsChunk, ObsRef, RawRow, RevRow,
+    RowView, CHUNK_ROWS,
 };
+pub use store::{ColumnarStore, StoreError, StoreWriter};
 pub use dataset::{
     DatasetStats, PassiveDataset, RevocationFlow, RevocationKind, WeightedObservation,
 };

@@ -1,0 +1,1164 @@
+//! Persistent on-disk form of the columnar dataset.
+//!
+//! A store file is a length-prefixed frame sequence: a fixed 20-byte
+//! header, the sealed chunk frames back to back, and a footer holding
+//! the chunk directory (offset, length, row count, CRC-32C, and the
+//! per-chunk pruning metadata — min/max time plus the device bitmap),
+//! the intern tables, the revocation flows, and the dataset tails.
+//! Everything is little-endian with **no padding bytes**, so every
+//! byte of the file is covered by either the per-frame CRC-32C or the
+//! footer CRC-32C (the header is covered by its own field checks).
+//!
+//! ```text
+//! header   magic "IOTLSCS1" ·· version u32 ·· footer_off u64
+//! frames   chunk 0 payload | chunk 1 payload | …
+//!          (payload = columns in schema order: time, the five u32
+//!          symbol columns, the three u16 columns, flags, count, the
+//!          four span columns as offsets-then-lengths, then the two
+//!          length-prefixed dedup pools)
+//! footer   chunk_count u64
+//!          per chunk: offset u64 · len u64 · rows u32 · crc u32
+//!                     · min_time i64 · max_time i64
+//!                     · words u32 · device_bits words×u64
+//!          strings:   count u32 · per string (len u32 · bytes)
+//!          digests:   count u32 · 16 bytes each
+//!          flows:     count u32 · per flow (time i64 · device u32
+//!                     · kind u8 · url u32 · count u64)
+//!          truncated u64 · total_rows u64 · total_connections u64
+//!          footer crc32 u32
+//! ```
+//!
+//! [`StoreWriter`] streams chunks to disk as they seal (usable as a
+//! `generate_streamed` sink, so a paper-scale corpus is written in
+//! bounded memory); [`ColumnarStore`] reads the directory and tables
+//! eagerly but materializes chunk frames lazily — with
+//! [`select_chunks`](ColumnarStore::select_chunks) pruning straight
+//! off the directory, a time/device slice never touches the skipped
+//! frames at all. [`ColumnarStore::open`] reads frames on demand
+//! (`pread`, bounded memory); [`ColumnarStore::open_mmap`] maps the
+//! whole file (falling back to one buffered read when `mmap` is
+//! unavailable) for repeated random access.
+//!
+//! Corruption never panics: truncations, bit flips, and structurally
+//! impossible values all surface as typed [`StoreError`]s. Decoded
+//! chunks are validated — span columns must land inside their pools
+//! and symbol columns inside the intern tables — so even a
+//! CRC-correct but hostile file cannot push an out-of-bounds index
+//! into the row accessors.
+
+use crate::columnar::{ColumnarDataset, ObsChunk};
+use crate::dataset::RevocationKind;
+use crate::intern::{DigestInterner, Interner, Symbol};
+use crate::RevRow;
+use iotls_tls::fingerprint::FingerprintId;
+use std::fs::File;
+use std::io::{self, BufWriter, Seek, SeekFrom, Write};
+use std::path::Path;
+
+/// File magic: "IOTLS" + "CS" (columnar store) + format generation.
+const MAGIC: [u8; 8] = *b"IOTLSCS1";
+
+/// Current format version.
+const VERSION: u32 = 1;
+
+/// Header bytes: magic + version + footer offset.
+const HEADER_LEN: u64 = 8 + 4 + 8;
+
+/// Fixed bytes per row in a chunk frame (the non-pool columns).
+const ROW_BYTES: u64 = 8 + 4 * 5 + 2 * 3 + 1 + 8 + (4 + 2) * 4;
+
+/// Sentinel for "absent" in optional symbol columns (mirrors
+/// `columnar::NO_SYM`, which is crate-private by design).
+const NO_SYM: u32 = u32::MAX;
+
+// ── CRC-32C ─────────────────────────────────────────────────────────
+
+/// CRC-32C lookup tables (Castagnoli polynomial `0x82F6_3B78`), built
+/// at compile time. Eight tables for the slicing-by-8 software
+/// kernel: every frame of the paper-scale store (~1 GB) is
+/// checksummed on open, so the classic byte-at-a-time loop would
+/// dominate the reload path. Castagnoli (not IEEE) because x86_64
+/// ships a dedicated `crc32` instruction for exactly this polynomial
+/// — on SSE4.2 hardware the checksum costs roughly a memory read.
+static CRC_TABLES: [[u32; 256]; 8] = crc_tables();
+
+const fn crc_tables() -> [[u32; 256]; 8] {
+    let mut t = [[0u32; 256]; 8];
+    let mut i = 0;
+    while i < 256 {
+        let mut c = i as u32;
+        let mut k = 0;
+        while k < 8 {
+            c = if c & 1 != 0 { 0x82F6_3B78 ^ (c >> 1) } else { c >> 1 };
+            k += 1;
+        }
+        t[0][i] = c;
+        i += 1;
+    }
+    let mut j = 1;
+    while j < 8 {
+        let mut i = 0;
+        while i < 256 {
+            t[j][i] = (t[j - 1][i] >> 8) ^ t[0][(t[j - 1][i] & 0xFF) as usize];
+            i += 1;
+        }
+        j += 1;
+    }
+    t
+}
+
+/// CRC-32C of `bytes`. Hardware `crc32q` on x86_64 with SSE4.2,
+/// software slicing-by-8 everywhere else.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    !crc32_raw(!0, bytes)
+}
+
+/// Streaming kernel over the pre/post-inverted state, so a frame can
+/// be checksummed block-by-block while each block is still cache-hot
+/// from the `pread` that fetched it.
+fn crc32_raw(state: u32, bytes: &[u8]) -> u32 {
+    #[cfg(target_arch = "x86_64")]
+    if std::arch::is_x86_feature_detected!("sse4.2") {
+        // SAFETY: guarded by the runtime SSE4.2 detection above.
+        return unsafe { crc32_hw(state, bytes) };
+    }
+    crc32_sw(state, bytes)
+}
+
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "sse4.2")]
+unsafe fn crc32_hw(state: u32, bytes: &[u8]) -> u32 {
+    use std::arch::x86_64::{_mm_crc32_u64, _mm_crc32_u8};
+    let mut words = bytes.chunks_exact(8);
+    let mut c = state as u64;
+    for w in &mut words {
+        c = _mm_crc32_u64(c, u64::from_le_bytes(w.try_into().unwrap()));
+    }
+    let mut c = c as u32;
+    for &b in words.remainder() {
+        c = _mm_crc32_u8(c, b);
+    }
+    c
+}
+
+fn crc32_sw(state: u32, bytes: &[u8]) -> u32 {
+    let mut c = state;
+    let mut words = bytes.chunks_exact(8);
+    for w in &mut words {
+        let lo = u32::from_le_bytes(w[0..4].try_into().unwrap()) ^ c;
+        let hi = u32::from_le_bytes(w[4..8].try_into().unwrap());
+        c = CRC_TABLES[7][(lo & 0xFF) as usize]
+            ^ CRC_TABLES[6][((lo >> 8) & 0xFF) as usize]
+            ^ CRC_TABLES[5][((lo >> 16) & 0xFF) as usize]
+            ^ CRC_TABLES[4][(lo >> 24) as usize]
+            ^ CRC_TABLES[3][(hi & 0xFF) as usize]
+            ^ CRC_TABLES[2][((hi >> 8) & 0xFF) as usize]
+            ^ CRC_TABLES[1][((hi >> 16) & 0xFF) as usize]
+            ^ CRC_TABLES[0][(hi >> 24) as usize];
+    }
+    for &b in words.remainder() {
+        c = CRC_TABLES[0][((c ^ b as u32) & 0xFF) as usize] ^ (c >> 8);
+    }
+    c
+}
+
+// ── Errors ──────────────────────────────────────────────────────────
+
+/// Everything that can go wrong reading a store file. Corrupt input
+/// is an error value, never a panic.
+#[derive(Debug)]
+pub enum StoreError {
+    /// Underlying I/O failure.
+    Io(io::Error),
+    /// The file does not start with the store magic.
+    BadMagic,
+    /// The file's format version is newer than this reader.
+    UnsupportedVersion(u32),
+    /// The file ends (or a length field points) before the named
+    /// structure is complete.
+    Truncated {
+        /// Which structure was being read.
+        context: &'static str,
+    },
+    /// A CRC-32C check failed: `chunk` names the frame, `None` means
+    /// the footer.
+    ChecksumMismatch {
+        /// Frame index, or `None` for the footer.
+        chunk: Option<u32>,
+    },
+    /// A structurally impossible value (out-of-range symbol, span
+    /// outside its pool, invalid enum byte, …).
+    Corrupt(&'static str),
+}
+
+impl std::fmt::Display for StoreError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StoreError::Io(e) => write!(f, "store i/o error: {e}"),
+            StoreError::BadMagic => write!(f, "not a columnar store file (bad magic)"),
+            StoreError::UnsupportedVersion(v) => {
+                write!(f, "unsupported store version {v} (reader supports {VERSION})")
+            }
+            StoreError::Truncated { context } => write!(f, "store truncated reading {context}"),
+            StoreError::ChecksumMismatch { chunk: Some(i) } => {
+                write!(f, "checksum mismatch in chunk frame {i}")
+            }
+            StoreError::ChecksumMismatch { chunk: None } => {
+                write!(f, "checksum mismatch in store footer")
+            }
+            StoreError::Corrupt(what) => write!(f, "corrupt store: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for StoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            StoreError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for StoreError {
+    fn from(e: io::Error) -> Self {
+        StoreError::Io(e)
+    }
+}
+
+// ── Little-endian encode helpers ────────────────────────────────────
+
+fn put_u16s(buf: &mut Vec<u8>, vals: &[u16]) {
+    for v in vals {
+        buf.extend_from_slice(&v.to_le_bytes());
+    }
+}
+
+fn put_u32s(buf: &mut Vec<u8>, vals: &[u32]) {
+    for v in vals {
+        buf.extend_from_slice(&v.to_le_bytes());
+    }
+}
+
+fn put_u64s(buf: &mut Vec<u8>, vals: &[u64]) {
+    for v in vals {
+        buf.extend_from_slice(&v.to_le_bytes());
+    }
+}
+
+fn put_i64s(buf: &mut Vec<u8>, vals: &[i64]) {
+    for v in vals {
+        buf.extend_from_slice(&v.to_le_bytes());
+    }
+}
+
+/// Span columns serialize as all offsets then all lengths.
+fn put_spans(buf: &mut Vec<u8>, spans: &[(u32, u16)]) {
+    for (off, _) in spans {
+        buf.extend_from_slice(&off.to_le_bytes());
+    }
+    for (_, len) in spans {
+        buf.extend_from_slice(&len.to_le_bytes());
+    }
+}
+
+/// Serializes one chunk's payload (everything the frame carries; the
+/// pruning metadata lives in the directory instead).
+fn encode_chunk(c: &ObsChunk, buf: &mut Vec<u8>) {
+    buf.clear();
+    put_i64s(buf, &c.time);
+    put_u32s(buf, &c.device);
+    put_u32s(buf, &c.destination);
+    put_u32s(buf, &c.sni);
+    put_u32s(buf, &c.fingerprint);
+    put_u32s(buf, &c.leaf_issuer);
+    put_u16s(buf, &c.max_adv);
+    put_u16s(buf, &c.neg_version);
+    put_u16s(buf, &c.neg_suite);
+    buf.extend_from_slice(&c.flags);
+    put_u64s(buf, &c.count);
+    put_spans(buf, &c.adv_versions);
+    put_spans(buf, &c.suites);
+    put_spans(buf, &c.alerts_c2s);
+    put_spans(buf, &c.alerts_s2c);
+    buf.extend_from_slice(&(c.pool_u16.len() as u32).to_le_bytes());
+    put_u16s(buf, &c.pool_u16);
+    buf.extend_from_slice(&(c.pool_u8.len() as u32).to_le_bytes());
+    buf.extend_from_slice(&c.pool_u8);
+}
+
+// ── Bounded little-endian reader ────────────────────────────────────
+
+/// Cursor over a borrowed byte buffer; every read is bounds-checked
+/// and failure carries the structure being read.
+struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+    context: &'static str,
+}
+
+impl<'a> Reader<'a> {
+    fn new(buf: &'a [u8], context: &'static str) -> Self {
+        Reader { buf, pos: 0, context }
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], StoreError> {
+        let end = self
+            .pos
+            .checked_add(n)
+            .filter(|&e| e <= self.buf.len())
+            .ok_or(StoreError::Truncated { context: self.context })?;
+        let out = &self.buf[self.pos..end];
+        self.pos = end;
+        Ok(out)
+    }
+
+    fn u8(&mut self) -> Result<u8, StoreError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u32(&mut self) -> Result<u32, StoreError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    fn u64(&mut self) -> Result<u64, StoreError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    fn i64(&mut self) -> Result<i64, StoreError> {
+        Ok(i64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    fn u16s(&mut self, n: usize) -> Result<Vec<u16>, StoreError> {
+        decode_le::<u16>(self.take(n * 2)?, n, |b| {
+            u16::from_le_bytes(b.try_into().unwrap())
+        })
+    }
+
+    fn u32s(&mut self, n: usize) -> Result<Vec<u32>, StoreError> {
+        decode_le::<u32>(self.take(n * 4)?, n, |b| {
+            u32::from_le_bytes(b.try_into().unwrap())
+        })
+    }
+
+    fn u64s(&mut self, n: usize) -> Result<Vec<u64>, StoreError> {
+        decode_le::<u64>(self.take(n * 8)?, n, |b| {
+            u64::from_le_bytes(b.try_into().unwrap())
+        })
+    }
+
+    fn i64s(&mut self, n: usize) -> Result<Vec<i64>, StoreError> {
+        decode_le::<i64>(self.take(n * 8)?, n, |b| {
+            i64::from_le_bytes(b.try_into().unwrap())
+        })
+    }
+
+    fn spans(&mut self, n: usize) -> Result<Vec<(u32, u16)>, StoreError> {
+        // Decode straight from the raw offset/length bytes into the
+        // pair vector — no intermediate columns, one pass.
+        let offs = self.take(n * 4)?;
+        let lens = self.take(n * 2)?;
+        Ok(offs
+            .chunks_exact(4)
+            .zip(lens.chunks_exact(2))
+            .map(|(o, l)| {
+                (
+                    u32::from_le_bytes(o.try_into().unwrap()),
+                    u16::from_le_bytes(l.try_into().unwrap()),
+                )
+            })
+            .collect())
+    }
+
+    fn done(&self) -> Result<(), StoreError> {
+        if self.pos == self.buf.len() {
+            Ok(())
+        } else {
+            Err(StoreError::Corrupt("trailing bytes after structure"))
+        }
+    }
+}
+
+/// Decode `n` little-endian integers from `raw`. On little-endian
+/// targets the wire layout IS the in-memory layout, so the whole
+/// column becomes one memcpy — this path carries the bulk of the
+/// reload bytes (every fixed-width column of every frame). Other
+/// targets fall back to the per-element conversion closure.
+fn decode_le<T: Copy + Default>(
+    raw: &[u8],
+    n: usize,
+    from_bytes: impl Fn(&[u8]) -> T,
+) -> Result<Vec<T>, StoreError> {
+    debug_assert_eq!(raw.len(), n * std::mem::size_of::<T>());
+    if cfg!(target_endian = "little") {
+        let mut out = Vec::<T>::with_capacity(n);
+        // SAFETY: `raw` holds exactly `n` values of the integer type
+        // `T` in little-endian byte order, which on a little-endian
+        // target is `T`'s native representation; the copy fills the
+        // capacity just reserved before the length is set.
+        unsafe {
+            std::ptr::copy_nonoverlapping(raw.as_ptr(), out.as_mut_ptr() as *mut u8, raw.len());
+            out.set_len(n);
+        }
+        Ok(out)
+    } else {
+        Ok(raw.chunks_exact(std::mem::size_of::<T>()).map(from_bytes).collect())
+    }
+}
+
+// ── Writer ──────────────────────────────────────────────────────────
+
+/// One chunk's directory entry: where its frame lives, its CRC, and
+/// the pruning metadata preserved outside the frame so
+/// [`ColumnarStore::select_chunks`] never has to decode it.
+#[derive(Debug, Clone)]
+struct DirEntry {
+    offset: u64,
+    len: u64,
+    rows: u32,
+    crc: u32,
+    min_time: i64,
+    max_time: i64,
+    device_bits: Vec<u64>,
+}
+
+/// Streams sealed chunks into a store file; the footer (directory +
+/// intern tables + tails) is written by [`finish`](Self::finish).
+/// Usable directly as a `generate_streamed` sink, so a paper-scale
+/// corpus persists in bounded memory.
+#[derive(Debug)]
+pub struct StoreWriter {
+    out: BufWriter<File>,
+    offset: u64,
+    dir: Vec<DirEntry>,
+    buf: Vec<u8>,
+    total_rows: u64,
+    total_connections: u64,
+}
+
+impl StoreWriter {
+    /// Creates (truncating) `path` and writes a placeholder header;
+    /// the footer offset is patched in by [`finish`](Self::finish).
+    pub fn create(path: &Path) -> io::Result<StoreWriter> {
+        let mut out = BufWriter::new(File::create(path)?);
+        out.write_all(&MAGIC)?;
+        out.write_all(&VERSION.to_le_bytes())?;
+        out.write_all(&0u64.to_le_bytes())?; // footer_off, patched later
+        Ok(StoreWriter {
+            out,
+            offset: HEADER_LEN,
+            dir: Vec::new(),
+            buf: Vec::new(),
+            total_rows: 0,
+            total_connections: 0,
+        })
+    }
+
+    /// Appends one sealed chunk as a frame.
+    pub fn add_chunk(&mut self, chunk: &ObsChunk) -> io::Result<()> {
+        encode_chunk(chunk, &mut self.buf);
+        let crc = crc32(&self.buf);
+        self.out.write_all(&self.buf)?;
+        self.dir.push(DirEntry {
+            offset: self.offset,
+            len: self.buf.len() as u64,
+            rows: chunk.len() as u32,
+            crc,
+            min_time: chunk.min_time,
+            max_time: chunk.max_time,
+            device_bits: chunk.device_bits.clone(),
+        });
+        self.offset += self.buf.len() as u64;
+        self.total_rows += chunk.len() as u64;
+        self.total_connections += chunk.count.iter().sum::<u64>();
+        Ok(())
+    }
+
+    /// Writes the footer (directory, intern tables, flows, tails,
+    /// CRC), patches the header's footer offset, and syncs lengths.
+    pub fn finish(
+        mut self,
+        strings: &Interner,
+        fps: &DigestInterner,
+        flows: &[RevRow],
+        truncated: u64,
+    ) -> io::Result<()> {
+        let mut f = Vec::new();
+        f.extend_from_slice(&(self.dir.len() as u64).to_le_bytes());
+        for e in &self.dir {
+            f.extend_from_slice(&e.offset.to_le_bytes());
+            f.extend_from_slice(&e.len.to_le_bytes());
+            f.extend_from_slice(&e.rows.to_le_bytes());
+            f.extend_from_slice(&e.crc.to_le_bytes());
+            f.extend_from_slice(&e.min_time.to_le_bytes());
+            f.extend_from_slice(&e.max_time.to_le_bytes());
+            f.extend_from_slice(&(e.device_bits.len() as u32).to_le_bytes());
+            put_u64s(&mut f, &e.device_bits);
+        }
+        f.extend_from_slice(&(strings.len() as u32).to_le_bytes());
+        for s in strings.iter() {
+            f.extend_from_slice(&(s.len() as u32).to_le_bytes());
+            f.extend_from_slice(s.as_bytes());
+        }
+        f.extend_from_slice(&(fps.len() as u32).to_le_bytes());
+        for fp in fps.iter() {
+            f.extend_from_slice(&fp.0);
+        }
+        f.extend_from_slice(&(flows.len() as u32).to_le_bytes());
+        for flow in flows {
+            f.extend_from_slice(&flow.time.to_le_bytes());
+            f.extend_from_slice(&flow.device.0.to_le_bytes());
+            f.push(match flow.kind {
+                RevocationKind::CrlFetch => 0,
+                RevocationKind::OcspQuery => 1,
+            });
+            f.extend_from_slice(&flow.url.0.to_le_bytes());
+            f.extend_from_slice(&flow.count.to_le_bytes());
+        }
+        f.extend_from_slice(&truncated.to_le_bytes());
+        f.extend_from_slice(&self.total_rows.to_le_bytes());
+        f.extend_from_slice(&self.total_connections.to_le_bytes());
+        let crc = crc32(&f);
+        f.extend_from_slice(&crc.to_le_bytes());
+
+        self.out.write_all(&f)?;
+        // Patch the header's footer offset now that it is known.
+        self.out.seek(SeekFrom::Start((MAGIC.len() + 4) as u64))?;
+        self.out.write_all(&self.offset.to_le_bytes())?;
+        self.out.flush()?;
+        Ok(())
+    }
+}
+
+impl ColumnarDataset {
+    /// Persists the dataset (all in-memory chunks, tables, and tails)
+    /// to a store file at `path`.
+    pub fn write_to(&self, path: &Path) -> io::Result<()> {
+        let mut w = StoreWriter::create(path)?;
+        for chunk in &self.chunks {
+            w.add_chunk(chunk)?;
+        }
+        w.finish(&self.strings, &self.fps, &self.revocation_flows, self.truncated)
+    }
+
+    /// Opens a store file and materializes every chunk — the
+    /// read-it-all inverse of [`write_to`](Self::write_to). Use
+    /// [`ColumnarStore::open`] to keep frames on disk instead.
+    pub fn open(path: &Path) -> Result<ColumnarDataset, StoreError> {
+        ColumnarStore::open(path)?.to_dataset()
+    }
+}
+
+// ── Backing storage ─────────────────────────────────────────────────
+
+#[cfg(unix)]
+mod map {
+    //! Minimal read-only `mmap` binding (no libc crate in the
+    //! workspace; the two syscalls are declared directly).
+    use std::fs::File;
+    use std::os::unix::io::AsRawFd;
+
+    const PROT_READ: i32 = 1;
+    const MAP_PRIVATE: i32 = 2;
+
+    extern "C" {
+        fn mmap(
+            addr: *mut core::ffi::c_void,
+            len: usize,
+            prot: i32,
+            flags: i32,
+            fd: i32,
+            offset: i64,
+        ) -> *mut core::ffi::c_void;
+        fn munmap(addr: *mut core::ffi::c_void, len: usize) -> i32;
+    }
+
+    /// A read-only private mapping of a whole file.
+    #[derive(Debug)]
+    pub struct Mmap {
+        ptr: *mut core::ffi::c_void,
+        len: usize,
+    }
+
+    // SAFETY: the mapping is PROT_READ/MAP_PRIVATE and never aliased
+    // mutably; sharing the raw pointer across threads is sound.
+    unsafe impl Send for Mmap {}
+    unsafe impl Sync for Mmap {}
+
+    impl Mmap {
+        /// Maps `len` bytes of `file` read-only, or `None` when the
+        /// kernel refuses (empty file, exotic filesystem, …) — the
+        /// caller falls back to a buffered read.
+        pub fn new(file: &File, len: usize) -> Option<Mmap> {
+            if len == 0 {
+                return None;
+            }
+            let ptr = unsafe {
+                mmap(
+                    std::ptr::null_mut(),
+                    len,
+                    PROT_READ,
+                    MAP_PRIVATE,
+                    file.as_raw_fd(),
+                    0,
+                )
+            };
+            if ptr as usize == usize::MAX {
+                None // MAP_FAILED
+            } else {
+                Some(Mmap { ptr, len })
+            }
+        }
+
+        /// The mapped bytes.
+        pub fn bytes(&self) -> &[u8] {
+            // SAFETY: ptr/len come from a successful mmap of a file
+            // we hold open; the mapping lives until Drop.
+            unsafe { std::slice::from_raw_parts(self.ptr as *const u8, self.len) }
+        }
+    }
+
+    impl Drop for Mmap {
+        fn drop(&mut self) {
+            // SAFETY: exact (ptr, len) pair returned by mmap.
+            unsafe {
+                munmap(self.ptr, self.len);
+            }
+        }
+    }
+}
+
+/// Where the frame bytes come from: positioned reads against the open
+/// file (default — bounded memory), a memory map, or a full in-memory
+/// copy (the mmap fallback).
+enum Backing {
+    /// Lazy positioned reads (`pread`); nothing resident but the
+    /// directory and tables.
+    Lazy(File),
+    /// The whole file in one buffer.
+    Buf(Vec<u8>),
+    /// The whole file mapped read-only.
+    #[cfg(unix)]
+    Map(map::Mmap),
+}
+
+impl std::fmt::Debug for Backing {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Backing::Lazy(_) => f.write_str("Backing::Lazy"),
+            Backing::Buf(b) => write!(f, "Backing::Buf({} bytes)", b.len()),
+            #[cfg(unix)]
+            Backing::Map(m) => write!(f, "Backing::Map({} bytes)", m.bytes().len()),
+        }
+    }
+}
+
+impl Backing {
+    /// Returns `len` bytes at `off`, reading into `scratch` when the
+    /// backing is lazy.
+    fn bytes<'a>(
+        &'a self,
+        off: u64,
+        len: usize,
+        scratch: &'a mut Vec<u8>,
+    ) -> Result<&'a [u8], StoreError> {
+        match self {
+            Backing::Lazy(file) => {
+                // Grow-only: a reused scratch buffer is overwritten in
+                // place by the pread, so same-size frames (the common
+                // case — every sealed chunk holds CHUNK_ROWS rows)
+                // cost zero allocation and zero memset after the
+                // first.
+                if scratch.len() < len {
+                    scratch.resize(len, 0);
+                }
+                read_exact_at(file, &mut scratch[..len], off)?;
+                Ok(&scratch[..len])
+            }
+            Backing::Buf(buf) => slice_at(buf, off, len),
+            #[cfg(unix)]
+            Backing::Map(m) => slice_at(m.bytes(), off, len),
+        }
+    }
+
+    /// Frame fetch fused with its checksum. On the `pread` backing
+    /// the frame is fetched in 256 KiB blocks and each block is
+    /// CRC'd while still cache-hot from the copy — one trip through
+    /// DRAM instead of two for a multi-megabyte frame. The in-memory
+    /// backings just checksum the borrowed slice.
+    fn frame_crc<'a>(
+        &'a self,
+        off: u64,
+        len: usize,
+        scratch: &'a mut Vec<u8>,
+    ) -> Result<(&'a [u8], u32), StoreError> {
+        match self {
+            Backing::Lazy(file) => {
+                const BLOCK: usize = 256 << 10;
+                if scratch.len() < len {
+                    scratch.resize(len, 0);
+                }
+                let mut state = !0u32;
+                let mut done = 0;
+                while done < len {
+                    let n = BLOCK.min(len - done);
+                    let block = &mut scratch[done..done + n];
+                    read_exact_at(file, block, off + done as u64)?;
+                    state = crc32_raw(state, block);
+                    done += n;
+                }
+                Ok((&scratch[..len], !state))
+            }
+            _ => {
+                let payload = self.bytes(off, len, scratch)?;
+                Ok((payload, crc32(payload)))
+            }
+        }
+    }
+}
+
+fn slice_at(buf: &[u8], off: u64, len: usize) -> Result<&[u8], StoreError> {
+    let start = usize::try_from(off).map_err(|_| StoreError::Truncated { context: "frame" })?;
+    start
+        .checked_add(len)
+        .filter(|&end| end <= buf.len())
+        .map(|end| &buf[start..end])
+        .ok_or(StoreError::Truncated { context: "frame" })
+}
+
+#[cfg(unix)]
+fn read_exact_at(file: &File, buf: &mut [u8], off: u64) -> io::Result<()> {
+    std::os::unix::fs::FileExt::read_exact_at(file, buf, off)
+}
+
+#[cfg(not(unix))]
+fn read_exact_at(file: &File, buf: &mut [u8], off: u64) -> io::Result<()> {
+    // No pread outside unix: fall back to seek + read on a clone of
+    // the handle so `&File` callers still work.
+    use std::io::Read;
+    let mut f = file.try_clone()?;
+    f.seek(SeekFrom::Start(off))?;
+    f.read_exact(buf)
+}
+
+// ── Store reader ────────────────────────────────────────────────────
+
+/// An opened store file: directory, intern tables, flows, and tails
+/// resident; chunk frames decoded on demand by
+/// [`read_chunk`](Self::read_chunk).
+#[derive(Debug)]
+pub struct ColumnarStore {
+    backing: Backing,
+    dir: Vec<DirEntry>,
+    strings: Interner,
+    fps: DigestInterner,
+    flows: Vec<RevRow>,
+    truncated: u64,
+    total_rows: u64,
+    total_connections: u64,
+}
+
+impl ColumnarStore {
+    /// Opens `path` with lazy positioned reads: only the footer
+    /// becomes resident, and [`read_chunk`](Self::read_chunk) `pread`s
+    /// one frame at a time — peak memory stays near one decoded chunk
+    /// per reading thread regardless of file size.
+    pub fn open(path: &Path) -> Result<ColumnarStore, StoreError> {
+        let file = File::open(path)?;
+        let file_len = file.metadata()?.len();
+        let mut header = [0u8; HEADER_LEN as usize];
+        if file_len < HEADER_LEN {
+            return Err(StoreError::Truncated { context: "header" });
+        }
+        read_exact_at(&file, &mut header, 0)?;
+        let footer_off = check_header(&header)?;
+        if footer_off < HEADER_LEN || footer_off > file_len {
+            return Err(StoreError::Truncated { context: "footer offset" });
+        }
+        let footer_len = usize::try_from(file_len - footer_off)
+            .map_err(|_| StoreError::Truncated { context: "footer" })?;
+        let mut footer = vec![0u8; footer_len];
+        read_exact_at(&file, &mut footer, footer_off)?;
+        Self::from_parts(Backing::Lazy(file), footer_off, &footer)
+    }
+
+    /// Opens `path` mapping the whole file read-only (best for
+    /// repeated random access); when `mmap` is unavailable the entire
+    /// file is read into memory instead, so the API degrades
+    /// gracefully rather than failing.
+    pub fn open_mmap(path: &Path) -> Result<ColumnarStore, StoreError> {
+        let file = File::open(path)?;
+        let file_len = file.metadata()?.len();
+        let len = usize::try_from(file_len)
+            .map_err(|_| StoreError::Truncated { context: "file length" })?;
+        #[cfg(unix)]
+        if let Some(m) = map::Mmap::new(&file, len) {
+            return Self::open_buflike(Backing::Map(m), len);
+        }
+        let mut buf = vec![0u8; len];
+        read_exact_at(&file, &mut buf, 0)?;
+        Self::open_buflike(Backing::Buf(buf), len)
+    }
+
+    fn open_buflike(backing: Backing, len: usize) -> Result<ColumnarStore, StoreError> {
+        let mut scratch = Vec::new();
+        if (len as u64) < HEADER_LEN {
+            return Err(StoreError::Truncated { context: "header" });
+        }
+        let header = backing.bytes(0, HEADER_LEN as usize, &mut scratch)?;
+        let footer_off = check_header(header)?;
+        if footer_off < HEADER_LEN || footer_off > len as u64 {
+            return Err(StoreError::Truncated { context: "footer offset" });
+        }
+        let footer_len = len - footer_off as usize;
+        let mut fscratch = Vec::new();
+        let footer = backing.bytes(footer_off, footer_len, &mut fscratch)?;
+        let footer = footer.to_vec();
+        Self::from_parts(backing, footer_off, &footer)
+    }
+
+    /// Parses and validates the footer, producing the opened store.
+    fn from_parts(
+        backing: Backing,
+        footer_off: u64,
+        footer: &[u8],
+    ) -> Result<ColumnarStore, StoreError> {
+        if footer.len() < 4 {
+            return Err(StoreError::Truncated { context: "footer" });
+        }
+        let (body, crc_bytes) = footer.split_at(footer.len() - 4);
+        let want = u32::from_le_bytes(crc_bytes.try_into().unwrap());
+        if crc32(body) != want {
+            return Err(StoreError::ChecksumMismatch { chunk: None });
+        }
+
+        let mut r = Reader::new(body, "footer directory");
+        let chunk_count = r.u64()?;
+        let mut dir = Vec::new();
+        for _ in 0..chunk_count {
+            let offset = r.u64()?;
+            let len = r.u64()?;
+            let rows = r.u32()?;
+            let crc = r.u32()?;
+            let min_time = r.i64()?;
+            let max_time = r.i64()?;
+            let words = r.u32()? as usize;
+            let device_bits = r.u64s(words)?;
+            // Frames must live strictly between the header and the
+            // footer, and claim a length consistent with their row
+            // count — this bounds every later allocation by the real
+            // file size.
+            if offset < HEADER_LEN || len > footer_off || offset > footer_off - len {
+                return Err(StoreError::Corrupt("chunk frame outside frame region"));
+            }
+            if ROW_BYTES * rows as u64 + 8 > len {
+                return Err(StoreError::Corrupt("chunk frame shorter than its row count"));
+            }
+            dir.push(DirEntry {
+                offset,
+                len,
+                rows,
+                crc,
+                min_time,
+                max_time,
+                device_bits,
+            });
+        }
+
+        r.context = "footer string table";
+        let mut strings = Interner::new();
+        let string_count = r.u32()?;
+        for _ in 0..string_count {
+            let len = r.u32()? as usize;
+            let bytes = r.take(len)?;
+            let s = std::str::from_utf8(bytes)
+                .map_err(|_| StoreError::Corrupt("string table is not UTF-8"))?;
+            strings.intern(s);
+        }
+
+        r.context = "footer digest table";
+        let mut fps = DigestInterner::new();
+        let fp_count = r.u32()?;
+        for _ in 0..fp_count {
+            let bytes: [u8; 16] = r.take(16)?.try_into().unwrap();
+            fps.intern(FingerprintId(bytes));
+        }
+
+        r.context = "footer flow table";
+        let mut flows = Vec::new();
+        let flow_count = r.u32()?;
+        for _ in 0..flow_count {
+            let time = r.i64()?;
+            let device = r.u32()?;
+            let kind = match r.u8()? {
+                0 => RevocationKind::CrlFetch,
+                1 => RevocationKind::OcspQuery,
+                _ => return Err(StoreError::Corrupt("unknown revocation kind")),
+            };
+            let url = r.u32()?;
+            let count = r.u64()?;
+            if device as usize >= strings.len() || url as usize >= strings.len() {
+                return Err(StoreError::Corrupt("flow symbol outside string table"));
+            }
+            flows.push(RevRow {
+                time,
+                device: Symbol(device),
+                kind,
+                url: Symbol(url),
+                count,
+            });
+        }
+
+        r.context = "footer tails";
+        let truncated = r.u64()?;
+        let total_rows = r.u64()?;
+        let total_connections = r.u64()?;
+        r.done()?;
+
+        Ok(ColumnarStore {
+            backing,
+            dir,
+            strings,
+            fps,
+            flows,
+            truncated,
+            total_rows,
+            total_connections,
+        })
+    }
+
+    /// Number of chunk frames.
+    pub fn chunk_count(&self) -> usize {
+        self.dir.len()
+    }
+
+    /// Rows in frame `i` (directory metadata; no frame read).
+    pub fn chunk_rows(&self, i: usize) -> usize {
+        self.dir[i].rows as usize
+    }
+
+    /// The shared string table.
+    pub fn strings(&self) -> &Interner {
+        &self.strings
+    }
+
+    /// The shared fingerprint table.
+    pub fn fps(&self) -> &DigestInterner {
+        &self.fps
+    }
+
+    /// Revocation endpoint flows.
+    pub fn revocation_flows(&self) -> &[RevRow] {
+        &self.flows
+    }
+
+    /// Truncated-capture tally.
+    pub fn truncated(&self) -> u64 {
+        self.truncated
+    }
+
+    /// Total rows across all frames (footer tail; no frame reads).
+    pub fn total_rows(&self) -> u64 {
+        self.total_rows
+    }
+
+    /// Total weighted connections (footer tail; no frame reads).
+    pub fn total_connections(&self) -> u64 {
+        self.total_connections
+    }
+
+    /// Chunk indices whose time range overlaps `[from, to]` and —
+    /// when `device` is given — whose device bitmap contains it.
+    /// Pruning works entirely off the directory: skipped chunks are
+    /// never read from disk, let alone decoded.
+    pub fn select_chunks(&self, from: i64, to: i64, device: Option<Symbol>) -> Vec<usize> {
+        self.dir
+            .iter()
+            .enumerate()
+            .filter(|(_, e)| {
+                let time_ok = e.min_time <= to && e.max_time >= from;
+                let device_ok = match device {
+                    None => true,
+                    Some(d) => {
+                        let (word, bit) = (d.index() / 64, d.index() % 64);
+                        e.device_bits.get(word).is_some_and(|&w| (w >> bit) & 1 == 1)
+                    }
+                };
+                time_ok && device_ok
+            })
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// Reads, CRC-checks, decodes, and validates frame `i`.
+    pub fn read_chunk(&self, i: usize) -> Result<ObsChunk, StoreError> {
+        self.read_chunk_with(i, &mut Vec::new())
+    }
+
+    /// [`read_chunk`](Self::read_chunk) with a caller-owned pread
+    /// buffer. A loop that walks many frames through one scratch
+    /// vector pays for the frame-sized allocation once instead of
+    /// per chunk — the buffer is grow-only and overwritten in place.
+    pub fn read_chunk_with(&self, i: usize, scratch: &mut Vec<u8>) -> Result<ObsChunk, StoreError> {
+        let entry = self
+            .dir
+            .get(i)
+            .ok_or(StoreError::Corrupt("chunk index out of range"))?;
+        let len = usize::try_from(entry.len)
+            .map_err(|_| StoreError::Truncated { context: "frame" })?;
+        let (payload, crc) = self.backing.frame_crc(entry.offset, len, scratch)?;
+        if crc != entry.crc {
+            return Err(StoreError::ChecksumMismatch { chunk: Some(i as u32) });
+        }
+        decode_chunk(payload, entry, self.strings.len() as u32, self.fps.len() as u32)
+    }
+
+    /// Materializes the whole store as an in-memory dataset.
+    pub fn to_dataset(&self) -> Result<ColumnarDataset, StoreError> {
+        let mut chunks = Vec::with_capacity(self.dir.len());
+        let mut scratch = Vec::new();
+        for i in 0..self.dir.len() {
+            chunks.push(self.read_chunk_with(i, &mut scratch)?);
+        }
+        Ok(ColumnarDataset {
+            strings: self.strings.clone(),
+            fps: self.fps.clone(),
+            chunks,
+            revocation_flows: self.flows.clone(),
+            truncated: self.truncated,
+        })
+    }
+}
+
+/// Validates the fixed header, returning the footer offset.
+fn check_header(header: &[u8]) -> Result<u64, StoreError> {
+    if header[..8] != MAGIC {
+        return Err(StoreError::BadMagic);
+    }
+    let version = u32::from_le_bytes(header[8..12].try_into().unwrap());
+    if version != VERSION {
+        return Err(StoreError::UnsupportedVersion(version));
+    }
+    Ok(u64::from_le_bytes(header[12..20].try_into().unwrap()))
+}
+
+/// Decodes one CRC-verified frame payload, validating every index:
+/// span columns must land inside their pools, symbol columns inside
+/// the intern tables (`NO_SYM` allowed where the schema is optional).
+fn decode_chunk(
+    payload: &[u8],
+    entry: &DirEntry,
+    string_count: u32,
+    fp_count: u32,
+) -> Result<ObsChunk, StoreError> {
+    let n = entry.rows as usize;
+    let mut r = Reader::new(payload, "chunk frame");
+    let time = r.i64s(n)?;
+    let device = r.u32s(n)?;
+    let destination = r.u32s(n)?;
+    let sni = r.u32s(n)?;
+    let fingerprint = r.u32s(n)?;
+    let leaf_issuer = r.u32s(n)?;
+    let max_adv = r.u16s(n)?;
+    let neg_version = r.u16s(n)?;
+    let neg_suite = r.u16s(n)?;
+    let flags = r.take(n)?.to_vec();
+    let count = r.u64s(n)?;
+    let adv_versions = r.spans(n)?;
+    let suites = r.spans(n)?;
+    let alerts_c2s = r.spans(n)?;
+    let alerts_s2c = r.spans(n)?;
+    let pool_u16_len = r.u32()? as usize;
+    let pool_u16 = r.u16s(pool_u16_len)?;
+    let pool_u8_len = r.u32()? as usize;
+    let pool_u8 = r.take(pool_u8_len)?.to_vec();
+    r.done()?;
+
+    let sym_ok = |col: &[u32]| col.iter().all(|&s| s < string_count);
+    let opt_sym_ok = |col: &[u32]| col.iter().all(|&s| s == NO_SYM || s < string_count);
+    if !sym_ok(&device) || !sym_ok(&destination) {
+        return Err(StoreError::Corrupt("row symbol outside string table"));
+    }
+    if !opt_sym_ok(&sni) || !opt_sym_ok(&leaf_issuer) {
+        return Err(StoreError::Corrupt("optional symbol outside string table"));
+    }
+    if !fingerprint.iter().all(|&f| f < fp_count) {
+        return Err(StoreError::Corrupt("fingerprint outside digest table"));
+    }
+    let span_ok = |spans: &[(u32, u16)], pool_len: usize| {
+        spans
+            .iter()
+            .all(|&(off, len)| (off as usize).checked_add(len as usize).is_some_and(|e| e <= pool_len))
+    };
+    if !span_ok(&adv_versions, pool_u16.len()) || !span_ok(&suites, pool_u16.len()) {
+        return Err(StoreError::Corrupt("u16 span outside pool"));
+    }
+    if !span_ok(&alerts_c2s, pool_u8.len()) || !span_ok(&alerts_s2c, pool_u8.len()) {
+        return Err(StoreError::Corrupt("u8 span outside pool"));
+    }
+
+    Ok(ObsChunk {
+        time,
+        device,
+        destination,
+        sni,
+        fingerprint,
+        adv_versions,
+        max_adv,
+        suites,
+        neg_version,
+        neg_suite,
+        leaf_issuer,
+        alerts_c2s,
+        alerts_s2c,
+        flags,
+        count,
+        pool_u16,
+        pool_u8,
+        min_time: entry.min_time,
+        max_time: entry.max_time,
+        device_bits: entry.device_bits.clone(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crc32_matches_the_crc32c_check_value() {
+        // The standard CRC-32C (Castagnoli) check vector.
+        assert_eq!(crc32(b"123456789"), 0xE306_9283);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn crc_kernels_agree_with_bytewise_at_every_alignment() {
+        fn bytewise(bytes: &[u8]) -> u32 {
+            let mut c = 0xFFFF_FFFFu32;
+            for &b in bytes {
+                c = CRC_TABLES[0][((c ^ b as u32) & 0xFF) as usize] ^ (c >> 8);
+            }
+            !c
+        }
+        let data: Vec<u8> = (0..1024u32).map(|i| (i.wrapping_mul(31) >> 3) as u8).collect();
+        for len in [0, 1, 7, 8, 9, 63, 64, 65, 1000, 1024] {
+            // crc32() picks the hardware kernel when available, the
+            // software slicing-by-8 kernel otherwise; both must match
+            // the definitional byte-at-a-time loop.
+            assert_eq!(crc32(&data[..len]), bytewise(&data[..len]), "len {len}");
+            assert_eq!(!crc32_sw(!0, &data[..len]), bytewise(&data[..len]), "sw len {len}");
+        }
+    }
+
+    #[test]
+    fn streaming_crc_update_matches_one_shot() {
+        let data: Vec<u8> = (0..4096u32).map(|i| (i.wrapping_mul(131) >> 2) as u8).collect();
+        for split in [0, 1, 9, 100, 4095, 4096] {
+            let mut state = !0u32;
+            state = crc32_raw(state, &data[..split]);
+            state = crc32_raw(state, &data[split..]);
+            assert_eq!(!state, crc32(&data), "split {split}");
+        }
+    }
+}

@@ -179,6 +179,13 @@ impl ExperimentCtx {
         ExperimentCtx { seed, ..self.clone() }
     }
 
+    /// The same context with a different worker count — how the bench
+    /// harness pins one workload at several thread counts without
+    /// touching `IOTLS_THREADS` for the rest of the process.
+    pub fn with_threads(&self, threads: usize) -> ExperimentCtx {
+        ExperimentCtx { threads: threads.max(1), ..self.clone() }
+    }
+
     /// A capture-side context sharing this ctx's knobs (the capture
     /// crate sits below `core` and owns its own lightweight context).
     pub fn capture_ctx(&self) -> CaptureCtx {

@@ -59,9 +59,14 @@ use iotls_tls::server::ServerConnection;
 use std::collections::VecDeque;
 
 /// Bucket bounds for the per-session replay-round histogram
-/// (`gateway.session.rounds`): clean replays land low, deadline
-/// overruns in the top bucket.
-pub const SESSION_ROUNDS_BOUNDS: [u64; 4] = [4, 6, 8, 12];
+/// (`gateway.session.rounds`). A clean replay takes exactly 3 rounds
+/// (client flight, server flight, finished), so the bounds bracket
+/// that mode: short-circuited sessions land in the ≤1/≤2 buckets,
+/// clean replays in ≤3, retried sessions in ≤6, and deadline overruns
+/// in the overflow bucket. (The previous `[4, 6, 8, 12]` bounds put
+/// every soak session — over a million of them — in the first bucket,
+/// making the histogram useless for spotting retry regressions.)
+pub const SESSION_ROUNDS_BOUNDS: [u64; 4] = [1, 2, 3, 6];
 
 /// Why the gateway refused a knocking session at admission.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]

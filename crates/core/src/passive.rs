@@ -6,7 +6,8 @@
 
 use crate::experiment::ExperimentCtx;
 use iotls_capture::{
-    ColumnarDataset, Interner, ObsChunk, PassiveDataset, RevRow, RevocationKind, Symbol,
+    ColumnarDataset, ColumnarStore, Interner, ObsChunk, PassiveDataset, RawRow, RevRow,
+    RevocationKind, StoreError, Symbol,
 };
 use iotls_devices::Testbed;
 use iotls_obs::Registry;
@@ -477,6 +478,25 @@ pub struct PassiveAnalysis {
     pub total_connections: u64,
 }
 
+/// True when two rows are identical in every field
+/// [`PassiveAccumulator::fold_run`] reads (`count` excluded — runs
+/// sum it). The span columns compare by pool offset and length: equal
+/// spans imply equal content, and distinct spans with equal content
+/// merely split a run into two fold calls, which is still exact.
+fn same_fold_shape(a: RawRow<'_>, b: RawRow<'_>) -> bool {
+    fn same_span(x: &[u16], y: &[u16]) -> bool {
+        std::ptr::eq(x.as_ptr(), y.as_ptr()) && x.len() == y.len()
+    }
+    a.time() == b.time()
+        && a.device() == b.device()
+        && a.max_advertised_wire() == b.max_advertised_wire()
+        && a.negotiated_version_wire() == b.negotiated_version_wire()
+        && a.negotiated_suite() == b.negotiated_suite()
+        && a.requested_ocsp() == b.requested_ocsp()
+        && same_span(a.suites(), b.suites())
+        && same_span(a.advertised_wire(), b.advertised_wire())
+}
+
 /// Single-pass, merge-able accumulator over columnar observation
 /// chunks. Feed chunks with [`add_chunk`](Self::add_chunk) (any
 /// order), flows with [`add_flows`](Self::add_flows), combine
@@ -501,11 +521,41 @@ impl PassiveAccumulator {
     }
 
     /// Folds every row of one chunk.
+    ///
+    /// Expanded paper-scale chunks are long runs of rows identical in
+    /// everything the fold reads (the row splitter only varies
+    /// `count` between `base` and `base + 1`), so the scan detects
+    /// runs — cheap field compares, with span columns compared by
+    /// pool offset — and folds each run **once** with the summed
+    /// count. Every per-run quantity the fold adds is `count`-linear
+    /// in `u64` (and the booleans are idempotent ORs), so the result
+    /// is bit-identical to folding row by row.
     pub fn add_chunk(&mut self, chunk: &ObsChunk) {
+        let n = chunk.len();
+        let mut i = 0;
+        while i < n {
+            let row = chunk.row(i);
+            let mut count = row.count();
+            let mut j = i + 1;
+            while j < n {
+                let next = chunk.row(j);
+                if !same_fold_shape(row, next) {
+                    break;
+                }
+                count += next.count();
+                j += 1;
+            }
+            self.fold_run(row, count);
+            i = j;
+        }
+    }
+
+    /// Folds one row shape carrying `count` connections (the sum over
+    /// a run of identical rows).
+    fn fold_run(&mut self, row: RawRow<'_>, count: u64) {
         let tls12 = ProtocolVersion::Tls12.wire();
         let tls13 = ProtocolVersion::Tls13.wire();
-        for row in chunk.rows() {
-            let count = row.count();
+        {
             let month = Timestamp(row.time()).month();
             let cell = self.cells.entry((row.device(), month)).or_default();
             cell.total += count;
@@ -765,17 +815,41 @@ impl PassiveAccumulator {
     }
 }
 
+/// Contiguous index ranges splitting `n` items across `workers`
+/// shards, in order ([lo, hi) pairs; empty shards filtered out).
+/// Because [`PassiveAccumulator::merge`] is associative, folding the
+/// shards in range order is bit-identical to one sequential fold —
+/// at any worker count.
+pub fn shard_ranges(n: usize, workers: usize) -> Vec<(usize, usize)> {
+    let w = workers.max(1);
+    (0..w)
+        .map(|i| (n * i / w, n * (i + 1) / w))
+        .filter(|(lo, hi)| lo < hi)
+        .collect()
+}
+
 /// Analyzes an in-memory columnar dataset in one pass, recording
 /// `passive.*` counters (chunks/rows/flows folded, weighted
-/// connections) into the context's metrics shard.
+/// connections) into the context's metrics shard. The chunk sequence
+/// is split into contiguous per-worker shards
+/// ([`shard_ranges`]) folded in parallel and merged in shard order,
+/// so the analysis is byte-identical at any `IOTLS_THREADS`.
 pub fn analyze_columnar(ds: &ColumnarDataset, ctx: &ExperimentCtx) -> PassiveAnalysis {
     let mut reg = Registry::new();
+    let shards = shard_ranges(ds.chunks.len(), ctx.threads());
+    let partials = iotls_simnet::ordered_map_with(ctx.threads(), shards, |(lo, hi)| {
+        let mut acc = PassiveAccumulator::new();
+        for chunk in &ds.chunks[lo..hi] {
+            acc.add_chunk(chunk);
+        }
+        acc
+    });
     let mut acc = PassiveAccumulator::new();
-    for chunk in &ds.chunks {
-        reg.inc("passive.chunks.analyzed");
-        reg.add("passive.rows.analyzed", chunk.len() as u64);
-        acc.add_chunk(chunk);
+    for partial in &partials {
+        acc.merge(partial);
     }
+    reg.add("passive.chunks.analyzed", ds.chunks.len() as u64);
+    reg.add("passive.rows.analyzed", ds.total_rows() as u64);
     acc.add_flows(&ds.revocation_flows);
     reg.add("passive.flows.analyzed", ds.revocation_flows.len() as u64);
     reg.add("passive.connections", acc.total);
@@ -792,6 +866,12 @@ pub fn analyze_columnar(ds: &ColumnarDataset, ctx: &ExperimentCtx) -> PassiveAna
 /// `sim.*`/`capture.*` counters plus the analyzer's `passive.*`
 /// counters land in the context's metrics shard, byte-identical at
 /// any thread count.
+///
+/// The per-chunk fold rides the generator's parallel chunk builders
+/// ([`iotls_capture::CaptureCtx::generate_folded`]): each worker
+/// seals a chunk, folds it into a chunk-local partial, and drops it;
+/// the partials merge sequentially in chunk order, which is
+/// bit-identical to one accumulator folding every chunk in turn.
 pub fn analyze_streamed(
     testbed: &Testbed,
     ctx: &ExperimentCtx,
@@ -802,10 +882,15 @@ pub fn analyze_streamed(
     let mut chunks = 0u64;
     let mut rows = 0u64;
     let capture = ctx.capture_ctx();
-    let tail = capture.generate_streamed(testbed, max_count_per_row, &mut |chunk| {
+    let fold = |chunk: ObsChunk| {
+        let mut partial = PassiveAccumulator::new();
+        partial.add_chunk(&chunk);
+        (partial, chunk.len() as u64)
+    };
+    let tail = capture.generate_folded(testbed, max_count_per_row, &fold, &mut |(partial, len)| {
         chunks += 1;
-        rows += chunk.len() as u64;
-        acc.add_chunk(&chunk);
+        rows += len;
+        acc.merge(&partial);
     });
     reg.add("passive.chunks.analyzed", chunks);
     reg.add("passive.rows.analyzed", rows);
@@ -814,6 +899,49 @@ pub fn analyze_streamed(
     reg.add("passive.connections", acc.total);
     ctx.merge_metrics(&reg);
     acc.finish(&tail.strings)
+}
+
+/// Analyzes a persisted store **without materializing the dataset**:
+/// chunk frames are read, decoded, folded, and dropped one at a time
+/// per worker, so peak memory stays near one chunk per thread even
+/// for the paper-scale corpus. Shards and merge order follow
+/// [`shard_ranges`], so the result is byte-identical to
+/// [`analyze_columnar`] on the same rows — at any `IOTLS_THREADS` —
+/// and the `passive.*` counters carry the same names and values.
+///
+/// Corruption discovered mid-scan (a bit-flipped or truncated frame)
+/// surfaces as the typed [`StoreError`]; nothing panics.
+pub fn analyze_store(
+    store: &ColumnarStore,
+    ctx: &ExperimentCtx,
+) -> Result<PassiveAnalysis, StoreError> {
+    let mut reg = Registry::new();
+    let shards = shard_ranges(store.chunk_count(), ctx.threads());
+    let partials = iotls_simnet::ordered_map_with(ctx.threads(), shards, |(lo, hi)| {
+        let mut acc = PassiveAccumulator::new();
+        let mut rows = 0u64;
+        let mut scratch = Vec::new();
+        for i in lo..hi {
+            let chunk = store.read_chunk_with(i, &mut scratch)?;
+            rows += chunk.len() as u64;
+            acc.add_chunk(&chunk);
+        }
+        Ok::<_, StoreError>((acc, rows))
+    });
+    let mut acc = PassiveAccumulator::new();
+    let mut rows = 0u64;
+    for partial in partials {
+        let (partial, shard_rows) = partial?;
+        acc.merge(&partial);
+        rows += shard_rows;
+    }
+    reg.add("passive.chunks.analyzed", store.chunk_count() as u64);
+    reg.add("passive.rows.analyzed", rows);
+    acc.add_flows(store.revocation_flows());
+    reg.add("passive.flows.analyzed", store.revocation_flows().len() as u64);
+    reg.add("passive.connections", acc.total);
+    ctx.merge_metrics(&reg);
+    Ok(acc.finish(store.strings()))
 }
 
 #[cfg(test)]

@@ -12,18 +12,28 @@
 //!
 //! Set `IOTLS_METRICS=path.json` to also write the run's observability
 //! registry (passive.* counters plus wall-clock timings) as JSON.
-//! Flags: `--seed N --threads N --faults PM --metrics` (see
-//! `iotls_repro::cli`).
+//! Flags: `--seed N --threads N --faults PM --metrics`, plus
+//! `--store PATH` to persist the columnar dataset as an on-disk store
+//! and `--from-store PATH` to analyze a previously persisted store
+//! instead of generating (see `iotls_repro::cli`).
 
 use iotls_repro::analysis::{experiment_artifacts, figures, tables};
-use iotls_repro::capture::global_columnar;
+use iotls_repro::capture::{global_columnar, ColumnarStore};
 use iotls_repro::cli::ExampleArgs;
-use iotls_repro::core::{analyze_columnar, Orchestrator, Report};
+use iotls_repro::core::{analyze_columnar, analyze_store, Orchestrator, Report};
 use iotls_repro::devices::Testbed;
 use iotls_repro::obs::Span;
+use std::path::Path;
 
 /// Seed for the labeled fingerprint database Figure 5 joins against.
 const FPDB_SEED: u64 = 0xDB;
+
+/// Store errors are expected operator input (a bad path, a corrupt
+/// file) — report and exit instead of panicking with a backtrace.
+fn fail(msg: &str) -> ! {
+    eprintln!("longitudinal_report: {msg}");
+    std::process::exit(2);
+}
 
 fn main() {
     println!("== IoTLS longitudinal analysis (Figures 1-3, Table 8, §5.1) ==\n");
@@ -31,16 +41,34 @@ fn main() {
     let args = ExampleArgs::parse();
     let ctx = args.ctx(iotls_repro::capture::DEFAULT_SEED);
 
-    let ds = global_columnar();
     let span = Span::start("passive.analyze");
-    let a = analyze_columnar(ds, &ctx);
+    let (a, rows, chunks) = match args.from_store.as_deref() {
+        // Analyze a persisted store: frames stream off disk in
+        // bounded memory; no generation happens at all.
+        Some(path) => {
+            let store = ColumnarStore::open(Path::new(path))
+                .unwrap_or_else(|e| fail(&format!("open store {path}: {e}")));
+            let a = analyze_store(&store, &ctx)
+                .unwrap_or_else(|e| fail(&format!("analyze store {path}: {e}")));
+            (a, store.total_rows(), store.chunk_count())
+        }
+        None => {
+            let ds = global_columnar();
+            if let Some(path) = args.store.as_deref() {
+                ds.write_to(Path::new(path))
+                    .unwrap_or_else(|e| fail(&format!("write store {path}: {e}")));
+                eprintln!("columnar store written to {path}");
+            }
+            (analyze_columnar(ds, &ctx), ds.total_rows() as u64, ds.chunks.len())
+        }
+    };
     ctx.metrics().with(|reg| reg.record(span));
     println!(
         "Dataset: {} TLS connections from {} devices ({} columnar rows in {} chunks)\n",
         a.total_connections,
         a.device_names.len(),
-        ds.total_rows(),
-        ds.chunks.len(),
+        rows,
+        chunks,
     );
 
     let summary = &a.summary;

@@ -1,9 +1,11 @@
 #!/usr/bin/env sh
 # Perf baseline harness: times the tier-1 suite (a real scripts/tier1.sh
 # run) plus the headline workloads (passive generate, full active
-# sweep, rootprobe sweep, paper-scale passive_10m, gateway_soak with
-# >=1M multiplexed sessions) and writes a JSON report. Every entry
-# records wall seconds AND peak RSS in MB.
+# sweep, rootprobe sweep, paper-scale passive_10m — also pinned at 4
+# and 8 workers as passive_10m_t4/_t8, the persist-and-reload
+# passive_reload with rows/sec, and gateway_soak with >=1M multiplexed
+# sessions) and writes a JSON report. Every entry records wall seconds
+# AND peak RSS in MB.
 #
 #   scripts/bench.sh            -> BENCH_current.json
 #   scripts/bench.sh baseline   -> BENCH_baseline.json  (legacy-shape

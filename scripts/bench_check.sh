@@ -35,6 +35,13 @@ pairs "$CURRENT" | {
             echo "bench_check: $name: new workload (no baseline), current ${cur}s"
             continue
         fi
+        # tier1_tests measures the test *suite*, whose duration grows
+        # with coverage (every PR adds tests); report it but don't
+        # gate on it — the workload entries below are the perf signal.
+        if [ "$name" = "tier1_tests" ]; then
+            echo "bench_check: $name: ${cur}s vs baseline ${base}s (informational: suite size tracks coverage)"
+            continue
+        fi
         # Fail when cur > base * 1.15 (guard against a zero baseline).
         verdict=$(awk -v c="$cur" -v b="$base" 'BEGIN {
             if (b <= 0) { print "skip"; exit }
@@ -49,6 +56,40 @@ pairs "$CURRENT" | {
     done
     if [ "$fail" -ne 0 ]; then
         echo "bench_check: FAILED (>15% regression)" >&2
+        exit 1
+    fi
+}
+
+# --- Throughput gate: rows/sec ---------------------------------------
+# Workloads that report a "rows_per_sec" figure (the store-reload path)
+# are additionally gated on throughput: losing more than 15% of the
+# baseline's rows/sec fails even if wall-clock noise masks it above.
+rps_pairs() {
+    sed -n 's/.*"workload": *"\([^"]*\)".*"rows_per_sec": *\([0-9.]*\).*/\1 \2/p' "$1"
+}
+
+rps_pairs "$CURRENT" | {
+    fail=0
+    while read -r name cur; do
+        base=$(rps_pairs "$BASELINE" | awk -v n="$name" '$1 == n { print $2; exit }')
+        if [ -z "$base" ]; then
+            echo "bench_check: $name: new workload (no baseline), current ${cur} rows/sec"
+            continue
+        fi
+        # Fail when cur < base * 0.85 (guard against a zero baseline).
+        verdict=$(awk -v c="$cur" -v b="$base" 'BEGIN {
+            if (b <= 0) { print "skip"; exit }
+            ratio = c / b
+            if (ratio < 0.85) printf "FAIL -%.0f%%", (1 - ratio) * 100
+            else printf "ok %+.0f%%", (ratio - 1) * 100
+        }')
+        echo "bench_check: $name: ${cur} rows/sec vs baseline ${base} ($verdict)"
+        case "$verdict" in
+            FAIL*) fail=1 ;;
+        esac
+    done
+    if [ "$fail" -ne 0 ]; then
+        echo "bench_check: FAILED (>15% rows/sec throughput drop)" >&2
         exit 1
     fi
 }

@@ -23,6 +23,12 @@ cargo test -q --offline --test golden_artifacts
 # a gateway regression is called out explicitly.
 cargo test -q --offline --test gateway_service
 cargo test -q --offline --test chaos_experiments gateway_survives_fault_plan_extremes
+# On-disk columnar store suite: roundtrip byte-fidelity, directory
+# pruning, and the corruption sweeps (truncation at every offset and
+# every single-bit flip must surface as typed errors, never a panic).
+# Also in the workspace run; repeated by name so a persistence
+# regression is called out explicitly.
+cargo test -q --offline --test store_persistence
 
 # Docs gate: rustdoc warnings (broken intra-doc links, bad code
 # fences) fail tier-1, same as clippy warnings do.

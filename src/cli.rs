@@ -19,6 +19,14 @@
 //! * `--drain-at N` — begin draining at tick `N` (mid-stream
 //!   shutdown; the default runs the full soak).
 //!
+//! Passive-pipeline examples additionally understand the store flags:
+//!
+//! * `--store PATH` — persist the generated columnar dataset to a
+//!   store file at `PATH` after the run;
+//! * `--from-store PATH` — skip generation and analyze the persisted
+//!   store at `PATH` instead (frames stream off disk in bounded
+//!   memory).
+//!
 //! Environment knobs (`IOTLS_THREADS`, `IOTLS_METRICS`) still apply
 //! through [`ExperimentCtx`]'s builder; flags win where both are set.
 
@@ -42,6 +50,10 @@ pub struct ExampleArgs {
     pub load: Option<u32>,
     /// `--drain-at` shutdown tick for gateway soaks, if given.
     pub drain_at: Option<u64>,
+    /// `--store` output path for the columnar store, if given.
+    pub store: Option<String>,
+    /// `--from-store` input path replacing generation, if given.
+    pub from_store: Option<String>,
 }
 
 impl ExampleArgs {
@@ -55,7 +67,8 @@ impl ExampleArgs {
                 eprintln!("error: {msg}");
                 eprintln!(
                     "usage: [--seed N] [--threads N] [--faults PM] [--metrics] \
-                     [--ticks N] [--load N] [--drain-at N]"
+                     [--ticks N] [--load N] [--drain-at N] \
+                     [--store PATH] [--from-store PATH]"
                 );
                 std::process::exit(2);
             }
@@ -119,6 +132,8 @@ impl ExampleArgs {
                             .map_err(|_| format!("bad --drain-at {v:?}"))?,
                     );
                 }
+                "--store" => args.store = Some(value("--store")?.clone()),
+                "--from-store" => args.from_store = Some(value("--from-store")?.clone()),
                 other => return Err(format!("unknown flag {other:?}")),
             }
         }
@@ -219,6 +234,18 @@ mod tests {
         assert_eq!(args.ticks, Some(128));
         assert_eq!(args.load, Some(500));
         assert_eq!(args.drain_at, Some(64));
+    }
+
+    #[test]
+    fn parses_store_flags() {
+        let args = ExampleArgs::parse_from(&argv(&[
+            "--store", "target/out.iotls", "--from-store", "target/in.iotls",
+        ]))
+        .unwrap();
+        assert_eq!(args.store.as_deref(), Some("target/out.iotls"));
+        assert_eq!(args.from_store.as_deref(), Some("target/in.iotls"));
+        assert!(ExampleArgs::parse_from(&argv(&["--store"])).is_err());
+        assert!(ExampleArgs::parse_from(&argv(&["--from-store"])).is_err());
     }
 
     #[test]

@@ -8,11 +8,14 @@
 //! compares everything.
 
 use iotls_repro::analysis::{figures, tables};
-use iotls_repro::capture::{generate, generate_columnar, to_json, to_json_columnar};
+use iotls_repro::capture::{
+    generate, generate_columnar, to_json, to_json_columnar, ColumnarStore, StoreWriter,
+};
 use iotls_repro::core::{
-    analyze_columnar, analyze_streamed, cipher_series, passive_summary, revocation_summary,
-    run_fingerprint_survey, version_series, DowngradeProbe, Experiment, ExperimentCtx,
-    ExperimentError, InterceptionAudit, OldVersionScan, RootProbe, METRICS_ENV,
+    analyze_columnar, analyze_store, analyze_streamed, cipher_series, passive_summary,
+    revocation_summary, run_fingerprint_survey, version_series, DowngradeProbe, Experiment,
+    ExperimentCtx, ExperimentError, InterceptionAudit, OldVersionScan, PassiveAnalysis, RootProbe,
+    METRICS_ENV,
 };
 use iotls_repro::crypto::sha256::sha256;
 use iotls_repro::devices::Testbed;
@@ -157,6 +160,86 @@ fn streamed_pipeline_is_byte_identical_at_any_thread_count() {
     assert!(sequential.fig1.contains("Wemo Plug"));
     assert!(sequential.fig3.contains("Blink Hub"));
     assert!(sequential.table8.contains("OCSP Stapling"));
+}
+
+/// The `passive.*` and `capture.*` counter sections of a ctx's
+/// metrics snapshot, rendered to comparable text (counter storage is
+/// a BTreeMap, so the rendering is deterministic by construction).
+fn counter_sections(ctx: &ExperimentCtx) -> String {
+    ctx.metrics_snapshot()
+        .counters()
+        .filter(|(name, _)| name.starts_with("passive.") || name.starts_with("capture."))
+        .map(|(name, v)| format!("{name}={v}\n"))
+        .collect()
+}
+
+/// Runs the passive pipeline twice at the current `IOTLS_THREADS`:
+/// once fully streamed (generator → accumulator, nothing persisted),
+/// once through the on-disk store (generator → `StoreWriter` sink →
+/// reopen → `analyze_store`). Returns both analyses plus each run's
+/// `passive.*`/`capture.*` counter section.
+fn run_store_passive(
+    testbed: &'static Testbed,
+    path: &std::path::Path,
+) -> (PassiveAnalysis, PassiveAnalysis, String, String) {
+    let streamed_ctx = ExperimentCtx::builder().seed(0x10AD).metrics(true).build();
+    let streamed = analyze_streamed(testbed, &streamed_ctx, u64::MAX);
+
+    let disk_ctx = ExperimentCtx::builder().seed(0x10AD).metrics(true).build();
+    let capture = disk_ctx.capture_ctx();
+    let mut writer = StoreWriter::create(path).expect("create store");
+    let tail = capture.generate_streamed(testbed, u64::MAX, &mut |c| {
+        writer.add_chunk(&c).expect("persist chunk");
+    });
+    writer
+        .finish(&tail.strings, &tail.fps, &tail.revocation_flows, tail.truncated)
+        .expect("finish store");
+    let store = ColumnarStore::open(path).expect("open store");
+    let from_disk = analyze_store(&store, &disk_ctx).expect("analyze store");
+
+    (
+        streamed,
+        from_disk,
+        counter_sections(&streamed_ctx),
+        counter_sections(&disk_ctx),
+    )
+}
+
+#[test]
+fn store_backed_analysis_is_byte_identical_at_any_thread_count() {
+    let _env = ENV_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    let testbed = Testbed::global();
+    std::fs::create_dir_all("target/test_store").expect("create target/test_store");
+    let path = std::path::Path::new("target/test_store/determinism.iotls");
+
+    std::env::set_var(THREADS_ENV, "1");
+    let (streamed_1, disk_1, streamed_counters_1, disk_counters_1) =
+        run_store_passive(testbed, path);
+
+    std::env::set_var(THREADS_ENV, "8");
+    let (streamed_8, disk_8, streamed_counters_8, disk_counters_8) =
+        run_store_passive(testbed, path);
+    std::env::remove_var(THREADS_ENV);
+    std::fs::remove_file(path).ok();
+
+    // Streamed vs file-backed, at each worker count.
+    assert_eq!(streamed_1, disk_1, "streamed vs store-backed at 1 worker");
+    assert_eq!(streamed_8, disk_8, "streamed vs store-backed at 8 workers");
+    // And across worker counts.
+    assert_eq!(streamed_1, streamed_8, "streamed at 1 vs 8 workers");
+    assert_eq!(disk_1, disk_8, "store-backed at 1 vs 8 workers");
+
+    // The `passive.*`/`capture.*` counter sections are equally
+    // invariant: same names, same values, whichever path and
+    // whichever worker count produced them.
+    assert_eq!(streamed_counters_1, disk_counters_1);
+    assert_eq!(streamed_counters_1, streamed_counters_8);
+    assert_eq!(disk_counters_1, disk_counters_8);
+    // ... and they carry real work.
+    assert!(streamed_counters_1.contains("passive.connections="));
+    assert!(streamed_counters_1.contains("passive.rows.analyzed="));
+    assert!(streamed_counters_1.contains("capture.rows.weighted="));
+    assert!(streamed_1.total_connections > 0);
 }
 
 #[test]
