@@ -34,8 +34,8 @@ use crate::timeline::{build_timeline, StudyEvent};
 use iotls_crypto::drbg::Drbg;
 use iotls_devices::{DeviceSetup, Testbed};
 use iotls_simnet::{
-    drive_session_faulted_tapped, record_session_metrics, FaultPlan, GatewayTap, LinkConditioner,
-    SessionFaults, SessionParams, SessionResult, TlsObservation,
+    drive_session_reusing, record_session_metrics, DriveScratch, FaultPlan, GatewayTap,
+    LinkConditioner, SessionFaults, SessionParams, SessionResult, TlsObservation,
 };
 use iotls_tls::client::ClientConnection;
 use iotls_tls::server::ServerConnection;
@@ -339,6 +339,7 @@ fn streamed<A: Send>(
         // phase. One reusable tap serves every drive in the lane.
         let mut cache: HashMap<(usize, Month), Option<TlsObservation>> = HashMap::new();
         let mut tap = GatewayTap::new();
+        let mut scratch = DriveScratch::new();
         let mut obs_reg = Registry::new();
         let mut b = DatasetBuilder::new();
         let mut chunks = Vec::new();
@@ -369,8 +370,10 @@ fn streamed<A: Send>(
                             tries
                         );
                         let faults = plan.session_faults(&fault_key);
-                        let result =
-                            drive_one(testbed, device, dest_idx, month, &mut rng, &faults, &mut tap);
+                        let result = drive_one(
+                            testbed, device, dest_idx, month, &mut rng, &faults, &mut tap,
+                            &mut scratch,
+                        );
                         record_session_metrics(&mut obs_reg, &result);
                         if result.observation.is_none() {
                             // Cut before a parseable ClientHello:
@@ -591,27 +594,30 @@ fn drive_one(
     rng: &mut Drbg,
     faults: &SessionFaults,
     tap: &mut GatewayTap,
+    scratch: &mut DriveScratch,
 ) -> SessionResult {
     let dest = &device.spec.destinations[dest_idx];
     let client_cfg = testbed.client_config_for(device, dest, month);
     let server_cfg = testbed.server_config(dest);
     let now = month.start().plus_days(14);
-    let client = ClientConnection::new(
+    let client = ClientConnection::with_scratch(
         client_cfg,
         &dest.hostname,
         now,
         rng.fork(&format!("client/{}/{}", dest.hostname, month)),
+        scratch.take_client(),
     );
-    let server = ServerConnection::new(
+    let server = ServerConnection::with_scratch(
         server_cfg,
         rng.fork(&format!("server/{}/{}", dest.hostname, month)),
+        scratch.take_server(),
     );
     let payload = dest.payload.clone().unwrap_or_else(|| "ping".into());
     let mut conditioner = LinkConditioner::new(SessionFaults {
         ops: faults.ops.clone(),
         dns: None,
     });
-    drive_session_faulted_tapped(
+    drive_session_reusing(
         client,
         server,
         SessionParams {
@@ -623,7 +629,8 @@ fn drive_one(
             destination: &dest.hostname,
         },
         &mut conditioner,
-        tap,
+        Some(tap),
+        scratch,
     )
 }
 

@@ -52,7 +52,7 @@ use iotls_crypto::drbg::Drbg;
 use iotls_devices::spec::Category;
 use iotls_devices::{client_config, Testbed};
 use iotls_obs::Registry;
-use iotls_simnet::mux::{replay_flow, AcceptLoop, SessionFlow};
+use iotls_simnet::mux::{replay_flow_with, AcceptLoop, ReplayScratch, SessionFlow};
 use iotls_simnet::{FailureCause, InjectedFault, SessionFaults};
 use iotls_tls::client::ClientConnection;
 use iotls_tls::server::ServerConnection;
@@ -562,10 +562,12 @@ impl<'a> Gateway<'a> {
             if batch.is_empty() {
                 continue;
             }
-            let outcomes =
-                iotls_simnet::ordered_map_with(self.ctx.threads(), batch.clone(), |t| {
-                    self.drive(t)
-                });
+            let outcomes = iotls_simnet::ordered_map_with_state(
+                self.ctx.threads(),
+                batch.clone(),
+                ReplayScratch::default,
+                |scratch, t| self.drive(scratch, t),
+            );
             for (ticket, outcome) in batch.iter().zip(outcomes) {
                 let entry = &self.flows[ticket.flow_idx];
                 completed += 1;
@@ -663,9 +665,9 @@ impl<'a> Gateway<'a> {
 
     /// Drives one ticket on a worker: panic-isolated, pure in
     /// `(ctx.seed, plan, config, ticket)`.
-    fn drive(&self, ticket: Ticket) -> SessionOutcome {
+    fn drive(&self, scratch: &mut ReplayScratch, ticket: Ticket) -> SessionOutcome {
         match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-            self.drive_inner(ticket)
+            self.drive_inner(scratch, ticket)
         })) {
             Ok(outcome) => outcome,
             Err(_) => SessionOutcome {
@@ -681,7 +683,7 @@ impl<'a> Gateway<'a> {
     /// with the lab's inline retry budget wrapped around healable
     /// faults (resets, garbles, DNS) — deadline overruns and power
     /// cycles are terminal, exactly as in [`crate::ActiveLab`].
-    fn drive_inner(&self, ticket: Ticket) -> SessionOutcome {
+    fn drive_inner(&self, scratch: &mut ReplayScratch, ticket: Ticket) -> SessionOutcome {
         let cfg = &self.config;
         let entry = &self.flows[ticket.flow_idx];
         if cfg.poison_pm > 0 {
@@ -698,7 +700,8 @@ impl<'a> Gateway<'a> {
         let mut stats = FaultStats::default();
         if plan.is_none() {
             // Hot path: no fault-key formatting, no retry loop.
-            let out = replay_flow(&entry.flow, SessionFaults::none(), cfg.deadline_rounds);
+            let out =
+                replay_flow_with(&entry.flow, SessionFaults::none(), cfg.deadline_rounds, scratch);
             return SessionOutcome {
                 verdict: classify(&out),
                 stats,
@@ -730,13 +733,14 @@ impl<'a> Gateway<'a> {
                 continue;
             }
 
-            let out = replay_flow(
+            let out = replay_flow_with(
                 &entry.flow,
                 SessionFaults {
                     ops: faults.ops,
                     dns: None,
                 },
                 cfg.deadline_rounds,
+                scratch,
             );
             count_injected(&mut stats, &out.injected);
             bytes = out.bytes_delivered;

@@ -14,8 +14,9 @@ use iotls_devices::spec::Destination;
 use iotls_devices::{apply_fallback, client_config, DeviceSetup, Testbed};
 use iotls_obs::Registry;
 use iotls_simnet::{
-    drive_session_faulted, record_session_metrics, DnsTable, FailureCause, FaultPlan,
-    InjectedFault, LinkConditioner, SessionFaults, SessionParams, SessionResult,
+    drive_session_reusing, record_session_metrics, DnsTable, DriveScratch, FailureCause,
+    FaultPlan, GatewayTap, InjectedFault, LinkConditioner, SessionFaults, SessionParams,
+    SessionResult,
 };
 use iotls_tls::client::{ClientConnection, HandshakeFailure};
 use iotls_tls::fingerprint::Fingerprint;
@@ -163,6 +164,13 @@ pub struct ActiveLab<'a> {
     /// registries in roster order, keeping the merged snapshot
     /// byte-identical at any worker count.
     obs: Registry,
+    /// Warm per-lane session scratch (endpoint buffers, wire buffer),
+    /// reused by every session this lab drives so the steady-state
+    /// attempt loop allocates nothing per session.
+    drive_scratch: DriveScratch,
+    /// Warm passive tap, reset and reused per session for the same
+    /// reason.
+    tap: GatewayTap,
 }
 
 impl<'a> ActiveLab<'a> {
@@ -207,6 +215,8 @@ impl<'a> ActiveLab<'a> {
             attempt_seq: 0,
             verify_cache,
             obs: Registry::new(),
+            drive_scratch: DriveScratch::new(),
+            tap: GatewayTap::new(),
         }
     }
 
@@ -392,7 +402,13 @@ impl<'a> ActiveLab<'a> {
             }
             let client_rng = self.rng.fork(&conn_key);
             let server_rng = client_rng.fork("server");
-            let client = ClientConnection::new(cfg, &dest.hostname, self.now, client_rng);
+            let client = ClientConnection::with_scratch(
+                cfg,
+                &dest.hostname,
+                self.now,
+                client_rng,
+                self.drive_scratch.take_client(),
+            );
             let hello = client.build_client_hello();
 
             // Name resolution precedes the connection; an injected
@@ -417,6 +433,9 @@ impl<'a> ActiveLab<'a> {
                     records_deframed: 0,
                     bytes_tapped: 0,
                 };
+                // The session never ran; hand the client's warm
+                // buffers straight back to the lane scratch.
+                self.drive_scratch.client = client.into_scratch();
                 record_session_metrics(&mut self.obs, &dns_result);
                 last = Some((dns_result, hello));
                 if try_idx + 1 == INLINE_RETRY_BUDGET {
@@ -431,13 +450,17 @@ impl<'a> ActiveLab<'a> {
                 Some(p) => self.attacker.server_config(p, &dest.hostname),
                 None => self.testbed.server_config(dest),
             };
-            let server = iotls_tls::ServerConnection::new(server_cfg, server_rng);
+            let server = iotls_tls::ServerConnection::with_scratch(
+                server_cfg,
+                server_rng,
+                self.drive_scratch.take_server(),
+            );
             let payload = dest.payload.clone().unwrap_or_else(|| "ping".into());
             let mut conditioner = LinkConditioner::new(SessionFaults {
                 ops: faults.ops.clone(),
                 dns: None,
             });
-            let result = drive_session_faulted(
+            let result = drive_session_reusing(
                 client,
                 server,
                 SessionParams {
@@ -449,6 +472,8 @@ impl<'a> ActiveLab<'a> {
                     destination: &dest.hostname,
                 },
                 &mut conditioner,
+                Some(&mut self.tap),
+                &mut self.drive_scratch,
             );
             record_session_metrics(&mut self.obs, &result);
             self.count_injected(&result.faults);

@@ -348,12 +348,13 @@ impl Uint {
     }
 
     /// Modular exponentiation `self^exp mod m`. Odd moduli take the
-    /// Montgomery fixed-window fast path ([`crate::mont::MontCtx`]);
-    /// even moduli fall back to [`Self::modpow_generic`]. Panics if
-    /// `m` is zero.
+    /// Montgomery fixed-window fast path ([`crate::mont::MontCtx`],
+    /// memoized per modulus so the context's R² division is paid once
+    /// per key rather than once per call); even moduli fall back to
+    /// [`Self::modpow_generic`]. Panics if `m` is zero.
     pub fn modpow(&self, exp: &Uint, m: &Uint) -> Uint {
         assert!(!m.is_zero(), "Uint::modpow zero modulus");
-        if let Some(ctx) = crate::mont::MontCtx::new(m) {
+        if let Some(ctx) = crate::mont::MontCtx::cached(m) {
             return ctx.modpow(self, exp);
         }
         self.modpow_generic(exp, m)

@@ -24,12 +24,17 @@ pub struct DhGroup {
 }
 
 impl DhGroup {
-    /// The built-in Oakley Group 1.
+    /// The built-in Oakley Group 1. Parsed once per process; every
+    /// handshake's key generation otherwise re-decodes the 768-bit
+    /// prime from hex.
     pub fn oakley_group1() -> Self {
-        DhGroup {
-            p: Uint::from_hex(GROUP1_PRIME_HEX).expect("valid embedded prime"),
-            g: Uint::from_u64(2),
-        }
+        static GROUP: std::sync::OnceLock<DhGroup> = std::sync::OnceLock::new();
+        GROUP
+            .get_or_init(|| DhGroup {
+                p: Uint::from_hex(GROUP1_PRIME_HEX).expect("valid embedded prime"),
+                g: Uint::from_u64(2),
+            })
+            .clone()
     }
 
     /// Constructs a custom group (for tests).

@@ -13,13 +13,18 @@ use iotls_tls::version::ProtocolVersion;
 use iotls_x509::{RootStore, ValidationPolicy};
 
 /// Converts an instance spec plus a device root store into a client
-/// configuration the TLS layer can run.
-pub fn client_config(spec: &TlsInstanceSpec, root_store: RootStore) -> ClientConfig {
+/// configuration the TLS layer can run. The store is shared by
+/// reference; pass an `Arc<RootStore>` handle to avoid deep-copying
+/// the root set per connection attempt.
+pub fn client_config(
+    spec: &TlsInstanceSpec,
+    root_store: impl Into<std::sync::Arc<RootStore>>,
+) -> ClientConfig {
     ClientConfig {
         versions: spec.versions.clone(),
         cipher_suites: spec.cipher_suites.clone(),
         validation_policy: spec.validation,
-        root_store,
+        root_store: root_store.into(),
         library: spec.library,
         send_sni: spec.send_sni,
         request_ocsp: spec.request_ocsp,

@@ -19,8 +19,11 @@ use std::collections::BTreeSet;
 /// Ground truth + emulation schedule for one device's root store.
 #[derive(Debug, Clone)]
 pub struct DeviceRootTruth {
-    /// The store the device actually trusts.
-    pub store: RootStore,
+    /// The store the device actually trusts, behind an
+    /// [`Arc`](std::sync::Arc) so the
+    /// many client configs built per experiment share one immutable
+    /// copy instead of cloning hundreds of certificates each.
+    pub store: std::sync::Arc<RootStore>,
     /// Common-set certs present.
     pub common_present: BTreeSet<CaId>,
     /// Deprecated-set certs present.
@@ -165,7 +168,7 @@ pub fn build_root_truth(pki: &SimPki, device_name: &str, spec: &RootStoreSpec) -
     }
 
     DeviceRootTruth {
-        store,
+        store: std::sync::Arc::new(store),
         common_present: reported_common,
         deprecated_present,
         flaky_boots: flaky,

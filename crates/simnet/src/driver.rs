@@ -12,17 +12,76 @@
 //! [`LinkConditioner`], which in chaos runs may cut,
 //! corrupt, or throttle the stream; the plain [`drive_session`] uses a
 //! passthrough conditioner and behaves exactly as before.
+//!
+//! The pump is unbuffered end to end: each direction owns one
+//! [`SessionBuf`] that the endpoints' `process` calls append to and
+//! the conditioner consumes, and both endpoints' per-session scratch
+//! lives in a caller-reusable [`DriveScratch`]. A lane that calls
+//! [`drive_session_reusing`] with one warm scratch performs zero heap
+//! allocations per session in the steady state.
 
 use crate::fault::{Direction, FailureCause, InjectedFault, LinkConditioner};
 use crate::pipe::DuplexLink;
 use crate::tap::{GatewayTap, TlsObservation};
 use iotls_tls::client::{ClientConnection, HandshakeSummary};
+use iotls_tls::record::SessionBuf;
 use iotls_tls::server::ServerConnection;
+use iotls_tls::session::SessionScratch;
 use iotls_x509::Timestamp;
+use std::sync::atomic::{AtomicU64, Ordering};
 
 /// How many pump rounds before declaring the session wedged — far
 /// beyond any legitimate handshake (which needs ~4).
 const MAX_ROUNDS: usize = 64;
+
+/// Total sessions driven to completion by this process (all lanes),
+/// for sessions-per-second bench reporting.
+static SESSIONS_DRIVEN: AtomicU64 = AtomicU64::new(0);
+
+/// Total sessions driven to completion by this process since start.
+/// Benchmarks read deltas around a workload to report throughput.
+pub fn sessions_driven() -> u64 {
+    SESSIONS_DRIVEN.load(Ordering::Relaxed)
+}
+
+/// Caller-owned scratch for the drive loop: both endpoints'
+/// [`SessionScratch`] plus the wire and per-direction buffers. One
+/// warm `DriveScratch` per lane makes the steady-state session loop
+/// allocation-free; take the endpoint scratches out with
+/// [`DriveScratch::take_client`] / [`DriveScratch::take_server`] to
+/// construct the next pair of connections.
+#[derive(Debug, Default)]
+pub struct DriveScratch {
+    /// Client-endpoint scratch (deframer + buffers).
+    pub client: SessionScratch,
+    /// Server-endpoint scratch (deframer + buffers).
+    pub server: SessionScratch,
+    /// Post-conditioner delivery buffer, reused both directions.
+    wire: Vec<u8>,
+    /// Client → server outgoing-record buffer.
+    c2s: SessionBuf,
+    /// Server → client outgoing-record buffer.
+    s2c: SessionBuf,
+}
+
+impl DriveScratch {
+    /// A fresh (cold) scratch.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Takes the client-endpoint scratch (for
+    /// `ClientConnection::with_scratch`), leaving a default in place.
+    pub fn take_client(&mut self) -> SessionScratch {
+        std::mem::take(&mut self.client)
+    }
+
+    /// Takes the server-endpoint scratch (for
+    /// `ServerConnection::with_scratch`), leaving a default in place.
+    pub fn take_server(&mut self) -> SessionScratch {
+        std::mem::take(&mut self.server)
+    }
+}
 
 /// Everything a driven session produced.
 pub struct SessionResult {
@@ -95,8 +154,7 @@ impl<'a> SessionParams<'a> {
 
 /// Drives `client` against `server` to quiescence on a clean link.
 ///
-/// The client must *not* have been started; the driver calls
-/// [`ClientConnection::start`].
+/// The client must *not* have been started; the driver starts it.
 pub fn drive_session(
     client: ClientConnection,
     server: ServerConnection,
@@ -119,11 +177,12 @@ pub fn drive_session_faulted(
     params: SessionParams<'_>,
     conditioner: &mut LinkConditioner,
 ) -> SessionResult {
+    let mut scratch = DriveScratch::new();
     if params.tap {
         let mut tap = GatewayTap::new();
-        drive_inner(client, server, params, conditioner, Some(&mut tap))
+        drive_inner(client, server, params, conditioner, Some(&mut tap), &mut scratch)
     } else {
-        drive_inner(client, server, params, conditioner, None)
+        drive_inner(client, server, params, conditioner, None, &mut scratch)
     }
 }
 
@@ -139,7 +198,31 @@ pub fn drive_session_faulted_tapped(
     tap: &mut GatewayTap,
 ) -> SessionResult {
     tap.reset();
-    drive_inner(client, server, params, conditioner, Some(tap))
+    let mut scratch = DriveScratch::new();
+    drive_inner(client, server, params, conditioner, Some(tap), &mut scratch)
+}
+
+/// The fully reusable form: drives the session with a caller-owned
+/// [`DriveScratch`] (and, when `tap` is `Some`, a caller-owned
+/// [`GatewayTap`], reset first). Endpoints built from this scratch's
+/// `take_client`/`take_server` halves are handed back into it when the
+/// session ends, so a lane looping over sessions allocates nothing
+/// per session once warm.
+pub fn drive_session_reusing(
+    client: ClientConnection,
+    server: ServerConnection,
+    params: SessionParams<'_>,
+    conditioner: &mut LinkConditioner,
+    tap: Option<&mut GatewayTap>,
+    scratch: &mut DriveScratch,
+) -> SessionResult {
+    match tap {
+        Some(t) => {
+            t.reset();
+            drive_inner(client, server, params, conditioner, Some(t), scratch)
+        }
+        None => drive_inner(client, server, params, conditioner, None, scratch),
+    }
 }
 
 fn drive_inner(
@@ -148,6 +231,7 @@ fn drive_inner(
     params: SessionParams<'_>,
     conditioner: &mut LinkConditioner,
     mut tap: Option<&mut GatewayTap>,
+    scratch: &mut DriveScratch,
 ) -> SessionResult {
     let mut link = DuplexLink::new();
     let mut server_received = Vec::new();
@@ -156,53 +240,61 @@ fn drive_inner(
     let mut server_sent_payload = false;
     let mut exhausted = true;
 
-    client.start();
+    scratch.wire.clear();
+    scratch.c2s.clear();
+    scratch.s2c.clear();
 
+    client.start_into(&mut scratch.c2s);
+
+    // ALLOC-FREE: begin (drive loop — tier1.sh greps this region for
+    // reintroduced per-session allocations; every buffer below is
+    // caller-owned scratch reused across sessions).
     for round in 0..MAX_ROUNDS {
         conditioner.begin_round(round);
         let mut moved = false;
 
-        // Client → conditioner → gateway → server.
-        let out = client.take_output();
-        let delivered = conditioner.transfer(Direction::C2s, &out, round);
-        if !delivered.is_empty() {
+        // Client → conditioner → gateway → server. The transfer runs
+        // even on empty input so the stall trickle keeps draining.
+        conditioner.transfer_into(Direction::C2s, scratch.c2s.as_slice(), round, &mut scratch.wire);
+        scratch.c2s.clear();
+        if !scratch.wire.is_empty() {
             if let Some(t) = tap.as_mut() {
-                t.observe_c2s(&delivered);
+                t.observe_c2s(&scratch.wire);
             }
-            link.c2s.write(&delivered);
-            let data = link.c2s.drain();
-            let _ = server.read_tls(&data);
+            link.c2s.write(&scratch.wire);
+            server.process(link.c2s.queued(), &mut scratch.s2c);
+            link.c2s.consume();
             moved = true;
         }
-        server_received.extend(server.take_application_data());
+        server.drain_application_data_into(&mut server_received);
 
         // Server queues its payload once established.
         if server.is_established() && !server_sent_payload {
             if let Some(p) = params.server_payload {
-                server.send_application_data(p);
+                server.send_application_data_into(p, &mut scratch.s2c);
                 moved = true;
             }
             server_sent_payload = true;
         }
 
         // Server → conditioner → gateway → client.
-        let out = server.take_output();
-        let delivered = conditioner.transfer(Direction::S2c, &out, round);
-        if !delivered.is_empty() {
+        conditioner.transfer_into(Direction::S2c, scratch.s2c.as_slice(), round, &mut scratch.wire);
+        scratch.s2c.clear();
+        if !scratch.wire.is_empty() {
             if let Some(t) = tap.as_mut() {
-                t.observe_s2c(&delivered);
+                t.observe_s2c(&scratch.wire);
             }
-            link.s2c.write(&delivered);
-            let data = link.s2c.drain();
-            let _ = client.read_tls(&data);
+            link.s2c.write(&scratch.wire);
+            client.process(link.s2c.queued(), &mut scratch.c2s);
+            link.s2c.consume();
             moved = true;
         }
-        client_received.extend(client.take_application_data());
+        client.drain_application_data_into(&mut client_received);
 
         // Client queues its payload once established.
         if client.is_established() && !client_sent_payload {
             if let Some(p) = params.client_payload {
-                client.send_application_data(p);
+                client.send_application_data_into(p, &mut scratch.c2s);
                 moved = true;
             }
             client_sent_payload = true;
@@ -213,6 +305,9 @@ fn drive_inner(
             break;
         }
     }
+    // ALLOC-FREE: end (drive loop)
+
+    SESSIONS_DRIVEN.fetch_add(1, Ordering::Relaxed);
 
     let established = client.is_established() && server.is_established();
     let failure = if established {
@@ -226,7 +321,7 @@ fn drive_inner(
     let observation = tap
         .as_mut()
         .and_then(|t| t.take_observation(params.time, params.device, params.destination));
-    SessionResult {
+    let result = SessionResult {
         client_summary: client.summary(),
         established,
         failure,
@@ -238,5 +333,10 @@ fn drive_inner(
         bytes_s2c: link.s2c.total_bytes(),
         records_deframed,
         bytes_tapped,
-    }
+    };
+    // Hand the endpoints' warm buffers back to the lane's scratch for
+    // the next session.
+    scratch.client = client.into_scratch();
+    scratch.server = server.into_scratch();
+    result
 }

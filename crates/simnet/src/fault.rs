@@ -328,22 +328,39 @@ impl LinkConditioner {
     /// Passes `data` (possibly empty) through the conditioner for one
     /// direction, returning the bytes to deliver this round.
     pub fn transfer(&mut self, dir: Direction, data: &[u8], round: usize) -> Vec<u8> {
+        let mut out = Vec::new();
+        self.transfer_into(dir, data, round, &mut out);
+        out
+    }
+
+    /// [`LinkConditioner::transfer`] into a caller-owned buffer
+    /// (cleared first) — the zero-allocation form the replay and drive
+    /// loops use. On the clean-link fast path (no cut, no stall, no
+    /// backlog) the input is copied straight through without touching
+    /// the backlog.
+    pub fn transfer_into(&mut self, dir: Direction, data: &[u8], round: usize, out: &mut Vec<u8>) {
+        out.clear();
         let slot = match dir {
             Direction::C2s => 0,
             Direction::S2c => 1,
         };
-        self.backlog[slot].extend_from_slice(data);
         if self.cut {
             self.backlog[slot].clear();
-            return Vec::new();
+            return;
         }
         // Under stall, trickle one byte per direction per round.
-        let take = if self.stall_from.is_some_and(|r| round >= r) {
-            1.min(self.backlog[slot].len())
+        let stalled = self.stall_from.is_some_and(|r| round >= r);
+        if !stalled && self.backlog[slot].is_empty() {
+            out.extend_from_slice(data);
         } else {
-            self.backlog[slot].len()
-        };
-        let mut out: Vec<u8> = self.backlog[slot].drain(..take).collect();
+            self.backlog[slot].extend_from_slice(data);
+            let take = if stalled {
+                1.min(self.backlog[slot].len())
+            } else {
+                self.backlog[slot].len()
+            };
+            out.extend(self.backlog[slot].drain(..take));
+        }
 
         // Garble: corrupt the byte at its cumulative offset.
         for op in &self.faults.ops {
@@ -380,7 +397,6 @@ impl LinkConditioner {
         }
 
         self.delivered += out.len() as u64;
-        out
     }
 
     /// Bytes still held back (stall backlog).

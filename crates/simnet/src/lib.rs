@@ -37,15 +37,18 @@ pub mod tap;
 
 pub use dns::{DnsOutcome, DnsQuery, DnsTable};
 pub use driver::{
-    drive_session, drive_session_faulted, drive_session_faulted_tapped, SessionParams,
-    SessionResult,
+    drive_session, drive_session_faulted, drive_session_faulted_tapped, drive_session_reusing,
+    sessions_driven, DriveScratch, SessionParams, SessionResult,
 };
 pub use events::{EventQueue, SimClock};
 pub use fault::{
     DnsFault, FailureCause, FaultOp, FaultPlan, InjectedFault, LinkConditioner, SessionFaults,
 };
 pub use metrics::record_session_metrics;
-pub use mux::{replay_flow, AcceptLoop, FlowRound, ReplayOutcome, SessionFlow};
-pub use par::{ordered_map, ordered_map_with, worker_count};
+pub use mux::{
+    replay_flow, replay_flow_with, AcceptLoop, FlowRound, ReplayOutcome, ReplayScratch,
+    SessionFlow,
+};
+pub use par::{ordered_map, ordered_map_with, ordered_map_with_state, worker_count};
 pub use pipe::{DuplexLink, Pipe};
 pub use tap::{GatewayTap, TlsObservation};

@@ -23,6 +23,7 @@
 use crate::fault::{Direction, FailureCause, InjectedFault, LinkConditioner, SessionFaults};
 use iotls_crypto::drbg::Drbg;
 use iotls_tls::client::ClientConnection;
+use iotls_tls::record::SessionBuf;
 use iotls_tls::server::ServerConnection;
 
 /// Round budget for *recording* a flow — matches the session driver's
@@ -67,37 +68,37 @@ impl SessionFlow {
         let mut rounds = Vec::new();
         let mut client_sent = false;
         let mut server_sent = false;
-        client.start();
+        let mut c2s = SessionBuf::new();
+        let mut s2c = SessionBuf::new();
+        client.start_into(&mut c2s);
 
         for _ in 0..RECORD_MAX_ROUNDS {
             let mut round = FlowRound::default();
             let mut moved = false;
 
-            let out = client.take_output();
-            if !out.is_empty() {
-                let _ = server.read_tls(&out);
-                round.c2s = out;
+            if !c2s.is_empty() {
+                server.process(c2s.as_slice(), &mut s2c);
+                round.c2s = c2s.take_vec();
                 moved = true;
             }
             let _ = server.take_application_data();
             if server.is_established() && !server_sent {
                 if let Some(p) = server_payload {
-                    server.send_application_data(p);
+                    server.send_application_data_into(p, &mut s2c);
                     moved = true;
                 }
                 server_sent = true;
             }
 
-            let out = server.take_output();
-            if !out.is_empty() {
-                let _ = client.read_tls(&out);
-                round.s2c = out;
+            if !s2c.is_empty() {
+                client.process(s2c.as_slice(), &mut c2s);
+                round.s2c = s2c.take_vec();
                 moved = true;
             }
             let _ = client.take_application_data();
             if client.is_established() && !client_sent {
                 if let Some(p) = client_payload {
-                    client.send_application_data(p);
+                    client.send_application_data_into(p, &mut c2s);
                     moved = true;
                 }
                 client_sent = true;
@@ -168,6 +169,32 @@ pub struct ReplayOutcome {
 /// session even when all bytes deliver (a corrupted handshake record
 /// breaks the transcript MAC); a cut fails it immediately.
 pub fn replay_flow(flow: &SessionFlow, faults: SessionFaults, deadline: usize) -> ReplayOutcome {
+    replay_flow_with(flow, faults, deadline, &mut ReplayScratch::default())
+}
+
+/// Reusable scratch for [`replay_flow_with`]: one post-conditioner
+/// delivery buffer, warm across every replay a worker performs.
+#[derive(Debug, Default)]
+pub struct ReplayScratch {
+    wire: Vec<u8>,
+}
+
+impl ReplayScratch {
+    /// A fresh (cold) scratch.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+/// [`replay_flow`] with caller-owned [`ReplayScratch`] — the gateway's
+/// hot path. A clean replay (no faults drawn) performs zero heap
+/// allocations once the scratch is warm.
+pub fn replay_flow_with(
+    flow: &SessionFlow,
+    faults: SessionFaults,
+    deadline: usize,
+    scratch: &mut ReplayScratch,
+) -> ReplayOutcome {
     let mut cond = LinkConditioner::new(faults);
     let mut delivered = 0u64;
     let mut rounds_used = 0;
@@ -181,8 +208,10 @@ pub fn replay_flow(flow: &SessionFlow, faults: SessionFaults, deadline: usize) -
             Some(r) => (r.c2s.as_slice(), r.s2c.as_slice()),
             None => (empty, empty),
         };
-        delivered += cond.transfer(Direction::C2s, c2s, round).len() as u64;
-        delivered += cond.transfer(Direction::S2c, s2c, round).len() as u64;
+        cond.transfer_into(Direction::C2s, c2s, round, &mut scratch.wire);
+        delivered += scratch.wire.len() as u64;
+        cond.transfer_into(Direction::S2c, s2c, round, &mut scratch.wire);
+        delivered += scratch.wire.len() as u64;
         if cond.is_cut() {
             break;
         }

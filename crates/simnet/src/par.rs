@@ -108,6 +108,62 @@ where
         .collect()
 }
 
+/// [`ordered_map_with`] where every worker thread owns a mutable
+/// per-worker state built by `init` — the vehicle for reusable scratch
+/// (warm buffers, arenas) across the items one worker processes.
+///
+/// `init` runs once per worker, on that worker's thread, so the state
+/// type needs no `Send`. With `0`/`1` workers — or a single item —
+/// one state is built and the closure runs inline on the caller's
+/// thread, making the degenerate case identical to a sequential loop.
+pub fn ordered_map_with_state<T, R, S, I, F>(workers: usize, items: Vec<T>, init: I, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    I: Fn() -> S + Sync,
+    F: Fn(&mut S, T) -> R + Sync,
+{
+    let workers = workers.min(items.len());
+    if items.len() <= 1 || workers <= 1 {
+        let mut state = init();
+        return items.into_iter().map(|item| f(&mut state, item)).collect();
+    }
+
+    let n = items.len();
+    let slots: Vec<std::sync::Mutex<(Option<T>, Option<R>)>> = items
+        .into_iter()
+        .map(|item| std::sync::Mutex::new((Some(item), None)))
+        .collect();
+    let cursor = AtomicUsize::new(0);
+
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| {
+                let mut state = init();
+                loop {
+                    let i = cursor.fetch_add(1, Ordering::Relaxed);
+                    if i >= n {
+                        break;
+                    }
+                    let item = slots[i].lock().unwrap().0.take().expect("slot claimed once");
+                    let out = f(&mut state, item);
+                    slots[i].lock().unwrap().1 = Some(out);
+                }
+            });
+        }
+    });
+
+    slots
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .unwrap()
+                .1
+                .expect("worker filled every slot")
+        })
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -160,5 +216,34 @@ mod tests {
             let out = ordered_map_with(workers, vec![(), ()], |()| std::thread::current().id());
             assert_eq!(out, vec![caller, caller]);
         }
+    }
+
+    #[test]
+    fn stateful_map_matches_stateless_in_order() {
+        let items: Vec<usize> = (0..64).collect();
+        let want: Vec<usize> = items.iter().map(|i| i * 7).collect();
+        for workers in [0, 1, 2, 8, 100] {
+            let out = ordered_map_with_state(
+                workers,
+                items.clone(),
+                Vec::<u8>::new,
+                |scratch, i| {
+                    scratch.clear();
+                    scratch.extend_from_slice(&i.to_le_bytes());
+                    i * 7
+                },
+            );
+            assert_eq!(out, want);
+        }
+    }
+
+    #[test]
+    fn stateful_map_state_persists_within_worker() {
+        // Inline (1 worker): a single state sees every item.
+        let out = ordered_map_with_state(1, vec![1u64, 2, 3], || 0u64, |acc, i| {
+            *acc += i;
+            *acc
+        });
+        assert_eq!(out, vec![1, 3, 6]);
     }
 }

@@ -25,6 +25,18 @@ impl Pipe {
         std::mem::take(&mut self.queue)
     }
 
+    /// Borrows the queued bytes without draining them — the
+    /// zero-allocation read half of a `queued`/[`Pipe::consume`] pair.
+    pub fn queued(&self) -> &[u8] {
+        &self.queue
+    }
+
+    /// Discards the queued bytes (after the caller processed
+    /// [`Pipe::queued`]), keeping the queue's allocation.
+    pub fn consume(&mut self) {
+        self.queue.clear();
+    }
+
     /// Bytes currently queued.
     pub fn pending(&self) -> usize {
         self.queue.len()

@@ -1,14 +1,22 @@
 //! The TLS client state machine (sans-IO).
 //!
-//! A [`ClientConnection`] consumes transport bytes via
-//! [`ClientConnection::read_tls`] and produces transport bytes via
-//! [`ClientConnection::take_output`]; it never touches a socket
-//! (smoltcp idiom). Device emulations configure it through
-//! [`ClientConfig`], which captures everything the paper measures
-//! about a *TLS instance*: offered versions and suites, extension
-//! set, validation policy, root store, and the library behavior
-//! profile that decides which alert (if any) is sent on validation
-//! failure.
+//! A [`ClientConnection`] is unbuffered in the smoltcp idiom: the
+//! caller owns both sides of the byte exchange. Feed incoming
+//! transport bytes and collect outgoing ones in a single call to
+//! [`ClientConnection::process`], which appends every reply record to
+//! a caller-owned [`SessionBuf`]; drive loops reuse one buffer per
+//! direction (and one [`SessionScratch`] per lane, via
+//! [`ClientConnection::with_scratch`]) so the steady state allocates
+//! nothing per session. The older buffered API
+//! ([`ClientConnection::read_tls`] / [`ClientConnection::take_output`])
+//! remains as a thin shim over the same core for tests and one-shot
+//! callers.
+//!
+//! Device emulations configure the client through [`ClientConfig`],
+//! which captures everything the paper measures about a *TLS
+//! instance*: offered versions and suites, extension set, validation
+//! policy, root store, and the library behavior profile that decides
+//! which alert (if any) is sent on validation failure.
 //!
 //! Handshake-flow substitutions relative to real TLS (DESIGN.md §2):
 //! TLS 1.3 connections reuse the 1.2 message sequence, there is no
@@ -24,14 +32,16 @@ use crate::extension::{sig_scheme, Extension};
 use crate::fingerprint::Fingerprint;
 use crate::handshake::{ClientHello, HandshakeMessage, ServerKeyExchange};
 use crate::profile::LibraryProfile;
-use crate::record::{ContentType, Deframer, Record};
+use crate::record::{write_record, ContentType, Deframer, SessionBuf};
 use crate::session::{
-    derive_master_secret, derive_write_keys, finished_verify_data, DirectionCipher, Transcript,
+    derive_master_secret, derive_write_keys, finished_verify_data, DirectionCipher,
+    SessionScratch, Status, Transcript,
 };
 use crate::version::ProtocolVersion;
 use iotls_crypto::dh::{DhGroup, DhKeyPair};
 use iotls_crypto::drbg::Drbg;
 use iotls_x509::{validate_chain, Certificate, RootStore, Timestamp, ValidationError, ValidationPolicy};
+use std::sync::Arc;
 
 /// Certificate pinning (§6 of the paper).
 ///
@@ -86,8 +96,10 @@ pub struct ClientConfig {
     pub cipher_suites: Vec<u16>,
     /// Certificate validation behavior.
     pub validation_policy: ValidationPolicy,
-    /// Trusted roots.
-    pub root_store: RootStore,
+    /// Trusted roots, shared by reference: many configs (one per
+    /// connection attempt) point at one immutable store, so cloning a
+    /// config never deep-copies the root set.
+    pub root_store: Arc<RootStore>,
     /// Library emulation (controls failure alerts).
     pub library: LibraryProfile,
     /// Send the SNI extension.
@@ -120,12 +132,12 @@ pub struct ClientConfig {
 impl ClientConfig {
     /// A modern, strict client: TLS 1.2/1.3, strong suites, full
     /// validation, OpenSSL-style alerts.
-    pub fn modern(root_store: RootStore) -> ClientConfig {
+    pub fn modern(root_store: impl Into<Arc<RootStore>>) -> ClientConfig {
         ClientConfig {
             versions: vec![ProtocolVersion::Tls12, ProtocolVersion::Tls13],
             cipher_suites: vec![0x1301, 0x1303, 0xc02f, 0xc030, 0xcca8, 0x009e],
             validation_policy: ValidationPolicy::strict(),
-            root_store,
+            root_store: root_store.into(),
             library: LibraryProfile::OpenSsl,
             send_sni: true,
             request_ocsp: false,
@@ -226,8 +238,7 @@ pub struct ClientConnection {
     now: Timestamp,
     rng: Drbg,
     state: State,
-    deframer: Deframer,
-    output: Vec<u8>,
+    scratch: SessionScratch,
     transcript: Transcript,
     hello: Option<ClientHello>,
     client_random: [u8; 32],
@@ -242,7 +253,6 @@ pub struct ClientConnection {
     master: Option<[u8; 48]>,
     write_cipher: Option<DirectionCipher>,
     read_cipher: Option<DirectionCipher>,
-    app_rx: Vec<u8>,
     staple_bytes: Option<Vec<u8>>,
     resume: Option<CachedSession>,
     server_session_id: Vec<u8>,
@@ -251,7 +261,23 @@ pub struct ClientConnection {
 
 impl ClientConnection {
     /// Creates a connection to `hostname` at simulated time `now`.
-    pub fn new(config: ClientConfig, hostname: &str, now: Timestamp, mut rng: Drbg) -> Self {
+    pub fn new(config: ClientConfig, hostname: &str, now: Timestamp, rng: Drbg) -> Self {
+        Self::with_scratch(config, hostname, now, rng, SessionScratch::new())
+    }
+
+    /// Like [`ClientConnection::new`], but reusing a caller-owned
+    /// [`SessionScratch`] (reset first) so steady-state session loops
+    /// keep one warm set of buffers per lane instead of allocating per
+    /// connection. Reclaim the scratch with
+    /// [`ClientConnection::into_scratch`] when the session ends.
+    pub fn with_scratch(
+        config: ClientConfig,
+        hostname: &str,
+        now: Timestamp,
+        mut rng: Drbg,
+        mut scratch: SessionScratch,
+    ) -> Self {
+        scratch.reset();
         let mut client_random = [0u8; 32];
         rng.fill_bytes(&mut client_random);
         ClientConnection {
@@ -260,8 +286,7 @@ impl ClientConnection {
             now,
             rng,
             state: State::Start,
-            deframer: Deframer::new(),
-            output: Vec::new(),
+            scratch,
             transcript: Transcript::new(),
             hello: None,
             client_random,
@@ -276,12 +301,17 @@ impl ClientConnection {
             master: None,
             write_cipher: None,
             read_cipher: None,
-            app_rx: Vec::new(),
             staple_bytes: None,
             resume: None,
             server_session_id: Vec::new(),
             resumed: false,
         }
+    }
+
+    /// Consumes the connection, handing back its (warm) scratch for
+    /// the next session in the lane.
+    pub fn into_scratch(self) -> SessionScratch {
+        self.scratch
     }
 
     /// Arms session resumption: the next [`Self::start`] offers the
@@ -360,14 +390,24 @@ impl ClientConnection {
         }
     }
 
-    /// Sends the ClientHello. Must be called exactly once, first.
-    pub fn start(&mut self) {
+    /// Encodes the ClientHello into `out`. Must be called exactly
+    /// once, first.
+    pub fn start_into(&mut self, out: &mut SessionBuf) {
         assert_eq!(self.state, State::Start, "start() called twice");
         let hello = self.build_client_hello();
         let msg = HandshakeMessage::ClientHello(hello.clone());
-        self.send_handshake(&msg);
+        self.send_handshake(&msg, out);
         self.hello = Some(hello);
         self.state = State::AwaitServerHello;
+    }
+
+    /// Sends the ClientHello into the internal pending buffer
+    /// (legacy buffered API; drain with
+    /// [`ClientConnection::take_output`]).
+    pub fn start(&mut self) {
+        let mut pending = std::mem::take(&mut self.scratch.pending);
+        self.start_into(&mut pending);
+        self.scratch.pending = pending;
     }
 
     /// The fingerprint of this connection's ClientHello.
@@ -378,9 +418,21 @@ impl ClientConnection {
         }
     }
 
-    /// Drains bytes destined for the transport.
+    /// Drains bytes destined for the transport (legacy buffered API;
+    /// the unbuffered loop writes through [`ClientConnection::process`]
+    /// instead).
     pub fn take_output(&mut self) -> Vec<u8> {
-        std::mem::take(&mut self.output)
+        self.scratch.pending.take_vec()
+    }
+
+    /// The connection's coarse status.
+    pub fn status(&self) -> Status {
+        match &self.state {
+            State::Established => Status::Established,
+            State::Failed(_) => Status::Failed,
+            State::Closed => Status::Closed,
+            _ => Status::Handshaking,
+        }
     }
 
     /// True once the handshake completed successfully.
@@ -422,77 +474,143 @@ impl ClientConnection {
         }
     }
 
-    /// Feeds transport bytes into the connection.
-    pub fn read_tls(&mut self, data: &[u8]) -> Result<(), CodecError> {
-        self.deframer.push(data);
-        while let Some(record) = self.deframer.pop()? {
-            self.process_record(record)?;
-        }
-        Ok(())
+    /// The sans-IO pump: consumes `incoming` transport bytes (any
+    /// chunking, possibly empty) and appends every reply record to the
+    /// caller-owned `out`. Malformed input moves the connection to
+    /// [`Status::Failed`]; the caller reads wire bytes from `out`
+    /// regardless (a failing connection still sends its fatal alert).
+    pub fn process(&mut self, incoming: &[u8], out: &mut SessionBuf) -> Status {
+        let _ = self.process_bytes(incoming, out);
+        self.status()
     }
 
-    /// Queues application data (only valid once established).
-    pub fn send_application_data(&mut self, data: &[u8]) {
+    /// Feeds transport bytes into the connection, buffering replies
+    /// internally (legacy buffered API over the same sans-IO core).
+    pub fn read_tls(&mut self, data: &[u8]) -> Result<(), CodecError> {
+        let mut pending = std::mem::take(&mut self.scratch.pending);
+        let result = self.process_bytes(data, &mut pending);
+        self.scratch.pending = pending;
+        result
+    }
+
+    fn process_bytes(&mut self, incoming: &[u8], out: &mut SessionBuf) -> Result<(), CodecError> {
+        self.scratch.deframer.push(incoming);
+        // Disjoint-field dance: the deframer and the record-payload
+        // scratch move out of `self` for the duration of the loop (a
+        // Vec move, not an allocation) so records can borrow them
+        // while the state machine borrows `self`.
+        let mut deframer = std::mem::take(&mut self.scratch.deframer);
+        let mut rx = std::mem::take(&mut self.scratch.rx);
+        let result = self.process_deframed(&mut deframer, &mut rx, out);
+        self.scratch.deframer = deframer;
+        self.scratch.rx = rx;
+        result
+    }
+
+    fn process_deframed(
+        &mut self,
+        deframer: &mut Deframer,
+        rx: &mut Vec<u8>,
+        out: &mut SessionBuf,
+    ) -> Result<(), CodecError> {
+        loop {
+            let content_type = match deframer.pop_ref() {
+                Ok(Some(rec)) => {
+                    rx.clear();
+                    rx.extend_from_slice(rec.payload);
+                    rec.content_type
+                }
+                Ok(None) => return Ok(()),
+                Err(e) => return Err(e),
+            };
+            self.process_record_ref(content_type, rx, out)?;
+        }
+    }
+
+    /// Encodes application data into `out` (only valid once
+    /// established). Record protection is applied in the tx scratch
+    /// before framing; fragment boundaries do not disturb the stream
+    /// ciphers' keystream order, so the wire bytes are identical to
+    /// the legacy fragment-then-encrypt path.
+    pub fn send_application_data_into(&mut self, data: &[u8], out: &mut SessionBuf) {
         assert!(self.is_established(), "connection not established");
-        for rec in Record::fragment(
+        self.scratch.tx.clear();
+        self.scratch.tx.extend_from_slice(data);
+        if let Some(c) = &mut self.write_cipher {
+            c.apply(&mut self.scratch.tx);
+        }
+        write_record(
             ContentType::ApplicationData,
             self.version.unwrap_or(ProtocolVersion::Tls12),
-            data,
-        ) {
-            let mut payload = rec.payload;
-            if let Some(c) = &mut self.write_cipher {
-                c.apply(&mut payload);
-            }
-            let encrypted = Record::new(rec.content_type, rec.version, payload);
-            self.output.extend_from_slice(&encrypted.encode());
-        }
+            &self.scratch.tx,
+            out,
+        );
+    }
+
+    /// Queues application data into the internal pending buffer
+    /// (legacy buffered API).
+    pub fn send_application_data(&mut self, data: &[u8]) {
+        let mut pending = std::mem::take(&mut self.scratch.pending);
+        self.send_application_data_into(data, &mut pending);
+        self.scratch.pending = pending;
+    }
+
+    /// Appends decrypted application data received from the peer to
+    /// `sink` and clears the internal accumulator (keeping its
+    /// allocation).
+    pub fn drain_application_data_into(&mut self, sink: &mut Vec<u8>) {
+        sink.extend_from_slice(&self.scratch.app);
+        self.scratch.app.clear();
     }
 
     /// Drains decrypted application data received from the peer.
     pub fn take_application_data(&mut self) -> Vec<u8> {
-        std::mem::take(&mut self.app_rx)
+        std::mem::take(&mut self.scratch.app)
     }
 
-    fn send_handshake(&mut self, msg: &HandshakeMessage) {
-        let bytes = msg.encode();
-        self.transcript.absorb(&bytes);
+    fn send_handshake(&mut self, msg: &HandshakeMessage, out: &mut SessionBuf) {
+        self.scratch.tx.clear();
+        msg.encode_into(&mut self.scratch.tx);
+        self.transcript.absorb(&self.scratch.tx);
         let version = self.version.unwrap_or_else(|| {
             self.config.max_version().min(ProtocolVersion::Tls12)
         });
-        for rec in Record::fragment(ContentType::Handshake, version, &bytes) {
-            self.output.extend_from_slice(&rec.encode());
-        }
+        write_record(ContentType::Handshake, version, &self.scratch.tx, out);
     }
 
-    fn send_alert(&mut self, alert: Alert) {
+    fn send_alert(&mut self, alert: Alert, out: &mut SessionBuf) {
         self.alerts_sent.push(alert);
         let version = self.version.unwrap_or(ProtocolVersion::Tls12);
-        let rec = Record::new(ContentType::Alert, version, alert.to_bytes().to_vec());
-        self.output.extend_from_slice(&rec.encode());
+        write_record(ContentType::Alert, version, &alert.to_bytes(), out);
     }
 
-    fn fail(&mut self, failure: HandshakeFailure, alert: Option<Alert>) {
+    fn fail(&mut self, failure: HandshakeFailure, alert: Option<Alert>, out: &mut SessionBuf) {
         if let Some(a) = alert {
-            self.send_alert(a);
+            self.send_alert(a, out);
         }
         self.state = State::Failed(failure);
     }
 
     /// Fails with the library-profile-specific alert for a validation
     /// error — the observable behavior Table 4 catalogs.
-    fn fail_validation(&mut self, err: ValidationError) {
+    fn fail_validation(&mut self, err: ValidationError, out: &mut SessionBuf) {
         let alert = self
             .config
             .library
             .alert_for(err)
             .map(Alert::fatal);
-        self.fail(HandshakeFailure::Validation(err), alert);
+        self.fail(HandshakeFailure::Validation(err), alert, out);
     }
 
-    fn process_record(&mut self, record: Record) -> Result<(), CodecError> {
-        match record.content_type {
+    fn process_record_ref(
+        &mut self,
+        content_type: ContentType,
+        payload: &mut Vec<u8>,
+        out: &mut SessionBuf,
+    ) -> Result<(), CodecError> {
+        match content_type {
             ContentType::Alert => {
-                if let Some(alert) = Alert::from_bytes(&record.payload) {
+                if let Some(alert) = Alert::from_bytes(payload) {
                     self.alerts_received.push(alert);
                     if alert.level == AlertLevel::Fatal {
                         self.state = State::Failed(HandshakeFailure::PeerAlert(alert));
@@ -503,7 +621,7 @@ impl ClientConnection {
                 Ok(())
             }
             ContentType::Handshake => {
-                let mut buf = record.payload.as_slice();
+                let mut buf: &[u8] = payload;
                 while !buf.is_empty() {
                     let (msg, used) = match HandshakeMessage::decode(buf) {
                         Ok(ok) => ok,
@@ -511,13 +629,14 @@ impl ClientConnection {
                             self.fail(
                                 HandshakeFailure::Codec,
                                 Some(Alert::fatal(AlertDescription::UnexpectedMessage)),
+                                out,
                             );
                             return Err(e);
                         }
                     };
                     let msg_bytes = &buf[..used];
                     buf = &buf[used..];
-                    self.process_handshake(msg, msg_bytes);
+                    self.process_handshake(msg, msg_bytes, out);
                     if matches!(self.state, State::Failed(_)) {
                         break;
                     }
@@ -525,18 +644,17 @@ impl ClientConnection {
                 Ok(())
             }
             ContentType::ApplicationData => {
-                let mut payload = record.payload;
                 if let Some(c) = &mut self.read_cipher {
-                    c.apply(&mut payload);
+                    c.apply(payload);
                 }
-                self.app_rx.extend_from_slice(&payload);
+                self.scratch.app.extend_from_slice(payload);
                 Ok(())
             }
             ContentType::ChangeCipherSpec => Ok(()),
         }
     }
 
-    fn process_handshake(&mut self, msg: HandshakeMessage, msg_bytes: &[u8]) {
+    fn process_handshake(&mut self, msg: HandshakeMessage, msg_bytes: &[u8], out: &mut SessionBuf) {
         match (&self.state, msg) {
             (State::AwaitServerHello, HandshakeMessage::ServerHello(sh)) => {
                 self.transcript.absorb(msg_bytes);
@@ -544,6 +662,7 @@ impl ClientConnection {
                     self.fail(
                         HandshakeFailure::UnsupportedVersion(sh.version),
                         Some(Alert::fatal(AlertDescription::ProtocolVersion)),
+                        out,
                     );
                     return;
                 }
@@ -551,6 +670,7 @@ impl ClientConnection {
                     self.fail(
                         HandshakeFailure::UnsupportedSuite(sh.cipher_suite),
                         Some(Alert::fatal(AlertDescription::HandshakeFailure)),
+                        out,
                     );
                     return;
                 }
@@ -590,6 +710,7 @@ impl ClientConnection {
                             self.fail(
                                 HandshakeFailure::Codec,
                                 Some(Alert::fatal(AlertDescription::BadCertificate)),
+                                out,
                             );
                             return;
                         }
@@ -608,7 +729,7 @@ impl ClientConnection {
             }
             (State::AwaitServerFlight, HandshakeMessage::ServerHelloDone) => {
                 self.transcript.absorb(msg_bytes);
-                self.complete_client_flight();
+                self.complete_client_flight(out);
             }
             (State::AwaitServerFinishedResumed, HandshakeMessage::Finished(verify_data)) => {
                 let master = self.master.expect("resumed master set");
@@ -619,13 +740,14 @@ impl ClientConnection {
                     self.fail(
                         HandshakeFailure::BadFinished,
                         Some(Alert::fatal(AlertDescription::DecryptError)),
+                        out,
                     );
                     return;
                 }
                 let client_verify =
                     finished_verify_data(&master, "client finished", &self.transcript.hash());
                 let finished = HandshakeMessage::Finished(client_verify);
-                self.send_handshake(&finished);
+                self.send_handshake(&finished, out);
                 self.state = State::Established;
             }
             (State::AwaitServerFinished, HandshakeMessage::Finished(verify_data)) => {
@@ -639,6 +761,7 @@ impl ClientConnection {
                     self.fail(
                         HandshakeFailure::BadFinished,
                         Some(Alert::fatal(AlertDescription::DecryptError)),
+                        out,
                     );
                 }
             }
@@ -646,6 +769,7 @@ impl ClientConnection {
                 self.fail(
                     HandshakeFailure::Codec,
                     Some(Alert::fatal(AlertDescription::UnexpectedMessage)),
+                    out,
                 );
             }
         }
@@ -653,7 +777,7 @@ impl ClientConnection {
 
     /// Runs certificate validation and, on success, the key exchange
     /// and client's second flight.
-    fn complete_client_flight(&mut self) {
+    fn complete_client_flight(&mut self, out: &mut SessionBuf) {
         // Certificate validation — the decision Table 7 audits. With a
         // cache attached, repeat presentations of a chain within the
         // run skip straight to the memoized verdict.
@@ -674,7 +798,7 @@ impl ClientConnection {
             ),
         };
         if let Err(e) = result {
-            self.fail_validation(e);
+            self.fail_validation(e, out);
             return;
         }
 
@@ -690,6 +814,7 @@ impl ClientConnection {
             self.fail(
                 HandshakeFailure::PinMismatch,
                 Some(Alert::fatal(AlertDescription::BadCertificate)),
+                out,
             );
             return;
         }
@@ -719,6 +844,7 @@ impl ClientConnection {
                         self.fail(
                             HandshakeFailure::StapleFailure,
                             Some(Alert::fatal(AlertDescription::CertificateRevoked)),
+                            out,
                         );
                         return;
                     }
@@ -727,6 +853,7 @@ impl ClientConnection {
                     self.fail(
                         HandshakeFailure::StapleFailure,
                         Some(Alert::fatal(AlertDescription::BadCertificate)),
+                        out,
                     );
                     return;
                 }
@@ -745,6 +872,7 @@ impl ClientConnection {
                 self.fail(
                     HandshakeFailure::KeyExchange,
                     Some(Alert::fatal(AlertDescription::HandshakeFailure)),
+                    out,
                 );
                 return;
             };
@@ -755,6 +883,7 @@ impl ClientConnection {
                         self.fail(
                             HandshakeFailure::KeyExchange,
                             Some(Alert::fatal(AlertDescription::HandshakeFailure)),
+                            out,
                         );
                         return;
                     }
@@ -767,6 +896,7 @@ impl ClientConnection {
                     self.fail(
                         HandshakeFailure::KeyExchange,
                         Some(Alert::fatal(AlertDescription::DecryptError)),
+                        out,
                     );
                     return;
                 }
@@ -777,6 +907,7 @@ impl ClientConnection {
                 self.fail(
                     HandshakeFailure::KeyExchange,
                     Some(Alert::fatal(AlertDescription::IllegalParameter)),
+                    out,
                 );
                 return;
             };
@@ -789,6 +920,7 @@ impl ClientConnection {
                     self.fail(
                         HandshakeFailure::KeyExchange,
                         Some(Alert::fatal(AlertDescription::HandshakeFailure)),
+                        out,
                     );
                     return;
                 }
@@ -801,6 +933,7 @@ impl ClientConnection {
                     self.fail(
                         HandshakeFailure::KeyExchange,
                         Some(Alert::fatal(AlertDescription::InternalError)),
+                        out,
                     );
                     return;
                 }
@@ -811,10 +944,10 @@ impl ClientConnection {
         self.master = Some(master);
 
         let cke = HandshakeMessage::ClientKeyExchange(cke_payload);
-        self.send_handshake(&cke);
+        self.send_handshake(&cke, out);
         let verify_data = finished_verify_data(&master, "client finished", &self.transcript.hash());
         let finished = HandshakeMessage::Finished(verify_data);
-        self.send_handshake(&finished);
+        self.send_handshake(&finished, out);
 
         // Directional record protection from the RFC 5246 key block.
         let (client_key, server_key) =

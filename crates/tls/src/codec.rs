@@ -81,6 +81,36 @@ impl WriteExt for Vec<u8> {
     }
 }
 
+/// Reserves a u16 length prefix in `out`, returning the mark to hand
+/// back to [`patch_u16`] once the prefixed content has been written.
+/// Together they encode `put_vec16` without materializing the content
+/// in a temporary vector first.
+pub fn mark_u16(out: &mut Vec<u8>) -> usize {
+    out.put_u16(0);
+    out.len()
+}
+
+/// Backpatches the u16 length reserved by [`mark_u16`] with the number
+/// of bytes written since.
+pub fn patch_u16(out: &mut [u8], mark: usize) {
+    let len = out.len() - mark;
+    debug_assert!(len <= u16::MAX as usize);
+    out[mark - 2..mark].copy_from_slice(&(len as u16).to_be_bytes());
+}
+
+/// Reserves a u24 length prefix in `out` (see [`mark_u16`]).
+pub fn mark_u24(out: &mut Vec<u8>) -> usize {
+    out.put_u24(0);
+    out.len()
+}
+
+/// Backpatches the u24 length reserved by [`mark_u24`].
+pub fn patch_u24(out: &mut [u8], mark: usize) {
+    let len = out.len() - mark;
+    debug_assert!(len < 1 << 24);
+    out[mark - 3..mark].copy_from_slice(&(len as u32).to_be_bytes()[1..]);
+}
+
 /// Big-endian cursor over a byte slice.
 pub struct Reader<'a> {
     data: &'a [u8],

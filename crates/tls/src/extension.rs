@@ -4,7 +4,7 @@
 //! TLS fingerprinting (§5.3 of the paper), so the codec preserves
 //! both; unknown extensions survive as [`Extension::Raw`].
 
-use crate::codec::{CodecError, Reader, WriteExt};
+use crate::codec::{mark_u16, patch_u16, CodecError, Reader, WriteExt};
 use crate::version::ProtocolVersion;
 
 /// Extension type code points (IANA).
@@ -154,6 +154,63 @@ impl Extension {
         out.put_vec16(&self.payload());
     }
 
+    /// [`Extension::encode`] without materializing the payload in a
+    /// temporary vector: length prefixes are reserved and backpatched
+    /// after the content lands in place. Byte-identical to the legacy
+    /// path (the roundtrip tests pin the agreement).
+    pub fn encode_into(&self, out: &mut Vec<u8>) {
+        out.put_u16(self.typ());
+        let ext_mark = mark_u16(out);
+        match self {
+            Extension::ServerName(host) => {
+                let list_mark = mark_u16(out);
+                out.put_u8(0); // name_type = host_name
+                out.put_vec16(host.as_bytes());
+                patch_u16(out, list_mark);
+            }
+            Extension::StatusRequest => {
+                out.put_u8(1); // status_type = ocsp
+                out.put_u16(0); // responder_id_list
+                out.put_u16(0); // request_extensions
+            }
+            Extension::SupportedGroups(groups) => {
+                let list_mark = mark_u16(out);
+                for g in groups {
+                    out.put_u16(*g);
+                }
+                patch_u16(out, list_mark);
+            }
+            Extension::EcPointFormats(formats) => {
+                out.put_vec8(formats);
+            }
+            Extension::SignatureAlgorithms(schemes) => {
+                let list_mark = mark_u16(out);
+                for s in schemes {
+                    out.put_u16(*s);
+                }
+                patch_u16(out, list_mark);
+            }
+            Extension::Alpn(protocols) => {
+                let list_mark = mark_u16(out);
+                for p in protocols {
+                    out.put_vec8(p.as_bytes());
+                }
+                patch_u16(out, list_mark);
+            }
+            Extension::SessionTicket => {}
+            Extension::SupportedVersions(versions) => {
+                out.put_u8((versions.len() * 2) as u8);
+                for v in versions {
+                    out.put_u16(v.wire());
+                }
+            }
+            Extension::KeyShare(data) => out.put_slice(data),
+            Extension::RenegotiationInfo => out.put_u8(0),
+            Extension::Raw { data, .. } => out.put_slice(data),
+        }
+        patch_u16(out, ext_mark);
+    }
+
     /// Decodes one extension from `(typ, payload)`.
     pub fn decode(typ: u16, payload: &[u8]) -> Result<Extension, CodecError> {
         let mut r = Reader::new(payload);
@@ -242,6 +299,20 @@ pub fn encode_extensions(exts: &[Extension], out: &mut Vec<u8>) {
         e.encode(&mut block);
     }
     out.put_vec16(&block);
+}
+
+/// [`encode_extensions`] without the temporary block vector: the u16
+/// total length is reserved up front and backpatched once every
+/// extension has been written in place.
+pub fn encode_extensions_into(exts: &[Extension], out: &mut Vec<u8>) {
+    if exts.is_empty() {
+        return; // extensions block omitted entirely, as old stacks do
+    }
+    let block_mark = mark_u16(out);
+    for e in exts {
+        e.encode_into(out);
+    }
+    patch_u16(out, block_mark);
 }
 
 /// Walks an extension block performing exactly the validation of
@@ -463,6 +534,41 @@ mod tests {
                 "decode/skim diverge on {case:02x?}"
             );
         }
+    }
+
+    #[test]
+    fn encode_into_matches_legacy_encode() {
+        let exts = vec![
+            Extension::ServerName("a.example.com".into()),
+            Extension::StatusRequest,
+            Extension::SupportedGroups(vec![29, 23, 24]),
+            Extension::EcPointFormats(vec![0]),
+            Extension::SignatureAlgorithms(vec![0x0401, 0x0201]),
+            Extension::Alpn(vec!["h2".into(), "http/1.1".into()]),
+            Extension::SessionTicket,
+            Extension::SupportedVersions(vec![
+                ProtocolVersion::Tls13,
+                ProtocolVersion::Tls12,
+            ]),
+            Extension::KeyShare(vec![1, 2, 3]),
+            Extension::RenegotiationInfo,
+            Extension::Raw {
+                typ: 0x4a4a,
+                data: vec![9, 8],
+            },
+        ];
+        for e in &exts {
+            let mut legacy = Vec::new();
+            e.encode(&mut legacy);
+            let mut inplace = Vec::new();
+            e.encode_into(&mut inplace);
+            assert_eq!(inplace, legacy, "{e:?}");
+        }
+        let mut legacy = Vec::new();
+        encode_extensions(&exts, &mut legacy);
+        let mut inplace = Vec::new();
+        encode_extensions_into(&exts, &mut inplace);
+        assert_eq!(inplace, legacy);
     }
 
     #[test]

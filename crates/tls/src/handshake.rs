@@ -1,7 +1,9 @@
 //! Handshake message structures and wire codec (RFC 5246 §7.4 shape).
 
-use crate::codec::{CodecError, Reader, WriteExt};
-use crate::extension::{decode_extensions, encode_extensions, skim_extensions, Extension};
+use crate::codec::{mark_u16, mark_u24, patch_u16, patch_u24, CodecError, Reader, WriteExt};
+use crate::extension::{
+    decode_extensions, encode_extensions, encode_extensions_into, skim_extensions, Extension,
+};
 use crate::version::ProtocolVersion;
 
 /// Handshake message type code points.
@@ -226,6 +228,61 @@ impl HandshakeMessage {
         out.put_u8(self.type_code());
         out.put_vec24(&body);
         out
+    }
+
+    /// Appends [`HandshakeMessage::encode`]'s bytes to a caller-owned
+    /// buffer with no intermediate body vector: every length prefix
+    /// (the u24 header and the nested list lengths) is reserved and
+    /// backpatched once its content has been written in place. The
+    /// legacy `encode`/`body` pair is kept as the byte-identity oracle.
+    pub fn encode_into(&self, out: &mut Vec<u8>) {
+        out.put_u8(self.type_code());
+        let body_mark = mark_u24(out);
+        match self {
+            HandshakeMessage::ClientHello(ch) => {
+                out.put_u16(ch.legacy_version.wire());
+                out.put_slice(&ch.random);
+                out.put_vec8(&ch.session_id);
+                let suites_mark = mark_u16(out);
+                for s in &ch.cipher_suites {
+                    out.put_u16(*s);
+                }
+                patch_u16(out, suites_mark);
+                out.put_vec8(&ch.compression_methods);
+                encode_extensions_into(&ch.extensions, out);
+            }
+            HandshakeMessage::ServerHello(sh) => {
+                out.put_u16(sh.version.wire());
+                out.put_slice(&sh.random);
+                out.put_vec8(&sh.session_id);
+                out.put_u16(sh.cipher_suite);
+                out.put_u8(sh.compression_method);
+                encode_extensions_into(&sh.extensions, out);
+            }
+            HandshakeMessage::Certificate(chain) => {
+                let list_mark = mark_u24(out);
+                for cert in chain {
+                    out.put_vec24(cert);
+                }
+                patch_u24(out, list_mark);
+            }
+            HandshakeMessage::ServerKeyExchange(ske) => {
+                out.put_vec16(&ske.dh_public);
+                out.put_vec16(&ske.signature);
+            }
+            HandshakeMessage::CertificateStatus(staple) => {
+                out.put_u8(1); // status_type = ocsp
+                out.put_vec24(staple);
+            }
+            HandshakeMessage::ServerHelloDone => {}
+            HandshakeMessage::ClientKeyExchange(payload) => {
+                out.put_vec16(payload);
+            }
+            HandshakeMessage::Finished(verify_data) => {
+                out.put_slice(verify_data);
+            }
+        }
+        patch_u24(out, body_mark);
     }
 
     /// Decodes one handshake message; returns the message and the
@@ -508,6 +565,32 @@ mod tests {
             HandshakeMessage::ClientKeyExchange(vec![3; 64]),
             HandshakeMessage::Finished(vec![4; 12]),
         ]
+    }
+
+    #[test]
+    fn encode_into_matches_legacy_encode() {
+        for msg in sample_messages() {
+            let mut inplace = Vec::new();
+            msg.encode_into(&mut inplace);
+            assert_eq!(inplace, msg.encode(), "{msg:?}");
+        }
+        // Degenerate shapes the samples miss: empty chain, empty
+        // session id with no extensions.
+        for msg in [
+            HandshakeMessage::Certificate(vec![]),
+            HandshakeMessage::ClientHello(ClientHello {
+                legacy_version: ProtocolVersion::Tls10,
+                random: [0u8; 32],
+                session_id: vec![],
+                cipher_suites: vec![],
+                compression_methods: vec![0],
+                extensions: vec![],
+            }),
+        ] {
+            let mut inplace = Vec::new();
+            msg.encode_into(&mut inplace);
+            assert_eq!(inplace, msg.encode(), "{msg:?}");
+        }
     }
 
     #[test]

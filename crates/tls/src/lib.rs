@@ -44,6 +44,7 @@ pub use handshake::{
     HandshakeMessage, ServerHello,
 };
 pub use profile::LibraryProfile;
-pub use record::{ContentType, Deframer, Record, RecordRef};
+pub use record::{write_record, ContentType, Deframer, Record, RecordRef, SessionBuf};
 pub use server::{ServerConfig, ServerConnection, ServerFailure, SessionCache};
+pub use session::{SessionScratch, Status};
 pub use version::ProtocolVersion;

@@ -73,6 +73,17 @@ impl Record {
         out
     }
 
+    /// Appends the encoding of [`Record::encode`] to a caller-owned
+    /// buffer — byte-identical output, no intermediate vector. The
+    /// legacy `encode` is kept (independently implemented) as the
+    /// byte-identity oracle for this path.
+    pub fn encode_into(&self, out: &mut Vec<u8>) {
+        out.reserve(5 + self.payload.len());
+        out.put_u8(self.content_type.wire());
+        out.put_u16(self.version.wire());
+        out.put_vec16(&self.payload);
+    }
+
     /// Splits an arbitrarily long payload into records of at most
     /// [`MAX_FRAGMENT`] bytes.
     pub fn fragment(
@@ -89,6 +100,90 @@ impl Record {
             .collect()
     }
 }
+
+/// A caller-owned outgoing byte buffer: the write-side counterpart of
+/// [`Deframer`]. The sans-IO state machines append encoded records
+/// here via [`write_record`]; the driver hands the accumulated wire
+/// bytes to the transport and [`SessionBuf::clear`]s for the next
+/// round, so steady-state encoding reuses one allocation per
+/// direction.
+#[derive(Debug, Default)]
+pub struct SessionBuf {
+    buf: Vec<u8>,
+}
+
+impl SessionBuf {
+    /// An empty buffer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The accumulated wire bytes.
+    pub fn as_slice(&self) -> &[u8] {
+        &self.buf
+    }
+
+    /// Bytes currently buffered.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// True when no bytes are buffered.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Discards the contents, keeping the allocation for reuse.
+    pub fn clear(&mut self) {
+        self.buf.clear();
+    }
+
+    /// Takes the contents as an owned vector (legacy-shim path; the
+    /// zero-allocation consumers use [`SessionBuf::as_slice`] +
+    /// [`SessionBuf::clear`] instead).
+    pub fn take_vec(&mut self) -> Vec<u8> {
+        std::mem::take(&mut self.buf)
+    }
+
+    /// Mutable access for in-place record protection: the cipher is
+    /// applied to payload bytes after they are framed in place.
+    pub fn as_mut_slice(&mut self) -> &mut [u8] {
+        &mut self.buf
+    }
+}
+
+// ALLOC-FREE: begin (record write path — tier1.sh greps this region
+// for reintroduced allocating calls on the hot path).
+
+/// Encodes `payload` as one or more records of at most
+/// [`MAX_FRAGMENT`] bytes directly into `out` — the write-path mirror
+/// of [`Deframer::pop_ref`]: no intermediate [`Record`], no payload
+/// copy beyond the single append into the caller's buffer. An empty
+/// payload still produces one empty record, exactly like
+/// [`Record::fragment`]. Record protection happens *before* framing:
+/// callers encrypt `payload` in their scratch buffer first (fragment
+/// boundaries do not disturb the stream ciphers' keystream order).
+pub fn write_record(
+    content_type: ContentType,
+    version: ProtocolVersion,
+    payload: &[u8],
+    out: &mut SessionBuf,
+) {
+    out.buf.reserve(5 + payload.len());
+    if payload.is_empty() {
+        out.buf.put_u8(content_type.wire());
+        out.buf.put_u16(version.wire());
+        out.buf.put_u16(0);
+        return;
+    }
+    for chunk in payload.chunks(MAX_FRAGMENT) {
+        out.buf.put_u8(content_type.wire());
+        out.buf.put_u16(version.wire());
+        out.buf.put_vec16(chunk);
+    }
+}
+
+// ALLOC-FREE: end (record write path)
 
 /// A record whose payload borrows the deframer's buffer — the
 /// zero-copy counterpart of [`Record`], used on the passive parse
@@ -172,6 +267,11 @@ impl Deframer {
 
     /// Pops the next complete record, or `None` if more bytes are
     /// needed. Malformed headers are an error.
+    ///
+    /// Allocates an owned payload per record: this is the *oracle*
+    /// for the sans-IO path, kept for tests and one-shot callers.
+    /// Production consumers (state machines, taps, drivers) use
+    /// [`Deframer::pop_ref`], which borrows the payload instead.
     pub fn pop(&mut self) -> Result<Option<Record>, CodecError> {
         Ok(self.pop_ref()?.map(|r| Record {
             content_type: r.content_type,
@@ -272,6 +372,63 @@ mod tests {
             ProtocolVersion::Tls12,
             vec![0; MAX_FRAGMENT + 1],
         );
+    }
+
+    #[test]
+    fn encode_into_matches_encode_oracle() {
+        for (ct, ver, len) in [
+            (ContentType::Handshake, ProtocolVersion::Tls12, 0usize),
+            (ContentType::Alert, ProtocolVersion::Tls10, 2),
+            (ContentType::ApplicationData, ProtocolVersion::Tls13, 1337),
+            (ContentType::ChangeCipherSpec, ProtocolVersion::Ssl30, 1),
+        ] {
+            let rec = Record::new(ct, ver, (0..len).map(|i| i as u8).collect());
+            let mut out = Vec::new();
+            rec.encode_into(&mut out);
+            assert_eq!(out, rec.encode());
+        }
+    }
+
+    #[test]
+    fn write_record_matches_fragment_plus_encode() {
+        for len in [0usize, 1, 100, MAX_FRAGMENT, MAX_FRAGMENT + 1, MAX_FRAGMENT * 2 + 7] {
+            let payload: Vec<u8> = (0..len).map(|i| (i * 31) as u8).collect();
+            let mut buf = SessionBuf::new();
+            write_record(
+                ContentType::ApplicationData,
+                ProtocolVersion::Tls12,
+                &payload,
+                &mut buf,
+            );
+            let oracle: Vec<u8> =
+                Record::fragment(ContentType::ApplicationData, ProtocolVersion::Tls12, &payload)
+                    .iter()
+                    .flat_map(Record::encode)
+                    .collect();
+            assert_eq!(buf.as_slice(), &oracle[..], "len {len}");
+        }
+    }
+
+    #[test]
+    fn session_buf_clear_keeps_capacity() {
+        let mut buf = SessionBuf::new();
+        write_record(
+            ContentType::Handshake,
+            ProtocolVersion::Tls12,
+            &[1, 2, 3],
+            &mut buf,
+        );
+        assert_eq!(buf.len(), 8);
+        let cap_ptr = buf.as_slice().as_ptr();
+        buf.clear();
+        assert!(buf.is_empty());
+        write_record(
+            ContentType::Handshake,
+            ProtocolVersion::Tls12,
+            &[4, 5],
+            &mut buf,
+        );
+        assert_eq!(buf.as_slice().as_ptr(), cap_ptr);
     }
 
     #[test]

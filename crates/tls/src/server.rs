@@ -7,14 +7,23 @@
 //! certificate chain presented, supported versions/suites, an
 //! optional forced (old) negotiated version for downgrade probing,
 //! and a "mute" mode that never responds (IncompleteHandshake).
+//!
+//! Like [`crate::client::ClientConnection`], the connection is
+//! unbuffered: [`ServerConnection::process`] consumes incoming bytes
+//! and appends replies to a caller-owned
+//! [`SessionBuf`], with per-session scratch
+//! reusable across sessions via [`ServerConnection::with_scratch`].
+//! A mute server performs all the same state transitions and
+//! bookkeeping but writes no bytes.
 
 use crate::alert::{Alert, AlertDescription, AlertLevel};
 use crate::ciphersuite::by_id;
 use crate::codec::CodecError;
 use crate::handshake::{ClientHello, HandshakeMessage, ServerHello, ServerKeyExchange};
-use crate::record::{ContentType, Deframer, Record};
+use crate::record::{write_record, ContentType, Deframer, SessionBuf};
 use crate::session::{
-    derive_master_secret, derive_write_keys, finished_verify_data, DirectionCipher, Transcript,
+    derive_master_secret, derive_write_keys, finished_verify_data, DirectionCipher,
+    SessionScratch, Status, Transcript,
 };
 use crate::version::ProtocolVersion;
 use iotls_crypto::dh::{DhGroup, DhKeyPair};
@@ -140,8 +149,7 @@ pub struct ServerConnection {
     config: ServerConfig,
     rng: Drbg,
     state: State,
-    deframer: Deframer,
-    output: Vec<u8>,
+    scratch: SessionScratch,
     transcript: Transcript,
     client_hello: Option<ClientHello>,
     client_random: [u8; 32],
@@ -156,20 +164,26 @@ pub struct ServerConnection {
     alerts_received: Vec<Alert>,
     write_cipher: Option<DirectionCipher>,
     read_cipher: Option<DirectionCipher>,
-    app_rx: Vec<u8>,
 }
 
 impl ServerConnection {
     /// Creates a server connection.
-    pub fn new(config: ServerConfig, mut rng: Drbg) -> Self {
+    pub fn new(config: ServerConfig, rng: Drbg) -> Self {
+        Self::with_scratch(config, rng, SessionScratch::new())
+    }
+
+    /// Like [`ServerConnection::new`], but reusing a caller-owned
+    /// [`SessionScratch`] (reset first); reclaim it with
+    /// [`ServerConnection::into_scratch`] when the session ends.
+    pub fn with_scratch(config: ServerConfig, mut rng: Drbg, mut scratch: SessionScratch) -> Self {
+        scratch.reset();
         let mut server_random = [0u8; 32];
         rng.fill_bytes(&mut server_random);
         ServerConnection {
             config,
             rng,
             state: State::AwaitClientHello,
-            deframer: Deframer::new(),
-            output: Vec::new(),
+            scratch,
             transcript: Transcript::new(),
             client_hello: None,
             client_random: [0u8; 32],
@@ -184,17 +198,32 @@ impl ServerConnection {
             alerts_received: Vec::new(),
             write_cipher: None,
             read_cipher: None,
-            app_rx: Vec::new(),
         }
     }
 
-    /// Drains bytes destined for the transport.
+    /// Consumes the connection, handing back its (warm) scratch for
+    /// the next session in the lane.
+    pub fn into_scratch(self) -> SessionScratch {
+        self.scratch
+    }
+
+    /// Drains bytes destined for the transport (legacy buffered API).
     pub fn take_output(&mut self) -> Vec<u8> {
         if self.config.mute {
-            self.output.clear();
+            self.scratch.pending.clear();
             return Vec::new();
         }
-        std::mem::take(&mut self.output)
+        self.scratch.pending.take_vec()
+    }
+
+    /// The connection's coarse status.
+    pub fn status(&self) -> Status {
+        match &self.state {
+            State::Established => Status::Established,
+            State::Failed(_) => Status::Failed,
+            State::Closed => Status::Closed,
+            _ => Status::Handshaking,
+        }
     }
 
     /// True once the handshake completed.
@@ -237,64 +266,132 @@ impl ServerConnection {
         self.resumed
     }
 
-    /// Queues application data (only valid once established).
-    pub fn send_application_data(&mut self, data: &[u8]) {
+    /// Encodes application data into `out` (only valid once
+    /// established). Protection is applied in the tx scratch before
+    /// framing; the stream ciphers' keystream order is unaffected by
+    /// fragment boundaries, so wire bytes match the legacy
+    /// fragment-then-encrypt path.
+    pub fn send_application_data_into(&mut self, data: &[u8], out: &mut SessionBuf) {
         assert!(self.is_established(), "connection not established");
-        for rec in Record::fragment(
-            ContentType::ApplicationData,
-            self.version.unwrap_or(ProtocolVersion::Tls12),
-            data,
-        ) {
-            let mut payload = rec.payload;
-            if let Some(c) = &mut self.write_cipher {
-                c.apply(&mut payload);
-            }
-            let encrypted = Record::new(rec.content_type, rec.version, payload);
-            self.output.extend_from_slice(&encrypted.encode());
+        self.scratch.tx.clear();
+        self.scratch.tx.extend_from_slice(data);
+        if let Some(c) = &mut self.write_cipher {
+            c.apply(&mut self.scratch.tx);
         }
+        if !self.config.mute {
+            write_record(
+                ContentType::ApplicationData,
+                self.version.unwrap_or(ProtocolVersion::Tls12),
+                &self.scratch.tx,
+                out,
+            );
+        }
+    }
+
+    /// Queues application data into the internal pending buffer
+    /// (legacy buffered API).
+    pub fn send_application_data(&mut self, data: &[u8]) {
+        let mut pending = std::mem::take(&mut self.scratch.pending);
+        self.send_application_data_into(data, &mut pending);
+        self.scratch.pending = pending;
+    }
+
+    /// Appends decrypted application data from the client to `sink`
+    /// and clears the internal accumulator (keeping its allocation).
+    pub fn drain_application_data_into(&mut self, sink: &mut Vec<u8>) {
+        sink.extend_from_slice(&self.scratch.app);
+        self.scratch.app.clear();
     }
 
     /// Drains decrypted application data from the client.
     pub fn take_application_data(&mut self) -> Vec<u8> {
-        std::mem::take(&mut self.app_rx)
+        std::mem::take(&mut self.scratch.app)
     }
 
-    /// Feeds transport bytes into the connection.
+    /// The sans-IO pump: consumes `incoming` transport bytes and
+    /// appends every reply record to the caller-owned `out` (nothing,
+    /// for a mute server).
+    pub fn process(&mut self, incoming: &[u8], out: &mut SessionBuf) -> Status {
+        let _ = self.process_bytes(incoming, out);
+        self.status()
+    }
+
+    /// Feeds transport bytes into the connection, buffering replies
+    /// internally (legacy buffered API over the same sans-IO core).
     pub fn read_tls(&mut self, data: &[u8]) -> Result<(), CodecError> {
-        self.deframer.push(data);
-        while let Some(record) = self.deframer.pop()? {
-            self.process_record(record)?;
-        }
-        Ok(())
+        let mut pending = std::mem::take(&mut self.scratch.pending);
+        let result = self.process_bytes(data, &mut pending);
+        self.scratch.pending = pending;
+        result
     }
 
-    fn send_handshake(&mut self, msg: &HandshakeMessage) {
-        let bytes = msg.encode();
-        self.transcript.absorb(&bytes);
-        let version = self.version.unwrap_or(ProtocolVersion::Tls12);
-        for rec in Record::fragment(ContentType::Handshake, version, &bytes) {
-            self.output.extend_from_slice(&rec.encode());
+    fn process_bytes(&mut self, incoming: &[u8], out: &mut SessionBuf) -> Result<(), CodecError> {
+        self.scratch.deframer.push(incoming);
+        // Disjoint-field dance mirroring the client: deframer and
+        // record-payload scratch move out of `self` (Vec moves, no
+        // allocation) so the loop can borrow both.
+        let mut deframer = std::mem::take(&mut self.scratch.deframer);
+        let mut rx = std::mem::take(&mut self.scratch.rx);
+        let result = self.process_deframed(&mut deframer, &mut rx, out);
+        self.scratch.deframer = deframer;
+        self.scratch.rx = rx;
+        result
+    }
+
+    fn process_deframed(
+        &mut self,
+        deframer: &mut Deframer,
+        rx: &mut Vec<u8>,
+        out: &mut SessionBuf,
+    ) -> Result<(), CodecError> {
+        loop {
+            let content_type = match deframer.pop_ref() {
+                Ok(Some(rec)) => {
+                    rx.clear();
+                    rx.extend_from_slice(rec.payload);
+                    rec.content_type
+                }
+                Ok(None) => return Ok(()),
+                Err(e) => return Err(e),
+            };
+            self.process_record_ref(content_type, rx, out)?;
         }
     }
 
-    fn send_alert(&mut self, alert: Alert) {
+    fn send_handshake(&mut self, msg: &HandshakeMessage, out: &mut SessionBuf) {
+        self.scratch.tx.clear();
+        msg.encode_into(&mut self.scratch.tx);
+        self.transcript.absorb(&self.scratch.tx);
+        if !self.config.mute {
+            let version = self.version.unwrap_or(ProtocolVersion::Tls12);
+            write_record(ContentType::Handshake, version, &self.scratch.tx, out);
+        }
+    }
+
+    fn send_alert(&mut self, alert: Alert, out: &mut SessionBuf) {
         self.alerts_sent.push(alert);
-        let version = self.version.unwrap_or(ProtocolVersion::Tls12);
-        let rec = Record::new(ContentType::Alert, version, alert.to_bytes().to_vec());
-        self.output.extend_from_slice(&rec.encode());
+        if !self.config.mute {
+            let version = self.version.unwrap_or(ProtocolVersion::Tls12);
+            write_record(ContentType::Alert, version, &alert.to_bytes(), out);
+        }
     }
 
-    fn fail(&mut self, failure: ServerFailure, alert: Option<Alert>) {
+    fn fail(&mut self, failure: ServerFailure, alert: Option<Alert>, out: &mut SessionBuf) {
         if let Some(a) = alert {
-            self.send_alert(a);
+            self.send_alert(a, out);
         }
         self.state = State::Failed(failure);
     }
 
-    fn process_record(&mut self, record: Record) -> Result<(), CodecError> {
-        match record.content_type {
+    fn process_record_ref(
+        &mut self,
+        content_type: ContentType,
+        payload: &mut Vec<u8>,
+        out: &mut SessionBuf,
+    ) -> Result<(), CodecError> {
+        match content_type {
             ContentType::Alert => {
-                if let Some(alert) = Alert::from_bytes(&record.payload) {
+                if let Some(alert) = Alert::from_bytes(payload) {
                     self.alerts_received.push(alert);
                     if alert.level == AlertLevel::Fatal {
                         self.state = State::Failed(ServerFailure::PeerAlert(alert));
@@ -305,7 +402,7 @@ impl ServerConnection {
                 Ok(())
             }
             ContentType::Handshake => {
-                let mut buf = record.payload.as_slice();
+                let mut buf: &[u8] = payload;
                 while !buf.is_empty() {
                     let (msg, used) = match HandshakeMessage::decode(buf) {
                         Ok(ok) => ok,
@@ -313,13 +410,14 @@ impl ServerConnection {
                             self.fail(
                                 ServerFailure::Codec,
                                 Some(Alert::fatal(AlertDescription::UnexpectedMessage)),
+                                out,
                             );
                             return Err(e);
                         }
                     };
                     let msg_bytes = &buf[..used];
                     buf = &buf[used..];
-                    self.process_handshake(msg, msg_bytes);
+                    self.process_handshake(msg, msg_bytes, out);
                     if matches!(self.state, State::Failed(_)) {
                         break;
                     }
@@ -327,18 +425,17 @@ impl ServerConnection {
                 Ok(())
             }
             ContentType::ApplicationData => {
-                let mut payload = record.payload;
                 if let Some(c) = &mut self.read_cipher {
-                    c.apply(&mut payload);
+                    c.apply(payload);
                 }
-                self.app_rx.extend_from_slice(&payload);
+                self.scratch.app.extend_from_slice(payload);
                 Ok(())
             }
             ContentType::ChangeCipherSpec => Ok(()),
         }
     }
 
-    fn process_handshake(&mut self, msg: HandshakeMessage, msg_bytes: &[u8]) {
+    fn process_handshake(&mut self, msg: HandshakeMessage, msg_bytes: &[u8], out: &mut SessionBuf) {
         match (&self.state, msg) {
             (State::AwaitClientHello, HandshakeMessage::ClientHello(ch)) => {
                 self.transcript.absorb(msg_bytes);
@@ -348,7 +445,7 @@ impl ServerConnection {
                     // Swallow everything; the client sees silence.
                     return;
                 }
-                self.negotiate(&ch);
+                self.negotiate(&ch, out);
             }
             (State::AwaitClientKeyExchange, HandshakeMessage::ClientKeyExchange(payload)) => {
                 self.transcript.absorb(msg_bytes);
@@ -359,6 +456,7 @@ impl ServerConnection {
                             self.fail(
                                 ServerFailure::KeyExchange,
                                 Some(Alert::fatal(AlertDescription::IllegalParameter)),
+                                out,
                             );
                             return;
                         }
@@ -370,6 +468,7 @@ impl ServerConnection {
                             self.fail(
                                 ServerFailure::KeyExchange,
                                 Some(Alert::fatal(AlertDescription::DecryptError)),
+                                out,
                             );
                             return;
                         }
@@ -389,6 +488,7 @@ impl ServerConnection {
                     self.fail(
                         ServerFailure::BadFinished,
                         Some(Alert::fatal(AlertDescription::DecryptError)),
+                        out,
                     );
                     return;
                 }
@@ -401,7 +501,7 @@ impl ServerConnection {
                 let server_verify =
                     finished_verify_data(&master, "server finished", &self.transcript.hash());
                 let finished = HandshakeMessage::Finished(server_verify);
-                self.send_handshake(&finished);
+                self.send_handshake(&finished, out);
                 let suite_id = self.suite.expect("suite negotiated");
                 let (client_key, server_key) =
                     derive_write_keys(&master, &self.client_random, &self.server_random);
@@ -418,13 +518,14 @@ impl ServerConnection {
                 self.fail(
                     ServerFailure::Codec,
                     Some(Alert::fatal(AlertDescription::UnexpectedMessage)),
+                    out,
                 );
             }
         }
     }
 
     /// Picks version and suite, then emits the server's first flight.
-    fn negotiate(&mut self, ch: &ClientHello) {
+    fn negotiate(&mut self, ch: &ClientHello, out: &mut SessionBuf) {
         let advertised = ch.advertised_versions();
         let version = match self.config.forced_version {
             Some(forced) => {
@@ -444,6 +545,7 @@ impl ServerConnection {
             self.fail(
                 ServerFailure::NoCommonVersion,
                 Some(Alert::fatal(AlertDescription::ProtocolVersion)),
+                out,
             );
             return;
         };
@@ -467,6 +569,7 @@ impl ServerConnection {
             self.fail(
                 ServerFailure::NoCommonSuite,
                 Some(Alert::fatal(AlertDescription::HandshakeFailure)),
+                out,
             );
             return;
         };
@@ -490,13 +593,13 @@ impl ServerConnection {
                         compression_method: 0,
                         extensions: Vec::new(),
                     });
-                    self.send_handshake(&hello);
+                    self.send_handshake(&hello, out);
                     let server_verify = finished_verify_data(
                         &master,
                         "server finished",
                         &self.transcript.hash(),
                     );
-                    self.send_handshake(&HandshakeMessage::Finished(server_verify));
+                    self.send_handshake(&HandshakeMessage::Finished(server_verify), out);
                     let (client_key, server_key) =
                         derive_write_keys(&master, &self.client_random, &self.server_random);
                     self.write_cipher = Some(DirectionCipher::for_suite(suite, &server_key));
@@ -521,17 +624,17 @@ impl ServerConnection {
             compression_method: 0,
             extensions: Vec::new(),
         });
-        self.send_handshake(&hello);
+        self.send_handshake(&hello, out);
 
         let chain_bytes: Vec<Vec<u8>> =
             self.config.chain.iter().map(|c| c.to_bytes()).collect();
         let cert_msg = HandshakeMessage::Certificate(chain_bytes);
-        self.send_handshake(&cert_msg);
+        self.send_handshake(&cert_msg, out);
 
         if ch.requests_ocsp() {
             if let Some(staple) = self.config.ocsp_staple.clone() {
                 let status = HandshakeMessage::CertificateStatus(staple);
-                self.send_handshake(&status);
+                self.send_handshake(&status, out);
             }
         }
 
@@ -551,10 +654,10 @@ impl ServerConnection {
                 signature,
             });
             self.dh_keypair = Some(keypair);
-            self.send_handshake(&ske);
+            self.send_handshake(&ske, out);
         }
 
-        self.send_handshake(&HandshakeMessage::ServerHelloDone);
+        self.send_handshake(&HandshakeMessage::ServerHelloDone, out);
         self.state = State::AwaitClientKeyExchange;
     }
 }

@@ -13,6 +13,7 @@
 
 use crate::ciphersuite::{by_id, BulkCipher};
 use crate::prf;
+use crate::record::{Deframer, SessionBuf};
 use iotls_crypto::aes::Aes128Ctr;
 use iotls_crypto::chacha20::ChaCha20;
 use iotls_crypto::des::TripleDesOfb;
@@ -75,6 +76,62 @@ impl Transcript {
     /// Current transcript hash (non-destructive).
     pub fn hash(&self) -> [u8; 32] {
         self.hasher.clone().finalize()
+    }
+}
+
+/// Coarse connection status returned by the sans-IO
+/// `process` loop on both state machines.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Status {
+    /// The handshake is still in flight; keep pumping bytes.
+    Handshaking,
+    /// The handshake completed; application data may flow.
+    Established,
+    /// The connection failed terminally (see the connection's
+    /// `failure()` accessor for the cause).
+    Failed,
+    /// The peer closed the connection cleanly.
+    Closed,
+}
+
+/// Per-session scratch memory for the sans-IO state machines: the
+/// incoming deframer, the message-encode and record-payload buffers,
+/// the decrypted application-data accumulator, and the pending-output
+/// buffer backing the legacy buffered API.
+///
+/// A scratch outlives any one connection: construct connections with
+/// `with_scratch`, and reclaim the (warm) scratch via `into_scratch`
+/// when the session ends. Steady-state session loops therefore reuse
+/// one set of allocations across every session in a lane instead of
+/// allocating per connection.
+#[derive(Debug, Default)]
+pub struct SessionScratch {
+    /// Incremental record parser over incoming transport bytes.
+    pub(crate) deframer: Deframer,
+    /// Outgoing message/payload encode buffer (cleared per message).
+    pub(crate) tx: Vec<u8>,
+    /// Incoming record-payload buffer (cleared per record; decrypted
+    /// in place).
+    pub(crate) rx: Vec<u8>,
+    /// Decrypted application data awaiting the caller.
+    pub(crate) app: Vec<u8>,
+    /// Buffered wire output backing the legacy `take_output` API.
+    pub(crate) pending: SessionBuf,
+}
+
+impl SessionScratch {
+    /// A fresh (cold) scratch.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Empties every buffer, keeping the allocations for reuse.
+    pub(crate) fn reset(&mut self) {
+        self.deframer.clear();
+        self.tx.clear();
+        self.rx.clear();
+        self.app.clear();
+        self.pending.clear();
     }
 }
 

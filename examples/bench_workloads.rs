@@ -40,10 +40,47 @@ use iotls_repro::core::{
     version_series, version_transitions, Experiment, ExperimentCtx, Gateway, GatewayConfig,
     InterceptionAudit, RootProbe,
 };
+use iotls_repro::crypto::drbg::Drbg;
+use iotls_repro::crypto::rsa::RsaPrivateKey;
 use iotls_repro::devices::Testbed;
+use iotls_repro::simnet::{
+    replay_flow_with, sessions_driven, ReplayScratch, SessionFaults, SessionFlow,
+};
+use iotls_repro::tls::client::{ClientConfig, ClientConnection};
+use iotls_repro::tls::server::{ServerConfig, ServerConnection};
+use iotls_repro::x509::{CertifiedKey, DistinguishedName, IssueParams, RootStore, Timestamp};
+use std::alloc::{GlobalAlloc, Layout, System};
 use std::hint::black_box;
 use std::path::Path;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Instant;
+
+/// Counting shim over the system allocator, backing the
+/// `steady_replay` workload's `allocs_per_session` field (gated at 0
+/// by `bench_check.sh`). One relaxed atomic add per allocation —
+/// unmeasurable against the workloads it rides along with.
+struct CountingAlloc;
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
 
 /// Resets the kernel's peak-RSS watermark for this process so each
 /// workload's `VmHWM` reading is its own (Linux ≥ 4.0; a failed write
@@ -80,6 +117,59 @@ fn timed(name: &str, threads: usize, f: impl FnOnce() -> String) -> String {
     format!(
         "  {{\"workload\": \"{name}\", \"seconds\": {seconds:.3}, \"threads\": {threads}, \
          \"rss_mb\": {rss:.1}{extra}}}"
+    )
+}
+
+/// Allocation-discipline probe: records one clean session tape, then
+/// replays it through the gateway's hot path ([`replay_flow_with`]
+/// with a warm [`ReplayScratch`]) and reports heap allocations per
+/// replayed session — **zero** since the sans-IO rework, and
+/// `bench_check.sh` fails the run if it ever climbs back above zero.
+/// Also reports replay throughput, the gateway's per-worker ceiling.
+fn steady_replay() -> String {
+    let key = RsaPrivateKey::generate(512, &mut Drbg::from_seed(0xA110C));
+    let root = CertifiedKey::self_signed(
+        IssueParams::ca(
+            DistinguishedName::new("Bench Root", "SimCA", "US"),
+            1,
+            Timestamp::from_ymd(2015, 1, 1),
+            7300,
+        ),
+        key,
+    );
+    let leaf_key = RsaPrivateKey::generate(512, &mut Drbg::from_seed(0xA110D));
+    let leaf = root.issue(
+        IssueParams::leaf("cloud.example.com", 2, Timestamp::from_ymd(2020, 6, 1), 500),
+        &leaf_key,
+    );
+    let client = ClientConnection::new(
+        ClientConfig::modern(RootStore::from_certs([root.cert.clone()])),
+        "cloud.example.com",
+        Timestamp::from_ymd(2021, 3, 1),
+        Drbg::from_seed(1),
+    );
+    let server = ServerConnection::new(ServerConfig::typical(vec![leaf], leaf_key), Drbg::from_seed(2));
+    let flow = SessionFlow::record(client, server, Some(b"ping"), Some(b"ok"));
+    assert!(flow.established, "bench tape must establish");
+
+    let mut scratch = ReplayScratch::new();
+    black_box(replay_flow_with(&flow, SessionFaults::none(), 64, &mut scratch)); // warmup
+
+    const SESSIONS: u64 = 200_000;
+    let alloc_before = ALLOCATIONS.load(Ordering::Relaxed);
+    let start = Instant::now();
+    for _ in 0..SESSIONS {
+        let outcome = replay_flow_with(&flow, SessionFaults::none(), 64, &mut scratch);
+        debug_assert!(outcome.established);
+        black_box(&outcome);
+    }
+    let seconds = start.elapsed().as_secs_f64();
+    let allocs = ALLOCATIONS.load(Ordering::Relaxed) - alloc_before;
+    let per_session = allocs / SESSIONS;
+    let rate = SESSIONS as f64 / seconds.max(1e-9);
+    format!(
+        ", \"sessions\": {SESSIONS}, \"sessions_per_sec\": {rate:.0}, \
+         \"allocs_per_session\": {per_session}"
     )
 }
 
@@ -200,15 +290,26 @@ fn main() {
             String::new()
         }),
         timed("active_sweep", threads, || {
+            let driven_before = sessions_driven();
+            let start = Instant::now();
             let report = InterceptionAudit.run(tb, &ctx.with_seed(0x7AB1E7));
+            let seconds = start.elapsed().as_secs_f64();
             assert!(!report.rows.is_empty());
-            String::new()
+            let driven = sessions_driven() - driven_before;
+            let rate = driven as f64 / seconds.max(1e-9);
+            format!(", \"sessions\": {driven}, \"sessions_per_sec\": {rate:.0}")
         }),
         timed("rootprobe_sweep", threads, || {
+            let driven_before = sessions_driven();
+            let start = Instant::now();
             let report = RootProbe.run(tb, &ctx.with_seed(0x6007));
+            let seconds = start.elapsed().as_secs_f64();
             assert!(!report.rows.is_empty());
-            String::new()
+            let driven = sessions_driven() - driven_before;
+            let rate = driven as f64 / seconds.max(1e-9);
+            format!(", \"sessions\": {driven}, \"sessions_per_sec\": {rate:.0}")
         }),
+        timed("steady_replay", 1, steady_replay),
         timed("passive_10m", threads, || {
             let passive = ctx.with_seed(DEFAULT_SEED);
             if legacy {

@@ -94,6 +94,32 @@ rps_pairs "$CURRENT" | {
     fi
 }
 
+# --- Allocation gate: allocs_per_session -----------------------------
+# The steady_replay workload counts heap allocations per replayed
+# session on the gateway hot path (counting global allocator in the
+# bench binary). The sans-IO rework drove it to zero; any nonzero
+# value means a per-session allocation crept back in. Absolute gate,
+# no baseline needed.
+alloc_pairs() {
+    sed -n 's/.*"workload": *"\([^"]*\)".*"allocs_per_session": *\([0-9]*\).*/\1 \2/p' "$1"
+}
+
+alloc_pairs "$CURRENT" | {
+    fail=0
+    while read -r name allocs; do
+        if [ "$allocs" -ne 0 ]; then
+            echo "bench_check: $name: $allocs allocs/session (must stay 0)"
+            fail=1
+        else
+            echo "bench_check: $name: 0 allocs/session (ok)"
+        fi
+    done
+    if [ "$fail" -ne 0 ]; then
+        echo "bench_check: FAILED (per-session allocation reintroduced)" >&2
+        exit 1
+    fi
+}
+
 # --- Behavior gate: counter snapshots --------------------------------
 # scripts/bench.sh writes the deterministic observability registry of
 # the bench workloads next to each timing report. Derived ratios (cache

@@ -34,6 +34,24 @@ cargo test -q --offline --test store_persistence
 # fences) fail tier-1, same as clippy warnings do.
 RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --offline --workspace
 
+# Allocation-discipline gate: the source regions bracketed by
+# "ALLOC-FREE: begin/end" markers (the tls record write path and the
+# simnet drive loop) are the per-session hot path; the sans-IO rework
+# made them allocation-free and the counting-allocator tests prove it
+# at runtime. Fail fast here if an allocating call is reintroduced
+# textually, so the regression is caught before any bench runs.
+if ! awk '
+    /ALLOC-FREE: begin/ { inside = 1; next }
+    /ALLOC-FREE: end/   { inside = 0; next }
+    inside && /to_vec\(\)|Vec::new\(\)|\.clone\(\)/ {
+        printf "%s:%d: %s\n", FILENAME, FNR, $0; found = 1
+    }
+    END { exit found }
+' crates/tls/src/record.rs crates/simnet/src/driver.rs; then
+    echo "tier1: FAILED (allocating call inside an ALLOC-FREE region)" >&2
+    exit 1
+fi
+
 # API-surface gate: the per-engine `_with`/`_metered` variant matrix
 # was collapsed into ExperimentCtx; fail if a new variant sneaks back
 # into the engine crate.
