@@ -192,6 +192,22 @@ impl ObsChunk {
         self.count.iter().sum()
     }
 
+    /// A copy of this chunk with every observation time shifted by
+    /// `dt` seconds (pruning metadata included). This is how a
+    /// replayed capture epoch is laid down as a later acquisition
+    /// period when building a multi-year segmented corpus.
+    pub fn shifted(&self, dt: i64) -> ObsChunk {
+        let mut c = self.clone();
+        for t in &mut c.time {
+            *t += dt;
+        }
+        if !c.is_empty() {
+            c.min_time += dt;
+            c.max_time += dt;
+        }
+        c
+    }
+
     /// Symbol-level view of row `i`.
     pub fn row(&self, i: usize) -> RawRow<'_> {
         debug_assert!(i < self.len());

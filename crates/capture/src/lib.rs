@@ -16,6 +16,7 @@ pub mod generate;
 pub mod intern;
 pub mod json;
 pub mod serialize;
+pub mod segstore;
 pub mod store;
 pub mod timeline;
 
@@ -23,7 +24,8 @@ pub use columnar::{
     ChunkWriter, ColumnarDataset, ColumnarStats, DatasetBuilder, ObsChunk, ObsRef, RawRow, RevRow,
     RowView, CHUNK_ROWS,
 };
-pub use store::{ColumnarStore, StoreError, StoreWriter};
+pub use segstore::{SegmentedStore, SegmentedWriter};
+pub use store::{ChunkStore, ColumnarStore, StoreError, StoreSummary, StoreWriter};
 pub use dataset::{
     DatasetStats, PassiveDataset, RevocationFlow, RevocationKind, WeightedObservation,
 };

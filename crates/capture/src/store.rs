@@ -69,7 +69,7 @@ const ROW_BYTES: u64 = 8 + 4 * 5 + 2 * 3 + 1 + 8 + (4 + 2) * 4;
 
 /// Sentinel for "absent" in optional symbol columns (mirrors
 /// `columnar::NO_SYM`, which is crate-private by design).
-const NO_SYM: u32 = u32::MAX;
+pub(crate) const NO_SYM: u32 = u32::MAX;
 
 // ── CRC-32C ─────────────────────────────────────────────────────────
 
@@ -179,12 +179,23 @@ pub enum StoreError {
     Truncated {
         /// Which structure was being read.
         context: &'static str,
+        /// Absolute byte offset (within `path`) at which the data
+        /// gave out.
+        offset: u64,
+        /// The file the offset refers to. Empty until the opener
+        /// attributes it — single-file opens and the segmented store
+        /// both fill it, so multi-file corruption names the exact
+        /// segment.
+        path: String,
     },
     /// A CRC-32C check failed: `chunk` names the frame, `None` means
     /// the footer.
     ChecksumMismatch {
         /// Frame index, or `None` for the footer.
         chunk: Option<u32>,
+        /// The file whose checksum failed (empty until attributed,
+        /// as for [`Truncated`](Self::Truncated)).
+        path: String,
     },
     /// A structurally impossible value (out-of-range symbol, span
     /// outside its pool, invalid enum byte, …).
@@ -199,12 +210,26 @@ impl std::fmt::Display for StoreError {
             StoreError::UnsupportedVersion(v) => {
                 write!(f, "unsupported store version {v} (reader supports {VERSION})")
             }
-            StoreError::Truncated { context } => write!(f, "store truncated reading {context}"),
-            StoreError::ChecksumMismatch { chunk: Some(i) } => {
-                write!(f, "checksum mismatch in chunk frame {i}")
+            StoreError::Truncated { context, offset, path } => {
+                write!(f, "store truncated reading {context} at byte {offset}")?;
+                if !path.is_empty() {
+                    write!(f, " of {path}")?;
+                }
+                Ok(())
             }
-            StoreError::ChecksumMismatch { chunk: None } => {
-                write!(f, "checksum mismatch in store footer")
+            StoreError::ChecksumMismatch { chunk: Some(i), path } => {
+                write!(f, "checksum mismatch in chunk frame {i}")?;
+                if !path.is_empty() {
+                    write!(f, " of {path}")?;
+                }
+                Ok(())
+            }
+            StoreError::ChecksumMismatch { chunk: None, path } => {
+                write!(f, "checksum mismatch in store footer")?;
+                if !path.is_empty() {
+                    write!(f, " of {path}")?;
+                }
+                Ok(())
             }
             StoreError::Corrupt(what) => write!(f, "corrupt store: {what}"),
         }
@@ -226,27 +251,67 @@ impl From<io::Error> for StoreError {
     }
 }
 
+impl StoreError {
+    /// Fills the file attribution into error variants that carry one
+    /// (and don't have it yet), so a failure inside a multi-file
+    /// segmented store names the exact segment. Errors that already
+    /// name a file keep it — the innermost attribution wins.
+    pub fn with_path(mut self, p: &Path) -> StoreError {
+        match &mut self {
+            StoreError::Truncated { path, .. } | StoreError::ChecksumMismatch { path, .. }
+                if path.is_empty() =>
+            {
+                *path = p.display().to_string();
+            }
+            _ => {}
+        }
+        self
+    }
+}
+
+/// Shorthand for an unattributed truncation error.
+pub(crate) fn trunc(context: &'static str, offset: u64) -> StoreError {
+    StoreError::Truncated { context, offset, path: String::new() }
+}
+
+/// Maps a positioned read that ran off the end of the file to a typed
+/// truncation at the read's offset; other I/O failures pass through.
+fn read_at_or_trunc(
+    file: &File,
+    buf: &mut [u8],
+    off: u64,
+    context: &'static str,
+) -> Result<(), StoreError> {
+    read_exact_at(file, buf, off).map_err(|e| {
+        if e.kind() == io::ErrorKind::UnexpectedEof {
+            trunc(context, off)
+        } else {
+            StoreError::Io(e)
+        }
+    })
+}
+
 // ── Little-endian encode helpers ────────────────────────────────────
 
-fn put_u16s(buf: &mut Vec<u8>, vals: &[u16]) {
+pub(crate) fn put_u16s(buf: &mut Vec<u8>, vals: &[u16]) {
     for v in vals {
         buf.extend_from_slice(&v.to_le_bytes());
     }
 }
 
-fn put_u32s(buf: &mut Vec<u8>, vals: &[u32]) {
+pub(crate) fn put_u32s(buf: &mut Vec<u8>, vals: &[u32]) {
     for v in vals {
         buf.extend_from_slice(&v.to_le_bytes());
     }
 }
 
-fn put_u64s(buf: &mut Vec<u8>, vals: &[u64]) {
+pub(crate) fn put_u64s(buf: &mut Vec<u8>, vals: &[u64]) {
     for v in vals {
         buf.extend_from_slice(&v.to_le_bytes());
     }
 }
 
-fn put_i64s(buf: &mut Vec<u8>, vals: &[i64]) {
+pub(crate) fn put_i64s(buf: &mut Vec<u8>, vals: &[i64]) {
     for v in vals {
         buf.extend_from_slice(&v.to_le_bytes());
     }
@@ -290,70 +355,82 @@ fn encode_chunk(c: &ObsChunk, buf: &mut Vec<u8>) {
 // ── Bounded little-endian reader ────────────────────────────────────
 
 /// Cursor over a borrowed byte buffer; every read is bounds-checked
-/// and failure carries the structure being read.
-struct Reader<'a> {
+/// and failure carries the structure being read plus the absolute
+/// file offset (`base` + cursor) where the data gave out.
+pub(crate) struct Reader<'a> {
     buf: &'a [u8],
     pos: usize,
-    context: &'static str,
+    pub(crate) context: &'static str,
+    base: u64,
 }
 
 impl<'a> Reader<'a> {
-    fn new(buf: &'a [u8], context: &'static str) -> Self {
-        Reader { buf, pos: 0, context }
+    pub(crate) fn new(buf: &'a [u8], context: &'static str) -> Self {
+        Reader { buf, pos: 0, context, base: 0 }
     }
 
-    fn take(&mut self, n: usize) -> Result<&'a [u8], StoreError> {
+    /// A reader whose buffer starts at absolute file offset `base`,
+    /// so truncation errors report file positions, not buffer ones.
+    pub(crate) fn at(buf: &'a [u8], context: &'static str, base: u64) -> Self {
+        Reader { buf, pos: 0, context, base }
+    }
+
+    pub(crate) fn take(&mut self, n: usize) -> Result<&'a [u8], StoreError> {
         let end = self
             .pos
             .checked_add(n)
             .filter(|&e| e <= self.buf.len())
-            .ok_or(StoreError::Truncated { context: self.context })?;
+            .ok_or(StoreError::Truncated {
+                context: self.context,
+                offset: self.base + self.pos as u64,
+                path: String::new(),
+            })?;
         let out = &self.buf[self.pos..end];
         self.pos = end;
         Ok(out)
     }
 
-    fn u8(&mut self) -> Result<u8, StoreError> {
+    pub(crate) fn u8(&mut self) -> Result<u8, StoreError> {
         Ok(self.take(1)?[0])
     }
 
-    fn u32(&mut self) -> Result<u32, StoreError> {
+    pub(crate) fn u32(&mut self) -> Result<u32, StoreError> {
         Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
     }
 
-    fn u64(&mut self) -> Result<u64, StoreError> {
+    pub(crate) fn u64(&mut self) -> Result<u64, StoreError> {
         Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
     }
 
-    fn i64(&mut self) -> Result<i64, StoreError> {
+    pub(crate) fn i64(&mut self) -> Result<i64, StoreError> {
         Ok(i64::from_le_bytes(self.take(8)?.try_into().unwrap()))
     }
 
-    fn u16s(&mut self, n: usize) -> Result<Vec<u16>, StoreError> {
+    pub(crate) fn u16s(&mut self, n: usize) -> Result<Vec<u16>, StoreError> {
         decode_le::<u16>(self.take(n * 2)?, n, |b| {
             u16::from_le_bytes(b.try_into().unwrap())
         })
     }
 
-    fn u32s(&mut self, n: usize) -> Result<Vec<u32>, StoreError> {
+    pub(crate) fn u32s(&mut self, n: usize) -> Result<Vec<u32>, StoreError> {
         decode_le::<u32>(self.take(n * 4)?, n, |b| {
             u32::from_le_bytes(b.try_into().unwrap())
         })
     }
 
-    fn u64s(&mut self, n: usize) -> Result<Vec<u64>, StoreError> {
+    pub(crate) fn u64s(&mut self, n: usize) -> Result<Vec<u64>, StoreError> {
         decode_le::<u64>(self.take(n * 8)?, n, |b| {
             u64::from_le_bytes(b.try_into().unwrap())
         })
     }
 
-    fn i64s(&mut self, n: usize) -> Result<Vec<i64>, StoreError> {
+    pub(crate) fn i64s(&mut self, n: usize) -> Result<Vec<i64>, StoreError> {
         decode_le::<i64>(self.take(n * 8)?, n, |b| {
             i64::from_le_bytes(b.try_into().unwrap())
         })
     }
 
-    fn spans(&mut self, n: usize) -> Result<Vec<(u32, u16)>, StoreError> {
+    pub(crate) fn spans(&mut self, n: usize) -> Result<Vec<(u32, u16)>, StoreError> {
         // Decode straight from the raw offset/length bytes into the
         // pair vector — no intermediate columns, one pass.
         let offs = self.take(n * 4)?;
@@ -370,7 +447,7 @@ impl<'a> Reader<'a> {
             .collect())
     }
 
-    fn done(&self) -> Result<(), StoreError> {
+    pub(crate) fn done(&self) -> Result<(), StoreError> {
         if self.pos == self.buf.len() {
             Ok(())
         } else {
@@ -420,6 +497,19 @@ struct DirEntry {
     min_time: i64,
     max_time: i64,
     device_bits: Vec<u64>,
+}
+
+/// What [`StoreWriter::finish`] reports about the sealed file: its
+/// total length and its footer CRC-32C. Because every frame CRC is
+/// recorded inside the footer, the footer CRC is a cheap fingerprint
+/// of the file's entire content — the segmented store manifest
+/// records both to bind itself to each immutable segment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StoreSummary {
+    /// Final file length in bytes.
+    pub file_len: u64,
+    /// CRC-32C of the footer body, as written to disk.
+    pub footer_crc: u32,
 }
 
 /// Streams sealed chunks into a store file; the footer (directory +
@@ -476,13 +566,14 @@ impl StoreWriter {
 
     /// Writes the footer (directory, intern tables, flows, tails,
     /// CRC), patches the header's footer offset, and syncs lengths.
+    /// Returns the sealed file's [`StoreSummary`].
     pub fn finish(
         mut self,
         strings: &Interner,
         fps: &DigestInterner,
         flows: &[RevRow],
         truncated: u64,
-    ) -> io::Result<()> {
+    ) -> io::Result<StoreSummary> {
         let mut f = Vec::new();
         f.extend_from_slice(&(self.dir.len() as u64).to_le_bytes());
         for e in &self.dir {
@@ -521,12 +612,13 @@ impl StoreWriter {
         let crc = crc32(&f);
         f.extend_from_slice(&crc.to_le_bytes());
 
+        let file_len = self.offset + f.len() as u64;
         self.out.write_all(&f)?;
         // Patch the header's footer offset now that it is known.
         self.out.seek(SeekFrom::Start((MAGIC.len() + 4) as u64))?;
         self.out.write_all(&self.offset.to_le_bytes())?;
         self.out.flush()?;
-        Ok(())
+        Ok(StoreSummary { file_len, footer_crc: crc })
     }
 }
 
@@ -538,7 +630,8 @@ impl ColumnarDataset {
         for chunk in &self.chunks {
             w.add_chunk(chunk)?;
         }
-        w.finish(&self.strings, &self.fps, &self.revocation_flows, self.truncated)
+        w.finish(&self.strings, &self.fps, &self.revocation_flows, self.truncated)?;
+        Ok(())
     }
 
     /// Opens a store file and materializes every chunk — the
@@ -672,7 +765,7 @@ impl Backing {
                 if scratch.len() < len {
                     scratch.resize(len, 0);
                 }
-                read_exact_at(file, &mut scratch[..len], off)?;
+                read_at_or_trunc(file, &mut scratch[..len], off, "frame")?;
                 Ok(&scratch[..len])
             }
             Backing::Buf(buf) => slice_at(buf, off, len),
@@ -703,7 +796,7 @@ impl Backing {
                 while done < len {
                     let n = BLOCK.min(len - done);
                     let block = &mut scratch[done..done + n];
-                    read_exact_at(file, block, off + done as u64)?;
+                    read_at_or_trunc(file, block, off + done as u64, "frame")?;
                     state = crc32_raw(state, block);
                     done += n;
                 }
@@ -718,12 +811,12 @@ impl Backing {
 }
 
 fn slice_at(buf: &[u8], off: u64, len: usize) -> Result<&[u8], StoreError> {
-    let start = usize::try_from(off).map_err(|_| StoreError::Truncated { context: "frame" })?;
+    let start = usize::try_from(off).map_err(|_| trunc("frame", off))?;
     start
         .checked_add(len)
         .filter(|&end| end <= buf.len())
         .map(|end| &buf[start..end])
-        .ok_or(StoreError::Truncated { context: "frame" })
+        .ok_or_else(|| trunc("frame", off))
 }
 
 #[cfg(unix)]
@@ -749,7 +842,13 @@ fn read_exact_at(file: &File, buf: &mut [u8], off: u64) -> io::Result<()> {
 #[derive(Debug)]
 pub struct ColumnarStore {
     backing: Backing,
+    path: std::path::PathBuf,
     dir: Vec<DirEntry>,
+    footer_crc: u32,
+    /// Frame payload bytes fetched from the backing so far — the
+    /// read-counting witness that pruned chunks (and, through the
+    /// segmented store, whole skipped segments) are never touched.
+    frame_bytes: std::sync::atomic::AtomicU64,
     strings: Interner,
     fps: DigestInterner,
     flows: Vec<RevRow>,
@@ -764,22 +863,26 @@ impl ColumnarStore {
     /// one frame at a time — peak memory stays near one decoded chunk
     /// per reading thread regardless of file size.
     pub fn open(path: &Path) -> Result<ColumnarStore, StoreError> {
+        Self::open_inner(path).map_err(|e| e.with_path(path))
+    }
+
+    fn open_inner(path: &Path) -> Result<ColumnarStore, StoreError> {
         let file = File::open(path)?;
         let file_len = file.metadata()?.len();
         let mut header = [0u8; HEADER_LEN as usize];
         if file_len < HEADER_LEN {
-            return Err(StoreError::Truncated { context: "header" });
+            return Err(trunc("header", file_len));
         }
-        read_exact_at(&file, &mut header, 0)?;
+        read_at_or_trunc(&file, &mut header, 0, "header")?;
         let footer_off = check_header(&header)?;
         if footer_off < HEADER_LEN || footer_off > file_len {
-            return Err(StoreError::Truncated { context: "footer offset" });
+            return Err(trunc("footer offset", footer_off));
         }
         let footer_len = usize::try_from(file_len - footer_off)
-            .map_err(|_| StoreError::Truncated { context: "footer" })?;
+            .map_err(|_| trunc("footer", footer_off))?;
         let mut footer = vec![0u8; footer_len];
-        read_exact_at(&file, &mut footer, footer_off)?;
-        Self::from_parts(Backing::Lazy(file), footer_off, &footer)
+        read_at_or_trunc(&file, &mut footer, footer_off, "footer")?;
+        Self::from_parts(Backing::Lazy(file), footer_off, &footer, path)
     }
 
     /// Opens `path` mapping the whole file read-only (best for
@@ -787,34 +890,37 @@ impl ColumnarStore {
     /// file is read into memory instead, so the API degrades
     /// gracefully rather than failing.
     pub fn open_mmap(path: &Path) -> Result<ColumnarStore, StoreError> {
+        Self::open_mmap_inner(path).map_err(|e| e.with_path(path))
+    }
+
+    fn open_mmap_inner(path: &Path) -> Result<ColumnarStore, StoreError> {
         let file = File::open(path)?;
         let file_len = file.metadata()?.len();
-        let len = usize::try_from(file_len)
-            .map_err(|_| StoreError::Truncated { context: "file length" })?;
+        let len = usize::try_from(file_len).map_err(|_| trunc("file length", file_len))?;
         #[cfg(unix)]
         if let Some(m) = map::Mmap::new(&file, len) {
-            return Self::open_buflike(Backing::Map(m), len);
+            return Self::open_buflike(Backing::Map(m), len, path);
         }
         let mut buf = vec![0u8; len];
         read_exact_at(&file, &mut buf, 0)?;
-        Self::open_buflike(Backing::Buf(buf), len)
+        Self::open_buflike(Backing::Buf(buf), len, path)
     }
 
-    fn open_buflike(backing: Backing, len: usize) -> Result<ColumnarStore, StoreError> {
+    fn open_buflike(backing: Backing, len: usize, path: &Path) -> Result<ColumnarStore, StoreError> {
         let mut scratch = Vec::new();
         if (len as u64) < HEADER_LEN {
-            return Err(StoreError::Truncated { context: "header" });
+            return Err(trunc("header", len as u64));
         }
         let header = backing.bytes(0, HEADER_LEN as usize, &mut scratch)?;
         let footer_off = check_header(header)?;
         if footer_off < HEADER_LEN || footer_off > len as u64 {
-            return Err(StoreError::Truncated { context: "footer offset" });
+            return Err(trunc("footer offset", footer_off));
         }
         let footer_len = len - footer_off as usize;
         let mut fscratch = Vec::new();
         let footer = backing.bytes(footer_off, footer_len, &mut fscratch)?;
         let footer = footer.to_vec();
-        Self::from_parts(backing, footer_off, &footer)
+        Self::from_parts(backing, footer_off, &footer, path)
     }
 
     /// Parses and validates the footer, producing the opened store.
@@ -822,17 +928,18 @@ impl ColumnarStore {
         backing: Backing,
         footer_off: u64,
         footer: &[u8],
+        path: &Path,
     ) -> Result<ColumnarStore, StoreError> {
         if footer.len() < 4 {
-            return Err(StoreError::Truncated { context: "footer" });
+            return Err(trunc("footer", footer_off + footer.len() as u64));
         }
         let (body, crc_bytes) = footer.split_at(footer.len() - 4);
         let want = u32::from_le_bytes(crc_bytes.try_into().unwrap());
         if crc32(body) != want {
-            return Err(StoreError::ChecksumMismatch { chunk: None });
+            return Err(StoreError::ChecksumMismatch { chunk: None, path: String::new() });
         }
 
-        let mut r = Reader::new(body, "footer directory");
+        let mut r = Reader::at(body, "footer directory", footer_off);
         let chunk_count = r.u64()?;
         let mut dir = Vec::new();
         for _ in 0..chunk_count {
@@ -917,7 +1024,10 @@ impl ColumnarStore {
 
         Ok(ColumnarStore {
             backing,
+            path: path.to_path_buf(),
             dir,
+            footer_crc: want,
+            frame_bytes: std::sync::atomic::AtomicU64::new(0),
             strings,
             fps,
             flows,
@@ -967,6 +1077,31 @@ impl ColumnarStore {
         self.total_connections
     }
 
+    /// The path this store was opened from.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// CRC-32C of the footer body as stored on disk. Every frame CRC
+    /// lives inside the footer, so this one word fingerprints the
+    /// file's entire content — the segmented store manifest records
+    /// it to bind directory entries to their immutable segments.
+    pub fn footer_crc(&self) -> u32 {
+        self.footer_crc
+    }
+
+    /// Frame payload bytes fetched from the backing since open — the
+    /// read-counting proof that pruned chunks are never touched.
+    pub fn frame_bytes_read(&self) -> u64 {
+        self.frame_bytes.load(std::sync::atomic::Ordering::Relaxed)
+    }
+
+    /// Frame payload bytes the whole file holds (directory sum; no
+    /// frame reads).
+    pub fn frame_bytes_total(&self) -> u64 {
+        self.dir.iter().map(|e| e.len).sum()
+    }
+
     /// Chunk indices whose time range overlaps `[from, to]` and —
     /// when `device` is given — whose device bitmap contains it.
     /// Pruning works entirely off the directory: skipped chunks are
@@ -1000,15 +1135,20 @@ impl ColumnarStore {
     /// vector pays for the frame-sized allocation once instead of
     /// per chunk — the buffer is grow-only and overwritten in place.
     pub fn read_chunk_with(&self, i: usize, scratch: &mut Vec<u8>) -> Result<ObsChunk, StoreError> {
+        self.read_frame(i, scratch).map_err(|e| e.with_path(&self.path))
+    }
+
+    fn read_frame(&self, i: usize, scratch: &mut Vec<u8>) -> Result<ObsChunk, StoreError> {
         let entry = self
             .dir
             .get(i)
             .ok_or(StoreError::Corrupt("chunk index out of range"))?;
-        let len = usize::try_from(entry.len)
-            .map_err(|_| StoreError::Truncated { context: "frame" })?;
+        let len = usize::try_from(entry.len).map_err(|_| trunc("frame", entry.offset))?;
         let (payload, crc) = self.backing.frame_crc(entry.offset, len, scratch)?;
+        self.frame_bytes
+            .fetch_add(entry.len, std::sync::atomic::Ordering::Relaxed);
         if crc != entry.crc {
-            return Err(StoreError::ChecksumMismatch { chunk: Some(i as u32) });
+            return Err(StoreError::ChecksumMismatch { chunk: Some(i as u32), path: String::new() });
         }
         decode_chunk(payload, entry, self.strings.len() as u32, self.fps.len() as u32)
     }
@@ -1027,6 +1167,95 @@ impl ColumnarStore {
             revocation_flows: self.flows.clone(),
             truncated: self.truncated,
         })
+    }
+}
+
+// ── Chunk-store abstraction ─────────────────────────────────────────
+
+/// Uniform read interface over a chunk-granular persistent store —
+/// one self-contained file ([`ColumnarStore`]) or a directory of
+/// immutable segments
+/// ([`SegmentedStore`](crate::segstore::SegmentedStore)). Analysis
+/// code (`analyze_store` in the engine crate) is generic over this
+/// trait, so both layouts share one sharded, byte-identical fold.
+/// `Sync` is a supertrait because readers are shared across scoped
+/// worker threads.
+pub trait ChunkStore: Sync {
+    /// Number of chunk frames across the whole store.
+    fn chunk_count(&self) -> usize;
+    /// Rows in chunk `i` (directory metadata; no frame read).
+    fn chunk_rows(&self, i: usize) -> usize;
+    /// Number of underlying segment files (1 for a single-file store).
+    fn segment_count(&self) -> usize;
+    /// Index of the segment holding chunk `i`.
+    fn segment_of(&self, i: usize) -> usize;
+    /// Reads, CRC-checks, decodes, and validates chunk `i` through a
+    /// caller-owned scratch buffer.
+    fn read_chunk_with(&self, i: usize, scratch: &mut Vec<u8>) -> Result<ObsChunk, StoreError>;
+    /// Chunk indices whose time range overlaps `[from, to]` and —
+    /// when `device` is given — whose device bitmap contains it.
+    /// Directory-only: skipped chunks are never read from disk.
+    fn select_chunks(&self, from: i64, to: i64, device: Option<Symbol>) -> Vec<usize>;
+    /// The store-wide string table.
+    fn strings(&self) -> &Interner;
+    /// The store-wide fingerprint table.
+    fn fps(&self) -> &DigestInterner;
+    /// Revocation endpoint flows, in capture order.
+    fn revocation_flows(&self) -> &[RevRow];
+    /// Truncated-capture tally.
+    fn truncated(&self) -> u64;
+    /// Total rows across all chunks (no frame reads).
+    fn total_rows(&self) -> u64;
+    /// Total weighted connections (no frame reads).
+    fn total_connections(&self) -> u64;
+    /// Frame payload bytes fetched from disk so far.
+    fn frame_bytes_read(&self) -> u64;
+    /// Frame payload bytes across the whole store.
+    fn frame_bytes_total(&self) -> u64;
+}
+
+impl ChunkStore for ColumnarStore {
+    fn chunk_count(&self) -> usize {
+        ColumnarStore::chunk_count(self)
+    }
+    fn chunk_rows(&self, i: usize) -> usize {
+        ColumnarStore::chunk_rows(self, i)
+    }
+    fn segment_count(&self) -> usize {
+        1
+    }
+    fn segment_of(&self, _i: usize) -> usize {
+        0
+    }
+    fn read_chunk_with(&self, i: usize, scratch: &mut Vec<u8>) -> Result<ObsChunk, StoreError> {
+        ColumnarStore::read_chunk_with(self, i, scratch)
+    }
+    fn select_chunks(&self, from: i64, to: i64, device: Option<Symbol>) -> Vec<usize> {
+        ColumnarStore::select_chunks(self, from, to, device)
+    }
+    fn strings(&self) -> &Interner {
+        ColumnarStore::strings(self)
+    }
+    fn fps(&self) -> &DigestInterner {
+        ColumnarStore::fps(self)
+    }
+    fn revocation_flows(&self) -> &[RevRow] {
+        ColumnarStore::revocation_flows(self)
+    }
+    fn truncated(&self) -> u64 {
+        ColumnarStore::truncated(self)
+    }
+    fn total_rows(&self) -> u64 {
+        ColumnarStore::total_rows(self)
+    }
+    fn total_connections(&self) -> u64 {
+        ColumnarStore::total_connections(self)
+    }
+    fn frame_bytes_read(&self) -> u64 {
+        ColumnarStore::frame_bytes_read(self)
+    }
+    fn frame_bytes_total(&self) -> u64 {
+        ColumnarStore::frame_bytes_total(self)
     }
 }
 

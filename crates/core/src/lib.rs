@@ -76,7 +76,8 @@ pub use gateway::{
 pub use lab::{ActiveLab, ConnectionOutcome, DeviceState, FaultStats};
 pub use party::{label_party, party_version_bias, PartyBiasRow, THIRD_PARTY_DOMAINS};
 pub use passive::{
-    analyze_columnar, analyze_store, analyze_streamed, cipher_series, passive_summary,
+    analyze_columnar, analyze_store, analyze_store_slice, analyze_streamed, cipher_series,
+    passive_summary,
     revocation_summary, shard_ranges, version_series, version_transitions, CipherMix,
     PassiveAccumulator, PassiveAnalysis, PassiveSummary, RevocationSummary, Series, VersionMix,
     VersionTransition,

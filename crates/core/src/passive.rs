@@ -6,7 +6,7 @@
 
 use crate::experiment::ExperimentCtx;
 use iotls_capture::{
-    ColumnarDataset, ColumnarStore, Interner, ObsChunk, PassiveDataset, RawRow, RevRow,
+    ChunkStore, ColumnarDataset, Interner, ObsChunk, PassiveDataset, RawRow, RevRow,
     RevocationKind, StoreError, Symbol,
 };
 use iotls_devices::Testbed;
@@ -639,6 +639,44 @@ impl PassiveAccumulator {
         }
     }
 
+    /// Folds only the rows of one chunk inside `[from, to]` (and
+    /// belonging to `device`, when given), returning how many rows
+    /// were folded. Exact despite the run detection: time and device
+    /// are part of the run-fold shape test, so the predicate is constant
+    /// across a run and accepts or rejects it whole — the result is
+    /// bit-identical to filtering row by row.
+    pub fn add_chunk_window(
+        &mut self,
+        chunk: &ObsChunk,
+        from: i64,
+        to: i64,
+        device: Option<Symbol>,
+    ) -> u64 {
+        let n = chunk.len();
+        let mut folded = 0u64;
+        let mut i = 0;
+        while i < n {
+            let row = chunk.row(i);
+            let mut count = row.count();
+            let mut j = i + 1;
+            while j < n {
+                let next = chunk.row(j);
+                if !same_fold_shape(row, next) {
+                    break;
+                }
+                count += next.count();
+                j += 1;
+            }
+            let t = row.time();
+            if t >= from && t <= to && device.is_none_or(|d| d == row.device()) {
+                self.fold_run(row, count);
+                folded += (j - i) as u64;
+            }
+            i = j;
+        }
+        folded
+    }
+
     /// Folds revocation endpoint flows (Table 8 CRL/OCSP columns).
     pub fn add_flows(&mut self, flows: &[RevRow]) {
         for f in flows {
@@ -911,8 +949,14 @@ pub fn analyze_streamed(
 ///
 /// Corruption discovered mid-scan (a bit-flipped or truncated frame)
 /// surfaces as the typed [`StoreError`]; nothing panics.
-pub fn analyze_store(
-    store: &ColumnarStore,
+///
+/// Generic over [`ChunkStore`], so a single-file
+/// [`iotls_capture::ColumnarStore`] and a multi-segment
+/// [`iotls_capture::SegmentedStore`] analyze through the same code
+/// path — segmented stores shard across their global (cross-segment)
+/// chunk index space.
+pub fn analyze_store<S: ChunkStore>(
+    store: &S,
     ctx: &ExperimentCtx,
 ) -> Result<PassiveAnalysis, StoreError> {
     let mut reg = Registry::new();
@@ -940,6 +984,93 @@ pub fn analyze_store(
     acc.add_flows(store.revocation_flows());
     reg.add("passive.flows.analyzed", store.revocation_flows().len() as u64);
     reg.add("passive.connections", acc.total);
+    ctx.merge_metrics(&reg);
+    Ok(acc.finish(store.strings()))
+}
+
+/// Analyzes only the store rows inside `[from, to]` (unix seconds,
+/// inclusive) and — when `device` names a device — belonging to that
+/// device, without touching the rest of the corpus. Chunk selection
+/// goes through the store's pruning directory
+/// ([`ChunkStore::select_chunks`]): segments whose time range or
+/// device bitmap miss the predicate are skipped without a single
+/// frame read, surviving chunks are decoded and filtered exactly by
+/// [`PassiveAccumulator::add_chunk_window`]. Byte-identical to
+/// filtering a full analysis, at any `IOTLS_THREADS`.
+///
+/// Alongside the usual `passive.*` counters (which here reflect the
+/// slice, not the corpus), the pruning work is recorded as
+/// `capture.store.*` counters: `segments_scanned` /
+/// `segments_skipped`, `chunks.scanned` / `chunks.pruned`, and
+/// `bytes.read` / `bytes.total` (frame payload bytes actually fetched
+/// during this call vs held by the whole store).
+pub fn analyze_store_slice<S: ChunkStore>(
+    store: &S,
+    from: i64,
+    to: i64,
+    device: Option<&str>,
+    ctx: &ExperimentCtx,
+) -> Result<PassiveAnalysis, StoreError> {
+    let mut reg = Registry::new();
+    // `Some(None)` = a device filter that matches no observed device:
+    // the slice is empty by construction, not an error.
+    let sym = device.map(|name| store.strings().lookup(name));
+    let selected: Vec<usize> = match sym {
+        Some(None) => Vec::new(),
+        Some(Some(d)) => store.select_chunks(from, to, Some(d)),
+        None => store.select_chunks(from, to, None),
+    };
+    let filter_dev: Option<Symbol> = sym.flatten();
+
+    let scanned: BTreeSet<usize> = selected.iter().map(|&i| store.segment_of(i)).collect();
+    let bytes_before = store.frame_bytes_read();
+    let shards = shard_ranges(selected.len(), ctx.threads());
+    let partials = iotls_simnet::ordered_map_with(ctx.threads(), shards, |(lo, hi)| {
+        let mut acc = PassiveAccumulator::new();
+        let mut rows = 0u64;
+        let mut scratch = Vec::new();
+        for &i in &selected[lo..hi] {
+            let chunk = store.read_chunk_with(i, &mut scratch)?;
+            rows += acc.add_chunk_window(&chunk, from, to, filter_dev);
+        }
+        Ok::<_, StoreError>((acc, rows))
+    });
+    let mut acc = PassiveAccumulator::new();
+    let mut rows = 0u64;
+    for partial in partials {
+        let (partial, shard_rows) = partial?;
+        acc.merge(&partial);
+        rows += shard_rows;
+    }
+
+    let flows: Vec<RevRow> = if matches!(sym, Some(None)) {
+        Vec::new()
+    } else {
+        store
+            .revocation_flows()
+            .iter()
+            .filter(|f| f.time >= from && f.time <= to && filter_dev.is_none_or(|d| d == f.device))
+            .copied()
+            .collect()
+    };
+    acc.add_flows(&flows);
+
+    reg.add("passive.chunks.analyzed", selected.len() as u64);
+    reg.add("passive.rows.analyzed", rows);
+    reg.add("passive.flows.analyzed", flows.len() as u64);
+    reg.add("passive.connections", acc.total);
+    reg.add("capture.store.segments_scanned", scanned.len() as u64);
+    reg.add(
+        "capture.store.segments_skipped",
+        (store.segment_count() - scanned.len()) as u64,
+    );
+    reg.add("capture.store.chunks.scanned", selected.len() as u64);
+    reg.add(
+        "capture.store.chunks.pruned",
+        (store.chunk_count() - selected.len()) as u64,
+    );
+    reg.add("capture.store.bytes.read", store.frame_bytes_read() - bytes_before);
+    reg.add("capture.store.bytes.total", store.frame_bytes_total());
     ctx.merge_metrics(&reg);
     Ok(acc.finish(store.strings()))
 }

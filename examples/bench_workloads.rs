@@ -13,7 +13,11 @@
 //! it pinned at 4 and 8 workers (byte-identical output, scaling curve
 //! only). `passive_reload` persists the same corpus to an on-disk
 //! columnar store, then times reopening it and re-running the full
-//! analysis straight off disk (rows/sec). The `gateway_soak` workload
+//! analysis straight off disk (rows/sec). `passive_100m` ingests six
+//! time-shifted study epochs (≥100M rows) into a segmented store
+//! directory, and `partial_reanalysis` re-analyzes a one-month ×
+//! one-device slice of it through the pruning directory, reporting
+//! rows/sec and bytes-read vs bytes-total. The `gateway_soak` workload
 //! multiplexes ≥1M sessions through the resident gateway runtime and
 //! records sessions/sec alongside peak RSS. With `IOTLS_BENCH_LEGACY=1`
 //! it instead runs the pre-streaming shape of that pipeline
@@ -33,12 +37,14 @@
 //! resolved once, up front. Flags: `--seed N --threads N --faults PM
 //! --metrics` (see `iotls_repro::cli`).
 
-use iotls_repro::capture::{generate, ColumnarStore, StoreWriter, DEFAULT_SEED};
+use iotls_repro::capture::{
+    generate, ColumnarStore, RevRow, SegmentedStore, SegmentedWriter, StoreWriter, DEFAULT_SEED,
+};
 use iotls_repro::cli::ExampleArgs;
 use iotls_repro::core::{
-    analyze_store, analyze_streamed, cipher_series, passive_summary, revocation_summary,
-    version_series, version_transitions, Experiment, ExperimentCtx, Gateway, GatewayConfig,
-    InterceptionAudit, RootProbe,
+    analyze_store, analyze_store_slice, analyze_streamed, cipher_series, passive_summary,
+    revocation_summary, version_series, version_transitions, Experiment, ExperimentCtx, Gateway,
+    GatewayConfig, InterceptionAudit, RootProbe,
 };
 use iotls_repro::crypto::drbg::Drbg;
 use iotls_repro::crypto::rsa::RsaPrivateKey;
@@ -48,7 +54,7 @@ use iotls_repro::simnet::{
 };
 use iotls_repro::tls::client::{ClientConfig, ClientConnection};
 use iotls_repro::tls::server::{ServerConfig, ServerConnection};
-use iotls_repro::x509::{CertifiedKey, DistinguishedName, IssueParams, RootStore, Timestamp};
+use iotls_repro::x509::{CertifiedKey, DistinguishedName, IssueParams, Month, RootStore, Timestamp};
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::hint::black_box;
 use std::path::Path;
@@ -273,6 +279,111 @@ fn passive_reload(ctx: &ExperimentCtx, tb: &Testbed) -> String {
     entry
 }
 
+/// Directory of the segmented bench corpus `passive_100m` builds and
+/// `partial_reanalysis` slices; removed when the latter finishes.
+const SEG_DIR: &str = "target/bench_corpus_seg";
+
+/// Builds the ≥100M-row segmented corpus: six 27-month study epochs,
+/// each the paper-scale stream time-shifted three years past the
+/// previous one, appended into one segmented store (one sealed
+/// segment boundary per epoch, default chunk roll inside). This is
+/// the "2 years of pcap at the gateway" ingestion shape: chunks flow
+/// straight from the generator into immutable segment files, memory
+/// stays bounded at one open chunk, and the manifest publishes once.
+fn passive_100m(ctx: &ExperimentCtx, tb: &Testbed) -> String {
+    let dir = Path::new(SEG_DIR);
+    let _ = std::fs::remove_dir_all(dir);
+    timed("passive_100m", ctx.threads(), || {
+        let span = Month::new(2021, 1).start().0 - Month::new(2018, 1).start().0;
+        let capture = ctx.capture_ctx();
+        let mut writer = SegmentedWriter::create(dir).expect("create segmented corpus");
+        let mut rows = 0u64;
+        let mut flows: Vec<RevRow> = Vec::new();
+        let mut truncated = 0u64;
+        let mut tables = None;
+        for epoch in 0..6i64 {
+            let dt = epoch * span;
+            let tail = capture.generate_streamed(tb, 1, &mut |c| {
+                rows += c.len() as u64;
+                writer.add_chunk(&c.shifted(dt)).expect("write segment chunk");
+            });
+            writer.seal_segment();
+            flows.extend(
+                tail.revocation_flows
+                    .iter()
+                    .map(|f| RevRow { time: f.time + dt, ..*f }),
+            );
+            truncated += tail.truncated;
+            tables = Some((tail.strings, tail.fps));
+        }
+        let (strings, fps) = tables.expect("at least one epoch");
+        writer
+            .finish(&strings, &fps, &flows, truncated)
+            .expect("publish segmented corpus");
+        assert!(rows >= 100_000_000, "bench scale means >=100M rows, got {rows}");
+        let store = SegmentedStore::open(dir).expect("reopen segmented corpus");
+        assert_eq!(store.total_rows(), rows);
+        format!(", \"rows\": {rows}, \"segments\": {}", store.segment_count())
+    })
+}
+
+/// Pruned-slice re-analysis over the `passive_100m` corpus: one month
+/// × one device, selected through the two-level pruning directory, so
+/// only the segments that can contain the slice are ever read.
+/// Reports rows/sec over the folded slice and bytes-read vs
+/// bytes-total (the pruning ratio `bench_check.sh` gates). The
+/// corpus directory is removed afterwards.
+fn partial_reanalysis(ctx: &ExperimentCtx) -> String {
+    let dir = Path::new(SEG_DIR);
+    let month = Month::new(2019, 6);
+    let (from, to) = (month.start().0, month.end().0);
+    // Pick the slice device off the corpus itself (the first device
+    // with traffic inside the window) so the workload never chases a
+    // device the timeline had not yet activated. Probe reads happen
+    // on a throwaway open; the timed run starts with clean counters.
+    let device = {
+        let probe = SegmentedStore::open(dir).expect("open segmented corpus");
+        let mut found = None;
+        'probe: for ci in probe.select_chunks(from, to, None) {
+            let chunk = probe.read_chunk(ci).expect("probe corpus chunk");
+            for i in 0..chunk.len() {
+                let row = chunk.row(i);
+                if row.time() >= from && row.time() <= to {
+                    found = Some(probe.strings().resolve(row.device()).to_string());
+                    break 'probe;
+                }
+            }
+        }
+        found.expect("bench window must contain traffic")
+    };
+    let entry = timed("partial_reanalysis", ctx.threads(), || {
+        let start = Instant::now();
+        let store = SegmentedStore::open(dir).expect("open segmented corpus");
+        let a = analyze_store_slice(&store, from, to, Some(&device), ctx)
+            .expect("analyze corpus slice");
+        let seconds = start.elapsed().as_secs_f64();
+        // The corpus expands one row per connection, so the folded
+        // slice's connection total IS its row count.
+        let rows = a.total_connections;
+        assert!(rows > 0, "slice must contain traffic");
+        let bytes_read = store.frame_bytes_read();
+        let bytes_total = store.frame_bytes_total();
+        assert!(
+            bytes_read < bytes_total / 4,
+            "pruning must skip most of the corpus ({bytes_read} of {bytes_total} read)"
+        );
+        let rate = rows as f64 / seconds.max(1e-9);
+        let ratio = bytes_read as f64 / bytes_total.max(1) as f64;
+        black_box(&a);
+        format!(
+            ", \"rows\": {rows}, \"rows_per_sec\": {rate:.0}, \"bytes_read\": {bytes_read}, \
+             \"bytes_total\": {bytes_total}, \"bytes_read_ratio\": {ratio:.5}"
+        )
+    });
+    let _ = std::fs::remove_dir_all(dir);
+    entry
+}
+
 fn main() {
     let args = ExampleArgs::parse();
     let ctx = args.ctx(DEFAULT_SEED);
@@ -330,6 +441,8 @@ fn main() {
             }));
         }
         entries.push(passive_reload(&ctx.with_seed(DEFAULT_SEED), tb));
+        entries.push(passive_100m(&ctx.with_seed(DEFAULT_SEED), tb));
+        entries.push(partial_reanalysis(&ctx.with_seed(DEFAULT_SEED)));
     }
     entries.push(timed("gateway_soak", threads, || {
         gateway_soak(&ctx.with_seed(0x6A7E))

@@ -15,10 +15,15 @@
 //! Flags: `--seed N --threads N --faults PM --metrics`, plus
 //! `--store PATH` to persist the columnar dataset as an on-disk store
 //! and `--from-store PATH` to analyze a previously persisted store
-//! instead of generating (see `iotls_repro::cli`).
+//! instead of generating (see `iotls_repro::cli`). A `--store` path
+//! ending in `.iotls` writes the single-file format; any other path
+//! is a **segmented store directory**, and `--append` extends it
+//! with this run's dataset as a new batch (multi-day ingestion) —
+//! the analysis then covers the whole store, all batches included.
+//! `--from-store` auto-detects the layout (directory = segmented).
 
 use iotls_repro::analysis::{experiment_artifacts, figures, tables};
-use iotls_repro::capture::{global_columnar, ColumnarStore};
+use iotls_repro::capture::{global_columnar, ColumnarStore, SegmentedStore, SegmentedWriter};
 use iotls_repro::cli::ExampleArgs;
 use iotls_repro::core::{analyze_columnar, analyze_store, Orchestrator, Report};
 use iotls_repro::devices::Testbed;
@@ -44,7 +49,20 @@ fn main() {
     let span = Span::start("passive.analyze");
     let (a, rows, chunks) = match args.from_store.as_deref() {
         // Analyze a persisted store: frames stream off disk in
-        // bounded memory; no generation happens at all.
+        // bounded memory; no generation happens at all. A directory
+        // is a segmented store, a file the single-file format.
+        Some(path) if Path::new(path).is_dir() => {
+            let store = SegmentedStore::open(Path::new(path))
+                .unwrap_or_else(|e| fail(&format!("open store {path}: {e}")));
+            eprintln!(
+                "segmented store: {} segments, {} orphans",
+                store.segment_count(),
+                store.orphan_segments()
+            );
+            let a = analyze_store(&store, &ctx)
+                .unwrap_or_else(|e| fail(&format!("analyze store {path}: {e}")));
+            (a, store.total_rows(), store.chunk_count())
+        }
         Some(path) => {
             let store = ColumnarStore::open(Path::new(path))
                 .unwrap_or_else(|e| fail(&format!("open store {path}: {e}")));
@@ -54,12 +72,44 @@ fn main() {
         }
         None => {
             let ds = global_columnar();
-            if let Some(path) = args.store.as_deref() {
-                ds.write_to(Path::new(path))
-                    .unwrap_or_else(|e| fail(&format!("write store {path}: {e}")));
-                eprintln!("columnar store written to {path}");
+            match args.store.as_deref() {
+                // Segmented store directory: create or (--append)
+                // extend it with this dataset as one batch, then
+                // analyze the whole store — previous batches included.
+                Some(path) if args.append || !path.ends_with(".iotls") => {
+                    let dir = Path::new(path);
+                    let mut w = if args.append {
+                        SegmentedWriter::append(dir)
+                            .unwrap_or_else(|e| fail(&format!("reopen store {path}: {e}")))
+                    } else {
+                        SegmentedWriter::create(dir)
+                            .unwrap_or_else(|e| fail(&format!("create store {path}: {e}")))
+                    };
+                    w.append_columnar(ds, 0)
+                        .unwrap_or_else(|e| fail(&format!("append to store {path}: {e}")));
+                    w.finish_batch()
+                        .unwrap_or_else(|e| fail(&format!("publish store {path}: {e}")));
+                    let store = SegmentedStore::open(dir)
+                        .unwrap_or_else(|e| fail(&format!("reopen store {path}: {e}")));
+                    eprintln!(
+                        "segmented store {} at {path} ({} segments)",
+                        if args.append { "extended" } else { "written" },
+                        store.segment_count()
+                    );
+                    let a = analyze_store(&store, &ctx)
+                        .unwrap_or_else(|e| fail(&format!("analyze store {path}: {e}")));
+                    (a, store.total_rows(), store.chunk_count())
+                }
+                Some(path) => {
+                    ds.write_to(Path::new(path))
+                        .unwrap_or_else(|e| fail(&format!("write store {path}: {e}")));
+                    eprintln!("columnar store written to {path}");
+                    (analyze_columnar(ds, &ctx), ds.total_rows() as u64, ds.chunks.len())
+                }
+                None => {
+                    (analyze_columnar(ds, &ctx), ds.total_rows() as u64, ds.chunks.len())
+                }
             }
-            (analyze_columnar(ds, &ctx), ds.total_rows() as u64, ds.chunks.len())
         }
     };
     ctx.metrics().with(|reg| reg.record(span));

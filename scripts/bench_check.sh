@@ -94,6 +94,42 @@ rps_pairs "$CURRENT" | {
     fi
 }
 
+# --- Pruning gate: bytes_read_ratio ----------------------------------
+# Workloads that report a "bytes_read_ratio" figure (the segmented
+# partial-reanalysis path) are gated on how much of the corpus the
+# pruned slice actually reads: a ratio more than 15% above the
+# baseline means segment/chunk pruning got leakier — a correctness
+# smell even when rows/sec still looks fine.
+ratio_pairs() {
+    sed -n 's/.*"workload": *"\([^"]*\)".*"bytes_read_ratio": *\([0-9.]*\).*/\1 \2/p' "$1"
+}
+
+ratio_pairs "$CURRENT" | {
+    fail=0
+    while read -r name cur; do
+        base=$(ratio_pairs "$BASELINE" | awk -v n="$name" '$1 == n { print $2; exit }')
+        if [ -z "$base" ]; then
+            echo "bench_check: $name: new workload (no baseline), current bytes-read ratio ${cur}"
+            continue
+        fi
+        # Fail when cur > base * 1.15 (guard against a zero baseline).
+        verdict=$(awk -v c="$cur" -v b="$base" 'BEGIN {
+            if (b <= 0) { print "skip"; exit }
+            ratio = c / b
+            if (ratio > 1.15) printf "FAIL +%.0f%%", (ratio - 1) * 100
+            else printf "ok %+.0f%%", (ratio - 1) * 100
+        }')
+        echo "bench_check: $name: bytes-read ratio ${cur} vs baseline ${base} ($verdict)"
+        case "$verdict" in
+            FAIL*) fail=1 ;;
+        esac
+    done
+    if [ "$fail" -ne 0 ]; then
+        echo "bench_check: FAILED (>15% more of the corpus read per pruned slice)" >&2
+        exit 1
+    fi
+}
+
 # --- Allocation gate: allocs_per_session -----------------------------
 # The steady_replay workload counts heap allocations per replayed
 # session on the gateway hot path (counting global allocator in the

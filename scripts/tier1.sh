@@ -29,6 +29,13 @@ cargo test -q --offline --test chaos_experiments gateway_survives_fault_plan_ext
 # Also in the workspace run; repeated by name so a persistence
 # regression is called out explicitly.
 cargo test -q --offline --test store_persistence
+# Segmented store suite: arbitrary segment splits vs the single-file
+# oracle, incremental append vs one-shot build, pruning soundness
+# against a brute-force row filter, and the read-counting proof that
+# skipped segments are never touched. Also in the workspace run;
+# repeated by name so a segmented-store regression is called out
+# explicitly.
+cargo test -q --offline --test segmented_store
 
 # Docs gate: rustdoc warnings (broken intra-doc links, bad code
 # fences) fail tier-1, same as clippy warnings do.

@@ -25,7 +25,11 @@
 //!   store file at `PATH` after the run;
 //! * `--from-store PATH` — skip generation and analyze the persisted
 //!   store at `PATH` instead (frames stream off disk in bounded
-//!   memory).
+//!   memory); a directory is opened as a segmented store, a file as
+//!   a single-file store;
+//! * `--append` — extend the segmented store at `--store PATH` with
+//!   this run's dataset as a new batch instead of recreating it
+//!   (requires `--store`).
 //!
 //! Environment knobs (`IOTLS_THREADS`, `IOTLS_METRICS`) still apply
 //! through [`ExperimentCtx`]'s builder; flags win where both are set.
@@ -54,6 +58,8 @@ pub struct ExampleArgs {
     pub store: Option<String>,
     /// `--from-store` input path replacing generation, if given.
     pub from_store: Option<String>,
+    /// `--append` was passed (extend the `--store` segmented store).
+    pub append: bool,
 }
 
 impl ExampleArgs {
@@ -68,7 +74,7 @@ impl ExampleArgs {
                 eprintln!(
                     "usage: [--seed N] [--threads N] [--faults PM] [--metrics] \
                      [--ticks N] [--load N] [--drain-at N] \
-                     [--store PATH] [--from-store PATH]"
+                     [--store PATH] [--from-store PATH] [--append]"
                 );
                 std::process::exit(2);
             }
@@ -134,8 +140,12 @@ impl ExampleArgs {
                 }
                 "--store" => args.store = Some(value("--store")?.clone()),
                 "--from-store" => args.from_store = Some(value("--from-store")?.clone()),
+                "--append" => args.append = true,
                 other => return Err(format!("unknown flag {other:?}")),
             }
+        }
+        if args.append && args.store.is_none() {
+            return Err("--append requires --store PATH (the store directory to extend)".into());
         }
         Ok(args)
     }
@@ -246,6 +256,16 @@ mod tests {
         assert_eq!(args.from_store.as_deref(), Some("target/in.iotls"));
         assert!(ExampleArgs::parse_from(&argv(&["--store"])).is_err());
         assert!(ExampleArgs::parse_from(&argv(&["--from-store"])).is_err());
+    }
+
+    #[test]
+    fn append_requires_a_store_path() {
+        let args =
+            ExampleArgs::parse_from(&argv(&["--store", "target/days", "--append"])).unwrap();
+        assert!(args.append);
+        assert_eq!(args.store.as_deref(), Some("target/days"));
+        let bare = ExampleArgs::parse_from(&argv(&["--append"]));
+        assert!(bare.is_err(), "--append without --store must be rejected");
     }
 
     #[test]

@@ -13,7 +13,7 @@
 
 use iotls_repro::capture::{
     global_columnar, to_json_columnar, ColumnarDataset, ColumnarStore, DatasetBuilder,
-    RevocationFlow, RevocationKind, StoreError,
+    RevocationFlow, RevocationKind, SegmentedStore, SegmentedWriter, StoreError,
 };
 use iotls_repro::core::{analyze_columnar, analyze_store, ExperimentCtx};
 use iotls_repro::simnet::TlsObservation;
@@ -312,7 +312,7 @@ fn corruption_errors_are_specific() {
     let store = ColumnarStore::open(&case).expect("directory still intact");
     assert!(matches!(
         store.read_chunk(0),
-        Err(StoreError::ChecksumMismatch { chunk: Some(0) })
+        Err(StoreError::ChecksumMismatch { chunk: Some(0), .. })
     ));
 
     // A flip in the footer CRC itself.
@@ -322,7 +322,7 @@ fn corruption_errors_are_specific() {
     std::fs::write(&case, &b).unwrap();
     assert!(matches!(
         open_fully(&case),
-        Err(StoreError::ChecksumMismatch { chunk: None })
+        Err(StoreError::ChecksumMismatch { chunk: None, .. })
     ));
 
     // Errors render and chain like real errors.
@@ -333,4 +333,174 @@ fn corruption_errors_are_specific() {
 
     std::fs::remove_file(&path).ok();
     std::fs::remove_file(&case).ok();
+}
+
+// ── Segmented store: torn writes, stale directories, attribution ────
+//
+// The segmented layout adds two new places a crash can land: inside
+// the MANIFEST (published by rename, so only full rewrites should
+// ever be visible) and inside a segment file written by a batch that
+// never published. The sweeps below hold the same line as the
+// single-file ones: every corruption is a typed `StoreError` or a
+// clean recovery to the last sealed state — never a panic, never
+// silently wrong data.
+
+/// A scratch segmented-store directory, wiped before use.
+fn scratch_dir(name: &str) -> PathBuf {
+    let dir = scratch(name);
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// The monthly corpus as a segmented store: 12 chunks at 3 per
+/// segment = 4 segment files plus the manifest.
+fn small_segmented(name: &str) -> PathBuf {
+    let dir = scratch_dir(name);
+    let ds = monthly_corpus();
+    let mut w = SegmentedWriter::create(&dir)
+        .expect("create segmented store")
+        .with_chunk_limit(3);
+    w.append_columnar(&ds, 0).expect("ingest corpus");
+    w.finish_batch().expect("publish");
+    let store = SegmentedStore::open(&dir).expect("fixture opens");
+    assert_eq!(store.segment_count(), 4, "fixture must span four segments");
+    dir
+}
+
+#[test]
+fn manifest_truncation_at_every_offset_is_a_typed_error() {
+    let dir = small_segmented("seg_manifest_trunc");
+    let manifest = dir.join("MANIFEST");
+    let bytes = std::fs::read(&manifest).expect("read manifest");
+    assert!(bytes.len() < 4096, "manifest meant to be small");
+    for cut in 0..bytes.len() {
+        std::fs::write(&manifest, &bytes[..cut]).expect("write truncated manifest");
+        assert!(
+            SegmentedStore::open(&dir).is_err(),
+            "manifest truncated at byte {cut}/{} must error",
+            bytes.len()
+        );
+    }
+    std::fs::write(&manifest, &bytes).expect("restore manifest");
+    SegmentedStore::open(&dir).expect("restored manifest opens");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn manifest_bit_flips_are_caught() {
+    let dir = small_segmented("seg_manifest_flip");
+    let manifest = dir.join("MANIFEST");
+    let bytes = std::fs::read(&manifest).expect("read manifest");
+    for i in 0..bytes.len() {
+        let mut corrupt = bytes.clone();
+        corrupt[i] ^= 1u8 << (i % 8);
+        std::fs::write(&manifest, &corrupt).expect("write flipped manifest");
+        assert!(
+            SegmentedStore::open(&dir).is_err(),
+            "manifest bit flip at byte {i} must error"
+        );
+    }
+    std::fs::write(&manifest, &bytes).expect("restore manifest");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn segment_truncation_at_every_offset_is_a_typed_error() {
+    let dir = small_segmented("seg_file_trunc");
+    let seg = dir.join("seg-000001.seg");
+    let bytes = std::fs::read(&seg).expect("read segment");
+    assert!(bytes.len() < 64 * 1024, "segment meant to be small");
+    for cut in 0..bytes.len() {
+        std::fs::write(&seg, &bytes[..cut]).expect("write truncated segment");
+        let result = SegmentedStore::open(&dir).and_then(|s| s.to_dataset());
+        assert!(
+            result.is_err(),
+            "segment truncated at byte {cut}/{} must error",
+            bytes.len()
+        );
+    }
+    std::fs::write(&seg, &bytes).expect("restore segment");
+    SegmentedStore::open(&dir).expect("restored segment opens");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn torn_append_recovers_to_the_last_sealed_batch() {
+    let dir = small_segmented("seg_torn_append");
+    let before = SegmentedStore::open(&dir).expect("open sealed store");
+    let want = to_json_columnar(&before.to_dataset().expect("materialize"));
+    let rows_before = before.total_rows();
+    let segments_before = before.segment_count();
+    drop(before);
+
+    // A batch that crashed before its manifest rename leaves segment
+    // files in arbitrary states of completeness — and possibly a torn
+    // MANIFEST.tmp. None of it is named by the published manifest.
+    std::fs::write(dir.join("seg-000099.seg"), b"IOTLSCS1 half a segment").expect("orphan");
+    std::fs::write(dir.join("seg-000100.seg"), b"").expect("empty orphan");
+    std::fs::write(dir.join("MANIFEST.tmp"), b"torn temp manifest").expect("tmp");
+
+    let after = SegmentedStore::open(&dir).expect("store must reopen cleanly");
+    assert_eq!(after.segment_count(), segments_before, "sealed segments only");
+    assert_eq!(after.total_rows(), rows_before, "no silent data change");
+    assert_eq!(after.orphan_segments(), 2, "strays are counted, not read");
+    assert_eq!(
+        to_json_columnar(&after.to_dataset().expect("materialize")),
+        want,
+        "recovered store is byte-identical to the last sealed state"
+    );
+    drop(after);
+
+    // The next real append numbers PAST the orphans — it never
+    // overwrites a file a crashed batch may still own.
+    let mut w = SegmentedWriter::append(&dir).expect("append after crash");
+    w.append_columnar(&monthly_corpus(), 366 * 24 * 3600).expect("ingest day 2");
+    w.finish_batch().expect("publish day 2");
+    assert!(
+        dir.join("seg-000101.seg").exists(),
+        "new segments must number past every file on disk"
+    );
+    let grown = SegmentedStore::open(&dir).expect("reopen grown store");
+    assert_eq!(grown.total_rows(), rows_before * 2);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn truncation_messages_name_the_file_and_offset() {
+    // Segment path + offset: a manifest-listed segment cut to zero.
+    let dir = small_segmented("seg_msg_shape");
+    let seg = dir.join("seg-000000.seg");
+    std::fs::write(&seg, b"").expect("truncate segment");
+    let msg = SegmentedStore::open(&dir).expect_err("must error").to_string();
+    assert_eq!(
+        msg,
+        format!(
+            "store truncated reading segment file at byte 0 of {}",
+            seg.display()
+        ),
+        "the message shape is load-bearing for multi-file attribution"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+
+    // Single-file stores carry their path too.
+    let path = scratch("msg_shape.iotls");
+    small_dataset().write_to(&path).expect("write store");
+    let bytes = std::fs::read(&path).expect("read back");
+    std::fs::write(&path, &bytes[..10]).expect("truncate");
+    let err = ColumnarStore::open(&path).expect_err("must error");
+    assert!(matches!(err, StoreError::Truncated { .. }));
+    let msg = err.to_string();
+    assert!(msg.starts_with("store truncated reading "), "{msg}");
+    assert!(msg.contains(" at byte "), "{msg}");
+    assert!(msg.ends_with(&format!(" of {}", path.display())), "{msg}");
+
+    // And the manifest names itself on a torn read.
+    let dir = small_segmented("seg_msg_manifest");
+    let manifest = dir.join("MANIFEST");
+    std::fs::write(&manifest, b"IO").expect("tear manifest");
+    let msg = SegmentedStore::open(&dir).expect_err("must error").to_string();
+    assert!(msg.contains("manifest"), "{msg}");
+    assert!(msg.ends_with(&format!(" of {}", manifest.display())), "{msg}");
+    std::fs::remove_dir_all(&dir).ok();
+    std::fs::remove_file(&path).ok();
 }
